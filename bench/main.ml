@@ -1,0 +1,20 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation (plus the ablations) and prints paper-vs-measured
+   rows.  Run all with `dune exec bench/main.exe`, or a subset with e.g.
+   `dune exec bench/main.exe -- f8 t1`.  See DESIGN.md for the experiment
+   index and EXPERIMENTS.md for the recorded outcomes. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = if args = [] then [ "all" ] else args in
+  let bad = ref false in
+  List.iter
+    (fun name ->
+      match Ilp_bench.Experiments.run_named name with
+      | Ok () -> ()
+      | Error msg ->
+          bad := true;
+          Printf.eprintf "%s (available: %s)\n" msg
+            (String.concat ", " Ilp_bench.Experiments.names))
+    names;
+  if !bad then exit 1

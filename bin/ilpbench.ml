@@ -1,0 +1,210 @@
+(* The ilpbench command-line interface.
+
+   ilpbench experiments [NAMES...]   regenerate the paper's tables/figures
+   ilpbench transfer [OPTIONS]       one configurable measured transfer
+   ilpbench machines                 list the modelled workstations *)
+
+open Cmdliner
+open Ilp_memsim
+module Ft = Ilp_app.File_transfer
+module Engine = Ilp_core.Engine
+module Linkage = Ilp_core.Linkage
+
+(* ------------------------------------------------------------------ *)
+(* experiments *)
+
+let experiments_cmd =
+  let names =
+    Arg.(value & pos_all string [ "all" ]
+         & info [] ~docv:"NAME"
+             ~doc:"Experiments to run (e0 f6-f14 t1 a1 a2 a4 a5 wall all).")
+  in
+  let run names =
+    List.fold_left
+      (fun acc name ->
+        match Ilp_bench.Experiments.run_named name with
+        | Ok () -> acc
+        | Error msg ->
+            Printf.eprintf "%s (available: %s)\n" msg
+              (String.concat ", " Ilp_bench.Experiments.names);
+            1)
+      0 names
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ names)
+
+(* ------------------------------------------------------------------ *)
+(* transfer *)
+
+let machine_conv =
+  let parse s =
+    match Config.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown machine %S (try: %s)" s
+                (String.concat ", "
+                   (List.map (fun m -> m.Config.name) Config.all))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf m.Config.name)
+
+let cipher_conv =
+  let parse = function
+    | "safer-simplified" | "simplified" -> Ok Ft.Safer_simplified
+    | "simple" -> Ok Ft.Simple_encryption
+    | "safer" | "safer-k64" -> Ok (Ft.Safer_full 6)
+    | "des" -> Ok Ft.Des
+    | s -> Error (`Msg (Printf.sprintf "unknown cipher %S" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with
+      | Ft.Safer_simplified -> "safer-simplified"
+      | Ft.Simple_encryption -> "simple"
+      | Ft.Safer_full _ -> "safer-k64"
+      | Ft.Des -> "des")
+  in
+  Arg.conv (parse, print)
+
+let transfer_cmd =
+  let machine =
+    Arg.(value & opt machine_conv Config.ss10_30
+         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"Simulated workstation.")
+  in
+  let ilp =
+    Arg.(value & flag & info [ "ilp" ] ~doc:"Integrated (ILP) implementation.")
+  in
+  let cipher =
+    Arg.(value & opt cipher_conv Ft.Safer_simplified
+         & info [ "cipher"; "c" ] ~docv:"CIPHER"
+             ~doc:"safer-simplified, simple, safer-k64 or des.")
+  in
+  let size =
+    Arg.(value & opt int 1024
+         & info [ "size"; "s" ] ~docv:"BYTES" ~doc:"Payload bytes per message.")
+  in
+  let copies =
+    Arg.(value & opt int 8 & info [ "copies" ] ~docv:"N" ~doc:"File copies to send.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Datagram loss rate.")
+  in
+  let trailer =
+    Arg.(value & flag & info [ "trailer" ] ~doc:"Trailer-placed length field (section 5).")
+  in
+  let coalesce =
+    Arg.(value & flag
+         & info [ "coalesce-writes" ] ~doc:"LCM-sized stores (the section 2.2 remedy).")
+  in
+  let calls =
+    Arg.(value & flag
+         & info [ "function-calls" ]
+             ~doc:"Function-call linkage instead of macro inlining (section 3.2.1).")
+  in
+  let late =
+    Arg.(value & flag
+         & info [ "late" ] ~doc:"Defer receive manipulations to delivery (section 3.2.3).")
+  in
+  let uniform =
+    Arg.(value & flag
+         & info [ "uniform-units" ]
+             ~doc:"Uniform processing-unit sizes (section 5).")
+  in
+  let run machine ilp cipher size copies loss trailer coalesce calls late uniform =
+    let mode = if ilp then Engine.Ilp else Engine.Separate in
+    let setup =
+      { (Ft.default_setup ~machine ~mode) with
+        Ft.cipher;
+        max_reply = size;
+        copies;
+        loss_rate = loss;
+        header_style = (if trailer then Engine.Trailer else Engine.Leading);
+        coalesce_writes = coalesce;
+        linkage = (if calls then Linkage.function_calls else Linkage.Macro);
+        rx_placement = (if late then Engine.Late else Engine.Early);
+        uniform_units = uniform }
+    in
+    let r = Ft.run setup in
+    Printf.printf "machine      %s (%.0f MHz)\n" machine.Config.name
+      machine.Config.clock_mhz;
+    Printf.printf "mode         %s%s%s%s\n"
+      (if ilp then "ILP" else "non-ILP")
+      (if trailer then ", trailer" else "")
+      (if coalesce then ", coalesced stores" else "")
+      (if calls then ", function calls" else "");
+    Printf.printf "status       %s\n"
+      (match r.Ft.error with
+      | None -> "transfer complete, every byte verified"
+      | Some e -> "FAILED: " ^ e);
+    Printf.printf "messages     %d (%d payload bytes, %d wire bytes)\n" r.Ft.n_replies
+      r.Ft.payload_bytes r.Ft.wire_bytes;
+    Printf.printf "send         %.1f us/packet (%.1f us system copy)\n"
+      (Ft.mean r.Ft.send_us) (Ft.mean r.Ft.send_syscopy_us);
+    Printf.printf "receive      %.1f us/packet\n" (Ft.mean r.Ft.recv_us);
+    Printf.printf "throughput   %.2f Mbit/s (with the %s overhead model)\n"
+      (Ilp_bench.Platforms.throughput_mbps machine ~size
+         ~proc_us:(Ft.mean r.Ft.send_us +. Ft.mean r.Ft.recv_us))
+      machine.Config.name;
+    Printf.printf "memory       %d reads, %d writes; recv miss ratio %.1f%%\n"
+      (Stats.accesses r.Ft.total_stats Stats.Read)
+      (Stats.accesses r.Ft.total_stats Stats.Write)
+      (100.0 *. Stats.data_miss_ratio r.Ft.recv_stats);
+    Printf.printf "tcp          %d retransmissions, %d checksum failures\n"
+      r.Ft.retransmissions r.Ft.checksum_failures;
+    if r.Ft.ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "transfer" ~doc:"Run one measured file transfer.")
+    Term.(
+      const run $ machine $ ilp $ cipher $ size $ copies $ loss $ trailer $ coalesce
+      $ calls $ late $ uniform)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_cmd =
+  let out =
+    Arg.(value & opt string "t1.csv"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let run out =
+    let csv = Ilp_bench.Experiments.t1_csv () in
+    let oc = open_out out in
+    output_string oc csv;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes, paper and measured for 35 grid cells)\n" out
+      (String.length csv);
+    0
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the full Table 1 grid as CSV.")
+    Term.(const run $ out)
+
+(* ------------------------------------------------------------------ *)
+(* machines *)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun (m : Config.t) ->
+        let o = Ilp_bench.Platforms.overhead m in
+        Printf.printf "%-12s %4.0f MHz  L1D %2d kB/%d-way  L1I %2d kB  L2 %-6s  overhead %.0f us + %.3f us/B\n"
+          m.Config.name m.Config.clock_mhz
+          (m.Config.l1d.Cache.size / 1024)
+          m.Config.l1d.Cache.assoc
+          (m.Config.l1i.Cache.size / 1024)
+          (match m.Config.l2 with
+          | Some l2 -> Printf.sprintf "%d kB" (l2.Cache.size / 1024)
+          | None -> "none")
+          o.Ilp_bench.Platforms.base_us o.Ilp_bench.Platforms.per_byte_us)
+      Config.all;
+    0
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the modelled workstations.") Term.(const run $ const ())
+
+let () =
+  let doc = "Reproduction harness for 'Protocol Implementation Using Integrated Layer Processing'" in
+  let info = Cmd.info "ilpbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ experiments_cmd; transfer_cmd; machines_cmd; export_cmd ]))

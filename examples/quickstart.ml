@@ -1,0 +1,47 @@
+(* Quickstart: transfer a file over the full stack — marshalling,
+   encryption, user-level TCP — on a simulated SPARCstation 10-30, in
+   both implementation styles, and print what the paper's figures are
+   made of.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ilp_memsim
+module Ft = Ilp_app.File_transfer
+module Engine = Ilp_core.Engine
+
+let describe name (r : Ft.result) =
+  Printf.printf "%-28s %s\n" (name ^ ":")
+    (if r.Ft.ok then "transfer complete, every byte verified" else "FAILED");
+  Printf.printf "  replies            %d messages, %d payload bytes\n" r.Ft.n_replies
+    r.Ft.payload_bytes;
+  Printf.printf "  send processing    %.1f us per 1 kB packet\n" (Ft.mean r.Ft.send_us);
+  Printf.printf "  recv processing    %.1f us per 1 kB packet\n" (Ft.mean r.Ft.recv_us);
+  Printf.printf "  memory reads       %d\n" (Stats.accesses r.Ft.total_stats Stats.Read);
+  Printf.printf "  memory writes      %d\n" (Stats.accesses r.Ft.total_stats Stats.Write);
+  Printf.printf "  recv D-cache miss  %.1f%%\n\n"
+    (100.0 *. Stats.data_miss_ratio r.Ft.recv_stats)
+
+let () =
+  print_endline "Integrated Layer Processing quickstart";
+  print_endline "(Braun & Diot, SIGCOMM 1995, reproduced in simulation)\n";
+  let machine = Config.ss10_30 in
+  Printf.printf "machine: %s, %.0f MHz, %d kB L1D, %s L2\n\n" machine.Config.name
+    machine.Config.clock_mhz
+    (machine.Config.l1d.Cache.size / 1024)
+    (match machine.Config.l2 with Some _ -> "with" | None -> "no");
+  (* The conventional layered implementation: marshal, encrypt, copy,
+     checksum — one pass each (figure 3, left). *)
+  let non_ilp = Ft.run (Ft.default_setup ~machine ~mode:Engine.Separate) in
+  describe "non-ILP (layered)" non_ilp;
+  (* The integrated implementation: one loop does it all (figure 3,
+     right). *)
+  let ilp = Ft.run (Ft.default_setup ~machine ~mode:Engine.Ilp) in
+  describe "ILP (integrated)" ilp;
+  let gain path a b =
+    Printf.printf "ILP %s gain: %.0f%%\n" path (100.0 *. (1.0 -. (b /. a)))
+  in
+  gain "send" (Ft.mean non_ilp.Ft.send_us) (Ft.mean ilp.Ft.send_us);
+  gain "receive" (Ft.mean non_ilp.Ft.recv_us) (Ft.mean ilp.Ft.recv_us);
+  print_endline "\nNote the paper's central surprise: ILP wins by touching memory";
+  print_endline "less, yet its cache MISS RATIO is higher than the careful layered";
+  print_endline "implementation's (compare the 'recv D-cache miss' lines above)."

@@ -1,0 +1,18 @@
+let paper_file_len = 15 * 1024
+
+let generate ~len ~seed =
+  if len < 0 then invalid_arg "Workload.generate";
+  let state = ref (seed lxor 0x2545F491) in
+  String.init len (fun _ ->
+      (* xorshift32 *)
+      let s = !state land 0xffffffff in
+      let s = s lxor (s lsl 13) land 0xffffffff in
+      let s = s lxor (s lsr 17) in
+      let s = s lxor (s lsl 5) land 0xffffffff in
+      state := s;
+      Char.chr (s land 0xff))
+
+let install (sim : Ilp_memsim.Sim.t) contents =
+  let addr = Ilp_memsim.Alloc.alloc sim.alloc ~align:64 (String.length contents) in
+  Ilp_memsim.Mem.poke_string sim.mem ~pos:addr contents;
+  addr

@@ -1,0 +1,13 @@
+(** Workload generation: deterministic file contents for the transfer
+    experiments (the paper uses a 15 kbyte file sent repeatedly). *)
+
+(** [generate ~len ~seed] is a reproducible pseudo-random byte string —
+    incompressible-ish content so no stage can shortcut on zeros. *)
+val generate : len:int -> seed:int -> string
+
+(** [install sim contents] places the file in simulated memory and returns
+    its address. *)
+val install : Ilp_memsim.Sim.t -> string -> int
+
+(** The paper's file size: 15 kbytes. *)
+val paper_file_len : int

@@ -1,0 +1,96 @@
+type t1_row = {
+  platform : string;
+  size : int;
+  tput_ilp : float;
+  tput_non : float;
+  send_ilp : int;
+  recv_ilp : int;
+  send_non : int;
+  recv_non : int;
+}
+
+let r platform size tput_ilp tput_non send_ilp recv_ilp send_non recv_non =
+  { platform; size; tput_ilp; tput_non; send_ilp; recv_ilp; send_non; recv_non }
+
+let table1 =
+  [ (* SUN SPARCstation 10-30, SunOS 4.1.3 *)
+    r "SS10-30" 256 1.74 1.58 128 118 124 141;
+    r "SS10-30" 512 3.22 2.58 187 176 201 228;
+    r "SS10-30" 768 4.35 4.15 260 263 289 280;
+    r "SS10-30" 1024 5.43 4.95 311 300 369 356;
+    r "SS10-30" 1280 6.02 4.30 374 363 468 456;
+    (* SUN SPARCstation 10-41 *)
+    r "SS10-41" 256 2.34 2.19 103 90 101 123;
+    r "SS10-41" 512 4.35 3.67 149 144 169 182;
+    r "SS10-41" 768 5.53 5.27 192 194 248 241;
+    r "SS10-41" 1024 6.68 5.95 248 249 315 312;
+    r "SS10-41" 1280 8.39 6.88 304 300 379 379;
+    (* SUN SPARCstation 10-51 *)
+    r "SS10-51" 256 3.02 2.64 77 72 91 88;
+    r "SS10-51" 512 5.41 4.69 124 116 147 147;
+    r "SS10-51" 768 7.78 7.01 158 158 202 195;
+    r "SS10-51" 1024 9.23 8.35 194 206 241 240;
+    r "SS10-51" 1280 9.48 8.65 239 248 301 310;
+    (* SUN SPARCstation 20-60, Solaris 2.3 *)
+    r "SS20-60" 256 3.45 3.26 65 61 82 79;
+    r "SS20-60" 512 7.17 6.52 98 96 112 110;
+    r "SS20-60" 768 9.05 8.09 130 141 159 155;
+    r "SS20-60" 1024 10.44 8.86 162 163 212 204;
+    r "SS20-60" 1280 11.66 9.61 199 199 253 256;
+    (* DEC AXP 3000/500, 150 MHz, OSF/1 1.3 *)
+    r "AXP3000/500" 256 2.52 2.53 100 73 103 73;
+    r "AXP3000/500" 512 4.43 4.30 135 109 149 120;
+    r "AXP3000/500" 768 6.07 5.72 174 156 195 163;
+    r "AXP3000/500" 1024 7.40 6.95 214 195 252 195;
+    r "AXP3000/500" 1280 8.59 8.07 252 227 302 237;
+    (* DEC AXP 3000/600, 175 MHz, OSF/1 2.1 *)
+    r "AXP3000/600" 256 2.57 2.59 85 74 86 73;
+    r "AXP3000/600" 512 4.36 4.39 122 93 137 109;
+    r "AXP3000/600" 768 6.36 6.12 146 127 162 140;
+    r "AXP3000/600" 1024 7.83 7.52 187 160 214 167;
+    r "AXP3000/600" 1280 8.98 8.56 227 191 256 201;
+    (* DEC AXP 3000/800, 200 MHz, OSF/1 2.1 *)
+    r "AXP3000/800" 256 3.51 3.46 69 55 70 54;
+    r "AXP3000/800" 512 5.98 5.90 100 85 107 80;
+    r "AXP3000/800" 768 8.02 7.46 127 110 150 114;
+    r "AXP3000/800" 1024 9.78 9.30 164 139 189 151;
+    r "AXP3000/800" 1280 11.44 10.72 193 165 244 183 ]
+
+let table1_row ~platform ~size =
+  List.find_opt (fun row -> row.platform = platform && row.size = size) table1
+
+type f11 = { send_non : int; send_ilp : int; recv_non : int; recv_ilp : int }
+
+let f11_simplified = { send_non = 366; send_ilp = 313; recv_non = 355; recv_ilp = 299 }
+let f11_simple = { send_non = 220; send_ilp = 150; recv_non = 158; recv_ilp = 94 }
+
+type f12 = { non_ilp : float; ilp : float; kernel : float }
+
+let f12_simplified = { non_ilp = 5.1; ilp = 5.5; kernel = 6.8 }
+let f12_simple = { non_ilp = 6.7; ilp = 7.5; kernel = 9.7 }
+
+type f13 = {
+  send_reads_non : float;
+  send_reads_saved : float;
+  send_writes_saved : float;
+  recv_reads_non : float;
+  recv_reads_saved : float;
+  recv_writes_saved : float;
+}
+
+let f13_simplified =
+  { send_reads_non = 58.0;
+    send_reads_saved = 13.7;
+    send_writes_saved = 12.0;
+    recv_reads_non = 53.5;
+    recv_reads_saved = 8.4;
+    recv_writes_saved = 8.3 }
+
+let recv_miss_ratio_non = 0.047
+let recv_miss_ratio_ilp = 0.187
+let send_byte_misses_non = 0.03
+let send_byte_misses_ilp = 2.0
+let recv_write_misses_non = 3.6
+let recv_write_misses_ilp = 11.0
+let e0_sequential_mbps = 70.0
+let e0_fused_mbps = 100.0

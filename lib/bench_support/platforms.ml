@@ -1,0 +1,56 @@
+type overhead = { base_us : float; per_byte_us : float }
+
+(* Least-squares fit of overhead = base + per_byte * size over a
+   platform's five Table 1 ILP rows. *)
+let fit platform =
+  let rows =
+    List.filter (fun r -> r.Paper_data.platform = platform) Paper_data.table1
+  in
+  if rows = [] then raise Not_found;
+  let points =
+    List.map
+      (fun (r : Paper_data.t1_row) ->
+        let total_us = float_of_int (r.size * 8) /. r.tput_ilp in
+        let proc_us = float_of_int (r.send_ilp + r.recv_ilp) in
+        (float_of_int r.size, total_us -. proc_us))
+      rows
+  in
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  let slope = if denom = 0.0 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom in
+  let base = (sy -. (slope *. sx)) /. n in
+  { base_us = base; per_byte_us = slope }
+
+let cache : (string, overhead) Hashtbl.t = Hashtbl.create 8
+
+let overhead (machine : Ilp_memsim.Config.t) =
+  let name = machine.Ilp_memsim.Config.name in
+  match Hashtbl.find_opt cache name with
+  | Some o -> o
+  | None ->
+      let o = fit name in
+      Hashtbl.replace cache name o;
+      o
+
+let overhead_us machine ~size =
+  let o = overhead machine in
+  o.base_us +. (o.per_byte_us *. float_of_int size)
+
+let throughput_mbps machine ~size ~proc_us =
+  let total = proc_us +. overhead_us machine ~size in
+  if total <= 0.0 then 0.0 else float_of_int (size * 8) /. total
+
+(* Figure 12's kernel-TCP bar on the SS10-30 reaches 6.8 Mbit/s with the
+   simplified cipher where the non-ILP user-level build reaches 5.1: with
+   identical data manipulation cost, the whole difference is overhead.
+   Solving 8192/tput = proc + f * overhead for the figure's bars gives
+   f ~= 0.55. *)
+let kernel_overhead_factor = 0.55
+
+let kernel_throughput_mbps machine ~size ~proc_us =
+  let total = proc_us +. (kernel_overhead_factor *. overhead_us machine ~size) in
+  if total <= 0.0 then 0.0 else float_of_int (size * 8) /. total

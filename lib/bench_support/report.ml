@@ -1,0 +1,37 @@
+let banner s =
+  let line = String.make (String.length s + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" line s line
+
+let note fmt = Printf.printf fmt
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (width.(i) - String.length cell) ' ' in
+        if i = 0 then Printf.printf "%s%s" cell pad
+        else Printf.printf "  %s%s" pad cell)
+      r;
+    print_newline ()
+  in
+  print_row header;
+  let rule = List.mapi (fun i _ -> String.make width.(i) '-') header in
+  print_row rule;
+  List.iter print_row rows
+
+let vs ~paper ~ours =
+  let delta =
+    if paper = 0.0 then 0.0 else (ours -. paper) /. paper *. 100.0
+  in
+  Printf.sprintf "%.1f -> %.1f (%+.0f%%)" paper ours delta
+
+let us v = Printf.sprintf "%.1f" v
+let mbps v = Printf.sprintf "%.2f" v
+let millions v = Printf.sprintf "%.1f" (v /. 1.0e6)
+let pct_gain ~base ~better = if base = 0.0 then 0.0 else (base -. better) /. base *. 100.0

@@ -1,0 +1,22 @@
+(** Console reporting for the reproduction harness: aligned tables and
+    paper-versus-measured cells. *)
+
+(** Section banner ("==== Figure 6 ... ===="). *)
+val banner : string -> unit
+
+(** Free-form note line. *)
+val note : ('a, out_channel, unit) format -> 'a
+
+(** [table ~header rows] prints an aligned table. *)
+val table : header:string list -> string list list -> unit
+
+(** [vs ~paper ~ours] renders "369 -> 342.1 (-7.3%)". *)
+val vs : paper:float -> ours:float -> string
+
+val us : float -> string
+val mbps : float -> string
+val millions : float -> string
+
+(** [pct_gain ~base ~better] is the relative improvement of [better] over
+    [base] in percent (positive = better is smaller/faster for times). *)
+val pct_gain : base:float -> better:float -> float

@@ -1,0 +1,48 @@
+let polynomial = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := polynomial lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+type t = { mem : Ilp_memsim.Mem.t; table_base : int }
+
+let create mem alloc =
+  let base = Ilp_memsim.Alloc.alloc alloc ~align:64 (256 * 4) in
+  let tbl = Lazy.force table in
+  Array.iteri (fun i v -> Ilp_memsim.Mem.poke_u32 mem (base + (i * 4)) v) tbl;
+  { mem; table_base = base }
+
+let init = 0xffffffff
+let finish crc = crc lxor 0xffffffff
+
+let step t crc byte =
+  let idx = (crc lxor byte) land 0xff in
+  (* One charged 4-byte table read per input byte. *)
+  let e = Ilp_memsim.Mem.get_u32 t.mem (t.table_base + (idx * 4)) in
+  Ilp_memsim.Machine.compute (Ilp_memsim.Mem.machine t.mem) 3;
+  e lxor (crc lsr 8)
+
+let update_mem t ~crc mem ~pos ~len =
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := step t !c (Ilp_memsim.Mem.get_u8 mem i)
+  done;
+  !c
+
+let update_block t ~crc b ~off ~len =
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := step t !c (Char.code (Bytes.get b i))
+  done;
+  !c
+
+let string_crc s =
+  let tbl = Lazy.force table in
+  let c = ref init in
+  String.iter (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  finish !c

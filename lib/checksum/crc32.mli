@@ -1,0 +1,33 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    Included as the paper's canonical example of an {e ordering-constrained}
+    data manipulation (its section 2.2): a CRC must see the bytes in serial
+    order, so the part-B/C/A reordering of the send path cannot be applied
+    to it, although it can still live inside an in-order ILP loop.
+
+    The charged variant keeps its 1 KB lookup table in simulated memory, so
+    its cache footprint competes with the other stages' tables — one of the
+    data-manipulation characteristics the paper shows can erase ILP
+    gains. *)
+
+type t
+(** A CRC instance whose lookup table lives in simulated memory. *)
+
+val create : Ilp_memsim.Mem.t -> Ilp_memsim.Alloc.t -> t
+
+(** [update_mem t ~crc mem ~pos ~len] advances [crc] over simulated memory,
+    charging byte reads, table reads and compute. *)
+val update_mem : t -> crc:int -> Ilp_memsim.Mem.t -> pos:int -> len:int -> int
+
+(** [update_block t ~crc b ~off ~len] advances [crc] over register-resident
+    bytes; only table reads and compute are charged (ILP-loop form). *)
+val update_block : t -> crc:int -> Bytes.t -> off:int -> len:int -> int
+
+(** Pure reference implementation (no simulation, no charges). *)
+val string_crc : string -> int
+
+val init : int
+(** Initial accumulator (all ones pre-conditioning is internal: feed [init],
+    finalize with {!finish}). *)
+
+val finish : int -> int

@@ -1,0 +1,26 @@
+(* Classic Fletcher-32 over 8-bit data with deferred modulo: sums stay small
+   enough that reducing every 5802 bytes suffices; we reduce per call. *)
+
+let reduce (s1, s2) = (s1 mod 65535, s2 mod 65535)
+
+let update ~s1 ~s2 b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Fletcher.update";
+  let s1 = ref s1 and s2 = ref s2 in
+  for i = off to off + len - 1 do
+    s1 := !s1 + Char.code (Bytes.get b i);
+    s2 := !s2 + !s1;
+    if !s2 > max_int / 2 then begin
+      s1 := !s1 mod 65535;
+      s2 := !s2 mod 65535
+    end
+  done;
+  reduce (!s1, !s2)
+
+let finish (s1, s2) = (s2 lsl 16) lor s1
+
+let string_sum s =
+  let b = Bytes.unsafe_of_string s in
+  finish (update ~s1:0 ~s2:0 b ~off:0 ~len:(String.length s))
+
+let ops ~len = 3 * len

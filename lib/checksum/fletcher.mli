@@ -1,0 +1,17 @@
+(** Fletcher-32 checksum (as used by OSI TP4).
+
+    A table-free alternative to CRC-32 with strictly sequential state, kept
+    as a second example of an ordering-constrained manipulation whose ALU
+    cost sits between the Internet checksum and a block cipher. *)
+
+(** [update ~s1 ~s2 b ~off ~len] folds register-resident bytes and returns
+    the new state pair.  Pure; cost model is {!ops}. *)
+val update : s1:int -> s2:int -> Bytes.t -> off:int -> len:int -> int * int
+
+(** [finish (s1, s2)] is the 32-bit checksum. *)
+val finish : int * int -> int
+
+val string_sum : string -> int
+
+(** ALU ops per [len] bytes (two adds and a modulo amortised per byte). *)
+val ops : len:int -> int

@@ -1,0 +1,79 @@
+type acc = { sum : int; odd : bool }
+
+let empty = { sum = 0; odd = false }
+
+let fold16 sum =
+  let s = ref sum in
+  while !s > 0xffff do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  !s
+
+let add_byte acc b =
+  if acc.odd then { sum = acc.sum + b; odd = false }
+  else { sum = acc.sum + (b lsl 8); odd = true }
+
+let add_bytes acc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Internet.add_bytes";
+  let acc = ref acc in
+  (* Fast path: aligned 16-bit words. *)
+  let i = ref off in
+  let stop = off + len in
+  if !acc.odd && !i < stop then begin
+    acc := add_byte !acc (Char.code (Bytes.get b !i));
+    incr i
+  end;
+  while stop - !i >= 2 do
+    acc := { sum = !acc.sum + Bytes.get_uint16_be b !i; odd = false };
+    i := !i + 2
+  done;
+  while !i < stop do
+    acc := add_byte !acc (Char.code (Bytes.get b !i));
+    incr i
+  done;
+  (* Keep the running sum bounded so it never overflows an OCaml int. *)
+  { !acc with sum = fold16 !acc.sum }
+
+let add_string acc s = add_bytes acc (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let add_u16 acc v =
+  if acc.odd then invalid_arg "Internet.add_u16: unaligned accumulator";
+  { sum = fold16 (acc.sum + (v land 0xffff)); odd = false }
+
+let byteswap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
+
+let combine a b ~len_b =
+  let fb = fold16 b.sum in
+  let fb = if a.odd then byteswap16 fb else fb in
+  { sum = fold16 (a.sum + fb); odd = a.odd <> (len_b land 1 = 1) }
+
+let finish acc = lnot (fold16 acc.sum) land 0xffff
+
+let checksum_string s = finish (add_string empty s)
+
+let ops ~len = (len + 1) / 2 * 2
+
+let checksum_mem mem ~pos ~len ~acc =
+  let machine = Ilp_memsim.Mem.machine mem in
+  let acc = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while stop - !i >= 2 do
+    let v = Ilp_memsim.Mem.get_u16 mem !i in
+    (* add + carry fold + loop bookkeeping *)
+    Ilp_memsim.Machine.compute machine 3;
+    acc :=
+      (if !acc.odd then
+         add_byte (add_byte !acc (v lsr 8)) (v land 0xff)
+       else { sum = fold16 (!acc.sum + v); odd = false });
+    i := !i + 2
+  done;
+  if !i < stop then begin
+    let v = Ilp_memsim.Mem.get_u8 mem !i in
+    Ilp_memsim.Machine.compute machine 2;
+    acc := add_byte !acc v
+  end;
+  !acc
+
+let verify_string s = fold16 (add_string empty s).sum = 0xffff

@@ -1,0 +1,20 @@
+(** The "very simple" encryption of the paper's section 4.1: per-byte
+    constant ADD and XOR, no tables, no key vector, similar to the function
+    Abbott and Peterson integrated.
+
+    It replaces the simplified SAFER in figures 11-14 to show that a
+    manipulation without per-byte memory references roughly doubles the
+    relative ILP gain and removes the cache-miss pathology. *)
+
+(** Pure in-place transforms on 8 bytes at the given offset (the 8-byte
+    block framing of the stack is kept so the message layout is unchanged). *)
+val encrypt_block : Bytes.t -> int -> unit
+
+val decrypt_block : Bytes.t -> int -> unit
+
+val encrypt_string : string -> string
+val decrypt_string : string -> string
+
+(** [charged sim] returns the charged cipher: ALU ops only, small code
+    footprint, no table traffic. *)
+val charged : Ilp_memsim.Sim.t -> Block_cipher.t

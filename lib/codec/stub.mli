@@ -1,0 +1,33 @@
+(** The stub compiler: from an ASN.1-lite description to marshalling code.
+
+    This plays the role of MAVROS in the paper: given a message type, it
+    produces the (un)marshalling routines the application calls.  The
+    routines work on the XDR representation produced by {!Xdr}. *)
+
+type t
+
+(** [compile ty] builds the stubs for [ty]. *)
+val compile : Asn1.ty -> t
+
+val ty : t -> Asn1.ty
+
+(** [marshal t v] type-checks [v] against the description and returns its
+    XDR encoding.  Raises [Invalid_argument] when the value does not
+    inhabit the type. *)
+val marshal : t -> Asn1.value -> string
+
+(** [marshal_into t v enc] appends the encoding to an existing encoder
+    (used to place a message after an RPC header). *)
+val marshal_into : t -> Asn1.value -> Xdr.Enc.t -> unit
+
+(** [unmarshal t s] decodes a complete message; raises {!Xdr.Dec.Error} on
+    malformed input (including trailing bytes). *)
+val unmarshal : t -> string -> Asn1.value
+
+(** [unmarshal_from t dec] decodes from the current position of [dec],
+    leaving any following bytes unconsumed. *)
+val unmarshal_from : t -> Xdr.Dec.t -> Asn1.value
+
+(** [size t v] is [String.length (marshal t v)] without building the
+    encoding. *)
+val size : t -> Asn1.value -> int

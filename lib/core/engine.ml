@@ -1,0 +1,376 @@
+open Ilp_memsim
+module Internet = Ilp_checksum.Internet
+
+type mode = Ilp | Separate
+
+type header_style = Leading | Trailer
+
+type rx_placement = Early | Late
+
+type t = {
+  sim : Sim.t;
+  cipher : Ilp_cipher.Block_cipher.t;
+  mode : mode;
+  header_style : header_style;
+  rx_placement : rx_placement;
+  linkage : Linkage.t;
+  max_message : int;
+  coalesce_writes : bool;
+  marshal_dmf : Dmf.t;
+  unmarshal_dmf : Dmf.t;
+  encrypt_dmf : Dmf.t;
+  decrypt_dmf : Dmf.t;
+  (* Fused-loop code regions: one per macro expansion site on the send
+     side (parts B, C, A), one for the receive loop. *)
+  send_loops : Code.region array;
+  recv_loop : Code.region;
+  marshal_buf : int;  (* separate-mode intermediate buffer *)
+  app_rx : int;  (* receive-side plaintext area *)
+}
+
+let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
+
+let create (sim : Sim.t) ~cipher ~mode ?(linkage = Linkage.Macro)
+    ?(max_message = 2048) ?(coalesce_writes = false) ?(header_style = Leading)
+    ?(rx_placement = Early) ?(uniform_units = false) () =
+  (* Section 5: "uniform processing unit sizes for different data
+     manipulation functions could be advantageous" — widen marshalling to
+     the cipher's block so the fused loop runs one invocation per block. *)
+  let munit = if uniform_units then cipher.Ilp_cipher.Block_cipher.block_len else 4 in
+  let marshal_dmf = Dmf.marshalling sim ~name:"xdr-marshal" ~unit_len:munit () in
+  let unmarshal_dmf = Dmf.marshalling sim ~name:"xdr-unmarshal" ~unit_len:munit () in
+  let encrypt_dmf = Dmf.of_cipher_encrypt cipher in
+  let decrypt_dmf = Dmf.of_cipher_decrypt cipher in
+  let stage_code (d : Dmf.t) = d.Dmf.code.Code.len in
+  let send_body = stage_code marshal_dmf + stage_code encrypt_dmf + glue_code in
+  let recv_body = stage_code unmarshal_dmf + stage_code decrypt_dmf + glue_code in
+  (* Under macro linkage every expansion site carries its own copy of the
+     stage bodies; under function calls the loop region is just glue.  The
+     trailer layout needs no part reordering, hence a single expansion
+     site — one of its advantages. *)
+  let site_len body =
+    match linkage with Linkage.Macro -> body | Linkage.Function_calls _ -> glue_code
+  in
+  (* Part B has its own expansion; the single-block tail parts C and A
+     share one specialised expansion. *)
+  let n_sites = match header_style with Leading -> 2 | Trailer -> 1 in
+  let send_loops =
+    Array.init n_sites (fun _ -> Code.alloc sim.code ~len:(site_len send_body))
+  in
+  let recv_loop = Code.alloc sim.code ~len:(site_len recv_body) in
+  let marshal_buf = Alloc.alloc sim.alloc ~align:64 max_message in
+  let app_rx = Alloc.alloc sim.alloc ~align:64 max_message in
+  { sim; cipher; mode; header_style; rx_placement; linkage; max_message;
+    coalesce_writes;
+    marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
+    send_loops; recv_loop; marshal_buf; app_rx }
+
+let mode t = t.mode
+let header_style t = t.header_style
+let rx_placement t = t.rx_placement
+let sim t = t.sim
+let app_rx_base t = t.app_rx
+let machine t = t.sim.Sim.machine
+let mem t = t.sim.Sim.mem
+let block_len t = t.cipher.Ilp_cipher.Block_cipher.block_len
+
+let wire_len t ~prefix_len ~payload_len =
+  ignore t;
+  let p = Parts.plan ~body_len:(prefix_len + payload_len) () in
+  p.Parts.total
+
+(* The store schedule of the fused loop's final stage.  A byte-oriented
+   cipher ends the send chain with its 2-PHT pair outputs partially
+   coalesced ([4; 2; 1; 1] per 8-byte block); on receive the bytes go to
+   the unmarshalling function one at a time, which stores them one at a
+   time.  Word-oriented manipulations store words.  [coalesce_writes]
+   applies the paper's LCM remedy instead. *)
+let send_pattern t =
+  if t.coalesce_writes then None
+  else
+    match t.cipher.Ilp_cipher.Block_cipher.store_unit with
+    | 1 -> Some [ 4; 2; 1; 1 ]
+    | u -> Some [ u ]
+
+let recv_pattern t =
+  if t.coalesce_writes then None
+  else Some [ t.cipher.Ilp_cipher.Block_cipher.store_unit ]
+
+(* Checksum tap: folds every observed block and charges the fold's ALU
+   cost. *)
+let checksum_tap t cell =
+  fun block ~off ~len ->
+    cell := Internet.add_bytes !cell block ~off ~len;
+    Machine.compute (machine t) (Internet.ops ~len)
+
+(* ------------------------------------------------------------------ *)
+(* The logical plaintext stream of an outgoing message: a sequence of
+   generated segments (length field, stub-produced prefix, padding) and
+   payload segments read from application memory.  With the default
+   leading header the length field comes first; with the trailer style of
+   the paper's section 5 it comes last, which lets the ILP loop run
+   strictly sequentially. *)
+
+type seg = Gen of string | Payload of { addr : int; len : int }
+
+type stream = { segs : seg array; total : int }
+
+let u32_be v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (v land 0xffff_ffff));
+  Bytes.unsafe_to_string b
+
+(* Copy [n] stream bytes starting at [pos] into [block+boff], charging
+   payload bytes as application-memory reads (word-granular) and
+   generated bytes as ALU work. *)
+let stream_read t st block ~boff ~pos ~n =
+  let m = machine t in
+  if pos + n > st.total then invalid_arg "Engine.stream_read: beyond message end";
+  let rec walk segs i seg_start pos boff n =
+    if n > 0 then begin
+      let seg = segs.(i) in
+      let seg_len = match seg with Gen s -> String.length s | Payload p -> p.len in
+      if pos >= seg_start + seg_len then
+        walk segs (i + 1) (seg_start + seg_len) pos boff n
+      else begin
+        let off_in_seg = pos - seg_start in
+        let take = min n (seg_len - off_in_seg) in
+        (match seg with
+        | Gen src ->
+            Bytes.blit_string src off_in_seg block boff take;
+            Machine.compute m ((take + 3) / 4)
+        | Payload p ->
+            let addr = p.addr + off_in_seg in
+            let words = take / 4 in
+            for k = 0 to words - 1 do
+              Machine.read m ~addr:(addr + (k * 4)) ~size:4;
+              Machine.compute m 1
+            done;
+            for k = words * 4 to take - 1 do
+              Machine.read m ~addr:(addr + k) ~size:1;
+              Machine.compute m 1
+            done;
+            Bytes.blit (Mem.peek_bytes (mem t) ~pos:addr ~len:take) 0 block boff take);
+        walk segs i seg_start (pos + take) (boff + take) (n - take)
+      end
+    end
+  in
+  walk st.segs 0 0 pos boff n
+
+(* ------------------------------------------------------------------ *)
+(* Send *)
+
+type prepared = {
+  len : int;
+  fill : Mem.t -> dst:int -> Internet.acc option;
+}
+
+type body_segment = Seg_gen of string | Seg_app of { addr : int; len : int }
+
+let internal_seg = function
+  | Seg_gen s -> Gen s
+  | Seg_app { addr; len } -> Payload { addr; len }
+
+let make_stream_of_segments t body =
+  let body_len =
+    List.fold_left
+      (fun acc -> function
+        | Seg_gen s -> acc + String.length s
+        | Seg_app { len; _ } -> acc + len)
+      0 body
+  in
+  let plan = Parts.plan ~body_len () in
+  if plan.Parts.total > t.max_message then
+    invalid_arg
+      (Printf.sprintf "Engine.prepare_send: message of %d bytes exceeds maximum %d"
+         plan.Parts.total t.max_message);
+  let enc_len = Parts.length_field plan in
+  let total = plan.Parts.total in
+  let body_segs = List.map internal_seg body in
+  let segs =
+    match t.header_style with
+    | Leading ->
+        Array.of_list
+          ((Gen (u32_be enc_len) :: body_segs)
+          @ [ Gen (String.make plan.Parts.alignment '\000') ])
+    | Trailer ->
+        (* Length field at the end: padding precedes it so the field sits
+           in the last word of the final block. *)
+        let pad = total - 4 - body_len in
+        Array.of_list (body_segs @ [ Gen (String.make pad '\000'); Gen (u32_be enc_len) ])
+  in
+  (plan, { segs; total })
+
+let make_stream t ~prefix ~payload_addr ~payload_len =
+  if String.length prefix mod 4 <> 0 then
+    invalid_arg "Engine.prepare_send: prefix must be a multiple of 4 bytes";
+  make_stream_of_segments t
+    [ Seg_gen prefix; Seg_app { addr = payload_addr; len = payload_len } ]
+
+(* ILP send: parts B, C, A, each through marshal+encrypt with the checksum
+   tap on the ciphertext; the per-part accumulators are recombined in
+   positional order A-B-C afterwards (legal: the Internet checksum is not
+   ordering-constrained). *)
+let fill_ilp t plan st ~dst =
+  let bl = block_len t in
+  let acc_a = ref Internet.empty
+  and acc_b = ref Internet.empty
+  and acc_c = ref Internet.empty in
+  let block = Bytes.create bl in
+  let stages = [ t.marshal_dmf; t.encrypt_dmf ] in
+  let part site cell (off, len) =
+    if len > 0 then begin
+      let spec =
+        Pipeline.spec ~read_unit:4 ?write_pattern:(send_pattern t)
+          ~linkage:t.linkage ~loop_code:t.send_loops.(site)
+          ~tap:(checksum_tap t cell) ~tap_position:Pipeline.Tap_output stages
+      in
+      let pos = ref off in
+      while !pos < off + len do
+        Machine.compute (machine t) 1;
+        stream_read t st block ~boff:0 ~pos:!pos ~n:bl;
+        Pipeline.process_block t.sim spec block ~off:0 ~len:bl ~dst:(dst + !pos);
+        pos := !pos + bl
+      done
+    end
+  in
+  (match t.header_style with
+  | Leading ->
+      part 0 acc_b (Parts.part_b plan);
+      part 1 acc_c (Parts.part_c plan);
+      part 1 acc_a (Parts.part_a plan)
+  | Trailer ->
+      (* No dependencies point forward: one sequential pass. *)
+      part 0 acc_b (0, plan.Parts.total));
+  (* Positional recombination A ++ B ++ C (all empty but B for trailer). *)
+  let _, len_b = Parts.part_b plan in
+  let _, len_c = Parts.part_c plan in
+  let len_b = match t.header_style with Leading -> len_b | Trailer -> plan.Parts.total in
+  let len_c = match t.header_style with Leading -> len_c | Trailer -> 0 in
+  let acc = Internet.combine !acc_a !acc_b ~len_b in
+  let acc = Internet.combine acc !acc_c ~len_b:len_c in
+  Some acc
+
+(* Separate send: marshal into the intermediate buffer (figure 3 steps 1),
+   encrypt in place (step 2), copy into the TCP ring (step 3, tcp_send);
+   the checksum pass (step 4) is TCP's, signalled by returning [None]. *)
+let fill_separate t st ~dst =
+  let m = machine t in
+  let buf = t.marshal_buf in
+  (* Marshalling pass: generate/read the stream, write words. *)
+  Machine.exec m t.marshal_dmf.Dmf.code;
+  let word = Bytes.create 4 in
+  let pos = ref 0 in
+  while !pos < st.total do
+    Machine.compute m 1;
+    stream_read t st word ~boff:0 ~pos:!pos ~n:4;
+    t.marshal_dmf.Dmf.transform word 0;
+    Machine.write m ~addr:(buf + !pos) ~size:4;
+    Machine.compute m 1;
+    Mem.poke_bytes (mem t) ~pos:(buf + !pos) word;
+    pos := !pos + 4
+  done;
+  (* Encryption pass, in place: a byte-oriented cipher loads and stores
+     single bytes (the lines are resident from the marshalling pass, so
+     these accesses hit — the paper's observation that a careful non-ILP
+     implementation has good cache behaviour). *)
+  let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
+  Pipeline.run_pass t.sim t.encrypt_dmf ~read_unit:cipher_unit
+    ~write_unit:cipher_unit ~src:buf ~dst:buf ~len:st.total ();
+  (* tcp_send: copy into the ring buffer. *)
+  Mem.blit (mem t) ~src:buf ~dst ~len:st.total ~unit_len:4;
+  None
+
+let prepared_of_stream t (plan, st) =
+  let fill _mem ~dst =
+    match t.mode with
+    | Ilp -> fill_ilp t plan st ~dst
+    | Separate -> fill_separate t st ~dst
+  in
+  { len = st.total; fill }
+
+let prepare_send t ~prefix ~payload_addr ~payload_len =
+  prepared_of_stream t (make_stream t ~prefix ~payload_addr ~payload_len)
+
+let prepare_send_segments t body =
+  prepared_of_stream t (make_stream_of_segments t body)
+
+(* ------------------------------------------------------------------ *)
+(* Receive *)
+
+let check_rx_len t ~len =
+  if len mod block_len t <> 0 then
+    invalid_arg "Engine.rx: segment length not a multiple of the cipher block";
+  if len > t.max_message then invalid_arg "Engine.rx: segment exceeds maximum"
+
+(* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
+   place on the staging area, then unmarshal-and-copy to the application
+   area in words. *)
+let rx_separate t _mem ~src ~len =
+  check_rx_len t ~len;
+  let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
+  Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
+    ~write_unit:cipher_unit ~src ~dst:src ~len ();
+  Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
+    ~dst:t.app_rx ~len ()
+
+(* Integrated receive (figure 5 right): checksum the ciphertext, decrypt
+   and unmarshal in one loop, storing plaintext to the application area in
+   the cipher's natural store width. *)
+let rx_integrated t _mem ~src ~len =
+  check_rx_len t ~len;
+  let cell = ref Internet.empty in
+  let spec =
+    Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
+      ~loop_code:t.recv_loop ~tap:(checksum_tap t cell)
+      ~tap_position:Pipeline.Tap_input
+      [ t.decrypt_dmf; t.unmarshal_dmf ]
+  in
+  Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+  !cell
+
+(* Deferred ("close to the application") manipulation for the Late
+   placement of section 3.2.3: the fused decrypt+unmarshal loop runs at
+   delivery time, after TCP has already checksummed and accepted the
+   segment.  The paper's TCP delayed acknowledgements instead of paying a
+   second pass; ours refuses to roll back control state, so the Late
+   placement buys the extra checksum pass — quantifying why the authors
+   chose the early placement. *)
+let rx_late t _mem ~src ~len =
+  check_rx_len t ~len;
+  let spec =
+    Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
+      ~loop_code:t.recv_loop
+      [ t.decrypt_dmf; t.unmarshal_dmf ]
+  in
+  Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len
+
+type rx_style =
+  | Rx_integrated_style of
+      (Mem.t -> src:int -> len:int -> Internet.acc)
+  | Rx_deferred_style of (Mem.t -> src:int -> len:int -> unit)
+
+let rx_style t =
+  match (t.mode, t.rx_placement) with
+  | Ilp, Early -> Rx_integrated_style (rx_integrated t)
+  | Ilp, Late -> Rx_deferred_style (rx_late t)
+  | Separate, _ -> Rx_deferred_style (rx_separate t)
+
+let read_plaintext t ~len =
+  let m = machine t in
+  (* The application reads the length field and the RPC header words
+     (charged), then the stub decodes the message. *)
+  let enc_len =
+    match t.header_style with
+    | Leading -> Mem.get_u32 (mem t) t.app_rx
+    | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
+  in
+  Machine.compute m 2;
+  let hdr_words = min 6 ((len - 4) / 4) in
+  for i = 0 to hdr_words - 1 do
+    ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
+    Machine.compute m 1
+  done;
+  if enc_len < 4 || enc_len > len then
+    invalid_arg (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len);
+  Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len)

@@ -1,0 +1,151 @@
+(** The integrated protocol engine: marshalling + encryption + checksum +
+    TCP buffer transfer, in either of the paper's two implementation
+    styles.
+
+    One [t] is a configured data-manipulation stack bound to a simulated
+    machine.  The send side produces a closure suitable for
+    [Ilp_tcp.Socket.send_message]'s [fill] argument; the receive side
+    provides the two manipulation callbacks matching
+    [Ilp_tcp.Socket.rx_processing].
+
+    {2 Wire format (figure 2 of the paper)}
+
+    {v
+    +-------------------+----------------------------+-----------+
+    | length field (4B) | marshalled message (XDR)   | alignment |
+    +-------------------+----------------------------+-----------+
+    <------------------ encrypted, 8-byte aligned ---------------->
+    v}
+
+    The marshalled message is [prefix ^ payload]: the prefix holds the
+    RPC header and XDR framing words (built by the stub compiler), the
+    payload bytes come straight from application memory.
+
+    {2 The two styles}
+
+    [`Separate] (figure 3 left / figure 5 left): marshal into an
+    intermediate buffer (read app memory, write buffer), encrypt in place
+    (read, write), copy into the TCP ring (read, write); TCP then
+    checksums the ring (read) — four read passes and three write passes
+    over the message.  On receive: TCP checksums the staging area, then
+    decryption in place, then unmarshal-and-copy to application memory.
+
+    [`Ilp] (right columns): one loop reads application memory, marshals,
+    encrypts and checksums in registers, and writes ciphertext into the
+    TCP ring; the message parts are processed in the B, C, A order of
+    {!Parts} so the encrypted length field can be completed last.  On
+    receive one loop checksums, decrypts and unmarshals while copying
+    from the staging area to application memory. *)
+
+type mode = Ilp | Separate
+
+(** Where the encrypted length field lives (section 5 of the paper):
+    [Leading] is the measured system — the field precedes the message, so
+    the ILP send loop must process parts in B, C, A order (two macro
+    expansion sites: the bulk loop and a shared single-block tail);
+    [Trailer] places it last ("trailers for data dependent fields could
+    simplify ILP processing"), allowing one sequential expansion. *)
+type header_style = Leading | Trailer
+
+(** Where the receive-side manipulations run (section 3.2.3): [Early] is
+    directly after the system copy, integrated with the checksum (the
+    paper's choice — errors are known before TCP control processing);
+    [Late] is close to the application, after TCP has checksummed and
+    accepted the segment itself. *)
+type rx_placement = Early | Late
+
+type t
+
+(** [create sim ~cipher ~mode ()] builds a stack.
+
+    [linkage] (default [Macro]) selects inlined versus function-call
+    manipulation code (section 3.2.1).  [max_message] (default 2048)
+    bounds the wire size of one message.  [coalesce_writes] (default
+    false) applies the section 2.2 remedy — size every store to the
+    exchange unit instead of the cipher's natural store width (the A2
+    ablation). *)
+val create :
+  Ilp_memsim.Sim.t ->
+  cipher:Ilp_cipher.Block_cipher.t ->
+  mode:mode ->
+  ?linkage:Linkage.t ->
+  ?max_message:int ->
+  ?coalesce_writes:bool ->
+  ?header_style:header_style ->
+  ?rx_placement:rx_placement ->
+  ?uniform_units:bool ->
+  unit ->
+  t
+(** [uniform_units] widens the marshalling unit to the cipher block
+    (section 5's "uniform processing unit sizes"). *)
+
+val mode : t -> mode
+val header_style : t -> header_style
+val rx_placement : t -> rx_placement
+val sim : t -> Ilp_memsim.Sim.t
+
+(** [wire_len t ~prefix_len ~payload_len] is the encrypted on-the-wire
+    length of such a message (8-byte aligned, length field included). *)
+val wire_len : t -> prefix_len:int -> payload_len:int -> int
+
+type prepared = {
+  len : int;  (** wire length, pass to [Socket.send_message] *)
+  fill :
+    Ilp_memsim.Mem.t -> dst:int -> Ilp_checksum.Internet.acc option;
+      (** writes the encrypted message at [dst]; returns the payload
+          checksum in ILP mode, [None] in separate mode *)
+}
+
+(** [prepare_send t ~prefix ~payload_addr ~payload_len] stages one
+    message.  [prefix] must be a multiple of 4 bytes (XDR words); the
+    payload is read from simulated memory.  Raises [Invalid_argument]
+    when the message exceeds [max_message]. *)
+val prepare_send :
+  t -> prefix:string -> payload_addr:int -> payload_len:int -> prepared
+
+(** A piece of the marshalled message body: bytes generated in registers
+    by the stub code, or a run of application memory the ILP loop reads in
+    place.  This is the interface the ILP-extended stub compiler
+    ([Ilp_codec.Stub_ilp]) produces. *)
+type body_segment = Seg_gen of string | Seg_app of { addr : int; len : int }
+
+(** [prepare_send_segments t body] stages a message with an arbitrary
+    interleaving of generated and memory-resident runs — the general form
+    of {!prepare_send} (which is the two-segment special case).  The
+    encryption length field and alignment are added per the engine's
+    header style. *)
+val prepare_send_segments : t -> body_segment list -> prepared
+
+(** Receive-side manipulation for [Rx_separate]: decrypt the staged
+    segment in place and unmarshal-copy the plaintext to the application
+    area. *)
+val rx_separate : t -> Ilp_memsim.Mem.t -> src:int -> len:int -> unit
+
+(** Receive-side manipulation for [Rx_integrated]: one fused pass; the
+    plaintext lands in the application area and the ciphertext checksum
+    accumulator is returned for TCP's accept/reject decision. *)
+val rx_integrated :
+  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc
+
+(** Deferred fused decrypt+unmarshal for the [Late] placement (no
+    checksum tap: TCP has already verified the segment). *)
+val rx_late : t -> Ilp_memsim.Mem.t -> src:int -> len:int -> unit
+
+(** How a TCP socket should be wired for this engine's mode and
+    placement: an integrated handler that returns the payload checksum,
+    or a deferred handler run after TCP's own checksum pass. *)
+type rx_style =
+  | Rx_integrated_style of
+      (Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
+  | Rx_deferred_style of (Ilp_memsim.Mem.t -> src:int -> len:int -> unit)
+
+val rx_style : t -> rx_style
+
+(** Where receive-side plaintext is placed ([length field ^ marshalled
+    message ^ alignment]). *)
+val app_rx_base : t -> int
+
+(** Decode the plaintext at {!app_rx_base}: charged read of the length
+    field and prefix words, then the marshalled bytes as a string
+    (peeked — the caller's stub does the pure decode). *)
+val read_plaintext : t -> len:int -> string

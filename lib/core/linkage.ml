@@ -1,0 +1,10 @@
+type t = Macro | Function_calls of int
+
+let default_call_ops = 15
+let function_calls = Function_calls default_call_ops
+let call_ops = function Macro -> 0 | Function_calls n -> n
+
+let code_scale t ~expansion_sites len =
+  match t with
+  | Macro -> len * expansion_sites
+  | Function_calls _ -> len

@@ -1,0 +1,83 @@
+(** The two implementation styles the paper compares, over the same DMF
+    kernels.
+
+    {!run_pass} is the conventional layered style: one manipulation walks a
+    whole buffer, reading and writing memory in its own unit size; a stack
+    is a sequence of such passes with intermediate buffers.
+
+    {!run_fused} is the ILP loop: one pass reads each exchange unit
+    ([Le = LCM] of all stage units) once, applies every stage while the
+    data sits in registers, lets an optional tap observe the stream (the
+    TCP checksum), and writes the result once.  The store width of the
+    final write is explicit because it is a property of the fused code the
+    macro processor emits — a byte-oriented cipher at the end of the chain
+    stores bytes, and section 2.2's write-miss arithmetic follows from
+    that. *)
+
+type tap_position =
+  | Tap_input  (** observe the raw block before any stage (receive side:
+                   the checksum covers the ciphertext) *)
+  | Tap_output  (** observe the final block (send side: the checksum
+                    covers what goes into the TCP buffer) *)
+
+type spec = {
+  stages : Dmf.t list;
+  read_unit : int;  (** access width used to load the exchange unit *)
+  write_unit : int;  (** access width used to store the result *)
+  write_pattern : int list option;
+      (** explicit store schedule per exchange unit (e.g. [[4; 2; 1; 1]]
+          for a partially coalesced byte-oriented cipher output); when
+          present it overrides [write_unit] and must sum to a divisor of
+          the block length *)
+  linkage : Linkage.t;
+  loop_code : Ilp_memsim.Code.region;
+      (** footprint of the fused loop's glue (tests, address updates) *)
+  tap : (Bytes.t -> off:int -> len:int -> unit) option;
+  tap_position : tap_position;
+}
+
+(** [spec ~stages ...] with defaults: [read_unit = 4], [write_unit] = LCM
+    of stage units, [linkage = Macro], no tap, [loop_code = none]. *)
+val spec :
+  ?read_unit:int ->
+  ?write_unit:int ->
+  ?write_pattern:int list ->
+  ?linkage:Linkage.t ->
+  ?loop_code:Ilp_memsim.Code.region ->
+  ?tap:(Bytes.t -> off:int -> len:int -> unit) ->
+  ?tap_position:tap_position ->
+  Dmf.t list ->
+  spec
+
+(** The exchange unit [Le] of the spec's stages. *)
+val exchange_len : spec -> int
+
+(** [process_block sim spec block ~off ~len ~dst] runs the fused stages on
+    a register-resident block (an [Le] multiple) and stores it at [dst]
+    with charged [write_unit] stores.  Loading the block is the caller's
+    business — message parts assembled from generated header words use
+    this directly. *)
+val process_block :
+  Ilp_memsim.Sim.t -> spec -> Bytes.t -> off:int -> len:int -> dst:int -> unit
+
+(** [run_fused sim spec ~src ~dst ~len] is the ILP loop over a memory
+    region: charged [read_unit] loads, fused stages, charged [write_unit]
+    stores.  [len] must be a multiple of the exchange unit.  [src] and
+    [dst] may coincide. *)
+val run_fused : Ilp_memsim.Sim.t -> spec -> src:int -> dst:int -> len:int -> unit
+
+(** [run_pass sim dmf ~src ~dst ~len] is one conventional pass: per
+    processing unit, a charged load of [read_unit] accesses, the
+    transform, and a charged store of [write_unit] accesses ([dst] may
+    equal [src] for in-place manipulation like decryption).  [len] must be
+    a multiple of the DMF's unit. *)
+val run_pass :
+  Ilp_memsim.Sim.t ->
+  Dmf.t ->
+  ?read_unit:int ->
+  ?write_unit:int ->
+  src:int ->
+  dst:int ->
+  len:int ->
+  unit ->
+  unit

@@ -1,0 +1,22 @@
+let rec gcd a b =
+  if a < 0 || b < 0 then invalid_arg "Units.gcd: negative argument"
+  else if b = 0 then a
+  else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+
+let exchange_unit ?bus_width lens =
+  if lens = [] then invalid_arg "Units.exchange_unit: no unit lengths";
+  List.iter
+    (fun l -> if l <= 0 then invalid_arg "Units.exchange_unit: non-positive length")
+    lens;
+  let le = List.fold_left lcm 1 lens in
+  match bus_width with
+  | None -> le
+  | Some w ->
+      if w <= 0 then invalid_arg "Units.exchange_unit: non-positive bus width";
+      lcm le w
+
+let aligned n ~unit_len =
+  if unit_len <= 0 then invalid_arg "Units.aligned: non-positive unit";
+  (n + unit_len - 1) / unit_len * unit_len

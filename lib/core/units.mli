@@ -1,0 +1,21 @@
+(** Processing-unit arithmetic (section 2.2 of the paper).
+
+    Different manipulation functions work in different unit sizes — XDR
+    marshalling in 4-byte words, block encryption in 8-byte blocks, the
+    Internet checksum in 2-byte words.  When data passes between functions
+    the exchanged unit should be [Le = LCM (Lx, Ly)] (optionally also a
+    multiple of the memory-bus width [Ls]) so that no function is forced to
+    issue more memory operations than necessary. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor; [gcd 0 n = n].  Arguments must be >= 0. *)
+
+val lcm : int -> int -> int
+
+(** [exchange_unit ?bus_width lens] is the least common multiple of all the
+    unit lengths (and of [bus_width] when given) — the paper's [Le].
+    Raises [Invalid_argument] on an empty list or non-positive lengths. *)
+val exchange_unit : ?bus_width:int -> int list -> int
+
+(** [aligned n ~unit] rounds [n] up to a multiple of [unit]. *)
+val aligned : int -> unit_len:int -> int

@@ -1,0 +1,123 @@
+type write_policy = Write_back | Write_through
+
+type config = {
+  size : int;
+  line : int;
+  assoc : int;
+  write_policy : write_policy;
+  write_allocate : bool;
+}
+
+let direct_mapped ~size ~line =
+  { size; line; assoc = 1; write_policy = Write_back; write_allocate = true }
+
+let set_associative ~size ~line ~assoc =
+  { size; line; assoc; write_policy = Write_back; write_allocate = true }
+
+type t = {
+  cfg : config;
+  sets : int;
+  line_shift : int;
+  (* Way state, indexed [set * assoc + way]. *)
+  tags : int array;
+  valid : bool array;
+  dirty : bool array;
+  age : int array; (* larger = more recently used *)
+  mutable tick : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create cfg =
+  if not (is_power_of_two cfg.line) then invalid_arg "Cache.create: line size";
+  if cfg.assoc < 1 then invalid_arg "Cache.create: associativity";
+  if cfg.size mod (cfg.line * cfg.assoc) <> 0 then
+    invalid_arg "Cache.create: size not divisible by line*assoc";
+  let sets = cfg.size / (cfg.line * cfg.assoc) in
+  let ways = sets * cfg.assoc in
+  { cfg;
+    sets;
+    line_shift = log2 cfg.line;
+    tags = Array.make ways 0;
+    valid = Array.make ways false;
+    dirty = Array.make ways false;
+    age = Array.make ways 0;
+    tick = 0 }
+
+let config t = t.cfg
+
+type outcome = { hit : bool; writeback : bool; filled : bool }
+
+let locate t addr =
+  let block = addr lsr t.line_shift in
+  let set = block mod t.sets in
+  let tag = block / t.sets in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.cfg.assoc in
+  let rec go w =
+    if w = t.cfg.assoc then None
+    else if t.valid.(base + w) && t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+(* Victim selection: an invalid way if any, otherwise the least recently
+   used one. *)
+let victim_way t set =
+  let base = set * t.cfg.assoc in
+  let best = ref base in
+  let best_key = ref max_int in
+  for w = 0 to t.cfg.assoc - 1 do
+    let i = base + w in
+    let key = if t.valid.(i) then t.age.(i) else min_int + w in
+    if key < !best_key then begin
+      best := i;
+      best_key := key
+    end
+  done;
+  !best
+
+let touch t i =
+  t.tick <- t.tick + 1;
+  t.age.(i) <- t.tick
+
+let access t ~addr ~write =
+  let set, tag = locate t addr in
+  match find_way t set tag with
+  | Some i ->
+      touch t i;
+      if write then begin
+        match t.cfg.write_policy with
+        | Write_back -> t.dirty.(i) <- true
+        | Write_through -> ()
+      end;
+      { hit = true; writeback = false; filled = false }
+  | None ->
+      if write && not t.cfg.write_allocate then
+        (* Store-around: the write goes straight to the next level. *)
+        { hit = false; writeback = false; filled = false }
+      else begin
+        let i = victim_way t set in
+        let writeback = t.valid.(i) && t.dirty.(i) in
+        t.tags.(i) <- tag;
+        t.valid.(i) <- true;
+        t.dirty.(i) <- (write && t.cfg.write_policy = Write_back);
+        touch t i;
+        { hit = false; writeback; filled = true }
+      end
+
+let present t ~addr =
+  let set, tag = locate t addr in
+  match find_way t set tag with Some _ -> true | None -> false
+
+let flush t =
+  Array.fill t.valid 0 (Array.length t.valid) false;
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+
+let line_size t = t.cfg.line

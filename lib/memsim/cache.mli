@@ -1,0 +1,52 @@
+(** Set-associative cache model with true-LRU replacement.
+
+    Models a single cache level as tag state only — data contents live in
+    {!Mem}; the cache decides hit/miss and eviction.  Both the SuperSPARC
+    caches (16 KB 4-way data, 20 KB 5-way instruction) and the Alpha 21064
+    caches (8 KB direct-mapped) are instances. *)
+
+type write_policy = Write_back | Write_through
+
+type config = {
+  size : int;            (** total capacity in bytes *)
+  line : int;            (** line size in bytes, a power of two *)
+  assoc : int;           (** ways per set; [size / (line * assoc)] sets *)
+  write_policy : write_policy;
+  write_allocate : bool; (** allocate a line on a write miss *)
+}
+
+(** [direct_mapped ~size ~line] is a convenience write-back, write-allocate
+    direct-mapped configuration. *)
+val direct_mapped : size:int -> line:int -> config
+
+val set_associative : size:int -> line:int -> assoc:int -> config
+
+type t
+
+(** Raises [Invalid_argument] if the geometry is inconsistent (sizes not
+    powers of two, or [size] not divisible by [line * assoc]). *)
+val create : config -> t
+
+val config : t -> config
+
+type outcome = {
+  hit : bool;
+  writeback : bool;
+  (** a dirty line was evicted and must be written to the next level *)
+  filled : bool;
+  (** the access allocated a line (miss with allocate), so the next level
+      must be read to fill it *)
+}
+
+(** [access t ~addr ~write] touches the single line containing [addr].
+    The caller is responsible for splitting accesses that straddle lines. *)
+val access : t -> addr:int -> write:bool -> outcome
+
+(** [present t ~addr] reports whether the line holding [addr] is resident,
+    without updating LRU state. *)
+val present : t -> addr:int -> bool
+
+(** Invalidate every line (loses dirtiness; used between experiments). *)
+val flush : t -> unit
+
+val line_size : t -> int

@@ -1,0 +1,22 @@
+(** Code regions for instruction-cache modelling.
+
+    Every data-manipulation function owns a region in a dedicated
+    instruction address space.  Executing the function on one processing
+    unit "fetches" its region through the instruction cache, so a fused
+    ILP loop — which interleaves all its stages' regions on every unit —
+    thrashes a small direct-mapped instruction cache while the non-ILP
+    implementation runs each region hot for a whole buffer pass. *)
+
+type region = private { base : int; len : int }
+
+type allocator
+
+val allocator : unit -> allocator
+
+(** [alloc a ~len] reserves [len] contiguous bytes of instruction space.
+    Regions never overlap within an allocator. *)
+val alloc : allocator -> len:int -> region
+
+(** A zero-length region: executing it touches no instruction lines.
+    Used for stages whose footprint is folded into another stage's. *)
+val none : region

@@ -1,0 +1,67 @@
+(** Hardware descriptions of the seven workstations used in the paper's
+    evaluation, plus a way to build custom machines.
+
+    Geometry sources: the paper's introduction (16 KB data / 20 KB
+    instruction first-level caches on SuperSPARC, 8 KB data and instruction
+    caches on the Alpha 21064, 512 KB second-level cache on the
+    AXP 3000/500) and the machines' published data sheets.  Latencies are
+    stored in nanoseconds so that the cycle cost scales with the clock, as
+    it did historically: the same DRAM served a 36 MHz SPARC and a 200 MHz
+    Alpha. *)
+
+type t = {
+  name : string;
+  clock_mhz : float;
+  l1d : Cache.config;
+  l1i : Cache.config;
+  l2 : Cache.config option;  (** [None] models the SS10-30 *)
+  l1_hit_ns : float;         (** first-level hit latency *)
+  l2_hit_ns : float;         (** second-level hit latency *)
+  mem_ns : float;            (** main-memory access latency *)
+  store_buffer_ns : float;
+  (** amortised cost of a store that misses a no-write-allocate cache and
+      drains through the write buffer (much cheaper than a read miss, but
+      not free — this is why byte-wise stores into uncached areas hurt) *)
+  compute_scale : float;
+  (** cycles charged per abstract ALU operation; models issue width *)
+}
+
+val ss10_30 : t
+val ss10_41 : t
+val ss10_51 : t
+val ss20_60 : t
+val axp3000_500 : t
+val axp3000_600 : t
+val axp3000_800 : t
+
+(** The seven paper machines, in the order of the paper's Table 1. *)
+val all : t list
+
+(** The four machines of the paper's figures 9 and 10. *)
+val figure9 : t list
+
+val by_name : string -> t option
+
+(** [custom ()] is a small synthetic machine for unit tests: 256-byte
+    2-way L1D with 16-byte lines, 256-byte direct-mapped L1I, no L2,
+    deliberately tiny so that eviction behaviour is easy to provoke. *)
+val custom :
+  ?name:string ->
+  ?clock_mhz:float ->
+  ?l1d:Cache.config ->
+  ?l1i:Cache.config ->
+  ?l2:Cache.config option ->
+  ?l1_hit_ns:float ->
+  ?l2_hit_ns:float ->
+  ?mem_ns:float ->
+  ?store_buffer_ns:float ->
+  ?compute_scale:float ->
+  unit ->
+  t
+
+(** Latencies converted to cycles on this machine's clock (at least 1). *)
+val l1_hit_cycles : t -> int
+
+val l2_hit_cycles : t -> int
+val mem_cycles : t -> int
+val store_buffer_cycles : t -> int

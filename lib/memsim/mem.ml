@@ -1,0 +1,70 @@
+type t = { machine : Machine.t; data : Bytes.t }
+
+let create machine ~size = { machine; data = Bytes.make size '\000' }
+
+let machine t = t.machine
+let size t = Bytes.length t.data
+
+let get_u8 t addr =
+  Machine.read t.machine ~addr ~size:1;
+  Char.code (Bytes.get t.data addr)
+
+let set_u8 t addr v =
+  Machine.write t.machine ~addr ~size:1;
+  Bytes.set t.data addr (Char.chr (v land 0xff))
+
+let get_u16 t addr =
+  Machine.read t.machine ~addr ~size:2;
+  Bytes.get_uint16_be t.data addr
+
+let set_u16 t addr v =
+  Machine.write t.machine ~addr ~size:2;
+  Bytes.set_uint16_be t.data addr (v land 0xffff)
+
+let get_u32 t addr =
+  Machine.read t.machine ~addr ~size:4;
+  Int32.to_int (Bytes.get_int32_be t.data addr) land 0xffffffff
+
+let set_u32 t addr v =
+  Machine.write t.machine ~addr ~size:4;
+  Bytes.set_int32_be t.data addr (Int32.of_int (v land 0xffffffff))
+
+let get_u64 t addr =
+  Machine.read t.machine ~addr ~size:8;
+  Bytes.get_int64_be t.data addr
+
+let set_u64 t addr v =
+  Machine.write t.machine ~addr ~size:8;
+  Bytes.set_int64_be t.data addr v
+
+let blit t ~src ~dst ~len ~unit_len =
+  (match unit_len with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Mem.blit: unit_len");
+  let full = len / unit_len in
+  for i = 0 to full - 1 do
+    let off = i * unit_len in
+    Machine.read t.machine ~addr:(src + off) ~size:unit_len;
+    Machine.write t.machine ~addr:(dst + off) ~size:unit_len;
+    Machine.compute t.machine 1;
+    Bytes.blit t.data (src + off) t.data (dst + off) unit_len
+  done;
+  for off = full * unit_len to len - 1 do
+    Machine.read t.machine ~addr:(src + off) ~size:1;
+    Machine.write t.machine ~addr:(dst + off) ~size:1;
+    Machine.compute t.machine 1;
+    Bytes.set t.data (dst + off) (Bytes.get t.data (src + off))
+  done
+
+let peek_u8 t addr = Char.code (Bytes.get t.data addr)
+let poke_u8 t addr v = Bytes.set t.data addr (Char.chr (v land 0xff))
+let peek_u16 t addr = Bytes.get_uint16_be t.data addr
+let poke_u16 t addr v = Bytes.set_uint16_be t.data addr (v land 0xffff)
+
+let peek_u32 t addr =
+  Int32.to_int (Bytes.get_int32_be t.data addr) land 0xffffffff
+
+let poke_u32 t addr v = Bytes.set_int32_be t.data addr (Int32.of_int (v land 0xffffffff))
+let peek_bytes t ~pos ~len = Bytes.sub t.data pos len
+let poke_bytes t ~pos b = Bytes.blit b 0 t.data pos (Bytes.length b)
+let poke_string t ~pos s = Bytes.blit_string s 0 t.data pos (String.length s)

@@ -1,0 +1,65 @@
+(* A small deterministic splitmix64-style generator so that impairment
+   patterns are reproducible across runs and platforms. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed lxor 0x9e3779b9) }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* Uniform float in [0, 1). *)
+  let float t =
+    let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+    float_of_int bits /. 9007199254740992.0
+end
+
+type t = {
+  clock : Simclock.t;
+  delay_us : float;
+  jitter_us : float;
+  loss_rate : float;
+  dup_rate : float;
+  prng : Prng.t;
+  deliver : Datagram.t -> unit;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let create clock ?(delay_us = 50.0) ?(jitter_us = 0.0) ?(loss_rate = 0.0)
+    ?(dup_rate = 0.0) ?(seed = 42) ~deliver () =
+  if loss_rate < 0.0 || loss_rate > 1.0 then invalid_arg "Link.create: loss_rate";
+  if dup_rate < 0.0 || dup_rate > 1.0 then invalid_arg "Link.create: dup_rate";
+  { clock; delay_us; jitter_us; loss_rate; dup_rate;
+    prng = Prng.create seed; deliver;
+    sent = 0; delivered = 0; dropped = 0; duplicated = 0 }
+
+let enqueue t dgram =
+  let extra = if t.jitter_us > 0.0 then Prng.float t.prng *. t.jitter_us else 0.0 in
+  ignore
+    (Simclock.schedule t.clock ~after:(t.delay_us +. extra) (fun () ->
+         t.delivered <- t.delivered + 1;
+         t.deliver dgram))
+
+let send t dgram =
+  t.sent <- t.sent + 1;
+  if t.loss_rate > 0.0 && Prng.float t.prng < t.loss_rate then
+    t.dropped <- t.dropped + 1
+  else begin
+    enqueue t dgram;
+    if t.dup_rate > 0.0 && Prng.float t.prng < t.dup_rate then begin
+      t.duplicated <- t.duplicated + 1;
+      enqueue t dgram
+    end
+  end
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+let duplicated t = t.duplicated

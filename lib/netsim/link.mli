@@ -1,0 +1,35 @@
+(** A loopback link with programmable impairments.
+
+    The paper ran client and server on the same machine over UDP in
+    loopback mode, so the fault-free configuration is a fixed small delay.
+    Loss, duplication and jitter-induced reordering are provided for the
+    protocol tests (TCP must deliver the exact byte stream under them);
+    all randomness comes from a seeded deterministic generator. *)
+
+type t
+
+(** [create clock ~deliver] builds a link whose packets are handed to
+    [deliver] after [delay_us] (default 50).  [loss_rate], [dup_rate]
+    (defaults 0) are probabilities per packet; [jitter_us] (default 0) adds
+    uniform random extra delay, which reorders packets when larger than the
+    inter-packet gap.  [seed] fixes the random stream. *)
+val create :
+  Simclock.t ->
+  ?delay_us:float ->
+  ?jitter_us:float ->
+  ?loss_rate:float ->
+  ?dup_rate:float ->
+  ?seed:int ->
+  deliver:(Datagram.t -> unit) ->
+  unit ->
+  t
+
+(** [send t dgram] queues a datagram for (possible) delivery. *)
+val send : t -> Datagram.t -> unit
+
+(** Counters for assertions in tests. *)
+val sent : t -> int
+
+val delivered : t -> int
+val dropped : t -> int
+val duplicated : t -> int

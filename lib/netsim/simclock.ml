@@ -1,0 +1,66 @@
+module Key = struct
+  type t = { at : float; seq : int }
+
+  let compare a b =
+    match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+end
+
+module Events = Map.Make (Key)
+
+type t = {
+  mutable now : float;
+  mutable events : (unit -> unit) Events.t;
+  mutable next_seq : int;
+}
+
+type timer = { clock : t; key : Key.t; mutable live : bool }
+
+let create () = { now = 0.0; events = Events.empty; next_seq = 0 }
+let now t = t.now
+
+let schedule t ~after f =
+  let at = t.now +. Float.max 0.0 after in
+  let key = { Key.at; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.events <- Events.add key f t.events;
+  { clock = t; key; live = true }
+
+let cancel timer =
+  if timer.live then begin
+    timer.live <- false;
+    timer.clock.events <- Events.remove timer.key timer.clock.events
+  end
+
+let is_pending timer = timer.live && Events.mem timer.key timer.clock.events
+
+let fire_next t =
+  match Events.min_binding_opt t.events with
+  | None -> false
+  | Some (key, f) ->
+      t.events <- Events.remove key t.events;
+      t.now <- Float.max t.now key.Key.at;
+      f ();
+      true
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Simclock.advance: negative step";
+  let horizon = t.now +. dt in
+  let rec loop () =
+    match Events.min_binding_opt t.events with
+    | Some (key, f) when key.Key.at <= horizon ->
+        t.events <- Events.remove key t.events;
+        t.now <- Float.max t.now key.Key.at;
+        f ();
+        loop ()
+    | Some _ | None -> t.now <- horizon
+  in
+  loop ()
+
+let run_until_idle ?(max_events = 1_000_000) t =
+  let fired = ref 0 in
+  while fire_next t do
+    incr fired;
+    if !fired > max_events then failwith "Simclock.run_until_idle: event livelock"
+  done
+
+let pending t = Events.cardinal t.events

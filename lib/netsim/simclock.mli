@@ -1,0 +1,35 @@
+(** Virtual time and timers for the simulated network.
+
+    Time is measured in microseconds as a float.  Events fire in timestamp
+    order (FIFO among equal timestamps).  The clock only moves when
+    {!advance} or {!run_until_idle} is called, so protocol tests are fully
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time in microseconds. *)
+val now : t -> float
+
+type timer
+
+(** [schedule t ~after f] runs [f] once, [after] microseconds from now
+    (clamped to now for negative values). *)
+val schedule : t -> after:float -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+val is_pending : timer -> bool
+
+(** [advance t dt] moves time forward by [dt] microseconds, firing every
+    event that falls due (including events scheduled by fired events within
+    the window). *)
+val advance : t -> float -> unit
+
+(** [run_until_idle ?max_events t] keeps jumping to the next pending event
+    until none remain.  Raises [Failure] after [max_events] (default
+    1_000_000) firings — a livelock guard for tests. *)
+val run_until_idle : ?max_events:int -> t -> unit
+
+(** Number of pending (uncancelled, unfired) events. *)
+val pending : t -> int

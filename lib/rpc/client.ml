@@ -1,0 +1,87 @@
+module Socket = Ilp_tcp.Socket
+module Engine = Ilp_core.Engine
+
+type transfer = {
+  expected : string;
+  copies : int;
+  mutable received : int array;  (* bytes received per copy *)
+}
+
+type t = {
+  engine : Engine.t;
+  ctrl : Socket.t;
+  data : Socket.t;
+  mutable transfer : transfer option;
+  mutable bytes_received : int;
+  mutable replies_received : int;
+  mutable errors : string list;
+  mutable rejected : bool;
+}
+
+let error t fmt = Printf.ksprintf (fun s -> t.errors <- s :: t.errors) fmt
+
+let handle_reply t ~len =
+  t.replies_received <- t.replies_received + 1;
+  let plaintext = Engine.read_plaintext t.engine ~len in
+  let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+  match Messages.decode_reply ~length_at_end plaintext with
+  | Error e -> error t "undecodable reply: %s" e
+  | Ok (hdr, data) -> (
+      match hdr.Messages.status with
+      | Messages.Not_found | Messages.Refused -> t.rejected <- true
+      | Messages.Ok -> (
+          match t.transfer with
+          | None -> error t "unsolicited reply"
+          | Some tr ->
+              let off = hdr.Messages.file_offset in
+              let copy = hdr.Messages.copy in
+              if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
+              else if off < 0 || off + String.length data > String.length tr.expected
+              then error t "reply out of bounds: offset %d len %d" off (String.length data)
+              else if String.sub tr.expected off (String.length data) <> data then
+                error t "payload mismatch at offset %d (copy %d)" off copy
+              else begin
+                tr.received.(copy) <- tr.received.(copy) + String.length data;
+                t.bytes_received <- t.bytes_received + String.length data
+              end))
+
+let create ~engine ~ctrl ~data =
+  let t =
+    { engine;
+      ctrl;
+      data;
+      transfer = None;
+      bytes_received = 0;
+      replies_received = 0;
+      errors = [];
+      rejected = false }
+  in
+  (match Engine.rx_style engine with
+  | Engine.Rx_integrated_style f -> Socket.set_rx_processing data (Socket.Rx_integrated f)
+  | Engine.Rx_deferred_style f -> Socket.set_rx_processing data (Socket.Rx_separate f));
+  Socket.set_on_message data (fun ~src:_ ~len -> handle_reply t ~len);
+  t
+
+let request_file t ~name ~copies ~max_reply ~expected =
+  t.transfer <- Some { expected; copies; received = Array.make copies 0 };
+  t.bytes_received <- 0;
+  t.replies_received <- 0;
+  t.rejected <- false;
+  let body =
+    Messages.request_segments { Messages.file_name = name; copies; max_reply }
+  in
+  let prepared = Engine.prepare_send_segments t.engine body in
+  Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+
+let transfer_complete t =
+  match t.transfer with
+  | None -> false
+  | Some tr ->
+      (not t.rejected)
+      && t.errors = []
+      && Array.for_all (fun n -> n = String.length tr.expected) tr.received
+
+let bytes_received t = t.bytes_received
+let replies_received t = t.replies_received
+let errors t = List.rev t.errors
+let rejected t = t.rejected

@@ -1,0 +1,39 @@
+(** The file-transfer client.
+
+    Sends a request over the control connection and reassembles the
+    requested copies of the file from the reply stream on the data
+    connection, verifying every payload byte against the expected
+    contents.  Reply processing (decrypt/unmarshal, fused or separate) is
+    configured on the data socket from the engine's mode at creation. *)
+
+type t
+
+val create :
+  engine:Ilp_core.Engine.t ->
+  ctrl:Ilp_tcp.Socket.t ->
+  data:Ilp_tcp.Socket.t ->
+  t
+
+(** [request_file t ~name ~copies ~max_reply ~expected] sends the request;
+    [expected] is the file's true contents, used to verify the replies. *)
+val request_file :
+  t ->
+  name:string ->
+  copies:int ->
+  max_reply:int ->
+  expected:string ->
+  (unit, Ilp_tcp.Socket.send_error) result
+
+(** All [copies] fully received with every byte verified. *)
+val transfer_complete : t -> bool
+
+(** Payload bytes received and verified so far. *)
+val bytes_received : t -> int
+
+val replies_received : t -> int
+
+(** Verification or decoding failures (empty on a clean run). *)
+val errors : t -> string list
+
+(** The server reported Not_found / Refused. *)
+val rejected : t -> bool

@@ -1,0 +1,128 @@
+open Ilp_codec
+
+type request = { file_name : string; copies : int; max_reply : int }
+
+type status = Ok | Not_found | Refused
+
+type reply_header = {
+  status : status;
+  copy : int;
+  file_offset : int;
+  total_len : int;
+  data_len : int;
+}
+
+let request_ty : Asn1.ty =
+  Seq [ ("fileName", Str); ("copies", Int); ("maxReply", Int) ]
+
+let status_names = [| "ok"; "notFound"; "refused" |]
+
+let reply_ty : Asn1.ty =
+  Seq
+    [ ("status", Enum status_names);
+      ("copy", Int);
+      ("fileOffset", Int);
+      ("totalLen", Int);
+      ("data", Opaque) ]
+
+let request_stub = Stub.compile request_ty
+let reply_stub = Stub.compile reply_ty
+
+let status_to_enum = function Ok -> 0 | Not_found -> 1 | Refused -> 2
+
+let status_of_enum = function
+  | 0 -> Some Ok
+  | 1 -> Some Not_found
+  | 2 -> Some Refused
+  | _ -> None
+
+let encode_request r =
+  Stub.marshal request_stub
+    (VSeq [ VStr r.file_name; VInt r.copies; VInt r.max_reply ])
+
+(* The ILP-extended stubs (section 2.1): field layouts compiled from the
+   same descriptions, with the bulk data field left in application memory
+   for the fused loop. *)
+let request_ilp = Stub_ilp.compile request_ty
+let reply_ilp = Stub_ilp.compile reply_ty
+
+let to_engine_segments segs =
+  List.map
+    (function
+      | Stub_ilp.Gen s -> Ilp_core.Engine.Seg_gen s
+      | Stub_ilp.App { addr; len } -> Ilp_core.Engine.Seg_app { addr; len })
+    segs
+
+let request_segments r =
+  match
+    Stub_ilp.layout request_ilp
+      [ Stub_ilp.Immediate (VStr r.file_name);
+        Stub_ilp.Immediate (VInt r.copies);
+        Stub_ilp.Immediate (VInt r.max_reply) ]
+  with
+  | Ok segs -> to_engine_segments segs
+  | Error e -> invalid_arg ("Messages.request_segments: " ^ e)
+
+let reply_segments h ~payload_addr =
+  match
+    Stub_ilp.layout reply_ilp
+      [ Stub_ilp.Immediate (VEnum (status_to_enum h.status));
+        Stub_ilp.Immediate (VInt h.copy);
+        Stub_ilp.Immediate (VInt h.file_offset);
+        Stub_ilp.Immediate (VInt h.total_len);
+        Stub_ilp.From_memory { addr = payload_addr; len = h.data_len } ]
+  with
+  | Ok segs -> to_engine_segments segs
+  | Error e -> invalid_arg ("Messages.reply_segments: " ^ e)
+
+(* Plaintexts are [length field (4B) ^ marshalled message ^ padding]; the
+   length field covers itself plus the marshalled bytes (the XDR padding
+   of a trailing opaque overlaps the 8-byte alignment area, so decoding
+   starts at offset 4 of the padded plaintext and simply does not consume
+   the tail). *)
+let decoder_of_plaintext ~length_at_end plaintext =
+  if String.length plaintext < 8 then Error "plaintext too short"
+  else
+    let b = Bytes.unsafe_of_string plaintext in
+    let pos = if length_at_end then String.length plaintext - 4 else 0 in
+    let enc_len = Int32.to_int (Bytes.get_int32_be b pos) land 0xffff_ffff in
+    if enc_len < 4 || enc_len > String.length plaintext then
+      Error (Printf.sprintf "bad length field %d" enc_len)
+    else Ok (Xdr.Dec.sub plaintext ~pos:(if length_at_end then 0 else 4))
+
+let decode_request ?(length_at_end = false) plaintext =
+  match decoder_of_plaintext ~length_at_end plaintext with
+  | Error _ as e -> e
+  | Ok dec -> (
+      match Stub.unmarshal_from request_stub dec with
+      | VSeq [ VStr file_name; VInt copies; VInt max_reply ] ->
+          Ok { file_name; copies; max_reply }
+      | _ -> Error "request: unexpected shape"
+      | exception Xdr.Dec.Error e -> Error e)
+
+let reply_prefix h =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc (status_to_enum h.status);
+  Xdr.Enc.int32 enc h.copy;
+  Xdr.Enc.int32 enc h.file_offset;
+  Xdr.Enc.int32 enc h.total_len;
+  (* The opaque's length word; the payload bytes follow in the stream. *)
+  Xdr.Enc.uint32 enc h.data_len;
+  Xdr.Enc.contents enc
+
+let decode_reply ?(length_at_end = false) plaintext =
+  match decoder_of_plaintext ~length_at_end plaintext with
+  | Error _ as e -> e
+  | Ok dec -> (
+      match Stub.unmarshal_from reply_stub dec with
+      | VSeq [ VEnum st; VInt copy; VInt file_offset; VInt total_len; VBytes data ]
+        -> (
+          match status_of_enum st with
+          | Some status ->
+              Ok
+                ( { status; copy; file_offset; total_len;
+                    data_len = String.length data },
+                  data )
+          | None -> Error "reply: bad status")
+      | _ -> Error "reply: unexpected shape"
+      | exception Xdr.Dec.Error e -> Error e)

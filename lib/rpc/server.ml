@@ -1,0 +1,131 @@
+module Simclock = Ilp_netsim.Simclock
+module Socket = Ilp_tcp.Socket
+module Engine = Ilp_core.Engine
+module Machine = Ilp_memsim.Machine
+
+type file = { addr : int; len : int }
+
+type segment = { copy : int; offset : int; seg_len : int; file : file }
+
+type t = {
+  clock : Simclock.t;
+  engine : Engine.t;
+  ctrl : Socket.t;
+  data : Socket.t;
+  retry_us : float;
+  files : (string, file) Hashtbl.t;
+  queue : segment Queue.t;
+  mutable draining : bool;
+  mutable replies_sent : int;
+  mutable requests_received : int;
+  mutable probe_before : unit -> unit;
+  mutable probe_after : wire_len:int -> elapsed_us:float -> syscopy_us:float -> unit;
+}
+
+let machine t = (Engine.sim t.engine).Ilp_memsim.Sim.machine
+
+let send_segment t seg =
+  (* The ILP-extended stub lays the reply out: generated header fields,
+     the file bytes left in place for the integrated loop. *)
+  let body =
+    Messages.reply_segments
+      { Messages.status = Messages.Ok;
+        copy = seg.copy;
+        file_offset = seg.offset;
+        total_len = seg.file.len;
+        data_len = seg.seg_len }
+      ~payload_addr:(seg.file.addr + seg.offset)
+  in
+  let prepared = Engine.prepare_send_segments t.engine body in
+  t.probe_before ();
+  let before = Machine.micros (machine t) in
+  ignore (Socket.take_syscopy_send_us t.data);
+  match Socket.send_message t.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill with
+  | Ok () ->
+      let elapsed_us = Machine.micros (machine t) -. before in
+      let syscopy_us = Socket.take_syscopy_send_us t.data in
+      t.replies_sent <- t.replies_sent + 1;
+      t.probe_after ~wire_len:prepared.Engine.len ~elapsed_us ~syscopy_us;
+      `Sent
+  | Error (Socket.Buffer_full | Socket.Window_full | Socket.Not_established) ->
+      `Backpressure
+  | Error Socket.Message_too_big ->
+      (* Configuration error: drop the segment rather than loop forever. *)
+      `Drop
+
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | None -> t.draining <- false
+  | Some seg -> (
+      match send_segment t seg with
+      | `Sent | `Drop ->
+          ignore (Queue.pop t.queue);
+          drain t
+      | `Backpressure ->
+          t.draining <- true;
+          ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t)))
+
+let send_error_reply t =
+  (* A single Not_found reply with no data. *)
+  let body =
+    Messages.reply_segments
+      { Messages.status = Messages.Not_found;
+        copy = 0;
+        file_offset = 0;
+        total_len = 0;
+        data_len = 0 }
+      ~payload_addr:0
+  in
+  let prepared = Engine.prepare_send_segments t.engine body in
+  ignore (Socket.send_message t.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill)
+
+let handle_request t ~len =
+  t.requests_received <- t.requests_received + 1;
+  let plaintext = Engine.read_plaintext t.engine ~len in
+  let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+  match Messages.decode_request ~length_at_end plaintext with
+  | Error _ -> send_error_reply t
+  | Ok req -> (
+      match Hashtbl.find_opt t.files req.Messages.file_name with
+      | None -> send_error_reply t
+      | Some file ->
+          let max_reply = max 16 req.Messages.max_reply in
+          for copy = 0 to req.Messages.copies - 1 do
+            let offset = ref 0 in
+            while !offset < file.len do
+              let seg_len = min max_reply (file.len - !offset) in
+              Queue.add { copy; offset = !offset; seg_len; file } t.queue;
+              offset := !offset + seg_len
+            done
+          done;
+          if not t.draining then drain t)
+
+let create ~clock ~engine ~ctrl ~data ?(retry_us = 150.0) () =
+  let t =
+    { clock;
+      engine;
+      ctrl;
+      data;
+      retry_us;
+      files = Hashtbl.create 4;
+      queue = Queue.create ();
+      draining = false;
+      replies_sent = 0;
+      requests_received = 0;
+      probe_before = (fun () -> ());
+      probe_after = (fun ~wire_len:_ ~elapsed_us:_ ~syscopy_us:_ -> ()) }
+  in
+  (* Requests arrive through the same manipulation stack as any message. *)
+  (match Engine.rx_style engine with
+  | Engine.Rx_integrated_style f -> Socket.set_rx_processing ctrl (Socket.Rx_integrated f)
+  | Engine.Rx_deferred_style f -> Socket.set_rx_processing ctrl (Socket.Rx_separate f));
+  Socket.set_on_message ctrl (fun ~src:_ ~len -> handle_request t ~len);
+  t
+
+let add_file t ~name ~addr ~len = Hashtbl.replace t.files name { addr; len }
+let pending_replies t = Queue.length t.queue
+let replies_sent t = t.replies_sent
+let requests_received t = t.requests_received
+let set_reply_probe t ~before ~after =
+  t.probe_before <- before;
+  t.probe_after <- after

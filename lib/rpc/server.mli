@@ -1,0 +1,46 @@
+(** The file-transfer server.
+
+    Listens for requests on a control connection, segments the requested
+    file into reply messages of at most [max_reply] payload bytes (one
+    TSDU = one TPDU: each reply is one TCP segment) and streams them over
+    the data connection, respecting TCP's window and ring-buffer
+    back-pressure by retrying on the simulated clock — the paper's
+    "if there is not enough TCP buffer, all data manipulations are delayed
+    until there is enough buffer space available again". *)
+
+type t
+
+(** [create ~clock ~engine ~ctrl ~data] wires a server: [ctrl] is the
+    inbound request connection (its receive processing is configured from
+    [engine]'s mode), [data] the outbound reply connection.
+    [retry_us] (default 150) is the back-pressure retry interval. *)
+val create :
+  clock:Ilp_netsim.Simclock.t ->
+  engine:Ilp_core.Engine.t ->
+  ctrl:Ilp_tcp.Socket.t ->
+  data:Ilp_tcp.Socket.t ->
+  ?retry_us:float ->
+  unit ->
+  t
+
+(** [add_file t ~name ~addr ~len] registers a file whose contents live in
+    simulated memory at [addr]. *)
+val add_file : t -> name:string -> addr:int -> len:int -> unit
+
+(** Replies queued but not yet accepted by TCP. *)
+val pending_replies : t -> int
+
+val replies_sent : t -> int
+val requests_received : t -> int
+
+(** [set_reply_probe t ~before ~after] instruments the send path:
+    [before] fires just before each send attempt (snapshot point for
+    attributing memory accesses), [after ~wire_len ~elapsed_us
+    ~syscopy_us] after each successfully queued reply with the simulated
+    time the send path consumed (the paper's "send packet processing")
+    and the portion spent in the user-to-kernel system copy. *)
+val set_reply_probe :
+  t ->
+  before:(unit -> unit) ->
+  after:(wire_len:int -> elapsed_us:float -> syscopy_us:float -> unit) ->
+  unit

@@ -1,0 +1,43 @@
+type entry = { addr : int; len : int; wasted : int (* tail skipped before this entry *) }
+
+type t = {
+  base : int;
+  size : int;
+  mutable head : int;  (* next write offset *)
+  mutable used : int;  (* bytes consumed, including waste *)
+  entries : entry Queue.t;
+}
+
+let create (sim : Ilp_memsim.Sim.t) ~size =
+  if size <= 0 then invalid_arg "Ring.create: size";
+  let base = Ilp_memsim.Alloc.alloc sim.alloc ~align:64 size in
+  { base; size; head = 0; used = 0; entries = Queue.create () }
+
+let size t = t.size
+let available t = t.size - t.used
+
+let reserve t len =
+  if len <= 0 || len > t.size then None
+  else
+    let to_end = t.size - t.head in
+    let wasted = if len <= to_end then 0 else to_end in
+    if t.used + wasted + len > t.size then None
+    else begin
+      let off = if wasted > 0 then 0 else t.head in
+      t.head <- (off + len) mod t.size;
+      t.used <- t.used + wasted + len;
+      Queue.add { addr = t.base + off; len; wasted } t.entries;
+      Some (t.base + off)
+    end
+
+let release t =
+  match Queue.take_opt t.entries with
+  | None -> failwith "Ring.release: empty"
+  | Some e -> t.used <- t.used - e.len - e.wasted
+
+let peek_oldest t =
+  match Queue.peek_opt t.entries with
+  | None -> None
+  | Some e -> Some (e.addr, e.len)
+
+let in_flight t = Queue.length t.entries

@@ -1,0 +1,36 @@
+(** The TCP send (retransmission) ring buffer, in simulated memory.
+
+    "Because TCP uses a ring buffer, to which the data is transferred
+    during the ILP loop, the structure of the TCP buffer must be known
+    during the ILP loop."  Reservations are contiguous: when a message does
+    not fit in the space remaining before the wrap point, that tail is
+    wasted (recorded as padding) and the reservation starts at the buffer
+    base, so a fused loop can always write its message with straight-line
+    addressing.  Space is released strictly FIFO, which matches cumulative
+    acknowledgements. *)
+
+type t
+
+(** [create sim ~size] allocates the ring in [sim]'s data space. *)
+val create : Ilp_memsim.Sim.t -> size:int -> t
+
+val size : t -> int
+
+(** Bytes that can still be reserved (counting the possible wrap waste
+    pessimistically is the caller's concern; this is raw free space). *)
+val available : t -> int
+
+(** [reserve t len] returns the simulated-memory address of a contiguous
+    [len]-byte region, or [None] when it does not fit.  Regions must be
+    released in reservation order. *)
+val reserve : t -> int -> int option
+
+(** [release t] frees the oldest reservation (plus any wrap padding that
+    preceded it).  Raises [Failure] when empty. *)
+val release : t -> unit
+
+(** Oldest reservation's address and length, for retransmission. *)
+val peek_oldest : t -> (int * int) option
+
+(** Number of live reservations. *)
+val in_flight : t -> int

@@ -1,0 +1,35 @@
+type t = {
+  initial_us : float;
+  min_us : float;
+  max_us : float;
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable shift : int;  (* backoff exponent *)
+}
+
+let create ?(initial_us = 500_000.0) ?(min_us = 10_000.0) ?(max_us = 64_000_000.0) () =
+  { initial_us; min_us; max_us; srtt = None; rttvar = 0.0; shift = 0 }
+
+let sample t rtt =
+  (match t.srtt with
+  | None ->
+      t.srtt <- Some rtt;
+      t.rttvar <- rtt /. 2.0
+  | Some srtt ->
+      let err = rtt -. srtt in
+      t.rttvar <- t.rttvar +. ((Float.abs err -. t.rttvar) /. 4.0);
+      t.srtt <- Some (srtt +. (err /. 8.0)));
+  t.shift <- 0
+
+let base_timeout t =
+  match t.srtt with
+  | None -> t.initial_us
+  | Some srtt -> srtt +. (4.0 *. t.rttvar)
+
+let timeout_us t =
+  let v = base_timeout t *. float_of_int (1 lsl t.shift) in
+  Float.min t.max_us (Float.max t.min_us v)
+
+let backoff t = if t.shift < 12 then t.shift <- t.shift + 1
+let reset_backoff t = t.shift <- 0
+let srtt_us t = t.srtt

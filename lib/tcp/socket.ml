@@ -1,0 +1,706 @@
+open Ilp_memsim
+module Simclock = Ilp_netsim.Simclock
+module Datagram = Ilp_netsim.Datagram
+module Ipv4 = Ilp_netsim.Ipv4
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type config = {
+  mss : int;
+  send_buffer : int;
+  recv_window : int;
+  rto_initial_us : float;
+  rto_min_us : float;
+  rto_max_us : float;
+  max_retries : int;
+  control_ops : int;
+  ack_ops : int;
+  blit_unit : int;
+  ack_delay_us : float;
+  dupack_threshold : int;
+  congestion_control : bool;
+}
+
+let default_config =
+  { mss = 1460;
+    send_buffer = 16 * 1024;
+    recv_window = 16 * 1024;
+    rto_initial_us = 3_000.0;
+    rto_min_us = 1_000.0;
+    rto_max_us = 4_000_000.0;
+    max_retries = 8;
+    control_ops = 1200;
+    ack_ops = 150;
+    blit_unit = 4;
+    ack_delay_us = 0.0;
+    dupack_threshold = 3;
+    congestion_control = true }
+
+type rx_processing =
+  | Rx_raw
+  | Rx_separate of (Mem.t -> src:int -> len:int -> unit)
+  | Rx_integrated of (Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
+
+type send_error = Not_established | Message_too_big | Buffer_full | Window_full
+
+type tx_seg = {
+  seq : int;
+  len : int;
+  addr : int;
+  mutable rexmit : bool;
+  mutable sent_at : float;
+}
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+  retransmissions : int;
+  checksum_failures : int;
+  out_of_order : int;
+  duplicates : int;
+  acks_sent : int;
+  ip_errors : int;
+  fast_retransmits : int;
+}
+
+let ooo_slots = 8
+
+type t = {
+  sim : Sim.t;
+  clock : Simclock.t;
+  cfg : config;
+  local_port : int;
+  wire_out : Datagram.t -> unit;
+  ring : Ring.t;
+  hdr_area : int;  (* user-space header build area *)
+  tx_kernel : int;  (* kernel-side outgoing segment buffer *)
+  kernel_rx : int;  (* kernel-side incoming segment buffer *)
+  rx_staging : int;  (* user-space receive buffer *)
+  ooo_base : int;  (* out-of-order stash slots *)
+  code_ctrl : Code.region;  (* TCP control processing (tcp_output/tcp_input) *)
+  code_kernel : Code.region;  (* syscall + kernel datagram path *)
+  ooo_free : bool array;
+  ooo : (int, int * int * int) Hashtbl.t;  (* seq -> slot, base addr, payload len *)
+  mutable st : state;
+  mutable remote_port : int;
+  iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable rcv_nxt : int;
+  mutable peer_window : int;
+  txq : tx_seg Queue.t;
+  mutable rto_timer : Simclock.timer option;
+  rto : Rto.t;
+  mutable retries : int;
+  mutable dupacks : int;
+  mutable fast_retransmits : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable delayed_ack : Simclock.timer option;
+  mutable pending_close : bool;
+  mutable ctl_timer : Simclock.timer option;  (* SYN / FIN retransmission *)
+  mutable ctl_retries : int;
+  mutable rx_proc : rx_processing;
+  mutable on_message : src:int -> len:int -> unit;
+  mutable segments_sent : int;
+  mutable segments_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_delivered : int;
+  mutable retransmissions : int;
+  mutable checksum_failures : int;
+  mutable out_of_order_n : int;
+  mutable duplicates : int;
+  mutable acks_sent : int;
+  mutable ip_errors : int;
+  mutable ip_ident : int;
+  mutable syscopy_send_cycles_us : float;
+}
+
+let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
+  let seg_max = Tcp_header.size + cfg.mss in
+  let ring = Ring.create sim ~size:cfg.send_buffer in
+  let hdr_area = Alloc.alloc sim.alloc ~align:8 Tcp_header.size in
+  let tx_kernel = Alloc.alloc sim.alloc ~align:64 seg_max in
+  let kernel_rx = Alloc.alloc sim.alloc ~align:64 seg_max in
+  let rx_staging = Alloc.alloc sim.alloc ~align:64 seg_max in
+  let ooo_base = Alloc.alloc sim.alloc ~align:64 (ooo_slots * seg_max) in
+  let code_ctrl = Code.alloc sim.code ~len:2048 in
+  let code_kernel = Code.alloc sim.code ~len:3072 in
+  { sim;
+    clock;
+    cfg;
+    local_port;
+    wire_out;
+    ring;
+    hdr_area;
+    tx_kernel;
+    kernel_rx;
+    rx_staging;
+    ooo_base;
+    code_ctrl;
+    code_kernel;
+    ooo_free = Array.make ooo_slots true;
+    ooo = Hashtbl.create 8;
+    st = Closed;
+    remote_port = -1;
+    iss = 100_000 + (local_port * 131);
+    snd_una = 0;
+    snd_nxt = 0;
+    rcv_nxt = 0;
+    peer_window = 0;
+    txq = Queue.create ();
+    rto_timer = None;
+    rto = Rto.create ~initial_us:cfg.rto_initial_us ~min_us:cfg.rto_min_us
+            ~max_us:cfg.rto_max_us ();
+    retries = 0;
+    dupacks = 0;
+    fast_retransmits = 0;
+    cwnd = 2 * cfg.mss;
+    ssthresh = 64 * 1024;
+    delayed_ack = None;
+    pending_close = false;
+    ctl_timer = None;
+    ctl_retries = 0;
+    rx_proc = Rx_raw;
+    on_message = (fun ~src:_ ~len:_ -> ());
+    segments_sent = 0;
+    segments_received = 0;
+    bytes_sent = 0;
+    bytes_delivered = 0;
+    retransmissions = 0;
+    checksum_failures = 0;
+    out_of_order_n = 0;
+    duplicates = 0;
+    acks_sent = 0;
+    ip_errors = 0;
+    ip_ident = local_port * 1000;
+    syscopy_send_cycles_us = 0.0 }
+
+let state t = t.st
+let local_port t = t.local_port
+let set_rx_processing t p = t.rx_proc <- p
+let set_on_message t f = t.on_message <- f
+let bytes_in_flight t = Queue.fold (fun acc seg -> acc + seg.len) 0 t.txq
+let send_space t = Ring.available t.ring
+let congestion_window t = t.cwnd
+
+(* RFC 5681-style reactions, simplified for a message-oriented sender. *)
+let on_congestion_loss t ~timeout =
+  if t.cfg.congestion_control then begin
+    t.ssthresh <- max (bytes_in_flight t / 2) (2 * t.cfg.mss);
+    t.cwnd <- (if timeout then t.cfg.mss else t.ssthresh)
+  end
+
+let on_congestion_ack t =
+  if t.cfg.congestion_control then
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.cfg.mss (* slow start *)
+    else t.cwnd <- t.cwnd + max 1 (t.cfg.mss * t.cfg.mss / t.cwnd)
+      (* congestion avoidance *)
+
+let stats t =
+  { segments_sent = t.segments_sent;
+    segments_received = t.segments_received;
+    bytes_sent = t.bytes_sent;
+    bytes_delivered = t.bytes_delivered;
+    retransmissions = t.retransmissions;
+    checksum_failures = t.checksum_failures;
+    out_of_order = t.out_of_order_n;
+    duplicates = t.duplicates;
+    acks_sent = t.acks_sent;
+    ip_errors = t.ip_errors;
+    fast_retransmits = t.fast_retransmits }
+
+let take_syscopy_send_us t =
+  let v = t.syscopy_send_cycles_us in
+  t.syscopy_send_cycles_us <- 0.0;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Transmission plumbing *)
+
+let machine t = t.sim.Sim.machine
+let mem t = t.sim.Sim.mem
+
+let base_header t ~flags =
+  Tcp_header.make ~seq:t.snd_nxt ~ack:t.rcv_nxt ~flags ~window:t.cfg.recv_window
+    ~src_port:t.local_port ~dst_port:t.remote_port ()
+
+(* Write the finished header to the user header area, system-copy header
+   (and payload, already in the ring at [payload]) into the kernel buffer,
+   and put the resulting datagram on the wire. *)
+let transmit t header ~payload =
+  Machine.exec (machine t) t.code_ctrl;
+  Machine.exec (machine t) t.code_kernel;
+  Tcp_header.write_mem (mem t) ~pos:t.hdr_area header;
+  (* Full tcp_output state processing for data segments; the short path
+     for pure control segments. *)
+  Machine.compute (machine t)
+    (match payload with Some _ -> t.cfg.control_ops | None -> t.cfg.ack_ops);
+  let payload_len = match payload with None -> 0 | Some (_, len) -> len in
+  let before = Machine.micros (machine t) in
+  Mem.blit (mem t) ~src:t.hdr_area ~dst:t.tx_kernel ~len:Tcp_header.size
+    ~unit_len:t.cfg.blit_unit;
+  (match payload with
+  | None -> ()
+  | Some (addr, len) ->
+      Mem.blit (mem t) ~src:addr ~dst:(t.tx_kernel + Tcp_header.size) ~len
+        ~unit_len:t.cfg.blit_unit);
+  t.syscopy_send_cycles_us <-
+    t.syscopy_send_cycles_us +. (Machine.micros (machine t) -. before);
+  let segment =
+    Bytes.unsafe_to_string
+      (Mem.peek_bytes (mem t) ~pos:t.tx_kernel ~len:(Tcp_header.size + payload_len))
+  in
+  (* The kernel part passes the segment to IP (loopback, never
+     fragmented). *)
+  t.ip_ident <- (t.ip_ident + 1) land 0xffff;
+  let ip =
+    Ipv4.make ~ident:t.ip_ident ~src:Ipv4.loopback ~dst:Ipv4.loopback
+      ~payload_len:(String.length segment) ()
+  in
+  t.segments_sent <- t.segments_sent + 1;
+  t.wire_out
+    (Datagram.create ~src_port:t.local_port ~dst_port:t.remote_port
+       ~payload:(Ipv4.encapsulate ip segment))
+
+let send_control t ~flags =
+  let h = base_header t ~flags in
+  let ck =
+    Tcp_header.checksum h ~payload_acc:Ilp_checksum.Internet.empty ~payload_len:0
+  in
+  transmit t { h with checksum = ck } ~payload:None
+
+let send_ack_now t =
+  (match t.delayed_ack with
+  | Some timer ->
+      Simclock.cancel timer;
+      t.delayed_ack <- None
+  | None -> ());
+  t.acks_sent <- t.acks_sent + 1;
+  send_control t ~flags:Tcp_header.ack_flag
+
+(* RFC 1122-style delayed acknowledgement: hold the ack briefly so it can
+   ride on (or be merged with) the next one; every second segment (a
+   pending delayed ack already armed) acknowledges immediately. *)
+let send_ack t =
+  if t.cfg.ack_delay_us <= 0.0 then send_ack_now t
+  else
+    match t.delayed_ack with
+    | Some _ -> send_ack_now t
+    | None ->
+        let timer =
+          Simclock.schedule t.clock ~after:t.cfg.ack_delay_us (fun () ->
+              t.delayed_ack <- None;
+              t.acks_sent <- t.acks_sent + 1;
+              send_control t ~flags:Tcp_header.ack_flag)
+        in
+        t.delayed_ack <- Some timer
+
+(* Control-segment (SYN / SYN-ACK / FIN) retransmission. *)
+let rec arm_ctl_timer t ~flags =
+  Option.iter Simclock.cancel t.ctl_timer;
+  let timer =
+    Simclock.schedule t.clock ~after:(Rto.timeout_us t.rto) (fun () ->
+        if t.ctl_retries >= t.cfg.max_retries then t.st <- Closed
+        else begin
+          t.ctl_retries <- t.ctl_retries + 1;
+          Rto.backoff t.rto;
+          (* Re-send with the sequence number the control segment used. *)
+          let h = base_header t ~flags in
+          let h = { h with seq = t.snd_nxt - 1 } in
+          let ck =
+            Tcp_header.checksum h ~payload_acc:Ilp_checksum.Internet.empty
+              ~payload_len:0
+          in
+          transmit t { h with checksum = ck } ~payload:None;
+          arm_ctl_timer t ~flags
+        end)
+  in
+  t.ctl_timer <- Some timer
+
+let cancel_ctl_timer t =
+  Option.iter Simclock.cancel t.ctl_timer;
+  t.ctl_timer <- None;
+  t.ctl_retries <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission of data segments *)
+
+let rec arm_rto t =
+  Option.iter Simclock.cancel t.rto_timer;
+  if not (Queue.is_empty t.txq) then begin
+    let timer = Simclock.schedule t.clock ~after:(Rto.timeout_us t.rto) (fun () -> on_rto t) in
+    t.rto_timer <- Some timer
+  end
+  else t.rto_timer <- None
+
+and retransmit_oldest t seg =
+  t.retransmissions <- t.retransmissions + 1;
+  seg.rexmit <- true;
+  (* tcp_output for the retransmission: fresh checksum pass over the ring
+     contents, fresh header. *)
+  let h = base_header t ~flags:(Tcp_header.ack_flag lor Tcp_header.psh) in
+  let h = { h with seq = seg.seq } in
+  let payload_acc =
+    Ilp_checksum.Internet.checksum_mem (mem t) ~pos:seg.addr ~len:seg.len
+      ~acc:Ilp_checksum.Internet.empty
+  in
+  let ck = Tcp_header.checksum h ~payload_acc ~payload_len:seg.len in
+  transmit t { h with checksum = ck } ~payload:(Some (seg.addr, seg.len))
+
+and on_rto t =
+  match Queue.peek_opt t.txq with
+  | None -> t.rto_timer <- None
+  | Some seg ->
+      if t.retries >= t.cfg.max_retries then begin
+        t.st <- Closed;
+        t.rto_timer <- None
+      end
+      else begin
+        t.retries <- t.retries + 1;
+        on_congestion_loss t ~timeout:true;
+        Rto.backoff t.rto;
+        retransmit_oldest t seg;
+        arm_rto t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Public send path *)
+
+let maybe_send_fin t =
+  if t.pending_close && Queue.is_empty t.txq then begin
+    t.pending_close <- false;
+    (match t.st with
+    | Established -> t.st <- Fin_wait_1
+    | Close_wait -> t.st <- Last_ack
+    | _ -> ());
+    send_control t ~flags:(Tcp_header.fin lor Tcp_header.ack_flag);
+    t.snd_nxt <- t.snd_nxt + 1;
+    arm_ctl_timer t ~flags:(Tcp_header.fin lor Tcp_header.ack_flag)
+  end
+
+let send_message t ~len ~fill =
+  if t.st <> Established then Error Not_established
+  else if len > t.cfg.mss then Error Message_too_big
+  else if
+    len + bytes_in_flight t
+    > min t.peer_window (if t.cfg.congestion_control then t.cwnd else max_int)
+  then Error Window_full
+  else
+    match Ring.reserve t.ring len with
+    | None -> Error Buffer_full
+    | Some addr ->
+        (* tcp_send: the caller's fill writes the payload into the ring
+           (either a plain copy or the fused ILP loop). *)
+        let acc_opt = fill (mem t) ~dst:addr in
+        (* tcp_output: checksum (unless already integrated), header. *)
+        let payload_acc =
+          match acc_opt with
+          | Some acc -> acc
+          | None ->
+              Ilp_checksum.Internet.checksum_mem (mem t) ~pos:addr ~len
+                ~acc:Ilp_checksum.Internet.empty
+        in
+        let h = base_header t ~flags:(Tcp_header.ack_flag lor Tcp_header.psh) in
+        let ck = Tcp_header.checksum h ~payload_acc ~payload_len:len in
+        transmit t { h with checksum = ck } ~payload:(Some (addr, len));
+        Queue.add
+          { seq = t.snd_nxt; len; addr; rexmit = false;
+            sent_at = Simclock.now t.clock }
+          t.txq;
+        t.snd_nxt <- t.snd_nxt + len;
+        t.bytes_sent <- t.bytes_sent + len;
+        if t.rto_timer = None then arm_rto t;
+        Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection management *)
+
+let connect t ~remote_port =
+  if t.st <> Closed then invalid_arg "Socket.connect: not closed";
+  t.remote_port <- remote_port;
+  t.snd_una <- t.iss;
+  t.snd_nxt <- t.iss;
+  t.st <- Syn_sent;
+  send_control t ~flags:Tcp_header.syn;
+  t.snd_nxt <- t.snd_nxt + 1;
+  arm_ctl_timer t ~flags:Tcp_header.syn
+
+let listen t =
+  if t.st <> Closed then invalid_arg "Socket.listen: not closed";
+  t.st <- Listen
+
+let close t =
+  match t.st with
+  | Established | Close_wait ->
+      t.pending_close <- true;
+      maybe_send_fin t
+  | Listen | Syn_sent ->
+      t.st <- Closed;
+      cancel_ctl_timer t
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Receive path *)
+
+let alloc_ooo_slot t =
+  let rec go i = if i = ooo_slots then None
+    else if t.ooo_free.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let seg_max t = Tcp_header.size + t.cfg.mss
+
+(* Verify and deliver a data segment whose bytes start at [base] in user
+   memory (receive staging or an out-of-order slot). *)
+let process_data t (h : Tcp_header.t) ~base ~payload_len =
+  let open Ilp_checksum in
+  let src = base + Tcp_header.size in
+  let valid =
+    match t.rx_proc with
+    | Rx_raw | Rx_separate _ ->
+        (* Separate checksum pass over the staged segment (header bytes
+           included; the stored checksum field makes a valid segment fold
+           to 0xffff). *)
+        let acc = Tcp_header.pseudo_acc h ~payload_len in
+        let acc =
+          Internet.checksum_mem (mem t) ~pos:base ~len:(Tcp_header.size + payload_len)
+            ~acc
+        in
+        let ok = Internet.finish acc = 0 in
+        if ok then begin
+          match t.rx_proc with
+          | Rx_separate f -> f (mem t) ~src ~len:payload_len
+          | Rx_raw | Rx_integrated _ -> ()
+        end;
+        ok
+    | Rx_integrated f ->
+        (* The fused loop computes the payload sum while decrypting and
+           unmarshalling; TCP folds in pseudo-header and header and decides
+           acceptance afterwards (final stage of the three-stage model). *)
+        let payload_acc = f (mem t) ~src ~len:payload_len in
+        Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum
+  in
+  Machine.compute (machine t) t.cfg.control_ops;
+  if valid then begin
+    t.rcv_nxt <- t.rcv_nxt + payload_len;
+    t.bytes_delivered <- t.bytes_delivered + payload_len;
+    t.on_message ~src ~len:payload_len;
+    true
+  end
+  else begin
+    t.checksum_failures <- t.checksum_failures + 1;
+    false
+  end
+
+let rec drain_ooo t =
+  match Hashtbl.find_opt t.ooo t.rcv_nxt with
+  | None -> ()
+  | Some (slot, base, payload_len) ->
+      Hashtbl.remove t.ooo t.rcv_nxt;
+      t.ooo_free.(slot) <- true;
+      let h = Tcp_header.read_mem (mem t) ~pos:base in
+      if process_data t h ~base ~payload_len then drain_ooo t
+
+let handle_data t (h : Tcp_header.t) ~payload_len =
+  if h.seq = t.rcv_nxt then begin
+    if process_data t h ~base:t.rx_staging ~payload_len then begin
+      drain_ooo t;
+      send_ack t
+    end
+    (* Invalid checksum: silent drop; the sender's RTO recovers. *)
+  end
+  else if h.seq < t.rcv_nxt then begin
+    (* Duplicate (e.g. a retransmission that crossed our ack). *)
+    t.duplicates <- t.duplicates + 1;
+    send_ack t
+  end
+  else begin
+    (* Out of order: stash the staged segment for later processing. *)
+    t.out_of_order_n <- t.out_of_order_n + 1;
+    (if not (Hashtbl.mem t.ooo h.seq) then
+       match alloc_ooo_slot t with
+       | None -> () (* no slot: drop, retransmission will recover *)
+       | Some slot ->
+           let base = t.ooo_base + (slot * seg_max t) in
+           Mem.blit (mem t) ~src:t.rx_staging ~dst:base
+             ~len:(Tcp_header.size + payload_len) ~unit_len:t.cfg.blit_unit;
+           t.ooo_free.(slot) <- false;
+           Hashtbl.add t.ooo h.seq (slot, base, payload_len));
+    send_ack t
+  end
+
+let handle_ack t (h : Tcp_header.t) ~payload_len =
+  t.peer_window <- h.window;
+  (* A pure duplicate acknowledgement signals a lost segment ahead of
+     still-arriving data: after [dupack_threshold] of them, retransmit the
+     oldest unacknowledged segment without waiting for the RTO (fast
+     retransmit). *)
+  if
+    Tcp_header.has h Tcp_header.ack_flag
+    && h.ack = t.snd_una && payload_len = 0
+    && (not (Tcp_header.has h Tcp_header.syn))
+    && (not (Tcp_header.has h Tcp_header.fin))
+    && not (Queue.is_empty t.txq)
+  then begin
+    t.dupacks <- t.dupacks + 1;
+    if t.dupacks = t.cfg.dupack_threshold then begin
+      match Queue.peek_opt t.txq with
+      | Some seg ->
+          t.fast_retransmits <- t.fast_retransmits + 1;
+          on_congestion_loss t ~timeout:false;
+          retransmit_oldest t seg;
+          arm_rto t
+      | None -> ()
+    end
+  end;
+  if Tcp_header.has h Tcp_header.ack_flag && h.ack > t.snd_una then begin
+    t.dupacks <- 0;
+    on_congestion_ack t;
+    let sampled = ref false in
+    let rec pop () =
+      match Queue.peek_opt t.txq with
+      | Some seg when seg.seq + seg.len <= h.ack ->
+          ignore (Queue.pop t.txq);
+          Ring.release t.ring;
+          if (not seg.rexmit) && not !sampled then begin
+            Rto.sample t.rto (Simclock.now t.clock -. seg.sent_at);
+            sampled := true
+          end;
+          pop ()
+      | _ -> ()
+    in
+    pop ();
+    t.snd_una <- max t.snd_una h.ack;
+    t.retries <- 0;
+    Rto.reset_backoff t.rto;
+    arm_rto t;
+    maybe_send_fin t
+  end
+
+let enter_time_wait t =
+  t.st <- Time_wait;
+  ignore
+    (Simclock.schedule t.clock ~after:(2.0 *. t.cfg.rto_max_us) (fun () ->
+         if t.st = Time_wait then t.st <- Closed))
+
+let handle_datagram t (dgram : Datagram.t) =
+  match Ipv4.decapsulate dgram.Datagram.payload with
+  | Error _ -> t.ip_errors <- t.ip_errors + 1
+  | Ok (ip, _) when ip.Ipv4.protocol <> Ipv4.protocol_tcp ->
+      t.ip_errors <- t.ip_errors + 1
+  | Ok (_, wire) ->
+  let total = String.length wire in
+  if total < Tcp_header.size || total > seg_max t then ()
+  else begin
+    t.segments_received <- t.segments_received + 1;
+    Machine.exec (machine t) t.code_kernel;
+    Machine.exec (machine t) t.code_ctrl;
+    (* Kernel demultiplexing and tcp_input connection lookup. *)
+    Machine.compute (machine t) t.cfg.ack_ops;
+    (* Network adapter DMA into the kernel buffer: not a CPU cost. *)
+    Mem.poke_bytes (mem t) ~pos:t.kernel_rx (Bytes.of_string wire);
+    (* read(): system copy kernel -> user staging, then header parse. *)
+    Mem.blit (mem t) ~src:t.kernel_rx ~dst:t.rx_staging ~len:total
+      ~unit_len:t.cfg.blit_unit;
+    let h = Tcp_header.read_mem (mem t) ~pos:t.rx_staging in
+    let payload_len = total - Tcp_header.size in
+    match t.st with
+    | Closed -> ()
+    | Listen ->
+        if Tcp_header.has h Tcp_header.syn then begin
+          t.remote_port <- h.src_port;
+          t.rcv_nxt <- h.seq + 1;
+          t.peer_window <- h.window;
+          t.snd_una <- t.iss;
+          t.snd_nxt <- t.iss;
+          t.st <- Syn_rcvd;
+          send_control t ~flags:(Tcp_header.syn lor Tcp_header.ack_flag);
+          t.snd_nxt <- t.snd_nxt + 1;
+          arm_ctl_timer t ~flags:(Tcp_header.syn lor Tcp_header.ack_flag)
+        end
+    | Syn_sent ->
+        if
+          Tcp_header.has h Tcp_header.syn
+          && Tcp_header.has h Tcp_header.ack_flag
+          && h.ack = t.snd_nxt
+        then begin
+          t.rcv_nxt <- h.seq + 1;
+          t.peer_window <- h.window;
+          t.snd_una <- h.ack;
+          t.st <- Established;
+          cancel_ctl_timer t;
+          send_ack t
+        end
+    | Syn_rcvd ->
+        if Tcp_header.has h Tcp_header.syn then begin
+          (* Retransmitted SYN: our SYN-ACK was lost; resend it with the
+             original initial sequence number (snd_nxt already counts the
+             SYN). *)
+          let h = base_header t ~flags:(Tcp_header.syn lor Tcp_header.ack_flag) in
+          let h = { h with seq = t.snd_nxt - 1 } in
+          let ck =
+            Tcp_header.checksum h ~payload_acc:Ilp_checksum.Internet.empty
+              ~payload_len:0
+          in
+          transmit t { h with checksum = ck } ~payload:None
+        end
+        else if Tcp_header.has h Tcp_header.ack_flag && h.ack = t.snd_nxt then begin
+          t.snd_una <- h.ack;
+          t.peer_window <- h.window;
+          t.st <- Established;
+          cancel_ctl_timer t;
+          if payload_len > 0 then handle_data t h ~payload_len
+        end
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Last_ack | Time_wait ->
+        handle_ack t h ~payload_len;
+        (* A retransmitted SYN-ACK means our final handshake ACK was lost:
+           acknowledge again so the peer can leave SYN_RCVD. *)
+        if Tcp_header.has h Tcp_header.syn then send_ack t;
+        if payload_len > 0 then handle_data t h ~payload_len;
+        if Tcp_header.has h Tcp_header.fin && h.seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          send_ack t;
+          match t.st with
+          | Established -> t.st <- Close_wait
+          | Fin_wait_1 ->
+              (* Simultaneous close or FIN+ACK combined. *)
+              if t.snd_una = t.snd_nxt then enter_time_wait t else t.st <- Close_wait
+          | Fin_wait_2 -> enter_time_wait t
+          | _ -> ()
+        end;
+        (* FIN acknowledged? *)
+        (match t.st with
+        | Fin_wait_1 when t.snd_una = t.snd_nxt ->
+            cancel_ctl_timer t;
+            t.st <- Fin_wait_2
+        | Last_ack when t.snd_una = t.snd_nxt ->
+            cancel_ctl_timer t;
+            t.st <- Closed
+        | _ -> ())
+  end

@@ -1,0 +1,153 @@
+(** The user-level TCP endpoint.
+
+    This reproduces the architecture of the paper's section 3.1: a TCP that
+    runs in user space on top of a kernel datagram service, with fixed-size
+    headers, one application message per segment (ALF: one TSDU = one
+    TPDU), a ring retransmission buffer in simulated memory, cumulative
+    acknowledgements, Jacobson RTO with Karn's rule, and flow control from
+    the advertised window.
+
+    {2 Where the ILP loop plugs in}
+
+    {b Send}: {!send_message} reserves contiguous ring space and calls the
+    caller's [fill] function with its address.  A non-ILP stack fills it
+    with a plain charged copy after marshalling and encrypting elsewhere; a
+    fused stack marshals, encrypts and checksums while writing.  If [fill]
+    returns the payload's checksum accumulator, [tcp_output] uses it;
+    otherwise it performs its own charged checksum pass over the ring —
+    exactly the difference between figure 3's two columns.
+
+    {b Receive}: after the charged system copy of an in-order segment into
+    the receive staging area, the configured {!rx_processing} runs: either
+    TCP checksums the segment itself and then hands the payload to a
+    separate manipulation pass, or an integrated handler does everything in
+    one loop and returns the payload sum for TCP to verify (the paper's
+    three-stage processing: the segment is accepted or rejected in the
+    final stage). *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Time_wait
+
+val state_to_string : state -> string
+
+type config = {
+  mss : int;  (** maximum payload bytes per segment *)
+  send_buffer : int;  (** retransmission ring size in bytes *)
+  recv_window : int;  (** advertised window *)
+  rto_initial_us : float;
+  rto_min_us : float;
+  rto_max_us : float;
+  max_retries : int;
+  control_ops : int;
+      (** ALU ops charged per data segment for tcp_output/tcp_input state
+          processing *)
+  ack_ops : int;
+      (** ALU ops for the short path: pure control segments and the
+          per-segment kernel demultiplex/lookup *)
+  blit_unit : int;  (** access width of the copy loops, normally 4 *)
+  ack_delay_us : float;
+      (** 0 (the default, as in the paper's TCP) acknowledges every data
+          segment immediately; > 0 enables RFC 1122-style delayed acks
+          with this holding time *)
+  dupack_threshold : int;
+      (** duplicate acks that trigger a fast retransmit (3) *)
+  congestion_control : bool;
+      (** RFC 5681-style slow start / congestion avoidance / fast
+          recovery on the sender (on by default; the paper's loopback
+          experiments are never congestion-limited, but a production
+          stack needs it) *)
+}
+
+val default_config : config
+
+type rx_processing =
+  | Rx_raw
+      (** checksum pass by TCP, payload delivered as-is (control path and
+          tests) *)
+  | Rx_separate of (Ilp_memsim.Mem.t -> src:int -> len:int -> unit)
+      (** checksum pass by TCP, then the handler's own passes over the
+          staging area (non-ILP) *)
+  | Rx_integrated of
+      (Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
+      (** one fused pass returning the payload checksum (ILP) *)
+
+type send_error = Not_established | Message_too_big | Buffer_full | Window_full
+
+type t
+
+(** [create sim clock config ~local_port ~wire_out] builds an endpoint.
+    [wire_out] injects a datagram into the network (usually
+    [Link.send]). *)
+val create :
+  Ilp_memsim.Sim.t ->
+  Ilp_netsim.Simclock.t ->
+  config ->
+  local_port:int ->
+  wire_out:(Ilp_netsim.Datagram.t -> unit) ->
+  t
+
+(** Feed a datagram from the network (bind this via {!Demux.bind}). *)
+val handle_datagram : t -> Ilp_netsim.Datagram.t -> unit
+
+val connect : t -> remote_port:int -> unit
+val listen : t -> unit
+
+(** Half-close after all queued data is acknowledged. *)
+val close : t -> unit
+
+val state : t -> state
+val local_port : t -> int
+
+(** See module preamble.  [fill mem ~dst] must write exactly [len] bytes at
+    [dst] and may return the payload checksum accumulator. *)
+val send_message :
+  t ->
+  len:int ->
+  fill:(Ilp_memsim.Mem.t -> dst:int -> Ilp_checksum.Internet.acc option) ->
+  (unit, send_error) result
+
+val set_rx_processing : t -> rx_processing -> unit
+
+(** [set_on_message t f] — [f ~src ~len] fires after a data segment is
+    accepted in order; [src] is the payload address in the receive staging
+    area. *)
+val set_on_message : t -> (src:int -> len:int -> unit) -> unit
+
+(** Bytes sent but not yet acknowledged. *)
+val bytes_in_flight : t -> int
+
+(** Free contiguous-capable space in the send ring. *)
+val send_space : t -> int
+
+(** Current congestion window in bytes. *)
+val congestion_window : t -> int
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  bytes_sent : int;  (** payload bytes, first transmissions *)
+  bytes_delivered : int;
+  retransmissions : int;
+  checksum_failures : int;
+  out_of_order : int;
+  duplicates : int;
+  acks_sent : int;
+  ip_errors : int;  (** datagrams dropped by the kernel's IP validation *)
+  fast_retransmits : int;  (** recoveries triggered by duplicate acks *)
+}
+
+val stats : t -> stats
+
+(** Cycles spent in the send-side system copy (user to kernel boundary)
+    since the last call, in microseconds — lets the harness separate
+    "packet processing" from "system copy" as the paper's figure 3 does. *)
+val take_syscopy_send_us : t -> float

@@ -1,0 +1,112 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : int;
+  window : int;
+  checksum : int;
+  urgent : int;
+}
+
+let size = 20
+let fin = 0x01
+let syn = 0x02
+let rst = 0x04
+let psh = 0x08
+let ack_flag = 0x10
+let has t flag = t.flags land flag <> 0
+
+let make ?(seq = 0) ?(ack = 0) ?(flags = 0) ?(window = 0) ?(checksum = 0)
+    ?(urgent = 0) ~src_port ~dst_port () =
+  { src_port; dst_port; seq; ack; flags; window; checksum; urgent }
+
+(* Data offset is fixed at 5 words (no options). *)
+let off_flags t = (5 lsl 12) lor (t.flags land 0x3f)
+
+let write_mem mem ~pos t =
+  let open Ilp_memsim in
+  Mem.set_u16 mem pos t.src_port;
+  Mem.set_u16 mem (pos + 2) t.dst_port;
+  Mem.set_u32 mem (pos + 4) t.seq;
+  Mem.set_u32 mem (pos + 8) t.ack;
+  Mem.set_u16 mem (pos + 12) (off_flags t);
+  Mem.set_u16 mem (pos + 14) t.window;
+  Mem.set_u16 mem (pos + 16) t.checksum;
+  Mem.set_u16 mem (pos + 18) t.urgent;
+  Machine.compute (Mem.machine mem) 16
+
+let read_mem mem ~pos =
+  let open Ilp_memsim in
+  let src_port = Mem.get_u16 mem pos in
+  let dst_port = Mem.get_u16 mem (pos + 2) in
+  let seq = Mem.get_u32 mem (pos + 4) in
+  let ack = Mem.get_u32 mem (pos + 8) in
+  let off_flags = Mem.get_u16 mem (pos + 12) in
+  let window = Mem.get_u16 mem (pos + 14) in
+  let checksum = Mem.get_u16 mem (pos + 16) in
+  let urgent = Mem.get_u16 mem (pos + 18) in
+  Machine.compute (Mem.machine mem) 16;
+  { src_port; dst_port; seq; ack; flags = off_flags land 0x3f; window; checksum; urgent }
+
+let to_string t =
+  let b = Bytes.create size in
+  Bytes.set_uint16_be b 0 t.src_port;
+  Bytes.set_uint16_be b 2 t.dst_port;
+  Bytes.set_int32_be b 4 (Int32.of_int (t.seq land 0xffff_ffff));
+  Bytes.set_int32_be b 8 (Int32.of_int (t.ack land 0xffff_ffff));
+  Bytes.set_uint16_be b 12 (off_flags t);
+  Bytes.set_uint16_be b 14 t.window;
+  Bytes.set_uint16_be b 16 t.checksum;
+  Bytes.set_uint16_be b 18 t.urgent;
+  Bytes.unsafe_to_string b
+
+let of_string s ~pos =
+  if pos + size > String.length s then invalid_arg "Tcp_header.of_string: truncated";
+  let b = Bytes.unsafe_of_string s in
+  let u16 off = Bytes.get_uint16_be b (pos + off) in
+  let u32 off = Int32.to_int (Bytes.get_int32_be b (pos + off)) land 0xffff_ffff in
+  { src_port = u16 0;
+    dst_port = u16 2;
+    seq = u32 4;
+    ack = u32 8;
+    flags = u16 12 land 0x3f;
+    window = u16 14;
+    checksum = u16 16;
+    urgent = u16 18 }
+
+let pseudo_acc t ~payload_len =
+  let open Ilp_checksum in
+  let acc = Internet.add_u16 Internet.empty t.src_port in
+  let acc = Internet.add_u16 acc t.dst_port in
+  let acc = Internet.add_u16 acc 6 (* protocol *) in
+  Internet.add_u16 acc (size + payload_len)
+
+let header_acc acc t =
+  let open Ilp_checksum in
+  let acc = Internet.add_u16 acc t.src_port in
+  let acc = Internet.add_u16 acc t.dst_port in
+  let acc = Internet.add_u16 acc (t.seq lsr 16) in
+  let acc = Internet.add_u16 acc (t.seq land 0xffff) in
+  let acc = Internet.add_u16 acc (t.ack lsr 16) in
+  let acc = Internet.add_u16 acc (t.ack land 0xffff) in
+  let acc = Internet.add_u16 acc (off_flags t) in
+  let acc = Internet.add_u16 acc t.window in
+  (* Checksum field counts as zero while checksumming. *)
+  Internet.add_u16 acc t.urgent
+
+let checksum t ~payload_acc ~payload_len =
+  let open Ilp_checksum in
+  let acc = header_acc (pseudo_acc t ~payload_len) t in
+  let acc = Internet.combine acc payload_acc ~len_b:payload_len in
+  Internet.finish acc
+
+let pp ppf t =
+  Format.fprintf ppf "%d->%d seq=%d ack=%d flags=%s%s%s%s%s win=%d"
+    t.src_port t.dst_port t.seq t.ack
+    (if has t syn then "S" else "")
+    (if has t ack_flag then "A" else "")
+    (if has t fin then "F" else "")
+    (if has t rst then "R" else "")
+    (if has t psh then "P" else "")
+    t.window

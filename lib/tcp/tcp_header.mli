@@ -1,0 +1,72 @@
+(** The fixed-size TCP header of the paper's user-level TCP.
+
+    "TCP header options are avoided to ensure fixed-size headers" — every
+    segment carries exactly 20 bytes of header, so the ILP loop always
+    knows where the payload starts (the paper's precondition that the
+    header size be known before entering the loop).
+
+    Charged encode/decode move the header through simulated memory in
+    2- and 4-byte units, modelling the header processing of
+    [tcp_output]/[tcp_input]; the pure forms serve tests and the wire. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** sequence number (kept < 2^32; this stack does not wrap) *)
+  ack : int;
+  flags : int;
+  window : int;
+  checksum : int;
+  urgent : int;
+}
+
+val size : int
+(** 20 bytes. *)
+
+(** Flag bits, as in RFC 793. *)
+val fin : int
+
+val syn : int
+val rst : int
+val psh : int
+val ack_flag : int
+
+val has : t -> int -> bool
+
+val make :
+  ?seq:int ->
+  ?ack:int ->
+  ?flags:int ->
+  ?window:int ->
+  ?checksum:int ->
+  ?urgent:int ->
+  src_port:int ->
+  dst_port:int ->
+  unit ->
+  t
+
+(** Charged header I/O on simulated memory. *)
+val write_mem : Ilp_memsim.Mem.t -> pos:int -> t -> unit
+
+val read_mem : Ilp_memsim.Mem.t -> pos:int -> t
+
+(** Pure forms (the wire representation). *)
+val to_string : t -> string
+
+val of_string : string -> pos:int -> t
+
+(** [pseudo_acc t ~payload_len] starts an Internet-checksum accumulator
+    with the pseudo-header (protocol 6, ports, segment length), mirroring
+    "TCP ... calculates the checksum over the pseudo header and the
+    data". *)
+val pseudo_acc : t -> payload_len:int -> Ilp_checksum.Internet.acc
+
+(** [header_acc acc t] folds the 20 header bytes with the checksum field
+    read as zero. *)
+val header_acc : Ilp_checksum.Internet.acc -> t -> Ilp_checksum.Internet.acc
+
+(** [checksum t ~payload_acc ~payload_len] is the header checksum field
+    value for a segment whose payload folds to [payload_acc]. *)
+val checksum : t -> payload_acc:Ilp_checksum.Internet.acc -> payload_len:int -> int
+
+val pp : Format.formatter -> t -> unit

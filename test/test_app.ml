@@ -1,0 +1,236 @@
+(* The complete measured system: end-to-end transfers for every cipher and
+   mode, and the memory-behaviour invariants the paper's conclusions rest
+   on. *)
+
+open Ilp_memsim
+module Ft = Ilp_app.File_transfer
+module Engine = Ilp_core.Engine
+module Linkage = Ilp_core.Linkage
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let small_setup ?(machine = Config.ss10_30) ?(cipher = Ft.Safer_simplified)
+    ?(mode = Engine.Ilp) ?(copies = 2) ?(max_reply = 1024) ?(loss_rate = 0.0)
+    ?(linkage = Linkage.Macro) ?(coalesce = false)
+    ?(header_style = Engine.Leading) ?(rx_placement = Engine.Early)
+    ?(uniform_units = false) () =
+  { (Ft.default_setup ~machine ~mode) with
+    Ft.cipher;
+    copies;
+    max_reply;
+    loss_rate;
+    linkage;
+    coalesce_writes = coalesce;
+    header_style;
+    rx_placement;
+    uniform_units }
+
+let run s =
+  let r = Ft.run s in
+  (match r.Ft.error with
+  | Some e when not r.Ft.ok -> Alcotest.failf "transfer failed: %s" e
+  | _ -> ());
+  checkb "verified" true r.Ft.ok;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_deterministic () =
+  let a = Ilp_app.Workload.generate ~len:1000 ~seed:5 in
+  let b = Ilp_app.Workload.generate ~len:1000 ~seed:5 in
+  let c = Ilp_app.Workload.generate ~len:1000 ~seed:6 in
+  checkb "same seed same bytes" true (String.equal a b);
+  checkb "different seed different bytes" false (String.equal a c);
+  check "length" 1000 (String.length a);
+  check "paper file" (15 * 1024) Ilp_app.Workload.paper_file_len
+
+let test_workload_install () =
+  let sim = Sim.create (Config.custom ()) in
+  let s = Ilp_app.Workload.generate ~len:100 ~seed:1 in
+  let addr = Ilp_app.Workload.install sim s in
+  Alcotest.(check string)
+    "installed" s
+    (Bytes.to_string (Mem.peek_bytes sim.Sim.mem ~pos:addr ~len:100))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end matrix *)
+
+let test_matrix () =
+  List.iter
+    (fun cipher ->
+      List.iter
+        (fun mode ->
+          let r = run (small_setup ~cipher ~mode ~copies:1 ()) in
+          check "all payload delivered" (15 * 1024) r.Ft.payload_bytes)
+        [ Engine.Ilp; Engine.Separate ])
+    [ Ft.Safer_simplified; Ft.Simple_encryption; Ft.Safer_full 6; Ft.Des ]
+
+let test_under_loss () =
+  let r = run (small_setup ~loss_rate:0.2 ~copies:3 ()) in
+  checkb "retransmissions occurred" true (r.Ft.retransmissions > 0);
+  check "no checksum failures without corruption" 0 r.Ft.checksum_failures
+
+let test_trailer_style () =
+  let r = run (small_setup ~header_style:Engine.Trailer ()) in
+  check "all payload delivered" (2 * 15 * 1024) r.Ft.payload_bytes
+
+let test_function_call_linkage_runs () =
+  let r = run (small_setup ~linkage:Linkage.function_calls ()) in
+  check "all payload delivered" (2 * 15 * 1024) r.Ft.payload_bytes
+
+let test_packet_sizes () =
+  List.iter
+    (fun max_reply ->
+      let r = run (small_setup ~copies:1 ~max_reply ()) in
+      check
+        (Printf.sprintf "payload for %d" max_reply)
+        (15 * 1024) r.Ft.payload_bytes)
+    [ 256; 512; 768; 1280; 100; 17 ]
+
+(* ------------------------------------------------------------------ *)
+(* The paper's memory-behaviour claims as invariants *)
+
+let pair_runs ?cipher () =
+  let ilp = run (small_setup ?cipher ~mode:Engine.Ilp ~copies:4 ()) in
+  let non = run (small_setup ?cipher ~mode:Engine.Separate ~copies:4 ()) in
+  (ilp, non)
+
+let test_ilp_reduces_memory_accesses () =
+  let ilp, non = pair_runs () in
+  let total (r : Ft.result) k = Stats.accesses r.Ft.total_stats k in
+  checkb "fewer reads" true (total ilp Stats.Read < total non Stats.Read);
+  checkb "fewer writes" true (total ilp Stats.Write < total non Stats.Write);
+  (* "up to 30%": at least 15% fewer in our configuration. *)
+  let reduction =
+    1.0
+    -. (float_of_int (total ilp Stats.Read + total ilp Stats.Write)
+        /. float_of_int (total non Stats.Read + total non Stats.Write))
+  in
+  checkb "substantial reduction" true (reduction > 0.15)
+
+let test_ilp_receive_miss_ratio_rises () =
+  (* Section 4.2: with the simplified SAFER, the receive-side D-cache miss
+     ratio rises sharply under ILP (4.7% -> 18.7% in the paper). *)
+  let ilp, non = pair_runs () in
+  let ratio (r : Ft.result) = Stats.data_miss_ratio r.Ft.recv_stats in
+  checkb "ILP ratio much higher" true (ratio ilp > 2.0 *. ratio non);
+  (* And the cause is 1-byte write misses. *)
+  let byte_miss (r : Ft.result) =
+    Stats.misses_of_size r.Ft.recv_stats Stats.Write ~size:1 ~level:1
+  in
+  checkb "byte-write misses explode" true (byte_miss ilp > 10 * max 1 (byte_miss non))
+
+let test_simple_encryption_no_miss_explosion () =
+  (* With the table-free word-oriented cipher the pathology disappears. *)
+  let ilp, non = pair_runs ~cipher:Ft.Simple_encryption () in
+  let wm (r : Ft.result) = Stats.misses r.Ft.recv_stats Stats.Write ~level:1 in
+  checkb "ILP write misses do not explode" true (wm ilp < 2 * max 1 (wm non))
+
+let test_ilp_faster_both_paths () =
+  let ilp, non = pair_runs () in
+  checkb "send faster" true (Ft.mean ilp.Ft.send_us < Ft.mean non.Ft.send_us);
+  checkb "recv faster" true (Ft.mean ilp.Ft.recv_us < Ft.mean non.Ft.recv_us)
+
+let test_function_calls_lose_the_benefit () =
+  (* Section 3.2.1: substituting macros by function calls loses the ILP
+     gain. *)
+  let non = run (small_setup ~mode:Engine.Separate ~copies:4 ()) in
+  let calls =
+    run (small_setup ~mode:Engine.Ilp ~linkage:Linkage.function_calls ~copies:4 ())
+  in
+  let macro = run (small_setup ~mode:Engine.Ilp ~copies:4 ()) in
+  let proc (r : Ft.result) = Ft.mean r.Ft.send_us +. Ft.mean r.Ft.recv_us in
+  let gain_macro = (proc non -. proc macro) /. proc non in
+  let gain_calls = (proc non -. proc calls) /. proc non in
+  checkb "macro gain substantial" true (gain_macro > 0.10);
+  checkb "call gain mostly gone" true (gain_calls < 0.5 *. gain_macro)
+
+let test_coalesced_stores_cut_write_misses () =
+  (* Section 2.2: sizing stores to Le removes the per-byte write misses. *)
+  let plain = run (small_setup ~mode:Engine.Ilp ~copies:4 ()) in
+  let lcm = run (small_setup ~mode:Engine.Ilp ~coalesce:true ~copies:4 ()) in
+  let wm (r : Ft.result) = Stats.misses r.Ft.recv_stats Stats.Write ~level:1 in
+  checkb "LCM stores cut receive write misses by >2x" true (2 * wm lcm < wm plain)
+
+let test_no_l2_machine_slower () =
+  (* Two machines identical except for the second-level cache: dropping
+     the L2 must cost cycles (the SS10-30 effect). *)
+  let base = Config.ss10_41 in
+  let without = { base with Config.name = "SS10-41-noL2"; l2 = None } in
+  let r_with = run (small_setup ~machine:base ()) in
+  let r_without =
+    let s = small_setup ~machine:without () in
+    let r = Ft.run s in
+    checkb "verified" true r.Ft.ok;
+    r
+  in
+  let proc (r : Ft.result) = Ft.mean r.Ft.recv_us +. Ft.mean r.Ft.send_us in
+  checkb "missing L2 costs time" true (proc r_without > proc r_with)
+
+let test_late_placement_end_to_end () =
+  (* Section 3.2.3: deferring the manipulations to delivery time still
+     transfers correctly and costs about the same (the separate checksum
+     pass is offset by the dropped tap and lower register pressure). *)
+  let early = run (small_setup ()) in
+  let late = run (small_setup ~rx_placement:Engine.Late ()) in
+  check "all payload delivered" (2 * 15 * 1024) late.Ft.payload_bytes;
+  let r (x : Ft.result) = Ft.mean x.Ft.recv_us in
+  checkb "receive times within 10%" true
+    (Float.abs (r late -. r early) /. r early < 0.10)
+
+let test_uniform_units () =
+  (* Section 5: uniform unit sizes transfer correctly and shave the
+     per-invocation dispatch. *)
+  let mixed = run (small_setup ()) in
+  let uniform = run (small_setup ~uniform_units:true ()) in
+  check "all payload delivered" (2 * 15 * 1024) uniform.Ft.payload_bytes;
+  checkb "uniform units are no slower" true
+    (Ft.mean uniform.Ft.send_us <= Ft.mean mixed.Ft.send_us +. 0.5)
+
+let test_stall_accounting () =
+  let r = run (small_setup ()) in
+  checkb "stall time measured" true (r.Ft.send_stall_us > 0.0 && r.Ft.recv_stall_us > 0.0);
+  checkb "stall below total machine time" true
+    (r.Ft.send_stall_us +. r.Ft.recv_stall_us < r.Ft.total_machine_us);
+  checkb "ifetch stall non-negative" true (r.Ft.ifetch_stall_us >= 0.0)
+
+let test_des_much_slower_than_simplified () =
+  (* The paper's reason for simplifying SAFER: realistic ciphers drown the
+     stack. *)
+  let des = run (small_setup ~cipher:Ft.Des ~copies:1 ()) in
+  let simplified = run (small_setup ~cipher:Ft.Safer_simplified ~copies:1 ()) in
+  checkb "DES dominates processing" true
+    (Ft.mean des.Ft.send_us > 3.0 *. Ft.mean simplified.Ft.send_us)
+
+let () =
+  Alcotest.run "app"
+    [ ( "workload",
+        [ Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "install" `Quick test_workload_install ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "cipher x mode matrix" `Slow test_matrix;
+          Alcotest.test_case "under loss" `Quick test_under_loss;
+          Alcotest.test_case "trailer style" `Quick test_trailer_style;
+          Alcotest.test_case "function-call linkage" `Quick
+            test_function_call_linkage_runs;
+          Alcotest.test_case "packet sizes" `Slow test_packet_sizes ] );
+      ( "paper invariants",
+        [ Alcotest.test_case "ILP reduces memory accesses" `Quick
+            test_ilp_reduces_memory_accesses;
+          Alcotest.test_case "receive miss ratio rises" `Quick
+            test_ilp_receive_miss_ratio_rises;
+          Alcotest.test_case "simple encryption: no explosion" `Quick
+            test_simple_encryption_no_miss_explosion;
+          Alcotest.test_case "ILP faster on both paths" `Quick test_ilp_faster_both_paths;
+          Alcotest.test_case "function calls lose the benefit" `Quick
+            test_function_calls_lose_the_benefit;
+          Alcotest.test_case "LCM stores cut write misses" `Quick
+            test_coalesced_stores_cut_write_misses;
+          Alcotest.test_case "no-L2 machine pays more cycles" `Quick
+            test_no_l2_machine_slower;
+          Alcotest.test_case "late placement" `Quick test_late_placement_end_to_end;
+          Alcotest.test_case "uniform units" `Quick test_uniform_units;
+          Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
+          Alcotest.test_case "DES dominates" `Quick test_des_much_slower_than_simplified ] ) ]

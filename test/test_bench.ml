@@ -1,0 +1,118 @@
+(* The reproduction harness's own plumbing: paper data, the overhead
+   model, reporting, and the micro-benchmark. *)
+
+open Ilp_memsim
+module B = Ilp_bench
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_table1_complete () =
+  check "35 rows" 35 (List.length B.Paper_data.table1);
+  List.iter
+    (fun (m : Config.t) ->
+      List.iter
+        (fun size ->
+          match B.Paper_data.table1_row ~platform:m.Config.name ~size with
+          | Some row ->
+              checkb "throughputs positive" true
+                (row.B.Paper_data.tput_ilp > 0.0 && row.B.Paper_data.tput_non > 0.0);
+              (* At 1 kB and above ILP always wins in the paper. *)
+              if size >= 768 then
+                checkb "ILP wins at large sizes" true
+                  (row.B.Paper_data.tput_ilp >= row.B.Paper_data.tput_non)
+          | None -> Alcotest.failf "missing %s/%d" m.Config.name size)
+        [ 256; 512; 768; 1024; 1280 ])
+    Config.all
+
+let test_table1_spot_values () =
+  (* Two anchor cells quoted in the running text. *)
+  match B.Paper_data.table1_row ~platform:"SS10-30" ~size:1024 with
+  | None -> Alcotest.fail "missing anchor row"
+  | Some r ->
+      check "send non-ILP" 369 r.B.Paper_data.send_non;
+      check "send ILP" 311 r.B.Paper_data.send_ilp;
+      check "recv non-ILP" 356 r.B.Paper_data.recv_non;
+      check "recv ILP" 300 r.B.Paper_data.recv_ilp
+
+let test_overhead_fit () =
+  List.iter
+    (fun (m : Config.t) ->
+      let o = B.Platforms.overhead m in
+      checkb (m.Config.name ^ " base positive") true (o.B.Platforms.base_us > 0.0);
+      (* Reconstructing the paper's own rows with the paper's own
+         processing times must land near the paper's throughput. *)
+      List.iter
+        (fun size ->
+          match B.Paper_data.table1_row ~platform:m.Config.name ~size with
+          | None -> ()
+          | Some row ->
+              let proc = float_of_int (row.B.Paper_data.send_ilp + row.B.Paper_data.recv_ilp) in
+              let t = B.Platforms.throughput_mbps m ~size ~proc_us:proc in
+              let err = Float.abs (t -. row.B.Paper_data.tput_ilp) /. row.B.Paper_data.tput_ilp in
+              if err > 0.25 then
+                Alcotest.failf "%s/%d: fit error %.0f%%" m.Config.name size (err *. 100.0))
+        [ 512; 768; 1024 ])
+    Config.all
+
+let test_kernel_profile_faster () =
+  let m = Config.ss10_30 in
+  let user = B.Platforms.throughput_mbps m ~size:1024 ~proc_us:500.0 in
+  let kernel = B.Platforms.kernel_throughput_mbps m ~size:1024 ~proc_us:500.0 in
+  checkb "kernel profile is faster" true (kernel > user)
+
+let test_report_helpers () =
+  checkb "gain" true (B.Report.pct_gain ~base:100.0 ~better:80.0 = 20.0);
+  checkb "vs formats" true (String.length (B.Report.vs ~paper:10.0 ~ours:12.0) > 0)
+
+let test_microbench_simulated () =
+  let o = B.Microbench.simulated () in
+  checkb "sequential positive" true (o.B.Microbench.sequential_mbps > 0.0);
+  checkb "fusion wins" true
+    (o.B.Microbench.fused_mbps > o.B.Microbench.sequential_mbps);
+  (* The paper's micro-loop gain is ~40%; ours must at least be a
+     double-digit percentage. *)
+  checkb "double-digit gain" true
+    (o.B.Microbench.fused_mbps /. o.B.Microbench.sequential_mbps > 1.10)
+
+let test_cipher_wall_clock_ordering () =
+  let results = B.Microbench.ciphers_wall_clock ~quota_s:0.05 () in
+  let get name = List.assoc name results in
+  checkb "simple fastest" true (get "simple" > get "safer-simplified");
+  checkb "1 round beats 6 rounds" true
+    (get "safer-k64-1round" > get "safer-k64-6rounds");
+  checkb "DES slowest" true (get "des" < get "safer-simplified")
+
+let test_t1_csv_shape () =
+  let csv = B.Experiments.t1_csv () in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check "header + 35 rows" 36 (List.length lines);
+  match lines with
+  | header :: _ ->
+      check "14 columns" 14
+        (List.length (String.split_on_char ',' header))
+  | [] -> Alcotest.fail "empty csv"
+
+let test_experiment_names () =
+  checkb "has all" true (List.mem "all" B.Experiments.names);
+  match B.Experiments.run_named "no-such-thing" with
+  | Ok () -> Alcotest.fail "accepted bogus name"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "bench"
+    [ ( "paper data",
+        [ Alcotest.test_case "table 1 complete" `Quick test_table1_complete;
+          Alcotest.test_case "anchor values" `Quick test_table1_spot_values ] );
+      ( "platform model",
+        [ Alcotest.test_case "overhead fit" `Quick test_overhead_fit;
+          Alcotest.test_case "kernel profile" `Quick test_kernel_profile_faster ] );
+      ( "report",
+        [ Alcotest.test_case "helpers" `Quick test_report_helpers ] );
+      ( "microbench",
+        [ Alcotest.test_case "simulated" `Quick test_microbench_simulated ] );
+      ( "experiments",
+        [ Alcotest.test_case "cipher wall-clock ordering" `Quick
+            test_cipher_wall_clock_ordering;
+          Alcotest.test_case "t1 csv shape" `Slow test_t1_csv_shape;
+          Alcotest.test_case "names" `Quick test_experiment_names ] ) ]

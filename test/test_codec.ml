@@ -1,0 +1,403 @@
+(* XDR / ASN.1 / stub-compiler tests, including random-typed round trips. *)
+
+open Ilp_codec
+
+let check = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* XDR primitives *)
+
+let test_padding () =
+  check "pad 0" 0 (Xdr.padding 0);
+  check "pad 1" 3 (Xdr.padding 1);
+  check "pad 2" 2 (Xdr.padding 2);
+  check "pad 3" 1 (Xdr.padding 3);
+  check "pad 4" 0 (Xdr.padding 4);
+  check "padded 5" 8 (Xdr.padded 5)
+
+let test_xdr_int_encodings () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.int32 enc (-1);
+  check_s "minus one is all ones" "\xff\xff\xff\xff" (Xdr.Enc.contents enc);
+  let enc2 = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc2 0xDEADBEEF;
+  check_s "uint32 big endian" "\xde\xad\xbe\xef" (Xdr.Enc.contents enc2)
+
+let test_xdr_opaque_padding () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.opaque enc "abcde";
+  let s = Xdr.Enc.contents enc in
+  check "length word + 5 bytes + 3 pad" 12 (String.length s);
+  check_s "payload" "abcde" (String.sub s 4 5);
+  check_s "zero padding" "\000\000\000" (String.sub s 9 3)
+
+let test_xdr_decode_roundtrip () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.int32 enc (-42);
+  Xdr.Enc.uint32 enc 42;
+  Xdr.Enc.hyper enc (-1L);
+  Xdr.Enc.bool enc true;
+  Xdr.Enc.opaque enc "xyz";
+  Xdr.Enc.fixed_opaque enc "ab";
+  let dec = Xdr.Dec.of_string (Xdr.Enc.contents enc) in
+  check "int32" (-42) (Xdr.Dec.int32 dec);
+  check "uint32" 42 (Xdr.Dec.uint32 dec);
+  Alcotest.(check int64) "hyper" (-1L) (Xdr.Dec.hyper dec);
+  checkb "bool" true (Xdr.Dec.bool dec);
+  check_s "opaque" "xyz" (Xdr.Dec.opaque dec);
+  check_s "fixed" "ab" (Xdr.Dec.fixed_opaque dec 2);
+  Xdr.Dec.expect_end dec
+
+let expect_dec_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Xdr.Dec.Error"
+  | exception Xdr.Dec.Error _ -> ()
+
+let test_xdr_decode_errors () =
+  expect_dec_error (fun () -> Xdr.Dec.uint32 (Xdr.Dec.of_string "ab"));
+  expect_dec_error (fun () -> Xdr.Dec.bool (Xdr.Dec.of_string "\000\000\000\002"));
+  (* Nonzero padding is rejected. *)
+  expect_dec_error (fun () ->
+      Xdr.Dec.opaque (Xdr.Dec.of_string "\000\000\000\001aXYZ"));
+  expect_dec_error (fun () -> Xdr.Dec.expect_end (Xdr.Dec.of_string "left"));
+  (* An absurd opaque length must not crash or allocate wildly. *)
+  expect_dec_error (fun () -> Xdr.Dec.opaque (Xdr.Dec.of_string "\xff\xff\xff\xff"))
+
+let test_xdr_enc_range_checks () =
+  let enc = Xdr.Enc.create () in
+  (match Xdr.Enc.uint32 enc (-1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Xdr.Enc.int32 enc 0x1_0000_0000 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* ASN.1 checking *)
+
+let sample_ty : Asn1.ty =
+  Seq
+    [ ("kind", Enum [| "a"; "b" |]);
+      ("count", Int);
+      ("tag", Fixed_opaque 3);
+      ("items", Seq_of Str);
+      ("extra", Option Bool) ]
+
+let sample_value : Asn1.value =
+  VSeq
+    [ VEnum 1;
+      VInt (-7);
+      VBytes "xyz";
+      VList [ VStr "one"; VStr "two" ];
+      VSome (VBool false) ]
+
+let test_asn1_check_ok () =
+  (match Asn1.check sample_ty sample_value with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  checkb "equal reflexive" true (Asn1.equal sample_value sample_value)
+
+let test_asn1_check_failures () =
+  let bad cases =
+    List.iter
+      (fun (name, ty, v) ->
+        match Asn1.check ty v with
+        | Ok () -> Alcotest.failf "%s: expected rejection" name
+        | Error _ -> ())
+      cases
+  in
+  bad
+    [ ("enum range", Asn1.Enum [| "x" |], Asn1.VEnum 1);
+      ("int range", Asn1.Int, Asn1.VInt 0x1_0000_0000);
+      ("uint negative", Asn1.Uint, Asn1.VInt (-1));
+      ("fixed length", Asn1.Fixed_opaque 2, Asn1.VBytes "abc");
+      ("wrong constructor", Asn1.Bool, Asn1.VInt 0);
+      ( "field count",
+        Asn1.Seq [ ("a", Asn1.Int) ],
+        Asn1.VSeq [ Asn1.VInt 1; Asn1.VInt 2 ] );
+      ("choice arm", Asn1.Choice [| ("a", Asn1.Int) |], Asn1.VChoice (3, Asn1.VInt 0)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Stub compiler: fixed and random round trips *)
+
+let test_stub_roundtrip_sample () =
+  let stub = Stub.compile sample_ty in
+  let wire = Stub.marshal stub sample_value in
+  check "size agrees" (String.length wire) (Stub.size stub sample_value);
+  checkb "round trip" true (Asn1.equal sample_value (Stub.unmarshal stub wire))
+
+let test_stub_rejects_ill_typed () =
+  let stub = Stub.compile Asn1.Int in
+  match Stub.marshal stub (Asn1.VBool true) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_stub_choice_and_option () =
+  let ty = Asn1.Choice [| ("num", Asn1.Int); ("txt", Asn1.Str) |] in
+  let stub = Stub.compile ty in
+  List.iter
+    (fun v ->
+      checkb "choice round trip" true
+        (Asn1.equal v (Stub.unmarshal stub (Stub.marshal stub v))))
+    [ Asn1.VChoice (0, Asn1.VInt 9); Asn1.VChoice (1, Asn1.VStr "hi") ];
+  let ostub = Stub.compile (Asn1.Option Asn1.Hyper) in
+  List.iter
+    (fun v ->
+      checkb "option round trip" true
+        (Asn1.equal v (Stub.unmarshal ostub (Stub.marshal ostub v))))
+    [ Asn1.VNone; Asn1.VSome (Asn1.VHyper 77L) ]
+
+(* Random type + matching value generator. *)
+let rec gen_ty depth : Asn1.ty QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneofl
+      [ Asn1.Int; Asn1.Uint; Asn1.Hyper; Asn1.Bool;
+        Asn1.Enum [| "a"; "b"; "c" |]; Asn1.Fixed_opaque 5; Asn1.Opaque; Asn1.Str ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [ (3, leaf);
+        ( 1,
+          int_range 1 3 >>= fun n ->
+          list_repeat n (gen_ty (depth - 1)) >>= fun tys ->
+          return (Asn1.Seq (List.mapi (fun i t -> (Printf.sprintf "f%d" i, t)) tys)) );
+        (1, map (fun t -> Asn1.Seq_of t) (gen_ty (depth - 1)));
+        ( 1,
+          gen_ty (depth - 1) >>= fun a ->
+          gen_ty (depth - 1) >>= fun b ->
+          return (Asn1.Choice [| ("l", a); ("r", b) |]) );
+        (1, map (fun t -> Asn1.Option t) (gen_ty (depth - 1))) ]
+
+let rec gen_value (ty : Asn1.ty) : Asn1.value QCheck.Gen.t =
+  let open QCheck.Gen in
+  match ty with
+  | Asn1.Int -> map (fun n -> Asn1.VInt n) (int_range (-0x8000_0000) 0x7fff_ffff)
+  | Asn1.Uint -> map (fun n -> Asn1.VInt n) (int_bound 0xffff_ffff)
+  | Asn1.Hyper -> map (fun n -> Asn1.VHyper (Int64.of_int n)) int
+  | Asn1.Bool -> map (fun b -> Asn1.VBool b) bool
+  | Asn1.Enum names -> map (fun i -> Asn1.VEnum i) (int_bound (Array.length names - 1))
+  | Asn1.Fixed_opaque n -> map (fun s -> Asn1.VBytes s) (string_size (return n))
+  | Asn1.Opaque -> map (fun s -> Asn1.VBytes s) (string_size (int_bound 12))
+  | Asn1.Str -> map (fun s -> Asn1.VStr s) (string_size (int_bound 12))
+  | Asn1.Seq fields ->
+      let rec go = function
+        | [] -> return []
+        | (_, fty) :: rest ->
+            gen_value fty >>= fun v ->
+            go rest >>= fun vs -> return (v :: vs)
+      in
+      map (fun vs -> Asn1.VSeq vs) (go fields)
+  | Asn1.Seq_of ety ->
+      int_bound 4 >>= fun n -> map (fun vs -> Asn1.VList vs) (list_repeat n (gen_value ety))
+  | Asn1.Choice arms ->
+      int_bound (Array.length arms - 1) >>= fun i ->
+      map (fun v -> Asn1.VChoice (i, v)) (gen_value (snd arms.(i)))
+  | Asn1.Option ety ->
+      bool >>= fun some ->
+      if some then map (fun v -> Asn1.VSome v) (gen_value ety) else return Asn1.VNone
+
+let gen_typed_value =
+  QCheck.Gen.(gen_ty 2 >>= fun ty -> gen_value ty >>= fun v -> return (ty, v))
+
+let arbitrary_typed =
+  QCheck.make gen_typed_value ~print:(fun (ty, v) ->
+      Format.asprintf "%a / %a" Asn1.pp_ty ty Asn1.pp_value v)
+
+let prop_stub_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"marshal/unmarshal = id for random typed values"
+    arbitrary_typed
+    (fun (ty, v) ->
+      let stub = Stub.compile ty in
+      let wire = Stub.marshal stub v in
+      String.length wire mod 4 = 0
+      && String.length wire = Stub.size stub v
+      && Asn1.equal v (Stub.unmarshal stub wire))
+
+let prop_stub_garbage_safe =
+  QCheck.Test.make ~count:300 ~name:"random bytes never crash the decoder"
+    QCheck.(pair arbitrary_typed (string_of_size Gen.(int_bound 40)))
+    (fun ((ty, _), junk) ->
+      let stub = Stub.compile ty in
+      match Stub.unmarshal stub junk with
+      | _ -> true
+      | exception Xdr.Dec.Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* The ILP-extended stub compiler *)
+
+let install sim str =
+  let addr =
+    Ilp_memsim.Alloc.alloc sim.Ilp_memsim.Sim.alloc ~align:8
+      (max 1 (String.length str))
+  in
+  Ilp_memsim.Mem.poke_string sim.Ilp_memsim.Sim.mem ~pos:addr str;
+  addr
+
+let message_ty : Asn1.ty =
+  Seq [ ("kind", Enum [| "data"; "ctl" |]); ("offset", Int); ("body", Opaque) ]
+
+let test_stub_ilp_matches_plain_marshal () =
+  (* The compiled layout, flattened, must equal the plain stub's output
+     for the same logical value. *)
+  let sim = Ilp_memsim.Sim.create (Ilp_memsim.Config.custom ()) in
+  let payload = "seventeen bytes!!" in
+  let addr = install sim payload in
+  let ilp = Stub_ilp.compile message_ty in
+  match
+    Stub_ilp.layout ilp
+      [ Stub_ilp.Immediate (Asn1.VEnum 0);
+        Stub_ilp.Immediate (Asn1.VInt 4096);
+        Stub_ilp.From_memory { addr; len = String.length payload } ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok segs ->
+      let plain =
+        Stub.marshal (Stub.compile message_ty)
+          (Asn1.VSeq [ Asn1.VEnum 0; Asn1.VInt 4096; Asn1.VBytes payload ])
+      in
+      Alcotest.(check string)
+        "flattened layout = plain marshal" plain
+        (Stub_ilp.flatten sim.Ilp_memsim.Sim.mem segs);
+      Alcotest.(check int) "total_len" (String.length plain) (Stub_ilp.total_len segs);
+      (* The payload run must be an App segment, not copied into Gen. *)
+      checkb "payload stays in memory" true
+        (List.exists
+           (function Stub_ilp.App { addr = a; _ } -> a = addr | _ -> false)
+           segs)
+
+let test_stub_ilp_multiple_memory_fields () =
+  let ty : Asn1.ty = Seq [ ("a", Opaque); ("sep", Int); ("b", Opaque) ] in
+  let sim = Ilp_memsim.Sim.create (Ilp_memsim.Config.custom ()) in
+  let a = install sim "first-region" and b = install sim "second" in
+  let ilp = Stub_ilp.compile ty in
+  match
+    Stub_ilp.layout ilp
+      [ Stub_ilp.From_memory { addr = a; len = 12 };
+        Stub_ilp.Immediate (Asn1.VInt 7);
+        Stub_ilp.From_memory { addr = b; len = 6 } ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok segs ->
+      let plain =
+        Stub.marshal (Stub.compile ty)
+          (Asn1.VSeq [ Asn1.VBytes "first-region"; Asn1.VInt 7; Asn1.VBytes "second" ])
+      in
+      Alcotest.(check string)
+        "two memory fields" plain
+        (Stub_ilp.flatten sim.Ilp_memsim.Sim.mem segs);
+      check "two App segments" 2
+        (List.length (List.filter (function Stub_ilp.App _ -> true | _ -> false) segs))
+
+let test_stub_ilp_fixed_opaque_from_memory () =
+  let ty : Asn1.ty = Seq [ ("tag", Fixed_opaque 6); ("n", Int) ] in
+  let sim = Ilp_memsim.Sim.create (Ilp_memsim.Config.custom ()) in
+  let addr6 = install sim "sixbyt" in
+  let ilp = Stub_ilp.compile ty in
+  (match
+     Stub_ilp.layout ilp
+       [ Stub_ilp.From_memory { addr = addr6; len = 6 };
+         Stub_ilp.Immediate (Asn1.VInt 1) ]
+   with
+  | Ok segs ->
+      let plain =
+        Stub.marshal (Stub.compile ty)
+          (Asn1.VSeq [ Asn1.VBytes "sixbyt"; Asn1.VInt 1 ])
+      in
+      Alcotest.(check string)
+        "fixed opaque from memory" plain
+        (Stub_ilp.flatten sim.Ilp_memsim.Sim.mem segs)
+  | Error e -> Alcotest.fail e);
+  (* Length mismatch is rejected. *)
+  match
+    Stub_ilp.layout ilp
+      [ Stub_ilp.From_memory { addr = addr6; len = 5 };
+        Stub_ilp.Immediate (Asn1.VInt 1) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong fixed length accepted"
+
+let test_stub_ilp_errors () =
+  let ilp = Stub_ilp.compile message_ty in
+  (match Stub_ilp.layout ilp [ Stub_ilp.Immediate (Asn1.VEnum 0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing sources accepted");
+  (match
+     Stub_ilp.layout ilp
+       [ Stub_ilp.From_memory { addr = 0; len = 4 };
+         Stub_ilp.Immediate (Asn1.VInt 0);
+         Stub_ilp.Immediate (Asn1.VBytes "") ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "From_memory for an enum accepted");
+  (match
+     Stub_ilp.layout ilp
+       [ Stub_ilp.Immediate (Asn1.VEnum 0);
+         Stub_ilp.Immediate (Asn1.VBool true);
+         Stub_ilp.Immediate (Asn1.VBytes "") ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-typed immediate accepted");
+  match
+    Stub_ilp.layout ilp
+      [ Stub_ilp.Immediate (Asn1.VEnum 0);
+        Stub_ilp.Immediate (Asn1.VInt 0);
+        Stub_ilp.Immediate (Asn1.VBytes "");
+        Stub_ilp.Immediate (Asn1.VInt 9) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "extra sources accepted"
+
+let prop_stub_ilp_equals_plain =
+  QCheck.Test.make ~count:150
+    ~name:"compiled layout flattens to the plain stub's encoding"
+    QCheck.(
+      triple (string_of_size Gen.(int_bound 40)) (int_bound 1000)
+        (string_of_size Gen.(int_bound 15)))
+    (fun (payload, n, tag) ->
+      let ty : Asn1.ty = Seq [ ("tag", Str); ("n", Int); ("body", Opaque) ] in
+      let sim = Ilp_memsim.Sim.create (Ilp_memsim.Config.custom ()) in
+      let addr = install sim payload in
+      match
+        Stub_ilp.layout (Stub_ilp.compile ty)
+          [ Stub_ilp.Immediate (Asn1.VStr tag);
+            Stub_ilp.Immediate (Asn1.VInt n);
+            Stub_ilp.From_memory { addr; len = String.length payload } ]
+      with
+      | Error _ -> false
+      | Ok segs ->
+          Stub_ilp.flatten sim.Ilp_memsim.Sim.mem segs
+          = Stub.marshal (Stub.compile ty)
+              (Asn1.VSeq [ Asn1.VStr tag; Asn1.VInt n; Asn1.VBytes payload ]))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "codec"
+    [ ( "xdr",
+        [ Alcotest.test_case "padding" `Quick test_padding;
+          Alcotest.test_case "int encodings" `Quick test_xdr_int_encodings;
+          Alcotest.test_case "opaque padding" `Quick test_xdr_opaque_padding;
+          Alcotest.test_case "decode round trip" `Quick test_xdr_decode_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_xdr_decode_errors;
+          Alcotest.test_case "encode range checks" `Quick test_xdr_enc_range_checks ] );
+      ( "asn1",
+        [ Alcotest.test_case "well-typed" `Quick test_asn1_check_ok;
+          Alcotest.test_case "ill-typed" `Quick test_asn1_check_failures ] );
+      ( "stub",
+        [ Alcotest.test_case "sample round trip" `Quick test_stub_roundtrip_sample;
+          Alcotest.test_case "rejects ill-typed" `Quick test_stub_rejects_ill_typed;
+          Alcotest.test_case "choice and option" `Quick test_stub_choice_and_option;
+          qc prop_stub_roundtrip;
+          qc prop_stub_garbage_safe ] );
+      ( "stub_ilp",
+        [ Alcotest.test_case "matches plain marshal" `Quick
+            test_stub_ilp_matches_plain_marshal;
+          Alcotest.test_case "multiple memory fields" `Quick
+            test_stub_ilp_multiple_memory_fields;
+          Alcotest.test_case "fixed opaque from memory" `Quick
+            test_stub_ilp_fixed_opaque_from_memory;
+          Alcotest.test_case "errors" `Quick test_stub_ilp_errors;
+          qc prop_stub_ilp_equals_plain ] ) ]

@@ -1,0 +1,576 @@
+(* The ILP engine: unit arithmetic, word filters, message parts, the two
+   pipeline drivers (whose outputs must be byte-identical), and the
+   integrated engine round trip. *)
+
+open Ilp_memsim
+module Internet = Ilp_checksum.Internet
+open Ilp_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_gcd_lcm () =
+  check "gcd" 4 (Units.gcd 12 8);
+  check "gcd zero" 5 (Units.gcd 0 5);
+  check "lcm" 24 (Units.lcm 12 8);
+  check "lcm one" 7 (Units.lcm 1 7)
+
+let test_exchange_unit () =
+  (* The paper's example: encryption in 8-byte units, checksum in 2-byte
+     units, marshalling in 4-byte units -> Le = 8. *)
+  check "paper stack" 8 (Units.exchange_unit [ 4; 8; 2 ]);
+  check "with bus width" 16 (Units.exchange_unit ~bus_width:16 [ 4; 8; 2 ]);
+  (match Units.exchange_unit [] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Units.exchange_unit [ 0 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_aligned () =
+  check "already aligned" 16 (Units.aligned 16 ~unit_len:8);
+  check "rounds up" 24 (Units.aligned 17 ~unit_len:8);
+  check "zero" 0 (Units.aligned 0 ~unit_len:8)
+
+let prop_lcm_divisibility =
+  QCheck.Test.make ~count:200 ~name:"Le is divisible by every unit length"
+    QCheck.(list_of_size Gen.(int_range 1 5) (int_range 1 16))
+    (fun lens ->
+      let le = Units.exchange_unit lens in
+      List.for_all (fun l -> le mod l = 0) lens)
+
+(* ------------------------------------------------------------------ *)
+(* Word filter *)
+
+let test_word_filter_basic () =
+  let out = Buffer.create 32 in
+  let wf =
+    Word_filter.create ~out_len:8 ~emit:(fun b off ->
+        Buffer.add_subbytes out b off 8)
+  in
+  Word_filter.push_string wf "0123";
+  check "nothing yet" 0 (Buffer.length out);
+  check "pending" 4 (Word_filter.pending wf);
+  Word_filter.push_string wf "45678";
+  check_s "one unit out" "01234567" (Buffer.contents out);
+  check "one byte pending" 1 (Word_filter.pending wf);
+  let padded = Word_filter.flush wf ~pad:'.' in
+  check "pad added" 7 padded;
+  check_s "flushed" "012345678......." (Buffer.contents out);
+  check "emitted" 16 (Word_filter.emitted wf)
+
+let test_word_filter_empty_flush () =
+  let wf = Word_filter.create ~out_len:4 ~emit:(fun _ _ -> Alcotest.fail "no emit") in
+  check "no pad for empty" 0 (Word_filter.flush wf ~pad:'x')
+
+let prop_word_filter_preserves_stream =
+  QCheck.Test.make ~count:200 ~name:"re-chunking preserves the byte stream"
+    QCheck.(
+      triple (int_range 1 16)
+        (list_of_size Gen.(int_range 0 10) (string_of_size Gen.(int_range 0 9)))
+        char)
+    (fun (out_len, chunks, pad) ->
+      let out = Buffer.create 64 in
+      let wf =
+        Word_filter.create ~out_len ~emit:(fun b off ->
+            Buffer.add_subbytes out b off out_len)
+      in
+      List.iter (Word_filter.push_string wf) chunks;
+      let added = Word_filter.flush wf ~pad in
+      let whole = String.concat "" chunks in
+      Buffer.contents out = whole ^ String.make added pad)
+
+(* ------------------------------------------------------------------ *)
+(* Parts *)
+
+let test_parts_paper_layout () =
+  (* A 20-byte marshalled body behind the 4-byte length field: 24 bytes
+     total, no alignment needed. *)
+  let p = Parts.plan ~body_len:20 () in
+  check "total" 24 p.Parts.total;
+  check "alignment" 0 p.Parts.alignment;
+  check "alpha" 4 p.Parts.alpha;
+  check "beta" 8 p.Parts.beta;
+  check "gamma" 16 p.Parts.gamma;
+  checkb "A is the first block" true (Parts.part_a p = (0, 8));
+  checkb "B is the middle" true (Parts.part_b p = (8, 8));
+  checkb "C is the last block" true (Parts.part_c p = (16, 8));
+  check "length field" 24 (Parts.length_field p)
+
+let test_parts_tiny_message () =
+  let p = Parts.plan ~body_len:2 () in
+  check "one block" 8 p.Parts.total;
+  checkb "B empty" true (snd (Parts.part_b p) = 0);
+  checkb "C empty" true (snd (Parts.part_c p) = 0);
+  checkb "A covers all" true (Parts.part_a p = (0, 8))
+
+let test_parts_order () =
+  let p = Parts.plan ~body_len:100 () in
+  match Parts.in_processing_order p with
+  | [ ("B", _); ("C", _); ("A", _) ] -> ()
+  | _ -> Alcotest.fail "processing order must be B, C, A"
+
+let prop_parts_partition =
+  QCheck.Test.make ~count:300 ~name:"parts A, B, C tile the message exactly"
+    QCheck.(int_range 0 4000)
+    (fun body_len ->
+      let p = Parts.plan ~body_len () in
+      let a_off, a_len = Parts.part_a p in
+      let b_off, b_len = Parts.part_b p in
+      let c_off, c_len = Parts.part_c p in
+      p.Parts.total mod 8 = 0
+      && p.Parts.total >= 4 + body_len
+      && p.Parts.alignment < 8
+      && a_off = 0
+      && a_len = 8
+      && b_off = 8
+      && c_off = b_off + b_len
+      && a_len + b_len + c_len = p.Parts.total)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline: the central equivalence *)
+
+let make_sim () = Sim.create (Config.custom ())
+
+let install sim s =
+  let addr = Alloc.alloc sim.Sim.alloc ~align:8 (String.length s) in
+  Mem.poke_string sim.Sim.mem ~pos:addr s;
+  addr
+
+let read_back sim addr len =
+  Bytes.to_string (Mem.peek_bytes sim.Sim.mem ~pos:addr ~len)
+
+let stack_of_cipher sim which =
+  match which with
+  | 0 -> [ Dmf.of_cipher_encrypt (Ilp_cipher.Simple_cipher.charged sim) ]
+  | 1 ->
+      [ Dmf.marshalling sim ();
+        Dmf.of_cipher_encrypt
+          (Ilp_cipher.Safer_simplified.charged sim ~key:"abcdefgh" ()) ]
+  | _ ->
+      [ Dmf.marshalling sim ();
+        Dmf.of_cipher_encrypt (Ilp_cipher.Safer.charged sim ~key:"abcdefgh" ()) ]
+
+let prop_fused_equals_separate =
+  QCheck.Test.make ~count:100
+    ~name:"run_fused output is byte-identical to sequential passes"
+    QCheck.(triple (int_range 0 2) (int_range 1 24) (int_range 0 1000))
+    (fun (which, blocks, seed) ->
+      let len = blocks * 8 in
+      let data =
+        String.init len (fun i -> Char.chr ((i * 31 + seed) land 0xff))
+      in
+      (* Separate: one pass per stage through an intermediate buffer. *)
+      let sim1 = make_sim () in
+      let stages1 = stack_of_cipher sim1 which in
+      let src1 = install sim1 data in
+      let buf1 = Alloc.alloc sim1.Sim.alloc ~align:8 len in
+      List.iteri
+        (fun i stage ->
+          let src = if i = 0 then src1 else buf1 in
+          Pipeline.run_pass sim1 stage ~src ~dst:buf1 ~len ())
+        stages1;
+      let sep = read_back sim1 buf1 len in
+      (* Fused: single loop. *)
+      let sim2 = make_sim () in
+      let stages2 = stack_of_cipher sim2 which in
+      let src2 = install sim2 data in
+      let buf2 = Alloc.alloc sim2.Sim.alloc ~align:8 len in
+      let spec = Pipeline.spec stages2 in
+      Pipeline.run_fused sim2 spec ~src:src2 ~dst:buf2 ~len;
+      let fus = read_back sim2 buf2 len in
+      String.equal sep fus)
+
+let prop_tap_checksum_correct =
+  QCheck.Test.make ~count:100
+    ~name:"the fused checksum tap equals a separate checksum pass"
+    QCheck.(pair (int_range 1 20) (int_range 0 1000))
+    (fun (blocks, seed) ->
+      let len = blocks * 8 in
+      let data = String.init len (fun i -> Char.chr ((i * 7 + seed) land 0xff)) in
+      let sim = make_sim () in
+      let stages =
+        [ Dmf.of_cipher_encrypt (Ilp_cipher.Safer_simplified.charged sim ~key:"01234567" ()) ]
+      in
+      let src = install sim data in
+      let dst = Alloc.alloc sim.Sim.alloc ~align:8 len in
+      let cell = ref Internet.empty in
+      let tap block ~off ~len = cell := Internet.add_bytes !cell block ~off ~len in
+      let spec = Pipeline.spec ~tap ~tap_position:Pipeline.Tap_output stages in
+      Pipeline.run_fused sim spec ~src ~dst ~len;
+      Internet.finish !cell = Internet.checksum_string (read_back sim dst len))
+
+let prop_tap_input_position =
+  QCheck.Test.make ~count:100 ~name:"an input tap sees the untransformed stream"
+    QCheck.(int_range 1 20)
+    (fun blocks ->
+      let len = blocks * 8 in
+      let data = String.init len (fun i -> Char.chr ((i * 13) land 0xff)) in
+      let sim = make_sim () in
+      let stages = [ Dmf.of_cipher_encrypt (Ilp_cipher.Simple_cipher.charged sim) ] in
+      let src = install sim data in
+      let dst = Alloc.alloc sim.Sim.alloc ~align:8 len in
+      let cell = ref Internet.empty in
+      let tap block ~off ~len = cell := Internet.add_bytes !cell block ~off ~len in
+      let spec = Pipeline.spec ~tap ~tap_position:Pipeline.Tap_input stages in
+      Pipeline.run_fused sim spec ~src ~dst ~len;
+      Internet.finish !cell = Internet.checksum_string data)
+
+let prop_write_pattern_same_bytes =
+  QCheck.Test.make ~count:100 ~name:"store schedule never changes the bytes"
+    QCheck.(pair (int_range 1 16) (oneofl [ [ 1 ]; [ 2 ]; [ 4 ]; [ 8 ]; [ 4; 2; 1; 1 ] ]))
+    (fun (blocks, pattern) ->
+      let len = blocks * 8 in
+      let data = String.init len (fun i -> Char.chr ((i * 3) land 0xff)) in
+      let sim = make_sim () in
+      let stages = [ Dmf.of_cipher_encrypt (Ilp_cipher.Simple_cipher.charged sim) ] in
+      let src = install sim data in
+      let dst = Alloc.alloc sim.Sim.alloc ~align:8 len in
+      let spec = Pipeline.spec ~write_pattern:pattern stages in
+      Pipeline.run_fused sim spec ~src ~dst ~len;
+      read_back sim dst len = Ilp_cipher.Simple_cipher.encrypt_string data)
+
+let test_pipeline_in_place_pass () =
+  let sim = make_sim () in
+  let data = "0123456789abcdef" in
+  let addr = install sim data in
+  let stage = Dmf.of_cipher_encrypt (Ilp_cipher.Simple_cipher.charged sim) in
+  Pipeline.run_pass sim stage ~src:addr ~dst:addr ~len:16 ();
+  check_s "in place" (Ilp_cipher.Simple_cipher.encrypt_string data) (read_back sim addr 16)
+
+let test_pipeline_length_validation () =
+  let sim = make_sim () in
+  let stage = Dmf.of_cipher_encrypt (Ilp_cipher.Simple_cipher.charged sim) in
+  match Pipeline.run_fused sim (Pipeline.spec [ stage ]) ~src:64 ~dst:128 ~len:12 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_linkage_costs_more () =
+  let run linkage =
+    let sim = make_sim () in
+    let stages =
+      [ Dmf.marshalling sim ();
+        Dmf.of_cipher_encrypt (Ilp_cipher.Safer_simplified.charged sim ~key:"abcdefgh" ()) ]
+    in
+    let src = install sim (String.make 512 'x') in
+    let dst = Alloc.alloc sim.Sim.alloc ~align:8 512 in
+    Machine.reset_counters sim.Sim.machine;
+    Pipeline.run_fused sim (Pipeline.spec ~linkage stages) ~src ~dst ~len:512;
+    Machine.cycles sim.Sim.machine
+  in
+  checkb "function calls cost more than macros" true
+    (run Linkage.function_calls > run Linkage.Macro)
+
+let test_linkage_code_scale () =
+  check "macro duplicates" 300 (Linkage.code_scale Linkage.Macro ~expansion_sites:3 100);
+  check "calls share" 100
+    (Linkage.code_scale Linkage.function_calls ~expansion_sites:3 100);
+  check "call ops" 15 (Linkage.call_ops Linkage.function_calls);
+  check "macro free" 0 (Linkage.call_ops Linkage.Macro)
+
+(* ------------------------------------------------------------------ *)
+(* Dmf *)
+
+let test_dmf_apply_over () =
+  let count = ref 0 in
+  let d = Dmf.create ~name:"probe" ~unit_len:4 ~code:Code.none (fun _ _ -> incr count) in
+  Dmf.apply_over d (Bytes.create 16) ~off:0 ~len:16;
+  check "applied per unit" 4 !count;
+  match Dmf.apply_over d (Bytes.create 10) ~off:0 ~len:10 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_dmf_identity () =
+  let d = Dmf.identity 8 in
+  let b = Bytes.of_string "ABCDEFGH" in
+  d.Dmf.transform b 0;
+  check_s "unchanged" "ABCDEFGH" (Bytes.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Engine round trips *)
+
+let make_engine ?(mode = Engine.Ilp) ?(header_style = Engine.Leading)
+    ?(coalesce_writes = false) ?cipher () =
+  let sim = make_sim () in
+  let cipher =
+    match cipher with
+    | Some c -> c sim
+    | None -> Ilp_cipher.Safer_simplified.charged sim ~key:"engineKY" ()
+  in
+  (sim, Engine.create sim ~cipher ~mode ~coalesce_writes ~header_style ())
+
+let engine_roundtrip ~mode ~header_style ~prefix ~payload =
+  let sim, eng = make_engine ~mode ~header_style () in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix ~payload_addr ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
+  (* Receive through the same engine (fresh buffers are enough: the
+     engine's rx writes into its own area). *)
+  (match mode with
+  | Engine.Ilp ->
+      let acc = Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len in
+      (* The send-side accumulator and receive-side accumulator both cover
+         the same ciphertext. *)
+      (match acc_opt with
+      | Some send_acc ->
+          check "send acc = recv acc" (Internet.finish send_acc) (Internet.finish acc)
+      | None -> Alcotest.fail "ILP fill must return a checksum")
+  | Engine.Separate ->
+      checkb "separate fill returns no checksum" true (acc_opt = None);
+      Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  (* The plaintext must contain the prefix at position 4 (leading) or 0
+     (trailer), followed by the payload. *)
+  let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
+  check_s "prefix recovered" prefix (String.sub plaintext off (String.length prefix));
+  check_s "payload recovered" payload
+    (String.sub plaintext (off + String.length prefix) (String.length payload))
+
+let test_engine_roundtrip_ilp () =
+  engine_roundtrip ~mode:Engine.Ilp ~header_style:Engine.Leading
+    ~prefix:"HDRWORDS12345678" ~payload:"the payload bytes!"
+
+let test_engine_roundtrip_separate () =
+  engine_roundtrip ~mode:Engine.Separate ~header_style:Engine.Leading
+    ~prefix:"HDRWORDS12345678" ~payload:"the payload bytes!"
+
+let test_engine_roundtrip_trailer () =
+  engine_roundtrip ~mode:Engine.Ilp ~header_style:Engine.Trailer
+    ~prefix:"HDRWORDS12345678" ~payload:"the payload bytes!"
+
+let test_engine_modes_agree () =
+  (* Both implementations must put the same ciphertext on the wire. *)
+  let payload = String.init 333 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let prefix = "PFXWORDS" in
+  let run mode =
+    let sim, eng = make_engine ~mode () in
+    let payload_addr = install sim payload in
+    let prepared =
+      Engine.prepare_send eng ~prefix ~payload_addr ~payload_len:(String.length payload)
+    in
+    let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+    ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+    read_back sim wire prepared.Engine.len
+  in
+  check_s "identical wire bytes" (run Engine.Separate) (run Engine.Ilp)
+
+let test_engine_ilp_checksum_matches_wire () =
+  (* The fused loop's checksum must equal a separate checksum of what it
+     wrote — TCP relies on this. *)
+  let payload = String.init 200 (fun i -> Char.chr ((i * 5) land 0xff)) in
+  let sim, eng = make_engine ~mode:Engine.Ilp () in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix:"ABCD" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  match prepared.Engine.fill sim.Sim.mem ~dst:wire with
+  | None -> Alcotest.fail "expected a checksum"
+  | Some acc ->
+      check "tap checksum = wire checksum"
+        (Internet.checksum_string (read_back sim wire prepared.Engine.len))
+        (Internet.finish acc)
+
+let prop_engine_roundtrip_sizes =
+  QCheck.Test.make ~count:60 ~name:"engine round trip across payload sizes and modes"
+    QCheck.(
+      triple (int_range 0 900) (int_range 0 5) (oneofl Engine.[ Ilp; Separate ]))
+    (fun (payload_len, prefix_words, mode) ->
+      let payload = String.init payload_len (fun i -> Char.chr ((i * 97) land 0xff)) in
+      let prefix = String.concat "" (List.init prefix_words (fun _ -> "WXYZ")) in
+      let sim, eng = make_engine ~mode () in
+      let payload_addr = if payload_len = 0 then 64 else install sim payload in
+      let prepared =
+        Engine.prepare_send eng ~prefix ~payload_addr ~payload_len
+      in
+      let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+      let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
+      (match mode with
+      | Engine.Ilp ->
+          ignore (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+      | Engine.Separate ->
+          Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+      ignore acc_opt;
+      let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+      String.sub plaintext 4 (String.length prefix) = prefix
+      && String.sub plaintext (4 + String.length prefix) payload_len = payload)
+
+let test_engine_coalesce_same_bytes () =
+  let payload = String.init 120 (fun i -> Char.chr (i * 2 land 0xff)) in
+  let run coalesce =
+    let sim, eng = make_engine ~mode:Engine.Ilp ~coalesce_writes:coalesce () in
+    let payload_addr = install sim payload in
+    let prepared =
+      Engine.prepare_send eng ~prefix:"PRFX" ~payload_addr
+        ~payload_len:(String.length payload)
+    in
+    let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+    ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+    read_back sim wire prepared.Engine.len
+  in
+  check_s "LCM stores produce the same ciphertext" (run false) (run true)
+
+let test_engine_rx_late_roundtrip () =
+  (* The Late placement (section 3.2.3): TCP checksums separately, the
+     deferred fused pass still reconstructs the plaintext. *)
+  let payload = String.init 250 (fun i -> Char.chr ((i * 3) land 0xff)) in
+  let sim, eng = make_engine ~mode:Engine.Ilp () in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix:"LATE" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  Engine.rx_late eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len;
+  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  check_s "payload recovered via late placement" payload
+    (String.sub plaintext 8 (String.length payload))
+
+let test_engine_rx_style () =
+  let style_of ~mode ~rx_placement =
+    let sim = make_sim () in
+    let cipher = Ilp_cipher.Simple_cipher.charged sim in
+    Engine.rx_style (Engine.create sim ~cipher ~mode ~rx_placement ())
+  in
+  (match style_of ~mode:Engine.Ilp ~rx_placement:Engine.Early with
+  | Engine.Rx_integrated_style _ -> ()
+  | Engine.Rx_deferred_style _ -> Alcotest.fail "ILP/Early must integrate");
+  (match style_of ~mode:Engine.Ilp ~rx_placement:Engine.Late with
+  | Engine.Rx_deferred_style _ -> ()
+  | Engine.Rx_integrated_style _ -> Alcotest.fail "ILP/Late must defer");
+  match style_of ~mode:Engine.Separate ~rx_placement:Engine.Early with
+  | Engine.Rx_deferred_style _ -> ()
+  | Engine.Rx_integrated_style _ -> Alcotest.fail "Separate never integrates"
+
+let test_engine_segments_multi_payload () =
+  (* The generalized send path: a message whose body interleaves two
+     memory-resident runs with generated words (what the ILP-extended stub
+     compiler produces) round-trips through the fused loop. *)
+  let sim, eng = make_engine ~mode:Engine.Ilp () in
+  let a = install sim "alpha-region-data" and b = install sim "beta!!" in
+  let body =
+    [ Engine.Seg_gen "HDR1";
+      Engine.Seg_app { addr = a; len = 17 };
+      Engine.Seg_gen "\000\000\000MID0";
+      Engine.Seg_app { addr = b; len = 6 };
+      Engine.Seg_gen "\000\000TL" ]
+  in
+  let prepared = Engine.prepare_send_segments eng body in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  let acc = Option.get (prepared.Engine.fill sim.Sim.mem ~dst:wire) in
+  check "wire checksum matches the fused tap"
+    (Internet.checksum_string (read_back sim wire prepared.Engine.len))
+    (Internet.finish acc);
+  ignore (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  let expected = "HDR1alpha-region-data\000\000\000MID0beta!!\000\000TL" in
+  check_s "body reconstructed" expected
+    (String.sub plaintext 4 (String.length expected))
+
+let test_engine_validations () =
+  let _, eng = make_engine () in
+  (match Engine.prepare_send eng ~prefix:"abc" ~payload_addr:0 ~payload_len:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument (prefix alignment)"
+  | exception Invalid_argument _ -> ());
+  match Engine.prepare_send eng ~prefix:"" ~payload_addr:0 ~payload_len:100_000 with
+  | _ -> Alcotest.fail "expected Invalid_argument (too big)"
+  | exception Invalid_argument _ -> ()
+
+let prop_engine_all_flag_combinations =
+  QCheck.Test.make ~count:120
+    ~name:"engine round trip holds for every flag combination"
+    QCheck.(
+      pair
+        (quad (oneofl Engine.[ Ilp; Separate ])
+           (oneofl Engine.[ Leading; Trailer ])
+           (oneofl Engine.[ Early; Late ])
+           (pair bool bool))
+        (int_range 0 700))
+    (fun ((mode, header_style, rx_placement, (coalesce, uniform)), payload_len) ->
+      let sim = make_sim () in
+      let cipher = Ilp_cipher.Safer_simplified.charged sim ~key:"combokey" () in
+      let eng =
+        Engine.create sim ~cipher ~mode ~header_style ~rx_placement
+          ~coalesce_writes:coalesce ~uniform_units:uniform ()
+      in
+      let payload = String.init payload_len (fun i -> Char.chr ((i * 41) land 0xff)) in
+      let payload_addr = if payload_len = 0 then 64 else install sim payload in
+      let prepared = Engine.prepare_send eng ~prefix:"CMBO" ~payload_addr ~payload_len in
+      let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+      let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
+      (* The checksum contract per mode. *)
+      let checksum_ok =
+        match (mode, acc_opt) with
+        | Engine.Separate, None -> true
+        | Engine.Ilp, Some acc ->
+            Internet.finish acc
+            = Internet.checksum_string (read_back sim wire prepared.Engine.len)
+        | _, _ -> false
+      in
+      (match Engine.rx_style eng with
+      | Engine.Rx_integrated_style f ->
+          ignore (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+      | Engine.Rx_deferred_style f -> f sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+      let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+      let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
+      checksum_ok
+      && String.sub plaintext off 4 = "CMBO"
+      && String.sub plaintext (off + 4) payload_len = payload)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [ ( "units",
+        [ Alcotest.test_case "gcd/lcm" `Quick test_units_gcd_lcm;
+          Alcotest.test_case "exchange unit" `Quick test_exchange_unit;
+          Alcotest.test_case "aligned" `Quick test_aligned;
+          qc prop_lcm_divisibility ] );
+      ( "word_filter",
+        [ Alcotest.test_case "basic" `Quick test_word_filter_basic;
+          Alcotest.test_case "empty flush" `Quick test_word_filter_empty_flush;
+          qc prop_word_filter_preserves_stream ] );
+      ( "parts",
+        [ Alcotest.test_case "paper layout" `Quick test_parts_paper_layout;
+          Alcotest.test_case "tiny message" `Quick test_parts_tiny_message;
+          Alcotest.test_case "B, C, A order" `Quick test_parts_order;
+          qc prop_parts_partition ] );
+      ( "dmf",
+        [ Alcotest.test_case "apply_over" `Quick test_dmf_apply_over;
+          Alcotest.test_case "identity" `Quick test_dmf_identity ] );
+      ( "pipeline",
+        [ Alcotest.test_case "in-place pass" `Quick test_pipeline_in_place_pass;
+          Alcotest.test_case "length validation" `Quick test_pipeline_length_validation;
+          Alcotest.test_case "linkage cost" `Quick test_linkage_costs_more;
+          Alcotest.test_case "code scale" `Quick test_linkage_code_scale;
+          qc prop_fused_equals_separate;
+          qc prop_tap_checksum_correct;
+          qc prop_tap_input_position;
+          qc prop_write_pattern_same_bytes ] );
+      ( "engine",
+        [ Alcotest.test_case "round trip (ILP)" `Quick test_engine_roundtrip_ilp;
+          Alcotest.test_case "round trip (separate)" `Quick
+            test_engine_roundtrip_separate;
+          Alcotest.test_case "round trip (trailer)" `Quick test_engine_roundtrip_trailer;
+          Alcotest.test_case "modes produce identical wire bytes" `Quick
+            test_engine_modes_agree;
+          Alcotest.test_case "ILP checksum matches wire" `Quick
+            test_engine_ilp_checksum_matches_wire;
+          Alcotest.test_case "coalesced stores same bytes" `Quick
+            test_engine_coalesce_same_bytes;
+          Alcotest.test_case "late-placement round trip" `Quick
+            test_engine_rx_late_roundtrip;
+          Alcotest.test_case "rx style selection" `Quick test_engine_rx_style;
+          Alcotest.test_case "multi-payload segments" `Quick
+            test_engine_segments_multi_payload;
+          Alcotest.test_case "validations" `Quick test_engine_validations;
+          qc prop_engine_roundtrip_sizes;
+          qc prop_engine_all_flag_combinations ] ) ]

@@ -1,0 +1,239 @@
+(* RPC messages and the file-transfer client/server over the full stack. *)
+
+open Ilp_memsim
+module Simclock = Ilp_netsim.Simclock
+module Link = Ilp_netsim.Link
+module Demux = Ilp_netsim.Demux
+module Socket = Ilp_tcp.Socket
+module Engine = Ilp_core.Engine
+open Ilp_rpc
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Message formats *)
+
+(* Build a plaintext the way the engine does: length field + message +
+   zero alignment to 8 bytes. *)
+let plaintext_of ?(length_at_end = false) body =
+  let enc_len = 4 + String.length body in
+  let total = (enc_len + 7) / 8 * 8 in
+  let total = max total 8 in
+  let len_word =
+    String.init 4 (fun i -> Char.chr ((enc_len lsr ((3 - i) * 8)) land 0xff))
+  in
+  if length_at_end then
+    let pad = String.make (total - String.length body - 4) '\000' in
+    body ^ pad ^ len_word
+  else len_word ^ body ^ String.make (total - enc_len) '\000'
+
+let test_request_roundtrip () =
+  let req = { Messages.file_name = "paper.dat"; copies = 3; max_reply = 1024 } in
+  let plaintext = plaintext_of (Messages.encode_request req) in
+  match Messages.decode_request plaintext with
+  | Ok got ->
+      check_s "name" req.Messages.file_name got.Messages.file_name;
+      check "copies" 3 got.Messages.copies;
+      check "max reply" 1024 got.Messages.max_reply
+  | Error e -> Alcotest.fail e
+
+let test_request_roundtrip_trailer () =
+  let req = { Messages.file_name = "f"; copies = 1; max_reply = 64 } in
+  let plaintext = plaintext_of ~length_at_end:true (Messages.encode_request req) in
+  match Messages.decode_request ~length_at_end:true plaintext with
+  | Ok got -> check_s "name" "f" got.Messages.file_name
+  | Error e -> Alcotest.fail e
+
+let test_reply_roundtrip () =
+  let hdr =
+    { Messages.status = Messages.Ok; copy = 2; file_offset = 4096; total_len = 15360;
+      data_len = 7 }
+  in
+  let body = Messages.reply_prefix hdr ^ "payload" in
+  let plaintext = plaintext_of body in
+  match Messages.decode_reply plaintext with
+  | Ok (got, data) ->
+      checkb "header" true (got = hdr);
+      check_s "data" "payload" data
+  | Error e -> Alcotest.fail e
+
+let test_reply_error_status () =
+  let hdr =
+    { Messages.status = Messages.Not_found; copy = 0; file_offset = 0; total_len = 0;
+      data_len = 0 }
+  in
+  let plaintext = plaintext_of (Messages.reply_prefix hdr) in
+  match Messages.decode_reply plaintext with
+  | Ok (got, data) ->
+      checkb "status" true (got.Messages.status = Messages.Not_found);
+      check_s "no data" "" data
+  | Error e -> Alcotest.fail e
+
+let test_decode_garbage () =
+  (match Messages.decode_request "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  (match Messages.decode_request (String.make 16 '\xff') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Messages.decode_reply (plaintext_of "\x00\x00\x00\x09garbage.") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad reply accepted"
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"request encode/decode round trip"
+    QCheck.(
+      triple
+        (string_of_size Gen.(int_bound 30))
+        (int_range 0 100) (int_range 0 100_000))
+    (fun (file_name, copies, max_reply) ->
+      let req = { Messages.file_name; copies; max_reply } in
+      let plaintext = plaintext_of (Messages.encode_request req) in
+      match Messages.decode_request plaintext with
+      | Ok got -> got = req
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Client/server over the full stack *)
+
+type world = {
+  sim : Sim.t;
+  clock : Simclock.t;
+  server : Server.t;
+  client : Client.t;
+  file : string;
+}
+
+let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096) () =
+  let sim = Sim.create Config.ss10_30 in
+  let clock = Simclock.create () in
+  let demux = Demux.create () in
+  let link = ref None in
+  let wire_out d = Link.send (Option.get !link) d in
+  link :=
+    Some (Link.create clock ~delay_us:50.0 ~loss_rate ~seed:7
+            ~deliver:(Demux.deliver demux) ());
+  let key = "rpcTESTk" in
+  let srv_engine =
+    Engine.create sim ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ()) ~mode ()
+  in
+  let cli_engine =
+    Engine.create sim ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ()) ~mode ()
+  in
+  let cfg = { Socket.default_config with mss = 2048 } in
+  let srv_ctrl = Socket.create sim clock cfg ~local_port:10 ~wire_out in
+  let cli_ctrl = Socket.create sim clock cfg ~local_port:11 ~wire_out in
+  let srv_data = Socket.create sim clock cfg ~local_port:12 ~wire_out in
+  let cli_data = Socket.create sim clock cfg ~local_port:13 ~wire_out in
+  List.iter
+    (fun (port, s) -> Demux.bind demux ~port (Socket.handle_datagram s))
+    [ (10, srv_ctrl); (11, cli_ctrl); (12, srv_data); (13, cli_data) ];
+  let server = Server.create ~clock ~engine:srv_engine ~ctrl:srv_ctrl ~data:srv_data () in
+  let client = Client.create ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data in
+  let file = Ilp_app.Workload.generate ~len:file_len ~seed:3 in
+  let addr = Ilp_app.Workload.install sim file in
+  Server.add_file server ~name:"test.bin" ~addr ~len:file_len;
+  Socket.listen srv_ctrl;
+  Socket.listen cli_data;
+  Socket.connect cli_ctrl ~remote_port:10;
+  Socket.connect srv_data ~remote_port:13;
+  Simclock.run_until_idle clock;
+  { sim; clock; server; client; file }
+
+let pump w =
+  let guard = ref 50_000 in
+  while
+    (not (Client.transfer_complete w.client))
+    && (not (Client.rejected w.client))
+    && Client.errors w.client = []
+    && !guard > 0
+  do
+    decr guard;
+    Simclock.advance w.clock 2_000.0
+  done;
+  Simclock.run_until_idle w.clock
+
+let test_transfer_ilp () =
+  let w = make_world ~mode:Engine.Ilp () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:2 ~max_reply:1000
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete" true (Client.transfer_complete w.client);
+  check "bytes" (2 * String.length w.file) (Client.bytes_received w.client);
+  check "requests seen" 1 (Server.requests_received w.server);
+  check "no pending replies" 0 (Server.pending_replies w.server)
+
+let test_transfer_separate () =
+  let w = make_world ~mode:Engine.Separate () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete" true (Client.transfer_complete w.client)
+
+let test_transfer_under_loss () =
+  let w = make_world ~mode:Engine.Ilp ~loss_rate:0.1 () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:2 ~max_reply:700
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete despite loss" true (Client.transfer_complete w.client)
+
+let test_missing_file_rejected () =
+  let w = make_world () in
+  (match
+     Client.request_file w.client ~name:"nope.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump w;
+  checkb "rejected" true (Client.rejected w.client);
+  checkb "not complete" false (Client.transfer_complete w.client)
+
+let test_odd_sized_tail_segment () =
+  (* A file that does not divide evenly by max_reply exercises the short
+     final segment (and the alignment machinery). *)
+  let w = make_world ~file_len:1000 () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:333
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete" true (Client.transfer_complete w.client);
+  check "segments" 4 (Client.replies_received w.client)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rpc"
+    [ ( "messages",
+        [ Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request trailer" `Quick test_request_roundtrip_trailer;
+          Alcotest.test_case "reply round trip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "error status" `Quick test_reply_error_status;
+          Alcotest.test_case "garbage" `Quick test_decode_garbage;
+          qc prop_request_roundtrip ] );
+      ( "client-server",
+        [ Alcotest.test_case "transfer (ILP)" `Quick test_transfer_ilp;
+          Alcotest.test_case "transfer (separate)" `Quick test_transfer_separate;
+          Alcotest.test_case "transfer under loss" `Quick test_transfer_under_loss;
+          Alcotest.test_case "missing file" `Quick test_missing_file_rejected;
+          Alcotest.test_case "odd tail segment" `Quick test_odd_sized_tail_segment ] ) ]

@@ -1,0 +1,529 @@
+(* User-level TCP: header codec, ring buffer, RTO estimation, and
+   end-to-end socket behaviour under loss, reordering, duplication and
+   corruption. *)
+
+open Ilp_memsim
+module Simclock = Ilp_netsim.Simclock
+module Link = Ilp_netsim.Link
+module Demux = Ilp_netsim.Demux
+module Datagram = Ilp_netsim.Datagram
+open Ilp_tcp
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Header *)
+
+let sample_header =
+  Tcp_header.make ~seq:123456789 ~ack:987654321
+    ~flags:(Tcp_header.ack_flag lor Tcp_header.psh)
+    ~window:8192 ~checksum:0xBEEF ~urgent:7 ~src_port:1234 ~dst_port:80 ()
+
+let test_header_string_roundtrip () =
+  let s = Tcp_header.to_string sample_header in
+  check "size" Tcp_header.size (String.length s);
+  let h = Tcp_header.of_string s ~pos:0 in
+  checkb "round trip" true (h = sample_header)
+
+let test_header_mem_roundtrip () =
+  let sim = Sim.create (Config.custom ()) in
+  Tcp_header.write_mem sim.Sim.mem ~pos:256 sample_header;
+  let h = Tcp_header.read_mem sim.Sim.mem ~pos:256 in
+  checkb "round trip through simulated memory" true (h = sample_header);
+  checkb "header traffic was charged" true
+    (Stats.accesses (Machine.stats sim.Sim.machine) Stats.Write > 0)
+
+let test_header_flags () =
+  checkb "ack set" true (Tcp_header.has sample_header Tcp_header.ack_flag);
+  checkb "psh set" true (Tcp_header.has sample_header Tcp_header.psh);
+  checkb "syn clear" false (Tcp_header.has sample_header Tcp_header.syn)
+
+let test_header_checksum_consistency () =
+  (* The checksum computed over a payload verifies against a recomputation
+     with the same parts. *)
+  let payload = "hello, checksummed world" in
+  let acc =
+    Ilp_checksum.Internet.add_string Ilp_checksum.Internet.empty payload
+  in
+  let ck =
+    Tcp_header.checksum sample_header ~payload_acc:acc
+      ~payload_len:(String.length payload)
+  in
+  let ck2 =
+    Tcp_header.checksum sample_header ~payload_acc:acc
+      ~payload_len:(String.length payload)
+  in
+  check "deterministic" ck ck2;
+  let acc' =
+    Ilp_checksum.Internet.add_string Ilp_checksum.Internet.empty
+      ("h" ^ String.sub payload 1 (String.length payload - 1))
+  in
+  check "same data same sum"
+    (Tcp_header.checksum sample_header ~payload_acc:acc'
+       ~payload_len:(String.length payload))
+    ck;
+  let corrupt =
+    Ilp_checksum.Internet.add_string Ilp_checksum.Internet.empty
+      ("X" ^ String.sub payload 1 (String.length payload - 1))
+  in
+  checkb "different data different sum" true
+    (Tcp_header.checksum sample_header ~payload_acc:corrupt
+       ~payload_len:(String.length payload)
+    <> ck)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let test_ring_basic () =
+  let sim = Sim.create (Config.custom ()) in
+  let ring = Ring.create sim ~size:100 in
+  check "initially empty" 100 (Ring.available ring);
+  let a = Option.get (Ring.reserve ring 40) in
+  let b = Option.get (Ring.reserve ring 40) in
+  checkb "contiguous" true (b = a + 40);
+  check "in flight" 2 (Ring.in_flight ring);
+  checkb "no room for 40 more" true (Ring.reserve ring 40 = None);
+  Ring.release ring;
+  check "released" 1 (Ring.in_flight ring);
+  checkb "oldest is b" true (Ring.peek_oldest ring = Some (b, 40))
+
+let test_ring_wrap_waste () =
+  let sim = Sim.create (Config.custom ()) in
+  let ring = Ring.create sim ~size:100 in
+  let a = Option.get (Ring.reserve ring 60) in
+  Ring.release ring;
+  (* Head is at 60; a 50-byte reservation cannot span the end, so the
+     40-byte tail is wasted and the region starts at the base again. *)
+  let b = Option.get (Ring.reserve ring 50) in
+  checkb "wrapped to base" true (b = a);
+  check "waste accounted" 10 (Ring.available ring);
+  Ring.release ring;
+  check "waste freed with the entry" 100 (Ring.available ring)
+
+let test_ring_reserve_too_big () =
+  let sim = Sim.create (Config.custom ()) in
+  let ring = Ring.create sim ~size:64 in
+  checkb "over-size rejected" true (Ring.reserve ring 65 = None);
+  checkb "zero rejected" true (Ring.reserve ring 0 = None)
+
+let test_ring_release_empty () =
+  let sim = Sim.create (Config.custom ()) in
+  let ring = Ring.create sim ~size:64 in
+  match Ring.release ring with
+  | () -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let prop_ring_fifo =
+  QCheck.Test.make ~count:100 ~name:"ring reservations release FIFO and restore space"
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 40))
+    (fun lens ->
+      let sim = Sim.create (Config.custom ()) in
+      let ring = Ring.create sim ~size:128 in
+      let ok = ref true in
+      List.iter
+        (fun len ->
+          match Ring.reserve ring len with
+          | Some addr ->
+              ok := !ok && addr >= 0;
+              (* Release at random-ish parity to exercise interleaving. *)
+              if Ring.in_flight ring > 2 then Ring.release ring
+          | None ->
+              if Ring.in_flight ring > 0 then Ring.release ring)
+        lens;
+      while Ring.in_flight ring > 0 do
+        Ring.release ring
+      done;
+      !ok && Ring.available ring = 128)
+
+(* ------------------------------------------------------------------ *)
+(* RTO *)
+
+let test_rto_defaults_and_sampling () =
+  let r = Rto.create ~initial_us:1000.0 ~min_us:100.0 ~max_us:10_000.0 () in
+  checkb "initial" true (Rto.timeout_us r = 1000.0);
+  Rto.sample r 400.0;
+  checkb "after sample, srtt known" true (Rto.srtt_us r = Some 400.0);
+  let t = Rto.timeout_us r in
+  checkb "timeout within clamps" true (t >= 100.0 && t <= 10_000.0)
+
+let test_rto_backoff () =
+  let r = Rto.create ~initial_us:1000.0 ~min_us:100.0 ~max_us:10_000.0 () in
+  let t0 = Rto.timeout_us r in
+  Rto.backoff r;
+  let t1 = Rto.timeout_us r in
+  checkb "doubles" true (t1 = 2.0 *. t0);
+  Rto.backoff r;
+  Rto.backoff r;
+  Rto.backoff r;
+  Rto.backoff r;
+  checkb "clamped at max" true (Rto.timeout_us r <= 10_000.0);
+  Rto.reset_backoff r;
+  checkb "reset" true (Rto.timeout_us r = t0)
+
+let test_rto_smoothing () =
+  let r = Rto.create ~min_us:50.0 () in
+  List.iter (fun v -> Rto.sample r v) [ 100.0; 100.0; 100.0; 100.0 ];
+  let t = Rto.timeout_us r in
+  (* srtt = 100, rttvar decays: timeout approaches min-bounded srtt. *)
+  checkb "converges near srtt" true (t < 500.0 *. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Socket integration *)
+
+type world = {
+  sim : Sim.t;
+  clock : Simclock.t;
+  a : Socket.t;
+  b : Socket.t;
+  link : Link.t;
+}
+
+let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 11)
+    ?(mss = 1024) ?(ack_delay_us = 0.0) ?(congestion_control = true)
+    ?(mangle = fun _ s -> s) () =
+  let sim = Sim.create (Config.custom ()) in
+  let clock = Simclock.create () in
+  let demux = Demux.create () in
+  let link_ref = ref None in
+  let count = ref 0 in
+  let wire_out d =
+    incr count;
+    let payload = mangle !count d.Datagram.payload in
+    Link.send (Option.get !link_ref)
+      (Datagram.create ~src_port:d.Datagram.src_port ~dst_port:d.Datagram.dst_port
+         ~payload)
+  in
+  let cfg = { Socket.default_config with mss; ack_delay_us; congestion_control } in
+  let a = Socket.create sim clock cfg ~local_port:100 ~wire_out in
+  let b = Socket.create sim clock cfg ~local_port:200 ~wire_out in
+  link_ref :=
+    Some
+      (Link.create clock ~delay_us:25.0 ~loss_rate ~jitter_us ~dup_rate ~seed
+         ~deliver:(Demux.deliver demux) ());
+  Demux.bind demux ~port:100 (Socket.handle_datagram a);
+  Demux.bind demux ~port:200 (Socket.handle_datagram b);
+  { sim; clock; a; b; link = Option.get !link_ref }
+
+let connect w =
+  Socket.listen w.b;
+  Socket.connect w.a ~remote_port:200;
+  Simclock.run_until_idle w.clock
+
+let collect_into w buf =
+  Socket.set_on_message w.b (fun ~src ~len ->
+      Buffer.add_bytes buf (Mem.peek_bytes w.sim.Sim.mem ~pos:src ~len))
+
+(* Pump the world while pushing messages as buffer space allows.
+   [burst_us] controls the pacing: large values ack each message before
+   the next is sent, small values keep many segments in flight. *)
+let transfer ?(burst_us = 1_000.0) w messages =
+  let pending = Queue.of_seq (List.to_seq messages) in
+  let guard = ref 100_000 in
+  while (not (Queue.is_empty pending)) && !guard > 0 do
+    decr guard;
+    (match Queue.peek_opt pending with
+    | None -> ()
+    | Some payload -> (
+        let fill m ~dst =
+          Mem.poke_string m ~pos:dst payload;
+          None
+        in
+        match Socket.send_message w.a ~len:(String.length payload) ~fill with
+        | Ok () -> ignore (Queue.pop pending)
+        | Error _ -> ()));
+    Simclock.advance w.clock burst_us
+  done;
+  (* Let retransmissions finish. *)
+  Simclock.run_until_idle w.clock
+
+let test_handshake () =
+  let w = make_world () in
+  connect w;
+  Alcotest.(check string)
+    "a established" "ESTABLISHED"
+    (Socket.state_to_string (Socket.state w.a));
+  Alcotest.(check string)
+    "b established" "ESTABLISHED"
+    (Socket.state_to_string (Socket.state w.b))
+
+let test_handshake_under_loss () =
+  (* Seed chosen so that packets (including handshake ones) do drop. *)
+  let w = make_world ~loss_rate:0.4 ~seed:5 () in
+  connect w;
+  checkb "a eventually established" true (Socket.state w.a = Socket.Established)
+
+let test_simple_transfer () =
+  let w = make_world () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  transfer w [ "hello"; "world"; String.make 1000 'x' ];
+  Alcotest.(check string)
+    "stream intact"
+    ("helloworld" ^ String.make 1000 'x')
+    (Buffer.contents got);
+  check "no retransmissions" 0 (Socket.stats w.a).Socket.retransmissions
+
+let test_transfer_under_loss () =
+  let w = make_world ~loss_rate:0.2 ~seed:17 () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 40 (fun i -> String.make (50 + (i * 13 mod 500)) (Char.chr (65 + (i mod 26)))) in
+  transfer w msgs;
+  Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
+  checkb "retransmissions happened" true ((Socket.stats w.a).Socket.retransmissions > 0)
+
+let test_transfer_with_reordering () =
+  let w = make_world ~jitter_us:2500.0 ~seed:23 () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 30 (fun i -> Printf.sprintf "message-%02d-%s" i (String.make 40 '.')) in
+  transfer w msgs;
+  Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
+  checkb "out-of-order segments seen" true ((Socket.stats w.b).Socket.out_of_order > 0)
+
+let test_transfer_with_duplication () =
+  let w = make_world ~dup_rate:0.5 ~seed:31 () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 20 (fun i -> Printf.sprintf "%04d-payload" i) in
+  transfer w msgs;
+  Alcotest.(check string) "duplicates filtered" (String.concat "" msgs) (Buffer.contents got);
+  checkb "duplicates seen" true ((Socket.stats w.b).Socket.duplicates > 0)
+
+let test_corruption_detected_and_recovered () =
+  (* Flip a payload byte of the 8th wire datagram once; TCP must drop it on
+     checksum and recover by retransmission.  The payload sits behind the
+     IP and TCP headers. *)
+  let hdrs = Ilp_netsim.Ipv4.header_len + Tcp_header.size in
+  let flipped = ref false in
+  let mangle n s =
+    if n = 8 && String.length s > hdrs + 2 && not !flipped then begin
+      flipped := true;
+      let b = Bytes.of_string s in
+      Bytes.set b (hdrs + 1)
+        (Char.chr (Char.code (Bytes.get b (hdrs + 1)) lxor 0xff));
+      Bytes.to_string b
+    end
+    else s
+  in
+  let w = make_world ~mangle () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 10 (fun i -> Printf.sprintf "msg%02d-%s" i (String.make 100 'q')) in
+  transfer w msgs;
+  Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
+  checkb "mangled once" true !flipped;
+  check "checksum failure recorded" 1 (Socket.stats w.b).Socket.checksum_failures;
+  checkb "recovered by retransmission" true ((Socket.stats w.a).Socket.retransmissions > 0)
+
+let test_send_errors () =
+  let w = make_world ~mss:256 () in
+  (* Not established yet. *)
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "x";
+    None
+  in
+  checkb "not established" true
+    (Socket.send_message w.a ~len:1 ~fill = Error Socket.Not_established);
+  connect w;
+  checkb "too big" true
+    (Socket.send_message w.a ~len:1000 ~fill = Error Socket.Message_too_big)
+
+let test_backpressure () =
+  (* Congestion control off: this test targets the ring and the peer
+     window. *)
+  let w = make_world ~congestion_control:false () in
+  connect w;
+  (* Fill the window/ring without ever advancing the clock: acks cannot
+     arrive, so sends must eventually refuse. *)
+  let sent = ref 0 in
+  let blocked = ref false in
+  let payload = String.make 1000 'z' in
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst payload;
+    None
+  in
+  for _ = 1 to 40 do
+    if not !blocked then
+      match Socket.send_message w.a ~len:1000 ~fill with
+      | Ok () -> incr sent
+      | Error (Socket.Buffer_full | Socket.Window_full) -> blocked := true
+      | Error _ -> Alcotest.fail "unexpected error"
+  done;
+  checkb "eventually blocked" true !blocked;
+  checkb "but sent several first" true (!sent >= 8);
+  checkb "in flight tracked" true (Socket.bytes_in_flight w.a = !sent * 1000);
+  (* Draining the network frees the window again. *)
+  Simclock.run_until_idle w.clock;
+  check "all acked" 0 (Socket.bytes_in_flight w.a)
+
+let test_close_sequence () =
+  let w = make_world () in
+  connect w;
+  let got = Buffer.create 8 in
+  collect_into w got;
+  transfer w [ "bye" ];
+  Socket.close w.a;
+  Simclock.run_until_idle w.clock;
+  checkb "a half closed" true
+    (match Socket.state w.a with Socket.Fin_wait_2 | Socket.Time_wait | Socket.Closed -> true | _ -> false);
+  checkb "b saw fin" true (Socket.state w.b = Socket.Close_wait);
+  Socket.close w.b;
+  Simclock.run_until_idle w.clock;
+  checkb "b closed" true
+    (match Socket.state w.b with Socket.Closed | Socket.Last_ack -> true | _ -> false)
+
+let test_fast_retransmit () =
+  (* Drop exactly one data segment; the following segments' dup-acks must
+     trigger recovery well before the RTO. *)
+  let dropped = ref false in
+  let mangle n s =
+    (* Corrupt (rather than drop) the 6th datagram's IP header so the
+       kernel discards it deterministically. *)
+    if n = 6 && not !dropped then begin
+      dropped := true;
+      let b = Bytes.of_string s in
+      Bytes.set b 8 (Char.chr (Char.code (Bytes.get b 8) lxor 0xff));
+      Bytes.to_string b
+    end
+    else s
+  in
+  let w = make_world ~mangle () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 12 (fun i -> Printf.sprintf "%03d%s" i (String.make 200 'f')) in
+  (* Keep many segments in flight so the loss produces duplicate acks. *)
+  transfer ~burst_us:5.0 w msgs;
+  Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
+  checkb "ip error counted" true ((Socket.stats w.b).Socket.ip_errors >= 1);
+  checkb "fast retransmit fired" true ((Socket.stats w.a).Socket.fast_retransmits >= 1)
+
+let test_delayed_acks () =
+  let count_acks delay =
+    let w = make_world ~ack_delay_us:delay () in
+    connect w;
+    let got = Buffer.create 64 in
+    collect_into w got;
+    let msgs = List.init 16 (fun i -> Printf.sprintf "%02d%s" i (String.make 120 'd')) in
+    transfer ~burst_us:5.0 w msgs;
+    Alcotest.(check string) "stream intact" (String.concat "" msgs)
+      (Buffer.contents got);
+    (Socket.stats w.b).Socket.acks_sent
+  in
+  let immediate = count_acks 0.0 in
+  let delayed = count_acks 400.0 in
+  checkb "delayed acking sends fewer acks" true (delayed < immediate)
+
+let test_congestion_window_dynamics () =
+  let w = make_world () in
+  connect w;
+  let initial = Socket.congestion_window w.a in
+  check "initial cwnd is two segments" (2 * 1024) initial;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 30 (fun _ -> String.make 1000 'c') in
+  transfer ~burst_us:50.0 w msgs;
+  let grown = Socket.congestion_window w.a in
+  checkb "cwnd grows with successful acks" true (grown > initial);
+  (* A retransmission timeout collapses the window back to one segment. *)
+  let w2 = make_world ~loss_rate:0.3 ~seed:41 () in
+  connect w2;
+  let got2 = Buffer.create 64 in
+  collect_into w2 got2;
+  let msgs2 = List.init 30 (fun _ -> String.make 1000 'd') in
+  transfer ~burst_us:50.0 w2 msgs2;
+  Alcotest.(check string) "lossy stream still intact" (String.concat "" msgs2)
+    (Buffer.contents got2);
+  checkb "window shrank at some point" true
+    (Socket.congestion_window w2.a < grown
+    || (Socket.stats w2.a).Socket.retransmissions > 0)
+
+let test_window_never_exceeded () =
+  (* The sender must never have more unacknowledged payload in flight than
+     the peer's advertised window, sampled at every send attempt. *)
+  let w = make_world ~congestion_control:false () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let violations = ref 0 in
+  let payload = String.make 900 'w' in
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst payload;
+    None
+  in
+  for _ = 1 to 400 do
+    (match Socket.send_message w.a ~len:900 ~fill with
+    | Ok () ->
+        if Socket.bytes_in_flight w.a > 16 * 1024 then incr violations
+    | Error _ -> ());
+    Simclock.advance w.clock 30.0
+  done;
+  Simclock.run_until_idle w.clock;
+  check "no window violations" 0 !violations;
+  check "nothing left in flight" 0 (Socket.bytes_in_flight w.a)
+
+let prop_lossy_stream_integrity =
+  QCheck.Test.make ~count:25 ~name:"TCP delivers the exact stream under random loss"
+    QCheck.(
+      pair (int_range 0 1000)
+        (list_of_size Gen.(int_range 1 15) (int_range 1 300)))
+    (fun (seed, sizes) ->
+      let loss_rate = float_of_int (seed mod 4) *. 0.08 in
+      let w = make_world ~loss_rate ~seed ~jitter_us:100.0 () in
+      connect w;
+      if Socket.state w.a <> Socket.Established then true (* pathological loss *)
+      else begin
+        let got = Buffer.create 256 in
+        collect_into w got;
+        let msgs =
+          List.mapi (fun i n -> String.make n (Char.chr (33 + (i mod 90)))) sizes
+        in
+        transfer w msgs;
+        String.equal (String.concat "" msgs) (Buffer.contents got)
+      end)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tcp"
+    [ ( "header",
+        [ Alcotest.test_case "string round trip" `Quick test_header_string_roundtrip;
+          Alcotest.test_case "memory round trip" `Quick test_header_mem_roundtrip;
+          Alcotest.test_case "flags" `Quick test_header_flags;
+          Alcotest.test_case "checksum consistency" `Quick
+            test_header_checksum_consistency ] );
+      ( "ring",
+        [ Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wrap waste" `Quick test_ring_wrap_waste;
+          Alcotest.test_case "oversize" `Quick test_ring_reserve_too_big;
+          Alcotest.test_case "release empty" `Quick test_ring_release_empty;
+          qc prop_ring_fifo ] );
+      ( "rto",
+        [ Alcotest.test_case "defaults and sampling" `Quick test_rto_defaults_and_sampling;
+          Alcotest.test_case "backoff" `Quick test_rto_backoff;
+          Alcotest.test_case "smoothing" `Quick test_rto_smoothing ] );
+      ( "socket",
+        [ Alcotest.test_case "handshake" `Quick test_handshake;
+          Alcotest.test_case "handshake under loss" `Quick test_handshake_under_loss;
+          Alcotest.test_case "simple transfer" `Quick test_simple_transfer;
+          Alcotest.test_case "transfer under loss" `Quick test_transfer_under_loss;
+          Alcotest.test_case "reordering" `Quick test_transfer_with_reordering;
+          Alcotest.test_case "duplication" `Quick test_transfer_with_duplication;
+          Alcotest.test_case "corruption recovery" `Quick
+            test_corruption_detected_and_recovered;
+          Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit;
+          Alcotest.test_case "delayed acks" `Quick test_delayed_acks;
+          Alcotest.test_case "send errors" `Quick test_send_errors;
+          Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "congestion window dynamics" `Quick
+            test_congestion_window_dynamics;
+          Alcotest.test_case "window never exceeded" `Quick
+            test_window_never_exceeded;
+          Alcotest.test_case "close sequence" `Quick test_close_sequence;
+          qc prop_lossy_stream_integrity ] ) ]
