@@ -112,7 +112,15 @@ let transfer_cmd =
          & info [ "uniform-units" ]
              ~doc:"Uniform processing-unit sizes (section 5).")
   in
-  let run machine ilp cipher size copies loss trailer coalesce calls late uniform =
+  let native =
+    Arg.(value & flag
+         & info [ "native" ]
+             ~doc:"Run the data manipulations through the un-simulated \
+                   fast-path kernels (wire bytes identical; the simulated \
+                   counters then cover only the protocol machinery).")
+  in
+  let run machine ilp cipher size copies loss trailer coalesce calls late uniform
+      native =
     let mode = if ilp then Engine.Ilp else Engine.Separate in
     let setup =
       { (Ft.default_setup ~machine ~mode) with
@@ -124,16 +132,18 @@ let transfer_cmd =
         coalesce_writes = coalesce;
         linkage = (if calls then Linkage.function_calls else Linkage.Macro);
         rx_placement = (if late then Engine.Late else Engine.Early);
-        uniform_units = uniform }
+        uniform_units = uniform;
+        native }
     in
     let r = Ft.run setup in
     Printf.printf "machine      %s (%.0f MHz)\n" machine.Config.name
       machine.Config.clock_mhz;
-    Printf.printf "mode         %s%s%s%s\n"
+    Printf.printf "mode         %s%s%s%s%s\n"
       (if ilp then "ILP" else "non-ILP")
       (if trailer then ", trailer" else "")
       (if coalesce then ", coalesced stores" else "")
-      (if calls then ", function calls" else "");
+      (if calls then ", function calls" else "")
+      (if native then ", native kernels" else "");
     Printf.printf "status       %s\n"
       (match r.Ft.error with
       | None -> "transfer complete, every byte verified"
@@ -159,7 +169,53 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc:"Run one measured file transfer.")
     Term.(
       const run $ machine $ ilp $ cipher $ size $ copies $ loss $ trailer $ coalesce
-      $ calls $ late $ uniform)
+      $ calls $ late $ uniform $ native)
+
+(* ------------------------------------------------------------------ *)
+(* wall *)
+
+let wall_cmd =
+  let module Wb = Ilp_bench.Wallbench in
+  let fp_cipher_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Wb.cipher_of_name s) in
+    Arg.conv
+      (parse, fun ppf c -> Format.pp_print_string ppf (Ilp_fastpath.Cipher.name c))
+  in
+  let cipher =
+    Arg.(value & opt fp_cipher_conv Ilp_fastpath.Cipher.Simple
+         & info [ "cipher"; "c" ] ~docv:"CIPHER"
+             ~doc:(Printf.sprintf "One of: %s." (String.concat ", " Wb.cipher_names)))
+  in
+  let out =
+    Arg.(value & opt string "BENCH_wall.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON trajectory output path.")
+  in
+  let trials =
+    Arg.(value & opt int 9
+         & info [ "trials" ] ~docv:"K" ~doc:"Trials per point (median taken).")
+  in
+  let sizes =
+    Arg.(value & opt (list int) [ 1024; 8192; 65536; 524288 ]
+         & info [ "sizes" ] ~docv:"BYTES,..."
+             ~doc:"Message sizes, each a positive multiple of 8.")
+  in
+  let run cipher out trials sizes =
+    match Wb.run ~cipher ~sizes ~trials () with
+    | r ->
+        Wb.print_table r;
+        Wb.write_json r ~path:out;
+        Printf.printf "wrote %s\n" out;
+        0
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "wall"
+       ~doc:
+         "Wall-clock benchmark of the native fast path: separate four-pass \
+          stack versus the fused ILP loop, on this host.")
+    Term.(const run $ cipher $ out $ trials $ sizes)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -207,4 +263,7 @@ let machines_cmd =
 let () =
   let doc = "Reproduction harness for 'Protocol Implementation Using Integrated Layer Processing'" in
   let info = Cmd.info "ilpbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ experiments_cmd; transfer_cmd; machines_cmd; export_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ experiments_cmd; transfer_cmd; wall_cmd; machines_cmd; export_cmd ]))

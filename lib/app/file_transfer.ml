@@ -22,6 +22,7 @@ type setup = {
   header_style : Engine.header_style;
   rx_placement : Engine.rx_placement;
   uniform_units : bool;
+  native : bool;
   file_len : int;
   copies : int;
   max_reply : int;
@@ -38,6 +39,7 @@ let default_setup ~machine ~mode =
     header_style = Engine.Leading;
     rx_placement = Engine.Early;
     uniform_units = false;
+    native = false;
     file_len = Workload.paper_file_len;
     copies = 8;
     max_reply = 1024;
@@ -72,6 +74,16 @@ let make_cipher sim = function
   | Safer_full rounds -> Ilp_cipher.Safer.charged sim ~rounds ~key ()
   | Des -> Ilp_cipher.Des.charged sim ~key ()
 
+(* The native twin of [make_cipher]: same algorithm, same key, expanded
+   into ordinary OCaml data for the un-simulated fast path. *)
+let make_fastpath_cipher = function
+  | Safer_simplified ->
+      Ilp_fastpath.Cipher.Safer_simplified (Ilp_cipher.Safer_simplified.expand_key key)
+  | Simple_encryption -> Ilp_fastpath.Cipher.Simple
+  | Safer_full rounds ->
+      Ilp_fastpath.Cipher.Safer (Ilp_cipher.Safer.expand_key ~rounds key)
+  | Des -> Ilp_fastpath.Cipher.Des (Ilp_cipher.Des.expand_key key)
+
 let mean a =
   if Array.length a = 0 then 0.0
   else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
@@ -97,14 +109,20 @@ let run setup =
   let srv_cipher = make_cipher sim setup.cipher in
   let cli_cipher = make_cipher sim setup.cipher in
   let max_message = 2048 in
+  let backend () =
+    if setup.native then Engine.Native (make_fastpath_cipher setup.cipher)
+    else Engine.Simulated
+  in
   let srv_engine =
-    Engine.create sim ~cipher:srv_cipher ~mode:setup.mode ~linkage:setup.linkage
+    Engine.create sim ~cipher:srv_cipher ~mode:setup.mode ~backend:(backend ())
+      ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
       ~uniform_units:setup.uniform_units ()
   in
   let cli_engine =
-    Engine.create sim ~cipher:cli_cipher ~mode:setup.mode ~linkage:setup.linkage
+    Engine.create sim ~cipher:cli_cipher ~mode:setup.mode ~backend:(backend ())
+      ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
       ~uniform_units:setup.uniform_units ()

@@ -32,6 +32,10 @@ type setup = {
   uniform_units : bool;
       (** widen marshalling to the cipher block (section 5's "uniform
           processing unit sizes") *)
+  native : bool;
+      (** run the data manipulations through the un-simulated
+          {!Ilp_fastpath} kernels; wire bytes are identical but the
+          simulated cycle counters only cover the protocol machinery *)
   file_len : int;
   copies : int;
   max_reply : int;  (** application payload bytes per message *)

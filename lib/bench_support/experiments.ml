@@ -461,6 +461,13 @@ let wall () =
      paper's cipher-cost hierarchy; absolute numbers are this host's.
 "
 
+let wallpath () =
+  Report.banner "Wall-clock fast path (native send/receive kernels, this host)";
+  let r = Wallbench.run () in
+  Wallbench.print_table r;
+  Wallbench.write_json r ~path:"BENCH_wall.json";
+  Report.note "wrote BENCH_wall.json\n"
+
 (* Machine-readable export of the full grid, for plotting. *)
 let t1_csv () =
   let buf = Buffer.create 4096 in
@@ -485,11 +492,11 @@ let t1_csv () =
 
 let all () =
   e0 (); f6 (); f7 (); f8 (); f9 (); f10 (); f11 (); f12 (); f13 (); f14 ();
-  t1 (); a1 (); a2 (); a4 (); a5 (); a6 (); wall ()
+  t1 (); a1 (); a2 (); a4 (); a5 (); a6 (); wall (); wallpath ()
 
 let names =
   [ "e0"; "f6"; "f7"; "f8"; "f9"; "f10"; "f11"; "f12"; "f13"; "f14"; "t1";
-    "a1"; "a2"; "a4"; "a5"; "a6"; "wall"; "all" ]
+    "a1"; "a2"; "a4"; "a5"; "a6"; "wall"; "wallpath"; "all" ]
 
 let run_named = function
   | "e0" -> Ok (e0 ())
@@ -509,5 +516,6 @@ let run_named = function
   | "a5" -> Ok (a5 ())
   | "a6" -> Ok (a6 ())
   | "wall" -> Ok (wall ())
+  | "wallpath" -> Ok (wallpath ())
   | "all" -> Ok (all ())
   | other -> Error (Printf.sprintf "unknown experiment %S" other)

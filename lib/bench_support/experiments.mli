@@ -55,6 +55,10 @@ val a6 : unit -> unit
 (** Wall-clock Bechamel benchmark of the pure cipher kernels. *)
 val wall : unit -> unit
 
+(** Wall-clock {!Wallbench} trajectory of the native fast path (separate
+    versus fused send/receive); writes BENCH_wall.json. *)
+val wallpath : unit -> unit
+
 (** The full Table 1 grid, paper and measured, as CSV (for plotting). *)
 val t1_csv : unit -> string
 

@@ -1,0 +1,195 @@
+module Internet = Ilp_checksum.Internet
+module Cipher = Ilp_fastpath.Cipher
+module Wire = Ilp_fastpath.Wire
+
+type side = { send_ns : float; recv_ns : float }
+
+type point = {
+  len : int;
+  reps : int;
+  separate : side;
+  ilp : side;
+  speedup : float;
+}
+
+type result = {
+  cipher : string;
+  trials : int;
+  warmup : int;
+  points : point list;
+}
+
+let key = "\x3a\x91\x5c\x07\xee\x42\xb8\x1d"
+
+let cipher_names = [ "simple"; "safer-simplified"; "safer-k64"; "des" ]
+
+let cipher_of_name = function
+  | "simple" -> Ok Cipher.Simple
+  | "safer-simplified" | "simplified" ->
+      Ok (Cipher.Safer_simplified (Ilp_cipher.Safer_simplified.expand_key key))
+  | "safer" | "safer-k64" ->
+      Ok (Cipher.Safer (Ilp_cipher.Safer.expand_key ~rounds:6 key))
+  | "des" -> Ok (Cipher.Des (Ilp_cipher.Des.expand_key key))
+  | other ->
+      Error
+        (Printf.sprintf "unknown cipher %S (try: %s)" other
+           (String.concat ", " cipher_names))
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* Median ns per message over [trials] samples, [warmup] discarded. *)
+let time_median ~trials ~warmup ~reps f =
+  let sample () =
+    let t0 = now_ns () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (now_ns () -. t0) /. float_of_int reps
+  in
+  for _ = 1 to warmup do
+    ignore (sample ())
+  done;
+  let samples = Array.init trials (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(trials / 2)
+
+(* Repetitions so one trial runs for at least [budget_ns]: double a probe
+   count until the probe takes >= 1/4 of the budget, then scale. *)
+let calibrate ~budget_ns f =
+  let rec probe k =
+    let t0 = now_ns () in
+    for _ = 1 to k do
+      f ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt >= budget_ns /. 4.0 || k >= 1 lsl 20 then
+      max 1 (int_of_float (float_of_int k *. budget_ns /. dt))
+    else probe (k * 2)
+  in
+  probe 1
+
+(* The two paths must agree before we time them; a benchmark of kernels
+   producing different bytes would compare nothing. *)
+let cross_check wire ~src ~len =
+  let d1 = Bytes.create len and d2 = Bytes.create len in
+  let a1 = Wire.send_separate wire ~src ~src_off:0 ~len ~dst:d1 ~dst_off:0 in
+  let a2 = Wire.send_ilp wire ~src ~src_off:0 ~len ~dst:d2 ~dst_off:0 in
+  if not (Bytes.equal d1 d2) then
+    failwith "Wallbench: separate and ILP send disagree on wire bytes";
+  if Internet.finish a1 <> Internet.finish a2 then
+    failwith "Wallbench: separate and ILP send disagree on checksum";
+  let p1 = Bytes.create len and p2 = Bytes.create len in
+  let c1 = Bytes.copy d1 in
+  let r1 = Wire.recv_separate wire ~src:c1 ~src_off:0 ~len ~dst:p1 ~dst_off:0 in
+  let r2 = Wire.recv_ilp wire ~src:d2 ~src_off:0 ~len ~dst:p2 ~dst_off:0 in
+  if not (Bytes.equal p1 p2 && Bytes.equal p1 (Bytes.sub src 0 len)) then
+    failwith "Wallbench: receive paths do not invert the send path";
+  if Internet.finish r1 <> Internet.finish r2 then
+    failwith "Wallbench: separate and ILP receive disagree on checksum";
+  d1
+
+let bench_point wire ~trials ~warmup ~src len =
+  let ciphertext = cross_check wire ~src ~len in
+  let dst = Bytes.create len in
+  let staged = Bytes.create len in
+  let sink = ref Internet.empty in
+  let send_sep () =
+    sink := Wire.send_separate wire ~src ~src_off:0 ~len ~dst ~dst_off:0
+  in
+  let send_ilp () =
+    sink := Wire.send_ilp wire ~src ~src_off:0 ~len ~dst ~dst_off:0
+  in
+  (* [recv_separate] decrypts its source in place, so each repetition
+     restores the pristine ciphertext first; the ILP side pays the same
+     blit to keep the comparison about the traversal structure. *)
+  let recv_sep () =
+    Bytes.blit ciphertext 0 staged 0 len;
+    sink := Wire.recv_separate wire ~src:staged ~src_off:0 ~len ~dst ~dst_off:0
+  in
+  let recv_ilp () =
+    Bytes.blit ciphertext 0 staged 0 len;
+    sink := Wire.recv_ilp wire ~src:staged ~src_off:0 ~len ~dst ~dst_off:0
+  in
+  let budget_ns = 2e6 in
+  let reps = calibrate ~budget_ns send_sep in
+  let t f = time_median ~trials ~warmup ~reps f in
+  let separate = { send_ns = t send_sep; recv_ns = t recv_sep } in
+  let ilp = { send_ns = t send_ilp; recv_ns = t recv_ilp } in
+  ignore (Sys.opaque_identity !sink);
+  let speedup =
+    (separate.send_ns +. separate.recv_ns) /. (ilp.send_ns +. ilp.recv_ns)
+  in
+  { len; reps; separate; ilp; speedup }
+
+let default_sizes = [ 1024; 8192; 65536; 524288 ]
+
+let run ?(cipher = Cipher.Simple) ?(sizes = default_sizes) ?(trials = 9)
+    ?(warmup = 3) () =
+  if sizes = [] then invalid_arg "Wallbench.run: no sizes";
+  List.iter
+    (fun n ->
+      if n <= 0 || n mod 8 <> 0 then
+        invalid_arg
+          (Printf.sprintf "Wallbench.run: size %d is not a positive multiple of 8" n))
+    sizes;
+  if trials < 1 || warmup < 0 then invalid_arg "Wallbench.run: bad trials/warmup";
+  let max_len = List.fold_left max 0 sizes in
+  let wire = Wire.create ~cipher ~max_len in
+  let src = Bytes.init max_len (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
+  let points =
+    List.map (bench_point wire ~trials ~warmup ~src) (List.sort compare sizes)
+  in
+  { cipher = Cipher.name cipher; trials; warmup; points }
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory (hand-rolled; the container has no JSON library).  *)
+
+let json_side b name s =
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"%s\": {\"send_ns\": %.1f, \"recv_ns\": %.1f, \"total_ns\": %.1f}"
+       name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns))
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"wall\",\n  \"unit\": \"ns_per_msg\",\n\
+       \  \"cipher\": \"%s\",\n  \"trials\": %d,\n  \"warmup\": %d,\n\
+       \  \"points\": [\n"
+       r.cipher r.trials r.warmup);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf "    {\"len\": %d, \"reps\": %d, " p.len p.reps);
+      json_side b "separate" p.separate;
+      Buffer.add_string b ", ";
+      json_side b "ilp" p.ilp;
+      Buffer.add_string b (Printf.sprintf ", \"speedup\": %.3f}" p.speedup))
+    r.points;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write_json r ~path =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc
+
+let print_table r =
+  let ns = Printf.sprintf "%.0f" in
+  Report.table
+    ~header:
+      [ "bytes"; "sep send ns"; "ilp send ns"; "sep recv ns"; "ilp recv ns";
+        "speedup" ]
+    (List.map
+       (fun p ->
+         [ string_of_int p.len;
+           ns p.separate.send_ns;
+           ns p.ilp.send_ns;
+           ns p.separate.recv_ns;
+           ns p.ilp.recv_ns;
+           Printf.sprintf "%.2fx" p.speedup ])
+       r.points);
+  Report.note "cipher %s, median of %d trials (%d warmup), host wall-clock\n"
+    r.cipher r.trials r.warmup

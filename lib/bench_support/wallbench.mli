@@ -1,0 +1,62 @@
+(** Wall-clock benchmark of the {!Ilp_fastpath} send/receive kernels:
+    the separate four-pass stack versus the fused ILP loop, timed for
+    real on this host (no simulation) at several message sizes.
+
+    Each point is a median-of-[trials] measurement (after [warmup]
+    discarded trials) of ns per message, with the per-trial repetition
+    count auto-calibrated so one trial runs for at least ~2 ms.  Before
+    any timing, both paths are cross-checked to produce byte-identical
+    wire data and matching checksums — a benchmark of two kernels that
+    disagree would be meaningless.
+
+    Results serialise to the machine-readable [BENCH_wall.json]
+    trajectory file consumed by plotting scripts (see EXPERIMENTS.md). *)
+
+type side = {
+  send_ns : float;  (** median ns per message, send direction *)
+  recv_ns : float;  (** median ns per message, receive direction *)
+}
+
+type point = {
+  len : int;  (** message bytes (multiple of the 8-byte cipher block) *)
+  reps : int;  (** calibrated repetitions per trial *)
+  separate : side;
+  ilp : side;
+  speedup : float;
+      (** separate total / ILP total (send + recv); > 1 means the fused
+          loop is faster *)
+}
+
+type result = {
+  cipher : string;
+  trials : int;
+  warmup : int;
+  points : point list;
+}
+
+(** The ciphers [run] accepts, instantiated with a fixed benchmark key. *)
+val cipher_names : string list
+
+val cipher_of_name : string -> (Ilp_fastpath.Cipher.t, string) Stdlib.result
+
+(** Run the benchmark.  [sizes] defaults to [1024; 8192; 65536; 524288]
+    bytes; every size must be a positive multiple of 8.  [trials]
+    defaults to 9 (median taken), [warmup] to 3.  Raises [Failure] if
+    the separate and ILP kernels disagree on wire bytes or checksum. *)
+val run :
+  ?cipher:Ilp_fastpath.Cipher.t ->
+  ?sizes:int list ->
+  ?trials:int ->
+  ?warmup:int ->
+  unit ->
+  result
+
+(** Serialise to the BENCH_wall.json schema (hand-rolled writer; the
+    container has no JSON library). *)
+val to_json : result -> string
+
+(** [write_json r ~path] writes {!to_json} output to [path]. *)
+val write_json : result -> path:string -> unit
+
+(** Aligned console table of the points (via {!Report}). *)
+val print_table : result -> unit

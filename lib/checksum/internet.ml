@@ -13,35 +13,68 @@ let add_byte acc b =
   if acc.odd then { sum = acc.sum + b; odd = false }
   else { sum = acc.sum + (b lsl 8); odd = true }
 
+let byteswap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
+let add_bytes_unsafe acc b ~off ~len =
+  let i = ref off in
+  let stop = off + len in
+  let sum = ref acc.sum in
+  let odd = ref acc.odd in
+  if !odd && !i < stop then begin
+    (* A byte at odd parity lands in the low-order half of its word. *)
+    sum := !sum + Char.code (Bytes.unsafe_get b !i);
+    odd := false;
+    incr i
+  end;
+  if stop - !i >= 8 then begin
+    (* Word loop: four 16-bit lanes per load, accumulated in native byte
+       order as two 32-bit halves of one register.  One's-complement
+       addition commutes, so the lanes may be reordered freely and the
+       folded result byte-swapped once at the end. *)
+    let wsum = ref 0 in
+    let words = ref 0 in
+    while stop - !i >= 8 do
+      let w = unsafe_get_64 b !i in
+      let lo = Int64.to_int (Int64.logand w 0xFFFF_FFFFL) in
+      let hi = Int64.to_int (Int64.shift_right_logical w 32) in
+      wsum := !wsum + lo + hi;
+      i := !i + 8;
+      incr words;
+      (* Each word adds < 2^33; an end-around carry every 2^16 words keeps
+         the total below 2^50, inside the 63-bit int. *)
+      if !words land 0xffff = 0 then
+        wsum := (!wsum land 0xffff_ffff) + (!wsum lsr 32)
+    done;
+    let folded = fold16 ((!wsum land 0xffff_ffff) + (!wsum lsr 32)) in
+    sum := !sum + (if Sys.big_endian then folded else byteswap16 folded)
+  end;
+  while stop - !i >= 2 do
+    sum :=
+      !sum
+      + (Char.code (Bytes.unsafe_get b !i) lsl 8)
+      + Char.code (Bytes.unsafe_get b (!i + 1));
+    i := !i + 2
+  done;
+  (* Parity is even here: any leading odd byte was consumed above, and the
+     2-byte loop preserves evenness. *)
+  if !i < stop then begin
+    sum := !sum + (Char.code (Bytes.unsafe_get b !i) lsl 8);
+    odd := true
+  end;
+  { sum = fold16 !sum; odd = !odd }
+
 let add_bytes acc b ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Internet.add_bytes";
-  let acc = ref acc in
-  (* Fast path: aligned 16-bit words. *)
-  let i = ref off in
-  let stop = off + len in
-  if !acc.odd && !i < stop then begin
-    acc := add_byte !acc (Char.code (Bytes.get b !i));
-    incr i
-  end;
-  while stop - !i >= 2 do
-    acc := { sum = !acc.sum + Bytes.get_uint16_be b !i; odd = false };
-    i := !i + 2
-  done;
-  while !i < stop do
-    acc := add_byte !acc (Char.code (Bytes.get b !i));
-    incr i
-  done;
-  (* Keep the running sum bounded so it never overflows an OCaml int. *)
-  { !acc with sum = fold16 !acc.sum }
+  add_bytes_unsafe acc b ~off ~len
 
 let add_string acc s = add_bytes acc (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
 let add_u16 acc v =
   if acc.odd then invalid_arg "Internet.add_u16: unaligned accumulator";
   { sum = fold16 (acc.sum + (v land 0xffff)); odd = false }
-
-let byteswap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
 
 let combine a b ~len_b =
   let fb = fold16 b.sum in

@@ -23,6 +23,13 @@ val empty : acc
     [off]. *)
 val add_bytes : acc -> Bytes.t -> off:int -> len:int -> acc
 
+(** [add_bytes_unsafe acc b ~off ~len] is [add_bytes] without the bounds
+    check.  The word loop folds eight bytes per 64-bit load (four 16-bit
+    lanes accumulated in 32-bit halves with an end-around carry), so this
+    is the form the native fast path uses on large runs.  The caller must
+    guarantee [0 <= off], [0 <= len] and [off + len <= Bytes.length b]. *)
+val add_bytes_unsafe : acc -> Bytes.t -> off:int -> len:int -> acc
+
 val add_string : acc -> string -> acc
 
 (** [add_u16 acc v] folds one aligned 16-bit big-endian word. *)

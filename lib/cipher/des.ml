@@ -167,6 +167,24 @@ let encrypt_block key b off =
 let decrypt_block key b off =
   with_block (crypt_core ~sbox:pure_sbox ~ops:no_ops key.subkeys ~decrypt:true) b off
 
+(* Batch form: the core closure is built once per run, not per block. *)
+let batch name core b ~off ~count =
+  if off < 0 || count < 0 || off + (count * 8) > Bytes.length b then
+    invalid_arg (name ^ ": block run out of bounds");
+  for i = 0 to count - 1 do
+    with_block core b (off + (i * 8))
+  done
+
+let encrypt_blocks key b ~off ~count =
+  batch "Des.encrypt_blocks"
+    (crypt_core ~sbox:pure_sbox ~ops:no_ops key.subkeys ~decrypt:false)
+    b ~off ~count
+
+let decrypt_blocks key b ~off ~count =
+  batch "Des.decrypt_blocks"
+    (crypt_core ~sbox:pure_sbox ~ops:no_ops key.subkeys ~decrypt:true)
+    b ~off ~count
+
 let map_string f key s =
   let n = String.length s in
   if n mod 8 <> 0 then invalid_arg "Des: input not a multiple of 8 bytes";
@@ -193,10 +211,24 @@ let charged (sim : Ilp_memsim.Sim.t) ~key () =
   let ops n = Machine.compute sim.machine n in
   let code_encrypt = Code.alloc sim.code ~len:6144 in
   let code_decrypt = Code.alloc sim.code ~len:6144 in
+  let enc_core = crypt_core ~sbox ~ops k.subkeys ~decrypt:false in
+  let dec_core = crypt_core ~sbox ~ops k.subkeys ~decrypt:true in
   { Block_cipher.name = "DES";
     block_len = 8;
-    encrypt = with_block (crypt_core ~sbox ~ops k.subkeys ~decrypt:false);
-    decrypt = with_block (crypt_core ~sbox ~ops k.subkeys ~decrypt:true);
+    encrypt = with_block enc_core;
+    decrypt = with_block dec_core;
+    encrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            with_block enc_core b (off + (i * 8))
+          done);
+    decrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            with_block dec_core b (off + (i * 8))
+          done);
     code_encrypt;
     code_decrypt;
     store_unit = 4 }

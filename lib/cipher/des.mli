@@ -24,4 +24,11 @@ val decrypt_block : key -> Bytes.t -> int -> unit
 val encrypt_string : key -> string -> string
 val decrypt_string : key -> string -> string
 
+(** [encrypt_blocks key b ~off ~count] transforms [count] consecutive
+    8-byte blocks in place, constructing the round-function closure once
+    per run instead of once per block. *)
+val encrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
+val decrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
 val charged : Ilp_memsim.Sim.t -> key:string -> unit -> Block_cipher.t

@@ -143,16 +143,41 @@ let decrypt_core ~kread ~exp ~log ~ops key s =
     ops 32
   done
 
-let with_block f b off =
-  let s = Array.init 8 (fun i -> Char.code (Bytes.get b (off + i))) in
-  f s;
+(* Run a core on one block through a caller-supplied scratch array, so a
+   batch (or a long-lived charged instance) reuses the scratch instead of
+   allocating per block. *)
+let run_block core s b off =
+  for i = 0 to 7 do
+    s.(i) <- Char.code (Bytes.get b (off + i))
+  done;
+  core s;
   for i = 0 to 7 do
     Bytes.set b (off + i) (Char.chr s.(i))
   done
 
+let with_block f b off = run_block f (Array.make 8 0) b off
+
 let pure_exp x = exp_table.(x)
 let pure_log x = log_table.(x)
 let no_ops (_ : int) = ()
+
+let batch name core b ~off ~count =
+  if off < 0 || count < 0 || off + (count * 8) > Bytes.length b then
+    invalid_arg (name ^ ": block run out of bounds");
+  let s = Array.make 8 0 in
+  for i = 0 to count - 1 do
+    run_block core s b (off + (i * 8))
+  done
+
+let encrypt_blocks key b ~off ~count =
+  batch "Safer.encrypt_blocks"
+    (encrypt_core ~kread:(Array.get key.k) ~exp:pure_exp ~log:pure_log ~ops:no_ops key)
+    b ~off ~count
+
+let decrypt_blocks key b ~off ~count =
+  batch "Safer.decrypt_blocks"
+    (decrypt_core ~kread:(Array.get key.k) ~exp:pure_exp ~log:pure_log ~ops:no_ops key)
+    b ~off ~count
 
 let encrypt_block key b off =
   with_block
@@ -195,10 +220,27 @@ let charged (sim : Ilp_memsim.Sim.t) ?(rounds = 6) ~key () =
      sizes approximate the SPARC object code of the reference C version. *)
   let code_encrypt = Code.alloc sim.code ~len:(512 + (rounds * 384)) in
   let code_decrypt = Code.alloc sim.code ~len:(512 + (rounds * 416)) in
+  (* One scratch per direction for the instance's lifetime (the simulated
+     machine is sequential), instead of an allocation per block. *)
+  let s_enc = Array.make 8 0 and s_dec = Array.make 8 0 in
+  let enc_core = encrypt_core ~kread ~exp ~log ~ops k in
+  let dec_core = decrypt_core ~kread ~exp ~log ~ops k in
   { Block_cipher.name = Printf.sprintf "SAFER-K64/%d" rounds;
     block_len = 8;
-    encrypt = with_block (encrypt_core ~kread ~exp ~log ~ops k);
-    decrypt = with_block (decrypt_core ~kread ~exp ~log ~ops k);
+    encrypt = (fun b off -> run_block enc_core s_enc b off);
+    decrypt = (fun b off -> run_block dec_core s_dec b off);
+    encrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            run_block enc_core s_enc b (off + (i * 8))
+          done);
+    decrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            run_block dec_core s_dec b (off + (i * 8))
+          done);
     code_encrypt;
     code_decrypt;
     store_unit = 1 }

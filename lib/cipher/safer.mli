@@ -36,6 +36,13 @@ val encrypt_string : key -> string -> string
 
 val decrypt_string : key -> string -> string
 
+(** [encrypt_blocks key b ~off ~count] transforms [count] consecutive
+    8-byte blocks in place, reusing one scratch block across the whole run
+    (no per-block closure dispatch or allocation). *)
+val encrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
+val decrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
 (** The exponent/logarithm tables, exposed for tests and for the simplified
     variant. [exp_table.(128) = 0] encodes 256. *)
 val exp_table : int array

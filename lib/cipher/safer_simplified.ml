@@ -67,17 +67,46 @@ let decrypt_core ~kread ~exp ~log ~ops ~spill s =
   s.(7) <- s.(7) lxor kread 7;
   ops 16
 
-let with_block f b off =
-  let s = Array.init 8 (fun i -> Char.code (Bytes.get b (off + i))) in
-  f s;
+(* Run a core on one block through a caller-supplied scratch array, so a
+   batch (or a long-lived charged instance) loads the scratch once instead
+   of allocating per block. *)
+let run_block core s b off =
+  for i = 0 to 7 do
+    s.(i) <- Char.code (Bytes.get b (off + i))
+  done;
+  core s;
   for i = 0 to 7 do
     Bytes.set b (off + i) (Char.chr s.(i))
   done
+
+let with_block f b off = run_block f (Array.make 8 0) b off
 
 let pure_exp x = Safer.exp_table.(x)
 let pure_log x = Safer.log_table.(x)
 let no_ops (_ : int) = ()
 let no_spill (_ : int array) = ()
+
+let check_batch name b ~off ~count =
+  if off < 0 || count < 0 || off + (count * 8) > Bytes.length b then
+    invalid_arg (name ^ ": block run out of bounds")
+
+let batch name core b ~off ~count =
+  check_batch name b ~off ~count;
+  let s = Array.make 8 0 in
+  for i = 0 to count - 1 do
+    run_block core s b (off + (i * 8))
+  done
+
+let encrypt_blocks key b ~off ~count =
+  batch "Safer_simplified.encrypt_blocks"
+    (encrypt_core ~kread:(Array.get key.k) ~exp:pure_exp ~log:pure_log ~ops:no_ops)
+    b ~off ~count
+
+let decrypt_blocks key b ~off ~count =
+  batch "Safer_simplified.decrypt_blocks"
+    (decrypt_core ~kread:(Array.get key.k) ~exp:pure_exp ~log:pure_log ~ops:no_ops
+       ~spill:no_spill)
+    b ~off ~count
 
 let encrypt_block key b off =
   with_block (encrypt_core ~kread:(Array.get key.k) ~exp:pure_exp ~log:pure_log ~ops:no_ops) b off
@@ -124,10 +153,27 @@ let charged (sim : Ilp_memsim.Sim.t) ?(spill_bytes = 4) ~key () =
   in
   let code_encrypt = Code.alloc sim.code ~len:1280 in
   let code_decrypt = Code.alloc sim.code ~len:1600 in
+  (* One scratch per direction for the instance's lifetime (the simulated
+     machine is sequential), instead of an allocation per block. *)
+  let s_enc = Array.make 8 0 and s_dec = Array.make 8 0 in
+  let enc_core = encrypt_core ~kread ~exp ~log ~ops in
+  let dec_core = decrypt_core ~kread ~exp ~log ~ops ~spill in
   { Block_cipher.name = "SAFER-simplified";
     block_len = 8;
-    encrypt = with_block (encrypt_core ~kread ~exp ~log ~ops);
-    decrypt = with_block (decrypt_core ~kread ~exp ~log ~ops ~spill);
+    encrypt = (fun b off -> run_block enc_core s_enc b off);
+    decrypt = (fun b off -> run_block dec_core s_dec b off);
+    encrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            run_block enc_core s_enc b (off + (i * 8))
+          done);
+    decrypt_blocks =
+      Some
+        (fun b off count ->
+          for i = 0 to count - 1 do
+            run_block dec_core s_dec b (off + (i * 8))
+          done);
     code_encrypt;
     code_decrypt;
     store_unit = 1 }

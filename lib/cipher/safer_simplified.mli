@@ -27,6 +27,13 @@ val decrypt_block : key -> Bytes.t -> int -> unit
 val encrypt_string : key -> string -> string
 val decrypt_string : key -> string -> string
 
+(** [encrypt_blocks key b ~off ~count] transforms [count] consecutive
+    8-byte blocks in place, reusing one scratch block across the whole run
+    (no per-block closure dispatch or allocation). *)
+val encrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
+val decrypt_blocks : key -> Bytes.t -> off:int -> count:int -> unit
+
 (** [charged sim ~key ()] allocates the key vector, the two tables and the
     decryption scratch area in simulated memory and returns the charged
     cipher.  [spill_bytes] (default 4) is how many intermediate bytes the

@@ -12,6 +12,16 @@ let block ~f b off =
 let encrypt_block b off = block ~f:encrypt_byte b off
 let decrypt_block b off = block ~f:decrypt_byte b off
 
+let batch name f b ~off ~count =
+  if off < 0 || count < 0 || off + (count * 8) > Bytes.length b then
+    invalid_arg (name ^ ": block run out of bounds");
+  for i = off to off + (count * 8) - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (f (Char.code (Bytes.unsafe_get b i))))
+  done
+
+let encrypt_blocks b ~off ~count = batch "Simple_cipher.encrypt_blocks" encrypt_byte b ~off ~count
+let decrypt_blocks b ~off ~count = batch "Simple_cipher.decrypt_blocks" decrypt_byte b ~off ~count
+
 let map_string f s =
   let n = String.length s in
   if n mod 8 <> 0 then invalid_arg "Simple_cipher: input not a multiple of 8 bytes";
@@ -40,6 +50,16 @@ let charged (sim : Ilp_memsim.Sim.t) =
     block_len = 8;
     encrypt = charged_block encrypt_byte;
     decrypt = charged_block decrypt_byte;
+    encrypt_blocks =
+      Some
+        (fun b off count ->
+          batch "simple.encrypt_blocks" encrypt_byte b ~off ~count;
+          ops (20 * count));
+    decrypt_blocks =
+      Some
+        (fun b off count ->
+          batch "simple.decrypt_blocks" decrypt_byte b ~off ~count;
+          ops (20 * count));
     code_encrypt;
     code_decrypt;
     store_unit = 4 }

@@ -15,6 +15,12 @@ val decrypt_block : Bytes.t -> int -> unit
 val encrypt_string : string -> string
 val decrypt_string : string -> string
 
+(** [encrypt_blocks b ~off ~count] transforms [count] consecutive 8-byte
+    blocks in one flat byte loop (no per-block dispatch). *)
+val encrypt_blocks : Bytes.t -> off:int -> count:int -> unit
+
+val decrypt_blocks : Bytes.t -> off:int -> count:int -> unit
+
 (** [charged sim] returns the charged cipher: ALU ops only, small code
     footprint, no table traffic. *)
 val charged : Ilp_memsim.Sim.t -> Block_cipher.t

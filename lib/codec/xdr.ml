@@ -8,8 +8,7 @@ module Enc = struct
 
   let uint32 t v =
     if v < 0 || v > 0xffff_ffff then invalid_arg "Xdr.Enc.uint32: out of range";
-    Buffer.add_uint16_be t (v lsr 16);
-    Buffer.add_uint16_be t (v land 0xffff)
+    Buffer.add_int32_be t (Int32.of_int v)
 
   let int32 t v =
     if v < -0x8000_0000 || v > 0x7fff_ffff then invalid_arg "Xdr.Enc.int32: out of range";
@@ -56,12 +55,7 @@ module Dec = struct
 
   let uint32 t =
     need t 4;
-    let v =
-      (Char.code t.data.[t.pos] lsl 24)
-      lor (Char.code t.data.[t.pos + 1] lsl 16)
-      lor (Char.code t.data.[t.pos + 2] lsl 8)
-      lor Char.code t.data.[t.pos + 3]
-    in
+    let v = Int32.to_int (String.get_int32_be t.data t.pos) land 0xffff_ffff in
     t.pos <- t.pos + 4;
     v
 
@@ -71,9 +65,9 @@ module Dec = struct
 
   let hyper t =
     need t 8;
-    let hi = Int64.of_int (uint32 t) in
-    let lo = Int64.of_int (uint32 t) in
-    Int64.logor (Int64.shift_left hi 32) lo
+    let v = String.get_int64_be t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
 
   let bool t =
     match uint32 t with

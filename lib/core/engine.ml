@@ -7,9 +7,13 @@ type header_style = Leading | Trailer
 
 type rx_placement = Early | Late
 
+type backend = Simulated | Native of Ilp_fastpath.Cipher.t
+
 type t = {
   sim : Sim.t;
   cipher : Ilp_cipher.Block_cipher.t;
+  backend : backend;
+  fastpath : Ilp_fastpath.Wire.t option;
   mode : mode;
   header_style : header_style;
   rx_placement : rx_placement;
@@ -30,7 +34,8 @@ type t = {
 
 let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
 
-let create (sim : Sim.t) ~cipher ~mode ?(linkage = Linkage.Macro)
+let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
+    ?(linkage = Linkage.Macro)
     ?(max_message = 2048) ?(coalesce_writes = false) ?(header_style = Leading)
     ?(rx_placement = Early) ?(uniform_units = false) () =
   (* Section 5: "uniform processing unit sizes for different data
@@ -60,12 +65,18 @@ let create (sim : Sim.t) ~cipher ~mode ?(linkage = Linkage.Macro)
   let recv_loop = Code.alloc sim.code ~len:(site_len recv_body) in
   let marshal_buf = Alloc.alloc sim.alloc ~align:64 max_message in
   let app_rx = Alloc.alloc sim.alloc ~align:64 max_message in
-  { sim; cipher; mode; header_style; rx_placement; linkage; max_message;
+  let fastpath =
+    match backend with
+    | Simulated -> None
+    | Native fc -> Some (Ilp_fastpath.Wire.create ~cipher:fc ~max_len:max_message)
+  in
+  { sim; cipher; backend; fastpath; mode; header_style; rx_placement; linkage; max_message;
     coalesce_writes;
     marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
     send_loops; recv_loop; marshal_buf; app_rx }
 
 let mode t = t.mode
+let backend t = t.backend
 let header_style t = t.header_style
 let rx_placement t = t.rx_placement
 let sim t = t.sim
@@ -281,11 +292,57 @@ let fill_separate t st ~dst =
   Mem.blit (mem t) ~src:buf ~dst ~len:st.total ~unit_len:4;
   None
 
+(* ------------------------------------------------------------------ *)
+(* Native backend: the same wire format produced by the un-simulated
+   Ilp_fastpath kernels.  The logical stream is rendered to a real buffer
+   (uncharged — native costs are wall-clock, not simulated cycles), run
+   through the fused or four-pass wire codec, and the ciphertext poked
+   into the ring.  The marshalling transform is the identity, so the
+   bytes are exactly those of the simulated backend. *)
+
+let render_stream t st =
+  let out = Bytes.create st.total in
+  let pos = ref 0 in
+  Array.iter
+    (fun seg ->
+      match seg with
+      | Gen s ->
+          Bytes.blit_string s 0 out !pos (String.length s);
+          pos := !pos + String.length s
+      | Payload p ->
+          Bytes.blit (Mem.peek_bytes (mem t) ~pos:p.addr ~len:p.len) 0 out !pos p.len;
+          pos := !pos + p.len)
+    st.segs;
+  out
+
+let fill_native t fp st ~dst =
+  let plain = render_stream t st in
+  let wire = Bytes.create st.total in
+  match t.mode with
+  | Ilp ->
+      let acc =
+        Ilp_fastpath.Wire.send_ilp fp ~src:plain ~src_off:0 ~len:st.total
+          ~dst:wire ~dst_off:0
+      in
+      Mem.poke_bytes (mem t) ~pos:dst wire;
+      Some acc
+  | Separate ->
+      (* TCP runs its own checksum pass over the ring, as in the simulated
+         separate path; the accumulator computed here is dropped. *)
+      ignore
+        (Ilp_fastpath.Wire.send_separate fp ~src:plain ~src_off:0 ~len:st.total
+           ~dst:wire ~dst_off:0);
+      Mem.poke_bytes (mem t) ~pos:dst wire;
+      None
+
 let prepared_of_stream t (plan, st) =
   let fill _mem ~dst =
-    match t.mode with
-    | Ilp -> fill_ilp t plan st ~dst
-    | Separate -> fill_separate t st ~dst
+    match t.fastpath with
+    | Some fp -> fill_native t fp st ~dst
+    | None -> (
+        match t.mode with
+        | Ilp -> fill_ilp t plan st ~dst
+        | Separate -> fill_separate t st ~dst)
   in
   { len = st.total; fill }
 
@@ -306,28 +363,55 @@ let check_rx_len t ~len =
 (* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
    place on the staging area, then unmarshal-and-copy to the application
    area in words. *)
+(* Native receive helpers: the staged ciphertext is peeked out of
+   simulated memory, run through the fast path, and the plaintext poked
+   into the application area. *)
+let rx_native_separate t fp ~src ~len =
+  let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
+  let plain = Bytes.create len in
+  ignore
+    (Ilp_fastpath.Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:plain
+       ~dst_off:0);
+  Mem.poke_bytes (mem t) ~pos:t.app_rx plain
+
+let rx_native_fused t fp ~src ~len =
+  let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
+  let plain = Bytes.create len in
+  let acc =
+    Ilp_fastpath.Wire.recv_ilp fp ~src:staged ~src_off:0 ~len ~dst:plain
+      ~dst_off:0
+  in
+  Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
+  acc
+
 let rx_separate t _mem ~src ~len =
   check_rx_len t ~len;
-  let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
-  Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
-    ~write_unit:cipher_unit ~src ~dst:src ~len ();
-  Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
-    ~dst:t.app_rx ~len ()
+  match t.fastpath with
+  | Some fp -> rx_native_separate t fp ~src ~len
+  | None ->
+      let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
+      Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
+        ~write_unit:cipher_unit ~src ~dst:src ~len ();
+      Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
+        ~dst:t.app_rx ~len ()
 
 (* Integrated receive (figure 5 right): checksum the ciphertext, decrypt
    and unmarshal in one loop, storing plaintext to the application area in
    the cipher's natural store width. *)
 let rx_integrated t _mem ~src ~len =
   check_rx_len t ~len;
-  let cell = ref Internet.empty in
-  let spec =
-    Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
-      ~loop_code:t.recv_loop ~tap:(checksum_tap t cell)
-      ~tap_position:Pipeline.Tap_input
-      [ t.decrypt_dmf; t.unmarshal_dmf ]
-  in
-  Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
-  !cell
+  match t.fastpath with
+  | Some fp -> rx_native_fused t fp ~src ~len
+  | None ->
+      let cell = ref Internet.empty in
+      let spec =
+        Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
+          ~loop_code:t.recv_loop ~tap:(checksum_tap t cell)
+          ~tap_position:Pipeline.Tap_input
+          [ t.decrypt_dmf; t.unmarshal_dmf ]
+      in
+      Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+      !cell
 
 (* Deferred ("close to the application") manipulation for the Late
    placement of section 3.2.3: the fused decrypt+unmarshal loop runs at
@@ -338,12 +422,15 @@ let rx_integrated t _mem ~src ~len =
    chose the early placement. *)
 let rx_late t _mem ~src ~len =
   check_rx_len t ~len;
-  let spec =
-    Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
-      ~loop_code:t.recv_loop
-      [ t.decrypt_dmf; t.unmarshal_dmf ]
-  in
-  Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len
+  match t.fastpath with
+  | Some fp -> ignore (rx_native_fused t fp ~src ~len)
+  | None ->
+      let spec =
+        Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
+          ~loop_code:t.recv_loop
+          [ t.decrypt_dmf; t.unmarshal_dmf ]
+      in
+      Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len
 
 type rx_style =
   | Rx_integrated_style of

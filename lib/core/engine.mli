@@ -54,6 +54,16 @@ type header_style = Leading | Trailer
     accepted the segment itself. *)
 type rx_placement = Early | Late
 
+(** How the data manipulations are executed.  [Simulated] (the default)
+    realises every manipulation byte-at-a-time through the charged memory
+    simulator — this is the paper's measurement apparatus.  [Native] runs
+    the same manipulations through the un-simulated {!Ilp_fastpath}
+    kernels — 64-bit loads and stores on real hardware — producing
+    byte-identical wire output; its cost is wall-clock time (measured by
+    [ilpbench wall]), so the simulated cycle counters are not meaningful
+    for a native engine. *)
+type backend = Simulated | Native of Ilp_fastpath.Cipher.t
+
 type t
 
 (** [create sim ~cipher ~mode ()] builds a stack.
@@ -68,6 +78,7 @@ val create :
   Ilp_memsim.Sim.t ->
   cipher:Ilp_cipher.Block_cipher.t ->
   mode:mode ->
+  ?backend:backend ->
   ?linkage:Linkage.t ->
   ?max_message:int ->
   ?coalesce_writes:bool ->
@@ -77,9 +88,13 @@ val create :
   unit ->
   t
 (** [uniform_units] widens the marshalling unit to the cipher block
-    (section 5's "uniform processing unit sizes"). *)
+    (section 5's "uniform processing unit sizes").  [backend] (default
+    [Simulated]) selects the execution substrate; a [Native] engine must
+    be given the fast-path cipher matching [cipher] for the wire bytes to
+    agree. *)
 
 val mode : t -> mode
+val backend : t -> backend
 val header_style : t -> header_style
 val rx_placement : t -> rx_placement
 val sim : t -> Ilp_memsim.Sim.t

@@ -1,0 +1,54 @@
+(** The native send/receive data movement, in both of the paper's styles.
+
+    The {e separate} functions reproduce the non-ILP stack's four memory
+    traversals — marshal copy, encrypt pass, TCP ring copy, checksum pass —
+    each touching every byte of the message.  The {e ILP} functions fuse
+    the same manipulations into one traversal: each cache-resident chunk is
+    copied, encrypted and checksummed before the loop moves on, so the
+    message crosses the memory system once.  Both produce byte-identical
+    wire data and the same Internet checksum; only the wall-clock cost
+    differs, which is what [ilpbench wall] measures.
+
+    [len] must be a multiple of the cipher block (8 bytes); offsets and
+    lengths are bounds-checked on entry. *)
+
+type t
+
+(** [create ~cipher ~max_len] builds a fast path instance.  [max_len]
+    bounds the message length of [send_separate] (it sizes the staging
+    buffer that stands in for the protocol stack's intermediate buffer). *)
+val create : cipher:Cipher.t -> max_len:int -> t
+
+val cipher : t -> Cipher.t
+val max_len : t -> int
+
+(** [send_separate t ~src ~src_off ~len ~dst ~dst_off] runs the four-pass
+    send: word-copy [src] into the staging buffer (marshal), encrypt the
+    staging buffer in place, word-copy it into [dst] (the ring), then
+    checksum [dst].  Returns the payload checksum accumulator. *)
+val send_separate :
+  t -> src:Bytes.t -> src_off:int -> len:int -> dst:Bytes.t -> dst_off:int ->
+  Ilp_checksum.Internet.acc
+
+(** [send_ilp t ~src ~src_off ~len ~dst ~dst_off] runs the fused send: one
+    pass over the message in cache-sized chunks, each chunk copied into
+    [dst], encrypted there and folded into the checksum while still
+    resident.  Same wire bytes and checksum as [send_separate]. *)
+val send_ilp :
+  t -> src:Bytes.t -> src_off:int -> len:int -> dst:Bytes.t -> dst_off:int ->
+  Ilp_checksum.Internet.acc
+
+(** [recv_separate t ~src ~src_off ~len ~dst ~dst_off] runs the separate
+    receive: checksum [src], decrypt [src] in place, word-copy the
+    plaintext to [dst] (the application buffer).  [src] is consumed, as in
+    the real stack where the staging buffer is decrypted in place. *)
+val recv_separate :
+  t -> src:Bytes.t -> src_off:int -> len:int -> dst:Bytes.t -> dst_off:int ->
+  Ilp_checksum.Internet.acc
+
+(** [recv_ilp t ~src ~src_off ~len ~dst ~dst_off] fuses the receive:
+    per chunk, fold the ciphertext into the checksum, copy it to [dst] and
+    decrypt it there.  [src] is left intact. *)
+val recv_ilp :
+  t -> src:Bytes.t -> src_off:int -> len:int -> dst:Bytes.t -> dst_off:int ->
+  Ilp_checksum.Internet.acc

@@ -1,0 +1,17 @@
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  if
+    len < 0 || src_off < 0 || dst_off < 0
+    || src_off + len > Bytes.length src
+    || dst_off + len > Bytes.length dst
+  then invalid_arg "Words.blit";
+  let words = len lsr 3 in
+  for k = 0 to words - 1 do
+    let o = k lsl 3 in
+    set64 dst (dst_off + o) (get64 src (src_off + o))
+  done;
+  for i = words lsl 3 to len - 1 do
+    Bytes.unsafe_set dst (dst_off + i) (Bytes.unsafe_get src (src_off + i))
+  done

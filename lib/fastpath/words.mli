@@ -1,0 +1,19 @@
+(** Word-at-a-time memory access for the native fast path.
+
+    The simulated stack moves data byte-at-a-time so the memory simulator
+    can charge each access; these primitives are the un-simulated
+    complement: unaligned 64-bit loads and stores compiled to single
+    machine instructions, plus a word-wise copy used as the native XDR
+    marshalling move. *)
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+(** Unaligned 64-bit load; no bounds check. *)
+
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+(** Unaligned 64-bit store; no bounds check. *)
+
+(** [blit ~src ~src_off ~dst ~dst_off ~len] copies [len] bytes a word at a
+    time with a byte tail.  Bounds-checked once at entry.  The regions must
+    not overlap (the fast path always copies between distinct buffers). *)
+val blit :
+  src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit

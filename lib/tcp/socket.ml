@@ -624,7 +624,7 @@ let handle_datagram t (dgram : Datagram.t) =
     (* Kernel demultiplexing and tcp_input connection lookup. *)
     Machine.compute (machine t) t.cfg.ack_ops;
     (* Network adapter DMA into the kernel buffer: not a CPU cost. *)
-    Mem.poke_bytes (mem t) ~pos:t.kernel_rx (Bytes.of_string wire);
+    Mem.poke_string (mem t) ~pos:t.kernel_rx wire;
     (* read(): system copy kernel -> user staging, then header parse. *)
     Mem.blit (mem t) ~src:t.kernel_rx ~dst:t.rx_staging ~len:total
       ~unit_len:t.cfg.blit_unit;

@@ -14,7 +14,7 @@ let small_setup ?(machine = Config.ss10_30) ?(cipher = Ft.Safer_simplified)
     ?(mode = Engine.Ilp) ?(copies = 2) ?(max_reply = 1024) ?(loss_rate = 0.0)
     ?(linkage = Linkage.Macro) ?(coalesce = false)
     ?(header_style = Engine.Leading) ?(rx_placement = Engine.Early)
-    ?(uniform_units = false) () =
+    ?(uniform_units = false) ?(native = false) () =
   { (Ft.default_setup ~machine ~mode) with
     Ft.cipher;
     copies;
@@ -24,7 +24,8 @@ let small_setup ?(machine = Config.ss10_30) ?(cipher = Ft.Safer_simplified)
     coalesce_writes = coalesce;
     header_style;
     rx_placement;
-    uniform_units }
+    uniform_units;
+    native }
 
 let run s =
   let r = Ft.run s in
@@ -66,6 +67,20 @@ let test_matrix () =
           check "all payload delivered" (15 * 1024) r.Ft.payload_bytes)
         [ Engine.Ilp; Engine.Separate ])
     [ Ft.Safer_simplified; Ft.Simple_encryption; Ft.Safer_full 6; Ft.Des ]
+
+let test_native_backend_end_to_end () =
+  (* The whole protocol — TCP checksum verification included — must work
+     when the data manipulations run on the native fast path, in both
+     modes and for both a SWAR and a table-driven cipher. *)
+  List.iter
+    (fun cipher ->
+      List.iter
+        (fun mode ->
+          let r = run (small_setup ~cipher ~mode ~native:true ~copies:1 ()) in
+          check "all payload delivered" (15 * 1024) r.Ft.payload_bytes;
+          check "no checksum failures" 0 r.Ft.checksum_failures)
+        [ Engine.Ilp; Engine.Separate ])
+    [ Ft.Simple_encryption; Ft.Safer_simplified ]
 
 let test_under_loss () =
   let r = run (small_setup ~loss_rate:0.2 ~copies:3 ()) in
@@ -211,6 +226,8 @@ let () =
           Alcotest.test_case "install" `Quick test_workload_install ] );
       ( "end-to-end",
         [ Alcotest.test_case "cipher x mode matrix" `Slow test_matrix;
+          Alcotest.test_case "native backend end-to-end" `Quick
+            test_native_backend_end_to_end;
           Alcotest.test_case "under loss" `Quick test_under_loss;
           Alcotest.test_case "trailer style" `Quick test_trailer_style;
           Alcotest.test_case "function-call linkage" `Quick

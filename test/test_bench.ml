@@ -93,6 +93,47 @@ let test_t1_csv_shape () =
         (List.length (String.split_on_char ',' header))
   | [] -> Alcotest.fail "empty csv"
 
+let test_wallbench_points () =
+  (* Tiny configuration: the structure and the JSON schema, not timing. *)
+  let r = B.Wallbench.run ~sizes:[ 64; 8 ] ~trials:1 ~warmup:0 () in
+  check "one point per size" 2 (List.length r.B.Wallbench.points);
+  (match r.B.Wallbench.points with
+  | p1 :: p2 :: _ ->
+      check "sorted by size" 8 p1.B.Wallbench.len;
+      check "sorted by size" 64 p2.B.Wallbench.len;
+      List.iter
+        (fun p ->
+          checkb "times positive" true
+            (p.B.Wallbench.separate.B.Wallbench.send_ns > 0.0
+            && p.B.Wallbench.ilp.B.Wallbench.recv_ns > 0.0);
+          checkb "speedup finite" true (Float.is_finite p.B.Wallbench.speedup))
+        [ p1; p2 ]
+  | _ -> Alcotest.fail "missing points");
+  let json = B.Wallbench.to_json r in
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec at i = i + n <= m && (String.sub json i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle -> checkb ("json has " ^ needle) true (contains needle))
+    [ "\"benchmark\": \"wall\""; "\"cipher\": \"simple\""; "\"points\"";
+      "\"speedup\""; "\"send_ns\"" ]
+
+let test_wallbench_validation () =
+  Alcotest.check_raises "odd size rejected"
+    (Invalid_argument "Wallbench.run: size 12 is not a positive multiple of 8")
+    (fun () -> ignore (B.Wallbench.run ~sizes:[ 12 ] ()));
+  (match B.Wallbench.cipher_of_name "no-such-cipher" with
+  | Ok _ -> Alcotest.fail "accepted bogus cipher"
+  | Error _ -> ());
+  List.iter
+    (fun name ->
+      match B.Wallbench.cipher_of_name name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    B.Wallbench.cipher_names
+
 let test_experiment_names () =
   checkb "has all" true (List.mem "all" B.Experiments.names);
   match B.Experiments.run_named "no-such-thing" with
@@ -115,4 +156,7 @@ let () =
         [ Alcotest.test_case "cipher wall-clock ordering" `Quick
             test_cipher_wall_clock_ordering;
           Alcotest.test_case "t1 csv shape" `Slow test_t1_csv_shape;
-          Alcotest.test_case "names" `Quick test_experiment_names ] ) ]
+          Alcotest.test_case "names" `Quick test_experiment_names ] );
+      ( "wallbench",
+        [ Alcotest.test_case "points and json" `Quick test_wallbench_points;
+          Alcotest.test_case "validation" `Quick test_wallbench_validation ] ) ]

@@ -88,6 +88,46 @@ let prop_incremental_equals_whole =
       in
       Internet.finish acc = Internet.checksum_string whole)
 
+(* The word-folded unsafe variant must agree with the byte-at-a-time
+   reference at every offset/length, including when the accumulator
+   resumes at odd parity. *)
+let prop_unsafe_random_slices =
+  QCheck.Test.make ~count:500 ~name:"add_bytes_unsafe matches reference on slices"
+    QCheck.(triple (string_of_size Gen.(int_range 0 200)) small_nat small_nat)
+    (fun (s, a, b) ->
+      let n = String.length s in
+      let off = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n - off = 0 then 0 else b mod (n - off + 1) in
+      let bytes = Bytes.of_string s in
+      let acc = Internet.add_bytes_unsafe Internet.empty bytes ~off ~len in
+      Internet.finish acc = reference (String.sub s off len))
+
+let prop_unsafe_odd_parity_resume =
+  QCheck.Test.make ~count:500
+    ~name:"add_bytes_unsafe resumes correctly from odd parity"
+    QCheck.(pair (string_of_size Gen.(int_range 1 64))
+              (string_of_size Gen.(int_range 0 100)))
+    (fun (prefix, rest) ->
+      (* Force an odd-parity accumulator by folding an odd-length prefix. *)
+      let prefix =
+        if String.length prefix land 1 = 0 then String.sub prefix 0 (String.length prefix - 1)
+        else prefix
+      in
+      let acc = Internet.add_string Internet.empty prefix in
+      let acc =
+        Internet.add_bytes_unsafe acc (Bytes.of_string rest) ~off:0
+          ~len:(String.length rest)
+      in
+      Internet.finish acc = reference (prefix ^ rest))
+
+let prop_unsafe_long_runs =
+  QCheck.Test.make ~count:50 ~name:"add_bytes_unsafe on multi-word runs"
+    QCheck.(pair (int_range 0 1024) (int_range 0 255))
+    (fun (len, seedb) ->
+      let bytes = Bytes.init len (fun i -> Char.chr ((seedb + (i * 131)) land 0xff)) in
+      let whole = Internet.add_bytes_unsafe Internet.empty bytes ~off:0 ~len in
+      Internet.finish whole = reference (Bytes.to_string bytes))
+
 let prop_checksum_mem_matches =
   QCheck.Test.make ~count:100 ~name:"charged checksum_mem equals the pure checksum"
     QCheck.(string_of_size Gen.(int_range 0 64))
@@ -177,6 +217,9 @@ let () =
           qc prop_matches_reference;
           qc prop_split_combine;
           qc prop_incremental_equals_whole;
+          qc prop_unsafe_random_slices;
+          qc prop_unsafe_odd_parity_resume;
+          qc prop_unsafe_long_runs;
           qc prop_checksum_mem_matches ] );
       ( "crc32",
         [ Alcotest.test_case "standard vector" `Quick test_crc_standard_vector;

@@ -67,6 +67,47 @@ let test_word_filter_empty_flush () =
   let wf = Word_filter.create ~out_len:4 ~emit:(fun _ _ -> Alcotest.fail "no emit") in
   check "no pad for empty" 0 (Word_filter.flush wf ~pad:'x')
 
+let test_word_filter_straddling_pushes () =
+  let out = Buffer.create 64 in
+  let wf =
+    Word_filter.create ~out_len:8 ~emit:(fun b off ->
+        Buffer.add_subbytes out b off 8)
+  in
+  let big = Bytes.init 40 (fun i -> Char.chr (0x30 + i)) in
+  (* One push spanning two whole units, from a nonzero offset. *)
+  Word_filter.push wf big ~off:5 ~len:19;
+  check "two units out" 16 (Buffer.length out);
+  check "three pending" 3 (Word_filter.pending wf);
+  (* The next push straddles the unit boundary twice more. *)
+  Word_filter.push wf big ~off:24 ~len:13;
+  check "four units out" 32 (Buffer.length out);
+  check "lands on a boundary" 0 (Word_filter.pending wf);
+  check_s "stream preserved across straddles"
+    (Bytes.sub_string big 5 19 ^ Bytes.sub_string big 24 13)
+    (Buffer.contents out);
+  check "flush on a boundary adds nothing" 0 (Word_filter.flush wf ~pad:'!')
+
+let test_word_filter_partial_flush () =
+  let out = Buffer.create 16 in
+  let wf =
+    Word_filter.create ~out_len:6 ~emit:(fun b off ->
+        Buffer.add_subbytes out b off 6)
+  in
+  Word_filter.push_string wf "ab";
+  check "pad completes the unit" 4 (Word_filter.flush wf ~pad:'-');
+  check_s "padded unit emitted" "ab----" (Buffer.contents out);
+  check "second flush is empty" 0 (Word_filter.flush wf ~pad:'-');
+  check "emitted counts the pad" 6 (Word_filter.emitted wf)
+
+let test_word_filter_validation () =
+  (match Word_filter.create ~out_len:0 ~emit:(fun _ _ -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument (out_len)"
+  | exception Invalid_argument _ -> ());
+  let wf = Word_filter.create ~out_len:4 ~emit:(fun _ _ -> ()) in
+  match Word_filter.push wf (Bytes.create 4) ~off:2 ~len:4 with
+  | _ -> Alcotest.fail "expected Invalid_argument (bounds)"
+  | exception Invalid_argument _ -> ()
+
 let prop_word_filter_preserves_stream =
   QCheck.Test.make ~count:200 ~name:"re-chunking preserves the byte stream"
     QCheck.(
@@ -154,6 +195,28 @@ let stack_of_cipher sim which =
   | _ ->
       [ Dmf.marshalling sim ();
         Dmf.of_cipher_encrypt (Ilp_cipher.Safer.charged sim ~key:"abcdefgh" ()) ]
+
+let test_word_filter_lcm_exchange_unit () =
+  (* Sizing a filter by the pipeline's exchange unit (section 2.2): every
+     emit is one whole Le block, so a downstream stage never sees a
+     partial unit regardless of how the input arrives. *)
+  let sim = make_sim () in
+  let stages =
+    [ Dmf.marshalling sim ();
+      Dmf.of_cipher_encrypt
+        (Ilp_cipher.Safer_simplified.charged sim ~key:"abcdefgh" ()) ]
+  in
+  let spec = Pipeline.spec stages in
+  let le = Pipeline.exchange_len spec in
+  check "Le = LCM of the stage units" (Units.exchange_unit [ 4; 8 ]) le;
+  let emits = ref 0 in
+  let wf = Word_filter.create ~out_len:le ~emit:(fun _ _ -> incr emits) in
+  let chunks = [ "123"; String.make 13 'x'; ""; String.make 17 'y' ] in
+  List.iter (Word_filter.push_string wf) chunks;
+  ignore (Word_filter.flush wf ~pad:'\000');
+  let total = List.fold_left (fun n s -> n + String.length s) 0 chunks in
+  check "stream re-chunked into Le units" ((total + le - 1) / le) !emits;
+  check "emitted is a multiple of Le" 0 (Word_filter.emitted wf mod le)
 
 let prop_fused_equals_separate =
   QCheck.Test.make ~count:100
@@ -537,6 +600,12 @@ let () =
       ( "word_filter",
         [ Alcotest.test_case "basic" `Quick test_word_filter_basic;
           Alcotest.test_case "empty flush" `Quick test_word_filter_empty_flush;
+          Alcotest.test_case "straddling pushes" `Quick
+            test_word_filter_straddling_pushes;
+          Alcotest.test_case "partial flush" `Quick test_word_filter_partial_flush;
+          Alcotest.test_case "validation" `Quick test_word_filter_validation;
+          Alcotest.test_case "LCM exchange-unit sizing" `Quick
+            test_word_filter_lcm_exchange_unit;
           qc prop_word_filter_preserves_stream ] );
       ( "parts",
         [ Alcotest.test_case "paper layout" `Quick test_parts_paper_layout;

@@ -1,0 +1,280 @@
+(* The native (un-simulated) fast path: word-wise blit, SWAR simple
+   cipher, batched SAFER/DES kernels, and the fused wire codec.  The load-
+   bearing property throughout is byte-identity with the reference
+   implementations — the fast path must change timing, never bytes. *)
+
+module FP = Ilp_fastpath
+module Internet = Ilp_checksum.Internet
+open Ilp_cipher
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let key = "\x3a\x91\x5c\x07\xee\x42\xb8\x1d"
+
+let ciphers () =
+  [ FP.Cipher.Simple;
+    FP.Cipher.Safer_simplified (Safer_simplified.expand_key key);
+    FP.Cipher.Safer (Safer.expand_key key);
+    FP.Cipher.Des (Des.expand_key key) ]
+
+(* Reference ECB through the pure string ciphers. *)
+let reference_encrypt cipher s =
+  match cipher with
+  | FP.Cipher.Simple -> Simple_cipher.encrypt_string s
+  | FP.Cipher.Safer_simplified k -> Safer_simplified.encrypt_string k s
+  | FP.Cipher.Safer k -> Safer.encrypt_string k s
+  | FP.Cipher.Des k -> Des.encrypt_string k s
+
+let random_msg len =
+  String.init len (fun i -> Char.chr ((i * 131 + 17) land 0xff))
+
+(* ------------------------------------------------------------------ *)
+(* Words *)
+
+let prop_blit_equals_bytes_blit =
+  QCheck.Test.make ~count:300 ~name:"word blit = Bytes.blit on random slices"
+    QCheck.(triple (string_of_size Gen.(int_range 0 120)) small_nat small_nat)
+    (fun (s, a, b) ->
+      let n = String.length s in
+      let off = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n - off = 0 then 0 else b mod (n - off + 1) in
+      let dst_off = a mod 8 in
+      let dst = Bytes.make (dst_off + len + 8) 'x' in
+      let expected = Bytes.copy dst in
+      FP.Words.blit ~src:(Bytes.of_string s) ~src_off:off ~dst ~dst_off ~len;
+      Bytes.blit_string s off expected dst_off len;
+      Bytes.equal dst expected)
+
+let test_blit_bounds () =
+  let src = Bytes.create 16 and dst = Bytes.create 8 in
+  match FP.Words.blit ~src ~src_off:0 ~dst ~dst_off:0 ~len:16 with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cipher kernels *)
+
+let prop_native_matches_reference =
+  QCheck.Test.make ~count:100 ~name:"native kernels = pure ECB (all ciphers)"
+    QCheck.(map (fun n -> n * 8) (int_range 0 64))
+    (fun len ->
+      let s = random_msg len in
+      List.for_all
+        (fun c ->
+          let b = Bytes.of_string s in
+          FP.Cipher.encrypt_blocks c b ~off:0 ~count:(len / 8);
+          let ok = Bytes.to_string b = reference_encrypt c s in
+          FP.Cipher.decrypt_blocks c b ~off:0 ~count:(len / 8);
+          ok && Bytes.to_string b = s)
+        (ciphers ()))
+
+let test_swar_known_bytes () =
+  (* Spot-check the SWAR lanes against the scalar byte function at the
+     carry and borrow corners. *)
+  let corner = Bytes.of_string "\x00\xff\x7f\x80\x3b\x3c\xc3\x55" in
+  let expected =
+    let r = Bytes.copy corner in
+    Simple_cipher.encrypt_block r 0;
+    Bytes.to_string r
+  in
+  let b = Bytes.copy corner in
+  FP.Cipher.encrypt_blocks FP.Cipher.Simple b ~off:0 ~count:1;
+  check_s "encrypt corners" expected (Bytes.to_string b);
+  FP.Cipher.decrypt_blocks FP.Cipher.Simple b ~off:0 ~count:1;
+  check_s "decrypt inverts" (Bytes.to_string corner) (Bytes.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let wire_pair cipher len =
+  let fp = FP.Wire.create ~cipher ~max_len:len in
+  let msg = Bytes.of_string (random_msg len) in
+  let sep = Bytes.create len and ilp = Bytes.create len in
+  let acc_sep = FP.Wire.send_separate fp ~src:msg ~src_off:0 ~len ~dst:sep ~dst_off:0 in
+  let acc_ilp = FP.Wire.send_ilp fp ~src:msg ~src_off:0 ~len ~dst:ilp ~dst_off:0 in
+  (fp, msg, sep, ilp, acc_sep, acc_ilp)
+
+let test_send_paths_agree () =
+  List.iter
+    (fun cipher ->
+      (* Straddle several fused chunks. *)
+      List.iter
+        (fun len ->
+          let _, msg, sep, ilp, acc_sep, acc_ilp = wire_pair cipher len in
+          checkb "wire bytes identical" true (Bytes.equal sep ilp);
+          check "checksums agree" (Internet.finish acc_sep) (Internet.finish acc_ilp);
+          check_s "wire is the reference ECB"
+            (reference_encrypt cipher (Bytes.to_string msg))
+            (Bytes.to_string sep))
+        [ 0; 8; 4096; 4104; 10000 ])
+    (ciphers ())
+
+let test_recv_paths_agree () =
+  List.iter
+    (fun cipher ->
+      List.iter
+        (fun len ->
+          let fp, msg, sep, _, acc_send, _ = wire_pair cipher len in
+          (* ILP receive: non-destructive on the segment. *)
+          let out_ilp = Bytes.create len in
+          let acc_ilp = FP.Wire.recv_ilp fp ~src:sep ~src_off:0 ~len ~dst:out_ilp ~dst_off:0 in
+          checkb "ilp recovers plaintext" true (Bytes.equal out_ilp msg);
+          check "ilp checksum = send checksum" (Internet.finish acc_send)
+            (Internet.finish acc_ilp);
+          (* Separate receive: decrypts the staged copy in place. *)
+          let staged = Bytes.copy sep in
+          let out_sep = Bytes.create len in
+          let acc_sep =
+            FP.Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:out_sep ~dst_off:0
+          in
+          checkb "separate recovers plaintext" true (Bytes.equal out_sep msg);
+          check "separate checksum = send checksum" (Internet.finish acc_send)
+            (Internet.finish acc_sep))
+        [ 0; 8; 4104; 10000 ])
+    (ciphers ())
+
+let prop_wire_roundtrip_at_offsets =
+  QCheck.Test.make ~count:60 ~name:"wire roundtrip at random offsets"
+    QCheck.(triple (map (fun n -> n * 8) (int_range 1 40)) small_nat small_nat)
+    (fun (len, a, b) ->
+      let src_off = a mod 16 and dst_off = b mod 16 in
+      let cipher = FP.Cipher.Safer_simplified (Safer_simplified.expand_key key) in
+      let fp = FP.Wire.create ~cipher ~max_len:(len + 32) in
+      let msg = random_msg len in
+      let src = Bytes.make (src_off + len) '\000' in
+      Bytes.blit_string msg 0 src src_off len;
+      let wire = Bytes.make (dst_off + len) '\000' in
+      let acc = FP.Wire.send_ilp fp ~src ~src_off ~len ~dst:wire ~dst_off in
+      let out = Bytes.create len in
+      let acc' = FP.Wire.recv_ilp fp ~src:wire ~src_off:dst_off ~len ~dst:out ~dst_off:0 in
+      Bytes.to_string out = msg && Internet.finish acc = Internet.finish acc')
+
+let test_wire_validation () =
+  let fp = FP.Wire.create ~cipher:FP.Cipher.Simple ~max_len:64 in
+  let b = Bytes.create 64 in
+  (match FP.Wire.send_ilp fp ~src:b ~src_off:0 ~len:12 ~dst:b ~dst_off:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument (unaligned)"
+  | exception Invalid_argument _ -> ());
+  let big = Bytes.create 128 in
+  match FP.Wire.send_separate fp ~src:big ~src_off:0 ~len:128 ~dst:big ~dst_off:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument (max_len)"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine backends: for the same message, a [Native] engine must put
+   byte-identical ciphertext on the wire and compute the same checksum as
+   the [Simulated] engine it mirrors. *)
+
+module Engine = Ilp_core.Engine
+module Sim = Ilp_memsim.Sim
+module Mem = Ilp_memsim.Mem
+module Alloc = Ilp_memsim.Alloc
+module Config = Ilp_memsim.Config
+
+type cipher_kind = K_simple | K_simplified | K_safer | K_des
+
+let charged_of_kind sim = function
+  | K_simple -> Simple_cipher.charged sim
+  | K_simplified -> Safer_simplified.charged sim ~key ()
+  | K_safer -> Safer.charged sim ~key ()
+  | K_des -> Des.charged sim ~key ()
+
+let native_of_kind = function
+  | K_simple -> FP.Cipher.Simple
+  | K_simplified -> FP.Cipher.Safer_simplified (Safer_simplified.expand_key key)
+  | K_safer -> FP.Cipher.Safer (Safer.expand_key key)
+  | K_des -> FP.Cipher.Des (Des.expand_key key)
+
+(* Build one engine, send one message, return the wire bytes, the fill
+   checksum, and the received plaintext (driving the engine's own rx). *)
+let one_transfer ~mode ~backend_native kind =
+  let sim = Sim.create (Config.custom ()) in
+  let cipher = charged_of_kind sim kind in
+  let backend =
+    if backend_native then Engine.Native (native_of_kind kind) else Engine.Simulated
+  in
+  let eng = Engine.create sim ~cipher ~mode ~backend () in
+  let payload = random_msg 600 in
+  let payload_addr = Alloc.alloc sim.Sim.alloc ~align:8 (String.length payload) in
+  Mem.poke_string sim.Sim.mem ~pos:payload_addr payload;
+  let prepared =
+    Engine.prepare_send eng ~prefix:"HDRWORDSABCD" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
+  let wire_bytes = Mem.peek_bytes sim.Sim.mem ~pos:wire ~len:prepared.Engine.len in
+  (match Engine.rx_style eng with
+  | Engine.Rx_integrated_style rx ->
+      ignore (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+  | Engine.Rx_deferred_style rx -> rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  (Bytes.to_string wire_bytes, acc_opt, plaintext)
+
+let test_backends_byte_identical () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun mode ->
+          let wire_sim, acc_sim, plain_sim =
+            one_transfer ~mode ~backend_native:false kind
+          in
+          let wire_nat, acc_nat, plain_nat =
+            one_transfer ~mode ~backend_native:true kind
+          in
+          checkb "wire bytes identical across backends" true (wire_sim = wire_nat);
+          check_s "plaintext identical across backends" plain_sim plain_nat;
+          match (mode, acc_sim, acc_nat) with
+          | Engine.Ilp, Some a, Some b ->
+              check "fill checksums agree" (Internet.finish a) (Internet.finish b)
+          | Engine.Separate, None, None -> ()
+          | _ -> Alcotest.fail "fill checksum presence differs across backends")
+        [ Engine.Ilp; Engine.Separate ])
+    [ K_simple; K_simplified; K_safer; K_des ]
+
+let test_native_rx_checksum_agrees () =
+  (* The native integrated receive must return the same accumulator the
+     native send computed (TCP compares exactly these two). *)
+  let sim = Sim.create (Config.custom ()) in
+  let cipher = charged_of_kind sim K_simplified in
+  let eng =
+    Engine.create sim ~cipher ~mode:Engine.Ilp
+      ~backend:(Engine.Native (native_of_kind K_simplified)) ()
+  in
+  let payload = random_msg 512 in
+  let payload_addr = Alloc.alloc sim.Sim.alloc ~align:8 (String.length payload) in
+  Mem.poke_string sim.Sim.mem ~pos:payload_addr payload;
+  let prepared =
+    Engine.prepare_send eng ~prefix:"PRFX" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  let send_acc =
+    match prepared.Engine.fill sim.Sim.mem ~dst:wire with
+    | Some acc -> acc
+    | None -> Alcotest.fail "native ILP fill must return a checksum"
+  in
+  let rx_acc = Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len in
+  check "rx acc = send acc" (Internet.finish send_acc) (Internet.finish rx_acc)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fastpath"
+    [ ( "words",
+        [ qc prop_blit_equals_bytes_blit;
+          Alcotest.test_case "bounds" `Quick test_blit_bounds ] );
+      ( "cipher",
+        [ qc prop_native_matches_reference;
+          Alcotest.test_case "SWAR corners" `Quick test_swar_known_bytes ] );
+      ( "wire",
+        [ Alcotest.test_case "send paths agree" `Quick test_send_paths_agree;
+          Alcotest.test_case "recv paths agree" `Quick test_recv_paths_agree;
+          Alcotest.test_case "validation" `Quick test_wire_validation;
+          qc prop_wire_roundtrip_at_offsets ] );
+      ( "engine backends",
+        [ Alcotest.test_case "byte-identical wire output" `Quick
+            test_backends_byte_identical;
+          Alcotest.test_case "native rx checksum" `Quick
+            test_native_rx_checksum_agrees ] ) ]
