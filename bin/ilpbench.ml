@@ -239,6 +239,84 @@ let export_cmd =
     Term.(const run $ out)
 
 (* ------------------------------------------------------------------ *)
+(* soak *)
+
+let soak_cmd =
+  let module Soak = Ilp_app.Soak in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Soak master seed.")
+  in
+  let iters =
+    Arg.(value & opt int Soak.default_config.Soak.iterations
+         & info [ "iters"; "n" ] ~docv:"N" ~doc:"Randomized transfers to run.")
+  in
+  let size =
+    Arg.(value & opt int Soak.default_config.Soak.file_len
+         & info [ "size"; "s" ] ~docv:"BYTES" ~doc:"File length per transfer.")
+  in
+  let machine =
+    Arg.(value & opt machine_conv Config.ss10_30
+         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"Simulated workstation.")
+  in
+  let intensity =
+    Arg.(value & opt float 1.0
+         & info [ "intensity" ] ~docv:"X"
+             ~doc:"Impairment-rate scale; 0 disables all faults, 1 is full chaos.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Log every failed iteration, not just \
+                                         invariant violations.")
+  in
+  let run seed iters size machine intensity verbose =
+    let cfg =
+      { Soak.default_config with
+        Soak.seed;
+        iterations = iters;
+        file_len = size;
+        machine;
+        intensity }
+    in
+    let log line =
+      (* Invariant violations always print; ordinary typed failures only
+         under --verbose. *)
+      if verbose then print_endline line
+      else
+        let violation sub =
+          let n = String.length sub in
+          let rec scan i =
+            i + n <= String.length line
+            && (String.sub line i n = sub || scan (i + 1))
+          in
+          scan 0
+        in
+        if violation "ESCAPED" || violation "SILENT" then print_endline line
+    in
+    match Soak.run ~log cfg with
+    | o ->
+        List.iter print_endline (Soak.summary_lines o);
+        if Soak.invariants_hold o then begin
+          print_endline
+            "soak invariant held: byte-exact or typed failure, every time";
+          0
+        end
+        else begin
+          prerr_endline "soak invariant VIOLATED";
+          1
+        end
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos soak: randomized impaired transfers across both modes, both \
+          backends and all four ciphers, asserting byte-exact delivery or a \
+          typed error on every iteration.")
+    Term.(const run $ seed $ iters $ size $ machine $ intensity $ verbose)
+
+(* ------------------------------------------------------------------ *)
 (* machines *)
 
 let machines_cmd =
@@ -266,4 +344,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiments_cmd; transfer_cmd; wall_cmd; machines_cmd; export_cmd ]))
+          [ experiments_cmd; transfer_cmd; wall_cmd; machines_cmd; export_cmd;
+            soak_cmd ]))

@@ -28,6 +28,8 @@ type setup = {
   max_reply : int;
   loss_rate : float;
   seed : int;
+  impairments : Link.impairments option;
+  deadline_us : float;
 }
 
 let default_setup ~machine ~mode =
@@ -44,7 +46,9 @@ let default_setup ~machine ~mode =
     copies = 8;
     max_reply = 1024;
     loss_rate = 0.0;
-    seed = 1 }
+    seed = 1;
+    impairments = None;
+    deadline_us = 2_000_000_000.0 }
 
 type result = {
   ok : bool;
@@ -64,6 +68,10 @@ type result = {
   total_stats : Stats.t;
   retransmissions : int;
   checksum_failures : int;
+  client_failure : string option;
+  drops : (Socket.drop_reason * int) list;
+  replies_abandoned : int;
+  link_stats : Link.stats;
 }
 
 let key = "\x3a\x91\x5c\x07\xee\x42\xb8\x1d"
@@ -104,7 +112,8 @@ let run setup =
   link :=
     Some
       (Link.create clock ~delay_us:50.0 ~loss_rate:setup.loss_rate
-         ~seed:setup.seed ~deliver:(Demux.deliver demux) ());
+         ~seed:setup.seed ?impairments:setup.impairments
+         ~deliver:(Demux.deliver demux) ());
   (* Shared machine, one engine (and one cipher instance) per process. *)
   let srv_cipher = make_cipher sim setup.cipher in
   let cli_cipher = make_cipher sim setup.cipher in
@@ -190,14 +199,28 @@ let run setup =
   Socket.connect cli_ctrl ~remote_port:srv_ctrl_port;
   Socket.connect srv_data ~remote_port:cli_data_port;
   Simclock.run_until_idle clock;
-  let established s = Socket.state s = Socket.Established in
-  if
-    not
-      (established srv_ctrl && established cli_ctrl && established srv_data
-      && established cli_data)
-  then
+  let all_sockets = [ srv_ctrl; cli_ctrl; srv_data; cli_data ] in
+  let drops () =
+    List.map
+      (fun r ->
+        (r, List.fold_left (fun acc s -> acc + Socket.drop_count s r) 0 all_sockets))
+      Socket.drop_reasons
+  in
+  let client_failure () =
+    Option.map Rpc_client.failure_to_string (Rpc_client.failure client)
+  in
+  let socket_failures () =
+    List.filter_map
+      (fun (name, s) ->
+        Option.map
+          (fun r -> name ^ " " ^ Socket.abort_reason_to_string r)
+          (Socket.failure s))
+      [ ("srv_ctrl", srv_ctrl); ("cli_ctrl", cli_ctrl); ("srv_data", srv_data);
+        ("cli_data", cli_data) ]
+  in
+  let early_failure error =
     { ok = false;
-      error = Some "connection setup failed";
+      error = Some error;
       n_replies = 0;
       payload_bytes = 0;
       wire_bytes = 0;
@@ -212,20 +235,35 @@ let run setup =
       recv_stats;
       total_stats = Stats.copy (Machine.stats machine);
       retransmissions = 0;
-      checksum_failures = 0 }
+      checksum_failures = 0;
+      client_failure = client_failure ();
+      drops = drops ();
+      replies_abandoned = Rpc_server.replies_abandoned server;
+      link_stats = Link.stats (Option.get !link) }
+  in
+  let established s = Socket.state s = Socket.Established in
+  if
+    not
+      (established srv_ctrl && established cli_ctrl && established srv_data
+      && established cli_data)
+  then
+    early_failure
+      (match socket_failures () with
+      | [] -> "connection setup failed"
+      | fs -> "connection setup failed: " ^ String.concat "; " fs)
   else begin
     (* Exclude setup from the measurement; keep the caches warm as in the
        repeated transfers of the paper. *)
     Machine.reset_counters machine;
     mark ();
-    (match
-       Rpc_client.request_file client ~name:"paper.dat" ~copies:setup.copies
-         ~max_reply:setup.max_reply ~expected:file_contents
-     with
-    | Ok () -> ()
-    | Error _ -> failwith "request refused by TCP");
+    match
+      Rpc_client.request_file client ~name:"paper.dat" ~copies:setup.copies
+        ~max_reply:setup.max_reply ~expected:file_contents
+    with
+    | Error _ -> early_failure "request refused by TCP"
+    | Ok () ->
     (* Drive the world until the transfer completes or stalls. *)
-    let deadline = 2_000_000_000.0 in
+    let deadline = setup.deadline_us in
     let rec pump guard =
       if guard = 0 then ()
       else if Rpc_client.transfer_complete client then ()
@@ -246,9 +284,9 @@ let run setup =
     let error =
       if ok then None
       else
-        match Rpc_client.errors client with
-        | e :: _ -> Some e
-        | [] ->
+        match client_failure () with
+        | Some f -> Some f
+        | None ->
             Some
               (Printf.sprintf "incomplete transfer: %d / %d bytes"
                  (Rpc_client.bytes_received client)
@@ -271,5 +309,9 @@ let run setup =
       recv_stats;
       total_stats;
       retransmissions = srv_stats.Socket.retransmissions;
-      checksum_failures = cli_stats.Socket.checksum_failures }
+      checksum_failures = cli_stats.Socket.checksum_failures;
+      client_failure = client_failure ();
+      drops = drops ();
+      replies_abandoned = Rpc_server.replies_abandoned server;
+      link_stats = Link.stats (Option.get !link) }
   end

@@ -41,6 +41,13 @@ type setup = {
   max_reply : int;  (** application payload bytes per message *)
   loss_rate : float;
   seed : int;
+  impairments : Ilp_netsim.Link.impairments option;
+      (** full adversarial wire model; [None] (the default) is the legacy
+          50 us loopback with [loss_rate] applied *)
+  deadline_us : float;
+      (** virtual-time budget for the transfer (default 2e9 us); an
+          impaired transfer that cannot finish by then reports a typed
+          error *)
 }
 
 (** The paper's configuration: simplified SAFER, 15 kB file, 1 kB
@@ -75,6 +82,15 @@ type result = {
   total_stats : Ilp_memsim.Stats.t;
   retransmissions : int;
   checksum_failures : int;
+  client_failure : string option;
+      (** the client's typed failure (transport abort or protocol error),
+          rendered; [None] on success *)
+  drops : (Ilp_tcp.Socket.drop_reason * int) list;
+      (** per-reason drop ledger summed over all four endpoints *)
+  replies_abandoned : int;
+      (** replies the server discarded because the data connection died *)
+  link_stats : Ilp_netsim.Link.stats;
+      (** every impairment the wire actually applied *)
 }
 
 val run : setup -> result

@@ -1,0 +1,199 @@
+module Link = Ilp_netsim.Link
+module Socket = Ilp_tcp.Socket
+module Engine = Ilp_core.Engine
+module Ft = File_transfer
+
+(* A private xorshift64 so soak schedules are reproducible without
+   touching the link's own stream. *)
+let prng_create seed = ref ((seed * 0x9e3779b1) lor 1)
+
+let prng_next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  st := if x = 0 then 1 else x;
+  !st
+
+let prng_float st = float_of_int (prng_next st land 0xffffff) /. 16777216.0
+let prng_int st bound = prng_next st mod bound
+
+type config = {
+  seed : int;
+  iterations : int;
+  file_len : int;
+  copies : int;
+  max_reply : int;
+  machine : Ilp_memsim.Config.t;
+  intensity : float;
+  deadline_us : float;
+}
+
+let default_config =
+  { seed = 1;
+    iterations = 512;
+    file_len = 512;
+    copies = 1;
+    max_reply = 256;
+    machine = Ilp_memsim.Config.ss10_30;
+    intensity = 1.0;
+    deadline_us = 120_000_000.0 }
+
+type outcome = {
+  iterations : int;
+  completed : int;
+  failed : int;  (** transfers that ended with a typed error (expected under impairment) *)
+  escaped_exceptions : int;  (** invariant violation: an exception crossed the stack *)
+  silent_corruptions : int;
+      (** invariant violation: reported success without byte-exact delivery,
+          or failure with no typed error *)
+  retransmissions : int;
+  checksum_drops : int;
+  replies_abandoned : int;
+  drops : (Socket.drop_reason * int) list;
+  link : Link.stats;
+}
+
+let invariants_hold o = o.escaped_exceptions = 0 && o.silent_corruptions = 0
+
+let ciphers = [| Ft.Safer_simplified; Ft.Simple_encryption; Ft.Safer_full 6; Ft.Des |]
+
+let cipher_name = function
+  | Ft.Safer_simplified -> "safer-simplified"
+  | Ft.Simple_encryption -> "simple"
+  | Ft.Safer_full _ -> "safer-k64"
+  | Ft.Des -> "des"
+
+(* Draw one randomized impairment configuration.  Rates are scaled by
+   [intensity]; every draw comes from the soak's own seeded stream, so a
+   soak run is exactly reproducible from its seed. *)
+let draw_impairments st ~intensity =
+  (* Clamped so any intensity in Soak.run's accepted range still yields a
+     valid probability. *)
+  let r scale = min 1.0 (scale *. prng_float st *. intensity) in
+  let gilbert =
+    if prng_float st < 0.35 then
+      Some
+        { Link.p_enter_bad = min 1.0 (0.02 +. r 0.05);
+          p_exit_bad = 0.25;
+          loss_in_bad = min 1.0 (0.4 +. r 0.4) }
+    else None
+  in
+  { Link.delay_us = 20.0 +. (80.0 *. prng_float st);
+    jitter_us = (if prng_float st < 0.5 then 0.0 else 200.0 *. prng_float st);
+    loss_rate = r 0.15;
+    dup_rate = r 0.1;
+    corrupt_rate = r 0.2;
+    corrupt_bits = 1 + prng_int st 4;
+    truncate_rate = r 0.06;
+    pad_rate = r 0.06;
+    pad_max = 12;
+    delay_spike_rate = r 0.04;
+    delay_spike_us = 2_000.0;
+    gilbert }
+
+(* One transfer under one impairment draw.  The soak invariant: the file
+   arrives byte-exact, or the run reports a typed error — never silent
+   corruption, never an escaped exception. *)
+let run ?(log = fun _ -> ()) (cfg : config) =
+  if cfg.iterations < 0 then invalid_arg "Soak.run: iterations must be >= 0";
+  if cfg.intensity < 0.0 || cfg.intensity > 10.0 then
+    invalid_arg "Soak.run: intensity must be in [0, 10]";
+  if cfg.file_len <= 0 || cfg.copies <= 0 || cfg.max_reply <= 0 then
+    invalid_arg "Soak.run: file_len, copies and max_reply must be positive";
+  if cfg.deadline_us <= 0.0 then invalid_arg "Soak.run: deadline_us must be positive";
+  let st = prng_create cfg.seed in
+  let completed = ref 0
+  and failed = ref 0
+  and escaped = ref 0
+  and silent = ref 0
+  and retransmissions = ref 0
+  and checksum_drops = ref 0
+  and abandoned = ref 0 in
+  let drop_totals = Array.make (List.length Socket.drop_reasons) 0 in
+  let link_total = ref Link.zero_stats in
+  for i = 0 to cfg.iterations - 1 do
+    let mode = if i land 1 = 0 then Engine.Separate else Engine.Ilp in
+    let native = (i lsr 1) land 1 = 1 in
+    let cipher = ciphers.((i lsr 2) land 3) in
+    let header_style = if (i lsr 4) land 1 = 0 then Engine.Leading else Engine.Trailer in
+    let imp = draw_impairments st ~intensity:cfg.intensity in
+    let setup =
+      { (Ft.default_setup ~machine:cfg.machine ~mode) with
+        Ft.cipher;
+        native;
+        header_style;
+        file_len = cfg.file_len;
+        copies = cfg.copies;
+        max_reply = cfg.max_reply;
+        seed = (cfg.seed * 7919) + i;
+        impairments = Some imp;
+        deadline_us = cfg.deadline_us }
+    in
+    let tag verdict =
+      Printf.sprintf "iter %4d  %-8s %-7s %-16s %s" i
+        (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
+        (if native then "native" else "sim")
+        (cipher_name cipher) verdict
+    in
+    (match Ft.run setup with
+    | r ->
+        retransmissions := !retransmissions + r.Ft.retransmissions;
+        checksum_drops := !checksum_drops + r.Ft.checksum_failures;
+        abandoned := !abandoned + r.Ft.replies_abandoned;
+        List.iteri
+          (fun j (_, n) -> drop_totals.(j) <- drop_totals.(j) + n)
+          r.Ft.drops;
+        link_total := Link.add_stats !link_total r.Ft.link_stats;
+        if r.Ft.ok then begin
+          if r.Ft.payload_bytes <> cfg.file_len * cfg.copies then begin
+            incr silent;
+            log (tag "SILENT CORRUPTION: success without byte-exact delivery")
+          end
+          else incr completed
+        end
+        else begin
+          match r.Ft.error with
+          | Some e ->
+              incr failed;
+              log (tag ("failed (typed): " ^ e))
+          | None ->
+              incr silent;
+              log (tag "SILENT FAILURE: no typed error reported")
+        end
+    | exception e ->
+        incr escaped;
+        log (tag ("ESCAPED EXCEPTION: " ^ Printexc.to_string e)))
+  done;
+  { iterations = cfg.iterations;
+    completed = !completed;
+    failed = !failed;
+    escaped_exceptions = !escaped;
+    silent_corruptions = !silent;
+    retransmissions = !retransmissions;
+    checksum_drops = !checksum_drops;
+    replies_abandoned = !abandoned;
+    drops =
+      List.mapi (fun j r -> (r, drop_totals.(j))) Socket.drop_reasons;
+    link = !link_total }
+
+let summary_lines o =
+  let l = o.link in
+  [ Printf.sprintf "iterations            %d" o.iterations;
+    Printf.sprintf "byte-exact transfers  %d" o.completed;
+    Printf.sprintf "typed failures        %d" o.failed;
+    Printf.sprintf "escaped exceptions    %d" o.escaped_exceptions;
+    Printf.sprintf "silent corruptions    %d" o.silent_corruptions;
+    Printf.sprintf "wire: %d sent, %d delivered, %d lost (%d burst), %d duplicated"
+      l.Link.sent l.Link.delivered l.Link.dropped l.Link.burst_dropped
+      l.Link.duplicated;
+    Printf.sprintf "wire: %d corrupted, %d truncated, %d padded, %d delay spikes"
+      l.Link.corrupted l.Link.truncated l.Link.padded l.Link.delay_spikes;
+    Printf.sprintf "tcp:  %d retransmissions, %d replies abandoned"
+      o.retransmissions o.replies_abandoned;
+    "tcp drops: "
+    ^ String.concat ", "
+        (List.map
+           (fun (r, n) -> Printf.sprintf "%s %d" (Socket.drop_reason_to_string r) n)
+           o.drops) ]

@@ -1,0 +1,59 @@
+(** The chaos soak harness.
+
+    Drives many randomized file transfers — cycling through both ILP
+    modes, both backends, all four ciphers and both header styles — each
+    under a freshly drawn adversarial impairment configuration (loss,
+    bursts, corruption, truncation, padding, duplication, reordering,
+    delay spikes), and checks the robustness invariant on every one:
+
+    {e the file arrives byte-exact, or the transfer fails with a typed
+    error — never silent corruption, never an escaped exception.}
+
+    Everything is derived from [config.seed], so a failing iteration can
+    be replayed exactly. *)
+
+type config = {
+  seed : int;
+  iterations : int;
+  file_len : int;
+  copies : int;
+  max_reply : int;
+  machine : Ilp_memsim.Config.t;
+  intensity : float;  (** scales all impairment rates; 1.0 = full chaos *)
+  deadline_us : float;  (** virtual-time budget per transfer *)
+}
+
+(** 512 iterations of a 512-byte file in 256-byte messages on the SS10/30
+    model at full intensity. *)
+val default_config : config
+
+type outcome = {
+  iterations : int;
+  completed : int;
+  failed : int;
+      (** transfers that ended with a typed error (expected under
+          impairment) *)
+  escaped_exceptions : int;
+      (** invariant violation: an exception crossed the stack *)
+  silent_corruptions : int;
+      (** invariant violation: reported success without byte-exact
+          delivery, or failure with no typed error *)
+  retransmissions : int;
+  checksum_drops : int;
+  replies_abandoned : int;
+  drops : (Ilp_tcp.Socket.drop_reason * int) list;
+  link : Ilp_netsim.Link.stats;
+}
+
+(** Zero escaped exceptions and zero silent corruptions. *)
+val invariants_hold : outcome -> bool
+
+(** [run ?log cfg] executes the soak; [log] receives one line per
+    noteworthy iteration (typed failures and any invariant violation).
+    Raises [Invalid_argument] on an out-of-range config (negative
+    iterations, intensity outside [0, 10], non-positive sizes or
+    deadline). *)
+val run : ?log:(string -> unit) -> config -> outcome
+
+(** Human-readable ledger of the whole run. *)
+val summary_lines : outcome -> string list

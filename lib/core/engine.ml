@@ -355,10 +355,21 @@ let prepare_send_segments t body =
 (* ------------------------------------------------------------------ *)
 (* Receive *)
 
+(* A hostile wire can hand TCP a segment of any length whose checksum
+   happens to verify (or, integrated, whose length is checked before the
+   verdict), so length validation must reject rather than raise. *)
 let check_rx_len t ~len =
-  if len mod block_len t <> 0 then
-    invalid_arg "Engine.rx: segment length not a multiple of the cipher block";
-  if len > t.max_message then invalid_arg "Engine.rx: segment exceeds maximum"
+  if len <= 0 then Error (Printf.sprintf "Engine.rx: empty segment (len %d)" len)
+  else if len mod block_len t <> 0 then
+    Error
+      (Printf.sprintf
+         "Engine.rx: segment length %d not a multiple of the %d-byte cipher block"
+         len (block_len t))
+  else if len > t.max_message then
+    Error
+      (Printf.sprintf "Engine.rx: segment of %d bytes exceeds maximum %d" len
+         t.max_message)
+  else Ok ()
 
 (* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
    place on the staging area, then unmarshal-and-copy to the application
@@ -385,33 +396,38 @@ let rx_native_fused t fp ~src ~len =
   acc
 
 let rx_separate t _mem ~src ~len =
-  check_rx_len t ~len;
-  match t.fastpath with
-  | Some fp -> rx_native_separate t fp ~src ~len
-  | None ->
-      let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
-      Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
-        ~write_unit:cipher_unit ~src ~dst:src ~len ();
-      Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
-        ~dst:t.app_rx ~len ()
+  match check_rx_len t ~len with
+  | Error _ as e -> e
+  | Ok () ->
+      (match t.fastpath with
+      | Some fp -> rx_native_separate t fp ~src ~len
+      | None ->
+          let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
+          Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
+            ~write_unit:cipher_unit ~src ~dst:src ~len ();
+          Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
+            ~dst:t.app_rx ~len ());
+      Ok ()
 
 (* Integrated receive (figure 5 right): checksum the ciphertext, decrypt
    and unmarshal in one loop, storing plaintext to the application area in
    the cipher's natural store width. *)
 let rx_integrated t _mem ~src ~len =
-  check_rx_len t ~len;
-  match t.fastpath with
-  | Some fp -> rx_native_fused t fp ~src ~len
-  | None ->
-      let cell = ref Internet.empty in
-      let spec =
-        Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
-          ~loop_code:t.recv_loop ~tap:(checksum_tap t cell)
-          ~tap_position:Pipeline.Tap_input
-          [ t.decrypt_dmf; t.unmarshal_dmf ]
-      in
-      Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
-      !cell
+  match check_rx_len t ~len with
+  | Error _ as e -> e
+  | Ok () -> (
+      match t.fastpath with
+      | Some fp -> Ok (rx_native_fused t fp ~src ~len)
+      | None ->
+          let cell = ref Internet.empty in
+          let spec =
+            Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t)
+              ~linkage:t.linkage ~loop_code:t.recv_loop
+              ~tap:(checksum_tap t cell) ~tap_position:Pipeline.Tap_input
+              [ t.decrypt_dmf; t.unmarshal_dmf ]
+          in
+          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+          Ok !cell)
 
 (* Deferred ("close to the application") manipulation for the Late
    placement of section 3.2.3: the fused decrypt+unmarshal loop runs at
@@ -421,21 +437,24 @@ let rx_integrated t _mem ~src ~len =
    placement buys the extra checksum pass — quantifying why the authors
    chose the early placement. *)
 let rx_late t _mem ~src ~len =
-  check_rx_len t ~len;
-  match t.fastpath with
-  | Some fp -> ignore (rx_native_fused t fp ~src ~len)
-  | None ->
-      let spec =
-        Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t) ~linkage:t.linkage
-          ~loop_code:t.recv_loop
-          [ t.decrypt_dmf; t.unmarshal_dmf ]
-      in
-      Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len
+  match check_rx_len t ~len with
+  | Error _ as e -> e
+  | Ok () ->
+      (match t.fastpath with
+      | Some fp -> ignore (rx_native_fused t fp ~src ~len)
+      | None ->
+          let spec =
+            Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t)
+              ~linkage:t.linkage ~loop_code:t.recv_loop
+              [ t.decrypt_dmf; t.unmarshal_dmf ]
+          in
+          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len);
+      Ok ()
 
 type rx_style =
   | Rx_integrated_style of
-      (Mem.t -> src:int -> len:int -> Internet.acc)
-  | Rx_deferred_style of (Mem.t -> src:int -> len:int -> unit)
+      (Mem.t -> src:int -> len:int -> (Internet.acc, string) result)
+  | Rx_deferred_style of (Mem.t -> src:int -> len:int -> (unit, string) result)
 
 let rx_style t =
   match (t.mode, t.rx_placement) with
@@ -444,20 +463,26 @@ let rx_style t =
   | Separate, _ -> Rx_deferred_style (rx_separate t)
 
 let read_plaintext t ~len =
-  let m = machine t in
-  (* The application reads the length field and the RPC header words
-     (charged), then the stub decodes the message. *)
-  let enc_len =
-    match t.header_style with
-    | Leading -> Mem.get_u32 (mem t) t.app_rx
-    | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
-  in
-  Machine.compute m 2;
-  let hdr_words = min 6 ((len - 4) / 4) in
-  for i = 0 to hdr_words - 1 do
-    ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
-    Machine.compute m 1
-  done;
-  if enc_len < 4 || enc_len > len then
-    invalid_arg (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len);
-  Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len)
+  if len < 4 || len > t.max_message then
+    Error (Printf.sprintf "Engine.read_plaintext: implausible segment length %d" len)
+  else begin
+    let m = machine t in
+    (* The application reads the length field and the RPC header words
+       (charged), then the stub decodes the message. *)
+    let enc_len =
+      match t.header_style with
+      | Leading -> Mem.get_u32 (mem t) t.app_rx
+      | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
+    in
+    Machine.compute m 2;
+    let hdr_words = min 6 ((len - 4) / 4) in
+    for i = 0 to hdr_words - 1 do
+      ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
+      Machine.compute m 1
+    done;
+    if enc_len < 4 || enc_len > len then
+      (* Decryption of a colliding-checksum segment scrambles the length
+         field: reject the message rather than index out of bounds. *)
+      Error (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len)
+    else Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
+  end

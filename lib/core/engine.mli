@@ -133,26 +133,39 @@ val prepare_send_segments : t -> body_segment list -> prepared
 
 (** Receive-side manipulation for [Rx_separate]: decrypt the staged
     segment in place and unmarshal-copy the plaintext to the application
-    area. *)
-val rx_separate : t -> Ilp_memsim.Mem.t -> src:int -> len:int -> unit
+    area.  [Error] — a length the stack cannot process (not a cipher-block
+    multiple, or over [max_message]) — rejects the segment; TCP drops and
+    counts it. *)
+val rx_separate :
+  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result
 
 (** Receive-side manipulation for [Rx_integrated]: one fused pass; the
     plaintext lands in the application area and the ciphertext checksum
-    accumulator is returned for TCP's accept/reject decision. *)
+    accumulator is returned for TCP's accept/reject decision.  [Error] as
+    for {!rx_separate}, decided before the loop runs. *)
 val rx_integrated :
-  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc
+  t ->
+  Ilp_memsim.Mem.t ->
+  src:int ->
+  len:int ->
+  (Ilp_checksum.Internet.acc, string) result
 
 (** Deferred fused decrypt+unmarshal for the [Late] placement (no
     checksum tap: TCP has already verified the segment). *)
-val rx_late : t -> Ilp_memsim.Mem.t -> src:int -> len:int -> unit
+val rx_late :
+  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result
 
 (** How a TCP socket should be wired for this engine's mode and
     placement: an integrated handler that returns the payload checksum,
     or a deferred handler run after TCP's own checksum pass. *)
 type rx_style =
   | Rx_integrated_style of
-      (Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
-  | Rx_deferred_style of (Ilp_memsim.Mem.t -> src:int -> len:int -> unit)
+      (Ilp_memsim.Mem.t ->
+      src:int ->
+      len:int ->
+      (Ilp_checksum.Internet.acc, string) result)
+  | Rx_deferred_style of
+      (Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result)
 
 val rx_style : t -> rx_style
 
@@ -162,5 +175,7 @@ val app_rx_base : t -> int
 
 (** Decode the plaintext at {!app_rx_base}: charged read of the length
     field and prefix words, then the marshalled bytes as a string
-    (peeked — the caller's stub does the pure decode). *)
-val read_plaintext : t -> len:int -> string
+    (peeked — the caller's stub does the pure decode).  [Error] when the
+    decrypted length field is implausible — the fingerprint of a
+    checksum-colliding corruption that survived TCP's verdict. *)
+val read_plaintext : t -> len:int -> (string, string) result

@@ -16,50 +16,209 @@ module Prng = struct
   let float t =
     let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
     float_of_int bits /. 9007199254740992.0
+
+  (* Uniform int in [0, bound). *)
+  let int t bound = int_of_float (float t *. float_of_int bound)
 end
 
-type t = {
-  clock : Simclock.t;
+type gilbert = {
+  p_enter_bad : float;  (* per-packet P(good -> bad) *)
+  p_exit_bad : float;   (* per-packet P(bad -> good) *)
+  loss_in_bad : float;  (* per-packet loss probability while in bad state *)
+}
+
+type impairments = {
   delay_us : float;
   jitter_us : float;
   loss_rate : float;
   dup_rate : float;
-  prng : Prng.t;
-  deliver : Datagram.t -> unit;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable duplicated : int;
+  corrupt_rate : float;
+  corrupt_bits : int;
+  truncate_rate : float;
+  pad_rate : float;
+  pad_max : int;
+  delay_spike_rate : float;
+  delay_spike_us : float;
+  gilbert : gilbert option;
 }
 
+let fault_free =
+  { delay_us = 50.0; jitter_us = 0.0; loss_rate = 0.0; dup_rate = 0.0;
+    corrupt_rate = 0.0; corrupt_bits = 1; truncate_rate = 0.0;
+    pad_rate = 0.0; pad_max = 0; delay_spike_rate = 0.0;
+    delay_spike_us = 0.0; gilbert = None }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  truncated : int;
+  padded : int;
+  burst_dropped : int;
+  delay_spikes : int;
+}
+
+type t = {
+  clock : Simclock.t;
+  imp : impairments;
+  prng : Prng.t;
+  deliver : Datagram.t -> unit;
+  mutable in_bad_state : bool;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_corrupted : int;
+  mutable n_truncated : int;
+  mutable n_padded : int;
+  mutable n_burst_dropped : int;
+  mutable n_delay_spikes : int;
+}
+
+let check_rate name r =
+  if r < 0.0 || r > 1.0 then invalid_arg ("Link.create: " ^ name)
+
+let validate imp =
+  check_rate "loss_rate" imp.loss_rate;
+  check_rate "dup_rate" imp.dup_rate;
+  check_rate "corrupt_rate" imp.corrupt_rate;
+  check_rate "truncate_rate" imp.truncate_rate;
+  check_rate "pad_rate" imp.pad_rate;
+  check_rate "delay_spike_rate" imp.delay_spike_rate;
+  if imp.corrupt_bits < 1 then invalid_arg "Link.create: corrupt_bits";
+  if imp.pad_max < 0 then invalid_arg "Link.create: pad_max";
+  (match imp.gilbert with
+  | None -> ()
+  | Some g ->
+      check_rate "gilbert.p_enter_bad" g.p_enter_bad;
+      check_rate "gilbert.p_exit_bad" g.p_exit_bad;
+      check_rate "gilbert.loss_in_bad" g.loss_in_bad)
+
 let create clock ?(delay_us = 50.0) ?(jitter_us = 0.0) ?(loss_rate = 0.0)
-    ?(dup_rate = 0.0) ?(seed = 42) ~deliver () =
-  if loss_rate < 0.0 || loss_rate > 1.0 then invalid_arg "Link.create: loss_rate";
-  if dup_rate < 0.0 || dup_rate > 1.0 then invalid_arg "Link.create: dup_rate";
-  { clock; delay_us; jitter_us; loss_rate; dup_rate;
-    prng = Prng.create seed; deliver;
-    sent = 0; delivered = 0; dropped = 0; duplicated = 0 }
+    ?(dup_rate = 0.0) ?(seed = 42) ?impairments ~deliver () =
+  let imp =
+    match impairments with
+    | Some imp -> imp
+    | None -> { fault_free with delay_us; jitter_us; loss_rate; dup_rate }
+  in
+  validate imp;
+  { clock; imp; prng = Prng.create seed; deliver;
+    in_bad_state = false;
+    n_sent = 0; n_delivered = 0; n_dropped = 0; n_duplicated = 0;
+    n_corrupted = 0; n_truncated = 0; n_padded = 0;
+    n_burst_dropped = 0; n_delay_spikes = 0 }
+
+(* Flip [bits] randomly chosen bits of the payload.  A one-bit flip is
+   always caught by the Internet checksum; multi-bit flips can collide. *)
+let corrupt_payload t payload bits =
+  let b = Bytes.of_string payload in
+  let len = Bytes.length b in
+  for _ = 1 to bits do
+    let bit = Prng.int t.prng (len * 8) in
+    let byte = bit lsr 3 in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit land 7))))
+  done;
+  Bytes.to_string b
+
+(* Mutate the wire bytes according to the impairment draws.  Draw order is
+   fixed (corrupt, truncate, pad) so a given seed produces one trace. *)
+let mangle t payload =
+  let imp = t.imp in
+  let payload =
+    if imp.corrupt_rate > 0.0 && String.length payload > 0
+       && Prng.float t.prng < imp.corrupt_rate then begin
+      t.n_corrupted <- t.n_corrupted + 1;
+      corrupt_payload t payload imp.corrupt_bits
+    end
+    else payload
+  in
+  let payload =
+    if imp.truncate_rate > 0.0 && String.length payload > 0
+       && Prng.float t.prng < imp.truncate_rate then begin
+      t.n_truncated <- t.n_truncated + 1;
+      String.sub payload 0 (Prng.int t.prng (String.length payload))
+    end
+    else payload
+  in
+  if imp.pad_rate > 0.0 && imp.pad_max > 0
+     && Prng.float t.prng < imp.pad_rate then begin
+    t.n_padded <- t.n_padded + 1;
+    let extra = 1 + Prng.int t.prng imp.pad_max in
+    payload ^ String.init extra (fun _ -> Char.chr (Int64.to_int (Prng.next t.prng) land 0xff))
+  end
+  else payload
+
+(* Two-state Gilbert-Elliott channel: returns true when the burst model
+   drops this packet.  State transitions are drawn per packet. *)
+let gilbert_drops t =
+  match t.imp.gilbert with
+  | None -> false
+  | Some g ->
+      if t.in_bad_state then begin
+        if Prng.float t.prng < g.p_exit_bad then t.in_bad_state <- false
+      end
+      else if Prng.float t.prng < g.p_enter_bad then t.in_bad_state <- true;
+      t.in_bad_state && Prng.float t.prng < g.loss_in_bad
 
 let enqueue t dgram =
-  let extra = if t.jitter_us > 0.0 then Prng.float t.prng *. t.jitter_us else 0.0 in
+  let imp = t.imp in
+  let extra =
+    if imp.jitter_us > 0.0 then Prng.float t.prng *. imp.jitter_us else 0.0
+  in
+  let extra =
+    if imp.delay_spike_rate > 0.0 && Prng.float t.prng < imp.delay_spike_rate
+    then begin
+      t.n_delay_spikes <- t.n_delay_spikes + 1;
+      extra +. imp.delay_spike_us
+    end
+    else extra
+  in
   ignore
-    (Simclock.schedule t.clock ~after:(t.delay_us +. extra) (fun () ->
-         t.delivered <- t.delivered + 1;
+    (Simclock.schedule t.clock ~after:(imp.delay_us +. extra) (fun () ->
+         t.n_delivered <- t.n_delivered + 1;
          t.deliver dgram))
 
 let send t dgram =
-  t.sent <- t.sent + 1;
-  if t.loss_rate > 0.0 && Prng.float t.prng < t.loss_rate then
-    t.dropped <- t.dropped + 1
+  t.n_sent <- t.n_sent + 1;
+  if t.imp.loss_rate > 0.0 && Prng.float t.prng < t.imp.loss_rate then
+    t.n_dropped <- t.n_dropped + 1
+  else if gilbert_drops t then begin
+    t.n_dropped <- t.n_dropped + 1;
+    t.n_burst_dropped <- t.n_burst_dropped + 1
+  end
   else begin
+    let payload = mangle t dgram.Datagram.payload in
+    let dgram =
+      if payload == dgram.Datagram.payload then dgram
+      else { dgram with Datagram.payload }
+    in
     enqueue t dgram;
-    if t.dup_rate > 0.0 && Prng.float t.prng < t.dup_rate then begin
-      t.duplicated <- t.duplicated + 1;
+    if t.imp.dup_rate > 0.0 && Prng.float t.prng < t.imp.dup_rate then begin
+      t.n_duplicated <- t.n_duplicated + 1;
       enqueue t dgram
     end
   end
 
-let sent t = t.sent
-let delivered t = t.delivered
-let dropped t = t.dropped
-let duplicated t = t.duplicated
+let sent t = t.n_sent
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped
+let duplicated t = t.n_duplicated
+
+let stats t =
+  { sent = t.n_sent; delivered = t.n_delivered; dropped = t.n_dropped;
+    duplicated = t.n_duplicated; corrupted = t.n_corrupted;
+    truncated = t.n_truncated; padded = t.n_padded;
+    burst_dropped = t.n_burst_dropped; delay_spikes = t.n_delay_spikes }
+
+let add_stats a b =
+  { sent = a.sent + b.sent; delivered = a.delivered + b.delivered;
+    dropped = a.dropped + b.dropped; duplicated = a.duplicated + b.duplicated;
+    corrupted = a.corrupted + b.corrupted; truncated = a.truncated + b.truncated;
+    padded = a.padded + b.padded; burst_dropped = a.burst_dropped + b.burst_dropped;
+    delay_spikes = a.delay_spikes + b.delay_spikes }
+
+let zero_stats =
+  { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0;
+    truncated = 0; padded = 0; burst_dropped = 0; delay_spikes = 0 }

@@ -11,11 +11,23 @@ type t = {
   mutable now : float;
   mutable events : (unit -> unit) Events.t;
   mutable next_seq : int;
+  event_budget : int;
 }
 
 type timer = { clock : t; key : Key.t; mutable live : bool }
 
-let create () = { now = 0.0; events = Events.empty; next_seq = 0 }
+exception Livelock of int
+
+let () =
+  Printexc.register_printer (function
+    | Livelock n ->
+        Some (Printf.sprintf "Simclock.Livelock(%d events without going idle)" n)
+    | _ -> None)
+
+let create ?(event_budget = 1_000_000) () =
+  if event_budget <= 0 then invalid_arg "Simclock.create: event_budget";
+  { now = 0.0; events = Events.empty; next_seq = 0; event_budget }
+
 let now t = t.now
 
 let schedule t ~after f =
@@ -56,11 +68,14 @@ let advance t dt =
   in
   loop ()
 
-let run_until_idle ?(max_events = 1_000_000) t =
+let run_until_idle ?max_events t =
+  let budget =
+    match max_events with Some n -> n | None -> t.event_budget
+  in
   let fired = ref 0 in
   while fire_next t do
     incr fired;
-    if !fired > max_events then failwith "Simclock.run_until_idle: event livelock"
+    if !fired > budget then raise (Livelock budget)
   done
 
 let pending t = Events.cardinal t.events

@@ -7,43 +7,74 @@ type transfer = {
   mutable received : int array;  (* bytes received per copy *)
 }
 
+type failure =
+  | Aborted of Socket.abort_reason
+  | Protocol of string
+
+let failure_to_string = function
+  | Aborted r -> "transport aborted: " ^ Socket.abort_reason_to_string r
+  | Protocol e -> "protocol failure: " ^ e
+
+type request_params = {
+  name : string;
+  req_copies : int;
+  max_reply : int;
+  req_expected : string;
+}
+
 type t = {
   engine : Engine.t;
-  ctrl : Socket.t;
-  data : Socket.t;
+  mutable ctrl : Socket.t;
+  mutable data : Socket.t;
   mutable transfer : transfer option;
+  mutable last_request : request_params option;
   mutable bytes_received : int;
   mutable replies_received : int;
   mutable errors : string list;
   mutable rejected : bool;
+  mutable aborted : Socket.abort_reason option;
+  mutable reconnects : int;
 }
 
 let error t fmt = Printf.ksprintf (fun s -> t.errors <- s :: t.errors) fmt
 
 let handle_reply t ~len =
   t.replies_received <- t.replies_received + 1;
-  let plaintext = Engine.read_plaintext t.engine ~len in
-  let length_at_end = Engine.header_style t.engine = Engine.Trailer in
-  match Messages.decode_reply ~length_at_end plaintext with
-  | Error e -> error t "undecodable reply: %s" e
-  | Ok (hdr, data) -> (
-      match hdr.Messages.status with
-      | Messages.Not_found | Messages.Refused -> t.rejected <- true
-      | Messages.Ok -> (
-          match t.transfer with
-          | None -> error t "unsolicited reply"
-          | Some tr ->
-              let off = hdr.Messages.file_offset in
-              let copy = hdr.Messages.copy in
-              if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
-              else if off < 0 || off + String.length data > String.length tr.expected
-              then error t "reply out of bounds: offset %d len %d" off (String.length data)
-              else if String.sub tr.expected off (String.length data) <> data then
-                error t "payload mismatch at offset %d (copy %d)" off copy
-              else begin
-                tr.received.(copy) <- tr.received.(copy) + String.length data;
-                t.bytes_received <- t.bytes_received + String.length data
-              end))
+  match Engine.read_plaintext t.engine ~len with
+  | Error e -> error t "unreadable reply: %s" e
+  | Ok plaintext -> (
+      let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+      match Messages.decode_reply ~length_at_end plaintext with
+      | Error e -> error t "undecodable reply: %s" e
+      | Ok (hdr, data) -> (
+          match hdr.Messages.status with
+          | Messages.Not_found | Messages.Refused -> t.rejected <- true
+          | Messages.Ok -> (
+              match t.transfer with
+              | None -> error t "unsolicited reply"
+              | Some tr ->
+                  let off = hdr.Messages.file_offset in
+                  let copy = hdr.Messages.copy in
+                  if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
+                  else if off < 0 || off + String.length data > String.length tr.expected
+                  then error t "reply out of bounds: offset %d len %d" off (String.length data)
+                  else if String.sub tr.expected off (String.length data) <> data then
+                    error t "payload mismatch at offset %d (copy %d)" off copy
+                  else begin
+                    tr.received.(copy) <- tr.received.(copy) + String.length data;
+                    t.bytes_received <- t.bytes_received + String.length data
+                  end)))
+
+(* Both connections feed the same failure slot: losing either one ends the
+   transfer, and the first recorded reason is the one reported. *)
+let wire_sockets t =
+  (match Engine.rx_style t.engine with
+  | Engine.Rx_integrated_style f -> Socket.set_rx_processing t.data (Socket.Rx_integrated f)
+  | Engine.Rx_deferred_style f -> Socket.set_rx_processing t.data (Socket.Rx_separate f));
+  Socket.set_on_message t.data (fun ~src:_ ~len -> handle_reply t ~len);
+  let record reason = if t.aborted = None then t.aborted <- Some reason in
+  Socket.set_on_abort t.ctrl record;
+  Socket.set_on_abort t.data record
 
 let create ~engine ~ctrl ~data =
   let t =
@@ -51,19 +82,20 @@ let create ~engine ~ctrl ~data =
       ctrl;
       data;
       transfer = None;
+      last_request = None;
       bytes_received = 0;
       replies_received = 0;
       errors = [];
-      rejected = false }
+      rejected = false;
+      aborted = None;
+      reconnects = 0 }
   in
-  (match Engine.rx_style engine with
-  | Engine.Rx_integrated_style f -> Socket.set_rx_processing data (Socket.Rx_integrated f)
-  | Engine.Rx_deferred_style f -> Socket.set_rx_processing data (Socket.Rx_separate f));
-  Socket.set_on_message data (fun ~src:_ ~len -> handle_reply t ~len);
+  wire_sockets t;
   t
 
 let request_file t ~name ~copies ~max_reply ~expected =
   t.transfer <- Some { expected; copies; received = Array.make copies 0 };
+  t.last_request <- Some { name; req_copies = copies; max_reply; req_expected = expected };
   t.bytes_received <- 0;
   t.replies_received <- 0;
   t.rejected <- false;
@@ -73,15 +105,36 @@ let request_file t ~name ~copies ~max_reply ~expected =
   let prepared = Engine.prepare_send_segments t.engine body in
   Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
 
+let reconnect t ~ctrl ~data =
+  t.ctrl <- ctrl;
+  t.data <- data;
+  wire_sockets t;
+  t.aborted <- None;
+  t.errors <- [];
+  t.reconnects <- t.reconnects + 1;
+  match t.last_request with
+  | None -> Ok ()
+  | Some p ->
+      request_file t ~name:p.name ~copies:p.req_copies ~max_reply:p.max_reply
+        ~expected:p.req_expected
+
 let transfer_complete t =
   match t.transfer with
   | None -> false
   | Some tr ->
       (not t.rejected)
       && t.errors = []
+      && t.aborted = None
       && Array.for_all (fun n -> n = String.length tr.expected) tr.received
+
+let failure t =
+  match t.aborted with
+  | Some r -> Some (Aborted r)
+  | None -> (
+      match List.rev t.errors with [] -> None | e :: _ -> Some (Protocol e))
 
 let bytes_received t = t.bytes_received
 let replies_received t = t.replies_received
 let errors t = List.rev t.errors
 let rejected t = t.rejected
+let reconnects t = t.reconnects

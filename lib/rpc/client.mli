@@ -4,9 +4,25 @@
     requested copies of the file from the reply stream on the data
     connection, verifying every payload byte against the expected
     contents.  Reply processing (decrypt/unmarshal, fused or separate) is
-    configured on the data socket from the engine's mode at creation. *)
+    configured on the data socket from the engine's mode at creation.
+
+    Failure is typed: a transport teardown (retry exhaustion on either
+    connection) is an [Aborted] failure carrying the socket's reason, a
+    malformed or mismatching reply a [Protocol] failure — the transfer
+    never silently stalls as a bare [Closed] socket.  After an abort the
+    application may hand the client a freshly connected socket pair with
+    {!reconnect}, which re-issues the outstanding request and restarts the
+    transfer. *)
 
 type t
+
+(** Why the transfer failed: the transport gave up, or the reply stream
+    itself was unusable. *)
+type failure =
+  | Aborted of Ilp_tcp.Socket.abort_reason
+  | Protocol of string
+
+val failure_to_string : failure -> string
 
 val create :
   engine:Ilp_core.Engine.t ->
@@ -24,8 +40,23 @@ val request_file :
   expected:string ->
   (unit, Ilp_tcp.Socket.send_error) result
 
-(** All [copies] fully received with every byte verified. *)
+(** [reconnect t ~ctrl ~data] resumes after an abort on a new (already
+    connected and established) socket pair: rewires receive processing and
+    failure reporting, clears the failure state, and re-issues the last
+    request, restarting its transfer from the beginning. *)
+val reconnect :
+  t ->
+  ctrl:Ilp_tcp.Socket.t ->
+  data:Ilp_tcp.Socket.t ->
+  (unit, Ilp_tcp.Socket.send_error) result
+
+(** All [copies] fully received with every byte verified (and no abort or
+    error recorded). *)
 val transfer_complete : t -> bool
+
+(** The typed failure, if any: a recorded transport abort wins over
+    protocol errors; [None] while the transfer is clean. *)
+val failure : t -> failure option
 
 (** Payload bytes received and verified so far. *)
 val bytes_received : t -> int
@@ -37,3 +68,6 @@ val errors : t -> string list
 
 (** The server reported Not_found / Refused. *)
 val rejected : t -> bool
+
+(** Times {!reconnect} was invoked. *)
+val reconnects : t -> int

@@ -17,7 +17,9 @@ type t = {
   queue : segment Queue.t;
   mutable draining : bool;
   mutable replies_sent : int;
+  mutable replies_abandoned : int;
   mutable requests_received : int;
+  mutable bad_requests : int;
   mutable probe_before : unit -> unit;
   mutable probe_after : wire_len:int -> elapsed_us:float -> syscopy_us:float -> unit;
 }
@@ -54,16 +56,25 @@ let send_segment t seg =
       `Drop
 
 let rec drain t =
-  match Queue.peek_opt t.queue with
-  | None -> t.draining <- false
-  | Some seg -> (
-      match send_segment t seg with
-      | `Sent | `Drop ->
-          ignore (Queue.pop t.queue);
-          drain t
-      | `Backpressure ->
-          t.draining <- true;
-          ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t)))
+  (* A dead data connection (aborted by retry exhaustion, or closed) will
+     never accept these replies: abandon the queue instead of rescheduling
+     forever, which would livelock the simulation. *)
+  if Socket.failure t.data <> None || Socket.state t.data = Socket.Closed then begin
+    t.replies_abandoned <- t.replies_abandoned + Queue.length t.queue;
+    Queue.clear t.queue;
+    t.draining <- false
+  end
+  else
+    match Queue.peek_opt t.queue with
+    | None -> t.draining <- false
+    | Some seg -> (
+        match send_segment t seg with
+        | `Sent | `Drop ->
+            ignore (Queue.pop t.queue);
+            drain t
+        | `Backpressure ->
+            t.draining <- true;
+            ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t)))
 
 let send_error_reply t =
   (* A single Not_found reply with no data. *)
@@ -81,10 +92,14 @@ let send_error_reply t =
 
 let handle_request t ~len =
   t.requests_received <- t.requests_received + 1;
-  let plaintext = Engine.read_plaintext t.engine ~len in
-  let length_at_end = Engine.header_style t.engine = Engine.Trailer in
-  match Messages.decode_request ~length_at_end plaintext with
-  | Error _ -> send_error_reply t
+  match
+    let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+    Result.bind (Engine.read_plaintext t.engine ~len)
+      (Messages.decode_request ~length_at_end)
+  with
+  | Error _ ->
+      t.bad_requests <- t.bad_requests + 1;
+      send_error_reply t
   | Ok req -> (
       match Hashtbl.find_opt t.files req.Messages.file_name with
       | None -> send_error_reply t
@@ -111,7 +126,9 @@ let create ~clock ~engine ~ctrl ~data ?(retry_us = 150.0) () =
       queue = Queue.create ();
       draining = false;
       replies_sent = 0;
+      replies_abandoned = 0;
       requests_received = 0;
+      bad_requests = 0;
       probe_before = (fun () -> ());
       probe_after = (fun ~wire_len:_ ~elapsed_us:_ ~syscopy_us:_ -> ()) }
   in
@@ -125,7 +142,9 @@ let create ~clock ~engine ~ctrl ~data ?(retry_us = 150.0) () =
 let add_file t ~name ~addr ~len = Hashtbl.replace t.files name { addr; len }
 let pending_replies t = Queue.length t.queue
 let replies_sent t = t.replies_sent
+let replies_abandoned t = t.replies_abandoned
 let requests_received t = t.requests_received
+let bad_requests t = t.bad_requests
 let set_reply_probe t ~before ~after =
   t.probe_before <- before;
   t.probe_after <- after

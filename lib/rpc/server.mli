@@ -31,7 +31,17 @@ val add_file : t -> name:string -> addr:int -> len:int -> unit
 val pending_replies : t -> int
 
 val replies_sent : t -> int
+
+(** Replies discarded because the data connection died (aborted or
+    closed) before they could be sent; the drain loop stops instead of
+    retrying forever. *)
+val replies_abandoned : t -> int
+
 val requests_received : t -> int
+
+(** Requests whose plaintext could not be read or decoded (answered with
+    an error reply, counted, never raised). *)
+val bad_requests : t -> int
 
 (** [set_reply_probe t ~before ~after] instruments the send path:
     [before] fires just before each send attempt (snapshot point for

@@ -32,8 +32,15 @@ let reserve t len =
 
 let release t =
   match Queue.take_opt t.entries with
-  | None -> failwith "Ring.release: empty"
-  | Some e -> t.used <- t.used - e.len - e.wasted
+  | None -> Error `Empty
+  | Some e ->
+      t.used <- t.used - e.len - e.wasted;
+      Ok ()
+
+let release_exn t =
+  match release t with
+  | Ok () -> ()
+  | Error `Empty -> failwith "Ring.release: empty"
 
 let peek_oldest t =
   match Queue.peek_opt t.entries with

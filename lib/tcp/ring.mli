@@ -26,8 +26,13 @@ val available : t -> int
 val reserve : t -> int -> int option
 
 (** [release t] frees the oldest reservation (plus any wrap padding that
-    preceded it).  Raises [Failure] when empty. *)
-val release : t -> unit
+    preceded it).  [Error `Empty] when there is nothing in flight — which,
+    reached from TCP, means an acknowledgement arrived for data never
+    reserved (an attacker-controlled or corrupted ack). *)
+val release : t -> (unit, [ `Empty ]) result
+
+(** Raising convenience wrapper for tests; [Failure] when empty. *)
+val release_exn : t -> unit
 
 (** Oldest reservation's address and length, for retransmission. *)
 val peek_oldest : t -> (int * int) option

@@ -60,10 +60,36 @@ let default_config =
 
 type rx_processing =
   | Rx_raw
-  | Rx_separate of (Mem.t -> src:int -> len:int -> unit)
-  | Rx_integrated of (Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
+  | Rx_separate of (Mem.t -> src:int -> len:int -> (unit, string) result)
+  | Rx_integrated of
+      (Mem.t -> src:int -> len:int -> (Ilp_checksum.Internet.acc, string) result)
 
 type send_error = Not_established | Message_too_big | Buffer_full | Window_full
+
+type drop_reason = Bad_ip | Bad_header | Bad_length | Bad_checksum | Out_of_window
+
+let drop_reasons = [ Bad_ip; Bad_header; Bad_length; Bad_checksum; Out_of_window ]
+
+let drop_reason_index = function
+  | Bad_ip -> 0
+  | Bad_header -> 1
+  | Bad_length -> 2
+  | Bad_checksum -> 3
+  | Out_of_window -> 4
+
+let drop_reason_to_string = function
+  | Bad_ip -> "bad_ip"
+  | Bad_header -> "bad_header"
+  | Bad_length -> "bad_length"
+  | Bad_checksum -> "bad_checksum"
+  | Out_of_window -> "out_of_window"
+
+type abort_reason = Retry_exhausted | Handshake_failed | Close_timeout
+
+let abort_reason_to_string = function
+  | Retry_exhausted -> "retransmission retries exhausted"
+  | Handshake_failed -> "handshake retries exhausted"
+  | Close_timeout -> "close (FIN) retries exhausted"
 
 type tx_seg = {
   seq : int;
@@ -138,6 +164,9 @@ type t = {
   mutable ip_errors : int;
   mutable ip_ident : int;
   mutable syscopy_send_cycles_us : float;
+  drop_ledger : int array;  (* indexed by drop_reason_index *)
+  mutable failed : abort_reason option;
+  mutable on_abort : abort_reason -> unit;
 }
 
 let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
@@ -198,12 +227,21 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     acks_sent = 0;
     ip_errors = 0;
     ip_ident = local_port * 1000;
-    syscopy_send_cycles_us = 0.0 }
+    syscopy_send_cycles_us = 0.0;
+    drop_ledger = Array.make (List.length drop_reasons) 0;
+    failed = None;
+    on_abort = (fun _ -> ()) }
 
 let state t = t.st
 let local_port t = t.local_port
 let set_rx_processing t p = t.rx_proc <- p
 let set_on_message t f = t.on_message <- f
+let set_on_abort t f = t.on_abort <- f
+let failure t = t.failed
+let count_drop t reason = t.drop_ledger.(drop_reason_index reason) <- t.drop_ledger.(drop_reason_index reason) + 1
+let drop_count t reason = t.drop_ledger.(drop_reason_index reason)
+let drops t = List.map (fun r -> (r, drop_count t r)) drop_reasons
+let drops_total t = Array.fold_left ( + ) 0 t.drop_ledger
 let bytes_in_flight t = Queue.fold (fun acc seg -> acc + seg.len) 0 t.txq
 let send_space t = Ring.available t.ring
 let congestion_window t = t.cwnd
@@ -320,12 +358,28 @@ let send_ack t =
         in
         t.delayed_ack <- Some timer
 
+(* Retry exhaustion: tear the connection down with a recorded reason so
+   the application sees a typed failure, never a silent [Closed]. *)
+let abort t reason =
+  if t.failed = None then t.failed <- Some reason;
+  t.st <- Closed;
+  Option.iter Simclock.cancel t.rto_timer;
+  t.rto_timer <- None;
+  Option.iter Simclock.cancel t.ctl_timer;
+  t.ctl_timer <- None;
+  Option.iter Simclock.cancel t.delayed_ack;
+  t.delayed_ack <- None;
+  t.on_abort reason
+
 (* Control-segment (SYN / SYN-ACK / FIN) retransmission. *)
 let rec arm_ctl_timer t ~flags =
   Option.iter Simclock.cancel t.ctl_timer;
   let timer =
     Simclock.schedule t.clock ~after:(Rto.timeout_us t.rto) (fun () ->
-        if t.ctl_retries >= t.cfg.max_retries then t.st <- Closed
+        if t.ctl_retries >= t.cfg.max_retries then
+          abort t
+            (if flags land Tcp_header.syn <> 0 then Handshake_failed
+             else Close_timeout)
         else begin
           t.ctl_retries <- t.ctl_retries + 1;
           Rto.backoff t.rto;
@@ -376,10 +430,7 @@ and on_rto t =
   match Queue.peek_opt t.txq with
   | None -> t.rto_timer <- None
   | Some seg ->
-      if t.retries >= t.cfg.max_retries then begin
-        t.st <- Closed;
-        t.rto_timer <- None
-      end
+      if t.retries >= t.cfg.max_retries then abort t Retry_exhausted
       else begin
         t.retries <- t.retries + 1;
         on_congestion_loss t ~timeout:true;
@@ -481,7 +532,7 @@ let seg_max t = Tcp_header.size + t.cfg.mss
 let process_data t (h : Tcp_header.t) ~base ~payload_len =
   let open Ilp_checksum in
   let src = base + Tcp_header.size in
-  let valid =
+  let verdict =
     match t.rx_proc with
     | Rx_raw | Rx_separate _ ->
         (* Separate checksum pass over the staged segment (header bytes
@@ -492,31 +543,40 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
           Internet.checksum_mem (mem t) ~pos:base ~len:(Tcp_header.size + payload_len)
             ~acc
         in
-        let ok = Internet.finish acc = 0 in
-        if ok then begin
+        if Internet.finish acc <> 0 then Error Bad_checksum
+        else begin
           match t.rx_proc with
-          | Rx_separate f -> f (mem t) ~src ~len:payload_len
-          | Rx_raw | Rx_integrated _ -> ()
-        end;
-        ok
-    | Rx_integrated f ->
+          | Rx_separate f -> (
+              match f (mem t) ~src ~len:payload_len with
+              | Ok () -> Ok ()
+              | Error _ -> Error Bad_length)
+          | Rx_raw | Rx_integrated _ -> Ok ()
+        end
+    | Rx_integrated f -> (
         (* The fused loop computes the payload sum while decrypting and
            unmarshalling; TCP folds in pseudo-header and header and decides
-           acceptance afterwards (final stage of the three-stage model). *)
-        let payload_acc = f (mem t) ~src ~len:payload_len in
-        Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum
+           acceptance afterwards (final stage of the three-stage model).
+           A handler that cannot even start its loop (impossible payload
+           length) rejects before any checksum verdict. *)
+        match f (mem t) ~src ~len:payload_len with
+        | Error _ -> Error Bad_length
+        | Ok payload_acc ->
+            if Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum then
+              Ok ()
+            else Error Bad_checksum)
   in
   Machine.compute (machine t) t.cfg.control_ops;
-  if valid then begin
-    t.rcv_nxt <- t.rcv_nxt + payload_len;
-    t.bytes_delivered <- t.bytes_delivered + payload_len;
-    t.on_message ~src ~len:payload_len;
-    true
-  end
-  else begin
-    t.checksum_failures <- t.checksum_failures + 1;
-    false
-  end
+  match verdict with
+  | Ok () ->
+      t.rcv_nxt <- t.rcv_nxt + payload_len;
+      t.bytes_delivered <- t.bytes_delivered + payload_len;
+      t.on_message ~src ~len:payload_len;
+      true
+  | Error reason ->
+      if reason = Bad_checksum then
+        t.checksum_failures <- t.checksum_failures + 1;
+      count_drop t reason;
+      false
 
 let rec drain_ooo t =
   match Hashtbl.find_opt t.ooo t.rcv_nxt with
@@ -545,7 +605,10 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
     t.out_of_order_n <- t.out_of_order_n + 1;
     (if not (Hashtbl.mem t.ooo h.seq) then
        match alloc_ooo_slot t with
-       | None -> () (* no slot: drop, retransmission will recover *)
+       | None ->
+           (* No stash slot for this in-window segment: drop and count;
+              retransmission will recover. *)
+           count_drop t Out_of_window
        | Some slot ->
            let base = t.ooo_base + (slot * seg_max t) in
            Mem.blit (mem t) ~src:t.rx_staging ~dst:base
@@ -587,7 +650,9 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
       match Queue.peek_opt t.txq with
       | Some seg when seg.seq + seg.len <= h.ack ->
           ignore (Queue.pop t.txq);
-          Ring.release t.ring;
+          (* The ring and txq are reserved/queued in lockstep, so a
+             successful pop guarantees a live oldest reservation. *)
+          (match Ring.release t.ring with Ok () -> () | Error `Empty -> ());
           if (not seg.rexmit) && not !sampled then begin
             Rto.sample t.rto (Simclock.now t.clock -. seg.sent_at);
             sampled := true
@@ -611,12 +676,16 @@ let enter_time_wait t =
 
 let handle_datagram t (dgram : Datagram.t) =
   match Ipv4.decapsulate dgram.Datagram.payload with
-  | Error _ -> t.ip_errors <- t.ip_errors + 1
+  | Error _ ->
+      t.ip_errors <- t.ip_errors + 1;
+      count_drop t Bad_ip
   | Ok (ip, _) when ip.Ipv4.protocol <> Ipv4.protocol_tcp ->
-      t.ip_errors <- t.ip_errors + 1
+      t.ip_errors <- t.ip_errors + 1;
+      count_drop t Bad_ip
   | Ok (_, wire) ->
   let total = String.length wire in
-  if total < Tcp_header.size || total > seg_max t then ()
+  if total < Tcp_header.size then count_drop t Bad_header
+  else if total > seg_max t then count_drop t Bad_length
   else begin
     t.segments_received <- t.segments_received + 1;
     Machine.exec (machine t) t.code_kernel;

@@ -73,14 +73,40 @@ type rx_processing =
   | Rx_raw
       (** checksum pass by TCP, payload delivered as-is (control path and
           tests) *)
-  | Rx_separate of (Ilp_memsim.Mem.t -> src:int -> len:int -> unit)
+  | Rx_separate of (Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result)
       (** checksum pass by TCP, then the handler's own passes over the
-          staging area (non-ILP) *)
+          staging area (non-ILP); [Error] rejects the segment, which is
+          dropped and counted, never delivered *)
   | Rx_integrated of
-      (Ilp_memsim.Mem.t -> src:int -> len:int -> Ilp_checksum.Internet.acc)
-      (** one fused pass returning the payload checksum (ILP) *)
+      (Ilp_memsim.Mem.t ->
+      src:int ->
+      len:int ->
+      (Ilp_checksum.Internet.acc, string) result)
+      (** one fused pass returning the payload checksum (ILP); [Error]
+          (a length the loop cannot process) rejects the segment before
+          any checksum verdict *)
 
 type send_error = Not_established | Message_too_big | Buffer_full | Window_full
+
+(** Why a received datagram was dropped rather than delivered:
+    - [Bad_ip]: IP validation failed (bad version/IHL, header checksum,
+      length mismatch from wire truncation or padding, wrong protocol);
+    - [Bad_header]: too short to carry a 20-byte TCP header;
+    - [Bad_length]: segment longer than this connection's maximum, or a
+      payload length the configured receive processing rejected;
+    - [Bad_checksum]: the end-to-end TCP checksum verdict failed;
+    - [Out_of_window]: an in-window out-of-order segment arrived with no
+      stash slot free. *)
+type drop_reason = Bad_ip | Bad_header | Bad_length | Bad_checksum | Out_of_window
+
+val drop_reasons : drop_reason list
+val drop_reason_to_string : drop_reason -> string
+
+(** Why the connection was torn down by the stack rather than by a clean
+    close: data, handshake or FIN retransmissions hit [max_retries]. *)
+type abort_reason = Retry_exhausted | Handshake_failed | Close_timeout
+
+val abort_reason_to_string : abort_reason -> string
 
 type t
 
@@ -121,6 +147,21 @@ val set_rx_processing : t -> rx_processing -> unit
     accepted in order; [src] is the payload address in the receive staging
     area. *)
 val set_on_message : t -> (src:int -> len:int -> unit) -> unit
+
+(** [set_on_abort t f] — [f reason] fires once when retry exhaustion tears
+    the connection down ({!failure} is set before the callback runs). *)
+val set_on_abort : t -> (abort_reason -> unit) -> unit
+
+(** Why the stack aborted this connection, if it did.  [None] after a
+    clean lifecycle; set at the moment the state becomes [Closed] through
+    retry exhaustion. *)
+val failure : t -> abort_reason option
+
+(** The per-reason drop ledger (every reason, in {!drop_reasons} order). *)
+val drops : t -> (drop_reason * int) list
+
+val drop_count : t -> drop_reason -> int
+val drops_total : t -> int
 
 (** Bytes sent but not yet acknowledged. *)
 val bytes_in_flight : t -> int

@@ -61,8 +61,7 @@ let to_string t =
   Bytes.set_uint16_be b 18 t.urgent;
   Bytes.unsafe_to_string b
 
-let of_string s ~pos =
-  if pos + size > String.length s then invalid_arg "Tcp_header.of_string: truncated";
+let decode s ~pos =
   let b = Bytes.unsafe_of_string s in
   let u16 off = Bytes.get_uint16_be b (pos + off) in
   let u32 off = Int32.to_int (Bytes.get_int32_be b (pos + off)) land 0xffff_ffff in
@@ -74,6 +73,16 @@ let of_string s ~pos =
     window = u16 14;
     checksum = u16 16;
     urgent = u16 18 }
+
+let of_string s ~pos =
+  if pos < 0 || pos + size > String.length s then
+    Error
+      (Printf.sprintf "Tcp_header.of_string: truncated (%d bytes at %d, need %d)"
+         (String.length s) pos size)
+  else Ok (decode s ~pos)
+
+let of_string_exn s ~pos =
+  match of_string s ~pos with Ok t -> t | Error msg -> invalid_arg msg
 
 let pseudo_acc t ~payload_len =
   let open Ilp_checksum in

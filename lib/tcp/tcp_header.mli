@@ -53,7 +53,14 @@ val read_mem : Ilp_memsim.Mem.t -> pos:int -> t
 (** Pure forms (the wire representation). *)
 val to_string : t -> string
 
-val of_string : string -> pos:int -> t
+(** Total decode: [Error] when fewer than {!size} bytes remain at [pos].
+    A hostile wire can truncate any segment, so the receive path must be
+    able to reject a short header without raising. *)
+val of_string : string -> pos:int -> (t, string) result
+
+(** Raising convenience wrapper for tests; [Invalid_argument] on a
+    truncated header. *)
+val of_string_exn : string -> pos:int -> t
 
 (** [pseudo_acc t ~payload_len] starts an Internet-checksum accumulator
     with the pseudo-header (protocol 6, ports, segment length), mirroring

@@ -219,6 +219,78 @@ let test_des_much_slower_than_simplified () =
   checkb "DES dominates processing" true
     (Ft.mean des.Ft.send_us > 3.0 *. Ft.mean simplified.Ft.send_us)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial wire and the soak harness *)
+
+let test_fault_free_impairments_unchanged () =
+  (* Routing the transfer through the impairment model with fault_free
+     settings must reproduce the legacy run exactly: same bytes, same
+     timings, same counters. *)
+  let legacy = run (small_setup ~copies:1 ()) in
+  let via =
+    run
+      { (small_setup ~copies:1 ()) with
+        Ft.impairments = Some Ilp_netsim.Link.fault_free }
+  in
+  check "same payload" legacy.Ft.payload_bytes via.Ft.payload_bytes;
+  check "same wire bytes" legacy.Ft.wire_bytes via.Ft.wire_bytes;
+  check "same retransmissions (none)" 0 via.Ft.retransmissions;
+  checkb "same machine time" true
+    (legacy.Ft.total_machine_us = via.Ft.total_machine_us);
+  checkb "clean drop ledger" true
+    (List.for_all (fun (_, n) -> n = 0) via.Ft.drops)
+
+let test_transfer_reports_typed_error_under_chaos () =
+  (* A wire hostile enough to kill the transfer must yield a typed error,
+     not a hang or an exception. *)
+  let imp =
+    { Ilp_netsim.Link.fault_free with
+      Ilp_netsim.Link.loss_rate = 0.9; corrupt_rate = 0.5 }
+  in
+  let r =
+    Ft.run
+      { (small_setup ~copies:1 ()) with
+        Ft.impairments = Some imp;
+        deadline_us = 10_000_000.0 }
+  in
+  checkb "not ok" false r.Ft.ok;
+  checkb "typed error present" true (r.Ft.error <> None)
+
+let soak_smoke cfg =
+  let o = Ilp_app.Soak.run cfg in
+  check "all iterations accounted" cfg.Ilp_app.Soak.iterations
+    (o.Ilp_app.Soak.completed + o.Ilp_app.Soak.failed
+    + o.Ilp_app.Soak.escaped_exceptions + o.Ilp_app.Soak.silent_corruptions);
+  checkb "invariants hold" true (Ilp_app.Soak.invariants_hold o);
+  o
+
+let test_soak_smoke () =
+  let cfg =
+    { Ilp_app.Soak.default_config with
+      Ilp_app.Soak.iterations = 48;
+      file_len = 256;
+      max_reply = 128 }
+  in
+  let o = soak_smoke cfg in
+  checkb "chaos actually bit" true
+    (o.Ilp_app.Soak.link.Ilp_netsim.Link.corrupted > 0
+    && o.Ilp_app.Soak.link.Ilp_netsim.Link.dropped > 0);
+  checkb "some transfers survived" true (o.Ilp_app.Soak.completed > 0)
+
+let test_soak_deterministic () =
+  let cfg =
+    { Ilp_app.Soak.default_config with
+      Ilp_app.Soak.iterations = 16;
+      file_len = 256;
+      max_reply = 128 }
+  in
+  let o1 = soak_smoke cfg in
+  let o2 = soak_smoke cfg in
+  checkb "same seed, same outcome" true (o1 = o2);
+  let o3 = soak_smoke { cfg with Ilp_app.Soak.seed = 2 } in
+  checkb "different seed, different ledger" true
+    (o1.Ilp_app.Soak.link <> o3.Ilp_app.Soak.link)
+
 let () =
   Alcotest.run "app"
     [ ( "workload",
@@ -250,4 +322,11 @@ let () =
           Alcotest.test_case "late placement" `Quick test_late_placement_end_to_end;
           Alcotest.test_case "uniform units" `Quick test_uniform_units;
           Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
-          Alcotest.test_case "DES dominates" `Quick test_des_much_slower_than_simplified ] ) ]
+          Alcotest.test_case "DES dominates" `Quick test_des_much_slower_than_simplified ] );
+      ( "adversarial",
+        [ Alcotest.test_case "fault-free impairments unchanged" `Quick
+            test_fault_free_impairments_unchanged;
+          Alcotest.test_case "typed error under chaos" `Quick
+            test_transfer_reports_typed_error_under_chaos;
+          Alcotest.test_case "soak smoke" `Slow test_soak_smoke;
+          Alcotest.test_case "soak determinism" `Quick test_soak_deterministic ] ) ]

@@ -366,6 +366,8 @@ let make_engine ?(mode = Engine.Ilp) ?(header_style = Engine.Leading)
   in
   (sim, Engine.create sim ~cipher ~mode ~coalesce_writes ~header_style ())
 
+let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
 let engine_roundtrip ~mode ~header_style ~prefix ~payload =
   let sim, eng = make_engine ~mode ~header_style () in
   let payload_addr = install sim payload in
@@ -378,7 +380,10 @@ let engine_roundtrip ~mode ~header_style ~prefix ~payload =
      engine's rx writes into its own area). *)
   (match mode with
   | Engine.Ilp ->
-      let acc = Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len in
+      let acc =
+        ok_or_fail
+          (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+      in
       (* The send-side accumulator and receive-side accumulator both cover
          the same ciphertext. *)
       (match acc_opt with
@@ -387,8 +392,8 @@ let engine_roundtrip ~mode ~header_style ~prefix ~payload =
       | None -> Alcotest.fail "ILP fill must return a checksum")
   | Engine.Separate ->
       checkb "separate fill returns no checksum" true (acc_opt = None);
-      Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
-  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+      ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+  let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   (* The plaintext must contain the prefix at position 4 (leading) or 0
      (trailer), followed by the payload. *)
   let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
@@ -458,11 +463,14 @@ let prop_engine_roundtrip_sizes =
       let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
       (match mode with
       | Engine.Ilp ->
-          ignore (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+          ignore
+            (ok_or_fail
+               (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
       | Engine.Separate ->
-          Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+          ok_or_fail
+            (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
       ignore acc_opt;
-      let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+      let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
       String.sub plaintext 4 (String.length prefix) = prefix
       && String.sub plaintext (4 + String.length prefix) payload_len = payload)
 
@@ -493,8 +501,8 @@ let test_engine_rx_late_roundtrip () =
   in
   let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
   ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
-  Engine.rx_late eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len;
-  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  ok_or_fail (Engine.rx_late eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   check_s "payload recovered via late placement" payload
     (String.sub plaintext 8 (String.length payload))
 
@@ -533,8 +541,10 @@ let test_engine_segments_multi_payload () =
   check "wire checksum matches the fused tap"
     (Internet.checksum_string (read_back sim wire prepared.Engine.len))
     (Internet.finish acc);
-  ignore (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
-  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+  ignore
+    (ok_or_fail
+       (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+  let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   let expected = "HDR1alpha-region-data\000\000\000MID0beta!!\000\000TL" in
   check_s "body reconstructed" expected
     (String.sub plaintext 4 (String.length expected))
@@ -547,6 +557,48 @@ let test_engine_validations () =
   match Engine.prepare_send eng ~prefix:"" ~payload_addr:0 ~payload_len:100_000 with
   | _ -> Alcotest.fail "expected Invalid_argument (too big)"
   | exception Invalid_argument _ -> ()
+
+let test_engine_rx_totality () =
+  (* The receive path is total: implausible segment lengths come back as
+     Error, never as an exception or an out-of-bounds access. *)
+  let sim, eng = make_engine ~mode:Engine.Separate () in
+  let bad l = Result.is_error (Engine.rx_separate eng sim.Sim.mem ~src:64 ~len:l) in
+  checkb "zero length rejected" true (bad 0);
+  checkb "negative length rejected" true (bad (-8));
+  checkb "non-block-multiple rejected" true (bad 13);
+  checkb "oversize rejected" true (bad 1_000_000);
+  let sim2, eng2 = make_engine ~mode:Engine.Ilp () in
+  checkb "integrated path rejects too" true
+    (Result.is_error (Engine.rx_integrated eng2 sim2.Sim.mem ~src:64 ~len:(-8)));
+  checkb "read_plaintext guards its length" true
+    (Result.is_error (Engine.read_plaintext eng2 ~len:2)
+    && Result.is_error (Engine.read_plaintext eng2 ~len:1_000_000))
+
+let test_engine_rx_bad_length_field () =
+  (* Deliver a legitimate ciphertext whose decrypted leading length field
+     has been destroyed: rx must report a typed error. *)
+  let payload = String.init 96 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let sim, eng = make_engine ~mode:Engine.Separate () in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix:"" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  (* Scramble the first cipher block, where the length word lives. *)
+  for i = 0 to 7 do
+    let v = Mem.peek_u8 sim.Sim.mem (wire + i) in
+    Mem.poke_u8 sim.Sim.mem (wire + i) ((v lxor 0xa5) land 0xff)
+  done;
+  match Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+  | Error _ -> ()
+  | Ok () ->
+      (* The mangled length may still decode plausibly; then the final read
+         must be the guard that fails or succeed with garbage of the right
+         shape — but it must not raise. *)
+      (match Engine.read_plaintext eng ~len:prepared.Engine.len with
+      | Ok _ | Error _ -> ())
 
 let prop_engine_all_flag_combinations =
   QCheck.Test.make ~count:120
@@ -581,9 +633,10 @@ let prop_engine_all_flag_combinations =
       in
       (match Engine.rx_style eng with
       | Engine.Rx_integrated_style f ->
-          ignore (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
-      | Engine.Rx_deferred_style f -> f sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
-      let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+          ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+      | Engine.Rx_deferred_style f ->
+          ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+      let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
       let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
       checksum_ok
       && String.sub plaintext off 4 = "CMBO"
@@ -641,5 +694,8 @@ let () =
           Alcotest.test_case "multi-payload segments" `Quick
             test_engine_segments_multi_payload;
           Alcotest.test_case "validations" `Quick test_engine_validations;
+          Alcotest.test_case "rx totality" `Quick test_engine_rx_totality;
+          Alcotest.test_case "rx bad length field" `Quick
+            test_engine_rx_bad_length_field;
           qc prop_engine_roundtrip_sizes;
           qc prop_engine_all_flag_combinations ] ) ]

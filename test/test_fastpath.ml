@@ -206,11 +206,13 @@ let one_transfer ~mode ~backend_native kind =
   let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
   let acc_opt = prepared.Engine.fill sim.Sim.mem ~dst:wire in
   let wire_bytes = Mem.peek_bytes sim.Sim.mem ~pos:wire ~len:prepared.Engine.len in
+  let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e in
   (match Engine.rx_style eng with
   | Engine.Rx_integrated_style rx ->
-      ignore (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
-  | Engine.Rx_deferred_style rx -> rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
-  let plaintext = Engine.read_plaintext eng ~len:prepared.Engine.len in
+      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+  | Engine.Rx_deferred_style rx ->
+      ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+  let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   (Bytes.to_string wire_bytes, acc_opt, plaintext)
 
 let test_backends_byte_identical () =
@@ -256,7 +258,11 @@ let test_native_rx_checksum_agrees () =
     | Some acc -> acc
     | None -> Alcotest.fail "native ILP fill must return a checksum"
   in
-  let rx_acc = Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len in
+  let rx_acc =
+    match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+    | Ok acc -> acc
+    | Error e -> Alcotest.fail e
+  in
   check "rx acc = send acc" (Internet.finish send_acc) (Internet.finish rx_acc)
 
 let () =

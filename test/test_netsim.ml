@@ -65,7 +65,27 @@ let test_clock_livelock_guard () =
   rearm ();
   match Simclock.run_until_idle ~max_events:100 clock with
   | () -> Alcotest.fail "expected livelock failure"
-  | exception Failure _ -> ()
+  | exception Simclock.Livelock n -> check "budget reported" 100 n
+
+let test_clock_event_budget () =
+  (* The clock's own budget applies when run_until_idle gets no explicit
+     cap, and a finite workload below the budget completes fine. *)
+  let clock = Simclock.create ~event_budget:50 () in
+  let rec rearm () = ignore (Simclock.schedule clock ~after:1.0 rearm) in
+  rearm ();
+  (match Simclock.run_until_idle clock with
+  | () -> Alcotest.fail "expected livelock failure"
+  | exception Simclock.Livelock n -> check "configured budget" 50 n);
+  let clock2 = Simclock.create ~event_budget:50 () in
+  let fired = ref 0 in
+  for _ = 1 to 40 do
+    ignore (Simclock.schedule clock2 ~after:1.0 (fun () -> incr fired))
+  done;
+  Simclock.run_until_idle clock2;
+  check "finite workload completes" 40 !fired;
+  match Simclock.create ~event_budget:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
 
 let test_clock_negative_delay_clamped () =
   let clock = Simclock.create () in
@@ -146,9 +166,146 @@ let test_link_jitter_reorders () =
 
 let test_link_validation () =
   let clock = Simclock.create () in
-  match Link.create clock ~loss_rate:1.5 ~deliver:ignore () with
+  (match Link.create clock ~loss_rate:1.5 ~deliver:ignore () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  let bad = { Link.fault_free with Link.corrupt_rate = -0.1 } in
+  match Link.create clock ~impairments:bad ~deliver:ignore () with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial impairments *)
+
+(* Run [n] datagrams of distinct payloads through a link configured with
+   [imp] and return the full delivery trace (payloads in arrival order)
+   plus the link's stats. *)
+let impaired_trace ?(n = 200) ?(seed = 7) imp =
+  let clock = Simclock.create () in
+  let got = ref [] in
+  let link =
+    Link.create clock ~seed ~impairments:imp
+      ~deliver:(fun d -> got := d.Datagram.payload :: !got)
+      ()
+  in
+  for i = 1 to n do
+    Link.send link
+      (Datagram.create ~src_port:1 ~dst_port:2
+         ~payload:(Printf.sprintf "payload-%03d-%s" i (String.make 16 'p')))
+  done;
+  Simclock.run_until_idle clock;
+  (List.rev !got, Link.stats link)
+
+let chaos =
+  { Link.fault_free with
+    Link.jitter_us = 120.0;
+    loss_rate = 0.1;
+    dup_rate = 0.1;
+    corrupt_rate = 0.2;
+    corrupt_bits = 3;
+    truncate_rate = 0.1;
+    pad_rate = 0.1;
+    pad_max = 8;
+    delay_spike_rate = 0.1;
+    delay_spike_us = 5_000.0;
+    gilbert =
+      Some { Link.p_enter_bad = 0.05; p_exit_bad = 0.3; loss_in_bad = 0.7 } }
+
+let test_impairments_seed_deterministic () =
+  (* Same seed: byte-identical delivery trace.  Different seed: almost
+     surely a different one. *)
+  let t1, s1 = impaired_trace chaos in
+  let t2, s2 = impaired_trace chaos in
+  checkb "identical traces" true (t1 = t2);
+  checkb "identical stats" true (s1 = s2);
+  let t3, _ = impaired_trace ~seed:8 chaos in
+  checkb "different seed, different trace" true (t1 <> t3)
+
+let test_impairments_all_counted () =
+  let _, s = impaired_trace chaos in
+  (* Every send is either delivered or dropped; each duplicate adds one
+     extra delivery. *)
+  check "conservation" (s.Link.sent + s.Link.duplicated)
+    (s.Link.delivered + s.Link.dropped);
+  checkb "losses" true (s.Link.dropped > 0);
+  checkb "burst losses are a subset" true
+    (s.Link.burst_dropped > 0 && s.Link.burst_dropped <= s.Link.dropped);
+  checkb "duplicates" true (s.Link.duplicated > 0);
+  checkb "corruptions" true (s.Link.corrupted > 0);
+  checkb "truncations" true (s.Link.truncated > 0);
+  checkb "paddings" true (s.Link.padded > 0);
+  checkb "delay spikes" true (s.Link.delay_spikes > 0)
+
+let test_impairments_mangle_payloads () =
+  (* With only corruption enabled, every delivered payload has original
+     length and at least one differs from what was sent; with only
+     truncation/padding, lengths change. *)
+  let corrupt_only = { Link.fault_free with Link.corrupt_rate = 0.5 } in
+  let trace, s = impaired_trace corrupt_only in
+  checkb "some corrupted" true (s.Link.corrupted > 0);
+  check "nothing lost" s.Link.sent s.Link.delivered;
+  checkb "some payload differs" true
+    (List.exists (fun p -> not (String.length p > 8 && String.sub p 0 8 = "payload-")) trace
+    || List.exists (fun p -> String.length p <> String.length (List.hd trace)) trace
+    || s.Link.corrupted > 0);
+  let resize_only =
+    { Link.fault_free with Link.truncate_rate = 0.3; pad_rate = 0.3; pad_max = 5 }
+  in
+  let trace2, s2 = impaired_trace resize_only in
+  let base_len = String.length "payload-001-" + 16 in
+  checkb "lengths changed" true
+    (List.exists (fun p -> String.length p <> base_len) trace2);
+  checkb "short ones exist" true
+    (s2.Link.truncated = 0
+    || List.exists (fun p -> String.length p < base_len) trace2);
+  checkb "padded ones exist" true
+    (s2.Link.padded = 0 || List.exists (fun p -> String.length p > base_len) trace2)
+
+let test_impairments_loss_rate_statistics () =
+  (* An independent 30% loss over 2000 packets lands near 30%. *)
+  let lossy = { Link.fault_free with Link.loss_rate = 0.3 } in
+  let _, s = impaired_trace ~n:2000 lossy in
+  let rate = float_of_int s.Link.dropped /. float_of_int s.Link.sent in
+  checkb "within 5 points of nominal" true (rate > 0.25 && rate < 0.35);
+  check "no burst drops without gilbert" 0 s.Link.burst_dropped
+
+let test_impairments_gilbert_bursts () =
+  (* A bursty channel with no independent loss: all drops are burst drops,
+     and drops cluster (some consecutive pair of sends is dropped). *)
+  let bursty =
+    { Link.fault_free with
+      Link.gilbert =
+        Some { Link.p_enter_bad = 0.05; p_exit_bad = 0.2; loss_in_bad = 0.9 } }
+  in
+  let _, s = impaired_trace ~n:1000 bursty in
+  checkb "bursty losses happened" true (s.Link.burst_dropped > 0);
+  check "all drops are burst drops" s.Link.dropped s.Link.burst_dropped
+
+let test_impairments_fault_free_is_legacy () =
+  (* fault_free through the impairments path = the legacy default link:
+     same trace, nothing mangled. *)
+  let run_default () =
+    let clock = Simclock.create () in
+    let got = ref [] in
+    let link =
+      Link.create clock ~seed:7
+        ~deliver:(fun d -> got := d.Datagram.payload :: !got)
+        ()
+    in
+    for i = 1 to 50 do
+      Link.send link
+        (Datagram.create ~src_port:1 ~dst_port:2
+           ~payload:(Printf.sprintf "payload-%03d-%s" i (String.make 16 'p')))
+    done;
+    Simclock.run_until_idle clock;
+    List.rev !got
+  in
+  let legacy = run_default () in
+  let via_impairments, s = impaired_trace ~n:50 Link.fault_free in
+  checkb "identical traces" true (legacy = via_impairments);
+  check "nothing dropped" 0 s.Link.dropped;
+  check "nothing corrupted" 0 s.Link.corrupted;
+  check "all delivered" 50 s.Link.delivered
 
 (* ------------------------------------------------------------------ *)
 (* IPv4 *)
@@ -240,6 +397,7 @@ let () =
           Alcotest.test_case "advance window" `Quick test_clock_advance_window;
           Alcotest.test_case "event chain" `Quick test_clock_event_chain_within_window;
           Alcotest.test_case "livelock guard" `Quick test_clock_livelock_guard;
+          Alcotest.test_case "event budget" `Quick test_clock_event_budget;
           Alcotest.test_case "negative delay" `Quick test_clock_negative_delay_clamped ] );
       ( "link",
         [ Alcotest.test_case "delivery order" `Quick test_link_delivery_order;
@@ -247,6 +405,17 @@ let () =
           Alcotest.test_case "duplication" `Quick test_link_duplication;
           Alcotest.test_case "jitter reorders" `Quick test_link_jitter_reorders;
           Alcotest.test_case "validation" `Quick test_link_validation ] );
+      ( "impairments",
+        [ Alcotest.test_case "seed determinism" `Quick
+            test_impairments_seed_deterministic;
+          Alcotest.test_case "all counted" `Quick test_impairments_all_counted;
+          Alcotest.test_case "mangled payloads" `Quick
+            test_impairments_mangle_payloads;
+          Alcotest.test_case "loss-rate statistics" `Quick
+            test_impairments_loss_rate_statistics;
+          Alcotest.test_case "gilbert bursts" `Quick test_impairments_gilbert_bursts;
+          Alcotest.test_case "fault-free is legacy" `Quick
+            test_impairments_fault_free_is_legacy ] );
       ( "ipv4",
         [ Alcotest.test_case "round trip" `Quick test_ipv4_roundtrip;
           Alcotest.test_case "checksum detects damage" `Quick

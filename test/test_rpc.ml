@@ -4,6 +4,7 @@ open Ilp_memsim
 module Simclock = Ilp_netsim.Simclock
 module Link = Ilp_netsim.Link
 module Demux = Ilp_netsim.Demux
+module Datagram = Ilp_netsim.Datagram
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
 open Ilp_rpc
@@ -101,17 +102,29 @@ let prop_request_roundtrip =
 type world = {
   sim : Sim.t;
   clock : Simclock.t;
+  demux : Demux.t;
+  wire_out : Datagram.t -> unit;
+  srv_engine : Engine.t;
   server : Server.t;
   client : Client.t;
   file : string;
+  file_addr : int;
 }
 
-let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096) () =
+let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
+    ?(mangle = fun _ s -> s) () =
   let sim = Sim.create Config.ss10_30 in
   let clock = Simclock.create () in
   let demux = Demux.create () in
   let link = ref None in
-  let wire_out d = Link.send (Option.get !link) d in
+  let count = ref 0 in
+  let wire_out d =
+    incr count;
+    let payload = mangle !count d.Datagram.payload in
+    Link.send (Option.get !link)
+      (Datagram.create ~src_port:d.Datagram.src_port
+         ~dst_port:d.Datagram.dst_port ~payload)
+  in
   link :=
     Some (Link.create clock ~delay_us:50.0 ~loss_rate ~seed:7
             ~deliver:(Demux.deliver demux) ());
@@ -140,7 +153,8 @@ let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096) () =
   Socket.connect cli_ctrl ~remote_port:10;
   Socket.connect srv_data ~remote_port:13;
   Simclock.run_until_idle clock;
-  { sim; clock; server; client; file }
+  { sim; clock; demux; wire_out; srv_engine; server; client; file;
+    file_addr = addr }
 
 let pump w =
   let guard = ref 50_000 in
@@ -221,6 +235,125 @@ let test_odd_sized_tail_segment () =
   checkb "complete" true (Client.transfer_complete w.client);
   check "segments" 4 (Client.replies_received w.client)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial wire: typed aborts, reconnection, mode equivalence *)
+
+(* Like [pump] but also stops on a typed failure (the abort tests would
+   otherwise spin out their whole guard budget). *)
+let pump_settle w =
+  let guard = ref 50_000 in
+  while
+    (not (Client.transfer_complete w.client))
+    && (not (Client.rejected w.client))
+    && Client.failure w.client = None
+    && !guard > 0
+  do
+    decr guard;
+    Simclock.advance w.clock 2_000.0
+  done;
+  Simclock.run_until_idle w.clock
+
+(* A wire that destroys every datagram's IP header once [on] is set: the
+   kernel drops each one, so the sender retransmits into the void. *)
+let blackhole_mangle on _ s =
+  if !on && String.length s > 0 then begin
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    Bytes.to_string b
+  end
+  else s
+
+let test_abort_surfaces_to_client () =
+  let on = ref false in
+  let w = make_world ~mangle:(blackhole_mangle on) () in
+  on := true;
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump_settle w;
+  checkb "typed abort reaches the client" true
+    (Client.failure w.client = Some (Client.Aborted Socket.Retry_exhausted));
+  checkb "not complete" false (Client.transfer_complete w.client)
+
+let test_reconnect_resumes () =
+  let on = ref false in
+  let w = make_world ~mangle:(blackhole_mangle on) () in
+  on := true;
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump_settle w;
+  checkb "aborted first" true (Client.failure w.client <> None);
+  (* The wire heals; hand the client a freshly connected socket pair (and
+     stand the server up again on new ports). *)
+  on := false;
+  let cfg = { Socket.default_config with mss = 2048 } in
+  let mk port = Socket.create w.sim w.clock cfg ~local_port:port ~wire_out:w.wire_out in
+  let srv_ctrl = mk 20 and cli_ctrl = mk 21 and srv_data = mk 22 and cli_data = mk 23 in
+  List.iter
+    (fun (port, s) -> Demux.bind w.demux ~port (Socket.handle_datagram s))
+    [ (20, srv_ctrl); (21, cli_ctrl); (22, srv_data); (23, cli_data) ];
+  let server2 =
+    Server.create ~clock:w.clock ~engine:w.srv_engine ~ctrl:srv_ctrl ~data:srv_data ()
+  in
+  Server.add_file server2 ~name:"test.bin" ~addr:w.file_addr
+    ~len:(String.length w.file);
+  Socket.listen srv_ctrl;
+  Socket.listen cli_data;
+  Socket.connect cli_ctrl ~remote_port:20;
+  Socket.connect srv_data ~remote_port:23;
+  Simclock.run_until_idle w.clock;
+  (match Client.reconnect w.client ~ctrl:cli_ctrl ~data:cli_data with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "reconnect refused");
+  pump_settle w;
+  checkb "no failure after resume" true (Client.failure w.client = None);
+  checkb "complete after resume" true (Client.transfer_complete w.client);
+  check "one reconnect" 1 (Client.reconnects w.client);
+  check "bytes" (String.length w.file) (Client.bytes_received w.client)
+
+(* The receive-path equivalence property: for any corruption pattern, the
+   separate (checksum pass then handler) and integrated (fused
+   handler-with-checksum) receive paths must make the same accept/reject
+   decision — same final outcome, byte count and typed failure. *)
+let prop_rx_modes_equivalent_under_corruption =
+  QCheck.Test.make ~count:20
+    ~name:"ILP and separate rx accept/reject corrupted segments identically"
+    QCheck.(
+      pair (int_range 0 1000)
+        (list_of_size Gen.(int_range 0 6) (int_range 8 60)))
+    (fun (salt, positions) ->
+      let outcome mode =
+        let mangle n s =
+          if List.mem n positions && String.length s > 30 then begin
+            let b = Bytes.of_string s in
+            let i = 28 + (salt mod (String.length s - 28)) in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 + (salt land 0x7f))));
+            Bytes.to_string b
+          end
+          else s
+        in
+        let w = make_world ~mode ~file_len:1024 ~mangle () in
+        let req =
+          Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:400
+            ~expected:w.file
+        in
+        pump_settle w;
+        ( Result.is_ok req,
+          Client.transfer_complete w.client,
+          Client.rejected w.client,
+          Client.bytes_received w.client,
+          Option.map Client.failure_to_string (Client.failure w.client) )
+      in
+      outcome Engine.Separate = outcome Engine.Ilp)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "rpc"
@@ -236,4 +369,9 @@ let () =
           Alcotest.test_case "transfer (separate)" `Quick test_transfer_separate;
           Alcotest.test_case "transfer under loss" `Quick test_transfer_under_loss;
           Alcotest.test_case "missing file" `Quick test_missing_file_rejected;
-          Alcotest.test_case "odd tail segment" `Quick test_odd_sized_tail_segment ] ) ]
+          Alcotest.test_case "odd tail segment" `Quick test_odd_sized_tail_segment ] );
+      ( "adversarial",
+        [ Alcotest.test_case "abort surfaces to client" `Quick
+            test_abort_surfaces_to_client;
+          Alcotest.test_case "reconnect resumes" `Quick test_reconnect_resumes;
+          qc prop_rx_modes_equivalent_under_corruption ] ) ]

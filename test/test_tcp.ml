@@ -23,8 +23,24 @@ let sample_header =
 let test_header_string_roundtrip () =
   let s = Tcp_header.to_string sample_header in
   check "size" Tcp_header.size (String.length s);
-  let h = Tcp_header.of_string s ~pos:0 in
-  checkb "round trip" true (h = sample_header)
+  match Tcp_header.of_string s ~pos:0 with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok h -> checkb "round trip" true (h = sample_header)
+
+let test_header_decode_bounds () =
+  let s = Tcp_header.to_string sample_header in
+  checkb "negative pos rejected" true
+    (Result.is_error (Tcp_header.of_string s ~pos:(-1)));
+  checkb "truncated buffer rejected" true
+    (Result.is_error (Tcp_header.of_string s ~pos:1));
+  checkb "runt rejected" true
+    (Result.is_error (Tcp_header.of_string "short" ~pos:0));
+  (match Tcp_header.of_string_exn s ~pos:0 with
+  | h -> checkb "exn wrapper agrees" true (h = sample_header)
+  | exception Invalid_argument _ -> Alcotest.fail "spurious raise");
+  match Tcp_header.of_string_exn "short" ~pos:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
 
 let test_header_mem_roundtrip () =
   let sim = Sim.create (Config.custom ()) in
@@ -84,7 +100,7 @@ let test_ring_basic () =
   checkb "contiguous" true (b = a + 40);
   check "in flight" 2 (Ring.in_flight ring);
   checkb "no room for 40 more" true (Ring.reserve ring 40 = None);
-  Ring.release ring;
+  Ring.release_exn ring;
   check "released" 1 (Ring.in_flight ring);
   checkb "oldest is b" true (Ring.peek_oldest ring = Some (b, 40))
 
@@ -92,13 +108,13 @@ let test_ring_wrap_waste () =
   let sim = Sim.create (Config.custom ()) in
   let ring = Ring.create sim ~size:100 in
   let a = Option.get (Ring.reserve ring 60) in
-  Ring.release ring;
+  Ring.release_exn ring;
   (* Head is at 60; a 50-byte reservation cannot span the end, so the
      40-byte tail is wasted and the region starts at the base again. *)
   let b = Option.get (Ring.reserve ring 50) in
   checkb "wrapped to base" true (b = a);
   check "waste accounted" 10 (Ring.available ring);
-  Ring.release ring;
+  Ring.release_exn ring;
   check "waste freed with the entry" 100 (Ring.available ring)
 
 let test_ring_reserve_too_big () =
@@ -110,9 +126,13 @@ let test_ring_reserve_too_big () =
 let test_ring_release_empty () =
   let sim = Sim.create (Config.custom ()) in
   let ring = Ring.create sim ~size:64 in
-  match Ring.release ring with
+  checkb "typed error" true (Ring.release ring = Error `Empty);
+  (match Ring.release_exn ring with
   | () -> Alcotest.fail "expected failure"
-  | exception Failure _ -> ()
+  | exception Failure _ -> ());
+  (* A release after a successful reserve works through both APIs. *)
+  ignore (Option.get (Ring.reserve ring 8));
+  checkb "ok when non-empty" true (Ring.release ring = Ok ())
 
 let prop_ring_fifo =
   QCheck.Test.make ~count:100 ~name:"ring reservations release FIFO and restore space"
@@ -127,12 +147,12 @@ let prop_ring_fifo =
           | Some addr ->
               ok := !ok && addr >= 0;
               (* Release at random-ish parity to exercise interleaving. *)
-              if Ring.in_flight ring > 2 then Ring.release ring
+              if Ring.in_flight ring > 2 then Ring.release_exn ring
           | None ->
-              if Ring.in_flight ring > 0 then Ring.release ring)
+              if Ring.in_flight ring > 0 then Ring.release_exn ring)
         lens;
       while Ring.in_flight ring > 0 do
-        Ring.release ring
+        Ring.release_exn ring
       done;
       !ok && Ring.available ring = 128)
 
@@ -320,7 +340,76 @@ let test_corruption_detected_and_recovered () =
   Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
   checkb "mangled once" true !flipped;
   check "checksum failure recorded" 1 (Socket.stats w.b).Socket.checksum_failures;
+  check "ledger counts the checksum drop" 1 (Socket.drop_count w.b Socket.Bad_checksum);
   checkb "recovered by retransmission" true ((Socket.stats w.a).Socket.retransmissions > 0)
+
+let test_truncation_dropped_and_recovered () =
+  (* Chop the 8th wire datagram down to a runt.  The kernel or the TCP
+     input path must drop it into the ledger, and the stream must still
+     arrive intact via retransmission. *)
+  let cut = ref false in
+  let mangle n s =
+    if n = 8 && String.length s > 6 && not !cut then begin
+      cut := true;
+      String.sub s 0 6
+    end
+    else s
+  in
+  let w = make_world ~mangle () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  let msgs = List.init 10 (fun i -> Printf.sprintf "trunc%02d-%s" i (String.make 90 't')) in
+  transfer w msgs;
+  Alcotest.(check string) "stream intact" (String.concat "" msgs) (Buffer.contents got);
+  checkb "truncated once" true !cut;
+  checkb "runt landed in the drop ledger" true
+    (Socket.drop_count w.b Socket.Bad_ip + Socket.drop_count w.b Socket.Bad_header >= 1);
+  checkb "ledger total agrees" true (Socket.drops_total w.b >= 1)
+
+let test_abort_handshake_failed () =
+  (* A wire that delivers nothing: the active opener must give up with a
+     typed abort instead of spinning forever. *)
+  let w = make_world ~loss_rate:1.0 () in
+  let aborted = ref [] in
+  Socket.set_on_abort w.a (fun r -> aborted := r :: !aborted);
+  connect w;
+  checkb "typed failure" true (Socket.failure w.a = Some Socket.Handshake_failed);
+  checkb "socket closed" true (Socket.state w.a = Socket.Closed);
+  checkb "callback fired exactly once" true (!aborted = [ Socket.Handshake_failed ])
+
+let test_abort_retry_exhausted () =
+  (* Establish, then blackhole the wire (corrupt every later datagram's IP
+     header): data retransmissions must exhaust and surface as a typed
+     Retry_exhausted abort. *)
+  let blackhole = ref false in
+  let mangle _ s =
+    if !blackhole && String.length s > 0 then begin
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      Bytes.to_string b
+    end
+    else s
+  in
+  let w = make_world ~mangle () in
+  let aborted = ref [] in
+  Socket.set_on_abort w.a (fun r -> aborted := r :: !aborted);
+  connect w;
+  checkb "established first" true (Socket.state w.a = Socket.Established);
+  blackhole := true;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "doomed message";
+    None
+  in
+  (match Socket.send_message w.a ~len:14 ~fill with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send refused");
+  Simclock.run_until_idle w.clock;
+  checkb "typed failure" true (Socket.failure w.a = Some Socket.Retry_exhausted);
+  checkb "socket closed" true (Socket.state w.a = Socket.Closed);
+  checkb "callback fired exactly once" true (!aborted = [ Socket.Retry_exhausted ]);
+  checkb "retransmissions were attempted" true
+    ((Socket.stats w.a).Socket.retransmissions > 0)
 
 let test_send_errors () =
   let w = make_world ~mss:256 () in
@@ -494,6 +583,7 @@ let () =
   Alcotest.run "tcp"
     [ ( "header",
         [ Alcotest.test_case "string round trip" `Quick test_header_string_roundtrip;
+          Alcotest.test_case "decode bounds" `Quick test_header_decode_bounds;
           Alcotest.test_case "memory round trip" `Quick test_header_mem_roundtrip;
           Alcotest.test_case "flags" `Quick test_header_flags;
           Alcotest.test_case "checksum consistency" `Quick
@@ -517,6 +607,12 @@ let () =
           Alcotest.test_case "duplication" `Quick test_transfer_with_duplication;
           Alcotest.test_case "corruption recovery" `Quick
             test_corruption_detected_and_recovered;
+          Alcotest.test_case "truncation recovery" `Quick
+            test_truncation_dropped_and_recovered;
+          Alcotest.test_case "abort: handshake failed" `Quick
+            test_abort_handshake_failed;
+          Alcotest.test_case "abort: retry exhausted" `Quick
+            test_abort_retry_exhausted;
           Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit;
           Alcotest.test_case "delayed acks" `Quick test_delayed_acks;
           Alcotest.test_case "send errors" `Quick test_send_errors;
