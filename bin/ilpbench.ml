@@ -119,8 +119,14 @@ let transfer_cmd =
                    fast-path kernels (wire bytes identical; the simulated \
                    counters then cover only the protocol machinery).")
   in
+  let crc =
+    Arg.(value & flag
+         & info [ "crc32" ]
+             ~doc:"End-to-end CRC32 trailer on every message (closes the \
+                   16-bit checksum collision hole).")
+  in
   let run machine ilp cipher size copies loss trailer coalesce calls late uniform
-      native =
+      native crc =
     let mode = if ilp then Engine.Ilp else Engine.Separate in
     let setup =
       { (Ft.default_setup ~machine ~mode) with
@@ -133,17 +139,19 @@ let transfer_cmd =
         linkage = (if calls then Linkage.function_calls else Linkage.Macro);
         rx_placement = (if late then Engine.Late else Engine.Early);
         uniform_units = uniform;
-        native }
+        native;
+        crc }
     in
     let r = Ft.run setup in
     Printf.printf "machine      %s (%.0f MHz)\n" machine.Config.name
       machine.Config.clock_mhz;
-    Printf.printf "mode         %s%s%s%s%s\n"
+    Printf.printf "mode         %s%s%s%s%s%s\n"
       (if ilp then "ILP" else "non-ILP")
       (if trailer then ", trailer" else "")
       (if coalesce then ", coalesced stores" else "")
       (if calls then ", function calls" else "")
-      (if native then ", native kernels" else "");
+      (if native then ", native kernels" else "")
+      (if crc then ", crc32 trailer" else "");
     Printf.printf "status       %s\n"
       (match r.Ft.error with
       | None -> "transfer complete, every byte verified"
@@ -169,7 +177,7 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc:"Run one measured file transfer.")
     Term.(
       const run $ machine $ ilp $ cipher $ size $ copies $ loss $ trailer $ coalesce
-      $ calls $ late $ uniform $ native)
+      $ calls $ late $ uniform $ native $ crc)
 
 (* ------------------------------------------------------------------ *)
 (* wall *)
@@ -251,8 +259,10 @@ let soak_cmd =
          & info [ "iters"; "n" ] ~docv:"N" ~doc:"Randomized transfers to run.")
   in
   let size =
-    Arg.(value & opt int Soak.default_config.Soak.file_len
-         & info [ "size"; "s" ] ~docv:"BYTES" ~doc:"File length per transfer.")
+    Arg.(value & opt (some int) None
+         & info [ "size"; "s" ] ~docv:"BYTES"
+             ~doc:"File length per transfer (default: 512 for the chaos soak, \
+                   2048 for the overload soak).")
   in
   let machine =
     Arg.(value & opt machine_conv Config.ss10_30
@@ -263,36 +273,50 @@ let soak_cmd =
          & info [ "intensity" ] ~docv:"X"
              ~doc:"Impairment-rate scale; 0 disables all faults, 1 is full chaos.")
   in
+  let overload =
+    Arg.(value & flag
+         & info [ "overload" ]
+             ~doc:"Overload soak instead of chaos soak: many concurrent \
+                   mixed-persona clients (honest, slow-reader, dead-reader, \
+                   oversized) against one shared server, asserting graceful \
+                   degradation.")
+  in
+  let clients =
+    Arg.(value & opt int Soak.default_overload_config.Soak.clients
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent clients for the overload soak.")
+  in
   let verbose =
     Arg.(value & flag
          & info [ "verbose"; "v" ] ~doc:"Log every failed iteration, not just \
                                          invariant violations.")
   in
-  let run seed iters size machine intensity verbose =
+  let filtered_log verbose line =
+    (* Invariant violations always print; ordinary typed outcomes only
+       under --verbose. *)
+    if verbose then print_endline line
+    else
+      let violation sub =
+        let n = String.length sub in
+        let rec scan i =
+          i + n <= String.length line
+          && (String.sub line i n = sub || scan (i + 1))
+        in
+        scan 0
+      in
+      if violation "ESCAPED" || violation "SILENT" || violation "VIOLAT" then
+        print_endline line
+  in
+  let run_chaos seed iters size machine intensity verbose =
     let cfg =
       { Soak.default_config with
         Soak.seed;
         iterations = iters;
-        file_len = size;
+        file_len = Option.value size ~default:Soak.default_config.Soak.file_len;
         machine;
         intensity }
     in
-    let log line =
-      (* Invariant violations always print; ordinary typed failures only
-         under --verbose. *)
-      if verbose then print_endline line
-      else
-        let violation sub =
-          let n = String.length sub in
-          let rec scan i =
-            i + n <= String.length line
-            && (String.sub line i n = sub || scan (i + 1))
-          in
-          scan 0
-        in
-        if violation "ESCAPED" || violation "SILENT" then print_endline line
-    in
-    match Soak.run ~log cfg with
+    match Soak.run ~log:(filtered_log verbose) cfg with
     | o ->
         List.iter print_endline (Soak.summary_lines o);
         if Soak.invariants_hold o then begin
@@ -302,19 +326,58 @@ let soak_cmd =
         end
         else begin
           prerr_endline "soak invariant VIOLATED";
+          Printf.eprintf "reproduce: ilpbench soak --seed %d -n %d --size %d\n"
+            cfg.Soak.seed cfg.Soak.iterations cfg.Soak.file_len;
           1
         end
     | exception Invalid_argument msg ->
         Printf.eprintf "ilpbench: %s\n" msg;
         2
   in
+  let run_overload seed clients size machine verbose =
+    let cfg =
+      { Soak.default_overload_config with
+        Soak.seed;
+        clients;
+        file_len =
+          Option.value size ~default:Soak.default_overload_config.Soak.file_len;
+        machine }
+    in
+    match Soak.run_overload ~log:(filtered_log verbose) cfg with
+    | o ->
+        List.iter print_endline (Soak.overload_summary_lines o);
+        if Soak.overload_invariants_hold o then begin
+          print_endline
+            "overload invariant held: every request ended byte-exact or typed, \
+             budgets respected, honest clients served";
+          0
+        end
+        else begin
+          prerr_endline "overload invariant VIOLATED";
+          Printf.eprintf
+            "reproduce: ilpbench soak --overload --seed %d --clients %d --size %d\n"
+            cfg.Soak.seed cfg.Soak.clients cfg.Soak.file_len;
+          1
+        end
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  let run seed iters size machine intensity overload clients verbose =
+    if overload then run_overload seed clients size machine verbose
+    else run_chaos seed iters size machine intensity verbose
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
          "Chaos soak: randomized impaired transfers across both modes, both \
           backends and all four ciphers, asserting byte-exact delivery or a \
-          typed error on every iteration.")
-    Term.(const run $ seed $ iters $ size $ machine $ intensity $ verbose)
+          typed error on every iteration.  With $(b,--overload): many \
+          concurrent mixed-persona clients against one shared server, \
+          asserting graceful degradation under load.")
+    Term.(
+      const run $ seed $ iters $ size $ machine $ intensity $ overload $ clients
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* machines *)

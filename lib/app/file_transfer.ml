@@ -23,6 +23,7 @@ type setup = {
   rx_placement : Engine.rx_placement;
   uniform_units : bool;
   native : bool;
+  crc : bool;
   file_len : int;
   copies : int;
   max_reply : int;
@@ -42,6 +43,7 @@ let default_setup ~machine ~mode =
     rx_placement = Engine.Early;
     uniform_units = false;
     native = false;
+    crc = false;
     file_len = Workload.paper_file_len;
     copies = 8;
     max_reply = 1024;
@@ -127,24 +129,25 @@ let run setup =
       ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
-      ~uniform_units:setup.uniform_units ()
+      ~uniform_units:setup.uniform_units ~crc32:setup.crc ()
   in
   let cli_engine =
     Engine.create sim ~cipher:cli_cipher ~mode:setup.mode ~backend:(backend ())
       ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
-      ~uniform_units:setup.uniform_units ()
+      ~uniform_units:setup.uniform_units ~crc32:setup.crc ()
   in
   let scfg = { Socket.default_config with mss = max_message } in
   let srv_ctrl = Socket.create sim clock scfg ~local_port:srv_ctrl_port ~wire_out in
   let cli_ctrl = Socket.create sim clock scfg ~local_port:cli_ctrl_port ~wire_out in
   let srv_data = Socket.create sim clock scfg ~local_port:srv_data_port ~wire_out in
   let cli_data = Socket.create sim clock scfg ~local_port:cli_data_port ~wire_out in
-  let server =
-    Rpc_server.create ~clock ~engine:srv_engine ~ctrl:srv_ctrl ~data:srv_data ()
+  let server = Rpc_server.create ~clock ~engine:srv_engine () in
+  ignore (Rpc_server.attach server ~ctrl:srv_ctrl ~data:srv_data);
+  let client =
+    Rpc_client.create ~clock ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data ()
   in
-  let client = Rpc_client.create ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data in
   (* Measurement buckets. *)
   let send_us = ref [] and send_syscopy_us = ref [] and recv_us = ref [] in
   let send_stall = ref 0.0 and recv_stall = ref 0.0 in

@@ -36,6 +36,9 @@ type setup = {
       (** run the data manipulations through the un-simulated
           {!Ilp_fastpath} kernels; wire bytes are identical but the
           simulated cycle counters only cover the protocol machinery *)
+  crc : bool;
+      (** enable the end-to-end CRC32 TSDU trailer on both engines
+          (closes the 16-bit checksum collision hole) *)
   file_len : int;
   copies : int;
   max_reply : int;  (** application payload bytes per message *)

@@ -1,6 +1,11 @@
 module Link = Ilp_netsim.Link
+module Simclock = Ilp_netsim.Simclock
+module Demux = Ilp_netsim.Demux
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
+module Rpc_server = Ilp_rpc.Server
+module Rpc_client = Ilp_rpc.Client
+module Sim = Ilp_memsim.Sim
 module Ft = File_transfer
 
 (* A private xorshift64 so soak schedules are reproducible without
@@ -118,12 +123,14 @@ let run ?(log = fun _ -> ()) (cfg : config) =
     let native = (i lsr 1) land 1 = 1 in
     let cipher = ciphers.((i lsr 2) land 3) in
     let header_style = if (i lsr 4) land 1 = 0 then Engine.Leading else Engine.Trailer in
+    let crc = (i lsr 5) land 1 = 1 in
     let imp = draw_impairments st ~intensity:cfg.intensity in
     let setup =
       { (Ft.default_setup ~machine:cfg.machine ~mode) with
         Ft.cipher;
         native;
         header_style;
+        crc;
         file_len = cfg.file_len;
         copies = cfg.copies;
         max_reply = cfg.max_reply;
@@ -132,10 +139,12 @@ let run ?(log = fun _ -> ()) (cfg : config) =
         deadline_us = cfg.deadline_us }
     in
     let tag verdict =
-      Printf.sprintf "iter %4d  %-8s %-7s %-16s %s" i
+      Printf.sprintf "iter %4d  %-8s %-7s %-16s %-6s %s" i
         (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
         (if native then "native" else "sim")
-        (cipher_name cipher) verdict
+        (cipher_name cipher)
+        (if crc then "crc32" else "-")
+        verdict
     in
     (match Ft.run setup with
     | r ->
@@ -177,6 +186,350 @@ let run ?(log = fun _ -> ()) (cfg : config) =
     drops =
       List.mapi (fun j r -> (r, drop_totals.(j))) Socket.drop_reasons;
     link = !link_total }
+
+(* ------------------------------------------------------------------ *)
+(* Overload soak: many concurrent clients against one shared server *)
+
+type persona = Honest | Slow_reader | Dead_reader | Oversized
+
+let persona_name = function
+  | Honest -> "honest"
+  | Slow_reader -> "slow-reader"
+  | Dead_reader -> "dead-reader"
+  | Oversized -> "oversized"
+
+(* Honest clients must complete; slow readers misbehave transiently and
+   must still complete (the persist machinery recovers them); dead
+   readers and oversized requesters are shed with typed outcomes. *)
+let persona_must_complete = function
+  | Honest | Slow_reader -> true
+  | Dead_reader | Oversized -> false
+
+let persona_pattern =
+  [| Honest; Slow_reader; Honest; Dead_reader; Honest; Oversized; Honest;
+     Slow_reader |]
+
+type overload_config = {
+  seed : int;
+  clients : int;
+  file_len : int;
+  machine : Ilp_memsim.Config.t;
+  deadline_us : float;
+}
+
+let default_overload_config =
+  { seed = 1;
+    clients = 8;
+    file_len = 2048;
+    machine = Ilp_memsim.Config.ss10_30;
+    deadline_us = 30_000_000.0 }
+
+type overload_outcome = {
+  clients : int;
+  completed : int;
+  typed_failures : int;
+  escaped_exceptions : int;
+  silent_outcomes : int;
+      (** invariant violation: a client ended neither complete nor with a
+          typed client- or server-side outcome *)
+  honest_incomplete : int;
+      (** invariant violation: an honest or slow-reader client did not
+          finish byte-exact *)
+  budget_violations : int;
+      (** invariant violation: peak queued bytes exceeded the global cap *)
+  ledger_mismatch : bool;
+      (** invariant violation: sheds in the server ledger do not equal the
+          typed shed outcomes the clients observed *)
+  peak_queued_bytes : int;
+  queue_cap : int;
+  busy_replies : int;
+  client_retries : int;
+  persist_probes : int;
+  peer_stalled_aborts : int;
+  replies_abandoned : int;
+  sheds : (Rpc_server.shed_reason * int) list;
+}
+
+let overload_invariants_hold o =
+  o.escaped_exceptions = 0 && o.silent_outcomes = 0 && o.honest_incomplete = 0
+  && o.budget_violations = 0
+  && not o.ledger_mismatch
+
+type overload_client = {
+  idx : int;
+  persona : persona;
+  client : Rpc_client.t;
+  cli_data : Socket.t;
+  srv_data : Socket.t;
+  mutable local_refused : bool;
+}
+
+let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
+  if cfg.clients < 1 then invalid_arg "Soak.run_overload: clients must be >= 1";
+  if cfg.file_len < 64 then invalid_arg "Soak.run_overload: file_len must be >= 64";
+  if cfg.deadline_us <= 0.0 then
+    invalid_arg "Soak.run_overload: deadline_us must be positive";
+  let max_reply = max 64 (cfg.file_len / 8) in
+  let limits =
+    { Rpc_server.max_connections = cfg.clients + 2;
+      max_conn_queue_bytes = 2 * cfg.file_len;
+      (* Tight enough that concurrent honest requests contend and the
+         Busy/retry path actually runs. *)
+      max_total_queue_bytes = cfg.file_len * ((cfg.clients / 4) + 1);
+      max_request_age_us = 60_000_000.0 }
+  in
+  let empty_outcome =
+    { clients = cfg.clients;
+      completed = 0;
+      typed_failures = 0;
+      escaped_exceptions = 1;
+      silent_outcomes = 0;
+      honest_incomplete = 0;
+      budget_violations = 0;
+      ledger_mismatch = false;
+      peak_queued_bytes = 0;
+      queue_cap = limits.Rpc_server.max_total_queue_bytes;
+      busy_replies = 0;
+      client_retries = 0;
+      persist_probes = 0;
+      peer_stalled_aborts = 0;
+      replies_abandoned = 0;
+      sheds = [] }
+  in
+  match
+    let sim = Sim.create cfg.machine in
+    let clock = Simclock.create () in
+    let demux = Demux.create () in
+    let link = ref None in
+    let wire_out d = Link.send (Option.get !link) d in
+    link :=
+      Some
+        (Link.create clock ~delay_us:30.0 ~seed:cfg.seed
+           ~deliver:(Demux.deliver demux) ());
+    let key = "soakOVRL" in
+    let engine () =
+      Engine.create sim
+        ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ())
+        ~mode:Engine.Ilp ~crc32:true ()
+    in
+    (* Small buffers so the reply queue holds real bytes (the budgets
+       bind); a stall deadline short enough to detect dead readers within
+       the run yet past the persist-backoff probe at ~635 ms of virtual
+       time, so the latest slow-reader reopening is still discovered. *)
+    let cfg_sock =
+      { Socket.default_config with
+        mss = max_reply + 256;
+        send_buffer = max 1024 (cfg.file_len / 2);
+        recv_window = max 1024 (cfg.file_len / 2);
+        stall_deadline_us = 1_500_000.0 }
+    in
+    let server = Rpc_server.create ~clock ~engine:(engine ()) ~limits () in
+    let file = Workload.generate ~len:cfg.file_len ~seed:3 in
+    let addr = Workload.install sim file in
+    Rpc_server.add_file server ~name:"soak.bin" ~addr ~len:cfg.file_len;
+    (* Generous retry coverage (~1.2 s of cumulative backoff): a shed
+       honest client must outlast both queue contention and the slowest
+       slow-reader discovery before giving up. *)
+    let retry =
+      { Rpc_client.max_attempts = 40;
+        base_backoff_us = 500.0;
+        max_backoff_us = 30_000.0;
+        deadline_us = 5_000_000.0 }
+    in
+    let mk port =
+      let s = Socket.create sim clock cfg_sock ~local_port:port ~wire_out in
+      Demux.bind demux ~port (Socket.handle_datagram s);
+      s
+    in
+    let world =
+      List.init cfg.clients (fun i ->
+          let base = 1000 + (4 * i) in
+          let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
+          let srv_data = mk (base + 2) and cli_data = mk (base + 3) in
+          ignore (Rpc_server.attach server ~ctrl:srv_ctrl ~data:srv_data);
+          let persona = persona_pattern.(i mod Array.length persona_pattern) in
+          (* Slow and dead readers advertise a zero receive window from
+             the start; slow ones reopen later, dead ones never do. *)
+          (match persona with
+          | Slow_reader | Dead_reader -> Socket.set_advertised_window cli_data 0
+          | Honest | Oversized -> ());
+          Socket.listen srv_ctrl;
+          Socket.listen cli_data;
+          Socket.connect cli_ctrl ~remote_port:base;
+          Socket.connect srv_data ~remote_port:(base + 3);
+          let client =
+            Rpc_client.create ~clock ~retry ~seed:(cfg.seed + i)
+              ~engine:(engine ()) ~ctrl:cli_ctrl ~data:cli_data ()
+          in
+          { idx = i; persona; client; cli_data; srv_data; local_refused = false })
+    in
+    Simclock.run_until_idle clock;
+    (* Stagger the requests slightly, reopen the slow readers mid-run. *)
+    List.iter
+      (fun c ->
+        let copies = match c.persona with Oversized -> 3 | _ -> 1 in
+        ignore
+          (Simclock.schedule clock
+             ~after:(200.0 *. float_of_int c.idx)
+             (fun () ->
+               match
+                 Rpc_client.request_file c.client ~name:"soak.bin" ~copies
+                   ~max_reply ~expected:file
+               with
+               | Ok () -> ()
+               | Error _ -> c.local_refused <- true));
+        match c.persona with
+        | Slow_reader ->
+            ignore
+              (Simclock.schedule clock
+                 ~after:(100_000.0 +. (37_000.0 *. float_of_int c.idx))
+                 (fun () ->
+                   Socket.set_advertised_window c.cli_data
+                     cfg_sock.Socket.recv_window))
+        | Honest | Dead_reader | Oversized -> ())
+      world;
+    let settled c =
+      c.local_refused
+      || Rpc_client.transfer_complete c.client
+      || Rpc_client.rejected c.client
+      || Rpc_client.failure c.client <> None
+      || Rpc_client.errors c.client <> []
+      || Socket.failure c.srv_data <> None
+    in
+    let guard = ref 400_000 in
+    while
+      (not (List.for_all settled world))
+      && Simclock.now clock < cfg.deadline_us
+      && !guard > 0
+    do
+      decr guard;
+      Simclock.advance clock 1_000.0
+    done;
+    Simclock.run_until_idle clock;
+    let completed = ref 0
+    and typed = ref 0
+    and silent = ref 0
+    and honest_incomplete = ref 0 in
+    List.iter
+      (fun c ->
+        let complete =
+          Rpc_client.transfer_complete c.client
+          && Rpc_client.errors c.client = []
+        in
+        let client_typed =
+          c.local_refused
+          || Rpc_client.rejected c.client
+          || Rpc_client.failure c.client <> None
+          || Rpc_client.errors c.client <> []
+        in
+        let server_typed = Socket.failure c.srv_data <> None in
+        let verdict =
+          if complete then begin
+            incr completed;
+            "completed byte-exact"
+          end
+          else if client_typed || server_typed then begin
+            incr typed;
+            if client_typed then
+              match Rpc_client.failure c.client with
+              | Some f -> "typed: " ^ Rpc_client.failure_to_string f
+              | None ->
+                  if Rpc_client.rejected c.client then "typed: rejected"
+                  else if c.local_refused then "typed: local refusal"
+                  else "typed: " ^ String.concat "; " (Rpc_client.errors c.client)
+            else
+              "typed (server side): "
+              ^ Socket.abort_reason_to_string
+                  (Option.get (Socket.failure c.srv_data))
+          end
+          else begin
+            incr silent;
+            "SILENT: neither complete nor typed"
+          end
+        in
+        if persona_must_complete c.persona && not complete then
+          incr honest_incomplete;
+        log
+          (Printf.sprintf "client %2d  %-11s %s  (busy %d, retries %d)" c.idx
+             (persona_name c.persona) verdict
+             (Rpc_client.busy_replies c.client)
+             (Rpc_client.retries c.client)))
+      world;
+    let busy =
+      List.fold_left (fun a c -> a + Rpc_client.busy_replies c.client) 0 world
+    in
+    let refused =
+      List.fold_left
+        (fun a c -> a + if Rpc_client.rejected c.client then 1 else 0)
+        0 world
+    in
+    let retries =
+      List.fold_left (fun a c -> a + Rpc_client.retries c.client) 0 world
+    in
+    let probes =
+      List.fold_left
+        (fun a c -> a + (Socket.stats c.srv_data).Socket.persist_probes)
+        0 world
+    in
+    let stalled =
+      List.fold_left
+        (fun a c ->
+          a
+          + if Socket.failure c.srv_data = Some Socket.Peer_stalled then 1 else 0)
+        0 world
+    in
+    let peak = Rpc_server.peak_queued_bytes server in
+    { clients = cfg.clients;
+      completed = !completed;
+      typed_failures = !typed;
+      escaped_exceptions = 0;
+      silent_outcomes = !silent;
+      honest_incomplete = !honest_incomplete;
+      budget_violations =
+        (if peak > limits.Rpc_server.max_total_queue_bytes then 1 else 0);
+      (* Every shed must be accounted for: seen by a client as Busy or a
+         refusal, or attributably lost because the shed connection itself
+         died before the status could be delivered. *)
+      ledger_mismatch =
+        Rpc_server.sheds_total server
+        <> busy + refused + Rpc_server.statuses_abandoned server;
+      peak_queued_bytes = peak;
+      queue_cap = limits.Rpc_server.max_total_queue_bytes;
+      busy_replies = busy;
+      client_retries = retries;
+      persist_probes = probes;
+      peer_stalled_aborts = stalled;
+      replies_abandoned = Rpc_server.replies_abandoned server;
+      sheds = Rpc_server.sheds server }
+  with
+  | o -> o
+  | exception (Invalid_argument _ as e) -> raise e
+  | exception e ->
+      log ("ESCAPED EXCEPTION: " ^ Printexc.to_string e);
+      empty_outcome
+
+let overload_summary_lines o =
+  [ Printf.sprintf "clients               %d" o.clients;
+    Printf.sprintf "byte-exact transfers  %d" o.completed;
+    Printf.sprintf "typed outcomes        %d" o.typed_failures;
+    Printf.sprintf "escaped exceptions    %d" o.escaped_exceptions;
+    Printf.sprintf "silent outcomes       %d" o.silent_outcomes;
+    Printf.sprintf "honest incomplete     %d" o.honest_incomplete;
+    Printf.sprintf "queued bytes          peak %d of cap %d%s" o.peak_queued_bytes
+      o.queue_cap
+      (if o.budget_violations > 0 then "  VIOLATED" else "");
+    Printf.sprintf "shedding              %d busy replies, %d client retries%s"
+      o.busy_replies o.client_retries
+      (if o.ledger_mismatch then "  LEDGER MISMATCH" else "");
+    "shed ledger:          "
+    ^ String.concat ", "
+        (List.map
+           (fun (r, n) ->
+             Printf.sprintf "%s %d" (Rpc_server.shed_reason_to_string r) n)
+           o.sheds);
+    Printf.sprintf "zero-window           %d persist probes, %d peer-stalled aborts"
+      o.persist_probes o.peer_stalled_aborts;
+    Printf.sprintf "server                %d replies abandoned" o.replies_abandoned ]
 
 let summary_lines o =
   let l = o.link in

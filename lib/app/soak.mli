@@ -57,3 +57,82 @@ val run : ?log:(string -> unit) -> config -> outcome
 
 (** Human-readable ledger of the whole run. *)
 val summary_lines : outcome -> string list
+
+(** {2 Overload soak}
+
+    Many concurrent clients with mixed personas against one shared
+    multi-connection server, exercising admission control, load shedding
+    and the zero-window persist machinery.  The graceful-degradation
+    invariant: every request ends in byte-exact delivery or a typed
+    outcome (client- or server-side), honest clients always complete,
+    queue budgets are never exceeded, and every shed appears both in the
+    server's ledger and as a typed client-visible reply. *)
+
+type persona =
+  | Honest  (** requests the file and reads replies promptly *)
+  | Slow_reader
+      (** advertises a zero receive window at first, reopens mid-run: the
+          server's persist probes must discover the reopening and the
+          transfer must still complete *)
+  | Dead_reader
+      (** never reopens its window: the server must abort the connection
+          [Peer_stalled], abandon its queue and free the admission slot *)
+  | Oversized
+      (** requests more than the per-connection byte budget could ever
+          hold: permanently refused *)
+
+val persona_name : persona -> string
+
+(** Clients are assigned personas by cycling this 8-entry pattern
+    (4 honest, 2 slow readers, 1 dead reader, 1 oversized). *)
+val persona_pattern : persona array
+
+type overload_config = {
+  seed : int;
+  clients : int;
+  file_len : int;
+  machine : Ilp_memsim.Config.t;
+  deadline_us : float;  (** virtual-time budget for the whole soak *)
+}
+
+(** 8 clients around a 2 kB file on the SS10/30 model. *)
+val default_overload_config : overload_config
+
+type overload_outcome = {
+  clients : int;
+  completed : int;
+  typed_failures : int;
+  escaped_exceptions : int;
+  silent_outcomes : int;
+      (** invariant violation: a client ended neither complete nor with a
+          typed client- or server-side outcome *)
+  honest_incomplete : int;
+      (** invariant violation: an honest or slow-reader client did not
+          finish byte-exact *)
+  budget_violations : int;
+      (** invariant violation: peak queued bytes exceeded the global cap *)
+  ledger_mismatch : bool;
+      (** invariant violation: the server's shed ledger does not equal the
+          typed shed outcomes the clients observed *)
+  peak_queued_bytes : int;
+  queue_cap : int;
+  busy_replies : int;
+  client_retries : int;
+  persist_probes : int;
+  peer_stalled_aborts : int;
+  replies_abandoned : int;
+  sheds : (Ilp_rpc.Server.shed_reason * int) list;
+}
+
+(** No escaped exceptions, no silent outcomes, no incomplete honest
+    client, budgets respected, ledger consistent. *)
+val overload_invariants_hold : overload_outcome -> bool
+
+(** [run_overload ?log cfg] builds one shared world — one server, [clients]
+    concurrent connection pairs — staggers every client's request, drives
+    the simulated clock until all clients settle (or [deadline_us]), and
+    classifies each.  [log] receives one verdict line per client.  Raises
+    [Invalid_argument] on an out-of-range config. *)
+val run_overload : ?log:(string -> unit) -> overload_config -> overload_outcome
+
+val overload_summary_lines : overload_outcome -> string list

@@ -1,5 +1,6 @@
 open Ilp_memsim
 module Internet = Ilp_checksum.Internet
+module Crc32 = Ilp_checksum.Crc32
 
 type mode = Ilp | Separate
 
@@ -30,6 +31,14 @@ type t = {
   recv_loop : Code.region;
   marshal_buf : int;  (* separate-mode intermediate buffer *)
   app_rx : int;  (* receive-side plaintext area *)
+  (* Optional end-to-end CRC32 trailer over the marshalled body — closes
+     the 16-bit Internet-checksum collision hole.  The CRC is
+     ordering-constrained (section 2.2), so the B/C/A part reordering
+     cannot produce it in flight; like the length field, its value is
+     computed at stream-build time and carried as one more generated
+     segment, while its serial fold cost is charged in whichever style the
+     engine runs. *)
+  crc : Crc32.t option;
 }
 
 let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
@@ -37,7 +46,7 @@ let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
 let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
     ?(linkage = Linkage.Macro)
     ?(max_message = 2048) ?(coalesce_writes = false) ?(header_style = Leading)
-    ?(rx_placement = Early) ?(uniform_units = false) () =
+    ?(rx_placement = Early) ?(uniform_units = false) ?(crc32 = false) () =
   (* Section 5: "uniform processing unit sizes for different data
      manipulation functions could be advantageous" — widen marshalling to
      the cipher's block so the fused loop runs one invocation per block. *)
@@ -70,13 +79,15 @@ let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
     | Simulated -> None
     | Native fc -> Some (Ilp_fastpath.Wire.create ~cipher:fc ~max_len:max_message)
   in
+  let crc = if crc32 then Some (Crc32.create sim.mem sim.alloc) else None in
   { sim; cipher; backend; fastpath; mode; header_style; rx_placement; linkage; max_message;
     coalesce_writes;
     marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
-    send_loops; recv_loop; marshal_buf; app_rx }
+    send_loops; recv_loop; marshal_buf; app_rx; crc }
 
 let mode t = t.mode
 let backend t = t.backend
+let crc32 t = t.crc <> None
 let header_style t = t.header_style
 let rx_placement t = t.rx_placement
 let sim t = t.sim
@@ -85,10 +96,21 @@ let machine t = t.sim.Sim.machine
 let mem t = t.sim.Sim.mem
 let block_len t = t.cipher.Ilp_cipher.Block_cipher.block_len
 
+(* Bytes the framing adds beyond the marshalled body: the CRC32 trailer
+   when enabled (the 4-byte length field is part of the plan itself). *)
+let framing_extra t = if t.crc = None then 0 else 4
+
 let wire_len t ~prefix_len ~payload_len =
-  ignore t;
-  let p = Parts.plan ~body_len:(prefix_len + payload_len) () in
+  let p =
+    Parts.plan ~body_len:(prefix_len + payload_len + framing_extra t) ()
+  in
   p.Parts.total
+
+(* Offset and length of the CRC-covered region (the marshalled body)
+   within the plaintext; the trailer word itself sits directly after it. *)
+let crc_region t ~enc_len =
+  let body_off = match t.header_style with Leading -> 4 | Trailer -> 0 in
+  (body_off, enc_len - 8)
 
 (* The store schedule of the fused loop's final stage.  A byte-oriented
    cipher ends the send chain with its 2-PHT pair outputs partially
@@ -190,14 +212,33 @@ let make_stream_of_segments t body =
         | Seg_app { len; _ } -> acc + len)
       0 body
   in
-  let plan = Parts.plan ~body_len () in
+  (* The CRC32 trailer, when enabled, rides inside the encrypted length:
+     its value is a stream-build-time computation over the logical body
+     bytes (it cannot be folded in part order — the CRC is
+     ordering-constrained), while its per-byte fold cost is charged by the
+     fill paths below. *)
+  let crc_segs =
+    match t.crc with
+    | None -> []
+    | Some _ ->
+        let b = Buffer.create (body_len + 8) in
+        List.iter
+          (function
+            | Seg_gen s -> Buffer.add_string b s
+            | Seg_app { addr; len } ->
+                Buffer.add_bytes b (Mem.peek_bytes (mem t) ~pos:addr ~len))
+          body;
+        [ Gen (u32_be (Crc32.string_crc (Buffer.contents b))) ]
+  in
+  let framed_len = body_len + framing_extra t in
+  let plan = Parts.plan ~body_len:framed_len () in
   if plan.Parts.total > t.max_message then
     invalid_arg
       (Printf.sprintf "Engine.prepare_send: message of %d bytes exceeds maximum %d"
          plan.Parts.total t.max_message);
   let enc_len = Parts.length_field plan in
   let total = plan.Parts.total in
-  let body_segs = List.map internal_seg body in
+  let body_segs = List.map internal_seg body @ crc_segs in
   let segs =
     match t.header_style with
     | Leading ->
@@ -207,7 +248,7 @@ let make_stream_of_segments t body =
     | Trailer ->
         (* Length field at the end: padding precedes it so the field sits
            in the last word of the final block. *)
-        let pad = total - 4 - body_len in
+        let pad = total - 4 - framed_len in
         Array.of_list (body_segs @ [ Gen (String.make pad '\000'); Gen (u32_be enc_len) ])
   in
   (plan, { segs; total })
@@ -240,6 +281,13 @@ let fill_ilp t plan st ~dst =
       while !pos < off + len do
         Machine.compute (machine t) 1;
         stream_read t st block ~boff:0 ~pos:!pos ~n:bl;
+        (* CRC32 stage, fused: fold the plaintext block while it is
+           register-resident (table reads and compute only).  The trailer
+           value itself was fixed at stream-build time; this charges the
+           serial fold the fused loop performs. *)
+        (match t.crc with
+        | None -> ()
+        | Some c -> ignore (Crc32.update_block c ~crc:Crc32.init block ~off:0 ~len:bl));
         Pipeline.process_block t.sim spec block ~off:0 ~len:bl ~dst:(dst + !pos);
         pos := !pos + bl
       done
@@ -265,7 +313,7 @@ let fill_ilp t plan st ~dst =
 (* Separate send: marshal into the intermediate buffer (figure 3 steps 1),
    encrypt in place (step 2), copy into the TCP ring (step 3, tcp_send);
    the checksum pass (step 4) is TCP's, signalled by returning [None]. *)
-let fill_separate t st ~dst =
+let fill_separate t plan st ~dst =
   let m = machine t in
   let buf = t.marshal_buf in
   (* Marshalling pass: generate/read the stream, write words. *)
@@ -281,6 +329,15 @@ let fill_separate t st ~dst =
     Mem.poke_bytes (mem t) ~pos:(buf + !pos) word;
     pos := !pos + 4
   done;
+  (* CRC32 stage, separate: one more charged pass over the marshalled
+     body in the intermediate buffer (byte reads + table reads). *)
+  (match t.crc with
+  | None -> ()
+  | Some c ->
+      let body_off, crc_len = crc_region t ~enc_len:(Parts.length_field plan) in
+      ignore
+        (Crc32.update_mem c ~crc:Crc32.init (mem t) ~pos:(buf + body_off)
+           ~len:crc_len));
   (* Encryption pass, in place: a byte-oriented cipher loads and stores
      single bytes (the lines are resident from the marshalling pass, so
      these accesses hit — the paper's observation that a careful non-ILP
@@ -342,7 +399,7 @@ let prepared_of_stream t (plan, st) =
     | None -> (
         match t.mode with
         | Ilp -> fill_ilp t plan st ~dst
-        | Separate -> fill_separate t st ~dst)
+        | Separate -> fill_separate t plan st ~dst)
   in
   { len = st.total; fill }
 
@@ -484,5 +541,35 @@ let read_plaintext t ~len =
       (* Decryption of a colliding-checksum segment scrambles the length
          field: reject the message rather than index out of bounds. *)
       Error (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len)
-    else Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
+    else
+      let crc_verdict =
+        match t.crc with
+        | None -> Ok ()
+        | Some c ->
+            (* End-to-end verification of the CRC32 trailer: recompute the
+               serial fold over the plaintext body (charged) and compare.
+               This catches corruptions whose 16-bit Internet checksum
+               happens to collide. *)
+            if enc_len < 8 then
+              Error
+                (Printf.sprintf
+                   "Engine.read_plaintext: length field %d too short for crc32 trailer"
+                   enc_len)
+            else begin
+              let body_off, crc_len = crc_region t ~enc_len in
+              let stored = Mem.get_u32 (mem t) (t.app_rx + body_off + crc_len) in
+              let crc =
+                Crc32.update_mem c ~crc:Crc32.init (mem t)
+                  ~pos:(t.app_rx + body_off) ~len:crc_len
+              in
+              Machine.compute m 2;
+              if Crc32.finish crc land 0xffff_ffff <> stored then
+                Error "Engine.read_plaintext: crc32 trailer mismatch"
+              else Ok ()
+            end
+      in
+      match crc_verdict with
+      | Error _ as e -> e
+      | Ok () ->
+          Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
   end

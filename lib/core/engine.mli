@@ -85,16 +85,28 @@ val create :
   ?header_style:header_style ->
   ?rx_placement:rx_placement ->
   ?uniform_units:bool ->
+  ?crc32:bool ->
   unit ->
   t
 (** [uniform_units] widens the marshalling unit to the cipher block
     (section 5's "uniform processing unit sizes").  [backend] (default
     [Simulated]) selects the execution substrate; a [Native] engine must
     be given the fast-path cipher matching [cipher] for the wire bytes to
-    agree. *)
+    agree.  [crc32] (default false) appends an end-to-end CRC32 trailer
+    word to the marshalled body (inside the encrypted length) and verifies
+    it in {!read_plaintext} — closing the window where a corruption
+    collides in the 16-bit Internet checksum.  The CRC is
+    ordering-constrained (section 2.2), so its value is fixed at
+    stream-build time like the length field; its serial fold cost is
+    charged as one more fused stage in ILP mode and one more pass in
+    separate mode.  Both endpoints must agree on this setting. *)
 
 val mode : t -> mode
 val backend : t -> backend
+
+(** Whether the end-to-end CRC32 trailer is enabled. *)
+val crc32 : t -> bool
+
 val header_style : t -> header_style
 val rx_placement : t -> rx_placement
 val sim : t -> Ilp_memsim.Sim.t
@@ -177,5 +189,6 @@ val app_rx_base : t -> int
     field and prefix words, then the marshalled bytes as a string
     (peeked — the caller's stub does the pure decode).  [Error] when the
     decrypted length field is implausible — the fingerprint of a
-    checksum-colliding corruption that survived TCP's verdict. *)
+    checksum-colliding corruption that survived TCP's verdict — or, with
+    [crc32] enabled, when the recomputed CRC32 trailer does not match. *)
 val read_plaintext : t -> len:int -> (string, string) result

@@ -1,3 +1,4 @@
+module Simclock = Ilp_netsim.Simclock
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
 
@@ -9,11 +10,26 @@ type transfer = {
 
 type failure =
   | Aborted of Socket.abort_reason
+  | Server_busy
   | Protocol of string
 
 let failure_to_string = function
   | Aborted r -> "transport aborted: " ^ Socket.abort_reason_to_string r
+  | Server_busy -> "server busy: shed and retries exhausted"
   | Protocol e -> "protocol failure: " ^ e
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_us : float;
+  max_backoff_us : float;
+  deadline_us : float;
+}
+
+let default_retry =
+  { max_attempts = 8;
+    base_backoff_us = 500.0;
+    max_backoff_us = 50_000.0;
+    deadline_us = 5_000_000.0 }
 
 type request_params = {
   name : string;
@@ -24,6 +40,9 @@ type request_params = {
 
 type t = {
   engine : Engine.t;
+  clock : Simclock.t option;
+  retry : retry_policy;
+  prng : int ref;
   mutable ctrl : Socket.t;
   mutable data : Socket.t;
   mutable transfer : transfer option;
@@ -34,9 +53,85 @@ type t = {
   mutable rejected : bool;
   mutable aborted : Socket.abort_reason option;
   mutable reconnects : int;
+  mutable busy_replies : int;
+  mutable retries : int;
+  mutable attempts : int;  (* attempts since the last fresh request *)
+  mutable first_attempt_at : float option;
+  mutable busy_failed : bool;
 }
 
 let error t fmt = Printf.ksprintf (fun s -> t.errors <- s :: t.errors) fmt
+
+(* A private xorshift for retry jitter, seeded at creation so runs are
+   reproducible. *)
+let prng_next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  st := if x = 0 then 1 else x;
+  !st
+
+let prng_float st = float_of_int (prng_next st land 0xffffff) /. 16777216.0
+
+let issue t p =
+  t.transfer <-
+    Some
+      { expected = p.req_expected;
+        copies = p.req_copies;
+        received = Array.make p.req_copies 0 };
+  t.bytes_received <- 0;
+  t.replies_received <- 0;
+  t.rejected <- false;
+  let body =
+    Messages.request_segments
+      { Messages.file_name = p.name; copies = p.req_copies; max_reply = p.max_reply }
+  in
+  let prepared = Engine.prepare_send_segments t.engine body in
+  Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+
+(* A Busy reply (or a full send window on a retry) backs off and re-issues
+   the request: exponential backoff with jitter, bounded by attempts and a
+   total deadline.  Past either bound the failure becomes typed
+   [Server_busy] — never an untyped stall. *)
+let rec schedule_retry t =
+  match (t.clock, t.last_request) with
+  | None, _ | _, None -> t.busy_failed <- true
+  | Some clock, Some p ->
+      let now = Simclock.now clock in
+      let started =
+        match t.first_attempt_at with
+        | Some s -> s
+        | None ->
+            t.first_attempt_at <- Some now;
+            now
+      in
+      if
+        t.attempts >= t.retry.max_attempts
+        || now -. started >= t.retry.deadline_us
+      then t.busy_failed <- true
+      else begin
+        t.attempts <- t.attempts + 1;
+        t.retries <- t.retries + 1;
+        let backoff =
+          min t.retry.max_backoff_us
+            (t.retry.base_backoff_us
+            *. (2.0 ** float_of_int (t.attempts - 1)))
+        in
+        let jitter = backoff *. 0.5 *. prng_float t.prng in
+        ignore
+          (Simclock.schedule clock ~after:(backoff +. jitter) (fun () ->
+               if (not t.busy_failed) && t.aborted = None then
+                 match issue t p with
+                 | Ok () -> ()
+                 | Error
+                     ( Socket.Window_full | Socket.Buffer_full
+                     | Socket.Not_established ) ->
+                     schedule_retry t
+                 | Error Socket.Message_too_big ->
+                     error t "request does not fit one segment"))
+      end
 
 let handle_reply t ~len =
   t.replies_received <- t.replies_received + 1;
@@ -49,6 +144,9 @@ let handle_reply t ~len =
       | Ok (hdr, data) -> (
           match hdr.Messages.status with
           | Messages.Not_found | Messages.Refused -> t.rejected <- true
+          | Messages.Busy ->
+              t.busy_replies <- t.busy_replies + 1;
+              schedule_retry t
           | Messages.Ok -> (
               match t.transfer with
               | None -> error t "unsolicited reply"
@@ -76,9 +174,12 @@ let wire_sockets t =
   Socket.set_on_abort t.ctrl record;
   Socket.set_on_abort t.data record
 
-let create ~engine ~ctrl ~data =
+let create ?clock ?(retry = default_retry) ?(seed = 1) ~engine ~ctrl ~data () =
   let t =
     { engine;
+      clock;
+      retry;
+      prng = ref (((seed * 0x9e3779b1) lxor 0x2545f491) lor 1);
       ctrl;
       data;
       transfer = None;
@@ -88,22 +189,23 @@ let create ~engine ~ctrl ~data =
       errors = [];
       rejected = false;
       aborted = None;
-      reconnects = 0 }
+      reconnects = 0;
+      busy_replies = 0;
+      retries = 0;
+      attempts = 0;
+      first_attempt_at = None;
+      busy_failed = false }
   in
   wire_sockets t;
   t
 
 let request_file t ~name ~copies ~max_reply ~expected =
-  t.transfer <- Some { expected; copies; received = Array.make copies 0 };
-  t.last_request <- Some { name; req_copies = copies; max_reply; req_expected = expected };
-  t.bytes_received <- 0;
-  t.replies_received <- 0;
-  t.rejected <- false;
-  let body =
-    Messages.request_segments { Messages.file_name = name; copies; max_reply }
-  in
-  let prepared = Engine.prepare_send_segments t.engine body in
-  Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+  let p = { name; req_copies = copies; max_reply; req_expected = expected } in
+  t.last_request <- Some p;
+  t.attempts <- 0;
+  t.first_attempt_at <- None;
+  t.busy_failed <- false;
+  issue t p
 
 let reconnect t ~ctrl ~data =
   t.ctrl <- ctrl;
@@ -123,6 +225,7 @@ let transfer_complete t =
   | None -> false
   | Some tr ->
       (not t.rejected)
+      && (not t.busy_failed)
       && t.errors = []
       && t.aborted = None
       && Array.for_all (fun n -> n = String.length tr.expected) tr.received
@@ -130,11 +233,15 @@ let transfer_complete t =
 let failure t =
   match t.aborted with
   | Some r -> Some (Aborted r)
-  | None -> (
-      match List.rev t.errors with [] -> None | e :: _ -> Some (Protocol e))
+  | None ->
+      if t.busy_failed then Some Server_busy
+      else
+        match List.rev t.errors with [] -> None | e :: _ -> Some (Protocol e)
 
 let bytes_received t = t.bytes_received
 let replies_received t = t.replies_received
 let errors t = List.rev t.errors
 let rejected t = t.rejected
 let reconnects t = t.reconnects
+let busy_replies t = t.busy_replies
+let retries t = t.retries

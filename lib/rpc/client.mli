@@ -6,32 +6,63 @@
     contents.  Reply processing (decrypt/unmarshal, fused or separate) is
     configured on the data socket from the engine's mode at creation.
 
-    Failure is typed: a transport teardown (retry exhaustion on either
-    connection) is an [Aborted] failure carrying the socket's reason, a
-    malformed or mismatching reply a [Protocol] failure — the transfer
-    never silently stalls as a bare [Closed] socket.  After an abort the
+    Failure is typed: a transport teardown (retry exhaustion or a stalled
+    peer window on either connection) is an [Aborted] failure carrying the
+    socket's reason; a server that sheds the request past the client's
+    retry budget is [Server_busy]; a malformed or mismatching reply a
+    [Protocol] failure — the transfer never silently stalls as a bare
+    [Closed] socket.
+
+    A [Busy] reply from the server is not a terminal failure: given a
+    clock, the client re-issues the request after a jittered exponential
+    backoff, up to [max_attempts] and a total [deadline_us]; past either
+    bound the failure becomes [Server_busy].  After an abort the
     application may hand the client a freshly connected socket pair with
     {!reconnect}, which re-issues the outstanding request and restarts the
     transfer. *)
 
 type t
 
-(** Why the transfer failed: the transport gave up, or the reply stream
-    itself was unusable. *)
+(** Why the transfer failed: the transport gave up, the server shed the
+    request past the retry budget, or the reply stream itself was
+    unusable. *)
 type failure =
   | Aborted of Ilp_tcp.Socket.abort_reason
+  | Server_busy
   | Protocol of string
 
 val failure_to_string : failure -> string
 
+(** Backoff policy for retrying a [Busy]-shed request: attempt [n]
+    (1-based) waits [min max_backoff_us (base_backoff_us * 2^(n-1))] plus
+    a jitter of up to half that, drawn from the client's own seeded
+    stream. *)
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_us : float;
+  max_backoff_us : float;
+  deadline_us : float;  (** total time budget across all retries *)
+}
+
+(** 8 attempts, 500 us doubling to a 50 ms ceiling, 5 s total. *)
+val default_retry : retry_policy
+
+(** [create ~engine ~ctrl ~data ()] — without [clock], a [Busy] reply is
+    an immediate [Server_busy] failure (no timer to retry on); with it,
+    retries follow [retry].  [seed] (default 1) drives the jitter. *)
 val create :
+  ?clock:Ilp_netsim.Simclock.t ->
+  ?retry:retry_policy ->
+  ?seed:int ->
   engine:Ilp_core.Engine.t ->
   ctrl:Ilp_tcp.Socket.t ->
   data:Ilp_tcp.Socket.t ->
+  unit ->
   t
 
 (** [request_file t ~name ~copies ~max_reply ~expected] sends the request;
-    [expected] is the file's true contents, used to verify the replies. *)
+    [expected] is the file's true contents, used to verify the replies.
+    Resets the retry budget. *)
 val request_file :
   t ->
   name:string ->
@@ -50,12 +81,13 @@ val reconnect :
   data:Ilp_tcp.Socket.t ->
   (unit, Ilp_tcp.Socket.send_error) result
 
-(** All [copies] fully received with every byte verified (and no abort or
-    error recorded). *)
+(** All [copies] fully received with every byte verified (and no abort,
+    shed exhaustion or error recorded). *)
 val transfer_complete : t -> bool
 
 (** The typed failure, if any: a recorded transport abort wins over
-    protocol errors; [None] while the transfer is clean. *)
+    [Server_busy], which wins over protocol errors; [None] while the
+    transfer is clean (including while a backoff retry is pending). *)
 val failure : t -> failure option
 
 (** Payload bytes received and verified so far. *)
@@ -71,3 +103,10 @@ val rejected : t -> bool
 
 (** Times {!reconnect} was invoked. *)
 val reconnects : t -> int
+
+(** [Busy] replies received (each either triggers a backoff retry or, past
+    the budget, the [Server_busy] failure). *)
+val busy_replies : t -> int
+
+(** Backoff retries scheduled so far. *)
+val retries : t -> int

@@ -2,7 +2,7 @@ open Ilp_codec
 
 type request = { file_name : string; copies : int; max_reply : int }
 
-type status = Ok | Not_found | Refused
+type status = Ok | Not_found | Refused | Busy
 
 type reply_header = {
   status : status;
@@ -15,7 +15,7 @@ type reply_header = {
 let request_ty : Asn1.ty =
   Seq [ ("fileName", Str); ("copies", Int); ("maxReply", Int) ]
 
-let status_names = [| "ok"; "notFound"; "refused" |]
+let status_names = [| "ok"; "notFound"; "refused"; "busy" |]
 
 let reply_ty : Asn1.ty =
   Seq
@@ -28,12 +28,13 @@ let reply_ty : Asn1.ty =
 let request_stub = Stub.compile request_ty
 let reply_stub = Stub.compile reply_ty
 
-let status_to_enum = function Ok -> 0 | Not_found -> 1 | Refused -> 2
+let status_to_enum = function Ok -> 0 | Not_found -> 1 | Refused -> 2 | Busy -> 3
 
 let status_of_enum = function
   | 0 -> Some Ok
   | 1 -> Some Not_found
   | 2 -> Some Refused
+  | 3 -> Some Busy
   | _ -> None
 
 let encode_request r =

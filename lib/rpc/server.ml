@@ -7,17 +7,80 @@ type file = { addr : int; len : int }
 
 type segment = { copy : int; offset : int; seg_len : int; file : file }
 
+(* A queued reply item: either a data segment of an admitted request
+   (tagged with its request id and admission time, so stale requests can
+   be shed at drain time), or a small status-only reply.  Status items
+   bypass the byte budgets — they are the shedding mechanism itself and
+   must always be deliverable. *)
+type item =
+  | Data of { seg : segment; req_id : int; enqueued_at : float }
+  | Status of Messages.status
+
+type shed_reason =
+  | Too_many_connections
+  | Conn_queue_full
+  | Server_queue_full
+  | Request_too_old
+  | Oversized_request
+
+let shed_reasons =
+  [ Too_many_connections; Conn_queue_full; Server_queue_full; Request_too_old;
+    Oversized_request ]
+
+let shed_reason_index = function
+  | Too_many_connections -> 0
+  | Conn_queue_full -> 1
+  | Server_queue_full -> 2
+  | Request_too_old -> 3
+  | Oversized_request -> 4
+
+let shed_reason_to_string = function
+  | Too_many_connections -> "too_many_connections"
+  | Conn_queue_full -> "conn_queue_full"
+  | Server_queue_full -> "server_queue_full"
+  | Request_too_old -> "request_too_old"
+  | Oversized_request -> "oversized_request"
+
+type limits = {
+  max_connections : int;
+  max_conn_queue_bytes : int;
+  max_total_queue_bytes : int;
+  max_request_age_us : float;
+}
+
+let default_limits =
+  { max_connections = 64;
+    max_conn_queue_bytes = 256 * 1024;
+    max_total_queue_bytes = 1024 * 1024;
+    max_request_age_us = 60_000_000.0 }
+
+type conn = {
+  id : int;
+  ctrl : Socket.t;
+  data : Socket.t;
+  queue : item Queue.t;
+  admitted : bool;
+  mutable queued_bytes : int;
+  mutable draining : bool;
+  mutable dead : bool;
+}
+
 type t = {
   clock : Simclock.t;
   engine : Engine.t;
-  ctrl : Socket.t;
-  data : Socket.t;
   retry_us : float;
+  limits : limits;
   files : (string, file) Hashtbl.t;
-  queue : segment Queue.t;
-  mutable draining : bool;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn_id : int;
+  mutable next_req_id : int;
+  mutable live_connections : int;
+  mutable total_queued_bytes : int;
+  mutable peak_queued_bytes : int;
+  shed_ledger : int array;
   mutable replies_sent : int;
   mutable replies_abandoned : int;
+  mutable statuses_abandoned : int;
   mutable requests_received : int;
   mutable bad_requests : int;
   mutable probe_before : unit -> unit;
@@ -26,71 +89,130 @@ type t = {
 
 let machine t = (Engine.sim t.engine).Ilp_memsim.Sim.machine
 
-let send_segment t seg =
-  (* The ILP-extended stub lays the reply out: generated header fields,
-     the file bytes left in place for the integrated loop. *)
-  let body =
-    Messages.reply_segments
-      { Messages.status = Messages.Ok;
-        copy = seg.copy;
-        file_offset = seg.offset;
-        total_len = seg.file.len;
-        data_len = seg.seg_len }
-      ~payload_addr:(seg.file.addr + seg.offset)
-  in
+let count_shed t reason =
+  t.shed_ledger.(shed_reason_index reason) <-
+    t.shed_ledger.(shed_reason_index reason) + 1
+
+let charge_queue t conn bytes =
+  conn.queued_bytes <- conn.queued_bytes + bytes;
+  t.total_queued_bytes <- t.total_queued_bytes + bytes;
+  if t.total_queued_bytes > t.peak_queued_bytes then
+    t.peak_queued_bytes <- t.total_queued_bytes
+
+let release_queue t conn bytes =
+  conn.queued_bytes <- conn.queued_bytes - bytes;
+  t.total_queued_bytes <- t.total_queued_bytes - bytes
+
+let item_bytes = function Data { seg; _ } -> seg.seg_len | Status _ -> 0
+
+(* A connection whose sockets died (abort or close) will never accept its
+   queued replies: abandon them, free the admission slot, and stop the
+   drain loop instead of rescheduling forever. *)
+let mark_dead t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    if conn.admitted then t.live_connections <- t.live_connections - 1;
+    Queue.iter
+      (fun item ->
+        release_queue t conn (item_bytes item);
+        match item with
+        | Data _ -> t.replies_abandoned <- t.replies_abandoned + 1
+        | Status _ -> t.statuses_abandoned <- t.statuses_abandoned + 1)
+      conn.queue;
+    Queue.clear conn.queue;
+    conn.draining <- false
+  end
+
+let send_reply t conn hdr ~payload_addr =
+  let body = Messages.reply_segments hdr ~payload_addr in
   let prepared = Engine.prepare_send_segments t.engine body in
   t.probe_before ();
   let before = Machine.micros (machine t) in
-  ignore (Socket.take_syscopy_send_us t.data);
-  match Socket.send_message t.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill with
+  ignore (Socket.take_syscopy_send_us conn.data);
+  match
+    Socket.send_message conn.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+  with
   | Ok () ->
       let elapsed_us = Machine.micros (machine t) -. before in
-      let syscopy_us = Socket.take_syscopy_send_us t.data in
+      let syscopy_us = Socket.take_syscopy_send_us conn.data in
       t.replies_sent <- t.replies_sent + 1;
       t.probe_after ~wire_len:prepared.Engine.len ~elapsed_us ~syscopy_us;
       `Sent
   | Error (Socket.Buffer_full | Socket.Window_full | Socket.Not_established) ->
       `Backpressure
   | Error Socket.Message_too_big ->
-      (* Configuration error: drop the segment rather than loop forever. *)
+      (* Configuration error: drop the reply rather than loop forever. *)
       `Drop
 
-let rec drain t =
-  (* A dead data connection (aborted by retry exhaustion, or closed) will
-     never accept these replies: abandon the queue instead of rescheduling
-     forever, which would livelock the simulation. *)
-  if Socket.failure t.data <> None || Socket.state t.data = Socket.Closed then begin
-    t.replies_abandoned <- t.replies_abandoned + Queue.length t.queue;
-    Queue.clear t.queue;
-    t.draining <- false
-  end
+let send_segment t conn seg =
+  send_reply t conn
+    { Messages.status = Messages.Ok;
+      copy = seg.copy;
+      file_offset = seg.offset;
+      total_len = seg.file.len;
+      data_len = seg.seg_len }
+    ~payload_addr:(seg.file.addr + seg.offset)
+
+let send_status t conn status =
+  send_reply t conn
+    { Messages.status; copy = 0; file_offset = 0; total_len = 0; data_len = 0 }
+    ~payload_addr:0
+
+(* Drop every remaining data segment of [req_id] from the queue (it is
+   being shed as a whole) and answer with one Busy instead. *)
+let shed_request t conn ~req_id =
+  let keep = Queue.create () in
+  Queue.iter
+    (fun item ->
+      match item with
+      | Data d when d.req_id = req_id -> release_queue t conn d.seg.seg_len
+      | _ -> Queue.add item keep)
+    conn.queue;
+  Queue.clear conn.queue;
+  Queue.transfer keep conn.queue;
+  Queue.add (Status Messages.Busy) conn.queue
+
+let rec drain t conn =
+  if Socket.failure conn.data <> None || Socket.state conn.data = Socket.Closed
+  then mark_dead t conn
   else
-    match Queue.peek_opt t.queue with
-    | None -> t.draining <- false
-    | Some seg -> (
-        match send_segment t seg with
+    match Queue.peek_opt conn.queue with
+    | None -> conn.draining <- false
+    | Some (Status st) -> (
+        match send_status t conn st with
         | `Sent | `Drop ->
-            ignore (Queue.pop t.queue);
-            drain t
-        | `Backpressure ->
-            t.draining <- true;
-            ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t)))
+            ignore (Queue.pop conn.queue);
+            drain t conn
+        | `Backpressure -> reschedule t conn)
+    | Some (Data { seg; req_id; enqueued_at }) ->
+        if
+          Simclock.now t.clock -. enqueued_at > t.limits.max_request_age_us
+        then begin
+          count_shed t Request_too_old;
+          shed_request t conn ~req_id;
+          drain t conn
+        end
+        else (
+          match send_segment t conn seg with
+          | `Sent | `Drop ->
+              ignore (Queue.pop conn.queue);
+              release_queue t conn seg.seg_len;
+              drain t conn
+          | `Backpressure -> reschedule t conn)
 
-let send_error_reply t =
-  (* A single Not_found reply with no data. *)
-  let body =
-    Messages.reply_segments
-      { Messages.status = Messages.Not_found;
-        copy = 0;
-        file_offset = 0;
-        total_len = 0;
-        data_len = 0 }
-      ~payload_addr:0
-  in
-  let prepared = Engine.prepare_send_segments t.engine body in
-  ignore (Socket.send_message t.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill)
+and reschedule t conn =
+  conn.draining <- true;
+  ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t conn))
 
-let handle_request t ~len =
+let kick t conn = if not conn.draining then drain t conn
+
+let enqueue_status t conn status =
+  if not conn.dead then begin
+    Queue.add (Status status) conn.queue;
+    kick t conn
+  end
+
+let handle_request t conn ~len =
   t.requests_received <- t.requests_received + 1;
   match
     let length_at_end = Engine.header_style t.engine = Engine.Trailer in
@@ -99,52 +221,122 @@ let handle_request t ~len =
   with
   | Error _ ->
       t.bad_requests <- t.bad_requests + 1;
-      send_error_reply t
-  | Ok req -> (
-      match Hashtbl.find_opt t.files req.Messages.file_name with
-      | None -> send_error_reply t
-      | Some file ->
-          let max_reply = max 16 req.Messages.max_reply in
-          for copy = 0 to req.Messages.copies - 1 do
-            let offset = ref 0 in
-            while !offset < file.len do
-              let seg_len = min max_reply (file.len - !offset) in
-              Queue.add { copy; offset = !offset; seg_len; file } t.queue;
-              offset := !offset + seg_len
-            done
-          done;
-          if not t.draining then drain t)
+      enqueue_status t conn Messages.Not_found
+  | Ok req ->
+      if not conn.admitted then begin
+        count_shed t Too_many_connections;
+        enqueue_status t conn Messages.Busy
+      end
+      else (
+        match Hashtbl.find_opt t.files req.Messages.file_name with
+        | None -> enqueue_status t conn Messages.Not_found
+        | Some file ->
+            let request_bytes = req.Messages.copies * file.len in
+            if request_bytes > t.limits.max_conn_queue_bytes then begin
+              (* Could never fit: permanent refusal, not a retryable shed. *)
+              count_shed t Oversized_request;
+              enqueue_status t conn Messages.Refused
+            end
+            else if
+              conn.queued_bytes + request_bytes > t.limits.max_conn_queue_bytes
+            then begin
+              count_shed t Conn_queue_full;
+              enqueue_status t conn Messages.Busy
+            end
+            else if
+              t.total_queued_bytes + request_bytes > t.limits.max_total_queue_bytes
+            then begin
+              count_shed t Server_queue_full;
+              enqueue_status t conn Messages.Busy
+            end
+            else begin
+              let req_id = t.next_req_id in
+              t.next_req_id <- t.next_req_id + 1;
+              let enqueued_at = Simclock.now t.clock in
+              let max_reply = max 16 req.Messages.max_reply in
+              for copy = 0 to req.Messages.copies - 1 do
+                let offset = ref 0 in
+                while !offset < file.len do
+                  let seg_len = min max_reply (file.len - !offset) in
+                  Queue.add
+                    (Data
+                       { seg = { copy; offset = !offset; seg_len; file };
+                         req_id;
+                         enqueued_at })
+                    conn.queue;
+                  charge_queue t conn seg_len;
+                  offset := !offset + seg_len
+                done
+              done;
+              kick t conn
+            end)
 
-let create ~clock ~engine ~ctrl ~data ?(retry_us = 150.0) () =
-  let t =
-    { clock;
-      engine;
-      ctrl;
-      data;
-      retry_us;
-      files = Hashtbl.create 4;
-      queue = Queue.create ();
-      draining = false;
-      replies_sent = 0;
-      replies_abandoned = 0;
-      requests_received = 0;
-      bad_requests = 0;
-      probe_before = (fun () -> ());
-      probe_after = (fun ~wire_len:_ ~elapsed_us:_ ~syscopy_us:_ -> ()) }
+let create ~clock ~engine ?(retry_us = 150.0) ?(limits = default_limits) () =
+  { clock;
+    engine;
+    retry_us;
+    limits;
+    files = Hashtbl.create 4;
+    conns = Hashtbl.create 8;
+    next_conn_id = 0;
+    next_req_id = 0;
+    live_connections = 0;
+    total_queued_bytes = 0;
+    peak_queued_bytes = 0;
+    shed_ledger = Array.make (List.length shed_reasons) 0;
+    replies_sent = 0;
+    replies_abandoned = 0;
+    statuses_abandoned = 0;
+    requests_received = 0;
+    bad_requests = 0;
+    probe_before = (fun () -> ());
+    probe_after = (fun ~wire_len:_ ~elapsed_us:_ ~syscopy_us:_ -> ()) }
+
+let attach t ~ctrl ~data =
+  let id = t.next_conn_id in
+  t.next_conn_id <- id + 1;
+  let admitted = t.live_connections < t.limits.max_connections in
+  let conn =
+    { id; ctrl; data; queue = Queue.create (); admitted;
+      queued_bytes = 0; draining = false; dead = false }
   in
+  if admitted then t.live_connections <- t.live_connections + 1;
+  Hashtbl.replace t.conns id conn;
   (* Requests arrive through the same manipulation stack as any message. *)
-  (match Engine.rx_style engine with
+  (match Engine.rx_style t.engine with
   | Engine.Rx_integrated_style f -> Socket.set_rx_processing ctrl (Socket.Rx_integrated f)
   | Engine.Rx_deferred_style f -> Socket.set_rx_processing ctrl (Socket.Rx_separate f));
-  Socket.set_on_message ctrl (fun ~src:_ ~len -> handle_request t ~len);
-  t
+  Socket.set_on_message ctrl (fun ~src:_ ~len -> handle_request t conn ~len);
+  (* Either socket dying ends the connection: abandon its queue and free
+     the admission slot so a waiting client can be served. *)
+  Socket.set_on_abort ctrl (fun _ -> mark_dead t conn);
+  Socket.set_on_abort data (fun _ -> mark_dead t conn);
+  id
+
+let detach t ~id =
+  match Hashtbl.find_opt t.conns id with
+  | None -> ()
+  | Some conn ->
+      mark_dead t conn;
+      Hashtbl.remove t.conns id
 
 let add_file t ~name ~addr ~len = Hashtbl.replace t.files name { addr; len }
-let pending_replies t = Queue.length t.queue
+
+let pending_replies t =
+  Hashtbl.fold (fun _ conn acc -> acc + Queue.length conn.queue) t.conns 0
+
+let connections t = t.live_connections
+let queued_bytes t = t.total_queued_bytes
+let peak_queued_bytes t = t.peak_queued_bytes
 let replies_sent t = t.replies_sent
 let replies_abandoned t = t.replies_abandoned
+let statuses_abandoned t = t.statuses_abandoned
 let requests_received t = t.requests_received
 let bad_requests t = t.bad_requests
+let shed_count t reason = t.shed_ledger.(shed_reason_index reason)
+let sheds t = List.map (fun r -> (r, shed_count t r)) shed_reasons
+let sheds_total t = Array.fold_left ( + ) 0 t.shed_ledger
+
 let set_reply_probe t ~before ~after =
   t.probe_before <- before;
   t.probe_after <- after

@@ -1,47 +1,119 @@
 (** The file-transfer server.
 
-    Listens for requests on a control connection, segments the requested
-    file into reply messages of at most [max_reply] payload bytes (one
-    TSDU = one TPDU: each reply is one TCP segment) and streams them over
-    the data connection, respecting TCP's window and ring-buffer
-    back-pressure by retrying on the simulated clock — the paper's
-    "if there is not enough TCP buffer, all data manipulations are delayed
-    until there is enough buffer space available again". *)
+    Serves many concurrent clients: each {!attach} registers one
+    ctrl/data connection pair under its own connection id, with its own
+    reply queue and drain loop on the simulated clock — a slow or dead
+    client stalls only its own queue, never its neighbours'.
+
+    Each admitted request is segmented into reply messages of at most
+    [max_reply] payload bytes (one TSDU = one TPDU: each reply is one TCP
+    segment) and streamed over that connection's data socket, respecting
+    TCP's window and ring-buffer back-pressure by retrying on the clock —
+    the paper's "if there is not enough TCP buffer, all data manipulations
+    are delayed until there is enough buffer space available again".
+
+    {2 Admission control and load shedding}
+
+    Back-pressure alone lets one greedy or stalled client balloon the
+    server, so budgets ({!limits}) bound the damage: concurrent
+    connections, queued reply bytes per connection and across the server,
+    and request age at drain time.  A request that would exceed a budget
+    is {e shed}: answered with a small typed [Busy] reply (or [Refused]
+    when it could never fit), counted in a per-reason ledger ({!sheds}),
+    and never queued — so queue growth is bounded by construction and the
+    client learns to back off rather than time out. *)
 
 type t
 
-(** [create ~clock ~engine ~ctrl ~data] wires a server: [ctrl] is the
-    inbound request connection (its receive processing is configured from
-    [engine]'s mode), [data] the outbound reply connection.
-    [retry_us] (default 150) is the back-pressure retry interval. *)
+(** Why a request was shed rather than served. *)
+type shed_reason =
+  | Too_many_connections  (** arrived on an unadmitted connection *)
+  | Conn_queue_full  (** would exceed this connection's queued-bytes budget *)
+  | Server_queue_full  (** would exceed the server-wide queued-bytes budget *)
+  | Request_too_old
+      (** still queued past [max_request_age_us]; its remaining segments
+          are dropped and one [Busy] sent instead *)
+  | Oversized_request
+      (** could never fit the per-connection budget; answered [Refused]
+          (permanent), not [Busy] *)
+
+val shed_reasons : shed_reason list
+val shed_reason_to_string : shed_reason -> string
+
+type limits = {
+  max_connections : int;  (** concurrent admitted connection pairs *)
+  max_conn_queue_bytes : int;  (** queued reply payload bytes per connection *)
+  max_total_queue_bytes : int;  (** queued reply payload bytes server-wide *)
+  max_request_age_us : float;  (** age at which queued segments are shed *)
+}
+
+(** 64 connections, 256 KiB per connection, 1 MiB total, 60 s age. *)
+val default_limits : limits
+
+(** [create ~clock ~engine ()] builds a server with no connections;
+    [retry_us] (default 150) is the per-connection back-pressure retry
+    interval. *)
 val create :
   clock:Ilp_netsim.Simclock.t ->
   engine:Ilp_core.Engine.t ->
-  ctrl:Ilp_tcp.Socket.t ->
-  data:Ilp_tcp.Socket.t ->
   ?retry_us:float ->
+  ?limits:limits ->
   unit ->
   t
+
+(** [attach t ~ctrl ~data] registers a connection pair and returns its
+    connection id: [ctrl] is the inbound request connection (its receive
+    processing is configured from the engine's mode), [data] the outbound
+    reply connection.  Beyond [max_connections] the pair is still wired
+    but unadmitted: every request on it is shed with [Busy] until a slot
+    frees up (a live connection dies or is {!detach}ed).  Both sockets'
+    abort callbacks are claimed: either one dying abandons the
+    connection's queue and frees its slot. *)
+val attach : t -> ctrl:Ilp_tcp.Socket.t -> data:Ilp_tcp.Socket.t -> int
+
+(** Remove a connection, abandoning anything still queued for it. *)
+val detach : t -> id:int -> unit
 
 (** [add_file t ~name ~addr ~len] registers a file whose contents live in
     simulated memory at [addr]. *)
 val add_file : t -> name:string -> addr:int -> len:int -> unit
 
-(** Replies queued but not yet accepted by TCP. *)
+(** Replies queued but not yet accepted by TCP, across all connections. *)
 val pending_replies : t -> int
+
+(** Live admitted connections. *)
+val connections : t -> int
+
+(** Reply payload bytes currently queued across all connections. *)
+val queued_bytes : t -> int
+
+(** High-water mark of {!queued_bytes} — must never exceed
+    [max_total_queue_bytes] if the budgets hold. *)
+val peak_queued_bytes : t -> int
 
 val replies_sent : t -> int
 
-(** Replies discarded because the data connection died (aborted or
-    closed) before they could be sent; the drain loop stops instead of
-    retrying forever. *)
+(** Replies discarded because their connection died (aborted or closed)
+    before they could be sent; the drain loop stops instead of retrying
+    forever. *)
 val replies_abandoned : t -> int
+
+(** Status-only replies (Busy, Refused, Not_found) discarded the same
+    way — a shed whose typed answer never reached the client because the
+    connection itself died first. *)
+val statuses_abandoned : t -> int
 
 val requests_received : t -> int
 
 (** Requests whose plaintext could not be read or decoded (answered with
     an error reply, counted, never raised). *)
 val bad_requests : t -> int
+
+(** The per-reason shed ledger (every reason, in {!shed_reasons} order). *)
+val sheds : t -> (shed_reason * int) list
+
+val shed_count : t -> shed_reason -> int
+val sheds_total : t -> int
 
 (** [set_reply_probe t ~before ~after] instruments the send path:
     [before] fires just before each send attempt (snapshot point for

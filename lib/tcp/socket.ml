@@ -41,6 +41,9 @@ type config = {
   ack_delay_us : float;
   dupack_threshold : int;
   congestion_control : bool;
+  persist_initial_us : float;
+  persist_max_us : float;
+  stall_deadline_us : float;
 }
 
 let default_config =
@@ -56,7 +59,10 @@ let default_config =
     blit_unit = 4;
     ack_delay_us = 0.0;
     dupack_threshold = 3;
-    congestion_control = true }
+    congestion_control = true;
+    persist_initial_us = 5_000.0;
+    persist_max_us = 320_000.0;
+    stall_deadline_us = 3_000_000.0 }
 
 type rx_processing =
   | Rx_raw
@@ -84,12 +90,17 @@ let drop_reason_to_string = function
   | Bad_checksum -> "bad_checksum"
   | Out_of_window -> "out_of_window"
 
-type abort_reason = Retry_exhausted | Handshake_failed | Close_timeout
+type abort_reason =
+  | Retry_exhausted
+  | Handshake_failed
+  | Close_timeout
+  | Peer_stalled
 
 let abort_reason_to_string = function
   | Retry_exhausted -> "retransmission retries exhausted"
   | Handshake_failed -> "handshake retries exhausted"
   | Close_timeout -> "close (FIN) retries exhausted"
+  | Peer_stalled -> "peer window stalled past the persist deadline"
 
 type tx_seg = {
   seq : int;
@@ -111,6 +122,7 @@ type stats = {
   acks_sent : int;
   ip_errors : int;
   fast_retransmits : int;
+  persist_probes : int;
 }
 
 let ooo_slots = 8
@@ -138,6 +150,7 @@ type t = {
   mutable snd_nxt : int;
   mutable rcv_nxt : int;
   mutable peer_window : int;
+  mutable adv_window : int;  (* window this endpoint currently advertises *)
   txq : tx_seg Queue.t;
   mutable rto_timer : Simclock.timer option;
   rto : Rto.t;
@@ -147,6 +160,15 @@ type t = {
   mutable cwnd : int;
   mutable ssthresh : int;
   mutable delayed_ack : Simclock.timer option;
+  (* Zero-window persistence: probe a peer that advertises no (or too
+     little) space, with exponential backoff, until the window reopens or
+     the stall deadline aborts the connection. *)
+  mutable persist_timer : Simclock.timer option;
+  mutable persist_shifts : int;
+  mutable persist_want : int;  (* message length awaiting window space *)
+  mutable stalled_since : float option;
+  mutable persist_probes_n : int;
+  probe_buf : int;  (* one already-acknowledged garbage byte to probe with *)
   mutable pending_close : bool;
   mutable ctl_timer : Simclock.timer option;  (* SYN / FIN retransmission *)
   mutable ctl_retries : int;
@@ -177,6 +199,7 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
   let kernel_rx = Alloc.alloc sim.alloc ~align:64 seg_max in
   let rx_staging = Alloc.alloc sim.alloc ~align:64 seg_max in
   let ooo_base = Alloc.alloc sim.alloc ~align:64 (ooo_slots * seg_max) in
+  let probe_buf = Alloc.alloc sim.alloc ~align:8 8 in
   let code_ctrl = Code.alloc sim.code ~len:2048 in
   let code_kernel = Code.alloc sim.code ~len:3072 in
   { sim;
@@ -201,6 +224,7 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     snd_nxt = 0;
     rcv_nxt = 0;
     peer_window = 0;
+    adv_window = cfg.recv_window;
     txq = Queue.create ();
     rto_timer = None;
     rto = Rto.create ~initial_us:cfg.rto_initial_us ~min_us:cfg.rto_min_us
@@ -211,6 +235,12 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     cwnd = 2 * cfg.mss;
     ssthresh = 64 * 1024;
     delayed_ack = None;
+    persist_timer = None;
+    persist_shifts = 0;
+    persist_want = 0;
+    stalled_since = None;
+    persist_probes_n = 0;
+    probe_buf;
     pending_close = false;
     ctl_timer = None;
     ctl_retries = 0;
@@ -245,6 +275,21 @@ let drops_total t = Array.fold_left ( + ) 0 t.drop_ledger
 let bytes_in_flight t = Queue.fold (fun acc seg -> acc + seg.len) 0 t.txq
 let send_space t = Ring.available t.ring
 let congestion_window t = t.cwnd
+let peer_window t = t.peer_window
+let advertised_window t = t.adv_window
+
+(* Usable window space, clamped to >= 0: a peer may legally shrink its
+   advertised window below the bytes already in flight, and the difference
+   must never go negative (it would otherwise invite a negative-length
+   segment or an exception downstream). *)
+let send_window_space t =
+  let cap =
+    min t.peer_window (if t.cfg.congestion_control then t.cwnd else max_int)
+  in
+  max 0 (cap - bytes_in_flight t)
+
+let set_advertised_window t w =
+  t.adv_window <- max 0 (min w t.cfg.recv_window)
 
 (* RFC 5681-style reactions, simplified for a message-oriented sender. *)
 let on_congestion_loss t ~timeout =
@@ -270,7 +315,8 @@ let stats t =
     duplicates = t.duplicates;
     acks_sent = t.acks_sent;
     ip_errors = t.ip_errors;
-    fast_retransmits = t.fast_retransmits }
+    fast_retransmits = t.fast_retransmits;
+    persist_probes = t.persist_probes_n }
 
 let take_syscopy_send_us t =
   let v = t.syscopy_send_cycles_us in
@@ -284,7 +330,7 @@ let machine t = t.sim.Sim.machine
 let mem t = t.sim.Sim.mem
 
 let base_header t ~flags =
-  Tcp_header.make ~seq:t.snd_nxt ~ack:t.rcv_nxt ~flags ~window:t.cfg.recv_window
+  Tcp_header.make ~seq:t.snd_nxt ~ack:t.rcv_nxt ~flags ~window:t.adv_window
     ~src_port:t.local_port ~dst_port:t.remote_port ()
 
 (* Write the finished header to the user header area, system-copy header
@@ -369,6 +415,8 @@ let abort t reason =
   t.ctl_timer <- None;
   Option.iter Simclock.cancel t.delayed_ack;
   t.delayed_ack <- None;
+  Option.iter Simclock.cancel t.persist_timer;
+  t.persist_timer <- None;
   t.on_abort reason
 
 (* Control-segment (SYN / SYN-ACK / FIN) retransmission. *)
@@ -400,6 +448,61 @@ let cancel_ctl_timer t =
   Option.iter Simclock.cancel t.ctl_timer;
   t.ctl_timer <- None;
   t.ctl_retries <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Zero-window persistence *)
+
+let cancel_persist t =
+  Option.iter Simclock.cancel t.persist_timer;
+  t.persist_timer <- None;
+  t.persist_shifts <- 0;
+  t.persist_want <- 0;
+  t.stalled_since <- None
+
+(* A window probe: one already-acknowledged byte at [snd_nxt - 1].  The
+   receiver's duplicate path acknowledges it immediately, and that ack
+   carries the peer's current window — so a reopened window is discovered
+   even if the peer's window-update ack was lost. *)
+let send_probe t =
+  t.persist_probes_n <- t.persist_probes_n + 1;
+  let h = base_header t ~flags:Tcp_header.ack_flag in
+  let h = { h with seq = t.snd_nxt - 1 } in
+  let payload_acc =
+    Ilp_checksum.Internet.checksum_mem (mem t) ~pos:t.probe_buf ~len:1
+      ~acc:Ilp_checksum.Internet.empty
+  in
+  let ck = Tcp_header.checksum h ~payload_acc ~payload_len:1 in
+  transmit t { h with checksum = ck } ~payload:(Some (t.probe_buf, 1))
+
+let persist_interval_us t =
+  min t.cfg.persist_max_us
+    (t.cfg.persist_initial_us *. (2.0 ** float_of_int t.persist_shifts))
+
+let rec arm_persist t ~want =
+  t.persist_want <- want;
+  let stall_start =
+    match t.stalled_since with
+    | Some s -> s
+    | None ->
+        let now = Simclock.now t.clock in
+        t.stalled_since <- Some now;
+        now
+  in
+  Option.iter Simclock.cancel t.persist_timer;
+  let timer =
+    Simclock.schedule t.clock ~after:(persist_interval_us t) (fun () ->
+        t.persist_timer <- None;
+        if t.st = Established || t.st = Close_wait then begin
+          if Simclock.now t.clock -. stall_start >= t.cfg.stall_deadline_us then
+            abort t Peer_stalled
+          else begin
+            send_probe t;
+            t.persist_shifts <- t.persist_shifts + 1;
+            arm_persist t ~want
+          end
+        end)
+  in
+  t.persist_timer <- Some timer
 
 (* ------------------------------------------------------------------ *)
 (* Retransmission of data segments *)
@@ -457,14 +560,18 @@ let maybe_send_fin t =
 let send_message t ~len ~fill =
   if t.st <> Established then Error Not_established
   else if len > t.cfg.mss then Error Message_too_big
-  else if
-    len + bytes_in_flight t
-    > min t.peer_window (if t.cfg.congestion_control then t.cwnd else max_int)
-  then Error Window_full
+  else if len > send_window_space t then begin
+    (* No usable window.  If nothing is in flight there is no RTO to keep
+       the connection moving, so start (or keep) the persist machinery;
+       with data in flight, incoming acks or the RTO drive recovery. *)
+    if Queue.is_empty t.txq && t.persist_timer = None then arm_persist t ~want:len;
+    Error Window_full
+  end
   else
     match Ring.reserve t.ring len with
     | None -> Error Buffer_full
     | Some addr ->
+        cancel_persist t;
         (* tcp_send: the caller's fill writes the payload into the ring
            (either a plain copy or the fused ILP loop). *)
         let acc_opt = fill (mem t) ~dst:addr in
@@ -620,6 +727,12 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
 
 let handle_ack t (h : Tcp_header.t) ~payload_len =
   t.peer_window <- h.window;
+  (* A window update (usually the ack to a persist probe) that makes the
+     stalled message sendable ends the persist cycle; the application's
+     retry then finds the space.  A probe ack still reporting too little
+     space leaves the backoff running. *)
+  if t.persist_timer <> None && send_window_space t >= t.persist_want then
+    cancel_persist t;
   (* A pure duplicate acknowledgement signals a lost segment ahead of
      still-arriving data: after [dupack_threshold] of them, retransmit the
      oldest unacknowledged segment without waiting for the RTO (fast

@@ -65,6 +65,12 @@ type config = {
           recovery on the sender (on by default; the paper's loopback
           experiments are never congestion-limited, but a production
           stack needs it) *)
+  persist_initial_us : float;
+      (** first zero-window persist probe interval; doubles per probe *)
+  persist_max_us : float;  (** persist backoff ceiling *)
+  stall_deadline_us : float;
+      (** a peer window stalled (too small for the pending message) for
+          this long aborts the connection with {!Peer_stalled} *)
 }
 
 val default_config : config
@@ -103,8 +109,14 @@ val drop_reasons : drop_reason list
 val drop_reason_to_string : drop_reason -> string
 
 (** Why the connection was torn down by the stack rather than by a clean
-    close: data, handshake or FIN retransmissions hit [max_retries]. *)
-type abort_reason = Retry_exhausted | Handshake_failed | Close_timeout
+    close: data, handshake or FIN retransmissions hit [max_retries], or
+    the peer's advertised window stayed too small for the pending message
+    past [stall_deadline_us] ([Peer_stalled]). *)
+type abort_reason =
+  | Retry_exhausted
+  | Handshake_failed
+  | Close_timeout
+  | Peer_stalled
 
 val abort_reason_to_string : abort_reason -> string
 
@@ -172,6 +184,23 @@ val send_space : t -> int
 (** Current congestion window in bytes. *)
 val congestion_window : t -> int
 
+(** The window most recently advertised by the peer. *)
+val peer_window : t -> int
+
+(** The window this endpoint currently advertises. *)
+val advertised_window : t -> int
+
+(** Usable send window right now: [min peer_window cwnd - bytes_in_flight],
+    clamped to >= 0 (a peer may legally shrink its window below what is
+    already in flight). *)
+val send_window_space : t -> int
+
+(** [set_advertised_window t w] throttles what this endpoint advertises
+    (clamped to [0, recv_window]).  Models a slow or stopped reader: a
+    window of 0 makes a conforming sender hold data and run its persist
+    timer. *)
+val set_advertised_window : t -> int -> unit
+
 type stats = {
   segments_sent : int;
   segments_received : int;
@@ -184,6 +213,7 @@ type stats = {
   acks_sent : int;
   ip_errors : int;  (** datagrams dropped by the kernel's IP validation *)
   fast_retransmits : int;  (** recoveries triggered by duplicate acks *)
+  persist_probes : int;  (** zero-window probes sent by the persist timer *)
 }
 
 val stats : t -> stats

@@ -291,6 +291,24 @@ let test_soak_deterministic () =
   checkb "different seed, different ledger" true
     (o1.Ilp_app.Soak.link <> o3.Ilp_app.Soak.link)
 
+let test_overload_soak_smoke () =
+  let module Soak = Ilp_app.Soak in
+  let cfg = { Soak.default_overload_config with Soak.file_len = 1024 } in
+  let o = Soak.run_overload cfg in
+  checkb "graceful-degradation invariants hold" true
+    (Soak.overload_invariants_hold o);
+  check "every client classified" cfg.Soak.clients
+    (o.Soak.completed + o.Soak.typed_failures + o.Soak.silent_outcomes);
+  checkb "honest majority completed" true (o.Soak.completed >= 6);
+  checkb "misbehaving clients got typed outcomes" true (o.Soak.typed_failures >= 2);
+  checkb "zero-window machinery exercised" true (o.Soak.persist_probes > 0);
+  checkb "dead reader aborted Peer_stalled" true (o.Soak.peer_stalled_aborts >= 1);
+  checkb "budget ceiling respected" true
+    (o.Soak.peak_queued_bytes <= o.Soak.queue_cap);
+  (* Deterministic under a fixed seed. *)
+  let o2 = Soak.run_overload cfg in
+  checkb "same seed, same outcome" true (o = o2)
+
 let () =
   Alcotest.run "app"
     [ ( "workload",
@@ -329,4 +347,5 @@ let () =
           Alcotest.test_case "typed error under chaos" `Quick
             test_transfer_reports_typed_error_under_chaos;
           Alcotest.test_case "soak smoke" `Slow test_soak_smoke;
-          Alcotest.test_case "soak determinism" `Quick test_soak_deterministic ] ) ]
+          Alcotest.test_case "soak determinism" `Quick test_soak_deterministic;
+          Alcotest.test_case "overload soak smoke" `Slow test_overload_soak_smoke ] ) ]

@@ -357,14 +357,14 @@ let test_dmf_identity () =
 (* Engine round trips *)
 
 let make_engine ?(mode = Engine.Ilp) ?(header_style = Engine.Leading)
-    ?(coalesce_writes = false) ?cipher () =
+    ?(coalesce_writes = false) ?(crc32 = false) ?cipher () =
   let sim = make_sim () in
   let cipher =
     match cipher with
     | Some c -> c sim
     | None -> Ilp_cipher.Safer_simplified.charged sim ~key:"engineKY" ()
   in
-  (sim, Engine.create sim ~cipher ~mode ~coalesce_writes ~header_style ())
+  (sim, Engine.create sim ~cipher ~mode ~coalesce_writes ~header_style ~crc32 ())
 
 let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e
 
@@ -642,6 +642,113 @@ let prop_engine_all_flag_combinations =
       && String.sub plaintext off 4 = "CMBO"
       && String.sub plaintext (off + 4) payload_len = payload)
 
+(* ------------------------------------------------------------------ *)
+(* CRC32 end-to-end trailer *)
+
+let crc_roundtrip ~mode ~header_style =
+  let prefix = "HDRWORDS" in
+  let payload = String.init 96 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  let sim, eng = make_engine ~mode ~header_style ~crc32:true () in
+  checkb "crc enabled" true (Engine.crc32 eng);
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix ~payload_addr ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  (match Engine.rx_style eng with
+  | Engine.Rx_integrated_style f ->
+      ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+  | Engine.Rx_deferred_style f ->
+      ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+  let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
+  let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
+  check_s "prefix recovered" prefix (String.sub plaintext off (String.length prefix));
+  check_s "payload recovered" payload
+    (String.sub plaintext (off + String.length prefix) (String.length payload))
+
+let test_engine_crc_roundtrips () =
+  List.iter
+    (fun (mode, style) -> crc_roundtrip ~mode ~header_style:style)
+    Engine.
+      [ (Ilp, Leading); (Ilp, Trailer); (Separate, Leading); (Separate, Trailer) ]
+
+(* A corruption crafted to collide in the 16-bit Internet checksum:
+   adding 1 to one 16-bit word and subtracting 1 from another preserves
+   the one's-complement sum, so TCP's verdict cannot catch it.  Without
+   the CRC trailer such a segment sails through to the application with
+   scrambled plaintext (the DESIGN.md section 9 hole); with it,
+   [read_plaintext] rejects. *)
+let collide_wire sim wire len =
+  let get16 off =
+    (Mem.peek_u8 sim.Sim.mem (wire + off) lsl 8)
+    lor Mem.peek_u8 sim.Sim.mem (wire + off + 1)
+  in
+  let put16 off v =
+    Mem.poke_u8 sim.Sim.mem (wire + off) ((v lsr 8) land 0xff);
+    Mem.poke_u8 sim.Sim.mem (wire + off + 1) (v land 0xff)
+  in
+  (* Search the third cipher block onward (the leading length field lives
+     in block 0) for an incrementable and a decrementable word. *)
+  let rec find p off =
+    if off + 2 > len then Alcotest.fail "no collision site found"
+    else if p (get16 off) then off
+    else find p (off + 2)
+  in
+  let off_inc = find (fun w -> w < 0xffff) 16 in
+  let off_dec = find (fun w -> w > 0 && (w < 0xffff || off_inc <> 16)) 18 in
+  if off_inc = off_dec then Alcotest.fail "collision offsets clash";
+  put16 off_inc (get16 off_inc + 1);
+  put16 off_dec (get16 off_dec - 1)
+
+let crc_collision ~crc32 =
+  let prefix = "HDRWORDS" in
+  let payload = String.init 96 (fun i -> Char.chr ((i * 29) land 0xff)) in
+  let sim, eng = make_engine ~mode:Engine.Separate ~crc32 () in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix ~payload_addr ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  let before = read_back sim wire prepared.Engine.len in
+  collide_wire sim wire prepared.Engine.len;
+  let after = read_back sim wire prepared.Engine.len in
+  checkb "wire actually corrupted" false (before = after);
+  check "Internet checksum collides"
+    (Internet.checksum_string before)
+    (Internet.checksum_string after);
+  ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  Engine.read_plaintext eng ~len:prepared.Engine.len
+
+let test_engine_crc_catches_collision () =
+  (* Without the trailer the colliding corruption reaches the application
+     as scrambled-but-accepted plaintext (the length field lives in an
+     untouched block, so the only guard left is the application's own).
+     With it, the read is a typed rejection. *)
+  (match crc_collision ~crc32:false with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "without crc the collision should be silent, got: %s" e);
+  match crc_collision ~crc32:true with
+  | Error e ->
+      let contains hay needle =
+        let h = String.length hay and n = String.length needle in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      checkb "crc mismatch reported" true
+        (contains (String.lowercase_ascii e) "crc")
+  | Ok _ -> Alcotest.fail "crc32 must reject the colliding corruption"
+
+let test_engine_crc_wire_len () =
+  (* The trailer adds exactly one word to the encrypted length. *)
+  let _, plain = make_engine () in
+  let _, with_crc = make_engine ~crc32:true () in
+  check "one extra word, same alignment"
+    (Engine.wire_len plain ~prefix_len:8 ~payload_len:100 + 8)
+    (Engine.wire_len with_crc ~prefix_len:8 ~payload_len:104)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -698,4 +805,11 @@ let () =
           Alcotest.test_case "rx bad length field" `Quick
             test_engine_rx_bad_length_field;
           qc prop_engine_roundtrip_sizes;
-          qc prop_engine_all_flag_combinations ] ) ]
+          qc prop_engine_all_flag_combinations ] );
+      ( "crc32",
+        [ Alcotest.test_case "round trips (all modes/styles)" `Quick
+            test_engine_crc_roundtrips;
+          Alcotest.test_case "catches checksum-colliding corruption" `Quick
+            test_engine_crc_catches_collision;
+          Alcotest.test_case "wire length adds one word" `Quick
+            test_engine_crc_wire_len ] ) ]

@@ -107,12 +107,13 @@ type world = {
   srv_engine : Engine.t;
   server : Server.t;
   client : Client.t;
+  cli_data : Socket.t;
   file : string;
   file_addr : int;
 }
 
 let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
-    ?(mangle = fun _ s -> s) () =
+    ?(limits = Server.default_limits) ?(mangle = fun _ s -> s) () =
   let sim = Sim.create Config.ss10_30 in
   let clock = Simclock.create () in
   let demux = Demux.create () in
@@ -143,8 +144,11 @@ let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
   List.iter
     (fun (port, s) -> Demux.bind demux ~port (Socket.handle_datagram s))
     [ (10, srv_ctrl); (11, cli_ctrl); (12, srv_data); (13, cli_data) ];
-  let server = Server.create ~clock ~engine:srv_engine ~ctrl:srv_ctrl ~data:srv_data () in
-  let client = Client.create ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data in
+  let server = Server.create ~clock ~engine:srv_engine ~limits () in
+  ignore (Server.attach server ~ctrl:srv_ctrl ~data:srv_data);
+  let client =
+    Client.create ~clock ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data ()
+  in
   let file = Ilp_app.Workload.generate ~len:file_len ~seed:3 in
   let addr = Ilp_app.Workload.install sim file in
   Server.add_file server ~name:"test.bin" ~addr ~len:file_len;
@@ -153,7 +157,7 @@ let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
   Socket.connect cli_ctrl ~remote_port:10;
   Socket.connect srv_data ~remote_port:13;
   Simclock.run_until_idle clock;
-  { sim; clock; demux; wire_out; srv_engine; server; client; file;
+  { sim; clock; demux; wire_out; srv_engine; server; client; cli_data; file;
     file_addr = addr }
 
 let pump w =
@@ -299,9 +303,8 @@ let test_reconnect_resumes () =
   List.iter
     (fun (port, s) -> Demux.bind w.demux ~port (Socket.handle_datagram s))
     [ (20, srv_ctrl); (21, cli_ctrl); (22, srv_data); (23, cli_data) ];
-  let server2 =
-    Server.create ~clock:w.clock ~engine:w.srv_engine ~ctrl:srv_ctrl ~data:srv_data ()
-  in
+  let server2 = Server.create ~clock:w.clock ~engine:w.srv_engine () in
+  ignore (Server.attach server2 ~ctrl:srv_ctrl ~data:srv_data);
   Server.add_file server2 ~name:"test.bin" ~addr:w.file_addr
     ~len:(String.length w.file);
   Socket.listen srv_ctrl;
@@ -354,6 +357,172 @@ let prop_rx_modes_equivalent_under_corruption =
       in
       outcome Engine.Separate = outcome Engine.Ilp)
 
+(* ------------------------------------------------------------------ *)
+(* Admission control and load shedding *)
+
+let test_oversized_request_refused () =
+  (* A request that could never fit the per-connection budget is refused
+     permanently (not a retryable Busy), and the shed is in the ledger. *)
+  let limits = { Server.default_limits with max_conn_queue_bytes = 1024 } in
+  let w = make_world ~file_len:4096 ~limits () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused locally");
+  pump w;
+  checkb "permanently rejected" true (Client.rejected w.client);
+  checkb "not complete" false (Client.transfer_complete w.client);
+  check "no retries for a permanent refusal" 0 (Client.retries w.client);
+  check "ledger: oversized" 1 (Server.shed_count w.server Server.Oversized_request);
+  check "nothing queued" 0 (Server.queued_bytes w.server)
+
+let test_unadmitted_connection_busy_until_exhausted () =
+  (* With zero admission slots every request is shed Busy; the client
+     retries with backoff and eventually surfaces the typed Server_busy
+     failure instead of stalling. *)
+  let limits = { Server.default_limits with max_connections = 0 } in
+  let w = make_world ~limits () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused locally");
+  pump_settle w;
+  checkb "typed Server_busy failure" true
+    (Client.failure w.client = Some Client.Server_busy);
+  checkb "retried before giving up" true (Client.retries w.client > 0);
+  checkb "saw Busy replies" true (Client.busy_replies w.client > 0);
+  checkb "every shed in the ledger" true
+    (Server.shed_count w.server Server.Too_many_connections
+    = Client.busy_replies w.client);
+  checkb "not complete" false (Client.transfer_complete w.client)
+
+(* Two clients against one server whose global queue budget only fits one
+   request at a time: the second is shed Busy, retries with backoff, and
+   completes once the first drains — transient overload degrades to
+   delay, not failure. *)
+let test_busy_retry_recovers () =
+  let sim = Sim.create Config.ss10_30 in
+  let clock = Simclock.create () in
+  let demux = Demux.create () in
+  let link = ref None in
+  let wire_out d = Link.send (Option.get !link) d in
+  link :=
+    Some (Link.create clock ~delay_us:50.0 ~seed:7
+            ~deliver:(Demux.deliver demux) ());
+  let key = "rpcTESTk" in
+  let engine () =
+    Engine.create sim ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ())
+      ~mode:Engine.Ilp ()
+  in
+  (* Small socket buffers so the server's reply queue holds real bytes
+     instead of draining synchronously into TCP. *)
+  let cfg =
+    { Socket.default_config with mss = 2048; send_buffer = 4096;
+      recv_window = 4096 }
+  in
+  let mk port =
+    let s = Socket.create sim clock cfg ~local_port:port ~wire_out in
+    Demux.bind demux ~port (Socket.handle_datagram s);
+    s
+  in
+  let file_len = 4096 in
+  let copies = 2 in
+  let limits =
+    { Server.default_limits with
+      max_conn_queue_bytes = copies * file_len;
+      max_total_queue_bytes = (copies * file_len) + 2048 }
+  in
+  let server = Server.create ~clock ~engine:(engine ()) ~limits () in
+  let file = Ilp_app.Workload.generate ~len:file_len ~seed:3 in
+  let addr = Ilp_app.Workload.install sim file in
+  Server.add_file server ~name:"test.bin" ~addr ~len:file_len;
+  let clients =
+    List.map
+      (fun i ->
+        let base = 30 + (4 * i) in
+        let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
+        let srv_data = mk (base + 2) and cli_data = mk (base + 3) in
+        ignore (Server.attach server ~ctrl:srv_ctrl ~data:srv_data);
+        Socket.listen srv_ctrl;
+        Socket.listen cli_data;
+        Socket.connect cli_ctrl ~remote_port:base;
+        Socket.connect srv_data ~remote_port:(base + 3);
+        Client.create ~clock ~engine:(engine ()) ~seed:(i + 1) ~ctrl:cli_ctrl
+          ~data:cli_data ())
+      [ 0; 1 ]
+  in
+  Simclock.run_until_idle clock;
+  List.iter
+    (fun c ->
+      match
+        Client.request_file c ~name:"test.bin" ~copies ~max_reply:512
+          ~expected:file
+      with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "request refused locally")
+    clients;
+  let settled c =
+    Client.transfer_complete c || Client.rejected c || Client.failure c <> None
+  in
+  let guard = ref 50_000 in
+  while (not (List.for_all settled clients)) && !guard > 0 do
+    decr guard;
+    Simclock.advance clock 2_000.0
+  done;
+  Simclock.run_until_idle clock;
+  List.iteri
+    (fun i c ->
+      checkb (Printf.sprintf "client %d complete" i) true
+        (Client.transfer_complete c);
+      check (Printf.sprintf "client %d bytes" i) (copies * file_len)
+        (Client.bytes_received c))
+    clients;
+  let busy = List.fold_left (fun acc c -> acc + Client.busy_replies c) 0 clients in
+  checkb "the overflow request was shed Busy at least once" true (busy > 0);
+  checkb "shed reason was the global budget" true
+    (Server.shed_count server Server.Server_queue_full > 0);
+  checkb "budget ceiling respected" true
+    (Server.peak_queued_bytes server <= limits.Server.max_total_queue_bytes);
+  check "all queues drained" 0 (Server.queued_bytes server)
+
+let test_dead_connection_frees_admission_slot () =
+  (* When a connection's sockets die, its queue is abandoned and the
+     admission slot is released for the next attach. *)
+  let limits = { Server.default_limits with max_connections = 1 } in
+  let w = make_world ~limits () in
+  check "one admitted" 1 (Server.connections w.server);
+  (* A second pair attaches over the budget: not admitted. *)
+  let cfg = { Socket.default_config with mss = 2048 } in
+  let mk port =
+    let s = Socket.create w.sim w.clock cfg ~local_port:port ~wire_out:w.wire_out in
+    Demux.bind w.demux ~port (Socket.handle_datagram s);
+    s
+  in
+  let srv_ctrl2 = mk 40 and srv_data2 = mk 42 in
+  ignore (Server.attach w.server ~ctrl:srv_ctrl2 ~data:srv_data2);
+  check "still one admitted" 1 (Server.connections w.server);
+  (* The first client turns into a dead reader: its data socket
+     advertises a zero window and never reopens, so the server's data
+     socket persists, stalls past the deadline and aborts Peer_stalled —
+     which must free the admission slot. *)
+  Socket.set_advertised_window w.cli_data 0;
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused locally");
+  Simclock.run_until_idle w.clock;
+  check "slot freed by the Peer_stalled abort" 0 (Server.connections w.server);
+  checkb "abandoned replies accounted" true (Server.replies_abandoned w.server > 0);
+  let srv_ctrl3 = mk 44 and srv_data3 = mk 46 in
+  ignore (Server.attach w.server ~ctrl:srv_ctrl3 ~data:srv_data3);
+  check "new connection admitted" 1 (Server.connections w.server)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "rpc"
@@ -374,4 +543,13 @@ let () =
         [ Alcotest.test_case "abort surfaces to client" `Quick
             test_abort_surfaces_to_client;
           Alcotest.test_case "reconnect resumes" `Quick test_reconnect_resumes;
-          qc prop_rx_modes_equivalent_under_corruption ] ) ]
+          qc prop_rx_modes_equivalent_under_corruption ] );
+      ( "admission",
+        [ Alcotest.test_case "oversized request refused" `Quick
+            test_oversized_request_refused;
+          Alcotest.test_case "unadmitted connection Busy until exhausted" `Quick
+            test_unadmitted_connection_busy_until_exhausted;
+          Alcotest.test_case "Busy retry recovers after transient overload"
+            `Quick test_busy_retry_recovers;
+          Alcotest.test_case "dead connection frees admission slot" `Quick
+            test_dead_connection_frees_admission_slot ] ) ]

@@ -558,6 +558,152 @@ let test_window_never_exceeded () =
   check "no window violations" 0 !violations;
   check "nothing left in flight" 0 (Socket.bytes_in_flight w.a)
 
+(* ------------------------------------------------------------------ *)
+(* Zero-window persistence *)
+
+let check_s = Alcotest.(check string)
+
+let send_error_to_string = function
+  | Socket.Not_established -> "not established"
+  | Socket.Message_too_big -> "message too big"
+  | Socket.Buffer_full -> "buffer full"
+  | Socket.Window_full -> "window full"
+
+(* Drive the peer's advertised window to zero as seen by [w.a]: shrink
+   what [w.b] advertises, then bounce one message off it so the ack
+   carries the new window back. *)
+let close_peer_window w =
+  Socket.set_advertised_window w.b 0;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "warmup!!";
+    None
+  in
+  (match Socket.send_message w.a ~len:8 ~fill with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "warmup send refused: %s" (send_error_to_string e));
+  Simclock.run_until_idle w.clock;
+  check "peer window seen as zero" 0 (Socket.peer_window w.a)
+
+let test_persist_probes_back_off () =
+  (* Against a zero window the sender probes, and the probe interval
+     doubles up to the ceiling: over the first virtual second that is a
+     handful of probes, not the hundreds a fixed 5 ms interval would
+     produce. *)
+  let w = make_world () in
+  connect w;
+  close_peer_window w;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst (String.make 100 'p');
+    None
+  in
+  (match Socket.send_message w.a ~len:100 ~fill with
+  | Ok () -> Alcotest.fail "send against a zero window must be refused"
+  | Error Socket.Window_full -> ()
+  | Error e -> Alcotest.failf "expected Window_full, got %s" (send_error_to_string e));
+  for _ = 1 to 100 do
+    Simclock.advance w.clock 10_000.0
+  done;
+  let probes = (Socket.stats w.a).Socket.persist_probes in
+  checkb "probing happened" true (probes >= 5);
+  checkb "backoff kept the probe count small" true (probes <= 12);
+  checkb "still alive under the stall deadline" true (Socket.failure w.a = None)
+
+let test_persist_resumes_once_on_reopen () =
+  (* When the window reopens, the next probe's ack carries the news; the
+     sender cancels the persist timer and the retried message arrives
+     exactly once, unpolluted by the probes' garbage bytes. *)
+  let w = make_world () in
+  connect w;
+  let got = Buffer.create 64 in
+  collect_into w got;
+  close_peer_window w;
+  Buffer.clear got;
+  let payload = String.init 100 (fun i -> Char.chr (65 + (i mod 26))) in
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst payload;
+    None
+  in
+  (match Socket.send_message w.a ~len:100 ~fill with
+  | Error Socket.Window_full -> ()
+  | _ -> Alcotest.fail "zero window must refuse the send");
+  for _ = 1 to 20 do
+    Simclock.advance w.clock 10_000.0
+  done;
+  let probes_before = (Socket.stats w.a).Socket.persist_probes in
+  checkb "probed while closed" true (probes_before > 0);
+  Socket.set_advertised_window w.b 8192;
+  Simclock.run_until_idle w.clock;
+  checkb "window reopening discovered" true (Socket.peer_window w.a > 0);
+  (match Socket.send_message w.a ~len:100 ~fill with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "send after reopen refused: %s" (send_error_to_string e));
+  Simclock.run_until_idle w.clock;
+  check_s "delivered exactly once, byte-exact" payload (Buffer.contents got);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_persist_stall_deadline_aborts () =
+  (* A window that never reopens is a dead peer: past the stall deadline
+     the connection aborts with the typed [Peer_stalled] reason. *)
+  let w = make_world () in
+  connect w;
+  close_peer_window w;
+  let aborted = ref [] in
+  Socket.set_on_abort w.a (fun r -> aborted := r :: !aborted);
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "stalled!";
+    None
+  in
+  (match Socket.send_message w.a ~len:8 ~fill with
+  | Error Socket.Window_full -> ()
+  | _ -> Alcotest.fail "zero window must refuse the send");
+  (* Default stall deadline is 3 s of virtual time; run well past it. *)
+  for _ = 1 to 80 do
+    Simclock.advance w.clock 100_000.0
+  done;
+  checkb "aborted exactly once with Peer_stalled" true
+    (!aborted = [ Socket.Peer_stalled ]);
+  checkb "failure recorded" true (Socket.failure w.a = Some Socket.Peer_stalled);
+  checkb "probing stopped after the abort" true
+    ((Socket.stats w.a).Socket.persist_probes < 20)
+
+let test_window_shrink_below_in_flight () =
+  (* Regression: a peer that shrinks its advertised window below what is
+     already in flight must never drive the usable window negative (which
+     used to offer negative-length segments to the wire). *)
+  let w = make_world ~mss:512 ~congestion_control:false () in
+  connect w;
+  let got = Buffer.create 4096 in
+  collect_into w got;
+  let chunks =
+    List.init 8 (fun k ->
+        String.init 512 (fun i -> Char.chr (33 + (((k * 512) + i) mod 90))))
+  in
+  List.iter
+    (fun chunk ->
+      let fill m ~dst =
+        Mem.poke_string m ~pos:dst chunk;
+        None
+      in
+      match Socket.send_message w.a ~len:512 ~fill with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send refused: %s" (send_error_to_string e))
+    chunks;
+  checkb "several segments in flight" true (Socket.bytes_in_flight w.a > 512);
+  (* Shrink below what is already in flight; every subsequent ack
+     advertises the small window. *)
+  Socket.set_advertised_window w.b 512;
+  let negative = ref 0 in
+  for _ = 1 to 3000 do
+    if Socket.send_window_space w.a < 0 then incr negative;
+    Simclock.advance w.clock 200.0
+  done;
+  Simclock.run_until_idle w.clock;
+  check "usable window never negative" 0 !negative;
+  check_s "stream survives the shrink byte-exact" (String.concat "" chunks)
+    (Buffer.contents got);
+  checkb "no abort" true (Socket.failure w.a = None)
+
 let prop_lossy_stream_integrity =
   QCheck.Test.make ~count:25 ~name:"TCP delivers the exact stream under random loss"
     QCheck.(
@@ -622,4 +768,12 @@ let () =
           Alcotest.test_case "window never exceeded" `Quick
             test_window_never_exceeded;
           Alcotest.test_case "close sequence" `Quick test_close_sequence;
-          qc prop_lossy_stream_integrity ] ) ]
+          qc prop_lossy_stream_integrity ] );
+      ( "persist",
+        [ Alcotest.test_case "probes back off" `Quick test_persist_probes_back_off;
+          Alcotest.test_case "resumes exactly once on reopen" `Quick
+            test_persist_resumes_once_on_reopen;
+          Alcotest.test_case "stall deadline aborts Peer_stalled" `Quick
+            test_persist_stall_deadline_aborts;
+          Alcotest.test_case "window shrink below in-flight" `Quick
+            test_window_shrink_below_in_flight ] ) ]
