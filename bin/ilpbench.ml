@@ -207,13 +207,41 @@ let wall_cmd =
          & info [ "sizes" ] ~docv:"BYTES,..."
              ~doc:"Message sizes, each a positive multiple of 8.")
   in
-  let run cipher out trials sizes =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke variant: fewer sizes (1k/8k/64k) and 5 trials.")
+  in
+  let min_speedup =
+    Arg.(value & opt (some float) None
+         & info [ "min-speedup" ] ~docv:"X"
+             ~doc:"Fail (exit 1) unless the ILP speedup is at least $(docv) \
+                   at every size.")
+  in
+  let run cipher out trials sizes quick min_speedup =
+    let sizes = if quick then [ 1024; 8192; 65536 ] else sizes in
+    let trials = if quick then 5 else trials in
     match Wb.run ~cipher ~sizes ~trials () with
     | r ->
         Wb.print_table r;
         Wb.write_json r ~path:out;
         Printf.printf "wrote %s\n" out;
-        0
+        (match min_speedup with
+        | None -> 0
+        | Some floor ->
+            let slow =
+              List.filter (fun p -> p.Wb.speedup < floor) r.Wb.points
+            in
+            if slow = [] then 0
+            else begin
+              List.iter
+                (fun p ->
+                  Printf.eprintf
+                    "ilpbench: speedup %.3f at %d bytes is below the %.3f floor\n"
+                    p.Wb.speedup p.Wb.len floor)
+                slow;
+              1
+            end)
     | exception Invalid_argument msg ->
         Printf.eprintf "ilpbench: %s\n" msg;
         1
@@ -223,7 +251,63 @@ let wall_cmd =
        ~doc:
          "Wall-clock benchmark of the native fast path: separate four-pass \
           stack versus the fused ILP loop, on this host.")
-    Term.(const run $ cipher $ out $ trials $ sizes)
+    Term.(const run $ cipher $ out $ trials $ sizes $ quick $ min_speedup)
+
+(* ------------------------------------------------------------------ *)
+(* mem *)
+
+let mem_cmd =
+  let module Mtr = Ilp_bench.Memtrace in
+  let out =
+    Arg.(value & opt string "BENCH_mem.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON trajectory output path.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke variant: two sizes, fewer messages per point.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Fail (exit 1) unless the single-copy gates hold: at the \
+                   largest size, bytes-copied ratio >= 2 on the native lanes \
+                   and minor-words ratio >= 2 on the simulated lanes, with \
+                   every pool balanced.")
+  in
+  let run out quick check_gates =
+    let config = if quick then Mtr.quick_config else Mtr.default_config in
+    match Mtr.run ~config () with
+    | r ->
+        Mtr.print_table r;
+        Mtr.write_json r ~path:out;
+        Printf.printf "wrote %s\n" out;
+        if not check_gates then 0
+        else begin
+          match Mtr.check r with
+          | Ok () ->
+              print_endline
+                "mem gates held: pooled path moves <= half the bytes and \
+                 allocates <= half the minor words";
+              0
+          | Error failures ->
+              List.iter (fun f -> Printf.eprintf "ilpbench: mem gate: %s\n" f) failures;
+              1
+        end
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+    | exception Failure msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "mem"
+       ~doc:
+         "Memory-traffic benchmark: host bytes copied and GC allocation per \
+          message for the pooled (single-copy) versus legacy data paths, \
+          across modes, backends and sizes.")
+    Term.(const run $ out $ quick $ check)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -407,5 +491,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiments_cmd; transfer_cmd; wall_cmd; machines_cmd; export_cmd;
-            soak_cmd ]))
+          [ experiments_cmd; transfer_cmd; wall_cmd; mem_cmd; machines_cmd;
+            export_cmd; soak_cmd ]))

@@ -24,6 +24,8 @@ type setup = {
   uniform_units : bool;
   native : bool;
   crc : bool;
+  data_path : Engine.data_path;
+  pool : Ilp_fastpath.Pool.t option;
   file_len : int;
   copies : int;
   max_reply : int;
@@ -44,6 +46,8 @@ let default_setup ~machine ~mode =
     uniform_units = false;
     native = false;
     crc = false;
+    data_path = Engine.Pooled;
+    pool = None;
     file_len = Workload.paper_file_len;
     copies = 8;
     max_reply = 1024;
@@ -74,6 +78,7 @@ type result = {
   drops : (Socket.drop_reason * int) list;
   replies_abandoned : int;
   link_stats : Link.stats;
+  pool_leaks : int;
 }
 
 let key = "\x3a\x91\x5c\x07\xee\x42\xb8\x1d"
@@ -124,19 +129,36 @@ let run setup =
     if setup.native then Engine.Native (make_fastpath_cipher setup.cipher)
     else Engine.Simulated
   in
+  (* One buffer pool shared by both endpoints of the run: staging buffers
+     and TSDU buffers recirculate instead of being allocated per message,
+     and a single outstanding-count audits the whole process. *)
+  let pool =
+    match setup.pool with Some p -> p | None -> Ilp_fastpath.Pool.create ()
+  in
   let srv_engine =
     Engine.create sim ~cipher:srv_cipher ~mode:setup.mode ~backend:(backend ())
       ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
-      ~uniform_units:setup.uniform_units ~crc32:setup.crc ()
+      ~uniform_units:setup.uniform_units ~crc32:setup.crc
+      ~data_path:setup.data_path ~pool ()
   in
   let cli_engine =
     Engine.create sim ~cipher:cli_cipher ~mode:setup.mode ~backend:(backend ())
       ~linkage:setup.linkage
       ~max_message ~coalesce_writes:setup.coalesce_writes
       ~header_style:setup.header_style ~rx_placement:setup.rx_placement
-      ~uniform_units:setup.uniform_units ~crc32:setup.crc ()
+      ~uniform_units:setup.uniform_units ~crc32:setup.crc
+      ~data_path:setup.data_path ~pool ()
+  in
+  (* Teardown: return staging buffers, then audit pool balance.  With a
+     caller-shared pool the count includes the caller's own outstanding
+     buffers, so pass [pool = None] (the default) for a self-contained
+     audit. *)
+  let pool_leaks () =
+    Engine.destroy srv_engine;
+    Engine.destroy cli_engine;
+    Ilp_fastpath.Pool.outstanding pool
   in
   let scfg = { Socket.default_config with mss = max_message } in
   let srv_ctrl = Socket.create sim clock scfg ~local_port:srv_ctrl_port ~wire_out in
@@ -242,7 +264,8 @@ let run setup =
       client_failure = client_failure ();
       drops = drops ();
       replies_abandoned = Rpc_server.replies_abandoned server;
-      link_stats = Link.stats (Option.get !link) }
+      link_stats = Link.stats (Option.get !link);
+      pool_leaks = pool_leaks () }
   in
   let established s = Socket.state s = Socket.Established in
   if
@@ -316,5 +339,6 @@ let run setup =
       client_failure = client_failure ();
       drops = drops ();
       replies_abandoned = Rpc_server.replies_abandoned server;
-      link_stats = Link.stats (Option.get !link) }
+      link_stats = Link.stats (Option.get !link);
+      pool_leaks = pool_leaks () }
   end

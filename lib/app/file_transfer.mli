@@ -39,6 +39,14 @@ type setup = {
   crc : bool;
       (** enable the end-to-end CRC32 TSDU trailer on both engines
           (closes the 16-bit checksum collision hole) *)
+  data_path : Ilp_core.Engine.data_path;
+      (** host-side buffering discipline: [Pooled] (the default) is the
+          single-copy path, [Legacy] the pre-pool per-message allocation
+          baseline *)
+  pool : Ilp_fastpath.Pool.t option;
+      (** share a caller-owned buffer pool between both engines; [None]
+          (the default) creates a fresh pool, making [pool_leaks] a
+          self-contained audit *)
   file_len : int;
   copies : int;
   max_reply : int;  (** application payload bytes per message *)
@@ -94,6 +102,10 @@ type result = {
       (** replies the server discarded because the data connection died *)
   link_stats : Ilp_netsim.Link.stats;
       (** every impairment the wire actually applied *)
+  pool_leaks : int;
+      (** buffers still outstanding from the run's pool after both engines
+          were destroyed — must be 0 (every acquired buffer released)
+          unless the caller shared its own [pool] *)
 }
 
 val run : setup -> result

@@ -58,9 +58,13 @@ type outcome = {
   replies_abandoned : int;
   drops : (Socket.drop_reason * int) list;
   link : Link.stats;
+  pool_leaks : int;
+      (** invariant violation: buffers still outstanding from any
+          iteration's pool after engine teardown *)
 }
 
-let invariants_hold o = o.escaped_exceptions = 0 && o.silent_corruptions = 0
+let invariants_hold o =
+  o.escaped_exceptions = 0 && o.silent_corruptions = 0 && o.pool_leaks = 0
 
 let ciphers = [| Ft.Safer_simplified; Ft.Simple_encryption; Ft.Safer_full 6; Ft.Des |]
 
@@ -115,7 +119,8 @@ let run ?(log = fun _ -> ()) (cfg : config) =
   and silent = ref 0
   and retransmissions = ref 0
   and checksum_drops = ref 0
-  and abandoned = ref 0 in
+  and abandoned = ref 0
+  and pool_leaks = ref 0 in
   let drop_totals = Array.make (List.length Socket.drop_reasons) 0 in
   let link_total = ref Link.zero_stats in
   for i = 0 to cfg.iterations - 1 do
@@ -124,6 +129,7 @@ let run ?(log = fun _ -> ()) (cfg : config) =
     let cipher = ciphers.((i lsr 2) land 3) in
     let header_style = if (i lsr 4) land 1 = 0 then Engine.Leading else Engine.Trailer in
     let crc = (i lsr 5) land 1 = 1 in
+    let data_path = if (i lsr 6) land 1 = 1 then Engine.Legacy else Engine.Pooled in
     let imp = draw_impairments st ~intensity:cfg.intensity in
     let setup =
       { (Ft.default_setup ~machine:cfg.machine ~mode) with
@@ -131,6 +137,7 @@ let run ?(log = fun _ -> ()) (cfg : config) =
         native;
         header_style;
         crc;
+        data_path;
         file_len = cfg.file_len;
         copies = cfg.copies;
         max_reply = cfg.max_reply;
@@ -139,11 +146,12 @@ let run ?(log = fun _ -> ()) (cfg : config) =
         deadline_us = cfg.deadline_us }
     in
     let tag verdict =
-      Printf.sprintf "iter %4d  %-8s %-7s %-16s %-6s %s" i
+      Printf.sprintf "iter %4d  %-8s %-7s %-16s %-6s %-6s %s" i
         (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
         (if native then "native" else "sim")
         (cipher_name cipher)
         (if crc then "crc32" else "-")
+        (match data_path with Engine.Pooled -> "pooled" | Engine.Legacy -> "legacy")
         verdict
     in
     (match Ft.run setup with
@@ -155,6 +163,10 @@ let run ?(log = fun _ -> ()) (cfg : config) =
           (fun j (_, n) -> drop_totals.(j) <- drop_totals.(j) + n)
           r.Ft.drops;
         link_total := Link.add_stats !link_total r.Ft.link_stats;
+        if r.Ft.pool_leaks <> 0 then begin
+          pool_leaks := !pool_leaks + r.Ft.pool_leaks;
+          log (tag (Printf.sprintf "POOL LEAK: %d buffers outstanding" r.Ft.pool_leaks))
+        end;
         if r.Ft.ok then begin
           if r.Ft.payload_bytes <> cfg.file_len * cfg.copies then begin
             incr silent;
@@ -185,7 +197,8 @@ let run ?(log = fun _ -> ()) (cfg : config) =
     replies_abandoned = !abandoned;
     drops =
       List.mapi (fun j r -> (r, drop_totals.(j))) Socket.drop_reasons;
-    link = !link_total }
+    link = !link_total;
+    pool_leaks = !pool_leaks }
 
 (* ------------------------------------------------------------------ *)
 (* Overload soak: many concurrent clients against one shared server *)
@@ -248,12 +261,16 @@ type overload_outcome = {
   peer_stalled_aborts : int;
   replies_abandoned : int;
   sheds : (Rpc_server.shed_reason * int) list;
+  pool_leaks : int;
+      (** invariant violation: buffers outstanding from the run's shared
+          pool after every engine was destroyed *)
 }
 
 let overload_invariants_hold o =
   o.escaped_exceptions = 0 && o.silent_outcomes = 0 && o.honest_incomplete = 0
   && o.budget_violations = 0
-  && not o.ledger_mismatch
+  && (not o.ledger_mismatch)
+  && o.pool_leaks = 0
 
 type overload_client = {
   idx : int;
@@ -294,7 +311,8 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
       persist_probes = 0;
       peer_stalled_aborts = 0;
       replies_abandoned = 0;
-      sheds = [] }
+      sheds = [];
+      pool_leaks = 0 }
   in
   match
     let sim = Sim.create cfg.machine in
@@ -307,10 +325,18 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
         (Link.create clock ~delay_us:30.0 ~seed:cfg.seed
            ~deliver:(Demux.deliver demux) ());
     let key = "soakOVRL" in
+    (* One pool shared by the server and every client engine, and a list
+       of all engines so teardown can audit pool balance for the run. *)
+    let pool = Ilp_fastpath.Pool.create () in
+    let engines = ref [] in
     let engine () =
-      Engine.create sim
-        ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ())
-        ~mode:Engine.Ilp ~crc32:true ()
+      let e =
+        Engine.create sim
+          ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ())
+          ~mode:Engine.Ilp ~crc32:true ~pool ()
+      in
+      engines := e :: !engines;
+      e
     in
     (* Small buffers so the reply queue holds real bytes (the budgets
        bind); a stall deadline short enough to detect dead readers within
@@ -479,6 +505,8 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
         0 world
     in
     let peak = Rpc_server.peak_queued_bytes server in
+    List.iter Engine.destroy !engines;
+    let pool_leaks = Ilp_fastpath.Pool.outstanding pool in
     { clients = cfg.clients;
       completed = !completed;
       typed_failures = !typed;
@@ -500,7 +528,8 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
       persist_probes = probes;
       peer_stalled_aborts = stalled;
       replies_abandoned = Rpc_server.replies_abandoned server;
-      sheds = Rpc_server.sheds server }
+      sheds = Rpc_server.sheds server;
+      pool_leaks }
   with
   | o -> o
   | exception (Invalid_argument _ as e) -> raise e
@@ -529,7 +558,9 @@ let overload_summary_lines o =
            o.sheds);
     Printf.sprintf "zero-window           %d persist probes, %d peer-stalled aborts"
       o.persist_probes o.peer_stalled_aborts;
-    Printf.sprintf "server                %d replies abandoned" o.replies_abandoned ]
+    Printf.sprintf "server                %d replies abandoned" o.replies_abandoned;
+    Printf.sprintf "buffer pool           %d leaks%s" o.pool_leaks
+      (if o.pool_leaks > 0 then "  VIOLATED" else "") ]
 
 let summary_lines o =
   let l = o.link in
@@ -545,6 +576,8 @@ let summary_lines o =
       l.Link.corrupted l.Link.truncated l.Link.padded l.Link.delay_spikes;
     Printf.sprintf "tcp:  %d retransmissions, %d replies abandoned"
       o.retransmissions o.replies_abandoned;
+    Printf.sprintf "pool: %d leaks%s" o.pool_leaks
+      (if o.pool_leaks > 0 then "  VIOLATED" else "");
     "tcp drops: "
     ^ String.concat ", "
         (List.map

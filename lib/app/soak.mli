@@ -43,9 +43,12 @@ type outcome = {
   replies_abandoned : int;
   drops : (Ilp_tcp.Socket.drop_reason * int) list;
   link : Ilp_netsim.Link.stats;
+  pool_leaks : int;
+      (** invariant violation: buffers still outstanding from any
+          iteration's pool after engine teardown *)
 }
 
-(** Zero escaped exceptions and zero silent corruptions. *)
+(** Zero escaped exceptions, zero silent corruptions, zero pool leaks. *)
 val invariants_hold : outcome -> bool
 
 (** [run ?log cfg] executes the soak; [log] receives one line per
@@ -122,10 +125,13 @@ type overload_outcome = {
   peer_stalled_aborts : int;
   replies_abandoned : int;
   sheds : (Ilp_rpc.Server.shed_reason * int) list;
+  pool_leaks : int;
+      (** invariant violation: buffers outstanding from the run's shared
+          pool after every engine was destroyed *)
 }
 
 (** No escaped exceptions, no silent outcomes, no incomplete honest
-    client, budgets respected, ledger consistent. *)
+    client, budgets respected, ledger consistent, pool balanced. *)
 val overload_invariants_hold : overload_outcome -> bool
 
 (** [run_overload ?log cfg] builds one shared world — one server, [clients]

@@ -1,0 +1,241 @@
+open Ilp_memsim
+module Engine = Ilp_core.Engine
+module Workload = Ilp_app.Workload
+module Mt = Ilp_fastpath.Memtraffic
+module Pool = Ilp_fastpath.Pool
+
+type lane = {
+  copied : float;
+  allocated : float;
+  alloc_blocks : float;
+  minor_words : float;
+  major_bytes : float;
+  pool_balanced : bool;
+}
+
+type point = {
+  len : int;
+  wire_len : int;
+  mode : Engine.mode;
+  native : bool;
+  msgs : int;
+  legacy : lane;
+  pooled : lane;
+}
+
+type result = { points : point list }
+
+type config = { sizes : int list; native_msgs : int; sim_msgs : int }
+
+let default_config = { sizes = [ 1024; 8192; 65536 ]; native_msgs = 64; sim_msgs = 4 }
+let quick_config = { sizes = [ 1024; 65536 ]; native_msgs = 16; sim_msgs = 2 }
+
+let key = "\x3a\x91\x5c\x07\xee\x42\xb8\x1d"
+
+(* Ratio of the legacy quantity to the pooled one; a pooled lane that
+   allocates nothing at all reports a large finite factor rather than
+   infinity so the JSON stays well-formed. *)
+let ratio legacy pooled =
+  if pooled > 0.0 then legacy /. pooled else if legacy > 0.0 then 1.0e9 else 1.0
+
+(* One (payload size, mode, backend, data path) cell: a fresh world, one
+   engine, one staged message sent and received [msgs] times.  Returns the
+   per-message averages of the Memtraffic ledger (host bytes the data path
+   actually moved) and of the GC counters (allocation pressure). *)
+let measure_lane ~mode ~native ~data_path ~payload_len ~msgs =
+  let sim = Sim.create Config.ss10_30 in
+  let cipher = Ilp_cipher.Safer_simplified.charged sim ~key () in
+  let backend =
+    if native then
+      Engine.Native
+        (Ilp_fastpath.Cipher.Safer_simplified
+           (Ilp_cipher.Safer_simplified.expand_key key))
+    else Engine.Simulated
+  in
+  let eng =
+    Engine.create sim ~cipher ~mode ~backend ~max_message:(payload_len + 256)
+      ~data_path ()
+  in
+  let payload = Workload.generate ~len:payload_len ~seed:7 in
+  let payload_addr = Workload.install sim payload in
+  let prepared = Engine.prepare_send eng ~prefix:"" ~payload_addr ~payload_len in
+  let wire_len = prepared.Engine.len in
+  let dst = Alloc.alloc sim.Sim.alloc ~align:64 wire_len in
+  let mem = sim.Sim.mem in
+  let one () =
+    ignore (prepared.Engine.fill mem ~dst);
+    (match mode with
+    | Engine.Ilp -> (
+        match Engine.rx_integrated eng mem ~src:dst ~len:wire_len with
+        | Ok _ -> ()
+        | Error e -> failwith ("Memtrace: rx_integrated: " ^ e))
+    | Engine.Separate -> (
+        match Engine.rx_separate eng mem ~src:dst ~len:wire_len with
+        | Ok () -> ()
+        | Error e -> failwith ("Memtrace: rx_separate: " ^ e)));
+    match data_path with
+    | Engine.Legacy -> (
+        match Engine.read_plaintext eng ~len:wire_len with
+        | Ok s -> ignore (Sys.opaque_identity (String.length s))
+        | Error e -> failwith ("Memtrace: read_plaintext: " ^ e))
+    | Engine.Pooled -> (
+        match Engine.read_plaintext_pooled eng ~len:wire_len with
+        | Ok (buf, _) ->
+            ignore (Sys.opaque_identity (Bytes.length buf));
+            Engine.release_plaintext eng buf
+        | Error e -> failwith ("Memtrace: read_plaintext_pooled: " ^ e))
+  in
+  (* Warm-up message: draws the staging buffer, populates the pool's size
+     classes and forces lazy tables, so the measured window sees the
+     steady state. *)
+  one ();
+  Mt.reset ();
+  let mw0 = Gc.minor_words () in
+  let ab0 = Gc.allocated_bytes () in
+  for _ = 1 to msgs do
+    one ()
+  done;
+  let minor_words = (Gc.minor_words () -. mw0) /. float_of_int msgs in
+  let major_bytes = (Gc.allocated_bytes () -. ab0) /. float_of_int msgs in
+  let snap = Mt.snapshot () in
+  Engine.destroy eng;
+  let pool_balanced = Pool.outstanding (Engine.pool eng) = 0 in
+  let per total = float_of_int total /. float_of_int msgs in
+  ( { copied = per (Mt.copied_total snap);
+      allocated = per (Mt.allocated_total snap);
+      alloc_blocks = per (Mt.alloc_blocks_total snap);
+      minor_words;
+      major_bytes;
+      pool_balanced },
+    wire_len )
+
+let run ?(config = default_config) () =
+  if config.sizes = [] then invalid_arg "Memtrace.run: no sizes";
+  List.iter
+    (fun n ->
+      if n < 64 || n mod 8 <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Memtrace.run: size %d must be a multiple of 8, at least 64" n))
+    config.sizes;
+  if config.native_msgs < 1 || config.sim_msgs < 1 then
+    invalid_arg "Memtrace.run: message counts must be positive";
+  let points =
+    List.concat_map
+      (fun len ->
+        List.concat_map
+          (fun mode ->
+            List.map
+              (fun native ->
+                let msgs =
+                  if native then config.native_msgs else config.sim_msgs
+                in
+                let legacy, wire_len =
+                  measure_lane ~mode ~native ~data_path:Engine.Legacy
+                    ~payload_len:len ~msgs
+                in
+                let pooled, _ =
+                  measure_lane ~mode ~native ~data_path:Engine.Pooled
+                    ~payload_len:len ~msgs
+                in
+                { len; wire_len; mode; native; msgs; legacy; pooled })
+              [ false; true ])
+          [ Engine.Separate; Engine.Ilp ])
+      (List.sort compare config.sizes)
+  in
+  { points }
+
+let mode_name = function Engine.Ilp -> "ilp" | Engine.Separate -> "separate"
+let backend_name native = if native then "native" else "sim"
+
+let copied_ratio p = ratio p.legacy.copied p.pooled.copied
+let minor_words_ratio p = ratio p.legacy.minor_words p.pooled.minor_words
+
+(* The acceptance gates: at the largest size, the pooled path moves at
+   most half the host bytes of the legacy path (native lanes, where the
+   ledger covers the whole data path) and allocates at most half the
+   minor-heap words (simulated lanes, whose per-block staging allocations
+   are minor-heap traffic); and every lane's pool balances. *)
+let check r =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let largest = List.fold_left (fun a p -> max a p.len) 0 r.points in
+  List.iter
+    (fun p ->
+      if not (p.legacy.pool_balanced && p.pooled.pool_balanced) then
+        fail "%d/%s/%s: pool not balanced at exit" p.len (mode_name p.mode)
+          (backend_name p.native);
+      if p.len = largest then
+        if p.native then begin
+          if copied_ratio p < 2.0 then
+            fail "%d/%s/native: bytes-copied ratio %.2f < 2.0 (legacy %.0f, pooled %.0f)"
+              p.len (mode_name p.mode) (copied_ratio p) p.legacy.copied
+              p.pooled.copied
+        end
+        else if minor_words_ratio p < 2.0 then
+          fail "%d/%s/sim: minor-words ratio %.2f < 2.0 (legacy %.0f, pooled %.0f)"
+            p.len (mode_name p.mode) (minor_words_ratio p) p.legacy.minor_words
+            p.pooled.minor_words)
+    r.points;
+  match !failures with [] -> Ok () | fs -> Error (List.rev fs)
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory (hand-rolled; the container has no JSON library).  *)
+
+let json_lane b name l =
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"%s\": {\"copied_bytes\": %.1f, \"allocated_bytes\": %.1f, \
+        \"alloc_blocks\": %.2f, \"minor_words\": %.1f, \"major_bytes\": %.1f, \
+        \"pool_balanced\": %b}"
+       name l.copied l.allocated l.alloc_blocks l.minor_words l.major_bytes
+       l.pool_balanced)
+
+let to_json r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "{\n  \"benchmark\": \"mem\",\n  \"unit\": \"per_msg\",\n  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"len\": %d, \"wire_len\": %d, \"mode\": \"%s\", \
+            \"backend\": \"%s\", \"msgs\": %d, "
+           p.len p.wire_len (mode_name p.mode) (backend_name p.native) p.msgs);
+      json_lane b "legacy" p.legacy;
+      Buffer.add_string b ", ";
+      json_lane b "pooled" p.pooled;
+      Buffer.add_string b
+        (Printf.sprintf ", \"copied_ratio\": %.2f, \"minor_words_ratio\": %.2f}"
+           (copied_ratio p) (minor_words_ratio p)))
+    r.points;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write_json r ~path =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc
+
+let print_table r =
+  let f1 = Printf.sprintf "%.0f" in
+  Report.table
+    ~header:
+      [ "bytes"; "mode"; "backend"; "copy B legacy"; "copy B pooled"; "ratio";
+        "mw legacy"; "mw pooled"; "ratio" ]
+    (List.map
+       (fun p ->
+         [ string_of_int p.len;
+           mode_name p.mode;
+           backend_name p.native;
+           f1 p.legacy.copied;
+           f1 p.pooled.copied;
+           Printf.sprintf "%.1fx" (copied_ratio p);
+           f1 p.legacy.minor_words;
+           f1 p.pooled.minor_words;
+           Printf.sprintf "%.1fx" (minor_words_ratio p) ])
+       r.points);
+  Report.note
+    "host bytes copied per message (Memtraffic ledger) and GC minor words per \
+     message; legacy = pre-pool data path, pooled = single-copy\n"

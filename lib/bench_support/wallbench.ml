@@ -2,7 +2,7 @@ module Internet = Ilp_checksum.Internet
 module Cipher = Ilp_fastpath.Cipher
 module Wire = Ilp_fastpath.Wire
 
-type side = { send_ns : float; recv_ns : float }
+type side = { send_ns : float; recv_ns : float; minor_words : float }
 
 type point = {
   len : int;
@@ -113,8 +113,26 @@ let bench_point wire ~trials ~warmup ~src len =
   let budget_ns = 2e6 in
   let reps = calibrate ~budget_ns send_sep in
   let t f = time_median ~trials ~warmup ~reps f in
-  let separate = { send_ns = t send_sep; recv_ns = t recv_sep } in
-  let ilp = { send_ns = t send_ilp; recv_ns = t recv_ilp } in
+  (* Allocation rate: minor-heap words per message (send + recv), via
+     [Gc.minor_words] deltas — the GC-pressure side of the single-copy
+     story, alongside the latency medians. *)
+  let mw f =
+    let n = 64 in
+    f ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int n
+  in
+  let separate =
+    { send_ns = t send_sep; recv_ns = t recv_sep;
+      minor_words = mw send_sep +. mw recv_sep }
+  in
+  let ilp =
+    { send_ns = t send_ilp; recv_ns = t recv_ilp;
+      minor_words = mw send_ilp +. mw recv_ilp }
+  in
   ignore (Sys.opaque_identity !sink);
   let speedup =
     (separate.send_ns +. separate.recv_ns) /. (ilp.send_ns +. ilp.recv_ns)
@@ -134,7 +152,7 @@ let run ?(cipher = Cipher.Simple) ?(sizes = default_sizes) ?(trials = 9)
     sizes;
   if trials < 1 || warmup < 0 then invalid_arg "Wallbench.run: bad trials/warmup";
   let max_len = List.fold_left max 0 sizes in
-  let wire = Wire.create ~cipher ~max_len in
+  let wire = Wire.create ~cipher ~max_len () in
   let src = Bytes.init max_len (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
   let points =
     List.map (bench_point wire ~trials ~warmup ~src) (List.sort compare sizes)
@@ -147,8 +165,9 @@ let run ?(cipher = Cipher.Simple) ?(sizes = default_sizes) ?(trials = 9)
 let json_side b name s =
   Buffer.add_string b
     (Printf.sprintf
-       "\"%s\": {\"send_ns\": %.1f, \"recv_ns\": %.1f, \"total_ns\": %.1f}"
-       name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns))
+       "\"%s\": {\"send_ns\": %.1f, \"recv_ns\": %.1f, \"total_ns\": %.1f, \
+        \"minor_words_per_msg\": %.1f}"
+       name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns) s.minor_words)
 
 let to_json r =
   let b = Buffer.create 1024 in
@@ -181,7 +200,7 @@ let print_table r =
   Report.table
     ~header:
       [ "bytes"; "sep send ns"; "ilp send ns"; "sep recv ns"; "ilp recv ns";
-        "speedup" ]
+        "speedup"; "sep mw/msg"; "ilp mw/msg" ]
     (List.map
        (fun p ->
          [ string_of_int p.len;
@@ -189,7 +208,9 @@ let print_table r =
            ns p.ilp.send_ns;
            ns p.separate.recv_ns;
            ns p.ilp.recv_ns;
-           Printf.sprintf "%.2fx" p.speedup ])
+           Printf.sprintf "%.2fx" p.speedup;
+           ns p.separate.minor_words;
+           ns p.ilp.minor_words ])
        r.points);
   Report.note "cipher %s, median of %d trials (%d warmup), host wall-clock\n"
     r.cipher r.trials r.warmup

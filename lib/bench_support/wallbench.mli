@@ -15,6 +15,10 @@
 type side = {
   send_ns : float;  (** median ns per message, send direction *)
   recv_ns : float;  (** median ns per message, receive direction *)
+  minor_words : float;
+      (** minor-heap words allocated per message (send + recv), via
+          [Gc.minor_words] deltas — the allocation-rate companion to the
+          latency medians *)
 }
 
 type point = {

@@ -41,8 +41,20 @@ let update_block t ~crc b ~off ~len =
   done;
   !c
 
-let string_crc s =
+let fold_string ~crc s ~off ~len =
   let tbl = Lazy.force table in
-  let c = ref init in
-  String.iter (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
-  finish !c
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := tbl.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c
+
+let fold_bytes ~crc b ~off ~len =
+  let tbl = Lazy.force table in
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := tbl.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c
+
+let string_crc s = finish (fold_string ~crc:init s ~off:0 ~len:(String.length s))

@@ -26,6 +26,15 @@ val update_block : t -> crc:int -> Bytes.t -> off:int -> len:int -> int
 (** Pure reference implementation (no simulation, no charges). *)
 val string_crc : string -> int
 
+(** Pure incremental folds (no simulation, no charges): advance an
+    accumulator over one segment of a scattered message, so the CRC of
+    an iovec-style stream needs no contiguous rendering.  Feed {!init},
+    chain segments, finalize with {!finish}; folding the concatenation
+    equals folding the pieces. *)
+val fold_string : crc:int -> string -> off:int -> len:int -> int
+
+val fold_bytes : crc:int -> Bytes.t -> off:int -> len:int -> int
+
 val init : int
 (** Initial accumulator (all ones pre-conditioning is internal: feed [init],
     finalize with {!finish}). *)

@@ -1,17 +1,20 @@
-type acc = { sum : int; odd : bool }
+(* The accumulator is packed into an immediate — partial sum in the high
+   bits, byte-parity in bit 0 — so extending it (once per block in the
+   fused ILP loop) allocates nothing; a record here costs a minor-heap
+   block per update. *)
+type acc = int
 
-let empty = { sum = 0; odd = false }
+let pack sum odd = (sum lsl 1) lor (if odd then 1 else 0)
+let acc_sum (a : acc) = a lsr 1
+let acc_odd (a : acc) = a land 1 = 1
 
-let fold16 sum =
-  let s = ref sum in
-  while !s > 0xffff do
-    s := (!s land 0xffff) + (!s lsr 16)
-  done;
-  !s
+let empty = 0
+
+let rec fold16 s = if s > 0xffff then fold16 ((s land 0xffff) + (s lsr 16)) else s
 
 let add_byte acc b =
-  if acc.odd then { sum = acc.sum + b; odd = false }
-  else { sum = acc.sum + (b lsl 8); odd = true }
+  if acc_odd acc then pack (acc_sum acc + b) false
+  else pack (acc_sum acc + (b lsl 8)) true
 
 let byteswap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
 
@@ -20,8 +23,8 @@ external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
 let add_bytes_unsafe acc b ~off ~len =
   let i = ref off in
   let stop = off + len in
-  let sum = ref acc.sum in
-  let odd = ref acc.odd in
+  let sum = ref (acc_sum acc) in
+  let odd = ref (acc_odd acc) in
   if !odd && !i < stop then begin
     (* A byte at odd parity lands in the low-order half of its word. *)
     sum := !sum + Char.code (Bytes.unsafe_get b !i);
@@ -63,7 +66,7 @@ let add_bytes_unsafe acc b ~off ~len =
     sum := !sum + (Char.code (Bytes.unsafe_get b !i) lsl 8);
     odd := true
   end;
-  { sum = fold16 !sum; odd = !odd }
+  pack (fold16 !sum) !odd
 
 let add_bytes acc b ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
@@ -73,15 +76,15 @@ let add_bytes acc b ~off ~len =
 let add_string acc s = add_bytes acc (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
 let add_u16 acc v =
-  if acc.odd then invalid_arg "Internet.add_u16: unaligned accumulator";
-  { sum = fold16 (acc.sum + (v land 0xffff)); odd = false }
+  if acc_odd acc then invalid_arg "Internet.add_u16: unaligned accumulator";
+  pack (fold16 (acc_sum acc + (v land 0xffff))) false
 
 let combine a b ~len_b =
-  let fb = fold16 b.sum in
-  let fb = if a.odd then byteswap16 fb else fb in
-  { sum = fold16 (a.sum + fb); odd = a.odd <> (len_b land 1 = 1) }
+  let fb = fold16 (acc_sum b) in
+  let fb = if acc_odd a then byteswap16 fb else fb in
+  pack (fold16 (acc_sum a + fb)) (acc_odd a <> (len_b land 1 = 1))
 
-let finish acc = lnot (fold16 acc.sum) land 0xffff
+let finish acc = lnot (fold16 (acc_sum acc)) land 0xffff
 
 let checksum_string s = finish (add_string empty s)
 
@@ -97,9 +100,9 @@ let checksum_mem mem ~pos ~len ~acc =
     (* add + carry fold + loop bookkeeping *)
     Ilp_memsim.Machine.compute machine 3;
     acc :=
-      (if !acc.odd then
+      (if acc_odd !acc then
          add_byte (add_byte !acc (v lsr 8)) (v land 0xff)
-       else { sum = fold16 (!acc.sum + v); odd = false });
+       else pack (fold16 (acc_sum !acc + v)) false);
     i := !i + 2
   done;
   if !i < stop then begin
@@ -109,4 +112,4 @@ let checksum_mem mem ~pos ~len ~acc =
   end;
   !acc
 
-let verify_string s = fold16 (add_string empty s).sum = 0xffff
+let verify_string s = fold16 (acc_sum (add_string empty s)) = 0xffff

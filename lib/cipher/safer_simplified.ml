@@ -8,6 +8,18 @@ let expand_key user =
 (* One SAFER round reduced to its essence; [kread]/[exp]/[log]/[ops] as in
    {!Safer}.  The mixed patterns follow the full cipher's byte positions. *)
 
+(* The PHT butterflies live at top level: defined inside the core they
+   would capture [s] and allocate a closure per block. *)
+let pht s i j =
+  let x = s.(i) and y = s.(j) in
+  s.(i) <- ((2 * x) + y) land 0xff;
+  s.(j) <- (x + y) land 0xff
+
+let ipht s i j =
+  let x = s.(i) and y = s.(j) in
+  s.(i) <- (x - y) land 0xff;
+  s.(j) <- ((2 * y) - x) land 0xff
+
 let encrypt_core ~kread ~exp ~log ~ops s =
   s.(0) <- s.(0) lxor kread 0;
   s.(1) <- (s.(1) + kread 1) land 0xff;
@@ -27,21 +39,11 @@ let encrypt_core ~kread ~exp ~log ~ops s =
   s.(6) <- log s.(6);
   s.(7) <- exp s.(7);
   ops 8;
-  let pht i j =
-    let x = s.(i) and y = s.(j) in
-    s.(i) <- ((2 * x) + y) land 0xff;
-    s.(j) <- (x + y) land 0xff
-  in
-  pht 0 1; pht 2 3; pht 4 5; pht 6 7;
+  pht s 0 1; pht s 2 3; pht s 4 5; pht s 6 7;
   ops 12
 
 let decrypt_core ~kread ~exp ~log ~ops ~spill s =
-  let ipht i j =
-    let x = s.(i) and y = s.(j) in
-    s.(i) <- (x - y) land 0xff;
-    s.(j) <- ((2 * y) - x) land 0xff
-  in
-  ipht 0 1; ipht 2 3; ipht 4 5; ipht 6 7;
+  ipht s 0 1; ipht s 2 3; ipht s 4 5; ipht s 6 7;
   ops 12;
   (* Decryption holds more live values than encryption (the paper's stated
      reason for its higher receive-side miss count); the spill hook lets

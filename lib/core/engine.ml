@@ -1,6 +1,9 @@
 open Ilp_memsim
 module Internet = Ilp_checksum.Internet
 module Crc32 = Ilp_checksum.Crc32
+module Wire = Ilp_fastpath.Wire
+module Pool = Ilp_fastpath.Pool
+module Mt = Ilp_fastpath.Memtraffic
 
 type mode = Ilp | Separate
 
@@ -10,17 +13,21 @@ type rx_placement = Early | Late
 
 type backend = Simulated | Native of Ilp_fastpath.Cipher.t
 
+type data_path = Pooled | Legacy
+
 type t = {
   sim : Sim.t;
   cipher : Ilp_cipher.Block_cipher.t;
   backend : backend;
-  fastpath : Ilp_fastpath.Wire.t option;
+  fastpath : Wire.t option;
   mode : mode;
   header_style : header_style;
   rx_placement : rx_placement;
   linkage : Linkage.t;
   max_message : int;
   coalesce_writes : bool;
+  data_path : data_path;
+  pool : Pool.t;
   marshal_dmf : Dmf.t;
   unmarshal_dmf : Dmf.t;
   encrypt_dmf : Dmf.t;
@@ -46,7 +53,8 @@ let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
 let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
     ?(linkage = Linkage.Macro)
     ?(max_message = 2048) ?(coalesce_writes = false) ?(header_style = Leading)
-    ?(rx_placement = Early) ?(uniform_units = false) ?(crc32 = false) () =
+    ?(rx_placement = Early) ?(uniform_units = false) ?(crc32 = false)
+    ?(data_path = Pooled) ?pool () =
   (* Section 5: "uniform processing unit sizes for different data
      manipulation functions could be advantageous" — widen marshalling to
      the cipher's block so the fused loop runs one invocation per block. *)
@@ -74,14 +82,15 @@ let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
   let recv_loop = Code.alloc sim.code ~len:(site_len recv_body) in
   let marshal_buf = Alloc.alloc sim.alloc ~align:64 max_message in
   let app_rx = Alloc.alloc sim.alloc ~align:64 max_message in
+  let pool = match pool with Some p -> p | None -> Pool.create () in
   let fastpath =
     match backend with
     | Simulated -> None
-    | Native fc -> Some (Ilp_fastpath.Wire.create ~cipher:fc ~max_len:max_message)
+    | Native fc -> Some (Wire.create ~cipher:fc ~pool ~max_len:max_message ())
   in
   let crc = if crc32 then Some (Crc32.create sim.mem sim.alloc) else None in
   { sim; cipher; backend; fastpath; mode; header_style; rx_placement; linkage; max_message;
-    coalesce_writes;
+    coalesce_writes; data_path; pool;
     marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
     send_loops; recv_loop; marshal_buf; app_rx; crc }
 
@@ -90,11 +99,17 @@ let backend t = t.backend
 let crc32 t = t.crc <> None
 let header_style t = t.header_style
 let rx_placement t = t.rx_placement
+let data_path t = t.data_path
+let pool t = t.pool
 let sim t = t.sim
 let app_rx_base t = t.app_rx
 let machine t = t.sim.Sim.machine
 let mem t = t.sim.Sim.mem
 let block_len t = t.cipher.Ilp_cipher.Block_cipher.block_len
+
+(* Engine teardown: return the fast path's staging buffer to the pool.
+   The simulated-memory areas belong to the bump allocator and stay. *)
+let destroy t = match t.fastpath with Some fp -> Wire.release fp | None -> ()
 
 (* Bytes the framing adds beyond the marshalled body: the CRC32 trailer
    when enabled (the 4-byte length field is part of the plan itself). *)
@@ -155,40 +170,51 @@ let u32_be v =
 
 (* Copy [n] stream bytes starting at [pos] into [block+boff], charging
    payload bytes as application-memory reads (word-granular) and
-   generated bytes as ALU work. *)
-let stream_read t st block ~boff ~pos ~n =
-  let m = machine t in
-  if pos + n > st.total then invalid_arg "Engine.stream_read: beyond message end";
-  let rec walk segs i seg_start pos boff n =
-    if n > 0 then begin
-      let seg = segs.(i) in
-      let seg_len = match seg with Gen s -> String.length s | Payload p -> p.len in
-      if pos >= seg_start + seg_len then
-        walk segs (i + 1) (seg_start + seg_len) pos boff n
-      else begin
-        let off_in_seg = pos - seg_start in
-        let take = min n (seg_len - off_in_seg) in
-        (match seg with
-        | Gen src ->
-            Bytes.blit_string src off_in_seg block boff take;
-            Machine.compute m ((take + 3) / 4)
-        | Payload p ->
-            let addr = p.addr + off_in_seg in
-            let words = take / 4 in
-            for k = 0 to words - 1 do
-              Machine.read m ~addr:(addr + (k * 4)) ~size:4;
-              Machine.compute m 1
-            done;
-            for k = words * 4 to take - 1 do
-              Machine.read m ~addr:(addr + k) ~size:1;
-              Machine.compute m 1
-            done;
-            Bytes.blit (Mem.peek_bytes (mem t) ~pos:addr ~len:take) 0 block boff take);
-        walk segs i seg_start (pos + take) (boff + take) (n - take)
-      end
+   generated bytes as ALU work.  The charges are identical on both data
+   paths; only the host-side copy differs — the pooled path reads the
+   backing store directly, the legacy path peeks an intermediate (the
+   pre-PR per-block allocation, kept measurable). *)
+(* Top-level recursion (not a nested [let rec], which would capture its
+   environment and allocate a closure per call): [stream_read] runs once
+   per word or cipher block of every simulated message. *)
+let rec stream_read_walk t m segs block i seg_start pos boff n =
+  if n > 0 then begin
+    let seg = segs.(i) in
+    let seg_len = match seg with Gen s -> String.length s | Payload p -> p.len in
+    if pos >= seg_start + seg_len then
+      stream_read_walk t m segs block (i + 1) (seg_start + seg_len) pos boff n
+    else begin
+      let off_in_seg = pos - seg_start in
+      let take = min n (seg_len - off_in_seg) in
+      (match seg with
+      | Gen src ->
+          Bytes.blit_string src off_in_seg block boff take;
+          Machine.compute m ((take + 3) / 4)
+      | Payload p ->
+          let addr = p.addr + off_in_seg in
+          let words = take / 4 in
+          for k = 0 to words - 1 do
+            Machine.read m ~addr:(addr + (k * 4)) ~size:4;
+            Machine.compute m 1
+          done;
+          for k = words * 4 to take - 1 do
+            Machine.read m ~addr:(addr + k) ~size:1;
+            Machine.compute m 1
+          done;
+          (match t.data_path with
+          | Pooled -> Bytes.blit (Mem.raw (mem t)) addr block boff take
+          | Legacy ->
+              Mt.alloc Mt.Marshal take;
+              Bytes.blit (Mem.peek_bytes (mem t) ~pos:addr ~len:take) 0 block
+                boff take));
+      stream_read_walk t m segs block i seg_start (pos + take) (boff + take)
+        (n - take)
     end
-  in
-  walk st.segs 0 0 pos boff n
+  end
+
+let stream_read t st block ~boff ~pos ~n =
+  if pos + n > st.total then invalid_arg "Engine.stream_read: beyond message end";
+  stream_read_walk t (machine t) st.segs block 0 0 pos boff n
 
 (* ------------------------------------------------------------------ *)
 (* Send *)
@@ -216,19 +242,36 @@ let make_stream_of_segments t body =
      its value is a stream-build-time computation over the logical body
      bytes (it cannot be folded in part order — the CRC is
      ordering-constrained), while its per-byte fold cost is charged by the
-     fill paths below. *)
+     fill paths below.  The pooled path folds the segments in place; the
+     legacy path renders them through a Buffer first (the pre-PR copy). *)
   let crc_segs =
     match t.crc with
     | None -> []
     | Some _ ->
-        let b = Buffer.create (body_len + 8) in
-        List.iter
-          (function
-            | Seg_gen s -> Buffer.add_string b s
-            | Seg_app { addr; len } ->
-                Buffer.add_bytes b (Mem.peek_bytes (mem t) ~pos:addr ~len))
-          body;
-        [ Gen (u32_be (Crc32.string_crc (Buffer.contents b))) ]
+        let value =
+          match t.data_path with
+          | Pooled ->
+              let raw = Mem.raw (mem t) in
+              Crc32.finish
+                (List.fold_left
+                   (fun crc -> function
+                     | Seg_gen s ->
+                         Crc32.fold_string ~crc s ~off:0 ~len:(String.length s)
+                     | Seg_app { addr; len } ->
+                         Crc32.fold_bytes ~crc raw ~off:addr ~len)
+                   Crc32.init body)
+          | Legacy ->
+              let b = Buffer.create (body_len + 8) in
+              List.iter
+                (function
+                  | Seg_gen s -> Buffer.add_string b s
+                  | Seg_app { addr; len } ->
+                      Mt.alloc Mt.Checksum len;
+                      Buffer.add_bytes b (Mem.peek_bytes (mem t) ~pos:addr ~len))
+                body;
+              Crc32.string_crc (Buffer.contents b)
+        in
+        [ Gen (u32_be value) ]
   in
   let framed_len = body_len + framing_extra t in
   let plan = Parts.plan ~body_len:framed_len () in
@@ -344,20 +387,28 @@ let fill_separate t plan st ~dst =
      implementation has good cache behaviour). *)
   let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
   Pipeline.run_pass t.sim t.encrypt_dmf ~read_unit:cipher_unit
-    ~write_unit:cipher_unit ~src:buf ~dst:buf ~len:st.total ();
+    ~write_unit:cipher_unit ~src:t.marshal_buf ~dst:t.marshal_buf ~len:st.total ();
   (* tcp_send: copy into the ring buffer. *)
-  Mem.blit (mem t) ~src:buf ~dst ~len:st.total ~unit_len:4;
+  Mem.blit (mem t) ~src:t.marshal_buf ~dst ~len:st.total ~unit_len:4;
   None
 
 (* ------------------------------------------------------------------ *)
 (* Native backend: the same wire format produced by the un-simulated
-   Ilp_fastpath kernels.  The logical stream is rendered to a real buffer
-   (uncharged — native costs are wall-clock, not simulated cycles), run
-   through the fused or four-pass wire codec, and the ciphertext poked
-   into the ring.  The marshalling transform is the identity, so the
-   bytes are exactly those of the simulated backend. *)
+   Ilp_fastpath kernels (uncharged — native costs are wall-clock, not
+   simulated cycles; the Memtraffic ledger counts them instead).
+
+   Legacy path: the logical stream is rendered to a fresh buffer, run
+   through the wire codec into a second fresh buffer, and the ciphertext
+   poked into the ring — the pre-PR shape, kept as the measurable
+   baseline and for A/B equivalence tests.
+
+   Pooled path (single-copy): the stream is described as an iovec scatter
+   list over the backing store and assembled by the codec directly into
+   the ring at [dst]; in ILP mode the gather, encrypt and checksum happen
+   in one traversal.  No intermediate buffer exists. *)
 
 let render_stream t st =
+  Mt.alloc Mt.Marshal st.total;
   let out = Bytes.create st.total in
   let pos = ref 0 in
   Array.iter
@@ -365,32 +416,60 @@ let render_stream t st =
       match seg with
       | Gen s ->
           Bytes.blit_string s 0 out !pos (String.length s);
+          Mt.copied Mt.Marshal (String.length s);
           pos := !pos + String.length s
       | Payload p ->
+          Mt.alloc Mt.Marshal p.len;
+          Mt.copied Mt.Marshal (2 * p.len);
           Bytes.blit (Mem.peek_bytes (mem t) ~pos:p.addr ~len:p.len) 0 out !pos p.len;
           pos := !pos + p.len)
     st.segs;
   out
 
-let fill_native t fp st ~dst =
+let fill_native_legacy t fp st ~dst =
   let plain = render_stream t st in
+  Mt.alloc Mt.Tcp st.total;
   let wire = Bytes.create st.total in
   match t.mode with
   | Ilp ->
       let acc =
-        Ilp_fastpath.Wire.send_ilp fp ~src:plain ~src_off:0 ~len:st.total
-          ~dst:wire ~dst_off:0
+        Wire.send_ilp fp ~src:plain ~src_off:0 ~len:st.total ~dst:wire ~dst_off:0
       in
       Mem.poke_bytes (mem t) ~pos:dst wire;
+      Mt.copied Mt.Tcp st.total;
       Some acc
   | Separate ->
       (* TCP runs its own checksum pass over the ring, as in the simulated
          separate path; the accumulator computed here is dropped. *)
       ignore
-        (Ilp_fastpath.Wire.send_separate fp ~src:plain ~src_off:0 ~len:st.total
-           ~dst:wire ~dst_off:0);
+        (Wire.send_separate fp ~src:plain ~src_off:0 ~len:st.total ~dst:wire
+           ~dst_off:0);
       Mem.poke_bytes (mem t) ~pos:dst wire;
+      Mt.copied Mt.Tcp st.total;
       None
+
+let iovecs_of_stream t st =
+  let raw = Mem.raw (mem t) in
+  Array.fold_right
+    (fun seg acc ->
+      match seg with
+      | Gen s -> Wire.Io_string { s; off = 0; len = String.length s } :: acc
+      | Payload p -> Wire.Io_bytes { buf = raw; off = p.addr; len = p.len } :: acc)
+    st.segs []
+
+let fill_native_pooled t fp st ~dst =
+  let raw = Mem.raw (mem t) in
+  let iov = iovecs_of_stream t st in
+  match t.mode with
+  | Ilp -> Some (Wire.sendv_ilp fp ~iov ~dst:raw ~dst_off:dst)
+  | Separate ->
+      ignore (Wire.sendv_separate fp ~iov ~dst:raw ~dst_off:dst);
+      None
+
+let fill_native t fp st ~dst =
+  match t.data_path with
+  | Pooled -> fill_native_pooled t fp st ~dst
+  | Legacy -> fill_native_legacy t fp st ~dst
 
 let prepared_of_stream t (plan, st) =
   let fill _mem ~dst =
@@ -428,30 +507,47 @@ let check_rx_len t ~len =
          t.max_message)
   else Ok ()
 
+(* Native receive helpers.  Legacy: the staged ciphertext is peeked out of
+   simulated memory, run through the fast path into a fresh buffer, and
+   the plaintext poked into the application area — two intermediates per
+   message.  Pooled: the fast path runs directly on the backing store,
+   staging area to application area, no intermediates; the separate-path
+   decrypt consumes the staging bytes in place exactly as the simulated
+   backend does. *)
+let rx_native_separate t fp ~src ~len =
+  match t.data_path with
+  | Pooled ->
+      let raw = Mem.raw (mem t) in
+      ignore (Wire.recv_separate fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:t.app_rx)
+  | Legacy ->
+      Mt.alloc Mt.Tcp len;
+      Mt.copied Mt.Tcp len;
+      let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
+      Mt.alloc Mt.Marshal len;
+      let plain = Bytes.create len in
+      ignore (Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0);
+      Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
+      Mt.copied Mt.Rpc len
+
+let rx_native_fused t fp ~src ~len =
+  match t.data_path with
+  | Pooled ->
+      let raw = Mem.raw (mem t) in
+      Wire.recv_ilp fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:t.app_rx
+  | Legacy ->
+      Mt.alloc Mt.Tcp len;
+      Mt.copied Mt.Tcp len;
+      let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
+      Mt.alloc Mt.Marshal len;
+      let plain = Bytes.create len in
+      let acc = Wire.recv_ilp fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0 in
+      Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
+      Mt.copied Mt.Rpc len;
+      acc
+
 (* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
    place on the staging area, then unmarshal-and-copy to the application
    area in words. *)
-(* Native receive helpers: the staged ciphertext is peeked out of
-   simulated memory, run through the fast path, and the plaintext poked
-   into the application area. *)
-let rx_native_separate t fp ~src ~len =
-  let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
-  let plain = Bytes.create len in
-  ignore
-    (Ilp_fastpath.Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:plain
-       ~dst_off:0);
-  Mem.poke_bytes (mem t) ~pos:t.app_rx plain
-
-let rx_native_fused t fp ~src ~len =
-  let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
-  let plain = Bytes.create len in
-  let acc =
-    Ilp_fastpath.Wire.recv_ilp fp ~src:staged ~src_off:0 ~len ~dst:plain
-      ~dst_off:0
-  in
-  Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
-  acc
-
 let rx_separate t _mem ~src ~len =
   match check_rx_len t ~len with
   | Error _ as e -> e
@@ -519,57 +615,76 @@ let rx_style t =
   | Ilp, Late -> Rx_deferred_style (rx_late t)
   | Separate, _ -> Rx_deferred_style (rx_separate t)
 
+(* Shared validation of the plaintext at [app_rx]: the application reads
+   the length field and the RPC header words (charged), rejects an
+   implausible decrypted length, and verifies the CRC32 trailer when
+   enabled.  Charges are identical for both data paths — pooling changes
+   where the TSDU bytes land on the host, not what the simulated CPU
+   does. *)
+let validate_plaintext t ~len =
+  let m = machine t in
+  let enc_len =
+    match t.header_style with
+    | Leading -> Mem.get_u32 (mem t) t.app_rx
+    | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
+  in
+  Machine.compute m 2;
+  let hdr_words = min 6 ((len - 4) / 4) in
+  for i = 0 to hdr_words - 1 do
+    ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
+    Machine.compute m 1
+  done;
+  if enc_len < 4 || enc_len > len then
+    (* Decryption of a colliding-checksum segment scrambles the length
+       field: reject the message rather than index out of bounds. *)
+    Error (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len)
+  else
+    match t.crc with
+    | None -> Ok ()
+    | Some c ->
+        (* End-to-end verification of the CRC32 trailer: recompute the
+           serial fold over the plaintext body (charged) and compare.
+           This catches corruptions whose 16-bit Internet checksum
+           happens to collide. *)
+        if enc_len < 8 then
+          Error
+            (Printf.sprintf
+               "Engine.read_plaintext: length field %d too short for crc32 trailer"
+               enc_len)
+        else begin
+          let body_off, crc_len = crc_region t ~enc_len in
+          let stored = Mem.get_u32 (mem t) (t.app_rx + body_off + crc_len) in
+          let crc =
+            Crc32.update_mem c ~crc:Crc32.init (mem t)
+              ~pos:(t.app_rx + body_off) ~len:crc_len
+          in
+          Machine.compute m 2;
+          if Crc32.finish crc land 0xffff_ffff <> stored then
+            Error "Engine.read_plaintext: crc32 trailer mismatch"
+          else Ok ()
+        end
+
 let read_plaintext t ~len =
   if len < 4 || len > t.max_message then
     Error (Printf.sprintf "Engine.read_plaintext: implausible segment length %d" len)
-  else begin
-    let m = machine t in
-    (* The application reads the length field and the RPC header words
-       (charged), then the stub decodes the message. *)
-    let enc_len =
-      match t.header_style with
-      | Leading -> Mem.get_u32 (mem t) t.app_rx
-      | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
-    in
-    Machine.compute m 2;
-    let hdr_words = min 6 ((len - 4) / 4) in
-    for i = 0 to hdr_words - 1 do
-      ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
-      Machine.compute m 1
-    done;
-    if enc_len < 4 || enc_len > len then
-      (* Decryption of a colliding-checksum segment scrambles the length
-         field: reject the message rather than index out of bounds. *)
-      Error (Printf.sprintf "Engine.read_plaintext: bad length field %d" enc_len)
-    else
-      let crc_verdict =
-        match t.crc with
-        | None -> Ok ()
-        | Some c ->
-            (* End-to-end verification of the CRC32 trailer: recompute the
-               serial fold over the plaintext body (charged) and compare.
-               This catches corruptions whose 16-bit Internet checksum
-               happens to collide. *)
-            if enc_len < 8 then
-              Error
-                (Printf.sprintf
-                   "Engine.read_plaintext: length field %d too short for crc32 trailer"
-                   enc_len)
-            else begin
-              let body_off, crc_len = crc_region t ~enc_len in
-              let stored = Mem.get_u32 (mem t) (t.app_rx + body_off + crc_len) in
-              let crc =
-                Crc32.update_mem c ~crc:Crc32.init (mem t)
-                  ~pos:(t.app_rx + body_off) ~len:crc_len
-              in
-              Machine.compute m 2;
-              if Crc32.finish crc land 0xffff_ffff <> stored then
-                Error "Engine.read_plaintext: crc32 trailer mismatch"
-              else Ok ()
-            end
-      in
-      match crc_verdict with
-      | Error _ as e -> e
-      | Ok () ->
-          Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
-  end
+  else
+    match validate_plaintext t ~len with
+    | Error _ as e -> e
+    | Ok () ->
+        Mt.alloc Mt.Rpc len;
+        Mt.copied Mt.Rpc len;
+        Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
+
+let read_plaintext_pooled t ~len =
+  if len < 4 || len > t.max_message then
+    Error (Printf.sprintf "Engine.read_plaintext: implausible segment length %d" len)
+  else
+    match validate_plaintext t ~len with
+    | Error _ as e -> e
+    | Ok () ->
+        let buf = Pool.acquire t.pool len in
+        Bytes.blit (Mem.raw (mem t)) t.app_rx buf 0 len;
+        Mt.copied Mt.Rpc len;
+        Ok (buf, len)
+
+let release_plaintext t buf = Pool.release t.pool buf

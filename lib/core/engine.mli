@@ -64,6 +64,18 @@ type rx_placement = Early | Late
     for a native engine. *)
 type backend = Simulated | Native of Ilp_fastpath.Cipher.t
 
+(** Host-side data-path discipline (the single-copy work).  [Pooled] (the
+    default) stages native wire assembly as an iovec scatter list gathered
+    directly into the TCP ring, runs native receive in place on the
+    backing store, and hands plaintext TSDUs out as pooled buffers
+    ({!read_plaintext_pooled} / {!release_plaintext}).  [Legacy] keeps the
+    pre-pool shape — fresh intermediate buffers on every message — as the
+    measurable baseline for the {!Ilp_fastpath.Memtraffic} ledger and for
+    A/B equivalence tests.  Both paths produce byte-identical wire output
+    and charge identical simulated cycles; only host-side copies and
+    allocations differ. *)
+type data_path = Pooled | Legacy
+
 type t
 
 (** [create sim ~cipher ~mode ()] builds a stack.
@@ -86,6 +98,8 @@ val create :
   ?rx_placement:rx_placement ->
   ?uniform_units:bool ->
   ?crc32:bool ->
+  ?data_path:data_path ->
+  ?pool:Ilp_fastpath.Pool.t ->
   unit ->
   t
 (** [uniform_units] widens the marshalling unit to the cipher block
@@ -99,7 +113,11 @@ val create :
     ordering-constrained (section 2.2), so its value is fixed at
     stream-build time like the length field; its serial fold cost is
     charged as one more fused stage in ILP mode and one more pass in
-    separate mode.  Both endpoints must agree on this setting. *)
+    separate mode.  Both endpoints must agree on this setting.
+
+    [data_path] (default [Pooled]) selects the host-side buffering
+    discipline; [pool] supplies a shared buffer pool (e.g. one pool for
+    both ends of a connection), otherwise the engine creates its own. *)
 
 val mode : t -> mode
 val backend : t -> backend
@@ -109,6 +127,11 @@ val crc32 : t -> bool
 
 val header_style : t -> header_style
 val rx_placement : t -> rx_placement
+val data_path : t -> data_path
+
+(** The engine's buffer pool (created or shared at {!create} time). *)
+val pool : t -> Ilp_fastpath.Pool.t
+
 val sim : t -> Ilp_memsim.Sim.t
 
 (** [wire_len t ~prefix_len ~payload_len] is the encrypted on-the-wire
@@ -192,3 +215,21 @@ val app_rx_base : t -> int
     checksum-colliding corruption that survived TCP's verdict — or, with
     [crc32] enabled, when the recomputed CRC32 trailer does not match. *)
 val read_plaintext : t -> len:int -> (string, string) result
+
+(** Single-copy variant of {!read_plaintext}: identical validation and
+    identical charges, but the plaintext lands in a buffer acquired from
+    the engine's pool — [Ok (buf, len)] where the TSDU occupies
+    [buf.[0..len-1]] (the buffer's capacity is its size class, possibly
+    larger).  The caller must hand the buffer back with
+    {!release_plaintext} on every path, including after decode errors. *)
+val read_plaintext_pooled : t -> len:int -> (Bytes.t * int, string) result
+
+(** Return a buffer obtained from {!read_plaintext_pooled} to the pool. *)
+val release_plaintext : t -> Bytes.t -> unit
+
+(** Tear down the engine's host-side resources: returns the native fast
+    path's staging buffer to the pool (idempotent; a no-op for simulated
+    backends).  Required for pool-balance accounting —
+    [Pool.outstanding (pool t) = 0] after all TSDUs are released and all
+    engines destroyed. *)
+val destroy : t -> unit

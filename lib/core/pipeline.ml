@@ -47,7 +47,7 @@ let load_block sim ~src block ~off ~len ~unit_len =
     Machine.read machine ~addr:(src + i) ~size:1;
     Machine.compute machine 1
   done;
-  Bytes.blit (Mem.peek_bytes mem ~pos:src ~len) 0 block off len
+  Bytes.blit (Mem.raw mem) src block off len
 
 (* Charged stores, symmetric to [load_block]. *)
 let store_block sim ~dst block ~off ~len ~unit_len =
@@ -62,23 +62,40 @@ let store_block sim ~dst block ~off ~len ~unit_len =
     Machine.write machine ~addr:(dst + i) ~size:1;
     Machine.compute machine 1
   done;
-  Mem.poke_bytes mem ~pos:dst (Bytes.sub block off len)
+  Bytes.blit block off (Mem.raw mem) dst len
 
 (* With macro linkage the stages' code is part of the fused loop region
    (the caller sizes [loop_code] accordingly), so only the loop region is
    fetched here; with function calls each stage keeps its own shared code
    region and pays the per-invocation call overhead. *)
-let apply_stages sim t block ~off ~len =
-  let machine = sim.Sim.machine in
-  let call_ops = Linkage.call_ops t.linkage in
-  List.iter
-    (fun stage ->
+(* Explicit recursion over the stage list — a [List.iter] lambda here
+   would capture the block and allocate a closure per processed block. *)
+let rec apply_stage_list machine call_ops stages block off len =
+  match stages with
+  | [] -> ()
+  | stage :: rest ->
       if call_ops > 0 then begin
         Machine.exec machine stage.Dmf.code;
         Machine.compute machine (call_ops * (len / stage.Dmf.unit_len))
       end;
-      Dmf.apply_over stage block ~off ~len)
-    t.stages
+      Dmf.apply_over stage block ~off ~len;
+      apply_stage_list machine call_ops rest block off len
+
+let apply_stages sim t block ~off ~len =
+  apply_stage_list sim.Sim.machine (Linkage.call_ops t.linkage) t.stages block
+    off len
+
+(* Charged stores following the write pattern, cycling through it; again
+   top-level recursion instead of per-block ref cells. *)
+let rec pattern_writes machine pattern pat dst pos len =
+  if pos < len then
+    match pat with
+    | [] -> pattern_writes machine pattern pattern dst pos len
+    | u :: rest ->
+        let u = min u (len - pos) in
+        Machine.write machine ~addr:(dst + pos) ~size:u;
+        Machine.compute machine 1;
+        pattern_writes machine pattern rest dst (pos + u) len
 
 let process_block sim t block ~off ~len ~dst =
   let machine = sim.Sim.machine in
@@ -101,22 +118,8 @@ let process_block sim t block ~off ~len ~dst =
   match t.write_pattern with
   | None -> store_block sim ~dst block ~off ~len ~unit_len:t.write_unit
   | Some pattern ->
-      let machine = sim.Sim.machine in
-      let mem = sim.Sim.mem in
-      let pos = ref 0 in
-      let pat = ref pattern in
-      while !pos < len do
-        (match !pat with [] -> pat := pattern | _ -> ());
-        match !pat with
-        | [] -> assert false
-        | u :: rest ->
-            let u = min u (len - !pos) in
-            Machine.write machine ~addr:(dst + !pos) ~size:u;
-            Machine.compute machine 1;
-            pos := !pos + u;
-            pat := rest
-      done;
-      Mem.poke_bytes mem ~pos:dst (Bytes.sub block off len)
+      pattern_writes sim.Sim.machine pattern pattern dst 0 len;
+      Bytes.blit block off (Mem.raw sim.Sim.mem) dst len
 
 let run_fused sim t ~src ~dst ~len =
   let le = exchange_len t in

@@ -1,0 +1,95 @@
+(* Global per-layer byte counters for the host data path.  Plain ints,
+   bumped from the hot loops, so the ledger itself adds no allocation and
+   no indirection — the same spirit as the paper's atom/cachesim counts,
+   but for the un-simulated (native) lane and the engine's host-side
+   buffer management. *)
+
+type layer = Marshal | Cipher | Checksum | Tcp | Rpc | Pool
+
+let n_layers = 6
+
+let layer_index = function
+  | Marshal -> 0
+  | Cipher -> 1
+  | Checksum -> 2
+  | Tcp -> 3
+  | Rpc -> 4
+  | Pool -> 5
+
+let layer_name = function
+  | Marshal -> "marshal"
+  | Cipher -> "cipher"
+  | Checksum -> "checksum"
+  | Tcp -> "tcp"
+  | Rpc -> "rpc"
+  | Pool -> "pool"
+
+let layers = [ Marshal; Cipher; Checksum; Tcp; Rpc; Pool ]
+
+let reads = Array.make n_layers 0
+let writes = Array.make n_layers 0
+let copies = Array.make n_layers 0
+let allocs = Array.make n_layers 0
+let alloc_blocks = Array.make n_layers 0
+
+let read l n = reads.(layer_index l) <- reads.(layer_index l) + n
+
+let write l n = writes.(layer_index l) <- writes.(layer_index l) + n
+
+let copied l n =
+  let i = layer_index l in
+  reads.(i) <- reads.(i) + n;
+  writes.(i) <- writes.(i) + n;
+  copies.(i) <- copies.(i) + n
+
+let inplace l n =
+  let i = layer_index l in
+  reads.(i) <- reads.(i) + n;
+  writes.(i) <- writes.(i) + n
+
+let alloc l n =
+  let i = layer_index l in
+  allocs.(i) <- allocs.(i) + n;
+  alloc_blocks.(i) <- alloc_blocks.(i) + 1
+
+type snapshot = {
+  s_reads : int array;
+  s_writes : int array;
+  s_copies : int array;
+  s_allocs : int array;
+  s_alloc_blocks : int array;
+}
+
+let snapshot () =
+  { s_reads = Array.copy reads;
+    s_writes = Array.copy writes;
+    s_copies = Array.copy copies;
+    s_allocs = Array.copy allocs;
+    s_alloc_blocks = Array.copy alloc_blocks }
+
+let diff later earlier =
+  let d a b = Array.init n_layers (fun i -> a.(i) - b.(i)) in
+  { s_reads = d later.s_reads earlier.s_reads;
+    s_writes = d later.s_writes earlier.s_writes;
+    s_copies = d later.s_copies earlier.s_copies;
+    s_allocs = d later.s_allocs earlier.s_allocs;
+    s_alloc_blocks = d later.s_alloc_blocks earlier.s_alloc_blocks }
+
+let reset () =
+  Array.fill reads 0 n_layers 0;
+  Array.fill writes 0 n_layers 0;
+  Array.fill copies 0 n_layers 0;
+  Array.fill allocs 0 n_layers 0;
+  Array.fill alloc_blocks 0 n_layers 0
+
+let total a = Array.fold_left ( + ) 0 a
+
+let reads_total s = total s.s_reads
+let writes_total s = total s.s_writes
+let copied_total s = total s.s_copies
+let allocated_total s = total s.s_allocs
+let alloc_blocks_total s = total s.s_alloc_blocks
+
+let of_layer s l =
+  let i = layer_index l in
+  (s.s_reads.(i), s.s_writes.(i), s.s_copies.(i), s.s_allocs.(i))

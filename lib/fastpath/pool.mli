@@ -1,0 +1,44 @@
+(** A size-classed, reusable buffer pool for the single-copy data path.
+
+    Buffers live in power-of-two size classes (64 B to 16 MiB).
+    {!acquire} returns a buffer of capacity at least the requested
+    length — a recycled one when the class has a free buffer, a fresh
+    allocation otherwise ({e pool-exhaustion fallback}: the pool degrades
+    to plain allocation, it never fails).  {!release} returns a buffer to
+    its class; past [class_cap] retained buffers per class it is dropped
+    to the GC instead, bounding the pool's footprint.
+
+    Every acquire and release is counted, so a harness can assert the
+    zero-leak invariant [outstanding = 0] in one comparison. *)
+
+type t
+
+(** [create ?class_cap ()] — [class_cap] (default 8) bounds the free
+    buffers retained per size class; [0] disables reuse entirely (every
+    acquire is a fresh allocation — useful to exercise the exhaustion
+    fallback). *)
+val create : ?class_cap:int -> unit -> t
+
+(** [acquire t len] returns a buffer with [Bytes.length >= len] (the
+    class size, so callers must track their own logical length).
+    Requests beyond the largest class are served with an exactly-sized
+    fresh allocation.  Raises [Invalid_argument] on negative [len]. *)
+val acquire : t -> int -> Bytes.t
+
+(** Return a buffer to the pool.  Safe to call with any buffer; ones that
+    are not exactly class-sized (or whose class is full) are dropped to
+    the GC and counted. *)
+val release : t -> Bytes.t -> unit
+
+type stats = {
+  acquired : int;
+  released : int;
+  outstanding : int;  (** acquired - released; 0 means no leaks *)
+  fresh_allocs : int;  (** acquires served by a fresh allocation *)
+  dropped : int;  (** releases not retained (class full or odd-sized) *)
+}
+
+val stats : t -> stats
+
+(** [acquired - released] — the zero-leak assertion value. *)
+val outstanding : t -> int

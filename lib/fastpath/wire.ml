@@ -1,17 +1,42 @@
 module Internet = Ilp_checksum.Internet
+module Mt = Memtraffic
 
 type t = {
   cipher : Cipher.t;
-  staging : Bytes.t;  (* the separate path's intermediate protocol buffer *)
+  pool : Pool.t option;
+  (* The separate path's intermediate protocol buffer, drawn lazily (the
+     ILP paths never touch it) and returned on {!release}. *)
+  mutable staging : Bytes.t option;
   max_len : int;
 }
 
-let create ~cipher ~max_len =
+let create ~cipher ?pool ~max_len () =
   if max_len < 0 then invalid_arg "Wire.create: max_len";
-  { cipher; staging = Bytes.create max_len; max_len }
+  { cipher; pool; staging = None; max_len }
 
 let cipher t = t.cipher
 let max_len t = t.max_len
+
+let staging t =
+  match t.staging with
+  | Some b -> b
+  | None ->
+      let b =
+        match t.pool with
+        | Some p -> Pool.acquire p t.max_len
+        | None ->
+            Mt.alloc Mt.Marshal t.max_len;
+            Bytes.create t.max_len
+      in
+      t.staging <- Some b;
+      b
+
+let release t =
+  match t.staging with
+  | None -> ()
+  | Some b ->
+      t.staging <- None;
+      (match t.pool with Some p -> Pool.release p b | None -> ())
 
 (* Chunk of the fused loop: big enough to amortise loop setup, small
    enough that a chunk written by one manipulation is still cache-resident
@@ -29,13 +54,18 @@ let check name ~src ~src_off ~len ~dst ~dst_off =
 let send_separate t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.send_separate" ~src ~src_off ~len ~dst ~dst_off;
   if len > t.max_len then invalid_arg "Wire.send_separate: longer than max_len";
+  let buf = staging t in
   (* Pass 1: marshal — move the message into the protocol buffer. *)
-  Words.blit ~src ~src_off ~dst:t.staging ~dst_off:0 ~len;
+  Words.blit ~src ~src_off ~dst:buf ~dst_off:0 ~len;
+  Mt.copied Mt.Marshal len;
   (* Pass 2: encrypt the protocol buffer in place. *)
-  Cipher.encrypt_blocks t.cipher t.staging ~off:0 ~count:(len / 8);
+  Cipher.encrypt_blocks t.cipher buf ~off:0 ~count:(len / 8);
+  Mt.inplace Mt.Cipher len;
   (* Pass 3: the TCP send copy into the ring. *)
-  Words.blit ~src:t.staging ~src_off:0 ~dst ~dst_off ~len;
+  Words.blit ~src:buf ~src_off:0 ~dst ~dst_off ~len;
+  Mt.copied Mt.Tcp len;
   (* Pass 4: the tcp_output checksum walk. *)
+  Mt.read Mt.Checksum len;
   Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len
 
 let send_ilp t ~src ~src_off ~len ~dst ~dst_off =
@@ -50,16 +80,22 @@ let send_ilp t ~src ~src_off ~len ~dst ~dst_off =
     acc := Internet.add_bytes_unsafe !acc dst ~off:d ~len:n;
     pos := !pos + n
   done;
+  Mt.copied Mt.Marshal len;
+  Mt.inplace Mt.Cipher len;
+  Mt.read Mt.Checksum len;
   !acc
 
 let recv_separate t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.recv_separate" ~src ~src_off ~len ~dst ~dst_off;
   (* Pass 1: the tcp_input checksum walk. *)
   let acc = Internet.add_bytes_unsafe Internet.empty src ~off:src_off ~len in
+  Mt.read Mt.Checksum len;
   (* Pass 2: decrypt the staged segment in place. *)
   Cipher.decrypt_blocks t.cipher src ~off:src_off ~count:(len / 8);
+  Mt.inplace Mt.Cipher len;
   (* Pass 3: unmarshal — copy the plaintext up to the application. *)
   Words.blit ~src ~src_off ~dst ~dst_off ~len;
+  Mt.copied Mt.Marshal len;
   acc
 
 let recv_ilp t ~src ~src_off ~len ~dst ~dst_off =
@@ -74,4 +110,106 @@ let recv_ilp t ~src ~src_off ~len ~dst ~dst_off =
     Cipher.decrypt_blocks t.cipher dst ~off:d ~count:(n / 8);
     pos := !pos + n
   done;
+  Mt.read Mt.Checksum len;
+  Mt.copied Mt.Marshal len;
+  Mt.inplace Mt.Cipher len;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather sends: the marshal output described as an iovec list
+   and assembled directly at [dst] — the single-copy path.  Segment
+   boundaries are arbitrary; only the total must be a block multiple. *)
+
+type iovec =
+  | Io_bytes of { buf : Bytes.t; off : int; len : int }
+  | Io_string of { s : string; off : int; len : int }
+
+let iovec_len iov =
+  List.fold_left
+    (fun acc io ->
+      acc + match io with Io_bytes b -> b.len | Io_string s -> s.len)
+    0 iov
+
+let check_iovec name iov =
+  List.iter
+    (fun io ->
+      let ok =
+        match io with
+        | Io_bytes b -> b.off >= 0 && b.len >= 0 && b.off + b.len <= Bytes.length b.buf
+        | Io_string s -> s.off >= 0 && s.len >= 0 && s.off + s.len <= String.length s.s
+      in
+      if not ok then invalid_arg (name ^ ": iovec out of bounds"))
+    iov
+
+let checkv name iov ~dst ~dst_off =
+  check_iovec name iov;
+  let total = iovec_len iov in
+  if dst_off < 0 || dst_off + total > Bytes.length dst then
+    invalid_arg (name ^ ": out of bounds");
+  if total mod 8 <> 0 then invalid_arg (name ^ ": length not a multiple of 8");
+  total
+
+(* Gather [iov] at [dst+dst_off], invoking [flush pos] whenever a full
+   chunk has been gathered since the last flush (and [pos] is therefore
+   chunk-aligned relative to the flush cursor). *)
+let gather iov ~dst ~dst_off ~flushed ~flush =
+  let pos = ref 0 in
+  let copy_slices blit len =
+    let off = ref 0 in
+    while !off < len do
+      let room = chunk - (!pos - !flushed) in
+      let n = min (len - !off) room in
+      blit !off (dst_off + !pos) n;
+      pos := !pos + n;
+      off := !off + n;
+      if !pos - !flushed = chunk then flush !pos
+    done
+  in
+  List.iter
+    (fun io ->
+      match io with
+      | Io_bytes b -> copy_slices (fun o d n -> Bytes.blit b.buf (b.off + o) dst d n) b.len
+      | Io_string s ->
+          copy_slices (fun o d n -> Bytes.blit_string s.s (s.off + o) dst d n) s.len)
+    iov;
+  !pos
+
+let sendv_ilp t ~iov ~dst ~dst_off =
+  let total = checkv "Wire.sendv_ilp" iov ~dst ~dst_off in
+  (* One traversal: each gathered chunk is encrypted and checksummed at
+     [dst] while still cache-resident. *)
+  let acc = ref Internet.empty in
+  let flushed = ref 0 in
+  let flush upto =
+    if upto > !flushed then begin
+      let n = upto - !flushed in
+      let d = dst_off + !flushed in
+      Cipher.encrypt_blocks t.cipher dst ~off:d ~count:(n / 8);
+      acc := Internet.add_bytes_unsafe !acc dst ~off:d ~len:n;
+      flushed := upto
+    end
+  in
+  let gathered = gather iov ~dst ~dst_off ~flushed ~flush in
+  flush gathered;
+  Mt.copied Mt.Marshal total;
+  Mt.inplace Mt.Cipher total;
+  Mt.read Mt.Checksum total;
+  !acc
+
+let sendv_separate t ~iov ~dst ~dst_off =
+  let total = checkv "Wire.sendv_separate" iov ~dst ~dst_off in
+  if total > t.max_len then invalid_arg "Wire.sendv_separate: longer than max_len";
+  let buf = staging t in
+  (* Pass 1: marshal — gather the message into the protocol buffer. *)
+  let flushed = ref 0 in
+  ignore (gather iov ~dst:buf ~dst_off:0 ~flushed ~flush:(fun p -> flushed := p));
+  Mt.copied Mt.Marshal total;
+  (* Pass 2: encrypt the protocol buffer in place. *)
+  Cipher.encrypt_blocks t.cipher buf ~off:0 ~count:(total / 8);
+  Mt.inplace Mt.Cipher total;
+  (* Pass 3: the TCP send copy into the ring. *)
+  Words.blit ~src:buf ~src_off:0 ~dst ~dst_off ~len:total;
+  Mt.copied Mt.Tcp total;
+  (* Pass 4: the tcp_output checksum walk. *)
+  Mt.read Mt.Checksum total;
+  Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len:total

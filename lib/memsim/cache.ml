@@ -50,71 +50,84 @@ let create cfg =
 
 let config t = t.cfg
 
-type outcome = { hit : bool; writeback : bool; filled : bool }
+(* Outcomes are packed into an int so that [access] — the innermost loop
+   of every simulated byte — allocates nothing.  A record here costs one
+   minor-heap block per cache-line touch, which at ~19M words per 64 KiB
+   message drowns the data-path allocation signal the memory-traffic
+   benchmark exists to measure. *)
+type outcome = int
 
-let locate t addr =
-  let block = addr lsr t.line_shift in
-  let set = block mod t.sets in
-  let tag = block / t.sets in
-  (set, tag)
+let hit_bit = 1
+let writeback_bit = 2
+let filled_bit = 4
+let hit (o : outcome) = o land hit_bit <> 0
+let writeback (o : outcome) = o land writeback_bit <> 0
+let filled (o : outcome) = o land filled_bit <> 0
+
+(* No tuples, options or refs below: [access] runs once per cache line of
+   every simulated byte, so its helpers return plain ints ([find_way]
+   yields -1 for "not resident"). *)
+
+let locate_set t addr = (addr lsr t.line_shift) mod t.sets
+let locate_tag t addr = (addr lsr t.line_shift) / t.sets
+
+(* The lookup loops recurse through top-level functions: a [let rec]
+   nested inside a function captures its environment and allocates a
+   closure on every call. *)
+
+let rec find_from valid tags base tag assoc w =
+  if w = assoc then -1
+  else if valid.(base + w) && tags.(base + w) = tag then base + w
+  else find_from valid tags base tag assoc (w + 1)
 
 let find_way t set tag =
-  let base = set * t.cfg.assoc in
-  let rec go w =
-    if w = t.cfg.assoc then None
-    else if t.valid.(base + w) && t.tags.(base + w) = tag then Some (base + w)
-    else go (w + 1)
-  in
-  go 0
+  find_from t.valid t.tags (set * t.cfg.assoc) tag t.cfg.assoc 0
 
 (* Victim selection: an invalid way if any, otherwise the least recently
    used one. *)
+let rec victim_from valid age base assoc w best best_key =
+  if w = assoc then best
+  else
+    let i = base + w in
+    let key = if valid.(i) then age.(i) else min_int + w in
+    if key < best_key then victim_from valid age base assoc (w + 1) i key
+    else victim_from valid age base assoc (w + 1) best best_key
+
 let victim_way t set =
   let base = set * t.cfg.assoc in
-  let best = ref base in
-  let best_key = ref max_int in
-  for w = 0 to t.cfg.assoc - 1 do
-    let i = base + w in
-    let key = if t.valid.(i) then t.age.(i) else min_int + w in
-    if key < !best_key then begin
-      best := i;
-      best_key := key
-    end
-  done;
-  !best
+  victim_from t.valid t.age base t.cfg.assoc 0 base max_int
 
 let touch t i =
   t.tick <- t.tick + 1;
   t.age.(i) <- t.tick
 
 let access t ~addr ~write =
-  let set, tag = locate t addr in
-  match find_way t set tag with
-  | Some i ->
-      touch t i;
-      if write then begin
-        match t.cfg.write_policy with
-        | Write_back -> t.dirty.(i) <- true
-        | Write_through -> ()
-      end;
-      { hit = true; writeback = false; filled = false }
-  | None ->
-      if write && not t.cfg.write_allocate then
-        (* Store-around: the write goes straight to the next level. *)
-        { hit = false; writeback = false; filled = false }
-      else begin
-        let i = victim_way t set in
-        let writeback = t.valid.(i) && t.dirty.(i) in
-        t.tags.(i) <- tag;
-        t.valid.(i) <- true;
-        t.dirty.(i) <- (write && t.cfg.write_policy = Write_back);
-        touch t i;
-        { hit = false; writeback; filled = true }
-      end
+  let set = locate_set t addr in
+  let tag = locate_tag t addr in
+  let i = find_way t set tag in
+  if i >= 0 then begin
+    touch t i;
+    if write then begin
+      match t.cfg.write_policy with
+      | Write_back -> t.dirty.(i) <- true
+      | Write_through -> ()
+    end;
+    hit_bit
+  end
+  else if write && not t.cfg.write_allocate then
+    (* Store-around: the write goes straight to the next level. *)
+    0
+  else begin
+    let i = victim_way t set in
+    let wb = t.valid.(i) && t.dirty.(i) in
+    t.tags.(i) <- tag;
+    t.valid.(i) <- true;
+    t.dirty.(i) <- (write && t.cfg.write_policy = Write_back);
+    touch t i;
+    if wb then writeback_bit lor filled_bit else filled_bit
+  end
 
-let present t ~addr =
-  let set, tag = locate t addr in
-  match find_way t set tag with Some _ -> true | None -> false
+let present t ~addr = find_way t (locate_set t addr) (locate_tag t addr) >= 0
 
 let flush t =
   Array.fill t.valid 0 (Array.length t.valid) false;

@@ -29,14 +29,19 @@ val create : config -> t
 
 val config : t -> config
 
-type outcome = {
-  hit : bool;
-  writeback : bool;
-  (** a dirty line was evicted and must be written to the next level *)
-  filled : bool;
-  (** the access allocated a line (miss with allocate), so the next level
-      must be read to fill it *)
-}
+(** Access outcome, packed into an immediate so the per-line hot path
+    allocates nothing.  Query it with {!hit}, {!writeback} and
+    {!filled}. *)
+type outcome = int
+
+val hit : outcome -> bool
+
+(** A dirty line was evicted and must be written to the next level. *)
+val writeback : outcome -> bool
+
+(** The access allocated a line (miss with allocate), so the next level
+    must be read to fill it. *)
+val filled : outcome -> bool
 
 (** [access t ~addr ~write] touches the single line containing [addr].
     The caller is responsible for splitting accesses that straddle lines. *)

@@ -5,9 +5,10 @@ type t = {
   l1i : Cache.t;
   l2 : Cache.t option;
   stats : Stats.t;
-  mutable cycles : float;
-  mutable stall : float;  (* cache/memory-induced cycles *)
-  mutable ifetch_stall : float;
+  (* [cycles; stall; ifetch_stall] — a flat float array is unboxed, so
+     charging cycles on the per-byte hot path allocates nothing, where a
+     [mutable ... : float] record field boxes every update. *)
+  counters : float array;
   l1_hit_cycles : float;
   l2_hit_cycles : float;
   mem_cycles : float;
@@ -23,9 +24,7 @@ let create cfg =
     l1i = Cache.create cfg.Config.l1i;
     l2 = Option.map Cache.create cfg.Config.l2;
     stats = Stats.create ();
-    cycles = 0.0;
-    stall = 0.0;
-    ifetch_stall = 0.0;
+    counters = Array.make 3 0.0;
     l1_hit_cycles = float_of_int (Config.l1_hit_cycles cfg);
     l2_hit_cycles = float_of_int (Config.l2_hit_cycles cfg);
     mem_cycles = float_of_int (Config.mem_cycles cfg);
@@ -38,20 +37,31 @@ let config t = t.cfg
    its own possible miss to memory) or memory directly.  [kind]/[size] are
    only used to attribute second-level misses in the ledger. *)
 let charge_stall t kind c =
-  t.cycles <- t.cycles +. c;
-  t.stall <- t.stall +. c;
-  if kind = Stats.Ifetch then t.ifetch_stall <- t.ifetch_stall +. c
+  let ctr = t.counters in
+  ctr.(0) <- ctr.(0) +. c;
+  ctr.(1) <- ctr.(1) +. c;
+  if kind = Stats.Ifetch then ctr.(2) <- ctr.(2) +. c
+
+(* Write-buffer drain cost for a [size]-byte store.  Computed and charged
+   inside one function: a float computed at a call site is boxed to be
+   passed as an argument, and on a write-through cache this runs for every
+   simulated store. *)
+let charge_store_drain t size =
+  let c = t.store_buffer_cycles *. float_of_int size /. 4.0 in
+  let ctr = t.counters in
+  ctr.(0) <- ctr.(0) +. c;
+  ctr.(1) <- ctr.(1) +. c
 
 let below_l1 t kind ~size ~addr ~write =
   match t.l2 with
   | None -> charge_stall t kind t.mem_cycles
   | Some l2 ->
       let o = Cache.access l2 ~addr ~write in
-      if o.Cache.hit then charge_stall t kind t.l2_hit_cycles
+      if (Cache.hit o) then charge_stall t kind t.l2_hit_cycles
       else begin
         Stats.record_miss t.stats kind ~size ~level:2;
         charge_stall t kind t.mem_cycles;
-        if o.Cache.writeback then charge_stall t kind t.mem_cycles
+        if (Cache.writeback o) then charge_stall t kind t.mem_cycles
       end
 
 let data_access t kind ~addr ~size =
@@ -64,28 +74,26 @@ let data_access t kind ~addr ~size =
      is additionally counted in the ledger — that is the quantity the
      paper's cachesim reports — but a byte-wise store stream is only
      marginally slower than a word-wise one, not 4x. *)
-  if write && t.l1d_write_through then
-    charge_stall t Stats.Write (t.store_buffer_cycles *. float_of_int size /. 4.0);
+  if write && t.l1d_write_through then charge_store_drain t size;
   let line = Cache.line_size t.l1d in
   let first = addr land lnot (line - 1) in
   let last = (addr + size - 1) land lnot (line - 1) in
-  let a = ref first in
-  while !a <= last do
-    let o = Cache.access t.l1d ~addr:!a ~write in
-    if o.Cache.hit then charge_stall t kind t.l1_hit_cycles
+  (* A [for] loop, not a [ref] cursor: this runs for every simulated
+     access and a ref cell is a minor-heap allocation per call. *)
+  for j = 0 to (last - first) / line do
+    let a = first + (j * line) in
+    let o = Cache.access t.l1d ~addr:a ~write in
+    if Cache.hit o then charge_stall t kind t.l1_hit_cycles
     else begin
       Stats.record_miss t.stats kind ~size ~level:1;
-      if write && not o.Cache.filled then
+      if write && not (Cache.filled o) then
         (* Store-around: the drain charge above covers it. *)
-        (if not t.l1d_write_through then
-           charge_stall t Stats.Write
-             (t.store_buffer_cycles *. float_of_int size /. 4.0))
+        (if not t.l1d_write_through then charge_store_drain t size)
       else begin
-        below_l1 t kind ~size ~addr:!a ~write:false;
-        if o.Cache.writeback then below_l1 t Stats.Write ~size ~addr:!a ~write:true
+        below_l1 t kind ~size ~addr:a ~write:false;
+        if Cache.writeback o then below_l1 t Stats.Write ~size ~addr:a ~write:true
       end
-    end;
-    a := !a + line
+    end
   done
 
 let read t ~addr ~size = data_access t Stats.Read ~addr ~size
@@ -96,37 +104,36 @@ let exec t (region : Code.region) =
     let line = Cache.line_size t.l1i in
     let first = region.Code.base land lnot (line - 1) in
     let last = (region.Code.base + region.Code.len - 1) land lnot (line - 1) in
-    let a = ref first in
-    while !a <= last do
+    for j = 0 to (last - first) / line do
+      let a = first + (j * line) in
       Stats.record_access t.stats Stats.Ifetch ~size:4;
-      let o = Cache.access t.l1i ~addr:!a ~write:false in
-      if not o.Cache.hit then begin
+      let o = Cache.access t.l1i ~addr:a ~write:false in
+      if not (Cache.hit o) then begin
         Stats.record_miss t.stats Stats.Ifetch ~size:4 ~level:1;
-        below_l1 t Stats.Ifetch ~size:4 ~addr:!a ~write:false
-      end;
-      a := !a + line
+        below_l1 t Stats.Ifetch ~size:4 ~addr:a ~write:false
+      end
     done
   end
 
 let compute t ops =
-  if ops > 0 then t.cycles <- t.cycles +. (float_of_int ops *. t.compute_scale)
+  if ops > 0 then
+    t.counters.(0) <- t.counters.(0) +. (float_of_int ops *. t.compute_scale)
 
-let charge_cycles t c = t.cycles <- t.cycles +. c
+let charge_cycles t c = t.counters.(0) <- t.counters.(0) +. c
 
 let charge_micros t us =
-  if us <> 0.0 then t.cycles <- t.cycles +. (us *. t.cfg.Config.clock_mhz)
+  if us <> 0.0 then
+    t.counters.(0) <- t.counters.(0) +. (us *. t.cfg.Config.clock_mhz)
 
-let cycles t = t.cycles
-let stall_cycles t = t.stall
-let ifetch_stall_cycles t = t.ifetch_stall
-let stall_micros t = t.stall /. t.cfg.Config.clock_mhz
-let micros t = t.cycles /. t.cfg.Config.clock_mhz
+let cycles t = t.counters.(0)
+let stall_cycles t = t.counters.(1)
+let ifetch_stall_cycles t = t.counters.(2)
+let stall_micros t = t.counters.(1) /. t.cfg.Config.clock_mhz
+let micros t = t.counters.(0) /. t.cfg.Config.clock_mhz
 let stats t = t.stats
 
 let reset_counters t =
-  t.cycles <- 0.0;
-  t.stall <- 0.0;
-  t.ifetch_stall <- 0.0;
+  Array.fill t.counters 0 3 0.0;
   Stats.reset t.stats
 
 let flush_caches t =

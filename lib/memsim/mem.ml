@@ -66,5 +66,6 @@ let peek_u32 t addr =
 
 let poke_u32 t addr v = Bytes.set_int32_be t.data addr (Int32.of_int (v land 0xffffffff))
 let peek_bytes t ~pos ~len = Bytes.sub t.data pos len
+let raw t = t.data
 let poke_bytes t ~pos b = Bytes.blit b 0 t.data pos (Bytes.length b)
 let poke_string t ~pos s = Bytes.blit_string s 0 t.data pos (String.length s)

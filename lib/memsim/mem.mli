@@ -44,3 +44,10 @@ val poke_u32 : t -> int -> int -> unit
 val peek_bytes : t -> pos:int -> len:int -> Bytes.t
 val poke_bytes : t -> pos:int -> Bytes.t -> unit
 val poke_string : t -> pos:int -> string -> unit
+
+(** The backing store itself — the zero-copy uncharged accessor.  Native
+    (un-simulated) kernels operate on simulated memory through this
+    without per-message staging copies; address arithmetic is the
+    caller's.  Like the [peek]/[poke] family, going through it charges
+    nothing. *)
+val raw : t -> Bytes.t

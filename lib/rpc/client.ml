@@ -133,35 +133,69 @@ let rec schedule_retry t =
                      error t "request does not fit one segment"))
       end
 
+(* Allocation-free slice equality:
+   [expected.[off..off+len-1] = data.[doff..doff+len-1]] without the
+   [String.sub] the legacy compare paid per chunk.  Bounds are the
+   caller's responsibility. *)
+let slice_matches expected ~off data ~doff ~len =
+  let rec go i =
+    i = len
+    || (String.unsafe_get expected (off + i) = String.unsafe_get data (doff + i)
+       && go (i + 1))
+  in
+  go 0
+
+(* Status dispatch shared by both data paths; the payload is the span
+   [data.[doff..doff+dlen-1]] (a whole decoded string on the legacy path,
+   a window into the pooled TSDU buffer on the single-copy path). *)
+let consume_reply t hdr ~data ~doff ~dlen =
+  match hdr.Messages.status with
+  | Messages.Not_found | Messages.Refused -> t.rejected <- true
+  | Messages.Busy ->
+      t.busy_replies <- t.busy_replies + 1;
+      schedule_retry t
+  | Messages.Ok -> (
+      match t.transfer with
+      | None -> error t "unsolicited reply"
+      | Some tr ->
+          let off = hdr.Messages.file_offset in
+          let copy = hdr.Messages.copy in
+          if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
+          else if off < 0 || off + dlen > String.length tr.expected then
+            error t "reply out of bounds: offset %d len %d" off dlen
+          else if not (slice_matches tr.expected ~off data ~doff ~len:dlen) then
+            error t "payload mismatch at offset %d (copy %d)" off copy
+          else begin
+            tr.received.(copy) <- tr.received.(copy) + dlen;
+            t.bytes_received <- t.bytes_received + dlen
+          end)
+
 let handle_reply t ~len =
   t.replies_received <- t.replies_received + 1;
-  match Engine.read_plaintext t.engine ~len with
-  | Error e -> error t "unreadable reply: %s" e
-  | Ok plaintext -> (
-      let length_at_end = Engine.header_style t.engine = Engine.Trailer in
-      match Messages.decode_reply ~length_at_end plaintext with
-      | Error e -> error t "undecodable reply: %s" e
-      | Ok (hdr, data) -> (
-          match hdr.Messages.status with
-          | Messages.Not_found | Messages.Refused -> t.rejected <- true
-          | Messages.Busy ->
-              t.busy_replies <- t.busy_replies + 1;
-              schedule_retry t
-          | Messages.Ok -> (
-              match t.transfer with
-              | None -> error t "unsolicited reply"
-              | Some tr ->
-                  let off = hdr.Messages.file_offset in
-                  let copy = hdr.Messages.copy in
-                  if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
-                  else if off < 0 || off + String.length data > String.length tr.expected
-                  then error t "reply out of bounds: offset %d len %d" off (String.length data)
-                  else if String.sub tr.expected off (String.length data) <> data then
-                    error t "payload mismatch at offset %d (copy %d)" off copy
-                  else begin
-                    tr.received.(copy) <- tr.received.(copy) + String.length data;
-                    t.bytes_received <- t.bytes_received + String.length data
-                  end)))
+  let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+  match Engine.data_path t.engine with
+  | Engine.Legacy -> (
+      match Engine.read_plaintext t.engine ~len with
+      | Error e -> error t "unreadable reply: %s" e
+      | Ok plaintext -> (
+          match Messages.decode_reply ~length_at_end plaintext with
+          | Error e -> error t "undecodable reply: %s" e
+          | Ok (hdr, data) ->
+              consume_reply t hdr ~data ~doff:0 ~dlen:(String.length data)))
+  | Engine.Pooled -> (
+      (* Single-copy: the TSDU lands in a pooled buffer, the reply is
+         decoded in place, the payload compared in place, and the buffer
+         released on every path — including decode errors. *)
+      match Engine.read_plaintext_pooled t.engine ~len with
+      | Error e -> error t "unreadable reply: %s" e
+      | Ok (buf, plen) ->
+          (match Messages.decode_reply_view ~length_at_end buf ~len:plen with
+          | Error e -> error t "undecodable reply: %s" e
+          | Ok (hdr, data_off) ->
+              consume_reply t hdr
+                ~data:(Bytes.unsafe_to_string buf)
+                ~doff:data_off ~dlen:hdr.Messages.data_len);
+          Engine.release_plaintext t.engine buf)
 
 (* Both connections feed the same failure slot: losing either one ends the
    transfer, and the first recorded reason is the one reported. *)

@@ -111,6 +111,98 @@ let reply_prefix h =
   Xdr.Enc.uint32 enc h.data_len;
   Xdr.Enc.contents enc
 
+(* ------------------------------------------------------------------ *)
+(* In-place decoders over pooled TSDU buffers (the single-copy receive
+   path).  A [View] is a cursor over [buf.[0..limit-1]] with exactly
+   {!Xdr.Dec}'s semantics — same bounds discipline, same error strings —
+   but no [String.sub] per field: opaque fields come back as spans into
+   the buffer.  Equivalence with the string decoders is property-tested
+   (test_rpc). *)
+
+module View = struct
+  type t = { buf : Bytes.t; limit : int; mutable pos : int }
+
+  exception Error of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+  let make buf ~pos ~limit = { buf; limit; pos }
+
+  let need t n =
+    if t.pos + n > t.limit then
+      fail "truncated XDR input: need %d bytes at %d, have %d" n t.pos
+        (t.limit - t.pos)
+
+  let uint32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) land 0xffff_ffff in
+    t.pos <- t.pos + 4;
+    v
+
+  let int32 t =
+    let v = uint32 t in
+    if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+  (* Length word, padding check, cursor advance — but the payload stays
+     put: the result is its (offset, length) span in the buffer. *)
+  let opaque_span t =
+    let n = uint32 t in
+    need t (Xdr.padded n);
+    for i = n to Xdr.padded n - 1 do
+      if Bytes.get t.buf (t.pos + i) <> '\000' then fail "nonzero XDR padding"
+    done;
+    let off = t.pos in
+    t.pos <- t.pos + Xdr.padded n;
+    (off, n)
+
+  let enum t names =
+    let i = uint32 t in
+    if i >= Array.length names then fail "enum value %d out of range" i;
+    i
+end
+
+(* Mirror of {!decoder_of_plaintext} over a buffer span. *)
+let view_decoder ~length_at_end buf ~len =
+  if len < 8 || len > Bytes.length buf then Error "plaintext too short"
+  else
+    let pos = if length_at_end then len - 4 else 0 in
+    let enc_len = Int32.to_int (Bytes.get_int32_be buf pos) land 0xffff_ffff in
+    if enc_len < 4 || enc_len > len then
+      Error (Printf.sprintf "bad length field %d" enc_len)
+    else Ok (View.make buf ~pos:(if length_at_end then 0 else 4) ~limit:len)
+
+let decode_request_bytes ?(length_at_end = false) buf ~len =
+  match view_decoder ~length_at_end buf ~len with
+  | Error _ as e -> e
+  | Ok v -> (
+      match
+        let off, n = View.opaque_span v in
+        let file_name = Bytes.sub_string v.View.buf off n in
+        let copies = View.int32 v in
+        let max_reply = View.int32 v in
+        { file_name; copies; max_reply }
+      with
+      | r -> Ok r
+      | exception View.Error e -> Error e)
+
+let decode_reply_view ?(length_at_end = false) buf ~len =
+  match view_decoder ~length_at_end buf ~len with
+  | Error _ as e -> e
+  | Ok v -> (
+      match
+        let st = View.enum v status_names in
+        let copy = View.int32 v in
+        let file_offset = View.int32 v in
+        let total_len = View.int32 v in
+        let data_off, data_len = View.opaque_span v in
+        (st, copy, file_offset, total_len, data_off, data_len)
+      with
+      | st, copy, file_offset, total_len, data_off, data_len -> (
+          match status_of_enum st with
+          | Some status ->
+              Ok ({ status; copy; file_offset; total_len; data_len }, data_off)
+          | None -> Error "reply: bad status")
+      | exception View.Error e -> Error e)
+
 let decode_reply ?(length_at_end = false) plaintext =
   match decoder_of_plaintext ~length_at_end plaintext with
   | Error _ as e -> e

@@ -216,8 +216,19 @@ let handle_request t conn ~len =
   t.requests_received <- t.requests_received + 1;
   match
     let length_at_end = Engine.header_style t.engine = Engine.Trailer in
-    Result.bind (Engine.read_plaintext t.engine ~len)
-      (Messages.decode_request ~length_at_end)
+    match Engine.data_path t.engine with
+    | Engine.Legacy ->
+        Result.bind (Engine.read_plaintext t.engine ~len)
+          (Messages.decode_request ~length_at_end)
+    | Engine.Pooled ->
+        (* Single-copy: decode the request in place from a pooled TSDU
+           buffer, released as soon as the decode finishes (the request's
+           fields are scalars plus the short file name). *)
+        Result.bind (Engine.read_plaintext_pooled t.engine ~len)
+          (fun (buf, plen) ->
+            let r = Messages.decode_request_bytes ~length_at_end buf ~len:plen in
+            Engine.release_plaintext t.engine buf;
+            r)
   with
   | Error _ ->
       t.bad_requests <- t.bad_requests + 1;

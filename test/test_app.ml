@@ -220,6 +220,67 @@ let test_des_much_slower_than_simplified () =
     (Ft.mean des.Ft.send_us > 3.0 *. Ft.mean simplified.Ft.send_us)
 
 (* ------------------------------------------------------------------ *)
+(* Data path: at the application level the pooled single-copy path must
+   be observationally identical to the legacy allocating path — same
+   payload, same wire traffic, same simulated time — and leak-free. *)
+
+let with_data_path s data_path = { s with Ft.data_path }
+
+let test_data_path_end_to_end_equivalent () =
+  List.iter
+    (fun (mode, header_style) ->
+      let base = small_setup ~mode ~header_style ~copies:1 () in
+      let pooled = run (with_data_path base Engine.Pooled) in
+      let legacy = run (with_data_path base Engine.Legacy) in
+      check "same payload" legacy.Ft.payload_bytes pooled.Ft.payload_bytes;
+      check "same wire bytes" legacy.Ft.wire_bytes pooled.Ft.wire_bytes;
+      checkb "identical simulated time" true
+        (legacy.Ft.total_machine_us = pooled.Ft.total_machine_us);
+      check "pooled run leaks nothing" 0 pooled.Ft.pool_leaks;
+      check "legacy run leaks nothing" 0 legacy.Ft.pool_leaks)
+    [ (Engine.Ilp, Engine.Leading);
+      (Engine.Ilp, Engine.Trailer);
+      (Engine.Separate, Engine.Leading) ]
+
+let test_data_path_equivalent_under_chaos () =
+  let imp =
+    { Ilp_netsim.Link.fault_free with
+      Ilp_netsim.Link.loss_rate = 0.15;
+      corrupt_rate = 0.05;
+      dup_rate = 0.05 }
+  in
+  let base =
+    { (small_setup ~copies:2 ()) with
+      Ft.impairments = Some imp;
+      deadline_us = 60_000_000.0 }
+  in
+  let pooled = run (with_data_path base Engine.Pooled) in
+  let legacy = run (with_data_path base Engine.Legacy) in
+  checkb "chaos actually bit (retransmissions)" true
+    (pooled.Ft.retransmissions > 0);
+  check "same payload under chaos" legacy.Ft.payload_bytes
+    pooled.Ft.payload_bytes;
+  check "same wire bytes under chaos" legacy.Ft.wire_bytes pooled.Ft.wire_bytes;
+  check "no leaks under chaos" 0 pooled.Ft.pool_leaks
+
+let test_data_path_pool_exhaustion_end_to_end () =
+  (* A cap-0 shared pool recycles nothing: every acquire falls back to a
+     fresh allocation, and the transfer must neither fail nor leak. *)
+  let pool = Ilp_fastpath.Pool.create ~class_cap:0 () in
+  let r =
+    run
+      { (small_setup ~copies:1 ()) with
+        Ft.data_path = Engine.Pooled;
+        pool = Some pool }
+  in
+  check "all payload delivered on fallback" (15 * 1024) r.Ft.payload_bytes;
+  let s = Ilp_fastpath.Pool.stats pool in
+  checkb "fallback allocated fresh" true (s.Ilp_fastpath.Pool.fresh_allocs > 0);
+  checkb "nothing recycled at cap 0" true
+    (s.Ilp_fastpath.Pool.fresh_allocs = s.Ilp_fastpath.Pool.acquired);
+  check "shared pool balanced" 0 (Ilp_fastpath.Pool.outstanding pool)
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial wire and the soak harness *)
 
 let test_fault_free_impairments_unchanged () =
@@ -341,6 +402,13 @@ let () =
           Alcotest.test_case "uniform units" `Quick test_uniform_units;
           Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
           Alcotest.test_case "DES dominates" `Quick test_des_much_slower_than_simplified ] );
+      ( "data path",
+        [ Alcotest.test_case "pooled = legacy end to end" `Quick
+            test_data_path_end_to_end_equivalent;
+          Alcotest.test_case "pooled = legacy under chaos" `Quick
+            test_data_path_equivalent_under_chaos;
+          Alcotest.test_case "pool exhaustion fallback end to end" `Quick
+            test_data_path_pool_exhaustion_end_to_end ] );
       ( "adversarial",
         [ Alcotest.test_case "fault-free impairments unchanged" `Quick
             test_fault_free_impairments_unchanged;

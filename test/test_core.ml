@@ -749,6 +749,122 @@ let test_engine_crc_wire_len () =
     (Engine.wire_len plain ~prefix_len:8 ~payload_len:100 + 8)
     (Engine.wire_len with_crc ~prefix_len:8 ~payload_len:104)
 
+(* ------------------------------------------------------------------ *)
+(* Data path: the pooled single-copy path must be indistinguishable from
+   the legacy allocating path in everything but host-side allocation —
+   same wire bytes, same recovered plaintext, same decode errors. *)
+
+(* One full transfer; returns the engine (rx already run), the wire
+   bytes, and the wire length, leaving the plaintext readable. *)
+let transfer_with ~mode ~header_style ~crc32 ~data_path ?pool () =
+  let sim = make_sim () in
+  let cipher = Ilp_cipher.Safer_simplified.charged sim ~key:"engineKY" () in
+  let eng =
+    Engine.create sim ~cipher ~mode ~header_style ~crc32 ~data_path ?pool ()
+  in
+  let payload = String.init 333 (fun i -> Char.chr ((i * 37 + 5) land 0xff)) in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix:"HDRWORDS" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  (match Engine.rx_style eng with
+  | Engine.Rx_integrated_style rx ->
+      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+  | Engine.Rx_deferred_style rx ->
+      ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+  (sim, eng, read_back sim wire prepared.Engine.len, prepared.Engine.len)
+
+let all_engine_variants =
+  List.concat_map
+    (fun mode ->
+      List.concat_map
+        (fun header_style ->
+          List.map (fun crc32 -> (mode, header_style, crc32)) [ false; true ])
+        [ Engine.Leading; Engine.Trailer ])
+    [ Engine.Ilp; Engine.Separate ]
+
+let test_data_path_wire_identical () =
+  List.iter
+    (fun (mode, header_style, crc32) ->
+      let _, ep, wire_p, len_p =
+        transfer_with ~mode ~header_style ~crc32 ~data_path:Engine.Pooled ()
+      in
+      let _, el, wire_l, len_l =
+        transfer_with ~mode ~header_style ~crc32 ~data_path:Engine.Legacy ()
+      in
+      check "wire length identical" len_p len_l;
+      check_s "wire bytes identical pooled vs legacy" wire_p wire_l;
+      Engine.destroy ep;
+      Engine.destroy el)
+    all_engine_variants
+
+let test_data_path_plaintext_identical () =
+  List.iter
+    (fun (mode, header_style, crc32) ->
+      (* Same engine: both read paths must decode the same TSDU. *)
+      List.iter
+        (fun data_path ->
+          let _, eng, _, len =
+            transfer_with ~mode ~header_style ~crc32 ~data_path ()
+          in
+          let legacy = ok_or_fail (Engine.read_plaintext eng ~len) in
+          let buf, n = ok_or_fail (Engine.read_plaintext_pooled eng ~len) in
+          check_s "pooled read = legacy read" legacy (Bytes.sub_string buf 0 n);
+          Engine.release_plaintext eng buf;
+          Engine.destroy eng;
+          check "pool balanced after release + destroy" 0
+            (Ilp_fastpath.Pool.outstanding (Engine.pool eng)))
+        [ Engine.Pooled; Engine.Legacy ])
+    all_engine_variants
+
+let test_data_path_errors_identical () =
+  (* A corruption planted in the decoded plaintext must surface as the
+     same error through both read paths. *)
+  List.iter
+    (fun (poke_off, what) ->
+      let _, eng, _, len =
+        transfer_with ~mode:Engine.Ilp ~header_style:Engine.Leading ~crc32:true
+          ~data_path:Engine.Pooled ()
+      in
+      let sim_mem_addr = Engine.app_rx_base eng + poke_off in
+      let sim = Engine.sim eng in
+      Mem.poke_u8 sim.Sim.mem sim_mem_addr
+        (Mem.peek_u8 sim.Sim.mem sim_mem_addr lxor 0xff);
+      let e_legacy =
+        match Engine.read_plaintext eng ~len with
+        | Ok _ -> Alcotest.fail (what ^ ": legacy read must reject")
+        | Error e -> e
+      in
+      (match Engine.read_plaintext_pooled eng ~len with
+      | Ok (buf, _) ->
+          Engine.release_plaintext eng buf;
+          Alcotest.fail (what ^ ": pooled read must reject")
+      | Error e -> check_s (what ^ ": identical error text") e_legacy e);
+      Engine.destroy eng;
+      check "no pool leak on error path" 0
+        (Ilp_fastpath.Pool.outstanding (Engine.pool eng)))
+    [ (0, "length field corrupted"); (40, "payload corrupted under crc") ]
+
+let test_data_path_shared_pool_exhaustion () =
+  (* A cap-0 shared pool forces the exhaustion fallback on every acquire;
+     transfers must still succeed and stay leak-free. *)
+  let pool = Ilp_fastpath.Pool.create ~class_cap:0 () in
+  let _, eng, _, len =
+    transfer_with ~mode:Engine.Separate ~header_style:Engine.Trailer
+      ~crc32:false ~data_path:Engine.Pooled ~pool ()
+  in
+  let legacy = ok_or_fail (Engine.read_plaintext eng ~len) in
+  let buf, n = ok_or_fail (Engine.read_plaintext_pooled eng ~len) in
+  check_s "fallback decode identical" legacy (Bytes.sub_string buf 0 n);
+  Engine.release_plaintext eng buf;
+  Engine.destroy eng;
+  let s = Ilp_fastpath.Pool.stats pool in
+  checkb "fallback allocated fresh" true (s.Ilp_fastpath.Pool.fresh_allocs > 0);
+  check "shared pool balanced" 0 s.Ilp_fastpath.Pool.outstanding
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -812,4 +928,13 @@ let () =
           Alcotest.test_case "catches checksum-colliding corruption" `Quick
             test_engine_crc_catches_collision;
           Alcotest.test_case "wire length adds one word" `Quick
-            test_engine_crc_wire_len ] ) ]
+            test_engine_crc_wire_len ] );
+      ( "data path",
+        [ Alcotest.test_case "wire bytes identical pooled vs legacy" `Quick
+            test_data_path_wire_identical;
+          Alcotest.test_case "plaintext identical across read paths" `Quick
+            test_data_path_plaintext_identical;
+          Alcotest.test_case "identical errors on corruption" `Quick
+            test_data_path_errors_identical;
+          Alcotest.test_case "shared-pool exhaustion fallback" `Quick
+            test_data_path_shared_pool_exhaustion ] ) ]

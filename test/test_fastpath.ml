@@ -89,7 +89,7 @@ let test_swar_known_bytes () =
 (* Wire codec *)
 
 let wire_pair cipher len =
-  let fp = FP.Wire.create ~cipher ~max_len:len in
+  let fp = FP.Wire.create ~cipher ~max_len:len () in
   let msg = Bytes.of_string (random_msg len) in
   let sep = Bytes.create len and ilp = Bytes.create len in
   let acc_sep = FP.Wire.send_separate fp ~src:msg ~src_off:0 ~len ~dst:sep ~dst_off:0 in
@@ -141,7 +141,7 @@ let prop_wire_roundtrip_at_offsets =
     (fun (len, a, b) ->
       let src_off = a mod 16 and dst_off = b mod 16 in
       let cipher = FP.Cipher.Safer_simplified (Safer_simplified.expand_key key) in
-      let fp = FP.Wire.create ~cipher ~max_len:(len + 32) in
+      let fp = FP.Wire.create ~cipher ~max_len:(len + 32) () in
       let msg = random_msg len in
       let src = Bytes.make (src_off + len) '\000' in
       Bytes.blit_string msg 0 src src_off len;
@@ -152,7 +152,7 @@ let prop_wire_roundtrip_at_offsets =
       Bytes.to_string out = msg && Internet.finish acc = Internet.finish acc')
 
 let test_wire_validation () =
-  let fp = FP.Wire.create ~cipher:FP.Cipher.Simple ~max_len:64 in
+  let fp = FP.Wire.create ~cipher:FP.Cipher.Simple ~max_len:64 () in
   let b = Bytes.create 64 in
   (match FP.Wire.send_ilp fp ~src:b ~src_off:0 ~len:12 ~dst:b ~dst_off:0 with
   | _ -> Alcotest.fail "expected Invalid_argument (unaligned)"
@@ -265,6 +265,144 @@ let test_native_rx_checksum_agrees () =
   in
   check "rx acc = send acc" (Internet.finish send_acc) (Internet.finish rx_acc)
 
+(* ------------------------------------------------------------------ *)
+(* Buffer pool *)
+
+let test_pool_reuse () =
+  let p = FP.Pool.create () in
+  let b1 = FP.Pool.acquire p 100 in
+  checkb "capacity covers request" true (Bytes.length b1 >= 100);
+  FP.Pool.release p b1;
+  let b2 = FP.Pool.acquire p 100 in
+  checkb "released buffer is physically recycled" true (b1 == b2);
+  FP.Pool.release p b2;
+  let s = FP.Pool.stats p in
+  check "acquired" 2 s.FP.Pool.acquired;
+  check "released" 2 s.FP.Pool.released;
+  check "outstanding" 0 s.FP.Pool.outstanding;
+  check "one fresh alloc for two acquires" 1 s.FP.Pool.fresh_allocs;
+  check "nothing dropped" 0 s.FP.Pool.dropped
+
+let test_pool_exhaustion_fallback () =
+  (* class_cap:0 disables retention: the pool degrades to plain
+     allocation but still completes every request and stays balanced. *)
+  let p = FP.Pool.create ~class_cap:0 () in
+  let bufs = List.init 5 (fun _ -> FP.Pool.acquire p 64) in
+  List.iter
+    (fun b -> checkb "fallback still serves capacity" true (Bytes.length b >= 64))
+    bufs;
+  List.iter (FP.Pool.release p) bufs;
+  let b' = FP.Pool.acquire p 64 in
+  List.iter (fun b -> checkb "never recycles at cap 0" true (not (b == b'))) bufs;
+  FP.Pool.release p b';
+  let s = FP.Pool.stats p in
+  check "every acquire was a fresh alloc" 6 s.FP.Pool.fresh_allocs;
+  check "every release was dropped" 6 s.FP.Pool.dropped;
+  check "no leaks under exhaustion" 0 (FP.Pool.outstanding p)
+
+let test_pool_class_cap_bound () =
+  let p = FP.Pool.create ~class_cap:2 () in
+  let bufs = List.init 4 (fun _ -> FP.Pool.acquire p 256) in
+  List.iter (FP.Pool.release p) bufs;
+  let s = FP.Pool.stats p in
+  check "class retains at most cap buffers" 2 s.FP.Pool.dropped;
+  check "balanced" 0 s.FP.Pool.outstanding
+
+let test_pool_odd_size_dropped () =
+  let p = FP.Pool.create () in
+  FP.Pool.release p (Bytes.create 100);
+  let s = FP.Pool.stats p in
+  check "non-class-sized buffer dropped" 1 s.FP.Pool.dropped;
+  let b = FP.Pool.acquire p 100 in
+  checkb "odd buffer was not retained" true (Bytes.length b > 100);
+  FP.Pool.release p b
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather sends: sendv must be byte- and checksum-identical to
+   rendering the iovec contiguously and running the contiguous send. *)
+
+(* Cut [msg] into iovec segments at pseudo-random boundaries derived from
+   [seed], alternating bytes-with-offset and string segments. *)
+let iovec_of_string msg seed =
+  let n = String.length msg in
+  let rec cut pos k acc =
+    if pos >= n then List.rev acc
+    else
+      let len = 1 + ((seed * 7 + (k * 13)) mod 97) in
+      let len = min len (n - pos) in
+      let seg =
+        if (k + seed) land 1 = 0 then
+          FP.Wire.Io_string { s = msg; off = pos; len }
+        else
+          let pad = (seed + k) land 7 in
+          let buf = Bytes.make (pad + len + 3) '\xaa' in
+          Bytes.blit_string msg pos buf pad len;
+          FP.Wire.Io_bytes { buf; off = pad; len }
+      in
+      cut (pos + len) (k + 1) (seg :: acc)
+  in
+  cut 0 0 []
+
+let prop_sendv_equals_contiguous =
+  QCheck.Test.make ~count:80
+    ~name:"sendv_{ilp,separate} = contiguous send_ilp on random splits"
+    QCheck.(pair (map (fun n -> n * 8) (int_range 0 80)) small_nat)
+    (fun (len, seed) ->
+      let cipher = FP.Cipher.Safer_simplified (Safer_simplified.expand_key key) in
+      let fp = FP.Wire.create ~cipher ~max_len:(max 8 len) () in
+      let msg = random_msg len in
+      let iov = iovec_of_string msg seed in
+      FP.Wire.iovec_len iov = len
+      &&
+      let flat = Bytes.of_string msg in
+      let ref_wire = Bytes.create len in
+      let ref_acc =
+        FP.Wire.send_ilp fp ~src:flat ~src_off:0 ~len ~dst:ref_wire ~dst_off:0
+      in
+      let wi = Bytes.create len and ws = Bytes.create len in
+      let ai = FP.Wire.sendv_ilp fp ~iov ~dst:wi ~dst_off:0 in
+      let as_ = FP.Wire.sendv_separate fp ~iov ~dst:ws ~dst_off:0 in
+      Bytes.equal wi ref_wire && Bytes.equal ws ref_wire
+      && Internet.finish ai = Internet.finish ref_acc
+      && Internet.finish as_ = Internet.finish ref_acc)
+
+(* ------------------------------------------------------------------ *)
+(* Staging buffer: drawn lazily from the pool, returned on release. *)
+
+let test_staging_from_pool () =
+  let pool = FP.Pool.create () in
+  let cipher = FP.Cipher.Simple in
+  let fp = FP.Wire.create ~cipher ~pool ~max_len:256 () in
+  check "nothing drawn at create" 0 (FP.Pool.outstanding pool);
+  let msg = Bytes.of_string (random_msg 64) in
+  let dst = Bytes.create 64 in
+  (* The ILP paths never stage. *)
+  ignore (FP.Wire.send_ilp fp ~src:msg ~src_off:0 ~len:64 ~dst ~dst_off:0);
+  ignore
+    (FP.Wire.sendv_ilp fp
+       ~iov:[ FP.Wire.Io_bytes { buf = msg; off = 0; len = 64 } ]
+       ~dst ~dst_off:0);
+  check "ILP sends draw nothing" 0 (FP.Pool.outstanding pool);
+  ignore (FP.Wire.send_separate fp ~src:msg ~src_off:0 ~len:64 ~dst ~dst_off:0);
+  check "first separate send draws the staging buffer" 1
+    (FP.Pool.outstanding pool);
+  ignore (FP.Wire.send_separate fp ~src:msg ~src_off:0 ~len:64 ~dst ~dst_off:0);
+  check "staging buffer is drawn once" 1 (FP.Pool.outstanding pool);
+  FP.Wire.release fp;
+  check "release returns it" 0 (FP.Pool.outstanding pool);
+  FP.Wire.release fp;
+  check "release is idempotent" 0 (FP.Pool.outstanding pool);
+  (* A later separate send simply redraws. *)
+  let out = Bytes.create 64 in
+  let acc = FP.Wire.send_separate fp ~src:msg ~src_off:0 ~len:64 ~dst:out ~dst_off:0 in
+  check "redraw works" 1 (FP.Pool.outstanding pool);
+  checkb "redrawn staging produces correct wire bytes" true (Bytes.equal out dst);
+  let acc' = FP.Wire.send_ilp fp ~src:msg ~src_off:0 ~len:64 ~dst ~dst_off:0 in
+  check "checksums still agree after redraw" (Internet.finish acc')
+    (Internet.finish acc);
+  FP.Wire.release fp;
+  check "no leaks at teardown" 0 (FP.Pool.outstanding pool)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "fastpath"
@@ -278,7 +416,18 @@ let () =
         [ Alcotest.test_case "send paths agree" `Quick test_send_paths_agree;
           Alcotest.test_case "recv paths agree" `Quick test_recv_paths_agree;
           Alcotest.test_case "validation" `Quick test_wire_validation;
-          qc prop_wire_roundtrip_at_offsets ] );
+          qc prop_wire_roundtrip_at_offsets;
+          qc prop_sendv_equals_contiguous;
+          Alcotest.test_case "staging drawn from pool" `Quick
+            test_staging_from_pool ] );
+      ( "pool",
+        [ Alcotest.test_case "acquire/release reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "exhaustion fallback (cap 0)" `Quick
+            test_pool_exhaustion_fallback;
+          Alcotest.test_case "class cap bounds retention" `Quick
+            test_pool_class_cap_bound;
+          Alcotest.test_case "odd-sized release dropped" `Quick
+            test_pool_odd_size_dropped ] );
       ( "engine backends",
         [ Alcotest.test_case "byte-identical wire output" `Quick
             test_backends_byte_identical;

@@ -75,12 +75,12 @@ let dm ~size ~line = Cache.create (Cache.direct_mapped ~size ~line)
 let test_cache_cold_miss_then_hit () =
   let c = dm ~size:256 ~line:16 in
   let o1 = Cache.access c ~addr:0 ~write:false in
-  checkb "cold miss" false o1.Cache.hit;
-  checkb "filled" true o1.Cache.filled;
+  checkb "cold miss" false (Cache.hit o1);
+  checkb "filled" true (Cache.filled o1);
   let o2 = Cache.access c ~addr:12 ~write:false in
-  checkb "same line hits" true o2.Cache.hit;
+  checkb "same line hits" true (Cache.hit o2);
   let o3 = Cache.access c ~addr:16 ~write:false in
-  checkb "next line misses" false o3.Cache.hit
+  checkb "next line misses" false (Cache.hit o3)
 
 let test_cache_direct_mapped_conflict () =
   let c = dm ~size:256 ~line:16 in
@@ -105,11 +105,11 @@ let test_cache_writeback_on_dirty_eviction () =
   let c = dm ~size:256 ~line:16 in
   ignore (Cache.access c ~addr:0 ~write:true);
   let o = Cache.access c ~addr:256 ~write:false in
-  checkb "dirty eviction writes back" true o.Cache.writeback;
+  checkb "dirty eviction writes back" true (Cache.writeback o);
   (* A clean line must not write back. *)
   ignore (Cache.access c ~addr:512 ~write:false);
   let o2 = Cache.access c ~addr:0 ~write:false in
-  checkb "clean eviction silent" false o2.Cache.writeback
+  checkb "clean eviction silent" false (Cache.writeback o2)
 
 let test_cache_store_around () =
   let cfg =
@@ -119,12 +119,12 @@ let test_cache_store_around () =
   in
   let c = Cache.create cfg in
   let o = Cache.access c ~addr:0 ~write:true in
-  checkb "write miss does not fill" false o.Cache.filled;
+  checkb "write miss does not fill" false (Cache.filled o);
   checkb "line still absent" false (Cache.present c ~addr:0);
   (* A read brings the line in; later writes hit. *)
   ignore (Cache.access c ~addr:0 ~write:false);
   let o2 = Cache.access c ~addr:4 ~write:true in
-  checkb "write hit after read" true o2.Cache.hit
+  checkb "write hit after read" true (Cache.hit o2)
 
 let test_cache_write_through_never_dirty () =
   let cfg =
@@ -134,7 +134,7 @@ let test_cache_write_through_never_dirty () =
   let c = Cache.create cfg in
   ignore (Cache.access c ~addr:0 ~write:true);
   let o = Cache.access c ~addr:256 ~write:false in
-  checkb "write-through eviction has no writeback" false o.Cache.writeback
+  checkb "write-through eviction has no writeback" false (Cache.writeback o)
 
 let test_cache_flush () =
   let c = dm ~size:256 ~line:16 in

@@ -96,6 +96,74 @@ let prop_request_roundtrip =
       | Ok got -> got = req
       | Error _ -> false)
 
+(* The in-place (view) decoders must agree with the copying decoders on
+   every input — valid, corrupted, and oversized-buffer (the pooled TSDU
+   buffer's capacity is its size class, so [len] does the limiting). *)
+
+(* Wrap a plaintext the way the pooled receive hands it over: in a
+   buffer with trailing junk capacity beyond [len]. *)
+let pooled_view_of plaintext junk =
+  let len = String.length plaintext in
+  let buf = Bytes.make (len + junk) '\xe7' in
+  Bytes.blit_string plaintext 0 buf 0 len;
+  (buf, len)
+
+let flip plaintext pos =
+  if String.length plaintext = 0 then plaintext
+  else
+    let pos = pos mod String.length plaintext in
+    String.mapi
+      (fun i c -> if i = pos then Char.chr (Char.code c lxor 0x5b) else c)
+      plaintext
+
+let prop_request_view_equals_copy =
+  QCheck.Test.make ~count:200 ~name:"decode_request_bytes = decode_request"
+    QCheck.(
+      quad
+        (string_of_size Gen.(int_bound 30))
+        (int_range 0 100) small_nat (pair bool bool))
+    (fun (file_name, copies, corrupt_at, (trailer, corrupt)) ->
+      let req = { Messages.file_name; copies; max_reply = 4096 } in
+      let plaintext =
+        plaintext_of ~length_at_end:trailer (Messages.encode_request req)
+      in
+      let plaintext = if corrupt then flip plaintext corrupt_at else plaintext in
+      let buf, len = pooled_view_of plaintext (corrupt_at land 31) in
+      let copy = Messages.decode_request ~length_at_end:trailer plaintext in
+      let view =
+        Messages.decode_request_bytes ~length_at_end:trailer buf ~len
+      in
+      match (copy, view) with
+      | Ok a, Ok b -> a = b
+      | Error a, Error b -> a = b
+      | _ -> false)
+
+let prop_reply_view_equals_copy =
+  QCheck.Test.make ~count:200 ~name:"decode_reply_view = decode_reply"
+    QCheck.(
+      quad
+        (string_of_size Gen.(int_bound 60))
+        small_nat small_nat (pair bool bool))
+    (fun (payload, off, corrupt_at, (trailer, corrupt)) ->
+      let hdr =
+        { Messages.status = Messages.Ok; copy = 1; file_offset = off * 8;
+          total_len = String.length payload + (off * 8);
+          data_len = String.length payload }
+      in
+      let plaintext =
+        plaintext_of ~length_at_end:trailer (Messages.reply_prefix hdr ^ payload)
+      in
+      let plaintext = if corrupt then flip plaintext corrupt_at else plaintext in
+      let buf, len = pooled_view_of plaintext (corrupt_at land 31) in
+      let copy = Messages.decode_reply ~length_at_end:trailer plaintext in
+      let view = Messages.decode_reply_view ~length_at_end:trailer buf ~len in
+      match (copy, view) with
+      | Ok (ha, data), Ok (hb, data_off) ->
+          ha = hb
+          && data = Bytes.sub_string buf data_off ha.Messages.data_len
+      | Error a, Error b -> a = b
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Client/server over the full stack *)
 
@@ -532,7 +600,9 @@ let () =
           Alcotest.test_case "reply round trip" `Quick test_reply_roundtrip;
           Alcotest.test_case "error status" `Quick test_reply_error_status;
           Alcotest.test_case "garbage" `Quick test_decode_garbage;
-          qc prop_request_roundtrip ] );
+          qc prop_request_roundtrip;
+          qc prop_request_view_equals_copy;
+          qc prop_reply_view_equals_copy ] );
       ( "client-server",
         [ Alcotest.test_case "transfer (ILP)" `Quick test_transfer_ilp;
           Alcotest.test_case "transfer (separate)" `Quick test_transfer_separate;
