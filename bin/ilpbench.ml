@@ -218,12 +218,22 @@ let wall_cmd =
              ~doc:"Fail (exit 1) unless the ILP speedup is at least $(docv) \
                    at every size.")
   in
-  let run cipher out trials sizes quick min_speedup =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Also run the kernels under the span tracer and print a \
+                   per-stage time-share table (4 KiB and 64 KiB messages).")
+  in
+  let run cipher out trials sizes quick min_speedup trace =
     let sizes = if quick then [ 1024; 8192; 65536 ] else sizes in
     let trials = if quick then 5 else trials in
     match Wb.run ~cipher ~sizes ~trials () with
     | r ->
         Wb.print_table r;
+        if trace then
+          Wb.print_stage_tables
+            (Wb.stages ~cipher ~sizes:[ 4096; 65536 ]
+               ~reps:(if quick then 64 else 256) ());
         Wb.write_json r ~path:out;
         Printf.printf "wrote %s\n" out;
         (match min_speedup with
@@ -251,7 +261,7 @@ let wall_cmd =
        ~doc:
          "Wall-clock benchmark of the native fast path: separate four-pass \
           stack versus the fused ILP loop, on this host.")
-    Term.(const run $ cipher $ out $ trials $ sizes $ quick $ min_speedup)
+    Term.(const run $ cipher $ out $ trials $ sizes $ quick $ min_speedup $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* mem *)
@@ -273,7 +283,8 @@ let mem_cmd =
              ~doc:"Fail (exit 1) unless the single-copy gates hold: at the \
                    largest size, bytes-copied ratio >= 2 on the native lanes \
                    and minor-words ratio >= 2 on the simulated lanes, with \
-                   every pool balanced.")
+                   every pool balanced and disabled-path tracing \
+                   allocation-free.")
   in
   let run out quick check_gates =
     let config = if quick then Mtr.quick_config else Mtr.default_config in
@@ -391,6 +402,19 @@ let soak_cmd =
       if violation "ESCAPED" || violation "SILENT" || violation "VIOLAT" then
         print_endline line
   in
+  (* Soaks run with the span tracer on: a violated invariant dumps the
+     metrics delta and the trace tail alongside the repro line, so the
+     failing run explains itself. *)
+  let dump_observability before =
+    prerr_endline "--- metrics delta (this run) ---";
+    prerr_string
+      (Ilp_obs.Metrics.render
+         (Ilp_obs.Metrics.diff
+            (Ilp_obs.Metrics.snapshot Ilp_obs.Metrics.default)
+            before));
+    prerr_endline "--- trace tail (last 40 spans) ---";
+    List.iter prerr_endline (Ilp_obs.Trace.timeline ~tail:40 ())
+  in
   let run_chaos seed iters size machine intensity verbose =
     let cfg =
       { Soak.default_config with
@@ -400,8 +424,11 @@ let soak_cmd =
         machine;
         intensity }
     in
+    let before = Ilp_obs.Metrics.snapshot Ilp_obs.Metrics.default in
+    Ilp_obs.Trace.enable ~capacity:32768 ();
     match Soak.run ~log:(filtered_log verbose) cfg with
     | o ->
+        Ilp_obs.Trace.disable ();
         List.iter print_endline (Soak.summary_lines o);
         if Soak.invariants_hold o then begin
           print_endline
@@ -410,11 +437,13 @@ let soak_cmd =
         end
         else begin
           prerr_endline "soak invariant VIOLATED";
+          dump_observability before;
           Printf.eprintf "reproduce: ilpbench soak --seed %d -n %d --size %d\n"
             cfg.Soak.seed cfg.Soak.iterations cfg.Soak.file_len;
           1
         end
     | exception Invalid_argument msg ->
+        Ilp_obs.Trace.disable ();
         Printf.eprintf "ilpbench: %s\n" msg;
         2
   in
@@ -427,8 +456,11 @@ let soak_cmd =
           Option.value size ~default:Soak.default_overload_config.Soak.file_len;
         machine }
     in
+    let before = Ilp_obs.Metrics.snapshot Ilp_obs.Metrics.default in
+    Ilp_obs.Trace.enable ~capacity:32768 ();
     match Soak.run_overload ~log:(filtered_log verbose) cfg with
     | o ->
+        Ilp_obs.Trace.disable ();
         List.iter print_endline (Soak.overload_summary_lines o);
         if Soak.overload_invariants_hold o then begin
           print_endline
@@ -438,12 +470,14 @@ let soak_cmd =
         end
         else begin
           prerr_endline "overload invariant VIOLATED";
+          dump_observability before;
           Printf.eprintf
             "reproduce: ilpbench soak --overload --seed %d --clients %d --size %d\n"
             cfg.Soak.seed cfg.Soak.clients cfg.Soak.file_len;
           1
         end
     | exception Invalid_argument msg ->
+        Ilp_obs.Trace.disable ();
         Printf.eprintf "ilpbench: %s\n" msg;
         2
   in
@@ -462,6 +496,62 @@ let soak_cmd =
     Term.(
       const run $ seed $ iters $ size $ machine $ intensity $ overload $ clients
       $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let module Tr = Ilp_bench.Tracerun in
+  let out =
+    Arg.(value & opt string "TRACE.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event JSON output path.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"CI smoke variant: smaller transfers.")
+  in
+  let timeline =
+    Arg.(value & flag
+         & info [ "timeline" ] ~doc:"Print the plain-text span timeline tail.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Print the metrics-registry delta of the run.")
+  in
+  let run out quick timeline metrics =
+    match Tr.run ~quick () with
+    | r ->
+        Tr.write_json r ~path:out;
+        List.iter print_endline (Tr.summary_lines r);
+        if timeline then begin
+          print_endline "--- timeline tail ---";
+          List.iter print_endline r.Tr.timeline
+        end;
+        if metrics then begin
+          print_endline "--- metrics delta ---";
+          print_string (Ilp_obs.Metrics.render r.Tr.metrics)
+        end;
+        Printf.printf "wrote %s (load in chrome://tracing or Perfetto)\n" out;
+        if Tr.complete r then 0
+        else begin
+          prerr_endline
+            "ilpbench: trace is incomplete: need at least one complete send \
+             chain (marshal+encrypt+checksum+ring-copy) and one complete \
+             receive chain (checksum+decrypt+unmarshal)";
+          1
+        end
+    | exception Failure msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace one ILP and one separate simulated transfer per-packet and \
+          export Chrome trace_event JSON; fails unless the trace contains \
+          complete send and receive span chains.")
+    Term.(const run $ out $ quick $ timeline $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* machines *)
@@ -492,4 +582,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ experiments_cmd; transfer_cmd; wall_cmd; mem_cmd; machines_cmd;
-            export_cmd; soak_cmd ]))
+            export_cmd; soak_cmd; trace_cmd ]))

@@ -3,6 +3,8 @@ module Engine = Ilp_core.Engine
 module Workload = Ilp_app.Workload
 module Mt = Ilp_fastpath.Memtraffic
 module Pool = Ilp_fastpath.Pool
+module Trace = Ilp_obs.Trace
+module M = Ilp_obs.Metrics
 
 type lane = {
   copied : float;
@@ -23,7 +25,11 @@ type point = {
   pooled : lane;
 }
 
-type result = { points : point list }
+type result = {
+  points : point list;
+  disabled_trace_minor_words : float;
+      (* minor-heap words per instrumentation call with tracing disabled *)
+}
 
 type config = { sizes : int list; native_msgs : int; sim_msgs : int }
 
@@ -109,6 +115,35 @@ let measure_lane ~mode ~native ~data_path ~payload_len ~msgs =
       pool_balanced },
     wire_len )
 
+(* The observability overhead probe: with tracing disabled, a burst of
+   representative instrumentation calls (guarded clock read, span,
+   instant, begin_packet, counter bump, histogram observe) must allocate
+   nothing.  [Gc.minor_words] itself boxes its float result, so the
+   per-call figure is gated against a small epsilon rather than exact
+   zero. *)
+let measure_disabled_tracing () =
+  if Trace.enabled () then Trace.disable ();
+  let c = M.counter M.default "memtrace.disabled_probe" in
+  let h = M.histogram M.default "memtrace.disabled_probe_hist" in
+  let n = 10_000 in
+  let one () =
+    let t0 = if Trace.enabled () then Trace.now () else 0.0 in
+    Trace.span Trace.Send_marshal ~packet:(Trace.current_packet ()) ~ts:t0
+      ~dur:0.0;
+    Trace.instant Trace.Tcp_retransmit ~packet:0 ~ts:0.0;
+    ignore (Trace.begin_packet ());
+    M.inc c 1;
+    M.observe h 42
+  in
+  for _ = 1 to 64 do
+    one ()
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    one ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int n
+
 let run ?(config = default_config) () =
   if config.sizes = [] then invalid_arg "Memtrace.run: no sizes";
   List.iter
@@ -143,7 +178,7 @@ let run ?(config = default_config) () =
           [ Engine.Separate; Engine.Ilp ])
       (List.sort compare config.sizes)
   in
-  { points }
+  { points; disabled_trace_minor_words = measure_disabled_tracing () }
 
 let mode_name = function Engine.Ilp -> "ilp" | Engine.Separate -> "separate"
 let backend_name native = if native then "native" else "sim"
@@ -159,6 +194,11 @@ let minor_words_ratio p = ratio p.legacy.minor_words p.pooled.minor_words
 let check r =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if r.disabled_trace_minor_words > 0.01 then
+    fail
+      "disabled tracing allocates %.4f minor words per instrumentation call \
+       (must be allocation-free)"
+      r.disabled_trace_minor_words;
   let largest = List.fold_left (fun a p -> max a p.len) 0 r.points in
   List.iter
     (fun p ->
@@ -210,7 +250,12 @@ let to_json r =
         (Printf.sprintf ", \"copied_ratio\": %.2f, \"minor_words_ratio\": %.2f}"
            (copied_ratio p) (minor_words_ratio p)))
     r.points;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b
+    (Printf.sprintf "\n  ],\n  \"disabled_trace_minor_words_per_call\": %.4f,\n"
+       r.disabled_trace_minor_words);
+  Buffer.add_string b "  \"obs\": ";
+  Buffer.add_string b (M.to_json (M.snapshot M.default));
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 let write_json r ~path =

@@ -40,7 +40,13 @@ type point = {
   pooled : lane;
 }
 
-type result = { points : point list }
+type result = {
+  points : point list;
+  disabled_trace_minor_words : float;
+      (** minor-heap words allocated per disabled-path instrumentation
+          call (span + instant + begin_packet + counter + histogram);
+          gated near zero by {!check} *)
+}
 
 type config = {
   sizes : int list;  (** payload sizes; multiples of 8, at least 64 *)
@@ -67,10 +73,12 @@ val minor_words_ratio : point -> float
 
 (** The acceptance gates: at the largest size, bytes-copied ratio >= 2 on
     the native lanes and minor-words ratio >= 2 on the simulated lanes;
-    every lane's pool balanced.  [Error] lists each violated gate. *)
+    every lane's pool balanced; and disabled-path tracing allocation-free.
+    [Error] lists each violated gate. *)
 val check : result -> (unit, string list) Stdlib.result
 
-(** Serialise to the BENCH_mem.json schema (hand-rolled writer). *)
+(** Serialise to the BENCH_mem.json schema (hand-rolled writer).
+    Includes an ["obs"] key carrying an {!Ilp_obs.Metrics} snapshot. *)
 val to_json : result -> string
 
 val write_json : result -> path:string -> unit

@@ -1,6 +1,8 @@
 module Internet = Ilp_checksum.Internet
 module Cipher = Ilp_fastpath.Cipher
 module Wire = Ilp_fastpath.Wire
+module Trace = Ilp_obs.Trace
+module M = Ilp_obs.Metrics
 
 type side = { send_ns : float; recv_ns : float; minor_words : float }
 
@@ -169,6 +171,139 @@ let json_side b name s =
         \"minor_words_per_msg\": %.1f}"
        name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns) s.minor_words)
 
+(* ------------------------------------------------------------------ *)
+(* Per-stage time share (the --trace table): run the same kernels with
+   the span tracer on and aggregate span durations by stage.  Separate
+   spans are real wall-clock intervals; ILP spans carry the fused loop's
+   whole duration on encrypt/decrypt with the fused-away stages at zero,
+   so the table shows exactly where the traversal time went and what
+   fusion collapsed. *)
+
+type stage_cell = { stage_label : string; sep_ns : float; ilp_ns : float }
+
+type stage_point = {
+  s_len : int;
+  s_reps : int;
+  cells : stage_cell list;
+  sep_total_ns : float;
+  ilp_total_ns : float;
+}
+
+let stage_order =
+  Trace.
+    [ Send_marshal; Send_encrypt; Send_ring_copy; Send_checksum; Recv_checksum;
+      Recv_decrypt; Recv_unmarshal ]
+
+let collect_stage_ns ~reps =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Trace.span_rec) ->
+      if not s.Trace.is_instant then
+        let cur = try Hashtbl.find acc s.Trace.stage with Not_found -> 0.0 in
+        Hashtbl.replace acc s.Trace.stage (cur +. s.Trace.dur))
+    (Trace.spans ());
+  fun stage ->
+    (try Hashtbl.find acc stage with Not_found -> 0.0)
+    *. 1000.0 /. float_of_int reps
+
+let stages ?(cipher = Cipher.Simple) ?(sizes = [ 4096; 65536 ]) ?(reps = 256) ()
+    =
+  if sizes = [] then invalid_arg "Wallbench.stages: no sizes";
+  List.iter
+    (fun n ->
+      if n <= 0 || n mod 8 <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Wallbench.stages: size %d is not a positive multiple of 8" n))
+    sizes;
+  if reps < 1 then invalid_arg "Wallbench.stages: bad reps";
+  let max_len = List.fold_left max 0 sizes in
+  let wire = Wire.create ~cipher ~max_len () in
+  let src = Bytes.init max_len (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
+  let was_enabled = Trace.enabled () in
+  Trace.set_clock (fun () -> now_ns () /. 1000.0);
+  let points =
+    List.map
+      (fun len ->
+        let ciphertext = cross_check wire ~src ~len in
+        let dst = Bytes.create len in
+        let staged = Bytes.create len in
+        let sink = ref Internet.empty in
+        let one ~ilp () =
+          if ilp then
+            sink := Wire.send_ilp wire ~src ~src_off:0 ~len ~dst ~dst_off:0
+          else
+            sink := Wire.send_separate wire ~src ~src_off:0 ~len ~dst ~dst_off:0;
+          Bytes.blit ciphertext 0 staged 0 len;
+          if ilp then
+            sink := Wire.recv_ilp wire ~src:staged ~src_off:0 ~len ~dst ~dst_off:0
+          else
+            sink :=
+              Wire.recv_separate wire ~src:staged ~src_off:0 ~len ~dst ~dst_off:0
+        in
+        let run_mode ~ilp =
+          let f = one ~ilp in
+          for _ = 1 to max 8 (reps / 8) do
+            f () (* warm *)
+          done;
+          Trace.enable ~capacity:(max 1024 ((reps * 8) + 64)) ();
+          for _ = 1 to reps do
+            ignore (Trace.begin_packet ());
+            f ()
+          done;
+          let get = collect_stage_ns ~reps in
+          Trace.disable ();
+          get
+        in
+        let sep = run_mode ~ilp:false in
+        let ilp = run_mode ~ilp:true in
+        ignore (Sys.opaque_identity !sink);
+        let cells =
+          List.map
+            (fun st ->
+              { stage_label = Trace.stage_cat st ^ "/" ^ Trace.stage_name st;
+                sep_ns = sep st;
+                ilp_ns = ilp st })
+            stage_order
+        in
+        let total f = List.fold_left (fun a c -> a +. f c) 0.0 cells in
+        { s_len = len;
+          s_reps = reps;
+          cells;
+          sep_total_ns = total (fun c -> c.sep_ns);
+          ilp_total_ns = total (fun c -> c.ilp_ns) })
+      (List.sort compare sizes)
+  in
+  if not was_enabled then Trace.disable ();
+  points
+
+let print_stage_tables points =
+  List.iter
+    (fun p ->
+      Report.note "%d-byte messages, per-stage wall time (mean over %d msgs)
+"
+        p.s_len p.s_reps;
+      let pct total ns = if total <= 0.0 then 0.0 else 100.0 *. ns /. total in
+      Report.table
+        ~header:[ "stage"; "sep ns/msg"; "sep %"; "ilp ns/msg"; "ilp %" ]
+        (List.map
+           (fun c ->
+             [ c.stage_label;
+               Printf.sprintf "%.0f" c.sep_ns;
+               Printf.sprintf "%.1f" (pct p.sep_total_ns c.sep_ns);
+               Printf.sprintf "%.0f" c.ilp_ns;
+               Printf.sprintf "%.1f" (pct p.ilp_total_ns c.ilp_ns) ])
+           p.cells
+        @ [ [ "total";
+              Printf.sprintf "%.0f" p.sep_total_ns;
+              "100.0";
+              Printf.sprintf "%.0f" p.ilp_total_ns;
+              "100.0" ] ]);
+      Report.note
+        "ilp fused stages (0 ns) ran inside the fused pass; their time is \
+         attributed to send/encrypt and recv/decrypt\n\n")
+    points
+
 let to_json r =
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -187,7 +322,9 @@ let to_json r =
       json_side b "ilp" p.ilp;
       Buffer.add_string b (Printf.sprintf ", \"speedup\": %.3f}" p.speedup))
     r.points;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ],\n  \"obs\": ";
+  Buffer.add_string b (M.to_json (M.snapshot M.default));
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 let write_json r ~path =

@@ -55,8 +55,35 @@ val run :
   unit ->
   result
 
+(* ---- per-stage time share (the [--trace] table) ---- *)
+
+type stage_cell = { stage_label : string; sep_ns : float; ilp_ns : float }
+
+type stage_point = {
+  s_len : int;
+  s_reps : int;
+  cells : stage_cell list;
+  sep_total_ns : float;
+  ilp_total_ns : float;
+}
+
+(** Run the kernels with the {!Ilp_obs.Trace} span tracer enabled and
+    aggregate wall time per stage.  Separate-path rows are real measured
+    intervals; ILP rows attribute the whole fused pass to encrypt/decrypt
+    with the fused-away stages at zero, so the table shows what fusion
+    collapsed.  Restores the tracer state on exit. *)
+val stages :
+  ?cipher:Ilp_fastpath.Cipher.t ->
+  ?sizes:int list ->
+  ?reps:int ->
+  unit ->
+  stage_point list
+
+val print_stage_tables : stage_point list -> unit
+
 (** Serialise to the BENCH_wall.json schema (hand-rolled writer; the
-    container has no JSON library). *)
+    container has no JSON library).  Includes an ["obs"] key carrying a
+    {!Ilp_obs.Metrics} snapshot of the process-wide registry. *)
 val to_json : result -> string
 
 (** [write_json r ~path] writes {!to_json} output to [path]. *)

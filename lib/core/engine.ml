@@ -4,6 +4,11 @@ module Crc32 = Ilp_checksum.Crc32
 module Wire = Ilp_fastpath.Wire
 module Pool = Ilp_fastpath.Pool
 module Mt = Ilp_fastpath.Memtraffic
+module Trace = Ilp_obs.Trace
+module M = Ilp_obs.Metrics
+
+let m_sends = M.counter M.default "engine.sends"
+let m_rx_rejects = M.counter M.default "engine.rx_rejects"
 
 type mode = Ilp | Separate
 
@@ -46,6 +51,10 @@ type t = {
      segment, while its serial fold cost is charged in whichever style the
      engine runs. *)
   crc : Crc32.t option;
+  (* Per-stage simulated-microsecond accumulators for the fused loops
+     (slot 0 marshal, slot 1 checksum).  Preallocated so tracing adds no
+     per-message allocation; float-array stores are unboxed. *)
+  tr_acc : float array;
 }
 
 let glue_code = 384 (* loop tests, pointer updates, part dispatch *)
@@ -92,7 +101,8 @@ let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
   { sim; cipher; backend; fastpath; mode; header_style; rx_placement; linkage; max_message;
     coalesce_writes; data_path; pool;
     marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
-    send_loops; recv_loop; marshal_buf; app_rx; crc }
+    send_loops; recv_loop; marshal_buf; app_rx; crc;
+    tr_acc = Array.make 2 0.0 }
 
 let mode t = t.mode
 let backend t = t.backend
@@ -148,8 +158,16 @@ let recv_pattern t =
    cost. *)
 let checksum_tap t cell =
   fun block ~off ~len ->
-    cell := Internet.add_bytes !cell block ~off ~len;
-    Machine.compute (machine t) (Internet.ops ~len)
+    if Trace.enabled () then begin
+      let t0 = Machine.micros (machine t) in
+      cell := Internet.add_bytes !cell block ~off ~len;
+      Machine.compute (machine t) (Internet.ops ~len);
+      t.tr_acc.(1) <- t.tr_acc.(1) +. (Machine.micros (machine t) -. t0)
+    end
+    else begin
+      cell := Internet.add_bytes !cell block ~off ~len;
+      Machine.compute (machine t) (Internet.ops ~len)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The logical plaintext stream of an outgoing message: a sequence of
@@ -307,6 +325,13 @@ let make_stream t ~prefix ~payload_addr ~payload_len =
    positional order A-B-C afterwards (legal: the Internet checksum is not
    ordering-constrained). *)
 let fill_ilp t plan st ~dst =
+  let tr = Trace.enabled () in
+  let pkt = if tr then Trace.begin_packet () else 0 in
+  let t_start = if tr then Machine.micros (machine t) else 0.0 in
+  if tr then begin
+    t.tr_acc.(0) <- 0.0;
+    t.tr_acc.(1) <- 0.0
+  end;
   let bl = block_len t in
   let acc_a = ref Internet.empty
   and acc_b = ref Internet.empty
@@ -323,14 +348,26 @@ let fill_ilp t plan st ~dst =
       let pos = ref off in
       while !pos < off + len do
         Machine.compute (machine t) 1;
-        stream_read t st block ~boff:0 ~pos:!pos ~n:bl;
+        if Trace.enabled () then begin
+          let a = Machine.micros (machine t) in
+          stream_read t st block ~boff:0 ~pos:!pos ~n:bl;
+          t.tr_acc.(0) <- t.tr_acc.(0) +. (Machine.micros (machine t) -. a)
+        end
+        else stream_read t st block ~boff:0 ~pos:!pos ~n:bl;
         (* CRC32 stage, fused: fold the plaintext block while it is
            register-resident (table reads and compute only).  The trailer
            value itself was fixed at stream-build time; this charges the
            serial fold the fused loop performs. *)
         (match t.crc with
         | None -> ()
-        | Some c -> ignore (Crc32.update_block c ~crc:Crc32.init block ~off:0 ~len:bl));
+        | Some c ->
+            if Trace.enabled () then begin
+              let a = Machine.micros (machine t) in
+              ignore (Crc32.update_block c ~crc:Crc32.init block ~off:0 ~len:bl);
+              t.tr_acc.(1) <- t.tr_acc.(1) +. (Machine.micros (machine t) -. a)
+            end
+            else
+              ignore (Crc32.update_block c ~crc:Crc32.init block ~off:0 ~len:bl));
         Pipeline.process_block t.sim spec block ~off:0 ~len:bl ~dst:(dst + !pos);
         pos := !pos + bl
       done
@@ -351,6 +388,23 @@ let fill_ilp t plan st ~dst =
   let len_c = match t.header_style with Leading -> len_c | Trailer -> 0 in
   let acc = Internet.combine !acc_a !acc_b ~len_b in
   let acc = Internet.combine acc !acc_c ~len_b:len_c in
+  if tr then begin
+    (* Attribution, not a timeline: the fused loop interleaves the three
+       manipulations, so each stage's accumulated simulated time is laid
+       out sequentially from the packet start for rendering.  The tap and
+       CRC folds land in the checksum slot, the stream reads in marshal,
+       and the remainder of the loop (the pipeline) in encrypt; the ring
+       copy is fused away (the loop stores straight into the ring). *)
+    let t_end = Machine.micros (machine t) in
+    let marshal = t.tr_acc.(0) and cs = t.tr_acc.(1) in
+    let encrypt = Float.max 0.0 (t_end -. t_start -. marshal -. cs) in
+    Trace.span ~arg:1 Trace.Send_marshal ~packet:pkt ~ts:t_start ~dur:marshal;
+    Trace.span ~arg:1 Trace.Send_checksum ~packet:pkt ~ts:(t_start +. marshal)
+      ~dur:cs;
+    Trace.span ~arg:1 Trace.Send_encrypt ~packet:pkt
+      ~ts:(t_start +. marshal +. cs) ~dur:encrypt;
+    Trace.span ~arg:1 Trace.Send_ring_copy ~packet:pkt ~ts:t_end ~dur:0.0
+  end;
   Some acc
 
 (* Separate send: marshal into the intermediate buffer (figure 3 steps 1),
@@ -358,6 +412,9 @@ let fill_ilp t plan st ~dst =
    the checksum pass (step 4) is TCP's, signalled by returning [None]. *)
 let fill_separate t plan st ~dst =
   let m = machine t in
+  let tr = Trace.enabled () in
+  let pkt = if tr then Trace.begin_packet () else 0 in
+  let t0 = if tr then Machine.micros m else 0.0 in
   let buf = t.marshal_buf in
   (* Marshalling pass: generate/read the stream, write words. *)
   Machine.exec m t.marshal_dmf.Dmf.code;
@@ -372,6 +429,7 @@ let fill_separate t plan st ~dst =
     Mem.poke_bytes (mem t) ~pos:(buf + !pos) word;
     pos := !pos + 4
   done;
+  let t1 = if tr then Machine.micros m else 0.0 in
   (* CRC32 stage, separate: one more charged pass over the marshalled
      body in the intermediate buffer (byte reads + table reads). *)
   (match t.crc with
@@ -381,6 +439,7 @@ let fill_separate t plan st ~dst =
       ignore
         (Crc32.update_mem c ~crc:Crc32.init (mem t) ~pos:(buf + body_off)
            ~len:crc_len));
+  let t2 = if tr then Machine.micros m else 0.0 in
   (* Encryption pass, in place: a byte-oriented cipher loads and stores
      single bytes (the lines are resident from the marshalling pass, so
      these accesses hit — the paper's observation that a careful non-ILP
@@ -388,8 +447,21 @@ let fill_separate t plan st ~dst =
   let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
   Pipeline.run_pass t.sim t.encrypt_dmf ~read_unit:cipher_unit
     ~write_unit:cipher_unit ~src:t.marshal_buf ~dst:t.marshal_buf ~len:st.total ();
+  let t3 = if tr then Machine.micros m else 0.0 in
   (* tcp_send: copy into the ring buffer. *)
   Mem.blit (mem t) ~src:t.marshal_buf ~dst ~len:st.total ~unit_len:4;
+  if tr then begin
+    (* Real sequential passes: each span is an actual interval.  The CRC
+       fold (when enabled) counts as checksum work; TCP's own Internet
+       checksum pass is traced by the socket. *)
+    let t4 = Machine.micros m in
+    Trace.span Trace.Send_marshal ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+    (match t.crc with
+    | Some _ -> Trace.span Trace.Send_checksum ~packet:pkt ~ts:t1 ~dur:(t2 -. t1)
+    | None -> ());
+    Trace.span Trace.Send_encrypt ~packet:pkt ~ts:t2 ~dur:(t3 -. t2);
+    Trace.span Trace.Send_ring_copy ~packet:pkt ~ts:t3 ~dur:(t4 -. t3)
+  end;
   None
 
 (* ------------------------------------------------------------------ *)
@@ -467,12 +539,17 @@ let fill_native_pooled t fp st ~dst =
       None
 
 let fill_native t fp st ~dst =
+  (* Native stage spans are emitted by the Wire codec against the wall
+     clock installed via [Trace.set_clock]; the packet id is allocated
+     here so TCP's link/checksum events correlate. *)
+  if Trace.enabled () then ignore (Trace.begin_packet ());
   match t.data_path with
   | Pooled -> fill_native_pooled t fp st ~dst
   | Legacy -> fill_native_legacy t fp st ~dst
 
 let prepared_of_stream t (plan, st) =
   let fill _mem ~dst =
+    M.inc m_sends 1;
     match t.fastpath with
     | Some fp -> fill_native t fp st ~dst
     | None -> (
@@ -495,14 +572,18 @@ let prepare_send_segments t body =
    happens to verify (or, integrated, whose length is checked before the
    verdict), so length validation must reject rather than raise. *)
 let check_rx_len t ~len =
-  if len <= 0 then Error (Printf.sprintf "Engine.rx: empty segment (len %d)" len)
+  let reject e =
+    M.inc m_rx_rejects 1;
+    Error e
+  in
+  if len <= 0 then reject (Printf.sprintf "Engine.rx: empty segment (len %d)" len)
   else if len mod block_len t <> 0 then
-    Error
+    reject
       (Printf.sprintf
          "Engine.rx: segment length %d not a multiple of the %d-byte cipher block"
          len (block_len t))
   else if len > t.max_message then
-    Error
+    reject
       (Printf.sprintf "Engine.rx: segment of %d bytes exceeds maximum %d" len
          t.max_message)
   else Ok ()
@@ -555,11 +636,21 @@ let rx_separate t _mem ~src ~len =
       (match t.fastpath with
       | Some fp -> rx_native_separate t fp ~src ~len
       | None ->
+          let tr = Trace.enabled () in
+          let t0 = if tr then Machine.micros (machine t) else 0.0 in
           let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
           Pipeline.run_pass t.sim t.decrypt_dmf ~read_unit:cipher_unit
             ~write_unit:cipher_unit ~src ~dst:src ~len ();
+          let t1 = if tr then Machine.micros (machine t) else 0.0 in
           Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
-            ~dst:t.app_rx ~len ());
+            ~dst:t.app_rx ~len ();
+          if tr then begin
+            (* TCP's own checksum pass was traced by the socket. *)
+            let pkt = Trace.current_packet () in
+            Trace.span Trace.Recv_decrypt ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+            Trace.span Trace.Recv_unmarshal ~packet:pkt ~ts:t1
+              ~dur:(Machine.micros (machine t) -. t1)
+          end);
       Ok ()
 
 (* Integrated receive (figure 5 right): checksum the ciphertext, decrypt
@@ -572,6 +663,9 @@ let rx_integrated t _mem ~src ~len =
       match t.fastpath with
       | Some fp -> Ok (rx_native_fused t fp ~src ~len)
       | None ->
+          let tr = Trace.enabled () in
+          let t0 = if tr then Machine.micros (machine t) else 0.0 in
+          if tr then t.tr_acc.(1) <- 0.0;
           let cell = ref Internet.empty in
           let spec =
             Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t)
@@ -580,6 +674,19 @@ let rx_integrated t _mem ~src ~len =
               [ t.decrypt_dmf; t.unmarshal_dmf ]
           in
           Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+          if tr then begin
+            (* Attribution of the fused loop: the checksum tap's time in
+               its own slot, the rest (decrypt + unmarshal, one loop) laid
+               on decrypt, with unmarshal flagged fused. *)
+            let t1 = Machine.micros (machine t) in
+            let pkt = Trace.current_packet () in
+            let cs = t.tr_acc.(1) in
+            let rest = Float.max 0.0 (t1 -. t0 -. cs) in
+            Trace.span ~arg:1 Trace.Recv_checksum ~packet:pkt ~ts:t0 ~dur:cs;
+            Trace.span ~arg:1 Trace.Recv_decrypt ~packet:pkt ~ts:(t0 +. cs)
+              ~dur:rest;
+            Trace.span ~arg:1 Trace.Recv_unmarshal ~packet:pkt ~ts:t1 ~dur:0.0
+          end;
           Ok !cell)
 
 (* Deferred ("close to the application") manipulation for the Late
@@ -596,12 +703,21 @@ let rx_late t _mem ~src ~len =
       (match t.fastpath with
       | Some fp -> ignore (rx_native_fused t fp ~src ~len)
       | None ->
+          let tr = Trace.enabled () in
+          let t0 = if tr then Machine.micros (machine t) else 0.0 in
           let spec =
             Pipeline.spec ~read_unit:4 ?write_pattern:(recv_pattern t)
               ~linkage:t.linkage ~loop_code:t.recv_loop
               [ t.decrypt_dmf; t.unmarshal_dmf ]
           in
-          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len);
+          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+          if tr then begin
+            let t1 = Machine.micros (machine t) in
+            let pkt = Trace.current_packet () in
+            Trace.span ~arg:1 Trace.Recv_decrypt ~packet:pkt ~ts:t0
+              ~dur:(t1 -. t0);
+            Trace.span ~arg:1 Trace.Recv_unmarshal ~packet:pkt ~ts:t1 ~dur:0.0
+          end);
       Ok ()
 
 type rx_style =

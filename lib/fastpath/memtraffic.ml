@@ -32,25 +32,55 @@ let copies = Array.make n_layers 0
 let allocs = Array.make n_layers 0
 let alloc_blocks = Array.make n_layers 0
 
-let read l n = reads.(layer_index l) <- reads.(layer_index l) + n
+(* Mirror counters in the unified metrics registry.  Unlike the arrays
+   above these are never [reset]: they are cumulative for the process,
+   and per-run consumers diff snapshots. *)
+module M = Ilp_obs.Metrics
 
-let write l n = writes.(layer_index l) <- writes.(layer_index l) + n
+let metric kind =
+  Array.of_list
+    (List.map
+       (fun l -> M.counter M.default ("mem." ^ layer_name l ^ "." ^ kind))
+       layers)
+
+let m_reads = metric "read_bytes"
+let m_writes = metric "written_bytes"
+let m_copies = metric "copied_bytes"
+let m_allocs = metric "allocated_bytes"
+let m_alloc_blocks = metric "alloc_blocks"
+
+let read l n =
+  let i = layer_index l in
+  reads.(i) <- reads.(i) + n;
+  M.inc m_reads.(i) n
+
+let write l n =
+  let i = layer_index l in
+  writes.(i) <- writes.(i) + n;
+  M.inc m_writes.(i) n
 
 let copied l n =
   let i = layer_index l in
   reads.(i) <- reads.(i) + n;
   writes.(i) <- writes.(i) + n;
-  copies.(i) <- copies.(i) + n
+  copies.(i) <- copies.(i) + n;
+  M.inc m_reads.(i) n;
+  M.inc m_writes.(i) n;
+  M.inc m_copies.(i) n
 
 let inplace l n =
   let i = layer_index l in
   reads.(i) <- reads.(i) + n;
-  writes.(i) <- writes.(i) + n
+  writes.(i) <- writes.(i) + n;
+  M.inc m_reads.(i) n;
+  M.inc m_writes.(i) n
 
 let alloc l n =
   let i = layer_index l in
   allocs.(i) <- allocs.(i) + n;
-  alloc_blocks.(i) <- alloc_blocks.(i) + 1
+  alloc_blocks.(i) <- alloc_blocks.(i) + 1;
+  M.inc m_allocs.(i) n;
+  M.inc m_alloc_blocks.(i) 1
 
 type snapshot = {
   s_reads : int array;

@@ -6,6 +6,16 @@
    GC when the class is already at capacity.  The acquired/released
    counters make leak assertions one subtraction. *)
 
+module M = Ilp_obs.Metrics
+
+(* Process-wide mirrors of the per-pool counters below; conservation over
+   all pools, diffed per run by consumers. *)
+let m_acquired = M.counter M.default "pool.acquired"
+let m_released = M.counter M.default "pool.released"
+let m_fresh = M.counter M.default "pool.fresh_allocs"
+let m_dropped = M.counter M.default "pool.dropped"
+let m_acquire_bytes = M.histogram M.default "pool.acquire_bytes"
+
 let min_size = 64
 let n_classes = 19 (* 64 B .. 16 MiB *)
 
@@ -48,12 +58,15 @@ let class_index len =
 
 let fresh t len =
   t.fresh_allocs <- t.fresh_allocs + 1;
+  M.inc m_fresh 1;
   Memtraffic.alloc Memtraffic.Pool len;
   Bytes.create len
 
 let acquire t len =
   if len < 0 then invalid_arg "Pool.acquire: negative length";
   t.acquired <- t.acquired + 1;
+  M.inc m_acquired 1;
+  M.observe m_acquire_bytes len;
   if len > max_size then fresh t len
   else
     let i = class_index len in
@@ -66,14 +79,20 @@ let acquire t len =
 
 let release t b =
   t.released <- t.released + 1;
+  M.inc m_released 1;
   let n = Bytes.length b in
-  if n < min_size || n > max_size then t.dropped <- t.dropped + 1
+  if n < min_size || n > max_size then begin
+    t.dropped <- t.dropped + 1;
+    M.inc m_dropped 1
+  end
   else
     let i = class_index n in
     (* Only exact class-sized buffers rejoin a free list: an odd-sized
        stranger would silently shrink the class's capacity guarantee. *)
-    if n <> class_size i || t.counts.(i) >= t.class_cap then
-      t.dropped <- t.dropped + 1
+    if n <> class_size i || t.counts.(i) >= t.class_cap then begin
+      t.dropped <- t.dropped + 1;
+      M.inc m_dropped 1
+    end
     else begin
       t.free.(i) <- b :: t.free.(i);
       t.counts.(i) <- t.counts.(i) + 1

@@ -1,5 +1,6 @@
 module Internet = Ilp_checksum.Internet
 module Mt = Memtraffic
+module Trace = Ilp_obs.Trace
 
 type t = {
   cipher : Cipher.t;
@@ -51,25 +52,54 @@ let check name ~src ~src_off ~len ~dst ~dst_off =
   then invalid_arg (name ^ ": out of bounds");
   if len mod 8 <> 0 then invalid_arg (name ^ ": length not a multiple of 8")
 
+(* Trace helpers for the native passes: timestamps come from the
+   installed wall clock ([Trace.set_clock]; constant 0 when none), packet
+   correlation from the engine's [Trace.begin_packet].  Fused loops emit
+   the full stage set with [arg = 1] marking stages whose work happened
+   inside the single traversal. *)
+
+let trace_send_passes ~pkt ~t0 ~t1 ~t2 ~t3 ~t4 =
+  Trace.span Trace.Send_marshal ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+  Trace.span Trace.Send_encrypt ~packet:pkt ~ts:t1 ~dur:(t2 -. t1);
+  Trace.span Trace.Send_ring_copy ~packet:pkt ~ts:t2 ~dur:(t3 -. t2);
+  Trace.span Trace.Send_checksum ~packet:pkt ~ts:t3 ~dur:(t4 -. t3)
+
+let trace_send_fused ~pkt ~t0 ~t1 =
+  Trace.span ~arg:1 Trace.Send_marshal ~packet:pkt ~ts:t0 ~dur:0.0;
+  Trace.span ~arg:1 Trace.Send_encrypt ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+  Trace.span ~arg:1 Trace.Send_checksum ~packet:pkt ~ts:t1 ~dur:0.0;
+  Trace.span ~arg:1 Trace.Send_ring_copy ~packet:pkt ~ts:t1 ~dur:0.0
+
 let send_separate t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.send_separate" ~src ~src_off ~len ~dst ~dst_off;
   if len > t.max_len then invalid_arg "Wire.send_separate: longer than max_len";
+  let tr = Trace.enabled () in
   let buf = staging t in
+  let t0 = if tr then Trace.now () else 0.0 in
   (* Pass 1: marshal — move the message into the protocol buffer. *)
   Words.blit ~src ~src_off ~dst:buf ~dst_off:0 ~len;
   Mt.copied Mt.Marshal len;
+  let t1 = if tr then Trace.now () else 0.0 in
   (* Pass 2: encrypt the protocol buffer in place. *)
   Cipher.encrypt_blocks t.cipher buf ~off:0 ~count:(len / 8);
   Mt.inplace Mt.Cipher len;
+  let t2 = if tr then Trace.now () else 0.0 in
   (* Pass 3: the TCP send copy into the ring. *)
   Words.blit ~src:buf ~src_off:0 ~dst ~dst_off ~len;
   Mt.copied Mt.Tcp len;
+  let t3 = if tr then Trace.now () else 0.0 in
   (* Pass 4: the tcp_output checksum walk. *)
   Mt.read Mt.Checksum len;
-  Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len
+  let acc = Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len in
+  if tr then
+    trace_send_passes ~pkt:(Trace.current_packet ()) ~t0 ~t1 ~t2 ~t3
+      ~t4:(Trace.now ());
+  acc
 
 let send_ilp t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.send_ilp" ~src ~src_off ~len ~dst ~dst_off;
+  let tr = Trace.enabled () in
+  let t0 = if tr then Trace.now () else 0.0 in
   let acc = ref Internet.empty in
   let pos = ref 0 in
   while !pos < len do
@@ -83,23 +113,37 @@ let send_ilp t ~src ~src_off ~len ~dst ~dst_off =
   Mt.copied Mt.Marshal len;
   Mt.inplace Mt.Cipher len;
   Mt.read Mt.Checksum len;
+  if tr then
+    trace_send_fused ~pkt:(Trace.current_packet ()) ~t0 ~t1:(Trace.now ());
   !acc
 
 let recv_separate t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.recv_separate" ~src ~src_off ~len ~dst ~dst_off;
+  let tr = Trace.enabled () in
+  let t0 = if tr then Trace.now () else 0.0 in
   (* Pass 1: the tcp_input checksum walk. *)
   let acc = Internet.add_bytes_unsafe Internet.empty src ~off:src_off ~len in
   Mt.read Mt.Checksum len;
+  let t1 = if tr then Trace.now () else 0.0 in
   (* Pass 2: decrypt the staged segment in place. *)
   Cipher.decrypt_blocks t.cipher src ~off:src_off ~count:(len / 8);
   Mt.inplace Mt.Cipher len;
+  let t2 = if tr then Trace.now () else 0.0 in
   (* Pass 3: unmarshal — copy the plaintext up to the application. *)
   Words.blit ~src ~src_off ~dst ~dst_off ~len;
   Mt.copied Mt.Marshal len;
+  if tr then begin
+    let pkt = Trace.current_packet () and t3 = Trace.now () in
+    Trace.span Trace.Recv_checksum ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+    Trace.span Trace.Recv_decrypt ~packet:pkt ~ts:t1 ~dur:(t2 -. t1);
+    Trace.span Trace.Recv_unmarshal ~packet:pkt ~ts:t2 ~dur:(t3 -. t2)
+  end;
   acc
 
 let recv_ilp t ~src ~src_off ~len ~dst ~dst_off =
   check "Wire.recv_ilp" ~src ~src_off ~len ~dst ~dst_off;
+  let tr = Trace.enabled () in
+  let t0 = if tr then Trace.now () else 0.0 in
   let acc = ref Internet.empty in
   let pos = ref 0 in
   while !pos < len do
@@ -113,6 +157,12 @@ let recv_ilp t ~src ~src_off ~len ~dst ~dst_off =
   Mt.read Mt.Checksum len;
   Mt.copied Mt.Marshal len;
   Mt.inplace Mt.Cipher len;
+  if tr then begin
+    let pkt = Trace.current_packet () and t1 = Trace.now () in
+    Trace.span ~arg:1 Trace.Recv_checksum ~packet:pkt ~ts:t0 ~dur:0.0;
+    Trace.span ~arg:1 Trace.Recv_decrypt ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
+    Trace.span ~arg:1 Trace.Recv_unmarshal ~packet:pkt ~ts:t1 ~dur:0.0
+  end;
   !acc
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +226,8 @@ let gather iov ~dst ~dst_off ~flushed ~flush =
 
 let sendv_ilp t ~iov ~dst ~dst_off =
   let total = checkv "Wire.sendv_ilp" iov ~dst ~dst_off in
+  let tr = Trace.enabled () in
+  let t0 = if tr then Trace.now () else 0.0 in
   (* One traversal: each gathered chunk is encrypted and checksummed at
      [dst] while still cache-resident. *)
   let acc = ref Internet.empty in
@@ -194,22 +246,33 @@ let sendv_ilp t ~iov ~dst ~dst_off =
   Mt.copied Mt.Marshal total;
   Mt.inplace Mt.Cipher total;
   Mt.read Mt.Checksum total;
+  if tr then
+    trace_send_fused ~pkt:(Trace.current_packet ()) ~t0 ~t1:(Trace.now ());
   !acc
 
 let sendv_separate t ~iov ~dst ~dst_off =
   let total = checkv "Wire.sendv_separate" iov ~dst ~dst_off in
   if total > t.max_len then invalid_arg "Wire.sendv_separate: longer than max_len";
+  let tr = Trace.enabled () in
   let buf = staging t in
+  let t0 = if tr then Trace.now () else 0.0 in
   (* Pass 1: marshal — gather the message into the protocol buffer. *)
   let flushed = ref 0 in
   ignore (gather iov ~dst:buf ~dst_off:0 ~flushed ~flush:(fun p -> flushed := p));
   Mt.copied Mt.Marshal total;
+  let t1 = if tr then Trace.now () else 0.0 in
   (* Pass 2: encrypt the protocol buffer in place. *)
   Cipher.encrypt_blocks t.cipher buf ~off:0 ~count:(total / 8);
   Mt.inplace Mt.Cipher total;
+  let t2 = if tr then Trace.now () else 0.0 in
   (* Pass 3: the TCP send copy into the ring. *)
   Words.blit ~src:buf ~src_off:0 ~dst ~dst_off ~len:total;
   Mt.copied Mt.Tcp total;
+  let t3 = if tr then Trace.now () else 0.0 in
   (* Pass 4: the tcp_output checksum walk. *)
   Mt.read Mt.Checksum total;
-  Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len:total
+  let acc = Internet.add_bytes_unsafe Internet.empty dst ~off:dst_off ~len:total in
+  if tr then
+    trace_send_passes ~pkt:(Trace.current_packet ()) ~t0 ~t1 ~t2 ~t3
+      ~t4:(Trace.now ());
+  acc

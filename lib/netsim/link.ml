@@ -21,6 +21,22 @@ module Prng = struct
   let int t bound = int_of_float (float t *. float_of_int bound)
 end
 
+(* Unified-registry mirrors of the per-link [n_*] fields below: every
+   bump site updates both, so process-wide totals in [Metrics] always
+   equal the sum of per-link [stats] (the conservation test relies on
+   this). *)
+module M = Ilp_obs.Metrics
+
+let m_sent = M.counter M.default "link.sent"
+let m_delivered = M.counter M.default "link.delivered"
+let m_dropped = M.counter M.default "link.dropped"
+let m_duplicated = M.counter M.default "link.duplicated"
+let m_corrupted = M.counter M.default "link.corrupted"
+let m_truncated = M.counter M.default "link.truncated"
+let m_padded = M.counter M.default "link.padded"
+let m_burst_dropped = M.counter M.default "link.burst_dropped"
+let m_delay_spikes = M.counter M.default "link.delay_spikes"
+
 type gilbert = {
   p_enter_bad : float;  (* per-packet P(good -> bad) *)
   p_exit_bad : float;   (* per-packet P(bad -> good) *)
@@ -130,6 +146,7 @@ let mangle t payload =
     if imp.corrupt_rate > 0.0 && String.length payload > 0
        && Prng.float t.prng < imp.corrupt_rate then begin
       t.n_corrupted <- t.n_corrupted + 1;
+      M.inc m_corrupted 1;
       corrupt_payload t payload imp.corrupt_bits
     end
     else payload
@@ -138,6 +155,7 @@ let mangle t payload =
     if imp.truncate_rate > 0.0 && String.length payload > 0
        && Prng.float t.prng < imp.truncate_rate then begin
       t.n_truncated <- t.n_truncated + 1;
+      M.inc m_truncated 1;
       String.sub payload 0 (Prng.int t.prng (String.length payload))
     end
     else payload
@@ -145,6 +163,7 @@ let mangle t payload =
   if imp.pad_rate > 0.0 && imp.pad_max > 0
      && Prng.float t.prng < imp.pad_rate then begin
     t.n_padded <- t.n_padded + 1;
+    M.inc m_padded 1;
     let extra = 1 + Prng.int t.prng imp.pad_max in
     payload ^ String.init extra (fun _ -> Char.chr (Int64.to_int (Prng.next t.prng) land 0xff))
   end
@@ -171,6 +190,7 @@ let enqueue t dgram =
     if imp.delay_spike_rate > 0.0 && Prng.float t.prng < imp.delay_spike_rate
     then begin
       t.n_delay_spikes <- t.n_delay_spikes + 1;
+      M.inc m_delay_spikes 1;
       extra +. imp.delay_spike_us
     end
     else extra
@@ -178,15 +198,21 @@ let enqueue t dgram =
   ignore
     (Simclock.schedule t.clock ~after:(imp.delay_us +. extra) (fun () ->
          t.n_delivered <- t.n_delivered + 1;
+         M.inc m_delivered 1;
          t.deliver dgram))
 
 let send t dgram =
   t.n_sent <- t.n_sent + 1;
-  if t.imp.loss_rate > 0.0 && Prng.float t.prng < t.imp.loss_rate then
-    t.n_dropped <- t.n_dropped + 1
+  M.inc m_sent 1;
+  if t.imp.loss_rate > 0.0 && Prng.float t.prng < t.imp.loss_rate then begin
+    t.n_dropped <- t.n_dropped + 1;
+    M.inc m_dropped 1
+  end
   else if gilbert_drops t then begin
     t.n_dropped <- t.n_dropped + 1;
-    t.n_burst_dropped <- t.n_burst_dropped + 1
+    t.n_burst_dropped <- t.n_burst_dropped + 1;
+    M.inc m_dropped 1;
+    M.inc m_burst_dropped 1
   end
   else begin
     let payload = mangle t dgram.Datagram.payload in
@@ -197,6 +223,7 @@ let send t dgram =
     enqueue t dgram;
     if t.imp.dup_rate > 0.0 && Prng.float t.prng < t.imp.dup_rate then begin
       t.n_duplicated <- t.n_duplicated + 1;
+      M.inc m_duplicated 1;
       enqueue t dgram
     end
   end

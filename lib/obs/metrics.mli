@@ -1,0 +1,82 @@
+(** Typed metrics registry: counters, gauges and log2-bucketed histograms.
+
+    One process-wide registry ([default]) unifies the bespoke ledgers kept
+    by [Link], [Tcp.Socket], [Rpc.Server], [Pool] and [Memtraffic].  Each
+    component registers its instruments once at module initialisation and
+    bumps them alongside its existing mutable record, so the historical
+    public stats accessors keep working while [snapshot]/[render] expose a
+    single unified surface.
+
+    Instruments are monotonic for the life of the process (counters and
+    histograms only ever grow; [reset] exists for tests).  Callers that
+    want per-run figures take a snapshot before and after and [diff]. *)
+
+type t
+(** A registry. *)
+
+type counter
+(** Monotonically increasing integer. [inc] never allocates. *)
+
+type gauge
+(** Point-in-time integer level; [set]/[add] overwrite or adjust it. *)
+
+type histogram
+(** Fixed log2 buckets: bucket 0 holds values [<= 0]; bucket [i >= 1]
+    holds values in [[2^(i-1), 2^i - 1]].  [observe] never allocates. *)
+
+val create : unit -> t
+val default : t
+(** The process-wide registry used by all stack components. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+(** Find-or-create by name.  Raises [Invalid_argument] if the name is
+    already registered as a different instrument kind. *)
+
+val inc : counter -> int -> unit
+val counter_value : counter -> int
+val set : gauge -> int -> unit
+val add_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+val observe : histogram -> int -> unit
+
+val n_buckets : int
+val bucket_of : int -> int
+(** Bucket index a value falls into. *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] range of a bucket. *)
+
+(* ---- snapshots ---- *)
+
+type hist = { count : int; sum : int; buckets : int array }
+
+type value = Counter of int | Gauge of int | Histogram of hist
+
+type snapshot = (string * value) list
+(** Registration order; stable across snapshots of the same registry. *)
+
+val snapshot : t -> snapshot
+val find : snapshot -> string -> value option
+val counter_diff : snapshot -> snapshot -> string -> int
+(** [counter_diff later earlier name]: delta of a counter between two
+    snapshots; a name absent from a snapshot counts as 0. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Counters and histograms add; for gauges the second snapshot wins.
+    Names keep the first snapshot's order, new names append. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]: counters and histograms subtract, gauges keep
+    the later value.  Names ordered as in [later]. *)
+
+val render : snapshot -> string
+(** Stable plain-text rendering, one instrument per line (histograms add
+    an indented bucket line when non-empty). *)
+
+val to_json : snapshot -> string
+(** Hand-rolled JSON object keyed by instrument name. *)
+
+val reset : t -> unit
+(** Zero every instrument (registrations survive).  Test use only. *)

@@ -1,0 +1,221 @@
+type stage =
+  | Send_marshal
+  | Send_encrypt
+  | Send_checksum
+  | Send_ring_copy
+  | Send_link
+  | Recv_checksum
+  | Recv_decrypt
+  | Recv_unmarshal
+  | Tcp_retransmit
+  | Tcp_persist_probe
+  | Tcp_zero_window
+  | Tcp_abort
+  | Rpc_shed
+  | Rpc_abandon
+
+let all_stages =
+  [ Send_marshal; Send_encrypt; Send_checksum; Send_ring_copy; Send_link;
+    Recv_checksum; Recv_decrypt; Recv_unmarshal; Tcp_retransmit;
+    Tcp_persist_probe; Tcp_zero_window; Tcp_abort; Rpc_shed; Rpc_abandon ]
+
+let stage_index = function
+  | Send_marshal -> 0
+  | Send_encrypt -> 1
+  | Send_checksum -> 2
+  | Send_ring_copy -> 3
+  | Send_link -> 4
+  | Recv_checksum -> 5
+  | Recv_decrypt -> 6
+  | Recv_unmarshal -> 7
+  | Tcp_retransmit -> 8
+  | Tcp_persist_probe -> 9
+  | Tcp_zero_window -> 10
+  | Tcp_abort -> 11
+  | Rpc_shed -> 12
+  | Rpc_abandon -> 13
+
+let stage_of_index = Array.of_list all_stages
+
+let stage_name = function
+  | Send_marshal -> "marshal"
+  | Send_encrypt -> "encrypt"
+  | Send_checksum -> "checksum"
+  | Send_ring_copy -> "ring-copy"
+  | Send_link -> "link"
+  | Recv_checksum -> "checksum"
+  | Recv_decrypt -> "decrypt"
+  | Recv_unmarshal -> "unmarshal"
+  | Tcp_retransmit -> "retransmit"
+  | Tcp_persist_probe -> "persist-probe"
+  | Tcp_zero_window -> "zero-window"
+  | Tcp_abort -> "abort"
+  | Rpc_shed -> "shed"
+  | Rpc_abandon -> "abandon"
+
+let stage_cat = function
+  | Send_marshal | Send_encrypt | Send_checksum | Send_ring_copy | Send_link ->
+      "send"
+  | Recv_checksum | Recv_decrypt | Recv_unmarshal -> "recv"
+  | Tcp_retransmit | Tcp_persist_probe | Tcp_zero_window | Tcp_abort -> "tcp"
+  | Rpc_shed | Rpc_abandon -> "rpc"
+
+(* Chrome thread lane per category so the four event families render as
+   separate rows. *)
+let cat_tid = function "send" -> 1 | "recv" -> 2 | "tcp" -> 3 | _ -> 4
+
+(* ---- the ring ----
+
+   Parallel preallocated arrays; [next] is the next write slot, [total]
+   the number of events ever recorded.  Recording is a few array stores
+   (float stores into a float array are unboxed), so the enabled path
+   does not allocate either. *)
+
+let on = ref false
+let cap = ref 0
+let r_stage = ref [||]
+let r_packet = ref [||]
+let r_arg = ref [||]
+let r_kind = ref [||] (* 0 = span, 1 = instant *)
+let r_ts = ref (Array.make 0 0.0)
+let r_dur = ref (Array.make 0 0.0)
+let next = ref 0
+let total = ref 0
+let packet_seq = ref 0
+let cur_packet = ref 0
+
+let enabled () = !on
+let capacity () = !cap
+
+let clear () =
+  next := 0;
+  total := 0;
+  packet_seq := 0;
+  cur_packet := 0
+
+let enable ?(capacity = 16384) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
+  if capacity <> !cap then begin
+    cap := capacity;
+    r_stage := Array.make capacity 0;
+    r_packet := Array.make capacity 0;
+    r_arg := Array.make capacity 0;
+    r_kind := Array.make capacity 0;
+    r_ts := Array.make capacity 0.0;
+    r_dur := Array.make capacity 0.0
+  end;
+  clear ();
+  on := true
+
+let disable () = on := false
+
+let begin_packet () =
+  if not !on then 0
+  else begin
+    incr packet_seq;
+    cur_packet := !packet_seq;
+    !packet_seq
+  end
+
+let current_packet () = !cur_packet
+
+let record stage ~packet ~ts ~dur ~arg ~kind =
+  let i = !next in
+  !r_stage.(i) <- stage_index stage;
+  !r_packet.(i) <- packet;
+  !r_arg.(i) <- arg;
+  !r_kind.(i) <- kind;
+  !r_ts.(i) <- ts;
+  !r_dur.(i) <- dur;
+  next := if i + 1 = !cap then 0 else i + 1;
+  incr total
+
+let span ?(arg = 0) stage ~packet ~ts ~dur =
+  if !on then record stage ~packet ~ts ~dur ~arg ~kind:0
+
+let instant ?(arg = 0) stage ~packet ~ts =
+  if !on then record stage ~packet ~ts ~dur:0.0 ~arg ~kind:1
+
+let clock = ref (fun () -> 0.0)
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ---- reading ---- *)
+
+type span_rec = {
+  stage : stage;
+  packet : int;
+  ts : float;
+  dur : float;
+  arg : int;
+  is_instant : bool;
+}
+
+let recorded () = !total
+let count () = min !total !cap
+let dropped () = !total - count ()
+
+let nth_oldest i =
+  (* index into the ring of the i-th oldest retained event *)
+  let oldest = if !total <= !cap then 0 else !next in
+  (oldest + i) mod !cap
+
+let spans () =
+  let n = count () in
+  List.init n (fun i ->
+      let j = nth_oldest i in
+      { stage = stage_of_index.(!r_stage.(j));
+        packet = !r_packet.(j);
+        ts = !r_ts.(j);
+        dur = !r_dur.(j);
+        arg = !r_arg.(j);
+        is_instant = !r_kind.(j) = 1 })
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let n = count () in
+  for i = 0 to n - 1 do
+    let j = nth_oldest i in
+    if i > 0 then Buffer.add_string b ",\n";
+    let stage = stage_of_index.(!r_stage.(j)) in
+    let cat = stage_cat stage in
+    if !r_kind.(j) = 1 then
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"g\", \
+            \"ts\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {\"packet\": %d, \
+            \"arg\": %d}}"
+           (stage_name stage) cat !r_ts.(j) (cat_tid cat) !r_packet.(j)
+           !r_arg.(j))
+    else
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {\"packet\": %d, \
+            \"fused\": %d}}"
+           (stage_name stage) cat !r_ts.(j) !r_dur.(j) (cat_tid cat)
+           !r_packet.(j) !r_arg.(j))
+  done;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let timeline ?tail () =
+  let lines =
+    List.map
+      (fun s ->
+        if s.is_instant then
+          Printf.sprintf "pkt %-5d %-4s %-13s ts %12.3f            arg=%d"
+            s.packet (stage_cat s.stage) (stage_name s.stage) s.ts s.arg
+        else
+          Printf.sprintf
+            "pkt %-5d %-4s %-13s ts %12.3f dur %9.3f%s" s.packet
+            (stage_cat s.stage) (stage_name s.stage) s.ts s.dur
+            (if s.arg = 1 then " (fused)" else ""))
+      (spans ())
+  in
+  match tail with
+  | None -> lines
+  | Some k ->
+      let n = List.length lines in
+      if n <= k then lines else List.filteri (fun i _ -> i >= n - k) lines

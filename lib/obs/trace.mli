@@ -1,0 +1,97 @@
+(** Low-overhead per-packet span tracer.
+
+    A single process-wide ring of preallocated parallel arrays records
+    spans (a stage with a start timestamp and duration) and instants
+    (point events).  When tracing is disabled every recording entry point
+    is a single mutable-flag test and allocates nothing, so the data-path
+    hot loops can stay instrumented permanently.  When the ring is full
+    the oldest spans are evicted.
+
+    Timestamps are supplied by the caller in microseconds.  On the
+    simulated machine the natural clock is [Machine.micros] (simulated
+    CPU time); native/wall users install a monotonic clock via
+    [set_clock].  The tracer itself never charges the simulated machine,
+    so enabling it cannot change simulated costs or wire bytes. *)
+
+type stage =
+  | Send_marshal
+  | Send_encrypt
+  | Send_checksum
+  | Send_ring_copy
+  | Send_link
+  | Recv_checksum
+  | Recv_decrypt
+  | Recv_unmarshal
+  | Tcp_retransmit
+  | Tcp_persist_probe
+  | Tcp_zero_window
+  | Tcp_abort
+  | Rpc_shed
+  | Rpc_abandon
+
+val all_stages : stage list
+val stage_name : stage -> string
+val stage_cat : stage -> string
+(** Category: ["send"], ["recv"], ["tcp"] or ["rpc"]. *)
+
+val enabled : unit -> bool
+val enable : ?capacity:int -> unit -> unit
+(** Switch tracing on with a fresh ring of [capacity] spans
+    (default 16384).  Clears previously recorded spans. *)
+
+val disable : unit -> unit
+(** Switch recording off.  Recorded spans remain readable. *)
+
+val clear : unit -> unit
+val capacity : unit -> int
+
+val begin_packet : unit -> int
+(** Allocate the next packet id and make it current.  Returns 0 (and does
+    nothing) when tracing is disabled. *)
+
+val current_packet : unit -> int
+(** Packet id of the most recent [begin_packet] (0 before any). *)
+
+val span : ?arg:int -> stage -> packet:int -> ts:float -> dur:float -> unit
+(** Record a complete span.  No-op (and allocation-free) when disabled.
+    [arg] is a free integer annotation; the engine uses [arg = 1] to mark
+    a stage that was fused into another loop (zero attributed duration
+    because the work happened inside the fused pass). *)
+
+val instant : ?arg:int -> stage -> packet:int -> ts:float -> unit
+(** Record a point event (TCP/RPC control events). *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the microsecond clock used by native (uncharged) code paths
+    that have no simulated machine to read.  Defaults to a constant 0. *)
+
+val now : unit -> float
+(** Read the installed clock. *)
+
+(* ---- reading the ring ---- *)
+
+type span_rec = {
+  stage : stage;
+  packet : int;
+  ts : float;
+  dur : float;
+  arg : int;
+  is_instant : bool;
+}
+
+val spans : unit -> span_rec list
+(** Oldest first; at most [capacity] entries. *)
+
+val recorded : unit -> int
+(** Total events recorded since [enable]/[clear], including evicted. *)
+
+val dropped : unit -> int
+(** Events evicted by ring wrap-around. *)
+
+val to_chrome_json : unit -> string
+(** Chrome [trace_event] JSON (one [traceEvents] array of ["X"] complete
+    and ["i"] instant events), loadable in chrome://tracing / Perfetto. *)
+
+val timeline : ?tail:int -> unit -> string list
+(** Plain-text per-packet timeline, oldest first; [tail] keeps only the
+    last [tail] lines. *)

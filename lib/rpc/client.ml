@@ -1,6 +1,11 @@
 module Simclock = Ilp_netsim.Simclock
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
+module M = Ilp_obs.Metrics
+
+let m_busy_replies = M.counter M.default "rpc.client.busy_replies"
+let m_retries = M.counter M.default "rpc.client.retries"
+let m_reconnects = M.counter M.default "rpc.client.reconnects"
 
 type transfer = {
   expected : string;
@@ -114,6 +119,7 @@ let rec schedule_retry t =
       else begin
         t.attempts <- t.attempts + 1;
         t.retries <- t.retries + 1;
+        M.inc m_retries 1;
         let backoff =
           min t.retry.max_backoff_us
             (t.retry.base_backoff_us
@@ -153,6 +159,7 @@ let consume_reply t hdr ~data ~doff ~dlen =
   | Messages.Not_found | Messages.Refused -> t.rejected <- true
   | Messages.Busy ->
       t.busy_replies <- t.busy_replies + 1;
+      M.inc m_busy_replies 1;
       schedule_retry t
   | Messages.Ok -> (
       match t.transfer with
@@ -248,6 +255,7 @@ let reconnect t ~ctrl ~data =
   t.aborted <- None;
   t.errors <- [];
   t.reconnects <- t.reconnects + 1;
+  M.inc m_reconnects 1;
   match t.last_request with
   | None -> Ok ()
   | Some p ->

@@ -2,6 +2,8 @@ module Simclock = Ilp_netsim.Simclock
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
 module Machine = Ilp_memsim.Machine
+module M = Ilp_obs.Metrics
+module Trace = Ilp_obs.Trace
 
 type file = { addr : int; len : int }
 
@@ -48,6 +50,22 @@ type limits = {
   max_request_age_us : float;
 }
 
+(* Unified-registry mirrors of the bespoke server ledgers below; every
+   bump site updates both (the conservation test relies on it). *)
+let m_requests_received = M.counter M.default "rpc.requests_received"
+let m_bad_requests = M.counter M.default "rpc.bad_requests"
+let m_replies_sent = M.counter M.default "rpc.replies_sent"
+let m_replies_abandoned = M.counter M.default "rpc.replies_abandoned"
+let m_statuses_abandoned = M.counter M.default "rpc.statuses_abandoned"
+let g_connections = M.gauge M.default "rpc.connections"
+let g_queued_bytes = M.gauge M.default "rpc.queued_bytes"
+
+let m_sheds =
+  Array.of_list
+    (List.map
+       (fun r -> M.counter M.default ("rpc.shed." ^ shed_reason_to_string r))
+       shed_reasons)
+
 let default_limits =
   { max_connections = 64;
     max_conn_queue_bytes = 256 * 1024;
@@ -91,17 +109,24 @@ let machine t = (Engine.sim t.engine).Ilp_memsim.Sim.machine
 
 let count_shed t reason =
   t.shed_ledger.(shed_reason_index reason) <-
-    t.shed_ledger.(shed_reason_index reason) + 1
+    t.shed_ledger.(shed_reason_index reason) + 1;
+  M.inc m_sheds.(shed_reason_index reason) 1;
+  if Trace.enabled () then
+    Trace.instant ~arg:(shed_reason_index reason) Trace.Rpc_shed
+      ~packet:(Trace.current_packet ())
+      ~ts:(Machine.micros (machine t))
 
 let charge_queue t conn bytes =
   conn.queued_bytes <- conn.queued_bytes + bytes;
   t.total_queued_bytes <- t.total_queued_bytes + bytes;
+  M.set g_queued_bytes t.total_queued_bytes;
   if t.total_queued_bytes > t.peak_queued_bytes then
     t.peak_queued_bytes <- t.total_queued_bytes
 
 let release_queue t conn bytes =
   conn.queued_bytes <- conn.queued_bytes - bytes;
-  t.total_queued_bytes <- t.total_queued_bytes - bytes
+  t.total_queued_bytes <- t.total_queued_bytes - bytes;
+  M.set g_queued_bytes t.total_queued_bytes
 
 let item_bytes = function Data { seg; _ } -> seg.seg_len | Status _ -> 0
 
@@ -111,16 +136,28 @@ let item_bytes = function Data { seg; _ } -> seg.seg_len | Status _ -> 0
 let mark_dead t conn =
   if not conn.dead then begin
     conn.dead <- true;
-    if conn.admitted then t.live_connections <- t.live_connections - 1;
+    if conn.admitted then begin
+      t.live_connections <- t.live_connections - 1;
+      M.set g_connections t.live_connections
+    end;
+    let abandoned = Queue.length conn.queue in
     Queue.iter
       (fun item ->
         release_queue t conn (item_bytes item);
         match item with
-        | Data _ -> t.replies_abandoned <- t.replies_abandoned + 1
-        | Status _ -> t.statuses_abandoned <- t.statuses_abandoned + 1)
+        | Data _ ->
+            t.replies_abandoned <- t.replies_abandoned + 1;
+            M.inc m_replies_abandoned 1
+        | Status _ ->
+            t.statuses_abandoned <- t.statuses_abandoned + 1;
+            M.inc m_statuses_abandoned 1)
       conn.queue;
     Queue.clear conn.queue;
-    conn.draining <- false
+    conn.draining <- false;
+    if Trace.enabled () && abandoned > 0 then
+      Trace.instant ~arg:abandoned Trace.Rpc_abandon
+        ~packet:(Trace.current_packet ())
+        ~ts:(Machine.micros (machine t))
   end
 
 let send_reply t conn hdr ~payload_addr =
@@ -136,6 +173,7 @@ let send_reply t conn hdr ~payload_addr =
       let elapsed_us = Machine.micros (machine t) -. before in
       let syscopy_us = Socket.take_syscopy_send_us conn.data in
       t.replies_sent <- t.replies_sent + 1;
+      M.inc m_replies_sent 1;
       t.probe_after ~wire_len:prepared.Engine.len ~elapsed_us ~syscopy_us;
       `Sent
   | Error (Socket.Buffer_full | Socket.Window_full | Socket.Not_established) ->
@@ -214,6 +252,7 @@ let enqueue_status t conn status =
 
 let handle_request t conn ~len =
   t.requests_received <- t.requests_received + 1;
+  M.inc m_requests_received 1;
   match
     let length_at_end = Engine.header_style t.engine = Engine.Trailer in
     match Engine.data_path t.engine with
@@ -232,6 +271,7 @@ let handle_request t conn ~len =
   with
   | Error _ ->
       t.bad_requests <- t.bad_requests + 1;
+      M.inc m_bad_requests 1;
       enqueue_status t conn Messages.Not_found
   | Ok req ->
       if not conn.admitted then begin
@@ -311,7 +351,10 @@ let attach t ~ctrl ~data =
     { id; ctrl; data; queue = Queue.create (); admitted;
       queued_bytes = 0; draining = false; dead = false }
   in
-  if admitted then t.live_connections <- t.live_connections + 1;
+  if admitted then begin
+    t.live_connections <- t.live_connections + 1;
+    M.set g_connections t.live_connections
+  end;
   Hashtbl.replace t.conns id conn;
   (* Requests arrive through the same manipulation stack as any message. *)
   (match Engine.rx_style t.engine with

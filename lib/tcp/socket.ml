@@ -102,6 +102,44 @@ let abort_reason_to_string = function
   | Close_timeout -> "close (FIN) retries exhausted"
   | Peer_stalled -> "peer window stalled past the persist deadline"
 
+(* Unified-registry mirrors of the per-socket counters: bumped at the
+   same sites as the mutable fields, so process totals equal the sum of
+   per-socket [stats]/[drops] (checked by the conservation test). *)
+module M = Ilp_obs.Metrics
+module Trace = Ilp_obs.Trace
+
+let m_segments_sent = M.counter M.default "tcp.segments_sent"
+let m_segments_received = M.counter M.default "tcp.segments_received"
+let m_bytes_sent = M.counter M.default "tcp.bytes_sent"
+let m_bytes_delivered = M.counter M.default "tcp.bytes_delivered"
+let m_retransmissions = M.counter M.default "tcp.retransmissions"
+let m_checksum_failures = M.counter M.default "tcp.checksum_failures"
+let m_out_of_order = M.counter M.default "tcp.out_of_order"
+let m_duplicates = M.counter M.default "tcp.duplicates"
+let m_acks_sent = M.counter M.default "tcp.acks_sent"
+let m_ip_errors = M.counter M.default "tcp.ip_errors"
+let m_fast_retransmits = M.counter M.default "tcp.fast_retransmits"
+let m_persist_probes = M.counter M.default "tcp.persist_probes"
+let m_zero_window_stalls = M.counter M.default "tcp.zero_window_stalls"
+let m_seg_payload = M.histogram M.default "tcp.segment_payload_bytes"
+
+let m_drops =
+  Array.of_list
+    (List.map
+       (fun r -> M.counter M.default ("tcp.drop." ^ drop_reason_to_string r))
+       drop_reasons)
+
+let abort_counter =
+  let retry = M.counter M.default "tcp.abort.retry_exhausted" in
+  let handshake = M.counter M.default "tcp.abort.handshake_failed" in
+  let close = M.counter M.default "tcp.abort.close_timeout" in
+  let stalled = M.counter M.default "tcp.abort.peer_stalled" in
+  function
+  | Retry_exhausted -> retry
+  | Handshake_failed -> handshake
+  | Close_timeout -> close
+  | Peer_stalled -> stalled
+
 type tx_seg = {
   seq : int;
   len : int;
@@ -268,7 +306,10 @@ let set_rx_processing t p = t.rx_proc <- p
 let set_on_message t f = t.on_message <- f
 let set_on_abort t f = t.on_abort <- f
 let failure t = t.failed
-let count_drop t reason = t.drop_ledger.(drop_reason_index reason) <- t.drop_ledger.(drop_reason_index reason) + 1
+let count_drop t reason =
+  t.drop_ledger.(drop_reason_index reason) <-
+    t.drop_ledger.(drop_reason_index reason) + 1;
+  M.inc m_drops.(drop_reason_index reason) 1
 let drop_count t reason = t.drop_ledger.(drop_reason_index reason)
 let drops t = List.map (fun r -> (r, drop_count t r)) drop_reasons
 let drops_total t = Array.fold_left ( + ) 0 t.drop_ledger
@@ -367,6 +408,11 @@ let transmit t header ~payload =
       ~payload_len:(String.length segment) ()
   in
   t.segments_sent <- t.segments_sent + 1;
+  M.inc m_segments_sent 1;
+  M.observe m_seg_payload payload_len;
+  if Trace.enabled () && payload_len > 0 then
+    Trace.instant ~arg:payload_len Trace.Send_link
+      ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
   t.wire_out
     (Datagram.create ~src_port:t.local_port ~dst_port:t.remote_port
        ~payload:(Ipv4.encapsulate ip segment))
@@ -385,6 +431,7 @@ let send_ack_now t =
       t.delayed_ack <- None
   | None -> ());
   t.acks_sent <- t.acks_sent + 1;
+  M.inc m_acks_sent 1;
   send_control t ~flags:Tcp_header.ack_flag
 
 (* RFC 1122-style delayed acknowledgement: hold the ack briefly so it can
@@ -400,6 +447,7 @@ let send_ack t =
           Simclock.schedule t.clock ~after:t.cfg.ack_delay_us (fun () ->
               t.delayed_ack <- None;
               t.acks_sent <- t.acks_sent + 1;
+              M.inc m_acks_sent 1;
               send_control t ~flags:Tcp_header.ack_flag)
         in
         t.delayed_ack <- Some timer
@@ -407,7 +455,13 @@ let send_ack t =
 (* Retry exhaustion: tear the connection down with a recorded reason so
    the application sees a typed failure, never a silent [Closed]. *)
 let abort t reason =
-  if t.failed = None then t.failed <- Some reason;
+  if t.failed = None then begin
+    t.failed <- Some reason;
+    M.inc (abort_counter reason) 1;
+    if Trace.enabled () then
+      Trace.instant Trace.Tcp_abort ~packet:(Trace.current_packet ())
+        ~ts:(Machine.micros (machine t))
+  end;
   t.st <- Closed;
   Option.iter Simclock.cancel t.rto_timer;
   t.rto_timer <- None;
@@ -465,6 +519,10 @@ let cancel_persist t =
    even if the peer's window-update ack was lost. *)
 let send_probe t =
   t.persist_probes_n <- t.persist_probes_n + 1;
+  M.inc m_persist_probes 1;
+  if Trace.enabled () then
+    Trace.instant Trace.Tcp_persist_probe ~packet:(Trace.current_packet ())
+      ~ts:(Machine.micros (machine t));
   let h = base_header t ~flags:Tcp_header.ack_flag in
   let h = { h with seq = t.snd_nxt - 1 } in
   let payload_acc =
@@ -486,6 +544,10 @@ let rec arm_persist t ~want =
     | None ->
         let now = Simclock.now t.clock in
         t.stalled_since <- Some now;
+        M.inc m_zero_window_stalls 1;
+        if Trace.enabled () then
+          Trace.instant Trace.Tcp_zero_window ~packet:(Trace.current_packet ())
+            ~ts:(Machine.micros (machine t));
         now
   in
   Option.iter Simclock.cancel t.persist_timer;
@@ -517,6 +579,10 @@ let rec arm_rto t =
 
 and retransmit_oldest t seg =
   t.retransmissions <- t.retransmissions + 1;
+  M.inc m_retransmissions 1;
+  if Trace.enabled () then
+    Trace.instant ~arg:seg.seq Trace.Tcp_retransmit
+      ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
   seg.rexmit <- true;
   (* tcp_output for the retransmission: fresh checksum pass over the ring
      contents, fresh header. *)
@@ -580,8 +646,17 @@ let send_message t ~len ~fill =
           match acc_opt with
           | Some acc -> acc
           | None ->
-              Ilp_checksum.Internet.checksum_mem (mem t) ~pos:addr ~len
-                ~acc:Ilp_checksum.Internet.empty
+              let tr = Trace.enabled () in
+              let t0 = if tr then Machine.micros (machine t) else 0.0 in
+              let acc =
+                Ilp_checksum.Internet.checksum_mem (mem t) ~pos:addr ~len
+                  ~acc:Ilp_checksum.Internet.empty
+              in
+              if tr then
+                Trace.span Trace.Send_checksum
+                  ~packet:(Trace.current_packet ()) ~ts:t0
+                  ~dur:(Machine.micros (machine t) -. t0);
+              acc
         in
         let h = base_header t ~flags:(Tcp_header.ack_flag lor Tcp_header.psh) in
         let ck = Tcp_header.checksum h ~payload_acc ~payload_len:len in
@@ -592,6 +667,7 @@ let send_message t ~len ~fill =
           t.txq;
         t.snd_nxt <- t.snd_nxt + len;
         t.bytes_sent <- t.bytes_sent + len;
+        M.inc m_bytes_sent len;
         if t.rto_timer = None then arm_rto t;
         Ok ()
 
@@ -639,17 +715,25 @@ let seg_max t = Tcp_header.size + t.cfg.mss
 let process_data t (h : Tcp_header.t) ~base ~payload_len =
   let open Ilp_checksum in
   let src = base + Tcp_header.size in
+  (* Each delivered data segment is one traced receive packet; the
+     engine's rx handlers pick the id up via [Trace.current_packet]. *)
+  if Trace.enabled () then ignore (Trace.begin_packet ());
   let verdict =
     match t.rx_proc with
     | Rx_raw | Rx_separate _ ->
         (* Separate checksum pass over the staged segment (header bytes
            included; the stored checksum field makes a valid segment fold
            to 0xffff). *)
+        let tr = Trace.enabled () in
+        let t0 = if tr then Machine.micros (machine t) else 0.0 in
         let acc = Tcp_header.pseudo_acc h ~payload_len in
         let acc =
           Internet.checksum_mem (mem t) ~pos:base ~len:(Tcp_header.size + payload_len)
             ~acc
         in
+        if tr then
+          Trace.span Trace.Recv_checksum ~packet:(Trace.current_packet ())
+            ~ts:t0 ~dur:(Machine.micros (machine t) -. t0);
         if Internet.finish acc <> 0 then Error Bad_checksum
         else begin
           match t.rx_proc with
@@ -677,11 +761,14 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
   | Ok () ->
       t.rcv_nxt <- t.rcv_nxt + payload_len;
       t.bytes_delivered <- t.bytes_delivered + payload_len;
+      M.inc m_bytes_delivered payload_len;
       t.on_message ~src ~len:payload_len;
       true
   | Error reason ->
-      if reason = Bad_checksum then
+      if reason = Bad_checksum then begin
         t.checksum_failures <- t.checksum_failures + 1;
+        M.inc m_checksum_failures 1
+      end;
       count_drop t reason;
       false
 
@@ -705,11 +792,13 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
   else if h.seq < t.rcv_nxt then begin
     (* Duplicate (e.g. a retransmission that crossed our ack). *)
     t.duplicates <- t.duplicates + 1;
+    M.inc m_duplicates 1;
     send_ack t
   end
   else begin
     (* Out of order: stash the staged segment for later processing. *)
     t.out_of_order_n <- t.out_of_order_n + 1;
+    M.inc m_out_of_order 1;
     (if not (Hashtbl.mem t.ooo h.seq) then
        match alloc_ooo_slot t with
        | None ->
@@ -749,6 +838,7 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
       match Queue.peek_opt t.txq with
       | Some seg ->
           t.fast_retransmits <- t.fast_retransmits + 1;
+          M.inc m_fast_retransmits 1;
           on_congestion_loss t ~timeout:false;
           retransmit_oldest t seg;
           arm_rto t
@@ -791,9 +881,11 @@ let handle_datagram t (dgram : Datagram.t) =
   match Ipv4.decapsulate dgram.Datagram.payload with
   | Error _ ->
       t.ip_errors <- t.ip_errors + 1;
+      M.inc m_ip_errors 1;
       count_drop t Bad_ip
   | Ok (ip, _) when ip.Ipv4.protocol <> Ipv4.protocol_tcp ->
       t.ip_errors <- t.ip_errors + 1;
+      M.inc m_ip_errors 1;
       count_drop t Bad_ip
   | Ok (_, wire) ->
   let total = String.length wire in
@@ -801,6 +893,7 @@ let handle_datagram t (dgram : Datagram.t) =
   else if total > seg_max t then count_drop t Bad_length
   else begin
     t.segments_received <- t.segments_received + 1;
+    M.inc m_segments_received 1;
     Machine.exec (machine t) t.code_kernel;
     Machine.exec (machine t) t.code_ctrl;
     (* Kernel demultiplexing and tcp_input connection lookup. *)

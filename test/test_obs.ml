@@ -1,0 +1,306 @@
+(* The unified observability layer: the metrics registry, the span
+   tracer, and — the load-bearing property — that instrumenting the stack
+   changed nothing: traced and untraced runs put identical bytes on the
+   wire and charge identical simulated cycles, the disabled path
+   allocates nothing, and every bespoke ledger in the stack agrees
+   exactly with its registry mirror after a soak. *)
+
+open Ilp_memsim
+module M = Ilp_obs.Metrics
+module Trace = Ilp_obs.Trace
+module Engine = Ilp_core.Engine
+module Socket = Ilp_tcp.Socket
+module Link = Ilp_netsim.Link
+module Soak = Ilp_app.Soak
+module Rpc_server = Ilp_rpc.Server
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_counter_and_gauge () =
+  let r = M.create () in
+  let c = M.counter r "c" in
+  M.inc c 1;
+  M.inc c 41;
+  check "counter accumulates" 42 (M.counter_value c);
+  checkb "find-or-create returns the same counter" true (M.counter r "c" == c);
+  let g = M.gauge r "g" in
+  M.set g 7;
+  M.add_gauge g (-3);
+  check "gauge set+add" 4 (M.gauge_value g)
+
+let test_kind_mismatch () =
+  let r = M.create () in
+  ignore (M.counter r "x");
+  (match M.gauge r "x" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match M.histogram r "x" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_buckets () =
+  check "v <= 0 lands in bucket 0" 0 (M.bucket_of 0);
+  check "negative lands in bucket 0" 0 (M.bucket_of (-37));
+  check "1 lands in bucket 1" 1 (M.bucket_of 1);
+  check "2 lands in bucket 2" 2 (M.bucket_of 2);
+  check "3 lands in bucket 2" 2 (M.bucket_of 3);
+  check "4 lands in bucket 3" 3 (M.bucket_of 4);
+  check "255 lands in bucket 8" 8 (M.bucket_of 255);
+  check "256 lands in bucket 9" 9 (M.bucket_of 256);
+  (* Every bucket's own bounds map back to it. *)
+  for i = 1 to M.n_buckets - 1 do
+    let lo, hi = M.bucket_bounds i in
+    check (Printf.sprintf "lo of bucket %d" i) i (M.bucket_of lo);
+    check (Printf.sprintf "hi of bucket %d" i) i (M.bucket_of hi)
+  done
+
+let test_histogram_merge_and_diff () =
+  let r = M.create () in
+  let h = M.histogram r "lat" in
+  List.iter (M.observe h) [ 1; 2; 3; 100 ];
+  let s1 = M.snapshot r in
+  List.iter (M.observe h) [ 7; 7 ];
+  let s2 = M.snapshot r in
+  (match M.find (M.diff s2 s1) "lat" with
+  | Some (M.Histogram d) ->
+      check "diff count" 2 d.M.count;
+      check "diff sum" 14 d.M.sum;
+      check "diff bucket of 7" 2 d.M.buckets.(M.bucket_of 7)
+  | _ -> Alcotest.fail "diff lost the histogram");
+  match M.find (M.merge s1 s1) "lat" with
+  | Some (M.Histogram m) ->
+      check "merge doubles count" 8 m.M.count;
+      check "merge doubles sum" 212 m.M.sum
+  | _ -> Alcotest.fail "merge lost the histogram"
+
+let test_golden_render () =
+  let r = M.create () in
+  M.inc (M.counter r "a.count") 3;
+  M.set (M.gauge r "b.level") 7;
+  let h = M.histogram r "c.hist" in
+  List.iter (M.observe h) [ 1; 2; 3 ];
+  let expected =
+    "a.count                                  3\n\
+     b.level                                  7 (gauge)\n\
+     c.hist                                   count=3 sum=6\n\
+    \  [1,1]=1 [2,3]=2\n"
+  in
+  check_s "stable rendering" expected (M.render (M.snapshot r))
+
+let test_counter_diff_absent () =
+  let r = M.create () in
+  M.inc (M.counter r "present") 5;
+  let s = M.snapshot r in
+  check "absent name diffs as 0" 0 (M.counter_diff s s "never-registered");
+  check "against empty snapshot" 5 (M.counter_diff s [] "present")
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_ring_wraparound () =
+  Trace.enable ~capacity:8 ();
+  for i = 1 to 12 do
+    Trace.span Trace.Send_marshal ~packet:i ~ts:(float_of_int i) ~dur:1.0
+  done;
+  Trace.disable ();
+  let spans = Trace.spans () in
+  check "ring keeps capacity spans" 8 (List.length spans);
+  check "recorded counts evictions" 12 (Trace.recorded ());
+  check "dropped = overflow" 4 (Trace.dropped ());
+  (* Oldest first, the first four evicted, none duplicated. *)
+  List.iteri
+    (fun i (s : Trace.span_rec) -> check "oldest-first order" (i + 5) s.Trace.packet)
+    spans
+
+let test_packet_ids () =
+  Trace.disable ();
+  check "begin_packet disabled is 0" 0 (Trace.begin_packet ());
+  Trace.enable ~capacity:16 ();
+  let a = Trace.begin_packet () in
+  let b = Trace.begin_packet () in
+  checkb "ids increase" true (b = a + 1);
+  check "current tracks last begin" b (Trace.current_packet ());
+  Trace.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Traced vs untraced: identical bytes, identical cycles *)
+
+let make_sim () = Sim.create (Config.custom ())
+
+let install sim s =
+  let addr = Alloc.alloc sim.Sim.alloc ~align:8 (String.length s) in
+  Mem.poke_string sim.Sim.mem ~pos:addr s;
+  addr
+
+let read_back sim addr len =
+  Bytes.to_string (Mem.peek_bytes sim.Sim.mem ~pos:addr ~len)
+
+(* One send + one receive through a fresh engine; returns the wire bytes
+   and the total simulated cycles the run charged. *)
+let send_recv ~mode ~header_style =
+  let sim = make_sim () in
+  let cipher = Ilp_cipher.Safer_simplified.charged sim ~key:"engineKY" () in
+  let eng = Engine.create sim ~cipher ~mode ~header_style () in
+  let payload = String.init 333 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let payload_addr = install sim payload in
+  let prepared =
+    Engine.prepare_send eng ~prefix:"PFXWORDS" ~payload_addr
+      ~payload_len:(String.length payload)
+  in
+  let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
+  ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
+  (match mode with
+  | Engine.Ilp -> (
+      match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+  | Engine.Separate -> (
+      match Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e));
+  (read_back sim wire prepared.Engine.len, Machine.cycles sim.Sim.machine)
+
+let test_tracing_changes_nothing () =
+  List.iter
+    (fun (mode, style, name) ->
+      Trace.disable ();
+      let wire_off, cycles_off = send_recv ~mode ~header_style:style in
+      Trace.enable ~capacity:4096 ();
+      let wire_on, cycles_on = send_recv ~mode ~header_style:style in
+      let n_spans = List.length (Trace.spans ()) in
+      Trace.disable ();
+      check_s (name ^ ": identical wire bytes") wire_off wire_on;
+      Alcotest.(check (float 0.0))
+        (name ^ ": identical cycle charges")
+        cycles_off cycles_on;
+      (* ILP: 4 fused send + 3 fused recv spans.  Separate: 3 send passes
+         + 2 recv passes — the TCP checksum stage belongs to the socket,
+         which this direct engine drive bypasses. *)
+      let min_spans = match mode with Engine.Ilp -> 7 | Engine.Separate -> 5 in
+      checkb (name ^ ": spans were recorded") true (n_spans >= min_spans))
+    [ (Engine.Ilp, Engine.Leading, "ilp/leading");
+      (Engine.Ilp, Engine.Trailer, "ilp/trailer");
+      (Engine.Separate, Engine.Leading, "separate/leading");
+      (Engine.Separate, Engine.Trailer, "separate/trailer") ]
+
+let test_disabled_path_allocation_free () =
+  Trace.disable ();
+  let c = M.counter M.default "test_obs.probe" in
+  let h = M.histogram M.default "test_obs.probe_hist" in
+  let n = 10_000 in
+  let one () =
+    let t0 = if Trace.enabled () then Trace.now () else 0.0 in
+    Trace.span Trace.Send_marshal ~packet:(Trace.current_packet ()) ~ts:t0
+      ~dur:0.0;
+    Trace.instant Trace.Tcp_retransmit ~packet:0 ~ts:0.0;
+    ignore (Trace.begin_packet ());
+    M.inc c 1;
+    M.observe h 42
+  in
+  for _ = 1 to 64 do one () done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do one () done;
+  let per_call = (Gc.minor_words () -. w0) /. float_of_int n in
+  checkb
+    (Printf.sprintf "disabled instrumentation allocates (%.4f words/call)"
+       per_call)
+    true (per_call <= 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Conservation: bespoke ledgers = registry mirrors *)
+
+let d later earlier name = M.counter_diff later earlier name
+
+let test_conservation_chaos_soak () =
+  let cfg =
+    { Soak.default_config with Soak.iterations = 8; file_len = 256; max_reply = 128 }
+  in
+  let before = M.snapshot M.default in
+  let o = Soak.run cfg in
+  let after = M.snapshot M.default in
+  checkb "soak invariants hold" true (Soak.invariants_hold o);
+  let link = o.Soak.link in
+  check "link.sent" link.Link.sent (d after before "link.sent");
+  check "link.delivered" link.Link.delivered (d after before "link.delivered");
+  check "link.dropped" link.Link.dropped (d after before "link.dropped");
+  check "link.duplicated" link.Link.duplicated (d after before "link.duplicated");
+  check "link.corrupted" link.Link.corrupted (d after before "link.corrupted");
+  check "link.truncated" link.Link.truncated (d after before "link.truncated");
+  check "link.padded" link.Link.padded (d after before "link.padded");
+  check "link.burst_dropped" link.Link.burst_dropped
+    (d after before "link.burst_dropped");
+  check "link.delay_spikes" link.Link.delay_spikes
+    (d after before "link.delay_spikes");
+  List.iter
+    (fun (reason, n) ->
+      let name = "tcp.drop." ^ Socket.drop_reason_to_string reason in
+      check name n (d after before name))
+    o.Soak.drops;
+  check "rpc.replies_abandoned" o.Soak.replies_abandoned
+    (d after before "rpc.replies_abandoned")
+
+let test_conservation_overload_soak () =
+  let cfg = Soak.default_overload_config in
+  let before = M.snapshot M.default in
+  let o = Soak.run_overload cfg in
+  let after = M.snapshot M.default in
+  checkb "overload invariants hold" true (Soak.overload_invariants_hold o);
+  List.iter
+    (fun (reason, n) ->
+      let name = "rpc.shed." ^ Rpc_server.shed_reason_to_string reason in
+      check name n (d after before name))
+    o.Soak.sheds;
+  check "rpc.client.busy_replies" o.Soak.busy_replies
+    (d after before "rpc.client.busy_replies");
+  check "rpc.client.retries" o.Soak.client_retries
+    (d after before "rpc.client.retries");
+  check "tcp.persist_probes" o.Soak.persist_probes
+    (d after before "tcp.persist_probes");
+  check "rpc.replies_abandoned" o.Soak.replies_abandoned
+    (d after before "rpc.replies_abandoned")
+
+(* ------------------------------------------------------------------ *)
+(* Tracerun: the ilpbench trace driver *)
+
+let test_tracerun_quick_complete () =
+  let r = Ilp_bench.Tracerun.run ~quick:true () in
+  checkb "at least one complete send and recv chain" true
+    (Ilp_bench.Tracerun.complete r);
+  check "nothing evicted at this size" 0 r.Ilp_bench.Tracerun.dropped;
+  checkb "chrome json shape" true
+    (String.length r.Ilp_bench.Tracerun.json > 2
+    && String.sub r.Ilp_bench.Tracerun.json 0 15 = "{\"traceEvents\":")
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+          Alcotest.test_case "log2 bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "histogram merge and diff" `Quick
+            test_histogram_merge_and_diff;
+          Alcotest.test_case "golden render" `Quick test_golden_render;
+          Alcotest.test_case "counter_diff of absent names" `Quick
+            test_counter_diff_absent ] );
+      ( "trace",
+        [ Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "packet ids" `Quick test_packet_ids ] );
+      ( "overhead",
+        [ Alcotest.test_case "traced = untraced (bytes and cycles)" `Quick
+            test_tracing_changes_nothing;
+          Alcotest.test_case "disabled path allocation-free" `Quick
+            test_disabled_path_allocation_free ] );
+      ( "conservation",
+        [ Alcotest.test_case "chaos soak ledgers = metrics" `Slow
+            test_conservation_chaos_soak;
+          Alcotest.test_case "overload ledgers = metrics" `Slow
+            test_conservation_overload_soak ] );
+      ( "tracerun",
+        [ Alcotest.test_case "quick trace has complete chains" `Slow
+            test_tracerun_quick_complete ] ) ]
