@@ -321,6 +321,83 @@ let mem_cmd =
     Term.(const run $ out $ quick $ check)
 
 (* ------------------------------------------------------------------ *)
+(* stream *)
+
+let stream_cmd =
+  let module Sb = Ilp_bench.Streambench in
+  let out =
+    Arg.(value & opt string "BENCH_stream.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON trajectory output path.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke variant: a 256 KiB transfer over a smaller grid.")
+  in
+  let bytes =
+    Arg.(value & opt (some int) None
+         & info [ "bytes"; "b" ] ~docv:"N"
+             ~doc:"Payload bytes per transfer (default: 2 MiB, 256 KiB with \
+                   $(b,--quick)).")
+  in
+  let mss =
+    Arg.(value & opt int Sb.default_config.Sb.mss
+         & info [ "mss" ] ~docv:"BYTES"
+             ~doc:"TCP maximum segment size (multiple of 8).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Link impairment seed.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Fail (exit 1) unless the stream gates hold: every grid \
+                   cell byte-exact, stop-and-wait strictly serial, and \
+                   pipelined goodput at least 4x stop-and-wait on the clean \
+                   10 ms-RTT cell.")
+  in
+  let run out quick bytes mss seed check_gates =
+    let base =
+      { Sb.default_config with
+        Sb.total_bytes =
+          Option.value bytes
+            ~default:
+              (if quick then 256 * 1024 else Sb.default_config.Sb.total_bytes);
+        mss;
+        seed }
+    in
+    match Sb.run ~quick ~config:base () with
+    | r ->
+        Sb.print_table r;
+        Sb.write_json r ~path:out;
+        Printf.printf "wrote %s\n" out;
+        if not check_gates then 0
+        else begin
+          match Sb.check r with
+          | Ok () ->
+              print_endline
+                "stream gates held: byte-exact on every cell, pipelined window \
+                 >= 4x stop-and-wait at 10 ms RTT";
+              0
+          | Error failures ->
+              List.iter
+                (fun f -> Printf.eprintf "ilpbench: stream gate: %s\n" f)
+                failures;
+              1
+        end
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Streaming-TCP goodput benchmark: multi-megabyte transfers as \
+          MSS-segmented pipelined TSDUs versus a stop-and-wait window, \
+          across simulated RTT and loss, in simulated time.")
+    Term.(const run $ out $ quick $ bytes $ mss $ seed $ check)
+
+(* ------------------------------------------------------------------ *)
 (* export *)
 
 let export_cmd =
@@ -581,5 +658,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiments_cmd; transfer_cmd; wall_cmd; mem_cmd; machines_cmd;
-            export_cmd; soak_cmd; trace_cmd ]))
+          [ experiments_cmd; transfer_cmd; wall_cmd; mem_cmd; stream_cmd;
+            machines_cmd; export_cmd; soak_cmd; trace_cmd ]))

@@ -29,6 +29,10 @@ type setup = {
   file_len : int;
   copies : int;
   max_reply : int;
+  mss : int option;
+      (* [None]: one TSDU per TPDU (mss = max_message, the paper's ALF
+         shape).  [Some m]: segment streaming — replies wider than [m]
+         wire bytes travel as pipelined MSS-sized segments. *)
   loss_rate : float;
   seed : int;
   impairments : Link.impairments option;
@@ -51,6 +55,7 @@ let default_setup ~machine ~mode =
     file_len = Workload.paper_file_len;
     copies = 8;
     max_reply = 1024;
+    mss = None;
     loss_rate = 0.0;
     seed = 1;
     impairments = None;
@@ -160,7 +165,10 @@ let run setup =
     Engine.destroy cli_engine;
     Ilp_fastpath.Pool.outstanding pool
   in
-  let scfg = { Socket.default_config with mss = max_message } in
+  let mss =
+    match setup.mss with None -> max_message | Some m -> min m max_message
+  in
+  let scfg = { Socket.default_config with mss } in
   let srv_ctrl = Socket.create sim clock scfg ~local_port:srv_ctrl_port ~wire_out in
   let cli_ctrl = Socket.create sim clock scfg ~local_port:cli_ctrl_port ~wire_out in
   let srv_data = Socket.create sim clock scfg ~local_port:srv_data_port ~wire_out in

@@ -50,6 +50,12 @@ type setup = {
   file_len : int;
   copies : int;
   max_reply : int;  (** application payload bytes per message *)
+  mss : int option;
+      (** TCP maximum segment size: [None] (the default) sizes segments to
+          the engine's maximum message so every reply is one TPDU (the
+          paper's ALF shape); [Some m] caps segments at [m] wire bytes, so
+          replies wider than that travel as pipelined MSS-sized segments
+          through {!Ilp_tcp.Socket.send_stream} *)
   loss_rate : float;
   seed : int;
   impairments : Ilp_netsim.Link.impairments option;

@@ -203,24 +203,37 @@ let run ?(log = fun _ -> ()) (cfg : config) =
 (* ------------------------------------------------------------------ *)
 (* Overload soak: many concurrent clients against one shared server *)
 
-type persona = Honest | Slow_reader | Dead_reader | Oversized
+type persona =
+  | Honest
+  | Slow_reader
+  | Dead_reader
+  | Oversized
+  | Streaming
+  | Shrinking_window
 
 let persona_name = function
   | Honest -> "honest"
   | Slow_reader -> "slow-reader"
   | Dead_reader -> "dead-reader"
   | Oversized -> "oversized"
+  | Streaming -> "streaming"
+  | Shrinking_window -> "shrink-window"
 
 (* Honest clients must complete; slow readers misbehave transiently and
    must still complete (the persist machinery recovers them); dead
-   readers and oversized requesters are shed with typed outcomes. *)
+   readers and oversized requesters are shed with typed outcomes.
+   Streaming clients use a data connection whose MSS is smaller than one
+   reply, so every reply travels as pipelined segments — and must still
+   arrive byte-exact.  Shrinking-window clients yank their advertised
+   window below the sender's bytes in flight mid-transfer and reopen it
+   later; the clamped send window must recover them. *)
 let persona_must_complete = function
-  | Honest | Slow_reader -> true
+  | Honest | Slow_reader | Streaming | Shrinking_window -> true
   | Dead_reader | Oversized -> false
 
 let persona_pattern =
-  [| Honest; Slow_reader; Honest; Dead_reader; Honest; Oversized; Honest;
-     Slow_reader |]
+  [| Honest; Slow_reader; Streaming; Dead_reader; Honest; Oversized;
+     Shrinking_window; Slow_reader |]
 
 type overload_config = {
   seed : int;
@@ -362,23 +375,34 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
         max_backoff_us = 30_000.0;
         deadline_us = 5_000_000.0 }
     in
-    let mk port =
-      let s = Socket.create sim clock cfg_sock ~local_port:port ~wire_out in
+    let mk ?(sock = cfg_sock) port =
+      let s = Socket.create sim clock sock ~local_port:port ~wire_out in
       Demux.bind demux ~port (Socket.handle_datagram s);
       s
     in
     let world =
       List.init cfg.clients (fun i ->
           let base = 1000 + (4 * i) in
-          let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
-          let srv_data = mk (base + 2) and cli_data = mk (base + 3) in
-          ignore (Rpc_server.attach server ~ctrl:srv_ctrl ~data:srv_data);
           let persona = persona_pattern.(i mod Array.length persona_pattern) in
+          (* Streaming clients force segment streaming: the data MSS is
+             well below one reply's wire length, so the server's replies
+             go out through [Socket.send_stream] as pipelined TPDUs. *)
+          let data_sock =
+            match persona with
+            | Streaming -> { cfg_sock with Socket.mss = 96 }
+            | Honest | Slow_reader | Dead_reader | Oversized
+            | Shrinking_window ->
+                cfg_sock
+          in
+          let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
+          let srv_data = mk ~sock:data_sock (base + 2)
+          and cli_data = mk ~sock:data_sock (base + 3) in
+          ignore (Rpc_server.attach server ~ctrl:srv_ctrl ~data:srv_data);
           (* Slow and dead readers advertise a zero receive window from
              the start; slow ones reopen later, dead ones never do. *)
           (match persona with
           | Slow_reader | Dead_reader -> Socket.set_advertised_window cli_data 0
-          | Honest | Oversized -> ());
+          | Honest | Oversized | Streaming | Shrinking_window -> ());
           Socket.listen srv_ctrl;
           Socket.listen cli_data;
           Socket.connect cli_ctrl ~remote_port:base;
@@ -412,7 +436,22 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
                  (fun () ->
                    Socket.set_advertised_window c.cli_data
                      cfg_sock.Socket.recv_window))
-        | Honest | Dead_reader | Oversized -> ())
+        | Shrinking_window ->
+            (* Shrink below the sender's likely bytes in flight while the
+               transfer is in full swing, then reopen.  The clamped
+               send-window arithmetic must park the sender (no crash, no
+               byte past the shrunken edge) and resume it on reopen. *)
+            ignore
+              (Simclock.schedule clock
+                 ~after:(30_000.0 +. (11_000.0 *. float_of_int c.idx))
+                 (fun () -> Socket.set_advertised_window c.cli_data 64));
+            ignore
+              (Simclock.schedule clock
+                 ~after:(400_000.0 +. (29_000.0 *. float_of_int c.idx))
+                 (fun () ->
+                   Socket.set_advertised_window c.cli_data
+                     cfg_sock.Socket.recv_window))
+        | Honest | Dead_reader | Oversized | Streaming -> ())
       world;
     let settled c =
       c.local_refused

@@ -83,11 +83,20 @@ type persona =
   | Oversized
       (** requests more than the per-connection byte budget could ever
           hold: permanently refused *)
+  | Streaming
+      (** data connection MSS smaller than one reply, so every reply is
+          segmented and pipelined through [Socket.send_stream]; must still
+          complete byte-exact *)
+  | Shrinking_window
+      (** shrinks its advertised window below the sender's bytes in
+          flight mid-transfer, reopens later; the clamped send window
+          must recover the transfer *)
 
 val persona_name : persona -> string
 
 (** Clients are assigned personas by cycling this 8-entry pattern
-    (4 honest, 2 slow readers, 1 dead reader, 1 oversized). *)
+    (2 honest, 2 slow readers, 1 streaming, 1 shrinking-window, 1 dead
+    reader, 1 oversized). *)
 val persona_pattern : persona array
 
 type overload_config = {

@@ -72,11 +72,11 @@ let measure_lane ~mode ~native ~data_path ~payload_len ~msgs =
     ignore (prepared.Engine.fill mem ~dst);
     (match mode with
     | Engine.Ilp -> (
-        match Engine.rx_integrated eng mem ~src:dst ~len:wire_len with
+        match Engine.rx_integrated eng mem ~src:dst ~dst_off:0 ~len:wire_len with
         | Ok _ -> ()
         | Error e -> failwith ("Memtrace: rx_integrated: " ^ e))
     | Engine.Separate -> (
-        match Engine.rx_separate eng mem ~src:dst ~len:wire_len with
+        match Engine.rx_separate eng mem ~src:dst ~dst_off:0 ~len:wire_len with
         | Ok () -> ()
         | Error e -> failwith ("Memtrace: rx_separate: " ^ e)));
     match data_path with

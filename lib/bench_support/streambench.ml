@@ -1,0 +1,351 @@
+module Link = Ilp_netsim.Link
+module Simclock = Ilp_netsim.Simclock
+module Demux = Ilp_netsim.Demux
+module Socket = Ilp_tcp.Socket
+module Engine = Ilp_core.Engine
+module Sim = Ilp_memsim.Sim
+module M = Ilp_obs.Metrics
+
+type mode = Pipelined | Stop_and_wait
+
+let mode_name = function
+  | Pipelined -> "pipelined"
+  | Stop_and_wait -> "stop-and-wait"
+
+type config = {
+  total_bytes : int;
+  tsdu_payload : int;
+  mss : int;
+  rtt_us : float;
+  loss_rate : float;
+  seed : int;
+  machine : Ilp_memsim.Config.t;
+  mode : mode;
+  native : bool;
+  deadline_us : float;
+}
+
+let default_config =
+  { total_bytes = 2 * 1024 * 1024;
+    tsdu_payload = 32 * 1024;
+    mss = 1448;
+    rtt_us = 10_000.0;
+    loss_rate = 0.0;
+    seed = 1;
+    machine = Ilp_memsim.Config.ss10_30;
+    mode = Pipelined;
+    native = true;
+    deadline_us = 300_000_000.0 }
+
+type outcome = {
+  ok : bool;
+  error : string option;
+  payload_bytes : int;
+  tsdus : int;
+  elapsed_us : float;
+  goodput_mbps : float;
+  segments : int;
+  retransmissions : int;
+  fast_retransmits : int;
+  peak_in_flight : int;
+  ring_wraps : int;
+  final_cwnd : int;
+}
+
+let key = "strmBENC"
+
+(* The pipelined receive window.  8-aligned and within the 16-bit field
+   the TCP header can carry, so what the peer sees is what we set. *)
+let wide_window = 65528
+
+let validate cfg =
+  if cfg.total_bytes <= 0 then invalid_arg "Streambench: total_bytes must be positive";
+  if cfg.tsdu_payload <= 0 then
+    invalid_arg "Streambench: tsdu_payload must be positive";
+  if cfg.mss < 64 || cfg.mss mod 8 <> 0 then
+    invalid_arg "Streambench: mss must be a multiple of 8, >= 64";
+  if cfg.rtt_us <= 0.0 then invalid_arg "Streambench: rtt_us must be positive";
+  if cfg.loss_rate < 0.0 || cfg.loss_rate >= 1.0 then
+    invalid_arg "Streambench: loss_rate must be in [0, 1)";
+  if cfg.deadline_us <= 0.0 then
+    invalid_arg "Streambench: deadline_us must be positive"
+
+let transfer cfg =
+  validate cfg;
+  let sim =
+    Sim.create ~mem_size:(cfg.total_bytes + (4 * 1024 * 1024)) cfg.machine
+  in
+  let clock = Simclock.create () in
+  let demux = Demux.create () in
+  let link = ref None in
+  let wire_out d = Link.send (Option.get !link) d in
+  link :=
+    Some
+      (Link.create clock ~delay_us:(cfg.rtt_us /. 2.0) ~loss_rate:cfg.loss_rate
+         ~seed:cfg.seed ~deliver:(Demux.deliver demux) ());
+  let backend () =
+    if cfg.native then
+      Engine.Native
+        (Ilp_fastpath.Cipher.Safer_simplified
+           (Ilp_cipher.Safer_simplified.expand_key key))
+    else Engine.Simulated
+  in
+  (* One TSDU per engine message; the engine's [max_message] bounds both
+     the send staging and the receiver's reassembly area. *)
+  let max_message = cfg.tsdu_payload + 64 in
+  let mk_engine () =
+    Engine.create sim
+      ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key ())
+      ~mode:Engine.Ilp ~backend:(backend ()) ~max_message ()
+  in
+  let tx_eng = mk_engine () and rx_eng = mk_engine () in
+  let tx_cfg =
+    { Socket.default_config with
+      mss = cfg.mss;
+      send_buffer = 128 * 1024;
+      recv_window = wide_window;
+      (* The default RTO floor suits the paper's 50 us loopback.  On a
+         long constant-delay path the RTT estimator's variance decays to
+         zero and the timeout converges on srtt = RTT exactly — racing
+         every ack and retransmitting spuriously.  Real stacks impose a
+         minimum RTO far above the RTT (RFC 6298 suggests one full
+         second); scale ours with the configured RTT. *)
+      rto_initial_us = Float.max Socket.default_config.Socket.rto_initial_us (3.0 *. cfg.rtt_us);
+      rto_min_us = Float.max Socket.default_config.Socket.rto_min_us (1.5 *. cfg.rtt_us);
+      (* Stash the whole pipelined flight: a loss then costs ~one RTT,
+         not a serial re-walk of everything behind the hole. *)
+      ooo_slots = (wide_window / cfg.mss) + 4 }
+  in
+  let rx_cfg =
+    { tx_cfg with
+      recv_window =
+        (* Stop-and-wait is the degenerate window: the receiver never
+           lets more than one MSS be outstanding. *)
+        (match cfg.mode with Pipelined -> wide_window | Stop_and_wait -> cfg.mss)
+    }
+  in
+  let tx = Socket.create sim clock tx_cfg ~local_port:7001 ~wire_out in
+  let rx = Socket.create sim clock rx_cfg ~local_port:7002 ~wire_out in
+  Demux.bind demux ~port:7001 (Socket.handle_datagram tx);
+  Demux.bind demux ~port:7002 (Socket.handle_datagram rx);
+  (match Engine.rx_style rx_eng with
+  | Engine.Rx_integrated_style f -> Socket.set_rx_processing rx (Socket.Rx_integrated f)
+  | Engine.Rx_deferred_style f -> Socket.set_rx_processing rx (Socket.Rx_separate f));
+  let contents = Ilp_app.Workload.generate ~len:cfg.total_bytes ~seed:cfg.seed in
+  let addr = Ilp_app.Workload.install sim contents in
+  let n = (cfg.total_bytes + cfg.tsdu_payload - 1) / cfg.tsdu_payload in
+  let chunk_len i = min cfg.tsdu_payload (cfg.total_bytes - (i * cfg.tsdu_payload)) in
+  let failed = ref None in
+  let fail msg = if !failed = None then failed := Some msg in
+  Socket.set_on_abort tx (fun r -> fail ("sender: " ^ Socket.abort_reason_to_string r));
+  Socket.set_on_abort rx (fun r -> fail ("receiver: " ^ Socket.abort_reason_to_string r));
+  let delivered = ref 0 and payload = ref 0 in
+  let t_done = ref 0.0 in
+  Socket.set_on_message rx (fun ~src:_ ~len ->
+      match Engine.read_plaintext rx_eng ~len with
+      | Error e -> fail ("decode: " ^ e)
+      | Ok s ->
+          let i = !delivered in
+          if i >= n then fail "receiver: TSDU past the end of the transfer"
+          else begin
+            let cl = chunk_len i in
+            (* Leading header style: 4-byte length field, then the
+               marshalled body, then alignment padding. *)
+            if String.length s < 4 + cl
+               || String.sub s 4 cl <> String.sub contents (i * cfg.tsdu_payload) cl
+            then fail (Printf.sprintf "receiver: TSDU %d not byte-exact" i)
+            else begin
+              delivered := i + 1;
+              payload := !payload + cl;
+              if !delivered = n then t_done := Simclock.now clock
+            end
+          end);
+  let next = ref 0 in
+  let send_next () =
+    let i = !next in
+    let ps =
+      Engine.prepare_stream_segments tx_eng
+        [ Engine.Seg_app { addr = addr + (i * cfg.tsdu_payload); len = chunk_len i } ]
+    in
+    match
+      Socket.send_stream tx ~seg_unit:ps.Engine.seg_unit ~len:ps.Engine.stream_len
+        ~fill:ps.Engine.fill_range
+    with
+    | Ok () ->
+        incr next;
+        true
+    | Error Socket.Buffer_full -> false
+    | Error e ->
+        fail
+          ("sender: "
+          ^ (match e with
+            | Socket.Not_established -> "not established"
+            | Socket.Message_too_big -> "message too big"
+            | Socket.Buffer_full -> "buffer full"
+            | Socket.Window_full -> "window full"));
+        false
+  in
+  (* Handshake (not measured). *)
+  Socket.listen rx;
+  Socket.connect tx ~remote_port:7002;
+  Simclock.run_until_idle clock;
+  if Socket.state tx <> Socket.Established then
+    fail "handshake did not complete";
+  let t0 = Simclock.now clock in
+  let step = 200.0 in
+  let guard = ref (int_of_float (cfg.deadline_us /. step) + 16) in
+  while
+    !failed = None && !delivered < n && !guard > 0
+    && Simclock.now clock -. t0 < cfg.deadline_us
+  do
+    decr guard;
+    while !next < n && send_next () do () done;
+    Simclock.advance clock step
+  done;
+  if !failed = None && !delivered < n then fail "deadline exceeded";
+  let stats = Socket.stats tx in
+  let elapsed = if !delivered = n then !t_done -. t0 else Simclock.now clock -. t0 in
+  let final_cwnd = Socket.congestion_window tx in
+  let ring_wraps = Socket.ring_wraps tx in
+  Engine.destroy tx_eng;
+  Engine.destroy rx_eng;
+  { ok = !failed = None && !delivered = n;
+    error = !failed;
+    payload_bytes = !payload;
+    tsdus = !delivered;
+    elapsed_us = elapsed;
+    goodput_mbps =
+      (if elapsed > 0.0 then float_of_int !payload *. 8.0 /. elapsed else 0.0);
+    segments = stats.Socket.segments_sent;
+    retransmissions = stats.Socket.retransmissions;
+    fast_retransmits = stats.Socket.fast_retransmits;
+    peak_in_flight = stats.Socket.peak_in_flight;
+    ring_wraps;
+    final_cwnd }
+
+type point = { p_mode : mode; p_rtt_us : float; p_loss : float; p_out : outcome }
+
+type result = { cfg : config; points : point list; gate_ratio : float }
+
+let gate_rtt_us = 10_000.0
+
+let run ?(quick = false) ?config () =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None ->
+        if quick then { default_config with total_bytes = 256 * 1024 }
+        else default_config
+  in
+  let grid =
+    if quick then [ (gate_rtt_us, 0.0); (gate_rtt_us, 0.02) ]
+    else
+      [ (2_000.0, 0.0); (gate_rtt_us, 0.0); (gate_rtt_us, 0.01);
+        (gate_rtt_us, 0.05) ]
+  in
+  let points =
+    List.concat_map
+      (fun mode ->
+        List.map
+          (fun (rtt_us, loss) ->
+            let out =
+              transfer { cfg with mode; rtt_us; loss_rate = loss }
+            in
+            { p_mode = mode; p_rtt_us = rtt_us; p_loss = loss; p_out = out })
+          grid)
+      [ Pipelined; Stop_and_wait ]
+  in
+  let goodput_at mode =
+    List.find_opt
+      (fun p -> p.p_mode = mode && p.p_rtt_us = gate_rtt_us && p.p_loss = 0.0)
+      points
+  in
+  let gate_ratio =
+    match (goodput_at Pipelined, goodput_at Stop_and_wait) with
+    | Some p, Some s when s.p_out.goodput_mbps > 0.0 ->
+        p.p_out.goodput_mbps /. s.p_out.goodput_mbps
+    | _ -> 0.0
+  in
+  { cfg; points; gate_ratio }
+
+let check ?(min_ratio = 4.0) r =
+  let failures = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun p ->
+      let tag =
+        Printf.sprintf "%s rtt=%.0fms loss=%.0f%%" (mode_name p.p_mode)
+          (p.p_rtt_us /. 1000.0) (p.p_loss *. 100.0)
+      in
+      if not p.p_out.ok then
+        bad "%s: not byte-exact: %s" tag
+          (Option.value p.p_out.error ~default:"unknown");
+      (match p.p_mode with
+      | Stop_and_wait ->
+          if p.p_out.peak_in_flight > r.cfg.mss then
+            bad "%s: %d bytes in flight under a one-MSS window" tag
+              p.p_out.peak_in_flight
+      | Pipelined ->
+          if p.p_out.ok && p.p_out.peak_in_flight <= r.cfg.mss then
+            bad "%s: never had more than one segment in flight" tag))
+    r.points;
+  if r.gate_ratio < min_ratio then
+    bad "pipelined goodput is %.2fx stop-and-wait at %.0f ms RTT (floor %.2fx)"
+      r.gate_ratio (gate_rtt_us /. 1000.0) min_ratio;
+  if !failures = [] then Ok () else Error (List.rev !failures)
+
+let print_table r =
+  Report.banner "streaming TCP goodput (simulated time)";
+  Report.table
+    ~header:
+      [ "mode"; "rtt ms"; "loss %"; "goodput Mbit/s"; "rexmit"; "fast rx";
+        "peak flight"; "wraps"; "ok" ]
+    (List.map
+       (fun p ->
+         [ mode_name p.p_mode;
+           Printf.sprintf "%.0f" (p.p_rtt_us /. 1000.0);
+           Printf.sprintf "%.0f" (p.p_loss *. 100.0);
+           Printf.sprintf "%.3f" p.p_out.goodput_mbps;
+           string_of_int p.p_out.retransmissions;
+           string_of_int p.p_out.fast_retransmits;
+           string_of_int p.p_out.peak_in_flight;
+           string_of_int p.p_out.ring_wraps;
+           (if p.p_out.ok then "yes"
+            else "NO: " ^ Option.value p.p_out.error ~default:"?") ])
+       r.points);
+  Report.note "pipelined / stop-and-wait at %.0f ms RTT, no loss: %.2fx\n"
+    (gate_rtt_us /. 1000.0) r.gate_ratio
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"stream\",\n  \"unit\": \"mbit_per_s\",\n\
+       \  \"total_bytes\": %d,\n  \"tsdu_payload\": %d,\n  \"mss\": %d,\n\
+       \  \"gate_ratio\": %.3f,\n  \"points\": [\n"
+       r.cfg.total_bytes r.cfg.tsdu_payload r.cfg.mss r.gate_ratio);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"rtt_us\": %.0f, \"loss\": %.3f, \
+            \"ok\": %b, \"goodput_mbps\": %.4f, \"elapsed_us\": %.0f, \
+            \"payload_bytes\": %d, \"tsdus\": %d, \"segments\": %d, \
+            \"retransmissions\": %d, \"fast_retransmits\": %d, \
+            \"peak_in_flight\": %d, \"ring_wraps\": %d, \"final_cwnd\": %d}"
+           (mode_name p.p_mode) p.p_rtt_us p.p_loss p.p_out.ok
+           p.p_out.goodput_mbps p.p_out.elapsed_us p.p_out.payload_bytes
+           p.p_out.tsdus p.p_out.segments p.p_out.retransmissions
+           p.p_out.fast_retransmits p.p_out.peak_in_flight p.p_out.ring_wraps
+           p.p_out.final_cwnd))
+    r.points;
+  Buffer.add_string b "\n  ],\n  \"obs\": ";
+  Buffer.add_string b (M.to_json (M.snapshot M.default));
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write_json r ~path =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc

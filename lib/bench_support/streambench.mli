@@ -1,0 +1,92 @@
+(** The [ilpbench stream] driver: goodput of the streaming TCP data path
+    — MSS segmentation, pipelined sliding window and congestion control —
+    across an impaired simulated link, versus a stop-and-wait baseline.
+
+    One {!transfer} moves [total_bytes] of incompressible payload as a
+    sequence of [tsdu_payload]-byte TSDUs through
+    [Ilp_tcp.Socket.send_stream]: the engine's
+    {!Ilp_core.Engine.prepare_stream_segments} produces each MSS-sized
+    segment with one fused marshal+encrypt+checksum pass straight into
+    the retransmission ring, the link delays (and optionally drops)
+    datagrams, and the receiver reassembles, decrypts and verifies every
+    byte.  Elapsed time is {e simulated} time, so goodput depends on the
+    configured RTT and loss — not on this host.
+
+    [Stop_and_wait] is the degenerate window: the receiver advertises
+    exactly one MSS, so precisely one segment is ever in flight — the
+    latency-bound baseline a pipelined window must beat.
+
+    {!run} sweeps a mode x RTT x loss grid and {!check} gates the result
+    (the CI stream-smoke job): pipelined goodput at least 4x stop-and-wait
+    on the clean 10 ms-RTT cell, every cell byte-exact.  Results
+    serialise to BENCH_stream.json. *)
+
+type mode = Pipelined | Stop_and_wait
+
+val mode_name : mode -> string
+
+type config = {
+  total_bytes : int;  (** application payload to move *)
+  tsdu_payload : int;  (** payload bytes per TSDU (many MSS each) *)
+  mss : int;  (** TCP maximum segment size (multiple of 8) *)
+  rtt_us : float;  (** simulated round-trip time *)
+  loss_rate : float;  (** independent datagram loss probability *)
+  seed : int;
+  machine : Ilp_memsim.Config.t;
+  mode : mode;
+  native : bool;
+      (** native fast-path kernels (the default for benchmarking; the
+          simulated backend charges every byte through the memory
+          simulator and is only practical for small tests) *)
+  deadline_us : float;  (** simulated-time budget for the transfer *)
+}
+
+(** 2 MiB in 32 KiB TSDUs, MSS 1448, clean 10 ms RTT, pipelined,
+    native, on the SS10/30 model. *)
+val default_config : config
+
+type outcome = {
+  ok : bool;  (** every TSDU delivered in order, byte-exact *)
+  error : string option;
+  payload_bytes : int;  (** bytes verified at the receiver *)
+  tsdus : int;  (** TSDUs delivered *)
+  elapsed_us : float;  (** simulated time, handshake excluded *)
+  goodput_mbps : float;  (** payload_bytes * 8 / elapsed_us *)
+  segments : int;
+  retransmissions : int;
+  fast_retransmits : int;
+  peak_in_flight : int;
+      (** most payload bytes simultaneously unacknowledged: > one MSS
+          only under a pipelined window *)
+  ring_wraps : int;
+      (** send-ring wrap-arounds — a multi-megabyte transfer must cycle
+          the ring *)
+  final_cwnd : int;  (** congestion window when the transfer finished *)
+}
+
+(** Run one transfer.  Raises [Invalid_argument] on a malformed config
+    (non-positive sizes, MSS not a multiple of 8, ...). *)
+val transfer : config -> outcome
+
+type point = { p_mode : mode; p_rtt_us : float; p_loss : float; p_out : outcome }
+
+type result = {
+  cfg : config;  (** grid base; each point overrides mode/rtt/loss *)
+  points : point list;
+  gate_ratio : float;
+      (** pipelined / stop-and-wait goodput on the clean 10 ms cell
+          (0 when the grid lacks that cell) *)
+}
+
+(** Sweep the grid: both modes x RTT {2, 10 ms} x loss {0, 1%, 5%}.
+    [quick] shrinks the transfer and the grid for CI. *)
+val run : ?quick:bool -> ?config:config -> unit -> result
+
+(** The stream gates: every cell byte-exact, stop-and-wait strictly
+    serial (peak_in_flight = 1), pipelined cells actually pipelined, and
+    [gate_ratio >= min_ratio] (default 4.0). *)
+val check : ?min_ratio:float -> result -> (unit, string list) Stdlib.result
+
+val to_json : result -> string
+val write_json : result -> path:string -> unit
+val print_table : result -> unit

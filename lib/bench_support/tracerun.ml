@@ -10,6 +10,8 @@ type result = {
   packets : int;
   send_chains : int;
   recv_chains : int;
+  segment_spans : int;
+  pipelined_overlaps : int;
   json : string;
   timeline : string list;
   metrics : M.snapshot;  (* diff over the traced run *)
@@ -30,6 +32,26 @@ let bit = function
 
 let send_full = 1 lor 2 lor 4 lor 8
 let recv_full = 16 lor 32 lor 64
+
+(* Overlapping tcp.segment spans witness the pipelined window: a segment
+   transmitted before an earlier one was acknowledged. *)
+let analyse_segments () =
+  let segs =
+    List.filter
+      (fun (s : Trace.span_rec) ->
+        s.Trace.stage = Trace.Tcp_segment && not s.Trace.is_instant)
+      (Trace.spans ())
+  in
+  let overlapping (s1 : Trace.span_rec) =
+    List.exists
+      (fun (s2 : Trace.span_rec) ->
+        s1 != s2
+        && s2.Trace.ts <= s1.Trace.ts
+        && s1.Trace.ts < s2.Trace.ts +. s2.Trace.dur)
+      segs
+  in
+  ( List.length segs,
+    List.fold_left (fun acc s -> if overlapping s then acc + 1 else acc) 0 segs )
 
 let analyse () =
   let masks = Hashtbl.create 128 in
@@ -57,12 +79,13 @@ let run ?(quick = false) () =
   let machine = Config.ss10_30 in
   let before = M.snapshot M.default in
   Trace.enable ~capacity:(if quick then 8192 else 65536) ();
-  let go mode =
+  let go ?mss mode =
     let setup =
       { (Ft.default_setup ~machine ~mode) with
         Ft.file_len = (if quick then 1024 else 4096);
         copies = (if quick then 2 else 4);
-        max_reply = 512 }
+        max_reply = 512;
+        mss }
     in
     let r = Ft.run setup in
     if not r.Ft.ok then begin
@@ -74,18 +97,27 @@ let run ?(quick = false) () =
   in
   go Engine.Ilp;
   go Engine.Separate;
+  (* A streamed leg: replies wider than the MSS travel as pipelined
+     segments, so the exported trace shows overlapping tcp.segment
+     lifetimes — the visual signature of the sliding window. *)
+  go ~mss:128 Engine.Ilp;
   Trace.disable ();
+  let segment_spans, pipelined_overlaps = analyse_segments () in
   let packets, send_chains, recv_chains = analyse () in
   { recorded = Trace.recorded ();
     dropped = Trace.dropped ();
     packets;
     send_chains;
     recv_chains;
+    segment_spans;
+    pipelined_overlaps;
     json = Trace.to_chrome_json ();
     timeline = Trace.timeline ~tail:24 ();
     metrics = M.diff (M.snapshot M.default) before }
 
-let complete r = r.send_chains > 0 && r.recv_chains > 0
+let complete r =
+  r.send_chains > 0 && r.recv_chains > 0 && r.segment_spans > 0
+  && r.pipelined_overlaps > 0
 
 let write_json r ~path =
   let oc = open_out path in
@@ -101,4 +133,6 @@ let summary_lines r =
       r.send_chains;
     Printf.sprintf
       "recv chains      %d complete (checksum+decrypt+unmarshal)"
-      r.recv_chains ]
+      r.recv_chains;
+    Printf.sprintf "segment spans    %d (%d overlapping: pipelined window)"
+      r.segment_spans r.pipelined_overlaps ]

@@ -1,12 +1,15 @@
 (** The [ilpbench trace] driver: run traced simulated transfers (one ILP,
-    one separate) and export the {!Ilp_obs.Trace} ring as Chrome
+    one separate, one ILP with replies streamed as pipelined MSS-sized
+    segments) and export the {!Ilp_obs.Trace} ring as Chrome
     [trace_event] JSON plus a plain-text timeline.
 
     Chain validation: a send chain is complete when one packet id carries
     all four send manipulation spans (marshal, encrypt, checksum,
     ring-copy), a receive chain when one id carries all three receive
     spans (checksum, decrypt, unmarshal).  [complete] requires at least
-    one of each — the CI trace-smoke gate. *)
+    one of each, plus at least one pair of overlapping [tcp.segment]
+    spans from the streamed leg (the visual signature of the pipelined
+    window) — the CI trace-smoke gate. *)
 
 type result = {
   recorded : int;  (** spans recorded, including evicted *)
@@ -14,6 +17,9 @@ type result = {
   packets : int;  (** distinct traced packet ids *)
   send_chains : int;
   recv_chains : int;
+  segment_spans : int;  (** [tcp.segment] lifetimes recorded *)
+  pipelined_overlaps : int;
+      (** segment spans overlapping another — in flight together *)
   json : string;  (** Chrome trace_event JSON *)
   timeline : string list;  (** plain-text tail of the span timeline *)
   metrics : Ilp_obs.Metrics.snapshot;

@@ -8,6 +8,7 @@ module Trace = Ilp_obs.Trace
 module M = Ilp_obs.Metrics
 
 let m_sends = M.counter M.default "engine.sends"
+let m_stream_fills = M.counter M.default "engine.stream_fills"
 let m_rx_rejects = M.counter M.default "engine.rx_rejects"
 
 type mode = Ilp | Separate
@@ -320,11 +321,23 @@ let make_stream t ~prefix ~payload_addr ~payload_len =
   make_stream_of_segments t
     [ Seg_gen prefix; Seg_app { addr = payload_addr; len = payload_len } ]
 
-(* ILP send: parts B, C, A, each through marshal+encrypt with the checksum
+(* Intersection of a part with the wire range [off, off+len): the piece of
+   the part a range fill must produce.  Part boundaries and segment
+   boundaries are both multiples of the 8-byte plan block, so the
+   intersection never splits a cipher block. *)
+let inter ~off ~len (p_off, p_len) =
+  let s = max p_off off and e = min (p_off + p_len) (off + len) in
+  (s, max 0 (e - s))
+
+(* ILP send of wire bytes [off, off+len) at [dst]: parts B, C, A (each
+   clipped to the range), each through marshal+encrypt with the checksum
    tap on the ciphertext; the per-part accumulators are recombined in
    positional order A-B-C afterwards (legal: the Internet checksum is not
-   ordering-constrained). *)
-let fill_ilp t plan st ~dst =
+   ordering-constrained).  The whole-message send is the [off = 0,
+   len = total] case; a streaming socket calls this once per MSS-sized
+   segment, so every segment gets its own fused pass straight into the
+   ring. *)
+let fill_ilp_range t plan st ~dst ~off ~len =
   let tr = Trace.enabled () in
   let pkt = if tr then Trace.begin_packet () else 0 in
   let t_start = if tr then Machine.micros (machine t) else 0.0 in
@@ -338,15 +351,15 @@ let fill_ilp t plan st ~dst =
   and acc_c = ref Internet.empty in
   let block = Bytes.create bl in
   let stages = [ t.marshal_dmf; t.encrypt_dmf ] in
-  let part site cell (off, len) =
-    if len > 0 then begin
+  let part site cell (p_off, p_len) =
+    if p_len > 0 then begin
       let spec =
         Pipeline.spec ~read_unit:4 ?write_pattern:(send_pattern t)
           ~linkage:t.linkage ~loop_code:t.send_loops.(site)
           ~tap:(checksum_tap t cell) ~tap_position:Pipeline.Tap_output stages
       in
-      let pos = ref off in
-      while !pos < off + len do
+      let pos = ref p_off in
+      while !pos < p_off + p_len do
         Machine.compute (machine t) 1;
         if Trace.enabled () then begin
           let a = Machine.micros (machine t) in
@@ -368,24 +381,29 @@ let fill_ilp t plan st ~dst =
             end
             else
               ignore (Crc32.update_block c ~crc:Crc32.init block ~off:0 ~len:bl));
-        Pipeline.process_block t.sim spec block ~off:0 ~len:bl ~dst:(dst + !pos);
+        Pipeline.process_block t.sim spec block ~off:0 ~len:bl
+          ~dst:(dst - off + !pos);
         pos := !pos + bl
       done
     end
   in
   (match t.header_style with
   | Leading ->
-      part 0 acc_b (Parts.part_b plan);
-      part 1 acc_c (Parts.part_c plan);
-      part 1 acc_a (Parts.part_a plan)
+      part 0 acc_b (inter ~off ~len (Parts.part_b plan));
+      part 1 acc_c (inter ~off ~len (Parts.part_c plan));
+      part 1 acc_a (inter ~off ~len (Parts.part_a plan))
   | Trailer ->
       (* No dependencies point forward: one sequential pass. *)
-      part 0 acc_b (0, plan.Parts.total));
-  (* Positional recombination A ++ B ++ C (all empty but B for trailer). *)
-  let _, len_b = Parts.part_b plan in
-  let _, len_c = Parts.part_c plan in
-  let len_b = match t.header_style with Leading -> len_b | Trailer -> plan.Parts.total in
-  let len_c = match t.header_style with Leading -> len_c | Trailer -> 0 in
+      part 0 acc_b (off, len));
+  (* Positional recombination A ++ B ++ C (all empty but B for trailer),
+     with the in-range length of each part. *)
+  let len_b, len_c =
+    match t.header_style with
+    | Leading ->
+        ( snd (inter ~off ~len (Parts.part_b plan)),
+          snd (inter ~off ~len (Parts.part_c plan)) )
+    | Trailer -> (len, 0)
+  in
   let acc = Internet.combine !acc_a !acc_b ~len_b in
   let acc = Internet.combine acc !acc_c ~len_b:len_c in
   if tr then begin
@@ -407,10 +425,13 @@ let fill_ilp t plan st ~dst =
   end;
   Some acc
 
-(* Separate send: marshal into the intermediate buffer (figure 3 steps 1),
-   encrypt in place (step 2), copy into the TCP ring (step 3, tcp_send);
-   the checksum pass (step 4) is TCP's, signalled by returning [None]. *)
-let fill_separate t plan st ~dst =
+let fill_ilp t plan st ~dst = fill_ilp_range t plan st ~dst ~off:0 ~len:st.total
+
+(* Separate send of wire bytes [off, off+len): marshal the range into the
+   intermediate buffer (figure 3 step 1), encrypt in place (step 2), copy
+   into the TCP ring (step 3, tcp_send); the checksum pass (step 4) is
+   TCP's, signalled by returning [None]. *)
+let fill_separate_range t plan st ~dst ~off ~len =
   let m = machine t in
   let tr = Trace.enabled () in
   let pkt = if tr then Trace.begin_packet () else 0 in
@@ -419,37 +440,41 @@ let fill_separate t plan st ~dst =
   (* Marshalling pass: generate/read the stream, write words. *)
   Machine.exec m t.marshal_dmf.Dmf.code;
   let word = Bytes.create 4 in
-  let pos = ref 0 in
-  while !pos < st.total do
+  let pos = ref off in
+  while !pos < off + len do
     Machine.compute m 1;
     stream_read t st word ~boff:0 ~pos:!pos ~n:4;
     t.marshal_dmf.Dmf.transform word 0;
-    Machine.write m ~addr:(buf + !pos) ~size:4;
+    Machine.write m ~addr:(buf + !pos - off) ~size:4;
     Machine.compute m 1;
-    Mem.poke_bytes (mem t) ~pos:(buf + !pos) word;
+    Mem.poke_bytes (mem t) ~pos:(buf + !pos - off) word;
     pos := !pos + 4
   done;
   let t1 = if tr then Machine.micros m else 0.0 in
-  (* CRC32 stage, separate: one more charged pass over the marshalled
-     body in the intermediate buffer (byte reads + table reads). *)
+  (* CRC32 stage, separate: one more charged pass over the in-range slice
+     of the marshalled body in the intermediate buffer (byte reads + table
+     reads). *)
   (match t.crc with
   | None -> ()
   | Some c ->
-      let body_off, crc_len = crc_region t ~enc_len:(Parts.length_field plan) in
-      ignore
-        (Crc32.update_mem c ~crc:Crc32.init (mem t) ~pos:(buf + body_off)
-           ~len:crc_len));
+      let region = crc_region t ~enc_len:(Parts.length_field plan) in
+      let s, l = inter ~off ~len region in
+      if l > 0 then
+        ignore
+          (Crc32.update_mem c ~crc:Crc32.init (mem t) ~pos:(buf + s - off)
+             ~len:l));
   let t2 = if tr then Machine.micros m else 0.0 in
   (* Encryption pass, in place: a byte-oriented cipher loads and stores
      single bytes (the lines are resident from the marshalling pass, so
      these accesses hit — the paper's observation that a careful non-ILP
-     implementation has good cache behaviour). *)
+     implementation has good cache behaviour).  Ranges are cipher-block
+     aligned, so per-range encryption matches the whole-message bytes. *)
   let cipher_unit = t.cipher.Ilp_cipher.Block_cipher.store_unit in
   Pipeline.run_pass t.sim t.encrypt_dmf ~read_unit:cipher_unit
-    ~write_unit:cipher_unit ~src:t.marshal_buf ~dst:t.marshal_buf ~len:st.total ();
+    ~write_unit:cipher_unit ~src:buf ~dst:buf ~len ();
   let t3 = if tr then Machine.micros m else 0.0 in
   (* tcp_send: copy into the ring buffer. *)
-  Mem.blit (mem t) ~src:t.marshal_buf ~dst ~len:st.total ~unit_len:4;
+  Mem.blit (mem t) ~src:buf ~dst ~len ~unit_len:4;
   if tr then begin
     (* Real sequential passes: each span is an actual interval.  The CRC
        fold (when enabled) counts as checksum work; TCP's own Internet
@@ -463,6 +488,9 @@ let fill_separate t plan st ~dst =
     Trace.span Trace.Send_ring_copy ~packet:pkt ~ts:t3 ~dur:(t4 -. t3)
   end;
   None
+
+let fill_separate t plan st ~dst =
+  fill_separate_range t plan st ~dst ~off:0 ~len:st.total
 
 (* ------------------------------------------------------------------ *)
 (* Native backend: the same wire format produced by the un-simulated
@@ -498,54 +526,74 @@ let render_stream t st =
     st.segs;
   out
 
-let fill_native_legacy t fp st ~dst =
-  let plain = render_stream t st in
-  Mt.alloc Mt.Tcp st.total;
-  let wire = Bytes.create st.total in
+(* Legacy range fill: [plain] is the whole rendered plaintext (rendered
+   once per message, shared by every range of it). *)
+let fill_native_legacy_range t fp plain ~dst ~off ~len =
+  Mt.alloc Mt.Tcp len;
+  let wire = Bytes.create len in
   match t.mode with
   | Ilp ->
       let acc =
-        Wire.send_ilp fp ~src:plain ~src_off:0 ~len:st.total ~dst:wire ~dst_off:0
+        Wire.send_ilp fp ~src:plain ~src_off:off ~len ~dst:wire ~dst_off:0
       in
       Mem.poke_bytes (mem t) ~pos:dst wire;
-      Mt.copied Mt.Tcp st.total;
+      Mt.copied Mt.Tcp len;
       Some acc
   | Separate ->
       (* TCP runs its own checksum pass over the ring, as in the simulated
          separate path; the accumulator computed here is dropped. *)
-      ignore
-        (Wire.send_separate fp ~src:plain ~src_off:0 ~len:st.total ~dst:wire
-           ~dst_off:0);
+      ignore (Wire.send_separate fp ~src:plain ~src_off:off ~len ~dst:wire ~dst_off:0);
       Mem.poke_bytes (mem t) ~pos:dst wire;
-      Mt.copied Mt.Tcp st.total;
+      Mt.copied Mt.Tcp len;
       None
 
-let iovecs_of_stream t st =
+(* The iovec scatter list describing wire bytes [off, off+len): stream
+   segments clipped to the range, payload runs pointing straight into the
+   backing store. *)
+let iovecs_of_range t st ~off ~len =
   let raw = Mem.raw (mem t) in
-  Array.fold_right
-    (fun seg acc ->
-      match seg with
-      | Gen s -> Wire.Io_string { s; off = 0; len = String.length s } :: acc
-      | Payload p -> Wire.Io_bytes { buf = raw; off = p.addr; len = p.len } :: acc)
-    st.segs []
+  let iovs = ref [] in
+  let seg_start = ref 0 in
+  Array.iter
+    (fun seg ->
+      let seg_len =
+        match seg with Gen s -> String.length s | Payload p -> p.len
+      in
+      let s = max !seg_start off and e = min (!seg_start + seg_len) (off + len) in
+      if e > s then begin
+        let o = s - !seg_start and l = e - s in
+        let iov =
+          match seg with
+          | Gen str -> Wire.Io_string { s = str; off = o; len = l }
+          | Payload p -> Wire.Io_bytes { buf = raw; off = p.addr + o; len = l }
+        in
+        iovs := iov :: !iovs
+      end;
+      seg_start := !seg_start + seg_len)
+    st.segs;
+  List.rev !iovs
 
-let fill_native_pooled t fp st ~dst =
+let fill_native_pooled_range t fp st ~dst ~off ~len =
   let raw = Mem.raw (mem t) in
-  let iov = iovecs_of_stream t st in
+  let iov = iovecs_of_range t st ~off ~len in
   match t.mode with
   | Ilp -> Some (Wire.sendv_ilp fp ~iov ~dst:raw ~dst_off:dst)
   | Separate ->
       ignore (Wire.sendv_separate fp ~iov ~dst:raw ~dst_off:dst);
       None
 
-let fill_native t fp st ~dst =
+let fill_native_range t fp st ~plain ~dst ~off ~len =
   (* Native stage spans are emitted by the Wire codec against the wall
      clock installed via [Trace.set_clock]; the packet id is allocated
      here so TCP's link/checksum events correlate. *)
   if Trace.enabled () then ignore (Trace.begin_packet ());
   match t.data_path with
-  | Pooled -> fill_native_pooled t fp st ~dst
-  | Legacy -> fill_native_legacy t fp st ~dst
+  | Pooled -> fill_native_pooled_range t fp st ~dst ~off ~len
+  | Legacy -> fill_native_legacy_range t fp (Lazy.force plain) ~dst ~off ~len
+
+let fill_native t fp st ~dst =
+  fill_native_range t fp st ~plain:(lazy (render_stream t st)) ~dst ~off:0
+    ~len:st.total
 
 let prepared_of_stream t (plan, st) =
   let fill _mem ~dst =
@@ -566,12 +614,51 @@ let prepare_send_segments t body =
   prepared_of_stream t (make_stream_of_segments t body)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming send: the same wire message, producible in MSS-sized ranges
+   so [Ilp_tcp.Socket.send_stream] can keep a window of segments in
+   flight, each filled by one fused pass straight into the ring. *)
+
+type prepared_stream = {
+  stream_len : int;
+  seg_unit : int;
+  fill_range :
+    Mem.t -> dst:int -> off:int -> len:int -> Internet.acc option;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let prepare_stream_segments t body =
+  let plan, st = make_stream_of_segments t body in
+  (* Segment boundaries must land on cipher blocks (so each segment
+     encrypts and decrypts independently to the same bytes as the whole
+     message) and on the 8-byte units of the plan and the native codec. *)
+  let bl = block_len t in
+  let seg_unit = bl * 8 / gcd bl 8 in
+  let plain = lazy (render_stream t st) in
+  let fill_range mem_ ~dst ~off ~len =
+    ignore mem_;
+    if off < 0 || len <= 0 || off + len > st.total then
+      invalid_arg "Engine.fill_range: range outside the message";
+    if off mod seg_unit <> 0 || len mod seg_unit <> 0 then
+      invalid_arg "Engine.fill_range: range not aligned to the segment unit";
+    if off = 0 then M.inc m_sends 1;
+    M.inc m_stream_fills 1;
+    match t.fastpath with
+    | Some fp -> fill_native_range t fp st ~plain ~dst ~off ~len
+    | None -> (
+        match t.mode with
+        | Ilp -> fill_ilp_range t plan st ~dst ~off ~len
+        | Separate -> fill_separate_range t plan st ~dst ~off ~len)
+  in
+  { stream_len = st.total; seg_unit; fill_range }
+
+(* ------------------------------------------------------------------ *)
 (* Receive *)
 
 (* A hostile wire can hand TCP a segment of any length whose checksum
    happens to verify (or, integrated, whose length is checked before the
    verdict), so length validation must reject rather than raise. *)
-let check_rx_len t ~len =
+let check_rx_len t ~dst_off ~len =
   let reject e =
     M.inc m_rx_rejects 1;
     Error e
@@ -586,6 +673,15 @@ let check_rx_len t ~len =
     reject
       (Printf.sprintf "Engine.rx: segment of %d bytes exceeds maximum %d" len
          t.max_message)
+  else if dst_off < 0 || dst_off + len > t.max_message then
+    (* A mid-TSDU segment whose reassembly offset would run past the
+       application area: the sender and receiver disagree about the
+       message size (or a PSH was lost to corruption) — reject rather
+       than clobber memory past [app_rx]. *)
+    reject
+      (Printf.sprintf
+         "Engine.rx: reassembly offset %d + segment %d exceeds maximum %d"
+         dst_off len t.max_message)
   else Ok ()
 
 (* Native receive helpers.  Legacy: the staged ciphertext is peeked out of
@@ -595,11 +691,12 @@ let check_rx_len t ~len =
    staging area to application area, no intermediates; the separate-path
    decrypt consumes the staging bytes in place exactly as the simulated
    backend does. *)
-let rx_native_separate t fp ~src ~len =
+let rx_native_separate t fp ~src ~dst_off ~len =
+  let dst_pos = t.app_rx + dst_off in
   match t.data_path with
   | Pooled ->
       let raw = Mem.raw (mem t) in
-      ignore (Wire.recv_separate fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:t.app_rx)
+      ignore (Wire.recv_separate fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:dst_pos)
   | Legacy ->
       Mt.alloc Mt.Tcp len;
       Mt.copied Mt.Tcp len;
@@ -607,14 +704,15 @@ let rx_native_separate t fp ~src ~len =
       Mt.alloc Mt.Marshal len;
       let plain = Bytes.create len in
       ignore (Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0);
-      Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
+      Mem.poke_bytes (mem t) ~pos:dst_pos plain;
       Mt.copied Mt.Rpc len
 
-let rx_native_fused t fp ~src ~len =
+let rx_native_fused t fp ~src ~dst_off ~len =
+  let dst_pos = t.app_rx + dst_off in
   match t.data_path with
   | Pooled ->
       let raw = Mem.raw (mem t) in
-      Wire.recv_ilp fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:t.app_rx
+      Wire.recv_ilp fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:dst_pos
   | Legacy ->
       Mt.alloc Mt.Tcp len;
       Mt.copied Mt.Tcp len;
@@ -622,19 +720,19 @@ let rx_native_fused t fp ~src ~len =
       Mt.alloc Mt.Marshal len;
       let plain = Bytes.create len in
       let acc = Wire.recv_ilp fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0 in
-      Mem.poke_bytes (mem t) ~pos:t.app_rx plain;
+      Mem.poke_bytes (mem t) ~pos:dst_pos plain;
       Mt.copied Mt.Rpc len;
       acc
 
 (* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
    place on the staging area, then unmarshal-and-copy to the application
    area in words. *)
-let rx_separate t _mem ~src ~len =
-  match check_rx_len t ~len with
+let rx_separate t _mem ~src ~dst_off ~len =
+  match check_rx_len t ~dst_off ~len with
   | Error _ as e -> e
   | Ok () ->
       (match t.fastpath with
-      | Some fp -> rx_native_separate t fp ~src ~len
+      | Some fp -> rx_native_separate t fp ~src ~dst_off ~len
       | None ->
           let tr = Trace.enabled () in
           let t0 = if tr then Machine.micros (machine t) else 0.0 in
@@ -643,7 +741,7 @@ let rx_separate t _mem ~src ~len =
             ~write_unit:cipher_unit ~src ~dst:src ~len ();
           let t1 = if tr then Machine.micros (machine t) else 0.0 in
           Pipeline.run_pass t.sim t.unmarshal_dmf ~read_unit:4 ~write_unit:4 ~src
-            ~dst:t.app_rx ~len ();
+            ~dst:(t.app_rx + dst_off) ~len ();
           if tr then begin
             (* TCP's own checksum pass was traced by the socket. *)
             let pkt = Trace.current_packet () in
@@ -656,12 +754,12 @@ let rx_separate t _mem ~src ~len =
 (* Integrated receive (figure 5 right): checksum the ciphertext, decrypt
    and unmarshal in one loop, storing plaintext to the application area in
    the cipher's natural store width. *)
-let rx_integrated t _mem ~src ~len =
-  match check_rx_len t ~len with
+let rx_integrated t _mem ~src ~dst_off ~len =
+  match check_rx_len t ~dst_off ~len with
   | Error _ as e -> e
   | Ok () -> (
       match t.fastpath with
-      | Some fp -> Ok (rx_native_fused t fp ~src ~len)
+      | Some fp -> Ok (rx_native_fused t fp ~src ~dst_off ~len)
       | None ->
           let tr = Trace.enabled () in
           let t0 = if tr then Machine.micros (machine t) else 0.0 in
@@ -673,7 +771,7 @@ let rx_integrated t _mem ~src ~len =
               ~tap:(checksum_tap t cell) ~tap_position:Pipeline.Tap_input
               [ t.decrypt_dmf; t.unmarshal_dmf ]
           in
-          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+          Pipeline.run_fused t.sim spec ~src ~dst:(t.app_rx + dst_off) ~len;
           if tr then begin
             (* Attribution of the fused loop: the checksum tap's time in
                its own slot, the rest (decrypt + unmarshal, one loop) laid
@@ -696,12 +794,12 @@ let rx_integrated t _mem ~src ~len =
    second pass; ours refuses to roll back control state, so the Late
    placement buys the extra checksum pass — quantifying why the authors
    chose the early placement. *)
-let rx_late t _mem ~src ~len =
-  match check_rx_len t ~len with
+let rx_late t _mem ~src ~dst_off ~len =
+  match check_rx_len t ~dst_off ~len with
   | Error _ as e -> e
   | Ok () ->
       (match t.fastpath with
-      | Some fp -> ignore (rx_native_fused t fp ~src ~len)
+      | Some fp -> ignore (rx_native_fused t fp ~src ~dst_off ~len)
       | None ->
           let tr = Trace.enabled () in
           let t0 = if tr then Machine.micros (machine t) else 0.0 in
@@ -710,7 +808,7 @@ let rx_late t _mem ~src ~len =
               ~linkage:t.linkage ~loop_code:t.recv_loop
               [ t.decrypt_dmf; t.unmarshal_dmf ]
           in
-          Pipeline.run_fused t.sim spec ~src ~dst:t.app_rx ~len;
+          Pipeline.run_fused t.sim spec ~src ~dst:(t.app_rx + dst_off) ~len;
           if tr then begin
             let t1 = Machine.micros (machine t) in
             let pkt = Trace.current_packet () in
@@ -722,8 +820,13 @@ let rx_late t _mem ~src ~len =
 
 type rx_style =
   | Rx_integrated_style of
-      (Mem.t -> src:int -> len:int -> (Internet.acc, string) result)
-  | Rx_deferred_style of (Mem.t -> src:int -> len:int -> (unit, string) result)
+      (Mem.t ->
+      src:int ->
+      dst_off:int ->
+      len:int ->
+      (Internet.acc, string) result)
+  | Rx_deferred_style of
+      (Mem.t -> src:int -> dst_off:int -> len:int -> (unit, string) result)
 
 let rx_style t =
   match (t.mode, t.rx_placement) with

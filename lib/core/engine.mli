@@ -166,29 +166,67 @@ type body_segment = Seg_gen of string | Seg_app of { addr : int; len : int }
     header style. *)
 val prepare_send_segments : t -> body_segment list -> prepared
 
+(** A message preparable in ranges, for [Ilp_tcp.Socket.send_stream]:
+    [fill_range mem ~dst ~off ~len] writes wire bytes [off, off+len) of
+    the message at [dst] — one fused marshal+encrypt+checksum pass over
+    just that range in ILP mode (returning its positional checksum
+    accumulator), the separate passes over the range otherwise
+    (returning [None] so TCP checksums the ring itself).  [off] and
+    [len] must be multiples of [seg_unit] (ranges may not split a cipher
+    block); pass [seg_unit] to [send_stream] and the segmentation
+    satisfies this automatically.  Filling ranges in any order produces
+    exactly the bytes of the whole-message {!prepared} fill. *)
+type prepared_stream = {
+  stream_len : int;  (** wire length of the whole message *)
+  seg_unit : int;  (** alignment every range must respect *)
+  fill_range :
+    Ilp_memsim.Mem.t ->
+    dst:int ->
+    off:int ->
+    len:int ->
+    Ilp_checksum.Internet.acc option;
+}
+
+(** Streaming counterpart of {!prepare_send_segments}. *)
+val prepare_stream_segments : t -> body_segment list -> prepared_stream
+
 (** Receive-side manipulation for [Rx_separate]: decrypt the staged
     segment in place and unmarshal-copy the plaintext to the application
-    area.  [Error] — a length the stack cannot process (not a cipher-block
-    multiple, or over [max_message]) — rejects the segment; TCP drops and
-    counts it. *)
+    area at byte offset [dst_off] (the segment's position within the TSDU
+    being reassembled; 0 for a whole message).  [Error] — a length the
+    stack cannot process (not a cipher-block multiple, over
+    [max_message], or a reassembly offset that would overflow the
+    application area) — rejects the segment; TCP drops and counts it. *)
 val rx_separate :
-  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result
+  t ->
+  Ilp_memsim.Mem.t ->
+  src:int ->
+  dst_off:int ->
+  len:int ->
+  (unit, string) result
 
 (** Receive-side manipulation for [Rx_integrated]: one fused pass; the
-    plaintext lands in the application area and the ciphertext checksum
-    accumulator is returned for TCP's accept/reject decision.  [Error] as
-    for {!rx_separate}, decided before the loop runs. *)
+    plaintext lands in the application area at [dst_off] and the
+    ciphertext checksum accumulator is returned for TCP's accept/reject
+    decision.  [Error] as for {!rx_separate}, decided before the loop
+    runs. *)
 val rx_integrated :
   t ->
   Ilp_memsim.Mem.t ->
   src:int ->
+  dst_off:int ->
   len:int ->
   (Ilp_checksum.Internet.acc, string) result
 
 (** Deferred fused decrypt+unmarshal for the [Late] placement (no
     checksum tap: TCP has already verified the segment). *)
 val rx_late :
-  t -> Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result
+  t ->
+  Ilp_memsim.Mem.t ->
+  src:int ->
+  dst_off:int ->
+  len:int ->
+  (unit, string) result
 
 (** How a TCP socket should be wired for this engine's mode and
     placement: an integrated handler that returns the payload checksum,
@@ -197,10 +235,15 @@ type rx_style =
   | Rx_integrated_style of
       (Ilp_memsim.Mem.t ->
       src:int ->
+      dst_off:int ->
       len:int ->
       (Ilp_checksum.Internet.acc, string) result)
   | Rx_deferred_style of
-      (Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result)
+      (Ilp_memsim.Mem.t ->
+      src:int ->
+      dst_off:int ->
+      len:int ->
+      (unit, string) result)
 
 val rx_style : t -> rx_style
 

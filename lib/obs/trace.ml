@@ -11,13 +11,16 @@ type stage =
   | Tcp_persist_probe
   | Tcp_zero_window
   | Tcp_abort
+  | Tcp_segment
+  | Tcp_ack
   | Rpc_shed
   | Rpc_abandon
 
 let all_stages =
   [ Send_marshal; Send_encrypt; Send_checksum; Send_ring_copy; Send_link;
     Recv_checksum; Recv_decrypt; Recv_unmarshal; Tcp_retransmit;
-    Tcp_persist_probe; Tcp_zero_window; Tcp_abort; Rpc_shed; Rpc_abandon ]
+    Tcp_persist_probe; Tcp_zero_window; Tcp_abort; Tcp_segment; Tcp_ack;
+    Rpc_shed; Rpc_abandon ]
 
 let stage_index = function
   | Send_marshal -> 0
@@ -32,8 +35,10 @@ let stage_index = function
   | Tcp_persist_probe -> 9
   | Tcp_zero_window -> 10
   | Tcp_abort -> 11
-  | Rpc_shed -> 12
-  | Rpc_abandon -> 13
+  | Tcp_segment -> 12
+  | Tcp_ack -> 13
+  | Rpc_shed -> 14
+  | Rpc_abandon -> 15
 
 let stage_of_index = Array.of_list all_stages
 
@@ -50,6 +55,8 @@ let stage_name = function
   | Tcp_persist_probe -> "persist-probe"
   | Tcp_zero_window -> "zero-window"
   | Tcp_abort -> "abort"
+  | Tcp_segment -> "segment"
+  | Tcp_ack -> "ack"
   | Rpc_shed -> "shed"
   | Rpc_abandon -> "abandon"
 
@@ -57,7 +64,9 @@ let stage_cat = function
   | Send_marshal | Send_encrypt | Send_checksum | Send_ring_copy | Send_link ->
       "send"
   | Recv_checksum | Recv_decrypt | Recv_unmarshal -> "recv"
-  | Tcp_retransmit | Tcp_persist_probe | Tcp_zero_window | Tcp_abort -> "tcp"
+  | Tcp_retransmit | Tcp_persist_probe | Tcp_zero_window | Tcp_abort
+  | Tcp_segment | Tcp_ack ->
+      "tcp"
   | Rpc_shed | Rpc_abandon -> "rpc"
 
 (* Chrome thread lane per category so the four event families render as

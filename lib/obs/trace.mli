@@ -26,6 +26,14 @@ type stage =
   | Tcp_persist_probe
   | Tcp_zero_window
   | Tcp_abort
+  | Tcp_segment
+      (** lifetime of one data segment: first transmission to cumulative
+          acknowledgement (simulated-clock timestamps; [arg] = payload
+          bytes).  Overlapping [tcp.segment] spans are the visual
+          signature of a pipelined window. *)
+  | Tcp_ack
+      (** an acknowledgement advancing [snd_una] ([arg] = bytes newly
+          acknowledged) *)
   | Rpc_shed
   | Rpc_abandon
 

@@ -162,24 +162,38 @@ let mark_dead t conn =
 
 let send_reply t conn hdr ~payload_addr =
   let body = Messages.reply_segments hdr ~payload_addr in
-  let prepared = Engine.prepare_send_segments t.engine body in
+  let ps = Engine.prepare_stream_segments t.engine body in
+  let wire_len = ps.Engine.stream_len in
   t.probe_before ();
   let before = Machine.micros (machine t) in
   ignore (Socket.take_syscopy_send_us conn.data);
-  match
-    Socket.send_message conn.data ~len:prepared.Engine.len ~fill:prepared.Engine.fill
-  with
+  let sent =
+    (* Replies that fit one segment take the legacy single-TPDU path
+       (byte- and charge-identical to a whole-message prepare); a reply
+       larger than the connection's MSS streams as a pipelined TSDU of
+       MSS-sized segments instead of being dropped. *)
+    match
+      Socket.send_message conn.data ~len:wire_len ~fill:(fun mem ~dst ->
+          ps.Engine.fill_range mem ~dst ~off:0 ~len:wire_len)
+    with
+    | Error Socket.Message_too_big ->
+        Socket.send_stream conn.data ~seg_unit:ps.Engine.seg_unit ~len:wire_len
+          ~fill:ps.Engine.fill_range
+    | r -> r
+  in
+  match sent with
   | Ok () ->
       let elapsed_us = Machine.micros (machine t) -. before in
       let syscopy_us = Socket.take_syscopy_send_us conn.data in
       t.replies_sent <- t.replies_sent + 1;
       M.inc m_replies_sent 1;
-      t.probe_after ~wire_len:prepared.Engine.len ~elapsed_us ~syscopy_us;
+      t.probe_after ~wire_len ~elapsed_us ~syscopy_us;
       `Sent
   | Error (Socket.Buffer_full | Socket.Window_full | Socket.Not_established) ->
       `Backpressure
   | Error Socket.Message_too_big ->
-      (* Configuration error: drop the reply rather than loop forever. *)
+      (* Still too big for the stream path (exceeds the engine's
+         [max_message]): drop the reply rather than loop forever. *)
       `Drop
 
 let send_segment t conn seg =

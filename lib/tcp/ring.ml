@@ -5,16 +5,21 @@ type t = {
   size : int;
   mutable head : int;  (* next write offset *)
   mutable used : int;  (* bytes consumed, including waste *)
+  mutable wraps : int;  (* reservations that skipped a wasted tail *)
+  mutable wasted_total : int;  (* cumulative tail bytes skipped *)
   entries : entry Queue.t;
 }
 
 let create (sim : Ilp_memsim.Sim.t) ~size =
   if size <= 0 then invalid_arg "Ring.create: size";
   let base = Ilp_memsim.Alloc.alloc sim.alloc ~align:64 size in
-  { base; size; head = 0; used = 0; entries = Queue.create () }
+  { base; size; head = 0; used = 0; wraps = 0; wasted_total = 0;
+    entries = Queue.create () }
 
 let size t = t.size
 let available t = t.size - t.used
+let wraps t = t.wraps
+let wasted_total t = t.wasted_total
 
 let reserve t len =
   if len <= 0 || len > t.size then None
@@ -24,6 +29,10 @@ let reserve t len =
     if t.used + wasted + len > t.size then None
     else begin
       let off = if wasted > 0 then 0 else t.head in
+      if wasted > 0 then begin
+        t.wraps <- t.wraps + 1;
+        t.wasted_total <- t.wasted_total + wasted
+      end;
       t.head <- (off + len) mod t.size;
       t.used <- t.used + wasted + len;
       Queue.add { addr = t.base + off; len; wasted } t.entries;

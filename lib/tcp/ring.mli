@@ -39,3 +39,12 @@ val peek_oldest : t -> (int * int) option
 
 (** Number of live reservations. *)
 val in_flight : t -> int
+
+(** Reservations that wrapped: the tail before the wrap point was too
+    short, was recorded as waste, and the region started back at the
+    base.  A streaming sender cycles the ring continuously, so this is
+    the direct witness that a transfer exercised the wrap path. *)
+val wraps : t -> int
+
+(** Cumulative wasted tail bytes across all wraps. *)
+val wasted_total : t -> int

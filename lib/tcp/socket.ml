@@ -41,9 +41,12 @@ type config = {
   ack_delay_us : float;
   dupack_threshold : int;
   congestion_control : bool;
+  ooo_slots : int;
   persist_initial_us : float;
   persist_max_us : float;
   stall_deadline_us : float;
+  max_pending_streams : int;
+  max_tsdu : int;
 }
 
 let default_config =
@@ -60,15 +63,23 @@ let default_config =
     ack_delay_us = 0.0;
     dupack_threshold = 3;
     congestion_control = true;
+    ooo_slots = 8;
     persist_initial_us = 5_000.0;
     persist_max_us = 320_000.0;
-    stall_deadline_us = 3_000_000.0 }
+    stall_deadline_us = 3_000_000.0;
+    max_pending_streams = 8;
+    max_tsdu = 0 }
 
 type rx_processing =
   | Rx_raw
-  | Rx_separate of (Mem.t -> src:int -> len:int -> (unit, string) result)
+  | Rx_separate of
+      (Mem.t -> src:int -> dst_off:int -> len:int -> (unit, string) result)
   | Rx_integrated of
-      (Mem.t -> src:int -> len:int -> (Ilp_checksum.Internet.acc, string) result)
+      (Mem.t ->
+      src:int ->
+      dst_off:int ->
+      len:int ->
+      (Ilp_checksum.Internet.acc, string) result)
 
 type send_error = Not_established | Message_too_big | Buffer_full | Window_full
 
@@ -123,6 +134,18 @@ let m_persist_probes = M.counter M.default "tcp.persist_probes"
 let m_zero_window_stalls = M.counter M.default "tcp.zero_window_stalls"
 let m_seg_payload = M.histogram M.default "tcp.segment_payload_bytes"
 
+(* Congestion-control observability (last-writer-wins across sockets:
+   meaningful for the usual one-bulk-sender worlds, and the conservation
+   test pins them against that sender's final state). *)
+let m_cwnd = M.gauge M.default "tcp.cwnd"
+let m_ssthresh = M.gauge M.default "tcp.ssthresh"
+let m_inflight = M.gauge M.default "tcp.segments_in_flight"
+
+(* Per-segment retransmission counts, observed when a segment is finally
+   acknowledged: bucket 0 counts segments delivered on their first
+   transmission, the higher buckets the recovery tail. *)
+let m_seg_rexmits = M.histogram M.default "tcp.segment_retransmits"
+
 let m_drops =
   Array.of_list
     (List.map
@@ -144,8 +167,21 @@ type tx_seg = {
   seq : int;
   len : int;
   addr : int;
+  psh : bool;  (* marks the final segment of a TSDU; preserved on retransmit *)
   mutable rexmit : bool;
+  mutable rexmits : int;
   mutable sent_at : float;
+}
+
+(* One TSDU queued for segmented transmission: [ps_fill] renders wire
+   bytes [off, off+len) of the message at a ring address, so each
+   MSS-sized piece gets its own fused pass straight into the ring. *)
+type pending_stream = {
+  ps_len : int;
+  ps_unit : int;  (* segment boundaries fall on multiples of this *)
+  ps_fill :
+    Mem.t -> dst:int -> off:int -> len:int -> Ilp_checksum.Internet.acc option;
+  mutable ps_off : int;  (* next byte of the TSDU to transmit *)
 }
 
 type stats = {
@@ -161,9 +197,8 @@ type stats = {
   ip_errors : int;
   fast_retransmits : int;
   persist_probes : int;
+  peak_in_flight : int;
 }
-
-let ooo_slots = 8
 
 type t = {
   sim : Sim.t;
@@ -190,6 +225,7 @@ type t = {
   mutable peer_window : int;
   mutable adv_window : int;  (* window this endpoint currently advertises *)
   txq : tx_seg Queue.t;
+  streams : pending_stream Queue.t;
   mutable rto_timer : Simclock.timer option;
   rto : Rto.t;
   mutable retries : int;
@@ -197,6 +233,18 @@ type t = {
   mutable fast_retransmits : int;
   mutable cwnd : int;
   mutable ssthresh : int;
+  (* NewReno-style fast recovery: [in_recovery] from the third duplicate
+     ack until [recover] (snd_nxt at loss detection) is acknowledged. *)
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable peak_in_flight : int;
+  (* Receive-side TSDU reassembly: bytes of the current multi-segment
+     TSDU already accepted in order.  The engine rx handlers place each
+     segment's plaintext at this offset in their application area; the
+     raw path accumulates into [rx_asm]. *)
+  mutable rx_tsdu_off : int;
+  rx_asm : int;  (* Rx_raw reassembly area *)
+  rx_asm_len : int;
   mutable delayed_ack : Simclock.timer option;
   (* Zero-window persistence: probe a peer that advertises no (or too
      little) space, with exponential backoff, until the window reopens or
@@ -236,7 +284,9 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
   let tx_kernel = Alloc.alloc sim.alloc ~align:64 seg_max in
   let kernel_rx = Alloc.alloc sim.alloc ~align:64 seg_max in
   let rx_staging = Alloc.alloc sim.alloc ~align:64 seg_max in
-  let ooo_base = Alloc.alloc sim.alloc ~align:64 (ooo_slots * seg_max) in
+  let ooo_base = Alloc.alloc sim.alloc ~align:64 (cfg.ooo_slots * seg_max) in
+  let rx_asm_len = max cfg.mss cfg.max_tsdu in
+  let rx_asm = Alloc.alloc sim.alloc ~align:64 rx_asm_len in
   let probe_buf = Alloc.alloc sim.alloc ~align:8 8 in
   let code_ctrl = Code.alloc sim.code ~len:2048 in
   let code_kernel = Code.alloc sim.code ~len:3072 in
@@ -253,7 +303,7 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     ooo_base;
     code_ctrl;
     code_kernel;
-    ooo_free = Array.make ooo_slots true;
+    ooo_free = Array.make cfg.ooo_slots true;
     ooo = Hashtbl.create 8;
     st = Closed;
     remote_port = -1;
@@ -264,6 +314,7 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     peer_window = 0;
     adv_window = cfg.recv_window;
     txq = Queue.create ();
+    streams = Queue.create ();
     rto_timer = None;
     rto = Rto.create ~initial_us:cfg.rto_initial_us ~min_us:cfg.rto_min_us
             ~max_us:cfg.rto_max_us ();
@@ -272,6 +323,12 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     fast_retransmits = 0;
     cwnd = 2 * cfg.mss;
     ssthresh = 64 * 1024;
+    in_recovery = false;
+    recover = 0;
+    peak_in_flight = 0;
+    rx_tsdu_off = 0;
+    rx_asm;
+    rx_asm_len;
     delayed_ack = None;
     persist_timer = None;
     persist_shifts = 0;
@@ -332,18 +389,27 @@ let send_window_space t =
 let set_advertised_window t w =
   t.adv_window <- max 0 (min w t.cfg.recv_window)
 
-(* RFC 5681-style reactions, simplified for a message-oriented sender. *)
+(* RFC 5681/6582-style reactions.  Every cwnd/ssthresh change mirrors
+   into the registry gauges so a live snapshot shows the sender's
+   congestion state. *)
+let set_cc_gauges t =
+  M.set m_cwnd t.cwnd;
+  M.set m_ssthresh t.ssthresh
+
 let on_congestion_loss t ~timeout =
   if t.cfg.congestion_control then begin
     t.ssthresh <- max (bytes_in_flight t / 2) (2 * t.cfg.mss);
-    t.cwnd <- (if timeout then t.cfg.mss else t.ssthresh)
+    t.cwnd <- (if timeout then t.cfg.mss else t.ssthresh);
+    set_cc_gauges t
   end
 
 let on_congestion_ack t =
-  if t.cfg.congestion_control then
+  if t.cfg.congestion_control then begin
     if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.cfg.mss (* slow start *)
     else t.cwnd <- t.cwnd + max 1 (t.cfg.mss * t.cfg.mss / t.cwnd)
-      (* congestion avoidance *)
+      (* congestion avoidance *);
+    set_cc_gauges t
+  end
 
 let stats t =
   { segments_sent = t.segments_sent;
@@ -357,7 +423,11 @@ let stats t =
     acks_sent = t.acks_sent;
     ip_errors = t.ip_errors;
     fast_retransmits = t.fast_retransmits;
-    persist_probes = t.persist_probes_n }
+    persist_probes = t.persist_probes_n;
+    peak_in_flight = t.peak_in_flight }
+
+let pending_streams t = Queue.length t.streams
+let ring_wraps t = Ring.wraps t.ring
 
 let take_syscopy_send_us t =
   let v = t.syscopy_send_cycles_us in
@@ -463,6 +533,7 @@ let abort t reason =
         ~ts:(Machine.micros (machine t))
   end;
   t.st <- Closed;
+  Queue.clear t.streams;
   Option.iter Simclock.cancel t.rto_timer;
   t.rto_timer <- None;
   Option.iter Simclock.cancel t.ctl_timer;
@@ -584,9 +655,15 @@ and retransmit_oldest t seg =
     Trace.instant ~arg:seg.seq Trace.Tcp_retransmit
       ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
   seg.rexmit <- true;
+  seg.rexmits <- seg.rexmits + 1;
   (* tcp_output for the retransmission: fresh checksum pass over the ring
-     contents, fresh header. *)
-  let h = base_header t ~flags:(Tcp_header.ack_flag lor Tcp_header.psh) in
+     contents, fresh header.  The PSH bit must match the original — a
+     mid-TSDU segment replayed with PSH would terminate the receiver's
+     reassembly early. *)
+  let flags =
+    Tcp_header.ack_flag lor (if seg.psh then Tcp_header.psh else 0)
+  in
+  let h = base_header t ~flags in
   let h = { h with seq = seg.seq } in
   let payload_acc =
     Ilp_checksum.Internet.checksum_mem (mem t) ~pos:seg.addr ~len:seg.len
@@ -602,6 +679,10 @@ and on_rto t =
       if t.retries >= t.cfg.max_retries then abort t Retry_exhausted
       else begin
         t.retries <- t.retries + 1;
+        (* A timeout abandons any fast recovery in progress and restarts
+           from slow start. *)
+        t.in_recovery <- false;
+        t.dupacks <- 0;
         on_congestion_loss t ~timeout:true;
         Rto.backoff t.rto;
         retransmit_oldest t seg;
@@ -612,7 +693,8 @@ and on_rto t =
 (* Public send path *)
 
 let maybe_send_fin t =
-  if t.pending_close && Queue.is_empty t.txq then begin
+  if t.pending_close && Queue.is_empty t.txq && Queue.is_empty t.streams
+  then begin
     t.pending_close <- false;
     (match t.st with
     | Established -> t.st <- Fin_wait_1
@@ -623,9 +705,93 @@ let maybe_send_fin t =
     arm_ctl_timer t ~flags:(Tcp_header.fin lor Tcp_header.ack_flag)
   end
 
+(* tcp_output's own checksum pass over ring contents, for fills that did
+   not integrate it. *)
+let ring_checksum t ~addr ~len =
+  let tr = Trace.enabled () in
+  let t0 = if tr then Machine.micros (machine t) else 0.0 in
+  let acc =
+    Ilp_checksum.Internet.checksum_mem (mem t) ~pos:addr ~len
+      ~acc:Ilp_checksum.Internet.empty
+  in
+  if tr then
+    Trace.span Trace.Send_checksum ~packet:(Trace.current_packet ()) ~ts:t0
+      ~dur:(Machine.micros (machine t) -. t0);
+  acc
+
+(* Header build, transmit and bookkeeping shared by the one-shot and
+   streaming senders.  The payload is already in the ring at [addr]. *)
+let send_data_segment t ~addr ~len ~psh ~payload_acc =
+  let flags = Tcp_header.ack_flag lor (if psh then Tcp_header.psh else 0) in
+  let h = base_header t ~flags in
+  let ck = Tcp_header.checksum h ~payload_acc ~payload_len:len in
+  transmit t { h with checksum = ck } ~payload:(Some (addr, len));
+  Queue.add
+    { seq = t.snd_nxt; len; addr; psh; rexmit = false; rexmits = 0;
+      sent_at = Simclock.now t.clock }
+    t.txq;
+  t.snd_nxt <- t.snd_nxt + len;
+  t.bytes_sent <- t.bytes_sent + len;
+  M.inc m_bytes_sent len;
+  let fl = bytes_in_flight t in
+  if fl > t.peak_in_flight then t.peak_in_flight <- fl;
+  M.set m_inflight (Queue.length t.txq);
+  if t.rto_timer = None then arm_rto t
+
+(* The stream pump: push segments of the front TSDU while the usable
+   window, the congestion window and the ring all have room.  Re-run from
+   every ack (new data acked, a window update, or fast-recovery
+   inflation) — this is what keeps multiple segments in flight. *)
+let rec pump_streams t =
+  if (t.st = Established || t.st = Close_wait) && t.failed = None then
+    match Queue.peek_opt t.streams with
+    | None -> ()
+    | Some s ->
+        if s.ps_off >= s.ps_len then begin
+          ignore (Queue.pop t.streams);
+          maybe_send_fin t;
+          pump_streams t
+        end
+        else begin
+          let max_seg = t.cfg.mss - (t.cfg.mss mod s.ps_unit) in
+          let seg = min max_seg (s.ps_len - s.ps_off) in
+          if seg > Ring.size t.ring then
+            invalid_arg "Socket.send_stream: mss exceeds the send buffer";
+          if seg > send_window_space t then begin
+            (* Window too small for the next segment.  With data still in
+               flight, acks (or the RTO) reopen it; with nothing in
+               flight there is no timer running, so this is a zero-window
+               stall mid-stream — run the persist machinery. *)
+            if Queue.is_empty t.txq && t.persist_timer = None then
+              arm_persist t ~want:seg
+          end
+          else
+            match Ring.reserve t.ring seg with
+            | None -> ()  (* ring full: acks release space and re-pump *)
+            | Some addr ->
+                if t.persist_timer <> None then cancel_persist t;
+                let off = s.ps_off in
+                s.ps_off <- off + seg;
+                (* One fused (or separate) pass over just this segment's
+                   byte range, straight into the ring. *)
+                let acc_opt = s.ps_fill (mem t) ~dst:addr ~off ~len:seg in
+                let payload_acc =
+                  match acc_opt with
+                  | Some acc -> acc
+                  | None -> ring_checksum t ~addr ~len:seg
+                in
+                send_data_segment t ~addr ~len:seg ~psh:(s.ps_off >= s.ps_len)
+                  ~payload_acc;
+                pump_streams t
+        end
+
 let send_message t ~len ~fill =
   if t.st <> Established then Error Not_established
   else if len > t.cfg.mss then Error Message_too_big
+  else if not (Queue.is_empty t.streams) then
+    (* A stream is mid-flight: a one-shot message may not interleave with
+       its segments (the receiver would fold it into the TSDU). *)
+    Error Buffer_full
   else if len > send_window_space t then begin
     (* No usable window.  If nothing is in flight there is no RTO to keep
        the connection moving, so start (or keep) the persist machinery;
@@ -645,31 +811,27 @@ let send_message t ~len ~fill =
         let payload_acc =
           match acc_opt with
           | Some acc -> acc
-          | None ->
-              let tr = Trace.enabled () in
-              let t0 = if tr then Machine.micros (machine t) else 0.0 in
-              let acc =
-                Ilp_checksum.Internet.checksum_mem (mem t) ~pos:addr ~len
-                  ~acc:Ilp_checksum.Internet.empty
-              in
-              if tr then
-                Trace.span Trace.Send_checksum
-                  ~packet:(Trace.current_packet ()) ~ts:t0
-                  ~dur:(Machine.micros (machine t) -. t0);
-              acc
+          | None -> ring_checksum t ~addr ~len
         in
-        let h = base_header t ~flags:(Tcp_header.ack_flag lor Tcp_header.psh) in
-        let ck = Tcp_header.checksum h ~payload_acc ~payload_len:len in
-        transmit t { h with checksum = ck } ~payload:(Some (addr, len));
-        Queue.add
-          { seq = t.snd_nxt; len; addr; rexmit = false;
-            sent_at = Simclock.now t.clock }
-          t.txq;
-        t.snd_nxt <- t.snd_nxt + len;
-        t.bytes_sent <- t.bytes_sent + len;
-        M.inc m_bytes_sent len;
-        if t.rto_timer = None then arm_rto t;
+        send_data_segment t ~addr ~len ~psh:true ~payload_acc;
         Ok ()
+
+(* Warning 16: every following argument is labelled, so [?seg_unit] can
+   never be erased by partial application — harmless here. *)
+let[@warning "-16"] send_stream t ?(seg_unit = 1) ~len ~fill =
+  if seg_unit <= 0 || seg_unit > t.cfg.mss then
+    invalid_arg "Socket.send_stream: seg_unit must be in [1, mss]";
+  if len <= 0 || len mod seg_unit <> 0 then
+    invalid_arg "Socket.send_stream: len must be a positive multiple of seg_unit";
+  if t.st <> Established then Error Not_established
+  else if Queue.length t.streams >= t.cfg.max_pending_streams then
+    Error Buffer_full
+  else begin
+    Queue.add { ps_len = len; ps_unit = seg_unit; ps_fill = fill; ps_off = 0 }
+      t.streams;
+    pump_streams t;
+    Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Connection management *)
@@ -702,7 +864,7 @@ let close t =
 (* Receive path *)
 
 let alloc_ooo_slot t =
-  let rec go i = if i = ooo_slots then None
+  let rec go i = if i = t.cfg.ooo_slots then None
     else if t.ooo_free.(i) then Some i
     else go (i + 1)
   in
@@ -711,50 +873,72 @@ let alloc_ooo_slot t =
 let seg_max t = Tcp_header.size + t.cfg.mss
 
 (* Verify and deliver a data segment whose bytes start at [base] in user
-   memory (receive staging or an out-of-order slot). *)
+   memory (receive staging or an out-of-order slot).
+
+   TSDU reassembly: a segment without PSH is a piece of a larger TSDU —
+   its plaintext is accumulated at the current reassembly offset (the
+   engine handlers write [app_rx + dst_off]; the raw path copies into
+   [rx_asm]) and delivery to the application waits for the PSH-marked
+   final segment.  A PSH segment arriving with nothing accumulated is the
+   legacy whole-TSDU-per-segment case and is delivered straight from the
+   staging area, byte- and charge-identical to the pre-streaming stack. *)
 let process_data t (h : Tcp_header.t) ~base ~payload_len =
   let open Ilp_checksum in
   let src = base + Tcp_header.size in
+  let psh = Tcp_header.has h Tcp_header.psh in
+  let dst_off = t.rx_tsdu_off in
+  let single = psh && dst_off = 0 in
   (* Each delivered data segment is one traced receive packet; the
      engine's rx handlers pick the id up via [Trace.current_packet]. *)
   if Trace.enabled () then ignore (Trace.begin_packet ());
   let verdict =
-    match t.rx_proc with
-    | Rx_raw | Rx_separate _ ->
-        (* Separate checksum pass over the staged segment (header bytes
-           included; the stored checksum field makes a valid segment fold
-           to 0xffff). *)
-        let tr = Trace.enabled () in
-        let t0 = if tr then Machine.micros (machine t) else 0.0 in
-        let acc = Tcp_header.pseudo_acc h ~payload_len in
-        let acc =
-          Internet.checksum_mem (mem t) ~pos:base ~len:(Tcp_header.size + payload_len)
-            ~acc
-        in
-        if tr then
-          Trace.span Trace.Recv_checksum ~packet:(Trace.current_packet ())
-            ~ts:t0 ~dur:(Machine.micros (machine t) -. t0);
-        if Internet.finish acc <> 0 then Error Bad_checksum
-        else begin
-          match t.rx_proc with
-          | Rx_separate f -> (
-              match f (mem t) ~src ~len:payload_len with
-              | Ok () -> Ok ()
-              | Error _ -> Error Bad_length)
-          | Rx_raw | Rx_integrated _ -> Ok ()
-        end
-    | Rx_integrated f -> (
-        (* The fused loop computes the payload sum while decrypting and
-           unmarshalling; TCP folds in pseudo-header and header and decides
-           acceptance afterwards (final stage of the three-stage model).
-           A handler that cannot even start its loop (impossible payload
-           length) rejects before any checksum verdict. *)
-        match f (mem t) ~src ~len:payload_len with
-        | Error _ -> Error Bad_length
-        | Ok payload_acc ->
-            if Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum then
-              Ok ()
-            else Error Bad_checksum)
+    (* Reassembly bound for the raw path (the engine handlers bound
+       [dst_off + len] against their own application area): an
+       accumulation that would overflow [rx_asm] is rejected without
+       advancing [rcv_nxt] — the sender's retries end in a typed abort
+       rather than silent truncation. *)
+    if
+      (match t.rx_proc with Rx_raw -> true | _ -> false)
+      && (not single)
+      && dst_off + payload_len > t.rx_asm_len
+    then Error Bad_length
+    else
+      match t.rx_proc with
+      | Rx_raw | Rx_separate _ ->
+          (* Separate checksum pass over the staged segment (header bytes
+             included; the stored checksum field makes a valid segment fold
+             to 0xffff). *)
+          let tr = Trace.enabled () in
+          let t0 = if tr then Machine.micros (machine t) else 0.0 in
+          let acc = Tcp_header.pseudo_acc h ~payload_len in
+          let acc =
+            Internet.checksum_mem (mem t) ~pos:base ~len:(Tcp_header.size + payload_len)
+              ~acc
+          in
+          if tr then
+            Trace.span Trace.Recv_checksum ~packet:(Trace.current_packet ())
+              ~ts:t0 ~dur:(Machine.micros (machine t) -. t0);
+          if Internet.finish acc <> 0 then Error Bad_checksum
+          else begin
+            match t.rx_proc with
+            | Rx_separate f -> (
+                match f (mem t) ~src ~dst_off ~len:payload_len with
+                | Ok () -> Ok ()
+                | Error _ -> Error Bad_length)
+            | Rx_raw | Rx_integrated _ -> Ok ()
+          end
+      | Rx_integrated f -> (
+          (* The fused loop computes the payload sum while decrypting and
+             unmarshalling; TCP folds in pseudo-header and header and decides
+             acceptance afterwards (final stage of the three-stage model).
+             A handler that cannot even start its loop (impossible payload
+             length) rejects before any checksum verdict. *)
+          match f (mem t) ~src ~dst_off ~len:payload_len with
+          | Error _ -> Error Bad_length
+          | Ok payload_acc ->
+              if Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum then
+                Ok ()
+              else Error Bad_checksum)
   in
   Machine.compute (machine t) t.cfg.control_ops;
   match verdict with
@@ -762,7 +946,25 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
       t.rcv_nxt <- t.rcv_nxt + payload_len;
       t.bytes_delivered <- t.bytes_delivered + payload_len;
       M.inc m_bytes_delivered payload_len;
-      t.on_message ~src ~len:payload_len;
+      if single then t.on_message ~src ~len:payload_len
+      else begin
+        (match t.rx_proc with
+        | Rx_raw ->
+            (* Accumulate the raw payload into the reassembly area (the
+               charged unmarshal-style copy the engine paths perform
+               inside their handlers). *)
+            Mem.blit (mem t) ~src ~dst:(t.rx_asm + dst_off) ~len:payload_len
+              ~unit_len:t.cfg.blit_unit
+        | Rx_separate _ | Rx_integrated _ -> ());
+        t.rx_tsdu_off <- dst_off + payload_len;
+        if psh then begin
+          let n = t.rx_tsdu_off in
+          t.rx_tsdu_off <- 0;
+          (* [src] points at the raw path's reassembly area; engine-backed
+             consumers read the TSDU from their application area. *)
+          t.on_message ~src:t.rx_asm ~len:n
+        end
+      end;
       true
   | Error reason ->
       if reason = Bad_checksum then begin
@@ -815,6 +1017,7 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
   end
 
 let handle_ack t (h : Tcp_header.t) ~payload_len =
+  let prev_window = t.peer_window in
   t.peer_window <- h.window;
   (* A window update (usually the ack to a persist probe) that makes the
      stalled message sendable ends the persist cycle; the application's
@@ -825,30 +1028,52 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
   (* A pure duplicate acknowledgement signals a lost segment ahead of
      still-arriving data: after [dupack_threshold] of them, retransmit the
      oldest unacknowledged segment without waiting for the RTO (fast
-     retransmit). *)
+     retransmit), then stay in fast recovery until the loss-time highwater
+     mark is acknowledged.  An ack whose window differs is a window
+     update, not evidence of loss, and does not count. *)
   if
     Tcp_header.has h Tcp_header.ack_flag
     && h.ack = t.snd_una && payload_len = 0
+    && h.window = prev_window
     && (not (Tcp_header.has h Tcp_header.syn))
     && (not (Tcp_header.has h Tcp_header.fin))
     && not (Queue.is_empty t.txq)
   then begin
     t.dupacks <- t.dupacks + 1;
-    if t.dupacks = t.cfg.dupack_threshold then begin
+    if t.dupacks = t.cfg.dupack_threshold && not t.in_recovery then begin
       match Queue.peek_opt t.txq with
       | Some seg ->
           t.fast_retransmits <- t.fast_retransmits + 1;
           M.inc m_fast_retransmits 1;
+          t.in_recovery <- true;
+          t.recover <- t.snd_nxt;
           on_congestion_loss t ~timeout:false;
+          if t.cfg.congestion_control then begin
+            (* Window inflation: the threshold duplicate acks witness
+               segments that left the network (RFC 5681 step 3.2). *)
+            t.cwnd <- t.cwnd + (t.cfg.dupack_threshold * t.cfg.mss);
+            set_cc_gauges t
+          end;
           retransmit_oldest t seg;
           arm_rto t
       | None -> ()
     end
+    else if t.in_recovery && t.dupacks > t.cfg.dupack_threshold then begin
+      (* Each further duplicate ack means another segment was delivered:
+         inflate and let the pump put new data in flight (RFC 5681 step
+         3.4 — this keeps the ack clock ticking during recovery). *)
+      if t.cfg.congestion_control then begin
+        t.cwnd <- t.cwnd + t.cfg.mss;
+        set_cc_gauges t
+      end
+    end
   end;
   if Tcp_header.has h Tcp_header.ack_flag && h.ack > t.snd_una then begin
+    let newly_acked = h.ack - t.snd_una in
     t.dupacks <- 0;
-    on_congestion_ack t;
+    if not t.in_recovery then on_congestion_ack t;
     let sampled = ref false in
+    let now = Simclock.now t.clock in
     let rec pop () =
       match Queue.peek_opt t.txq with
       | Some seg when seg.seq + seg.len <= h.ack ->
@@ -856,8 +1081,13 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
           (* The ring and txq are reserved/queued in lockstep, so a
              successful pop guarantees a live oldest reservation. *)
           (match Ring.release t.ring with Ok () -> () | Error `Empty -> ());
+          M.observe m_seg_rexmits seg.rexmits;
+          if Trace.enabled () then
+            Trace.span ~arg:seg.len Trace.Tcp_segment
+              ~packet:(Trace.current_packet ()) ~ts:seg.sent_at
+              ~dur:(now -. seg.sent_at);
           if (not seg.rexmit) && not !sampled then begin
-            Rto.sample t.rto (Simclock.now t.clock -. seg.sent_at);
+            Rto.sample t.rto (now -. seg.sent_at);
             sampled := true
           end;
           pop ()
@@ -865,11 +1095,35 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
     in
     pop ();
     t.snd_una <- max t.snd_una h.ack;
+    if t.in_recovery then begin
+      if h.ack >= t.recover then begin
+        (* Full ack: recovery over, deflate to ssthresh (RFC 6582). *)
+        t.in_recovery <- false;
+        if t.cfg.congestion_control then begin
+          t.cwnd <- t.ssthresh;
+          set_cc_gauges t
+        end
+      end
+      else begin
+        (* Partial ack: the next hole is known lost — retransmit it
+           immediately instead of waiting for three more duplicates. *)
+        match Queue.peek_opt t.txq with
+        | Some seg -> retransmit_oldest t seg
+        | None -> t.in_recovery <- false
+      end
+    end;
+    M.set m_inflight (Queue.length t.txq);
+    if Trace.enabled () then
+      Trace.instant ~arg:newly_acked Trace.Tcp_ack
+        ~packet:(Trace.current_packet ()) ~ts:now;
     t.retries <- 0;
     Rto.reset_backoff t.rto;
     arm_rto t;
     maybe_send_fin t
-  end
+  end;
+  (* Whatever just changed — new data acked, a window update, recovery
+     inflation — may have opened room for more stream segments. *)
+  pump_streams t
 
 let enter_time_wait t =
   t.st <- Time_wait;

@@ -65,12 +65,26 @@ type config = {
           recovery on the sender (on by default; the paper's loopback
           experiments are never congestion-limited, but a production
           stack needs it) *)
+  ooo_slots : int;
+      (** out-of-order stash capacity in segments (8).  In-window
+          segments beyond the stash are dropped (and recovered by
+          retransmission), so a pipelined receiver should size this to
+          at least [recv_window / mss] or a single loss degrades the
+          rest of the flight into serial per-RTT recovery *)
   persist_initial_us : float;
       (** first zero-window persist probe interval; doubles per probe *)
   persist_max_us : float;  (** persist backoff ceiling *)
   stall_deadline_us : float;
       (** a peer window stalled (too small for the pending message) for
           this long aborts the connection with {!Peer_stalled} *)
+  max_pending_streams : int;
+      (** TSDUs {!send_stream} will queue before reporting
+          [Buffer_full] — the sender-side backpressure bound *)
+  max_tsdu : int;
+      (** largest reassembled TSDU the raw receive path accepts (sizes
+          the [Rx_raw] reassembly area; clamped up to [mss]).  The
+          engine-backed paths bound reassembly by their own
+          [max_message] instead. *)
 }
 
 val default_config : config
@@ -79,18 +93,26 @@ type rx_processing =
   | Rx_raw
       (** checksum pass by TCP, payload delivered as-is (control path and
           tests) *)
-  | Rx_separate of (Ilp_memsim.Mem.t -> src:int -> len:int -> (unit, string) result)
+  | Rx_separate of
+      (Ilp_memsim.Mem.t ->
+      src:int ->
+      dst_off:int ->
+      len:int ->
+      (unit, string) result)
       (** checksum pass by TCP, then the handler's own passes over the
-          staging area (non-ILP); [Error] rejects the segment, which is
-          dropped and counted, never delivered *)
+          staging area (non-ILP); [dst_off] is this segment's byte offset
+          within the TSDU being reassembled (0 for a single-segment
+          message); [Error] rejects the segment, which is dropped and
+          counted, never delivered *)
   | Rx_integrated of
       (Ilp_memsim.Mem.t ->
       src:int ->
+      dst_off:int ->
       len:int ->
       (Ilp_checksum.Internet.acc, string) result)
-      (** one fused pass returning the payload checksum (ILP); [Error]
-          (a length the loop cannot process) rejects the segment before
-          any checksum verdict *)
+      (** one fused pass returning the payload checksum (ILP); [dst_off]
+          as for [Rx_separate]; [Error] (a length the loop cannot
+          process) rejects the segment before any checksum verdict *)
 
 type send_error = Not_established | Message_too_big | Buffer_full | Window_full
 
@@ -153,11 +175,47 @@ val send_message :
   fill:(Ilp_memsim.Mem.t -> dst:int -> Ilp_checksum.Internet.acc option) ->
   (unit, send_error) result
 
+(** [send_stream t ?seg_unit ~len ~fill] queues a [len]-byte TSDU for
+    pipelined streaming: the socket cuts it into MSS-sized segments,
+    keeps as many in flight as the sliding window allows, and calls
+    [fill mem ~dst ~off ~len] once per segment to produce bytes
+    [off, off+len) of the TSDU directly in the retransmission ring (one
+    fused ILP pass per segment when [fill] returns the payload checksum
+    accumulator).  Segment lengths are multiples of [seg_unit] (default
+    1; a cipher-block-aligned engine passes its block size), and [len]
+    must be a positive multiple of [seg_unit] no larger than what a
+    segment can describe.  The final segment carries PSH; the receiver
+    reassembles in order and delivers the whole TSDU to [on_message].
+    Up to [max_pending_streams] TSDUs queue behind one another
+    ([Buffer_full] beyond that); [send_message] also reports
+    [Buffer_full] while a stream is pending, so single-message and
+    streamed traffic never interleave within a connection. *)
+val send_stream :
+  t ->
+  ?seg_unit:int ->
+  len:int ->
+  fill:
+    (Ilp_memsim.Mem.t -> dst:int -> off:int -> len:int ->
+    Ilp_checksum.Internet.acc option) ->
+  (unit, send_error) result
+
+(** TSDUs accepted by {!send_stream} and not yet fully transmitted. *)
+val pending_streams : t -> int
+
+(** Send-ring wrap count (see {!Ring.wraps}) — witnesses that a
+    streaming transfer cycled the retransmission buffer. *)
+val ring_wraps : t -> int
+
 val set_rx_processing : t -> rx_processing -> unit
 
-(** [set_on_message t f] — [f ~src ~len] fires after a data segment is
-    accepted in order; [src] is the payload address in the receive staging
-    area. *)
+(** [set_on_message t f] — [f ~src ~len] fires once per TSDU.  For a
+    single-segment message (PSH with nothing reassembling), [src] is the
+    payload address in the receive staging area, exactly as before
+    streaming existed.  For a streamed TSDU it fires on the PSH segment
+    with the complete reassembled message: under [Rx_raw] [src] is the
+    socket's own reassembly buffer; under the engine-backed handlers the
+    handler has already placed each segment at its [dst_off] and [src]
+    is the reassembly base those offsets are relative to. *)
 val set_on_message : t -> (src:int -> len:int -> unit) -> unit
 
 (** [set_on_abort t f] — [f reason] fires once when retry exhaustion tears
@@ -214,6 +272,9 @@ type stats = {
   ip_errors : int;  (** datagrams dropped by the kernel's IP validation *)
   fast_retransmits : int;  (** recoveries triggered by duplicate acks *)
   persist_probes : int;  (** zero-window probes sent by the persist timer *)
+  peak_in_flight : int;
+      (** most payload bytes simultaneously unacknowledged — more than
+          one MSS witnesses a pipelined window *)
 }
 
 val stats : t -> stats

@@ -19,6 +19,11 @@ let has t flag = t.flags land flag <> 0
 
 let make ?(seq = 0) ?(ack = 0) ?(flags = 0) ?(window = 0) ?(checksum = 0)
     ?(urgent = 0) ~src_port ~dst_port () =
+  (* The window field is 16 bits on the wire (no scaling option).  A
+     configuration advertising more must saturate here: the raw set_u16
+     would otherwise truncate modulo 2^16 — 65536 becomes 0 and the
+     sender reads a closed window instead of a huge one. *)
+  let window = max 0 (min window 0xffff) in
   { src_port; dst_port; seq; ack; flags; window; checksum; urgent }
 
 (* Data offset is fixed at 5 words (no options). *)

@@ -104,6 +104,23 @@ let test_packet_sizes () =
         (15 * 1024) r.Ft.payload_bytes)
     [ 256; 512; 768; 1280; 100; 17 ]
 
+let test_streaming_replies () =
+  (* [mss = Some m] smaller than a reply forces every reply through
+     [Socket.send_stream] — segmented, pipelined, reassembled — and the
+     transfer must still verify byte-exact.  The registry's
+     engine.stream_fills counter witnesses that the per-segment fused
+     range fills actually ran. *)
+  let module M = Ilp_obs.Metrics in
+  let before = M.snapshot M.default in
+  let r =
+    run { (small_setup ~copies:1 ~max_reply:1024 ()) with Ft.mss = Some 256 }
+  in
+  check "all payload delivered" (15 * 1024) r.Ft.payload_bytes;
+  check "no checksum failures" 0 r.Ft.checksum_failures;
+  let after = M.snapshot M.default in
+  checkb "replies travelled as fused per-segment range fills" true
+    (M.counter_diff after before "engine.stream_fills" > 0)
+
 (* ------------------------------------------------------------------ *)
 (* The paper's memory-behaviour claims as invariants *)
 
@@ -383,7 +400,8 @@ let () =
           Alcotest.test_case "trailer style" `Quick test_trailer_style;
           Alcotest.test_case "function-call linkage" `Quick
             test_function_call_linkage_runs;
-          Alcotest.test_case "packet sizes" `Slow test_packet_sizes ] );
+          Alcotest.test_case "packet sizes" `Slow test_packet_sizes;
+          Alcotest.test_case "streaming replies" `Quick test_streaming_replies ] );
       ( "paper invariants",
         [ Alcotest.test_case "ILP reduces memory accesses" `Quick
             test_ilp_reduces_memory_accesses;

@@ -382,7 +382,7 @@ let engine_roundtrip ~mode ~header_style ~prefix ~payload =
   | Engine.Ilp ->
       let acc =
         ok_or_fail
-          (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len)
+          (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len)
       in
       (* The send-side accumulator and receive-side accumulator both cover
          the same ciphertext. *)
@@ -392,7 +392,7 @@ let engine_roundtrip ~mode ~header_style ~prefix ~payload =
       | None -> Alcotest.fail "ILP fill must return a checksum")
   | Engine.Separate ->
       checkb "separate fill returns no checksum" true (acc_opt = None);
-      ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+      ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
   let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   (* The plaintext must contain the prefix at position 4 (leading) or 0
      (trailer), followed by the payload. *)
@@ -465,10 +465,10 @@ let prop_engine_roundtrip_sizes =
       | Engine.Ilp ->
           ignore
             (ok_or_fail
-               (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+               (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len))
       | Engine.Separate ->
           ok_or_fail
-            (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+            (Engine.rx_separate eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
       ignore acc_opt;
       let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
       String.sub plaintext 4 (String.length prefix) = prefix
@@ -501,7 +501,7 @@ let test_engine_rx_late_roundtrip () =
   in
   let wire = Alloc.alloc sim.Sim.alloc ~align:8 prepared.Engine.len in
   ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
-  ok_or_fail (Engine.rx_late eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  ok_or_fail (Engine.rx_late eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len);
   let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   check_s "payload recovered via late placement" payload
     (String.sub plaintext 8 (String.length payload))
@@ -543,11 +543,84 @@ let test_engine_segments_multi_payload () =
     (Internet.finish acc);
   ignore
     (ok_or_fail
-       (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+       (Engine.rx_integrated eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
   let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   let expected = "HDR1alpha-region-data\000\000\000MID0beta!!\000\000TL" in
   check_s "body reconstructed" expected
     (String.sub plaintext 4 (String.length expected))
+
+let test_engine_stream_ranges_match_whole () =
+  (* prepare_stream_segments: filling aligned ranges — here deliberately
+     back to front — must produce exactly the bytes of the whole-message
+     fill, for both modes, both header styles and with the CRC trailer.
+     This is what lets TCP cut a TSDU into MSS segments, each produced by
+     an independent fused pass into the retransmission ring. *)
+  let payload = String.init 480 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let tail = String.init 36 (fun i -> Char.chr ((i * 13 + 5) land 0xff)) in
+  let mk_world ~mode ~header_style ~crc32 =
+    let sim, eng = make_engine ~mode ~header_style ~crc32 () in
+    let a = install sim payload and b = install sim tail in
+    let body =
+      [ Engine.Seg_gen "STRMHDR0";
+        Engine.Seg_app { addr = a; len = String.length payload };
+        Engine.Seg_gen "MID4";
+        Engine.Seg_app { addr = b; len = String.length tail } ]
+    in
+    (sim, eng, body)
+  in
+  List.iter
+    (fun (mode, header_style, crc32, name) ->
+      let sim1, eng1, body1 = mk_world ~mode ~header_style ~crc32 in
+      let prepared = Engine.prepare_send_segments eng1 body1 in
+      let w1 = Alloc.alloc sim1.Sim.alloc ~align:8 prepared.Engine.len in
+      ignore (prepared.Engine.fill sim1.Sim.mem ~dst:w1);
+      let whole = read_back sim1 w1 prepared.Engine.len in
+      let sim2, eng2, body2 = mk_world ~mode ~header_style ~crc32 in
+      let ps = Engine.prepare_stream_segments eng2 body2 in
+      check (name ^ ": wire length agrees") prepared.Engine.len
+        ps.Engine.stream_len;
+      let unit = ps.Engine.seg_unit in
+      check (name ^ ": message cuttable into aligned ranges") 0
+        (ps.Engine.stream_len mod unit);
+      let w2 = Alloc.alloc sim2.Sim.alloc ~align:8 ps.Engine.stream_len in
+      (* Uneven unit-aligned cuts, filled in reverse order. *)
+      let cuts = ref [] in
+      let off = ref 0 in
+      let k = ref 0 in
+      while !off < ps.Engine.stream_len do
+        let len = min (unit * (1 + (!k mod 3))) (ps.Engine.stream_len - !off) in
+        cuts := (!off, len) :: !cuts;
+        off := !off + len;
+        incr k
+      done;
+      List.iter
+        (fun (off, len) ->
+          ignore (ps.Engine.fill_range sim2.Sim.mem ~dst:(w2 + off) ~off ~len))
+        !cuts;
+      check_s (name ^ ": range fills = whole-message fill") whole
+        (read_back sim2 w2 ps.Engine.stream_len))
+    [ (Engine.Ilp, Engine.Leading, false, "ilp/leading");
+      (Engine.Separate, Engine.Leading, false, "separate/leading");
+      (Engine.Ilp, Engine.Trailer, false, "ilp/trailer");
+      (Engine.Ilp, Engine.Leading, true, "ilp/leading+crc") ]
+
+let test_engine_stream_range_validation () =
+  let sim, eng = make_engine ~mode:Engine.Ilp () in
+  let a = install sim "0123456789abcdef" in
+  let ps =
+    Engine.prepare_stream_segments eng [ Engine.Seg_app { addr = a; len = 16 } ]
+  in
+  let u = ps.Engine.seg_unit in
+  let bad ~off ~len =
+    match ps.Engine.fill_range sim.Sim.mem ~dst:64 ~off ~len with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "misaligned offset rejected" true (bad ~off:1 ~len:u);
+  checkb "misaligned length rejected" true (bad ~off:0 ~len:(u + 1));
+  checkb "range past the end rejected" true
+    (bad ~off:0 ~len:(ps.Engine.stream_len + u));
+  checkb "empty range rejected" true (bad ~off:0 ~len:0)
 
 let test_engine_validations () =
   let _, eng = make_engine () in
@@ -562,14 +635,14 @@ let test_engine_rx_totality () =
   (* The receive path is total: implausible segment lengths come back as
      Error, never as an exception or an out-of-bounds access. *)
   let sim, eng = make_engine ~mode:Engine.Separate () in
-  let bad l = Result.is_error (Engine.rx_separate eng sim.Sim.mem ~src:64 ~len:l) in
+  let bad l = Result.is_error (Engine.rx_separate eng sim.Sim.mem ~src:64 ~dst_off:0 ~len:l) in
   checkb "zero length rejected" true (bad 0);
   checkb "negative length rejected" true (bad (-8));
   checkb "non-block-multiple rejected" true (bad 13);
   checkb "oversize rejected" true (bad 1_000_000);
   let sim2, eng2 = make_engine ~mode:Engine.Ilp () in
   checkb "integrated path rejects too" true
-    (Result.is_error (Engine.rx_integrated eng2 sim2.Sim.mem ~src:64 ~len:(-8)));
+    (Result.is_error (Engine.rx_integrated eng2 sim2.Sim.mem ~src:64 ~dst_off:0 ~len:(-8)));
   checkb "read_plaintext guards its length" true
     (Result.is_error (Engine.read_plaintext eng2 ~len:2)
     && Result.is_error (Engine.read_plaintext eng2 ~len:1_000_000))
@@ -591,7 +664,7 @@ let test_engine_rx_bad_length_field () =
     let v = Mem.peek_u8 sim.Sim.mem (wire + i) in
     Mem.poke_u8 sim.Sim.mem (wire + i) ((v lxor 0xa5) land 0xff)
   done;
-  match Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+  match Engine.rx_separate eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len with
   | Error _ -> ()
   | Ok () ->
       (* The mangled length may still decode plausibly; then the final read
@@ -633,9 +706,9 @@ let prop_engine_all_flag_combinations =
       in
       (match Engine.rx_style eng with
       | Engine.Rx_integrated_style f ->
-          ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+          ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len))
       | Engine.Rx_deferred_style f ->
-          ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+          ok_or_fail (f sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
       let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
       let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
       checksum_ok
@@ -658,9 +731,9 @@ let crc_roundtrip ~mode ~header_style =
   ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
   (match Engine.rx_style eng with
   | Engine.Rx_integrated_style f ->
-      ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+      ignore (ok_or_fail (f sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len))
   | Engine.Rx_deferred_style f ->
-      ok_or_fail (f sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+      ok_or_fail (f sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
   let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   let off = match header_style with Engine.Leading -> 4 | Engine.Trailer -> 0 in
   check_s "prefix recovered" prefix (String.sub plaintext off (String.length prefix));
@@ -718,7 +791,7 @@ let crc_collision ~crc32 =
   check "Internet checksum collides"
     (Internet.checksum_string before)
     (Internet.checksum_string after);
-  ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len);
+  ok_or_fail (Engine.rx_separate eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len);
   Engine.read_plaintext eng ~len:prepared.Engine.len
 
 let test_engine_crc_catches_collision () =
@@ -772,9 +845,9 @@ let transfer_with ~mode ~header_style ~crc32 ~data_path ?pool () =
   ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
   (match Engine.rx_style eng with
   | Engine.Rx_integrated_style rx ->
-      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len))
   | Engine.Rx_deferred_style rx ->
-      ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+      ok_or_fail (rx sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
   (sim, eng, read_back sim wire prepared.Engine.len, prepared.Engine.len)
 
 let all_engine_variants =
@@ -916,6 +989,10 @@ let () =
           Alcotest.test_case "rx style selection" `Quick test_engine_rx_style;
           Alcotest.test_case "multi-payload segments" `Quick
             test_engine_segments_multi_payload;
+          Alcotest.test_case "stream ranges match whole fill" `Quick
+            test_engine_stream_ranges_match_whole;
+          Alcotest.test_case "stream range validation" `Quick
+            test_engine_stream_range_validation;
           Alcotest.test_case "validations" `Quick test_engine_validations;
           Alcotest.test_case "rx totality" `Quick test_engine_rx_totality;
           Alcotest.test_case "rx bad length field" `Quick

@@ -209,9 +209,9 @@ let one_transfer ~mode ~backend_native kind =
   let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e in
   (match Engine.rx_style eng with
   | Engine.Rx_integrated_style rx ->
-      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len))
+      ignore (ok_or_fail (rx sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len))
   | Engine.Rx_deferred_style rx ->
-      ok_or_fail (rx sim.Sim.mem ~src:wire ~len:prepared.Engine.len));
+      ok_or_fail (rx sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len));
   let plaintext = ok_or_fail (Engine.read_plaintext eng ~len:prepared.Engine.len) in
   (Bytes.to_string wire_bytes, acc_opt, plaintext)
 
@@ -259,7 +259,7 @@ let test_native_rx_checksum_agrees () =
     | None -> Alcotest.fail "native ILP fill must return a checksum"
   in
   let rx_acc =
-    match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+    match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len with
     | Ok acc -> acc
     | Error e -> Alcotest.fail e
   in

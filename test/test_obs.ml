@@ -156,11 +156,11 @@ let send_recv ~mode ~header_style =
   ignore (prepared.Engine.fill sim.Sim.mem ~dst:wire);
   (match mode with
   | Engine.Ilp -> (
-      match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+      match Engine.rx_integrated eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len with
       | Ok _ -> ()
       | Error e -> Alcotest.fail e)
   | Engine.Separate -> (
-      match Engine.rx_separate eng sim.Sim.mem ~src:wire ~len:prepared.Engine.len with
+      match Engine.rx_separate eng sim.Sim.mem ~src:wire ~dst_off:0 ~len:prepared.Engine.len with
       | Ok () -> ()
       | Error e -> Alcotest.fail e));
   (read_back sim wire prepared.Engine.len, Machine.cycles sim.Sim.machine)

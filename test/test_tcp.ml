@@ -201,6 +201,9 @@ type world = {
 
 let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 11)
     ?(mss = 1024) ?(ack_delay_us = 0.0) ?(congestion_control = true)
+    ?(send_buffer = Socket.default_config.Socket.send_buffer)
+    ?(recv_window = Socket.default_config.Socket.recv_window)
+    ?(ooo_slots = Socket.default_config.Socket.ooo_slots) ?(max_tsdu = 0)
     ?(mangle = fun _ s -> s) () =
   let sim = Sim.create (Config.custom ()) in
   let clock = Simclock.create () in
@@ -214,7 +217,17 @@ let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 
       (Datagram.create ~src_port:d.Datagram.src_port ~dst_port:d.Datagram.dst_port
          ~payload)
   in
-  let cfg = { Socket.default_config with mss; ack_delay_us; congestion_control } in
+  let cfg =
+    { Socket.default_config with
+      mss;
+      ack_delay_us;
+      congestion_control;
+      send_buffer;
+      recv_window;
+      ooo_slots;
+      max_tsdu
+    }
+  in
   let a = Socket.create sim clock cfg ~local_port:100 ~wire_out in
   let b = Socket.create sim clock cfg ~local_port:200 ~wire_out in
   link_ref :=
@@ -704,6 +717,315 @@ let test_window_shrink_below_in_flight () =
     (Buffer.contents got);
   checkb "no abort" true (Socket.failure w.a = None)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming: MSS segmentation, pipelined window, reassembly *)
+
+module M = Ilp_obs.Metrics
+module Trace = Ilp_obs.Trace
+
+let stream_payload n seed =
+  String.init n (fun i -> Char.chr (((i * 131) + (seed * 29)) land 0xff))
+
+let stream_tsdu w payload =
+  let fill m ~dst ~off ~len =
+    Mem.poke_string m ~pos:dst (String.sub payload off len);
+    None
+  in
+  Socket.send_stream w.a ?seg_unit:None ~len:(String.length payload) ~fill
+
+let pump_until ?(step = 100.0) ?(guard = 100_000) w pred =
+  let g = ref guard in
+  while (not (pred ())) && !g > 0 do
+    decr g;
+    Simclock.advance w.clock step
+  done
+
+(* Queue every TSDU through [send_stream], spinning the clock through
+   sender-side backpressure; gives up if the connection dies. *)
+let stream_all ?(step = 50.0) ?(guard = 200_000) w tsdus =
+  let pending = Queue.of_seq (List.to_seq tsdus) in
+  let g = ref guard and alive = ref true in
+  while !alive && (not (Queue.is_empty pending)) && !g > 0 do
+    decr g;
+    match stream_tsdu w (Queue.peek pending) with
+    | Ok () -> ignore (Queue.pop pending)
+    | Error Socket.Buffer_full | Error Socket.Window_full ->
+        Simclock.advance w.clock step
+    | Error _ -> alive := false
+  done;
+  Simclock.run_until_idle w.clock
+
+let test_stream_pipelined_tsdu () =
+  let w = make_world ~max_tsdu:16_384 () in
+  connect w;
+  let got = Buffer.create 16_384 in
+  collect_into w got;
+  let payload = stream_payload 12_000 1 in
+  (match stream_tsdu w payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send_stream refused: %s" (send_error_to_string e));
+  pump_until w (fun () -> Buffer.length got >= 12_000);
+  Simclock.run_until_idle w.clock;
+  check_s "TSDU delivered byte-exact" payload (Buffer.contents got);
+  let st = Socket.stats w.a in
+  checkb "segmented into many TPDUs" true (st.Socket.segments_sent >= 12);
+  checkb "window pipelined: more than one MSS unacknowledged at once" true
+    (st.Socket.peak_in_flight > 1024);
+  check "no TSDU left queued" 0 (Socket.pending_streams w.a);
+  check "one reassembled delivery" 12_000
+    (Socket.stats w.b).Socket.bytes_delivered
+
+let test_stream_backpressure_and_ordering () =
+  let w = make_world ~max_tsdu:8192 () in
+  connect w;
+  let got = Buffer.create 65_536 in
+  collect_into w got;
+  let tsdus =
+    List.init 20 (fun k -> stream_payload (1500 + (517 * k mod 4000)) k)
+  in
+  let pending = Queue.of_seq (List.to_seq tsdus) in
+  let saw_buffer_full = ref false in
+  let guard = ref 200_000 in
+  while (not (Queue.is_empty pending)) && !guard > 0 do
+    decr guard;
+    (match stream_tsdu w (Queue.peek pending) with
+    | Ok () ->
+        ignore (Queue.pop pending);
+        if Socket.pending_streams w.a > 0 then begin
+          (* single-message sends are locked out while streams are
+             pending, so the two framings can never interleave *)
+          let fill m ~dst =
+            Mem.poke_string m ~pos:dst "XXXXXXXX";
+            None
+          in
+          match Socket.send_message w.a ~len:8 ~fill with
+          | Ok () -> Alcotest.fail "send_message accepted mid-stream"
+          | Error Socket.Buffer_full -> ()
+          | Error e ->
+              Alcotest.failf "expected Buffer_full, got %s"
+                (send_error_to_string e)
+        end
+    | Error Socket.Buffer_full ->
+        saw_buffer_full := true;
+        Simclock.advance w.clock 50.0
+    | Error e ->
+        Alcotest.failf "send_stream refused: %s" (send_error_to_string e));
+    ()
+  done;
+  Simclock.run_until_idle w.clock;
+  check_s "TSDUs delivered in order, byte-exact" (String.concat "" tsdus)
+    (Buffer.contents got);
+  checkb "sender backpressure engaged (pending-stream cap)" true
+    !saw_buffer_full
+
+let test_stream_ring_wrap () =
+  (* A transfer much larger than the retransmission ring must cycle it,
+     with segments straddling the wrap point ([mss] deliberately does not
+     divide the ring size, so reservations skip a wasted tail). *)
+  let w = make_world ~mss:1000 ~send_buffer:8192 ~max_tsdu:4096 () in
+  connect w;
+  let got = Buffer.create 65_536 in
+  collect_into w got;
+  let tsdus = List.init 16 (fun k -> stream_payload 4000 (100 + k)) in
+  stream_all w tsdus;
+  check_s "wrapped transfer byte-exact" (String.concat "" tsdus)
+    (Buffer.contents got);
+  checkb "send ring wrapped" true (Socket.ring_wraps w.a > 0);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_stream_impaired_delivery () =
+  (* Seeded impairment grid: reordering (jitter), duplication and burst
+     loss.  The invariant is the soak's: byte-exact delivery or a typed
+     abort — never silent corruption. *)
+  List.iter
+    (fun (loss_rate, jitter_us, dup_rate, seed) ->
+      let w =
+        make_world ~loss_rate ~jitter_us ~dup_rate ~seed ~max_tsdu:8192
+          ~ooo_slots:16 ()
+      in
+      connect w;
+      if Socket.state w.a = Socket.Established then begin
+        let got = Buffer.create 65_536 in
+        collect_into w got;
+        let tsdus = List.init 6 (fun k -> stream_payload 6000 (seed + k)) in
+        stream_all w tsdus;
+        match (Socket.failure w.a, Socket.failure w.b) with
+        | None, None ->
+            check_s
+              (Printf.sprintf "seed %d byte-exact" seed)
+              (String.concat "" tsdus) (Buffer.contents got)
+        | Some _, _ | _, Some _ -> () (* typed abort is a legal outcome *)
+      end)
+    [ (0.12, 0.0, 0.0, 7);
+      (0.0, 2500.0, 0.0, 23);
+      (0.0, 500.0, 0.35, 51);
+      (0.25, 1000.0, 0.1, 99) ]
+
+let test_stream_reorder_uses_stash () =
+  (* Heavy jitter reorders segments; the out-of-order stash must absorb
+     them and reassembly must still be exact. *)
+  let w = make_world ~jitter_us:2000.0 ~seed:77 ~max_tsdu:16_384 ~ooo_slots:16 () in
+  connect w;
+  let got = Buffer.create 16_384 in
+  collect_into w got;
+  let payload = stream_payload 16_000 4 in
+  stream_all w [ payload ];
+  check_s "reordered stream byte-exact" payload (Buffer.contents got);
+  checkb "receiver saw out-of-order segments" true
+    ((Socket.stats w.b).Socket.out_of_order > 0)
+
+let test_stream_fast_recovery () =
+  (* Drop exactly one mid-flight data segment: the duplicate acks behind
+     it must trigger a fast retransmit and the window must survive
+     recovery without an RTO storm. *)
+  let data_seen = ref 0 in
+  let mangle _ s =
+    if String.length s > 1000 then begin
+      incr data_seen;
+      if !data_seen = 8 then begin
+        let b = Bytes.of_string s in
+        Bytes.set b 0 '\xff';
+        (* wreck the IP version: the kernel drops it *)
+        Bytes.to_string b
+      end
+      else s
+    end
+    else s
+  in
+  let w = make_world ~mangle ~max_tsdu:32_768 ~ooo_slots:16 () in
+  connect w;
+  let got = Buffer.create 32_768 in
+  collect_into w got;
+  let payload = stream_payload 30_000 5 in
+  stream_all w [ payload ];
+  check_s "recovered stream byte-exact" payload (Buffer.contents got);
+  let st = Socket.stats w.a in
+  checkb "the drop actually happened" true (!data_seen >= 8);
+  checkb "recovered by fast retransmit" true (st.Socket.fast_retransmits >= 1);
+  checkb "no retransmission storm" true (st.Socket.retransmissions <= 3);
+  checkb "window stayed open after recovery (cwnd >= 2 MSS)" true
+    (Socket.congestion_window w.a >= 2 * 1024)
+
+let test_stream_window_shrink_mid_flight () =
+  (* Satellite regression: the peer shrinks its window below the bytes
+     already in flight in the middle of a streamed transfer. *)
+  let w = make_world ~mss:512 ~max_tsdu:20_480 () in
+  connect w;
+  let got = Buffer.create 20_480 in
+  collect_into w got;
+  let payload = stream_payload 20_000 9 in
+  (match stream_tsdu w payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send_stream refused: %s" (send_error_to_string e));
+  pump_until ~step:50.0 ~guard:400 w (fun () -> Socket.bytes_in_flight w.a > 512);
+  checkb "several segments in flight before the shrink" true
+    (Socket.bytes_in_flight w.a > 512);
+  Socket.set_advertised_window w.b 256;
+  let negative = ref 0 in
+  for _ = 1 to 2000 do
+    if Socket.send_window_space w.a < 0 then incr negative;
+    Simclock.advance w.clock 100.0
+  done;
+  Socket.set_advertised_window w.b Socket.default_config.Socket.recv_window;
+  pump_until ~guard:50_000 w (fun () -> Buffer.length got >= 20_000);
+  Simclock.run_until_idle w.clock;
+  check "usable window never negative" 0 !negative;
+  check_s "stream survives the shrink byte-exact" payload (Buffer.contents got);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_stream_metrics_conservation () =
+  (* The registry's TCP instruments must agree with the socket's own
+     ledger after a streamed transfer. *)
+  let before = M.snapshot M.default in
+  let w = make_world ~max_tsdu:16_384 () in
+  connect w;
+  let got = Buffer.create 16_384 in
+  collect_into w got;
+  let payload = stream_payload 16_000 3 in
+  stream_all w [ payload ];
+  check_s "clean transfer byte-exact" payload (Buffer.contents got);
+  let after = M.snapshot M.default in
+  let st = Socket.stats w.a in
+  let d name = M.counter_diff after before name in
+  check "tcp.retransmissions matches the socket ledger"
+    st.Socket.retransmissions (d "tcp.retransmissions");
+  check "tcp.fast_retransmits matches the socket ledger"
+    st.Socket.fast_retransmits (d "tcp.fast_retransmits");
+  (match M.find after "tcp.cwnd" with
+  | Some (M.Gauge v) ->
+      check "tcp.cwnd gauge tracks the congestion window"
+        (Socket.congestion_window w.a) v
+  | _ -> Alcotest.fail "tcp.cwnd gauge missing");
+  (match M.find after "tcp.segments_in_flight" with
+  | Some (M.Gauge v) -> check "nothing in flight after the transfer" 0 v
+  | _ -> Alcotest.fail "tcp.segments_in_flight gauge missing");
+  (match M.find after "tcp.ssthresh" with
+  | Some (M.Gauge _) -> ()
+  | _ -> Alcotest.fail "tcp.ssthresh gauge missing");
+  match (M.find after "tcp.segment_retransmits", M.find before "tcp.segment_retransmits") with
+  | Some (M.Histogram h1), Some (M.Histogram h0) ->
+      (* One observation per data segment retired from the queue; a clean
+         run puts every one in the zero bucket. *)
+      let data_segments = (16_000 + 1023) / 1024 in
+      check "one histogram observation per acked data segment" data_segments
+        (h1.M.count - h0.M.count);
+      check "clean run: all segments in the zero-retransmit bucket"
+        (h1.M.count - h0.M.count)
+        (h1.M.buckets.(0) - h0.M.buckets.(0))
+  | _ -> Alcotest.fail "tcp.segment_retransmits histogram missing"
+
+let test_stream_tracing_changes_nothing () =
+  (* Satellite: enabling the per-packet tracer must not change a single
+     wire byte of a streamed transfer, while recording the per-segment
+     spans that witness pipelining. *)
+  let run_capture ~traced =
+    let wire = Buffer.create 100_000 in
+    let mangle _ s =
+      Buffer.add_string wire s;
+      Buffer.add_char wire '|';
+      s
+    in
+    if traced then Trace.enable ~capacity:65_536 ();
+    let w = make_world ~seed:13 ~mangle ~max_tsdu:16_384 () in
+    connect w;
+    let got = Buffer.create 16_384 in
+    collect_into w got;
+    let payload = stream_payload 16_000 6 in
+    stream_all w [ payload ];
+    let spans = if traced then Trace.spans () else [] in
+    if traced then Trace.disable ();
+    check_s "transfer byte-exact" payload (Buffer.contents got);
+    (Buffer.contents wire, spans)
+  in
+  let wire_plain, _ = run_capture ~traced:false in
+  let wire_traced, spans = run_capture ~traced:true in
+  checkb "traced and untraced runs are wire-identical" true
+    (String.equal wire_plain wire_traced);
+  let count stage =
+    List.length (List.filter (fun s -> s.Trace.stage = stage) spans)
+  in
+  checkb "tcp.segment spans recorded" true (count Trace.Tcp_segment >= 12);
+  checkb "tcp.ack instants recorded" true (count Trace.Tcp_ack >= 4);
+  let seg_spans =
+    List.filter
+      (fun s -> s.Trace.stage = Trace.Tcp_segment && not s.Trace.is_instant)
+      spans
+  in
+  (* Overlapping segment spans are the signature of a pipelined window:
+     some segment must start before an earlier one is acknowledged. *)
+  let overlapping =
+    List.exists
+      (fun s1 ->
+        List.exists
+          (fun s2 ->
+            s1 != s2
+            && s1.Trace.ts <= s2.Trace.ts
+            && s2.Trace.ts < s1.Trace.ts +. s1.Trace.dur)
+          seg_spans)
+      seg_spans
+  in
+  checkb "segment lifetimes overlap (pipelined window)" true overlapping
+
 let prop_lossy_stream_integrity =
   QCheck.Test.make ~count:25 ~name:"TCP delivers the exact stream under random loss"
     QCheck.(
@@ -776,4 +1098,19 @@ let () =
           Alcotest.test_case "stall deadline aborts Peer_stalled" `Quick
             test_persist_stall_deadline_aborts;
           Alcotest.test_case "window shrink below in-flight" `Quick
-            test_window_shrink_below_in_flight ] ) ]
+            test_window_shrink_below_in_flight ] );
+      ( "stream",
+        [ Alcotest.test_case "pipelined TSDU" `Quick test_stream_pipelined_tsdu;
+          Alcotest.test_case "backpressure and ordering" `Quick
+            test_stream_backpressure_and_ordering;
+          Alcotest.test_case "ring wrap-around" `Quick test_stream_ring_wrap;
+          Alcotest.test_case "impaired delivery grid" `Quick
+            test_stream_impaired_delivery;
+          Alcotest.test_case "reorder stash" `Quick test_stream_reorder_uses_stash;
+          Alcotest.test_case "fast recovery" `Quick test_stream_fast_recovery;
+          Alcotest.test_case "window shrink mid-flight" `Quick
+            test_stream_window_shrink_mid_flight;
+          Alcotest.test_case "metrics conservation" `Quick
+            test_stream_metrics_conservation;
+          Alcotest.test_case "tracing changes nothing" `Quick
+            test_stream_tracing_changes_nothing ] ) ]
