@@ -348,15 +348,24 @@ let stream_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Link impairment seed.")
   in
+  let sack =
+    Arg.(value & flag
+         & info [ "sack" ]
+             ~doc:"Also sweep pipelined transfers with SACK disabled (a \
+                   NewReno baseline), enabling the SACK gates under \
+                   $(b,--check): SACK goodput at least 2x NewReno at 10 ms \
+                   RTT / 5% loss with strictly fewer RTO fallbacks, and a \
+                   byte-identical clean-link wire.")
+  in
   let check =
     Arg.(value & flag
          & info [ "check" ]
              ~doc:"Fail (exit 1) unless the stream gates hold: every grid \
                    cell byte-exact, stop-and-wait strictly serial, and \
                    pipelined goodput at least 4x stop-and-wait on the clean \
-                   10 ms-RTT cell.")
+                   10 ms-RTT cell (plus the SACK gates with $(b,--sack)).")
   in
-  let run out quick bytes mss seed check_gates =
+  let run out quick bytes mss seed sack_compare check_gates =
     let base =
       { Sb.default_config with
         Sb.total_bytes =
@@ -366,7 +375,7 @@ let stream_cmd =
         mss;
         seed }
     in
-    match Sb.run ~quick ~config:base () with
+    match Sb.run ~quick ~sack_compare ~config:base () with
     | r ->
         Sb.print_table r;
         Sb.write_json r ~path:out;
@@ -376,8 +385,13 @@ let stream_cmd =
           match Sb.check r with
           | Ok () ->
               print_endline
-                "stream gates held: byte-exact on every cell, pipelined window \
-                 >= 4x stop-and-wait at 10 ms RTT";
+                ("stream gates held: byte-exact on every cell, pipelined \
+                  window >= 4x stop-and-wait at 10 ms RTT"
+                ^
+                if sack_compare then
+                  "; SACK >= 2x NewReno at 5% loss with fewer RTO fallbacks, \
+                   clean wire identical"
+                else "");
               0
           | Error failures ->
               List.iter
@@ -395,7 +409,7 @@ let stream_cmd =
          "Streaming-TCP goodput benchmark: multi-megabyte transfers as \
           MSS-segmented pipelined TSDUs versus a stop-and-wait window, \
           across simulated RTT and loss, in simulated time.")
-    Term.(const run $ out $ quick $ bytes $ mss $ seed $ check)
+    Term.(const run $ out $ quick $ bytes $ mss $ seed $ sack $ check)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

@@ -1,7 +1,10 @@
 module Link = Ilp_netsim.Link
 module Simclock = Ilp_netsim.Simclock
 module Demux = Ilp_netsim.Demux
+module Datagram = Ilp_netsim.Datagram
+module Ipv4 = Ilp_netsim.Ipv4
 module Socket = Ilp_tcp.Socket
+module Tcp_header = Ilp_tcp.Tcp_header
 module Engine = Ilp_core.Engine
 module Rpc_server = Ilp_rpc.Server
 module Rpc_client = Ilp_rpc.Client
@@ -210,6 +213,7 @@ type persona =
   | Oversized
   | Streaming
   | Shrinking_window
+  | Lying_receiver
 
 let persona_name = function
   | Honest -> "honest"
@@ -218,6 +222,7 @@ let persona_name = function
   | Oversized -> "oversized"
   | Streaming -> "streaming"
   | Shrinking_window -> "shrink-window"
+  | Lying_receiver -> "lying-recv"
 
 (* Honest clients must complete; slow readers misbehave transiently and
    must still complete (the persist machinery recovers them); dead
@@ -226,13 +231,17 @@ let persona_name = function
    reply, so every reply travels as pipelined segments — and must still
    arrive byte-exact.  Shrinking-window clients yank their advertised
    window below the sender's bytes in flight mid-transfer and reopen it
-   later; the clamped send window must recover them. *)
+   later; the clamped send window must recover them.  Lying receivers
+   read honestly but their NIC forges the feedback channel (SACK blocks
+   for data never sent, duplicated acks); the server must reject every
+   forged block and still deliver byte-exact. *)
 let persona_must_complete = function
-  | Honest | Slow_reader | Streaming | Shrinking_window -> true
+  | Honest | Slow_reader | Streaming | Shrinking_window | Lying_receiver ->
+      true
   | Dead_reader | Oversized -> false
 
 let persona_pattern =
-  [| Honest; Slow_reader; Streaming; Dead_reader; Honest; Oversized;
+  [| Honest; Slow_reader; Streaming; Dead_reader; Lying_receiver; Oversized;
      Shrinking_window; Slow_reader |]
 
 type overload_config = {
@@ -273,6 +282,11 @@ type overload_outcome = {
   persist_probes : int;
   peer_stalled_aborts : int;
   replies_abandoned : int;
+  forged_acks : int;
+  forged_rejections : int;
+  forgery_unpunished : bool;
+      (** invariant violation: a lying receiver's NIC forged feedback but
+          the server neither rejected a block nor aborted the peer *)
   sheds : (Rpc_server.shed_reason * int) list;
   pool_leaks : int;
       (** invariant violation: buffers outstanding from the run's shared
@@ -283,6 +297,7 @@ let overload_invariants_hold o =
   o.escaped_exceptions = 0 && o.silent_outcomes = 0 && o.honest_incomplete = 0
   && o.budget_violations = 0
   && (not o.ledger_mismatch)
+  && (not o.forgery_unpunished)
   && o.pool_leaks = 0
 
 type overload_client = {
@@ -324,6 +339,9 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
       persist_probes = 0;
       peer_stalled_aborts = 0;
       replies_abandoned = 0;
+      forged_acks = 0;
+      forged_rejections = 0;
+      forgery_unpunished = false;
       sheds = [];
       pool_leaks = 0 }
   in
@@ -333,9 +351,65 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
     let demux = Demux.create () in
     let link = ref None in
     let wire_out d = Link.send (Option.get !link) d in
+    (* The lying receivers' data ports (their acks travel cli_data ->
+       srv_data); the port plan below assigns 4 consecutive ports per
+       client starting at 1000, cli_data being the fourth. *)
+    let liar_ports = Hashtbl.create 4 in
+    for i = 0 to cfg.clients - 1 do
+      if persona_pattern.(i mod Array.length persona_pattern) = Lying_receiver
+      then Hashtbl.replace liar_ports (1000 + (4 * i) + 3) ()
+    done;
+    (* A lying receiver's NIC: every pure ack it emits gains a SACK block
+       claiming data the server never sent, and goes out twice (dupack
+       forgery).  Runs before the wire, so the forged bytes carry a valid
+       TCP checksum — the server must reject them on semantics (block
+       beyond [snd_nxt]), not syntax. *)
+    let forge_ack dgram =
+      if not (Hashtbl.mem liar_ports dgram.Datagram.src_port) then [ dgram ]
+      else
+        match Ipv4.decapsulate dgram.Datagram.payload with
+        | Error _ -> [ dgram ]
+        | Ok (ip, seg) -> (
+            match Tcp_header.of_string seg ~pos:0 with
+            | Error _ -> [ dgram ]
+            | Ok h ->
+                let pure_ack =
+                  Tcp_header.has h Tcp_header.ack_flag
+                  && (not (Tcp_header.has h Tcp_header.syn))
+                  && (not (Tcp_header.has h Tcp_header.fin))
+                  && (not (Tcp_header.has h Tcp_header.rst))
+                  && String.length seg = Tcp_header.wire_size h
+                in
+                if not pure_ack then [ dgram ]
+                else begin
+                  let lie = h.Tcp_header.ack + 1_000_000 in
+                  let h' =
+                    { h with Tcp_header.sack = [ (lie, lie + 1448) ] }
+                  in
+                  let h' =
+                    { h' with
+                      Tcp_header.checksum =
+                        Tcp_header.checksum h'
+                          ~payload_acc:Ilp_checksum.Internet.empty
+                          ~payload_len:0 }
+                  in
+                  let seg' = Tcp_header.to_string h' in
+                  let ip' =
+                    Ipv4.make ~ident:ip.Ipv4.ident ~protocol:ip.Ipv4.protocol
+                      ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst
+                      ~payload_len:(String.length seg') ()
+                  in
+                  let forged =
+                    Datagram.create ~src_port:dgram.Datagram.src_port
+                      ~dst_port:dgram.Datagram.dst_port
+                      ~payload:(Ipv4.encapsulate ip' seg')
+                  in
+                  [ forged; forged ]
+                end)
+    in
     link :=
       Some
-        (Link.create clock ~delay_us:30.0 ~seed:cfg.seed
+        (Link.create clock ~delay_us:30.0 ~seed:cfg.seed ~tamper:forge_ack
            ~deliver:(Demux.deliver demux) ());
     let key = "soakOVRL" in
     (* One pool shared by the server and every client engine, and a list
@@ -391,7 +465,7 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
             match persona with
             | Streaming -> { cfg_sock with Socket.mss = 96 }
             | Honest | Slow_reader | Dead_reader | Oversized
-            | Shrinking_window ->
+            | Shrinking_window | Lying_receiver ->
                 cfg_sock
           in
           let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
@@ -402,7 +476,9 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
              the start; slow ones reopen later, dead ones never do. *)
           (match persona with
           | Slow_reader | Dead_reader -> Socket.set_advertised_window cli_data 0
-          | Honest | Oversized | Streaming | Shrinking_window -> ());
+          | Honest | Oversized | Streaming | Shrinking_window
+          | Lying_receiver ->
+              ());
           Socket.listen srv_ctrl;
           Socket.listen cli_data;
           Socket.connect cli_ctrl ~remote_port:base;
@@ -451,7 +527,7 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
                  (fun () ->
                    Socket.set_advertised_window c.cli_data
                      cfg_sock.Socket.recv_window))
-        | Honest | Dead_reader | Oversized | Streaming -> ())
+        | Honest | Dead_reader | Oversized | Streaming | Lying_receiver -> ())
       world;
     let settled c =
       c.local_refused
@@ -543,6 +619,19 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
           + if Socket.failure c.srv_data = Some Socket.Peer_stalled then 1 else 0)
         0 world
     in
+    let forged_acks = (Link.stats (Option.get !link)).Link.tampered in
+    (* Forged feedback must leave a trace: SACK blocks rejected by the
+       server's validator, or (for optimistic-ack forgeries) a typed
+       [Misbehaving_peer] abort.  Silent acceptance is the violation. *)
+    let forged_rejections =
+      List.fold_left
+        (fun a c ->
+          let s = Socket.stats c.srv_data in
+          a + s.Socket.sack_invalid
+          + if Socket.failure c.srv_data = Some Socket.Misbehaving_peer then 1
+            else 0)
+        0 world
+    in
     let peak = Rpc_server.peak_queued_bytes server in
     List.iter Engine.destroy !engines;
     let pool_leaks = Ilp_fastpath.Pool.outstanding pool in
@@ -567,6 +656,9 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
       persist_probes = probes;
       peer_stalled_aborts = stalled;
       replies_abandoned = Rpc_server.replies_abandoned server;
+      forged_acks;
+      forged_rejections;
+      forgery_unpunished = forged_acks > 0 && forged_rejections = 0;
       sheds = Rpc_server.sheds server;
       pool_leaks }
   with
@@ -597,6 +689,9 @@ let overload_summary_lines o =
            o.sheds);
     Printf.sprintf "zero-window           %d persist probes, %d peer-stalled aborts"
       o.persist_probes o.peer_stalled_aborts;
+    Printf.sprintf "lying receivers       %d forged acks, %d rejections%s"
+      o.forged_acks o.forged_rejections
+      (if o.forgery_unpunished then "  UNPUNISHED" else "");
     Printf.sprintf "server                %d replies abandoned" o.replies_abandoned;
     Printf.sprintf "buffer pool           %d leaks%s" o.pool_leaks
       (if o.pool_leaks > 0 then "  VIOLATED" else "") ]

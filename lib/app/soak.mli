@@ -91,12 +91,18 @@ type persona =
       (** shrinks its advertised window below the sender's bytes in
           flight mid-transfer, reopens later; the clamped send window
           must recover the transfer *)
+  | Lying_receiver
+      (** reads honestly, but its NIC forges the feedback channel: every
+          pure ack gains a SACK block for data the server never sent and
+          is duplicated (dupack forgery).  The server must reject every
+          forged block — counted in [Socket.stats.sack_invalid] — and
+          the transfer must still complete byte-exact *)
 
 val persona_name : persona -> string
 
 (** Clients are assigned personas by cycling this 8-entry pattern
-    (2 honest, 2 slow readers, 1 streaming, 1 shrinking-window, 1 dead
-    reader, 1 oversized). *)
+    (1 honest, 2 slow readers, 1 streaming, 1 shrinking-window, 1 dead
+    reader, 1 oversized, 1 lying receiver). *)
 val persona_pattern : persona array
 
 type overload_config = {
@@ -133,6 +139,14 @@ type overload_outcome = {
   persist_probes : int;
   peer_stalled_aborts : int;
   replies_abandoned : int;
+  forged_acks : int;
+      (** datagrams the lying receivers' NICs rewrote ([Link.stats.tampered]) *)
+  forged_rejections : int;
+      (** forged SACK blocks the server rejected plus typed
+          [Misbehaving_peer] aborts, summed over the lying receivers *)
+  forgery_unpunished : bool;
+      (** invariant violation: feedback was forged but the server neither
+          rejected a block nor aborted the peer *)
   sheds : (Ilp_rpc.Server.shed_reason * int) list;
   pool_leaks : int;
       (** invariant violation: buffers outstanding from the run's shared

@@ -1,6 +1,7 @@
 module Link = Ilp_netsim.Link
 module Simclock = Ilp_netsim.Simclock
 module Demux = Ilp_netsim.Demux
+module Datagram = Ilp_netsim.Datagram
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
 module Sim = Ilp_memsim.Sim
@@ -21,6 +22,7 @@ type config = {
   seed : int;
   machine : Ilp_memsim.Config.t;
   mode : mode;
+  sack : bool;
   native : bool;
   deadline_us : float;
 }
@@ -34,6 +36,7 @@ let default_config =
     seed = 1;
     machine = Ilp_memsim.Config.ss10_30;
     mode = Pipelined;
+    sack = true;
     native = true;
     deadline_us = 300_000_000.0 }
 
@@ -47,9 +50,11 @@ type outcome = {
   segments : int;
   retransmissions : int;
   fast_retransmits : int;
+  rto_fallbacks : int;
   peak_in_flight : int;
   ring_wraps : int;
   final_cwnd : int;
+  wire_digest : int;
 }
 
 let key = "strmBENC"
@@ -78,7 +83,20 @@ let transfer cfg =
   let clock = Simclock.create () in
   let demux = Demux.create () in
   let link = ref None in
-  let wire_out d = Link.send (Option.get !link) d in
+  (* Rolling FNV-1a-style digest over every datagram offered to the wire
+     (ports and payload, both directions, send order).  Two transfers
+     whose wires are byte-identical have equal digests — the SACK-off vs
+     SACK-on clean-link gate. *)
+  let digest = ref 0x1505 in
+  let wire_out d =
+    let h = ref !digest in
+    let mix b = h := (!h lxor b) * 0x01000193 land 0x3FFFFFFFFFFFFFF in
+    mix d.Datagram.src_port;
+    mix d.Datagram.dst_port;
+    String.iter (fun c -> mix (Char.code c)) d.Datagram.payload;
+    digest := !h;
+    Link.send (Option.get !link) d
+  in
   link :=
     Some
       (Link.create clock ~delay_us:(cfg.rtt_us /. 2.0) ~loss_rate:cfg.loss_rate
@@ -112,9 +130,9 @@ let transfer cfg =
          second); scale ours with the configured RTT. *)
       rto_initial_us = Float.max Socket.default_config.Socket.rto_initial_us (3.0 *. cfg.rtt_us);
       rto_min_us = Float.max Socket.default_config.Socket.rto_min_us (1.5 *. cfg.rtt_us);
-      (* Stash the whole pipelined flight: a loss then costs ~one RTT,
-         not a serial re-walk of everything behind the hole. *)
-      ooo_slots = (wide_window / cfg.mss) + 4 }
+      (* ooo_slots is left at 0: the socket auto-sizes the reassembly
+         stash to the whole pipelined flight (recv_window / mss + 4). *)
+      sack = cfg.sack }
   in
   let rx_cfg =
     { tx_cfg with
@@ -219,17 +237,31 @@ let transfer cfg =
     segments = stats.Socket.segments_sent;
     retransmissions = stats.Socket.retransmissions;
     fast_retransmits = stats.Socket.fast_retransmits;
+    rto_fallbacks = stats.Socket.rto_fallbacks;
     peak_in_flight = stats.Socket.peak_in_flight;
     ring_wraps;
-    final_cwnd }
+    final_cwnd;
+    wire_digest = !digest }
 
-type point = { p_mode : mode; p_rtt_us : float; p_loss : float; p_out : outcome }
+type point = {
+  p_mode : mode;
+  p_sack : bool;
+  p_rtt_us : float;
+  p_loss : float;
+  p_out : outcome;
+}
 
-type result = { cfg : config; points : point list; gate_ratio : float }
+type result = {
+  cfg : config;
+  points : point list;
+  gate_ratio : float;
+  sack_ratio : float;
+}
 
 let gate_rtt_us = 10_000.0
+let sack_gate_loss = 0.05
 
-let run ?(quick = false) ?config () =
+let run ?(quick = false) ?(sack_compare = false) ?config () =
   let cfg =
     match config with
     | Some c -> c
@@ -238,43 +270,60 @@ let run ?(quick = false) ?config () =
         else default_config
   in
   let grid =
-    if quick then [ (gate_rtt_us, 0.0); (gate_rtt_us, 0.02) ]
+    if quick then [ (gate_rtt_us, 0.0); (gate_rtt_us, sack_gate_loss) ]
     else
       [ (2_000.0, 0.0); (gate_rtt_us, 0.0); (gate_rtt_us, 0.01);
-        (gate_rtt_us, 0.05) ]
+        (gate_rtt_us, sack_gate_loss); (gate_rtt_us, 0.10) ]
+  in
+  (* The base matrix runs both modes with the configured SACK setting;
+     [sack_compare] adds a pipelined NewReno (SACK-off) sweep so the SACK
+     gates have their baseline. *)
+  let cells =
+    List.concat_map
+      (fun mode -> List.map (fun (r, l) -> (mode, cfg.sack, r, l)) grid)
+      [ Pipelined; Stop_and_wait ]
+    @
+    if sack_compare then
+      List.map (fun (r, l) -> (Pipelined, not cfg.sack, r, l)) grid
+    else []
   in
   let points =
-    List.concat_map
-      (fun mode ->
-        List.map
-          (fun (rtt_us, loss) ->
-            let out =
-              transfer { cfg with mode; rtt_us; loss_rate = loss }
-            in
-            { p_mode = mode; p_rtt_us = rtt_us; p_loss = loss; p_out = out })
-          grid)
-      [ Pipelined; Stop_and_wait ]
+    List.map
+      (fun (mode, sack, rtt_us, loss) ->
+        let out = transfer { cfg with mode; sack; rtt_us; loss_rate = loss } in
+        { p_mode = mode; p_sack = sack; p_rtt_us = rtt_us; p_loss = loss;
+          p_out = out })
+      cells
   in
-  let goodput_at mode =
+  let cell mode sack loss =
     List.find_opt
-      (fun p -> p.p_mode = mode && p.p_rtt_us = gate_rtt_us && p.p_loss = 0.0)
+      (fun p ->
+        p.p_mode = mode && p.p_sack = sack && p.p_rtt_us = gate_rtt_us
+        && p.p_loss = loss)
       points
   in
   let gate_ratio =
-    match (goodput_at Pipelined, goodput_at Stop_and_wait) with
+    match (cell Pipelined cfg.sack 0.0, cell Stop_and_wait cfg.sack 0.0) with
     | Some p, Some s when s.p_out.goodput_mbps > 0.0 ->
         p.p_out.goodput_mbps /. s.p_out.goodput_mbps
     | _ -> 0.0
   in
-  { cfg; points; gate_ratio }
+  let sack_ratio =
+    match (cell Pipelined true sack_gate_loss, cell Pipelined false sack_gate_loss) with
+    | Some w, Some wo when wo.p_out.goodput_mbps > 0.0 ->
+        w.p_out.goodput_mbps /. wo.p_out.goodput_mbps
+    | _ -> 0.0
+  in
+  { cfg; points; gate_ratio; sack_ratio }
 
-let check ?(min_ratio = 4.0) r =
+let check ?(min_ratio = 4.0) ?(min_sack_ratio = 2.0) r =
   let failures = ref [] in
   let bad fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   List.iter
     (fun p ->
       let tag =
-        Printf.sprintf "%s rtt=%.0fms loss=%.0f%%" (mode_name p.p_mode)
+        Printf.sprintf "%s%s rtt=%.0fms loss=%.0f%%" (mode_name p.p_mode)
+          (if p.p_sack then "+sack" else "")
           (p.p_rtt_us /. 1000.0) (p.p_loss *. 100.0)
       in
       if not p.p_out.ok then
@@ -292,29 +341,65 @@ let check ?(min_ratio = 4.0) r =
   if r.gate_ratio < min_ratio then
     bad "pipelined goodput is %.2fx stop-and-wait at %.0f ms RTT (floor %.2fx)"
       r.gate_ratio (gate_rtt_us /. 1000.0) min_ratio;
+  (* The SACK gates bind only when the run carried the NewReno baseline
+     (run ~sack_compare:true). *)
+  let cell mode sack loss =
+    List.find_opt
+      (fun p ->
+        p.p_mode = mode && p.p_sack = sack && p.p_rtt_us = gate_rtt_us
+        && p.p_loss = loss)
+      r.points
+  in
+  (match (cell Pipelined true sack_gate_loss, cell Pipelined false sack_gate_loss) with
+  | Some w, Some wo ->
+      if r.sack_ratio < min_sack_ratio then
+        bad
+          "SACK goodput is %.2fx NewReno at %.0f ms RTT / %.0f%% loss (floor \
+           %.2fx)"
+          r.sack_ratio (gate_rtt_us /. 1000.0) (sack_gate_loss *. 100.0)
+          min_sack_ratio;
+      if w.p_out.rto_fallbacks >= wo.p_out.rto_fallbacks then
+        bad
+          "SACK took %d RTO fallbacks vs NewReno's %d at %.0f%% loss (must be \
+           strictly fewer)"
+          w.p_out.rto_fallbacks wo.p_out.rto_fallbacks (sack_gate_loss *. 100.0)
+  | _ -> ());
+  (match (cell Pipelined true 0.0, cell Pipelined false 0.0) with
+  | Some w, Some wo ->
+      if w.p_out.wire_digest <> wo.p_out.wire_digest then
+        bad
+          "clean-link wire differs with SACK on vs off (digest %x vs %x): \
+           options leaked onto an unimpaired connection"
+          w.p_out.wire_digest wo.p_out.wire_digest
+  | _ -> ());
   if !failures = [] then Ok () else Error (List.rev !failures)
 
 let print_table r =
   Report.banner "streaming TCP goodput (simulated time)";
   Report.table
     ~header:
-      [ "mode"; "rtt ms"; "loss %"; "goodput Mbit/s"; "rexmit"; "fast rx";
-        "peak flight"; "wraps"; "ok" ]
+      [ "mode"; "sack"; "rtt ms"; "loss %"; "goodput Mbit/s"; "rexmit";
+        "fast rx"; "rto"; "peak flight"; "wraps"; "ok" ]
     (List.map
        (fun p ->
          [ mode_name p.p_mode;
+           (if p.p_sack then "on" else "off");
            Printf.sprintf "%.0f" (p.p_rtt_us /. 1000.0);
            Printf.sprintf "%.0f" (p.p_loss *. 100.0);
            Printf.sprintf "%.3f" p.p_out.goodput_mbps;
            string_of_int p.p_out.retransmissions;
            string_of_int p.p_out.fast_retransmits;
+           string_of_int p.p_out.rto_fallbacks;
            string_of_int p.p_out.peak_in_flight;
            string_of_int p.p_out.ring_wraps;
            (if p.p_out.ok then "yes"
             else "NO: " ^ Option.value p.p_out.error ~default:"?") ])
        r.points);
   Report.note "pipelined / stop-and-wait at %.0f ms RTT, no loss: %.2fx\n"
-    (gate_rtt_us /. 1000.0) r.gate_ratio
+    (gate_rtt_us /. 1000.0) r.gate_ratio;
+  if r.sack_ratio > 0.0 then
+    Report.note "SACK / NewReno at %.0f ms RTT, %.0f%% loss: %.2fx\n"
+      (gate_rtt_us /. 1000.0) (sack_gate_loss *. 100.0) r.sack_ratio
 
 let to_json r =
   let b = Buffer.create 1024 in
@@ -322,23 +407,27 @@ let to_json r =
     (Printf.sprintf
        "{\n  \"benchmark\": \"stream\",\n  \"unit\": \"mbit_per_s\",\n\
        \  \"total_bytes\": %d,\n  \"tsdu_payload\": %d,\n  \"mss\": %d,\n\
-       \  \"gate_ratio\": %.3f,\n  \"points\": [\n"
-       r.cfg.total_bytes r.cfg.tsdu_payload r.cfg.mss r.gate_ratio);
+       \  \"gate_ratio\": %.3f,\n  \"sack_ratio\": %.3f,\n  \"points\": [\n"
+       r.cfg.total_bytes r.cfg.tsdu_payload r.cfg.mss r.gate_ratio
+       r.sack_ratio);
   List.iteri
     (fun i p ->
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"mode\": \"%s\", \"rtt_us\": %.0f, \"loss\": %.3f, \
-            \"ok\": %b, \"goodput_mbps\": %.4f, \"elapsed_us\": %.0f, \
-            \"payload_bytes\": %d, \"tsdus\": %d, \"segments\": %d, \
-            \"retransmissions\": %d, \"fast_retransmits\": %d, \
-            \"peak_in_flight\": %d, \"ring_wraps\": %d, \"final_cwnd\": %d}"
-           (mode_name p.p_mode) p.p_rtt_us p.p_loss p.p_out.ok
+           "    {\"mode\": \"%s\", \"sack\": %b, \"rtt_us\": %.0f, \
+            \"loss\": %.3f, \"ok\": %b, \"goodput_mbps\": %.4f, \
+            \"elapsed_us\": %.0f, \"payload_bytes\": %d, \"tsdus\": %d, \
+            \"segments\": %d, \"retransmissions\": %d, \
+            \"fast_retransmits\": %d, \"rto_fallbacks\": %d, \
+            \"peak_in_flight\": %d, \"ring_wraps\": %d, \"final_cwnd\": %d, \
+            \"wire_digest\": %d}"
+           (mode_name p.p_mode) p.p_sack p.p_rtt_us p.p_loss p.p_out.ok
            p.p_out.goodput_mbps p.p_out.elapsed_us p.p_out.payload_bytes
            p.p_out.tsdus p.p_out.segments p.p_out.retransmissions
-           p.p_out.fast_retransmits p.p_out.peak_in_flight p.p_out.ring_wraps
-           p.p_out.final_cwnd))
+           p.p_out.fast_retransmits p.p_out.rto_fallbacks
+           p.p_out.peak_in_flight p.p_out.ring_wraps p.p_out.final_cwnd
+           p.p_out.wire_digest))
     r.points;
   Buffer.add_string b "\n  ],\n  \"obs\": ";
   Buffer.add_string b (M.to_json (M.snapshot M.default));

@@ -36,6 +36,7 @@ let m_truncated = M.counter M.default "link.truncated"
 let m_padded = M.counter M.default "link.padded"
 let m_burst_dropped = M.counter M.default "link.burst_dropped"
 let m_delay_spikes = M.counter M.default "link.delay_spikes"
+let m_tampered = M.counter M.default "link.tampered"
 
 type gilbert = {
   p_enter_bad : float;  (* per-packet P(good -> bad) *)
@@ -74,6 +75,7 @@ type stats = {
   padded : int;
   burst_dropped : int;
   delay_spikes : int;
+  tampered : int;
 }
 
 type t = {
@@ -81,6 +83,8 @@ type t = {
   imp : impairments;
   prng : Prng.t;
   deliver : Datagram.t -> unit;
+  impair_only : Datagram.t -> bool;
+  tamper : (Datagram.t -> Datagram.t list) option;
   mutable in_bad_state : bool;
   mutable n_sent : int;
   mutable n_delivered : int;
@@ -91,6 +95,7 @@ type t = {
   mutable n_padded : int;
   mutable n_burst_dropped : int;
   mutable n_delay_spikes : int;
+  mutable n_tampered : int;
 }
 
 let check_rate name r =
@@ -113,18 +118,19 @@ let validate imp =
       check_rate "gilbert.loss_in_bad" g.loss_in_bad)
 
 let create clock ?(delay_us = 50.0) ?(jitter_us = 0.0) ?(loss_rate = 0.0)
-    ?(dup_rate = 0.0) ?(seed = 42) ?impairments ~deliver () =
+    ?(dup_rate = 0.0) ?(seed = 42) ?impairments
+    ?(impair_only = fun _ -> true) ?tamper ~deliver () =
   let imp =
     match impairments with
     | Some imp -> imp
     | None -> { fault_free with delay_us; jitter_us; loss_rate; dup_rate }
   in
   validate imp;
-  { clock; imp; prng = Prng.create seed; deliver;
+  { clock; imp; prng = Prng.create seed; deliver; impair_only; tamper;
     in_bad_state = false;
     n_sent = 0; n_delivered = 0; n_dropped = 0; n_duplicated = 0;
     n_corrupted = 0; n_truncated = 0; n_padded = 0;
-    n_burst_dropped = 0; n_delay_spikes = 0 }
+    n_burst_dropped = 0; n_delay_spikes = 0; n_tampered = 0 }
 
 (* Flip [bits] randomly chosen bits of the payload.  A one-bit flip is
    always caught by the Internet checksum; multi-bit flips can collide. *)
@@ -201,10 +207,18 @@ let enqueue t dgram =
          M.inc m_delivered 1;
          t.deliver dgram))
 
-let send t dgram =
-  t.n_sent <- t.n_sent + 1;
-  M.inc m_sent 1;
-  if t.imp.loss_rate > 0.0 && Prng.float t.prng < t.imp.loss_rate then begin
+(* Run one datagram through the impairment pipeline.  Datagrams outside
+   [impair_only]'s scope skip every draw (so a direction filter leaves
+   the seeded random stream of the impaired direction untouched) and are
+   delivered after the base delay. *)
+let send_one t dgram =
+  if not (t.impair_only dgram) then
+    ignore
+      (Simclock.schedule t.clock ~after:t.imp.delay_us (fun () ->
+           t.n_delivered <- t.n_delivered + 1;
+           M.inc m_delivered 1;
+           t.deliver dgram))
+  else if t.imp.loss_rate > 0.0 && Prng.float t.prng < t.imp.loss_rate then begin
     t.n_dropped <- t.n_dropped + 1;
     M.inc m_dropped 1
   end
@@ -228,6 +242,24 @@ let send t dgram =
     end
   end
 
+let send t dgram =
+  t.n_sent <- t.n_sent + 1;
+  M.inc m_sent 1;
+  match t.tamper with
+  | None -> send_one t dgram
+  | Some f ->
+      (* The tamper hook is a lying peer's NIC, not the wire: it runs
+         before any impairment, may rewrite, drop ([]) or inject extra
+         datagrams, and each of its outputs then takes the normal
+         impairment path.  Only actual rewrites count as tampering. *)
+      let out = f dgram in
+      (match out with
+      | [ d ] when d == dgram -> ()
+      | _ ->
+          t.n_tampered <- t.n_tampered + 1;
+          M.inc m_tampered 1);
+      List.iter (send_one t) out
+
 let sent t = t.n_sent
 let delivered t = t.n_delivered
 let dropped t = t.n_dropped
@@ -237,15 +269,18 @@ let stats t =
   { sent = t.n_sent; delivered = t.n_delivered; dropped = t.n_dropped;
     duplicated = t.n_duplicated; corrupted = t.n_corrupted;
     truncated = t.n_truncated; padded = t.n_padded;
-    burst_dropped = t.n_burst_dropped; delay_spikes = t.n_delay_spikes }
+    burst_dropped = t.n_burst_dropped; delay_spikes = t.n_delay_spikes;
+    tampered = t.n_tampered }
 
 let add_stats a b =
   { sent = a.sent + b.sent; delivered = a.delivered + b.delivered;
     dropped = a.dropped + b.dropped; duplicated = a.duplicated + b.duplicated;
     corrupted = a.corrupted + b.corrupted; truncated = a.truncated + b.truncated;
     padded = a.padded + b.padded; burst_dropped = a.burst_dropped + b.burst_dropped;
-    delay_spikes = a.delay_spikes + b.delay_spikes }
+    delay_spikes = a.delay_spikes + b.delay_spikes;
+    tampered = a.tampered + b.tampered }
 
 let zero_stats =
   { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0;
-    truncated = 0; padded = 0; burst_dropped = 0; delay_spikes = 0 }
+    truncated = 0; padded = 0; burst_dropped = 0; delay_spikes = 0;
+    tampered = 0 }

@@ -53,7 +53,22 @@ val fault_free : impairments
     uniform random extra delay, which reorders packets when larger than the
     inter-packet gap.  [seed] fixes the random stream.  [impairments], when
     given, supersedes the individual rate arguments and enables the full
-    adversarial model.  Raises [Invalid_argument] on out-of-range rates. *)
+    adversarial model.
+
+    [impair_only] (default: everything) scopes the impairment model to
+    matching datagrams — e.g. only the ack direction of a connection;
+    non-matching datagrams consume no random draws and are delivered
+    after the base delay, so the impaired direction's trace for a given
+    seed is independent of the other direction's traffic.
+
+    [tamper] models a lying peer's NIC rather than the wire: it runs on
+    every datagram before any impairment draw and returns the datagrams
+    actually offered to the network (identity to pass through, [[]] to
+    swallow, a rewritten copy or extra injected datagrams to forge).
+    Each output then takes the normal impairment path.  Every
+    non-identity outcome is counted in [stats.tampered].
+
+    Raises [Invalid_argument] on out-of-range rates. *)
 val create :
   Simclock.t ->
   ?delay_us:float ->
@@ -62,6 +77,8 @@ val create :
   ?dup_rate:float ->
   ?seed:int ->
   ?impairments:impairments ->
+  ?impair_only:(Datagram.t -> bool) ->
+  ?tamper:(Datagram.t -> Datagram.t list) ->
   deliver:(Datagram.t -> unit) ->
   unit ->
   t
@@ -79,7 +96,8 @@ val duplicated : t -> int
 
 (** Every impairment the link has applied, by kind.  [dropped] counts all
     losses; [burst_dropped] is the subset due to the Gilbert–Elliott
-    channel. *)
+    channel; [tampered] counts datagrams the [tamper] hook rewrote,
+    swallowed or multiplied (forged injections included). *)
 type stats = {
   sent : int;
   delivered : int;
@@ -90,6 +108,7 @@ type stats = {
   padded : int;
   burst_dropped : int;
   delay_spikes : int;
+  tampered : int;
 }
 
 val stats : t -> stats

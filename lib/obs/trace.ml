@@ -13,6 +13,8 @@ type stage =
   | Tcp_abort
   | Tcp_segment
   | Tcp_ack
+  | Tcp_sack
+  | Tcp_sack_rexmit
   | Rpc_shed
   | Rpc_abandon
 
@@ -20,7 +22,7 @@ let all_stages =
   [ Send_marshal; Send_encrypt; Send_checksum; Send_ring_copy; Send_link;
     Recv_checksum; Recv_decrypt; Recv_unmarshal; Tcp_retransmit;
     Tcp_persist_probe; Tcp_zero_window; Tcp_abort; Tcp_segment; Tcp_ack;
-    Rpc_shed; Rpc_abandon ]
+    Tcp_sack; Tcp_sack_rexmit; Rpc_shed; Rpc_abandon ]
 
 let stage_index = function
   | Send_marshal -> 0
@@ -37,8 +39,10 @@ let stage_index = function
   | Tcp_abort -> 11
   | Tcp_segment -> 12
   | Tcp_ack -> 13
-  | Rpc_shed -> 14
-  | Rpc_abandon -> 15
+  | Tcp_sack -> 14
+  | Tcp_sack_rexmit -> 15
+  | Rpc_shed -> 16
+  | Rpc_abandon -> 17
 
 let stage_of_index = Array.of_list all_stages
 
@@ -57,6 +61,8 @@ let stage_name = function
   | Tcp_abort -> "abort"
   | Tcp_segment -> "segment"
   | Tcp_ack -> "ack"
+  | Tcp_sack -> "sack"
+  | Tcp_sack_rexmit -> "sack-rexmit"
   | Rpc_shed -> "shed"
   | Rpc_abandon -> "abandon"
 
@@ -65,7 +71,7 @@ let stage_cat = function
       "send"
   | Recv_checksum | Recv_decrypt | Recv_unmarshal -> "recv"
   | Tcp_retransmit | Tcp_persist_probe | Tcp_zero_window | Tcp_abort
-  | Tcp_segment | Tcp_ack ->
+  | Tcp_segment | Tcp_ack | Tcp_sack | Tcp_sack_rexmit ->
       "tcp"
   | Rpc_shed | Rpc_abandon -> "rpc"
 

@@ -34,6 +34,12 @@ type stage =
   | Tcp_ack
       (** an acknowledgement advancing [snd_una] ([arg] = bytes newly
           acknowledged) *)
+  | Tcp_sack
+      (** a pure ack carrying SACK blocks left the receiver
+          ([arg] = block count, D-SACK included) *)
+  | Tcp_sack_rexmit
+      (** the sender's scoreboard inferred a hole lost and retransmitted
+          it ([arg] = sequence number) *)
   | Rpc_shed
   | Rpc_abandon
 

@@ -41,6 +41,7 @@ type config = {
   ack_delay_us : float;
   dupack_threshold : int;
   congestion_control : bool;
+  sack : bool;
   ooo_slots : int;
   persist_initial_us : float;
   persist_max_us : float;
@@ -63,7 +64,8 @@ let default_config =
     ack_delay_us = 0.0;
     dupack_threshold = 3;
     congestion_control = true;
-    ooo_slots = 8;
+    sack = true;
+    ooo_slots = 0;
     persist_initial_us = 5_000.0;
     persist_max_us = 320_000.0;
     stall_deadline_us = 3_000_000.0;
@@ -106,12 +108,14 @@ type abort_reason =
   | Handshake_failed
   | Close_timeout
   | Peer_stalled
+  | Misbehaving_peer
 
 let abort_reason_to_string = function
   | Retry_exhausted -> "retransmission retries exhausted"
   | Handshake_failed -> "handshake retries exhausted"
   | Close_timeout -> "close (FIN) retries exhausted"
   | Peer_stalled -> "peer window stalled past the persist deadline"
+  | Misbehaving_peer -> "peer acknowledged data that was never sent"
 
 (* Unified-registry mirrors of the per-socket counters: bumped at the
    same sites as the mutable fields, so process totals equal the sum of
@@ -133,6 +137,14 @@ let m_fast_retransmits = M.counter M.default "tcp.fast_retransmits"
 let m_persist_probes = M.counter M.default "tcp.persist_probes"
 let m_zero_window_stalls = M.counter M.default "tcp.zero_window_stalls"
 let m_seg_payload = M.histogram M.default "tcp.segment_payload_bytes"
+
+(* SACK loss recovery and misbehaving-peer hardening (PR 7). *)
+let m_rto_fallbacks = M.counter M.default "tcp.rto_fallbacks"
+let m_sack_blocks_rx = M.counter M.default "tcp.sack_blocks_rx"
+let m_sack_blocks_tx = M.counter M.default "tcp.sack_blocks_tx"
+let m_sack_invalid = M.counter M.default "tcp.sack_invalid"
+let m_sack_retransmits = M.counter M.default "tcp.sack_retransmits"
+let m_spurious_retransmits = M.counter M.default "tcp.spurious_retransmits"
 
 (* Congestion-control observability (last-writer-wins across sockets:
    meaningful for the usual one-bulk-sender worlds, and the conservation
@@ -157,11 +169,13 @@ let abort_counter =
   let handshake = M.counter M.default "tcp.abort.handshake_failed" in
   let close = M.counter M.default "tcp.abort.close_timeout" in
   let stalled = M.counter M.default "tcp.abort.peer_stalled" in
+  let misbehaving = M.counter M.default "tcp.abort.misbehaving_peer" in
   function
   | Retry_exhausted -> retry
   | Handshake_failed -> handshake
   | Close_timeout -> close
   | Peer_stalled -> stalled
+  | Misbehaving_peer -> misbehaving
 
 type tx_seg = {
   seq : int;
@@ -171,6 +185,15 @@ type tx_seg = {
   mutable rexmit : bool;
   mutable rexmits : int;
   mutable sent_at : float;
+  (* SACK scoreboard bits.  Both are hints, never ground truth: the ring
+     releases only on cumulative ack, and an RTO clears them wholesale
+     (RFC 2018 reneging rule), so a lying or forgetful receiver can at
+     worst cost retransmissions, never data. *)
+  mutable sacked : bool;
+  mutable sack_rexmit : bool;  (* retransmitted by the scoreboard; eligible
+                                  again [1.5 x srtt] later if still unsacked
+                                  (the retransmission itself was lost) *)
+  mutable sack_rexmit_at : float;  (* when the scoreboard last sent it *)
 }
 
 (* One TSDU queued for segmented transmission: [ps_fill] renders wire
@@ -198,6 +221,12 @@ type stats = {
   fast_retransmits : int;
   persist_probes : int;
   peak_in_flight : int;
+  rto_fallbacks : int;
+  sack_blocks_rx : int;
+  sack_blocks_tx : int;
+  sack_invalid : int;
+  sack_retransmits : int;
+  spurious_retransmits : int;
 }
 
 type t = {
@@ -214,6 +243,7 @@ type t = {
   ooo_base : int;  (* out-of-order stash slots *)
   code_ctrl : Code.region;  (* TCP control processing (tcp_output/tcp_input) *)
   code_kernel : Code.region;  (* syscall + kernel datagram path *)
+  ooo_slots : int;  (* resolved stash capacity (auto-sized when cfg says 0) *)
   ooo_free : bool array;
   ooo : (int, int * int * int) Hashtbl.t;  (* seq -> slot, base addr, payload len *)
   mutable st : state;
@@ -238,6 +268,22 @@ type t = {
   mutable in_recovery : bool;
   mutable recover : int;
   mutable peak_in_flight : int;
+  (* RFC 3465-style byte counting for congestion avoidance: cwnd grows
+     one MSS per cwnd bytes actually acknowledged, so a peer splitting
+     one segment's worth of ack into many tiny acks (ack division) gains
+     nothing. *)
+  mutable cc_acked : int;
+  (* Receive-side SACK generation state. *)
+  mutable last_ooo_seq : int;  (* most recent out-of-order arrival *)
+  mutable dsack_pending : (int * int) option;
+      (* duplicate arrival to report as a D-SACK first block on the next ack *)
+  (* Sender-side SACK/hardening ledgers. *)
+  mutable rto_fallbacks_n : int;
+  mutable sack_blocks_rx_n : int;
+  mutable sack_blocks_tx_n : int;
+  mutable sack_invalid_n : int;
+  mutable sack_retransmits_n : int;
+  mutable spurious_retransmits_n : int;
   (* Receive-side TSDU reassembly: bytes of the current multi-segment
      TSDU already accepted in order.  The engine rx handlers place each
      segment's plaintext at this offset in their application area; the
@@ -278,13 +324,22 @@ type t = {
 }
 
 let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
-  let seg_max = Tcp_header.size + cfg.mss in
+  let seg_max = max Tcp_header.max_wire_size (Tcp_header.size + cfg.mss) in
+  (* ooo_slots = 0 (the default) auto-sizes the stash to cover a full
+     receive window of MSS segments plus reordering slack: PR 6 found
+     that a fixed 8-slot stash under a 45-segment window serializes loss
+     recovery into one segment per RTT.  An explicit positive value is
+     honoured unchanged. *)
+  let ooo_slots =
+    if cfg.ooo_slots > 0 then cfg.ooo_slots
+    else max 8 (((cfg.recv_window + cfg.mss - 1) / cfg.mss) + 4)
+  in
   let ring = Ring.create sim ~size:cfg.send_buffer in
-  let hdr_area = Alloc.alloc sim.alloc ~align:8 Tcp_header.size in
+  let hdr_area = Alloc.alloc sim.alloc ~align:8 Tcp_header.max_wire_size in
   let tx_kernel = Alloc.alloc sim.alloc ~align:64 seg_max in
   let kernel_rx = Alloc.alloc sim.alloc ~align:64 seg_max in
   let rx_staging = Alloc.alloc sim.alloc ~align:64 seg_max in
-  let ooo_base = Alloc.alloc sim.alloc ~align:64 (cfg.ooo_slots * seg_max) in
+  let ooo_base = Alloc.alloc sim.alloc ~align:64 (ooo_slots * seg_max) in
   let rx_asm_len = max cfg.mss cfg.max_tsdu in
   let rx_asm = Alloc.alloc sim.alloc ~align:64 rx_asm_len in
   let probe_buf = Alloc.alloc sim.alloc ~align:8 8 in
@@ -303,7 +358,8 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     ooo_base;
     code_ctrl;
     code_kernel;
-    ooo_free = Array.make cfg.ooo_slots true;
+    ooo_slots;
+    ooo_free = Array.make ooo_slots true;
     ooo = Hashtbl.create 8;
     st = Closed;
     remote_port = -1;
@@ -326,6 +382,15 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     in_recovery = false;
     recover = 0;
     peak_in_flight = 0;
+    cc_acked = 0;
+    last_ooo_seq = -1;
+    dsack_pending = None;
+    rto_fallbacks_n = 0;
+    sack_blocks_rx_n = 0;
+    sack_blocks_tx_n = 0;
+    sack_invalid_n = 0;
+    sack_retransmits_n = 0;
+    spurious_retransmits_n = 0;
     rx_tsdu_off = 0;
     rx_asm;
     rx_asm_len;
@@ -403,11 +468,23 @@ let on_congestion_loss t ~timeout =
     set_cc_gauges t
   end
 
-let on_congestion_ack t =
+(* Byte-counted growth (RFC 3465): credit only the bytes this ack
+   actually retired.  Slow start grows by min(acked, MSS) per ack;
+   congestion avoidance accumulates acked bytes and grows one MSS per
+   cwnd-worth retired.  Either way, a misbehaving receiver splitting one
+   segment's acknowledgement into N tiny acks (ack division) earns
+   exactly the same growth as the honest single ack. *)
+let on_congestion_ack t ~acked =
   if t.cfg.congestion_control then begin
-    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.cfg.mss (* slow start *)
-    else t.cwnd <- t.cwnd + max 1 (t.cfg.mss * t.cfg.mss / t.cwnd)
-      (* congestion avoidance *);
+    if t.cwnd < t.ssthresh then
+      t.cwnd <- t.cwnd + min acked t.cfg.mss (* slow start *)
+    else begin
+      t.cc_acked <- t.cc_acked + acked;
+      if t.cc_acked >= t.cwnd then begin
+        t.cc_acked <- t.cc_acked - t.cwnd;
+        t.cwnd <- t.cwnd + t.cfg.mss (* congestion avoidance *)
+      end
+    end;
     set_cc_gauges t
   end
 
@@ -424,7 +501,15 @@ let stats t =
     ip_errors = t.ip_errors;
     fast_retransmits = t.fast_retransmits;
     persist_probes = t.persist_probes_n;
-    peak_in_flight = t.peak_in_flight }
+    peak_in_flight = t.peak_in_flight;
+    rto_fallbacks = t.rto_fallbacks_n;
+    sack_blocks_rx = t.sack_blocks_rx_n;
+    sack_blocks_tx = t.sack_blocks_tx_n;
+    sack_invalid = t.sack_invalid_n;
+    sack_retransmits = t.sack_retransmits_n;
+    spurious_retransmits = t.spurious_retransmits_n }
+
+let ooo_capacity t = t.ooo_slots
 
 let pending_streams t = Queue.length t.streams
 let ring_wraps t = Ring.wraps t.ring
@@ -456,19 +541,20 @@ let transmit t header ~payload =
   Machine.compute (machine t)
     (match payload with Some _ -> t.cfg.control_ops | None -> t.cfg.ack_ops);
   let payload_len = match payload with None -> 0 | Some (_, len) -> len in
+  let hlen = Tcp_header.wire_size header in
   let before = Machine.micros (machine t) in
-  Mem.blit (mem t) ~src:t.hdr_area ~dst:t.tx_kernel ~len:Tcp_header.size
+  Mem.blit (mem t) ~src:t.hdr_area ~dst:t.tx_kernel ~len:hlen
     ~unit_len:t.cfg.blit_unit;
   (match payload with
   | None -> ()
   | Some (addr, len) ->
-      Mem.blit (mem t) ~src:addr ~dst:(t.tx_kernel + Tcp_header.size) ~len
+      Mem.blit (mem t) ~src:addr ~dst:(t.tx_kernel + hlen) ~len
         ~unit_len:t.cfg.blit_unit);
   t.syscopy_send_cycles_us <-
     t.syscopy_send_cycles_us +. (Machine.micros (machine t) -. before);
   let segment =
     Bytes.unsafe_to_string
-      (Mem.peek_bytes (mem t) ~pos:t.tx_kernel ~len:(Tcp_header.size + payload_len))
+      (Mem.peek_bytes (mem t) ~pos:t.tx_kernel ~len:(hlen + payload_len))
   in
   (* The kernel part passes the segment to IP (loopback, never
      fragmented). *)
@@ -494,6 +580,71 @@ let send_control t ~flags =
   in
   transmit t { h with checksum = ck } ~payload:None
 
+(* The SACK blocks this receiver currently has to report: the
+   out-of-order stash merged into maximal contiguous ranges, ordered
+   with the range containing the most recent arrival first (RFC 2018's
+   "first block MUST specify the most recently received segment") and
+   the rest by descending sequence.  Empty whenever the stash is — on a
+   clean link the ack stream is wire-identical with SACK on or off. *)
+let sack_ranges t =
+  if (not t.cfg.sack) || Hashtbl.length t.ooo = 0 then []
+  else begin
+    let spans =
+      Hashtbl.fold (fun seq (_, _, len) acc -> (seq, seq + len) :: acc) t.ooo []
+    in
+    let spans = List.sort (fun (a, _) (b, _) -> compare a b) spans in
+    let merged =
+      List.fold_left
+        (fun acc (l, r) ->
+          match acc with
+          | (pl, pr) :: rest when l <= pr -> (pl, max pr r) :: rest
+          | _ -> (l, r) :: acc)
+        [] spans
+    in
+    (* [merged] is already in descending left-edge order (most recently
+       sent data first); hoist the range holding the latest arrival. *)
+    match
+      List.partition
+        (fun (l, r) -> l <= t.last_ooo_seq && t.last_ooo_seq < r)
+        merged
+    with
+    | ([ recent ], rest) -> recent :: rest
+    | _ -> merged
+  end
+
+(* Every pure acknowledgement flows through here: with nothing to report
+   it is the legacy fixed-header ack, otherwise the canonical SACK option
+   is attached (a pending D-SACK duplicate report rides as the first
+   block, RFC 2883). *)
+let send_ack_control t =
+  let blocks =
+    if not t.cfg.sack then []
+    else
+      match t.dsack_pending with
+      | Some d -> d :: sack_ranges t
+      | None -> sack_ranges t
+  in
+  t.dsack_pending <- None;
+  if blocks = [] then send_control t ~flags:Tcp_header.ack_flag
+  else begin
+    let h =
+      Tcp_header.make ~seq:t.snd_nxt ~ack:t.rcv_nxt
+        ~flags:Tcp_header.ack_flag ~window:t.adv_window ~sack:blocks
+        ~src_port:t.local_port ~dst_port:t.remote_port ()
+    in
+    let n = List.length h.Tcp_header.sack in
+    t.sack_blocks_tx_n <- t.sack_blocks_tx_n + n;
+    M.inc m_sack_blocks_tx n;
+    if Trace.enabled () then
+      Trace.instant ~arg:n Trace.Tcp_sack ~packet:(Trace.current_packet ())
+        ~ts:(Machine.micros (machine t));
+    let ck =
+      Tcp_header.checksum h ~payload_acc:Ilp_checksum.Internet.empty
+        ~payload_len:0
+    in
+    transmit t { h with checksum = ck } ~payload:None
+  end
+
 let send_ack_now t =
   (match t.delayed_ack with
   | Some timer ->
@@ -502,7 +653,7 @@ let send_ack_now t =
   | None -> ());
   t.acks_sent <- t.acks_sent + 1;
   M.inc m_acks_sent 1;
-  send_control t ~flags:Tcp_header.ack_flag
+  send_ack_control t
 
 (* RFC 1122-style delayed acknowledgement: hold the ack briefly so it can
    ride on (or be merged with) the next one; every second segment (a
@@ -518,7 +669,7 @@ let send_ack t =
               t.delayed_ack <- None;
               t.acks_sent <- t.acks_sent + 1;
               M.inc m_acks_sent 1;
-              send_control t ~flags:Tcp_header.ack_flag)
+              send_ack_control t)
         in
         t.delayed_ack <- Some timer
 
@@ -648,7 +799,7 @@ let rec arm_rto t =
   end
   else t.rto_timer <- None
 
-and retransmit_oldest t seg =
+and retransmit_seg t seg =
   t.retransmissions <- t.retransmissions + 1;
   M.inc m_retransmissions 1;
   if Trace.enabled () then
@@ -679,15 +830,155 @@ and on_rto t =
       if t.retries >= t.cfg.max_retries then abort t Retry_exhausted
       else begin
         t.retries <- t.retries + 1;
+        t.rto_fallbacks_n <- t.rto_fallbacks_n + 1;
+        M.inc m_rto_fallbacks 1;
+        (* Full reneging tolerance (RFC 2018 §8): on timeout every
+           scoreboard hint is discarded and recovery restarts from the
+           cumulative ack alone — a receiver that SACKed data and then
+           threw it away can cost retransmissions, never correctness. *)
+        Queue.iter
+          (fun s ->
+            s.sacked <- false;
+            s.sack_rexmit <- false)
+          t.txq;
         (* A timeout abandons any fast recovery in progress and restarts
            from slow start. *)
         t.in_recovery <- false;
         t.dupacks <- 0;
         on_congestion_loss t ~timeout:true;
         Rto.backoff t.rto;
-        retransmit_oldest t seg;
+        retransmit_seg t seg;
         arm_rto t
       end
+
+(* ------------------------------------------------------------------ *)
+(* SACK scoreboard (RFC 3517-style, segment granularity) *)
+
+let first_unsacked t =
+  Queue.fold
+    (fun acc s ->
+      match acc with
+      | Some _ -> acc
+      | None -> if s.sacked then None else Some s)
+    None t.txq
+
+let sacked_segments t =
+  Queue.fold (fun n s -> if s.sacked then n + 1 else n) 0 t.txq
+
+(* Retransmit every inferred hole the window allows: a segment is lost
+   (RFC 3517 IsLost) when at least [dupack_threshold] SACKed segments
+   lie above it.  Pipe counting bounds how much the retransmission burst
+   can re-inflate the network; per RFC 3517 the pipe excludes both
+   SACKed segments and inferred-lost segments whose retransmission is
+   not believed in flight.  A hole goes out once per round trip: a
+   segment still unsacked [1.5 x srtt] after the scoreboard last sent it
+   had its retransmission lost too, and becomes eligible again — so a
+   lost retransmission is retried ack-clocked instead of waiting for the
+   RTO of last resort. *)
+let sack_retransmit_holes t =
+  if t.cfg.sack && t.in_recovery && not (Queue.is_empty t.txq) then begin
+    let total_sacked = sacked_segments t in
+    if total_sacked > 0 then begin
+      let now = Simclock.now t.clock in
+      let retry_after =
+        match Rto.srtt_us t.rto with
+        | Some s -> 1.5 *. s
+        | None -> Rto.timeout_us t.rto /. 2.0
+      in
+      let eligible s =
+        (not s.sack_rexmit) || now -. s.sack_rexmit_at >= retry_after
+      in
+      let cap = if t.cfg.congestion_control then t.cwnd else max_int in
+      let pipe = ref 0 in
+      let seen = ref 0 in
+      Queue.iter
+        (fun s ->
+          if s.sacked then incr seen
+          else begin
+            let lost = total_sacked - !seen >= t.cfg.dupack_threshold in
+            if (not lost) || not (eligible s) then pipe := !pipe + s.len
+          end)
+        t.txq;
+      let seen = ref 0 in
+      Queue.iter
+        (fun s ->
+          if s.sacked then incr seen
+          else begin
+            let sacked_above = total_sacked - !seen in
+            if
+              sacked_above >= t.cfg.dupack_threshold
+              && eligible s && !pipe < cap
+            then begin
+              s.sack_rexmit <- true;
+              s.sack_rexmit_at <- now;
+              t.sack_retransmits_n <- t.sack_retransmits_n + 1;
+              M.inc m_sack_retransmits 1;
+              if Trace.enabled () then
+                Trace.instant ~arg:s.seq Trace.Tcp_sack_rexmit
+                  ~packet:(Trace.current_packet ())
+                  ~ts:(Machine.micros (machine t));
+              retransmit_seg t s;
+              pipe := !pipe + s.len
+            end
+          end)
+        t.txq
+    end
+  end
+
+(* Validate one ack's SACK blocks against what was actually sent, apply
+   the survivors to the scoreboard.  Rejected shapes are counted, never
+   trusted: a block that is empty or inverted, reaches beyond [snd_nxt]
+   (acknowledging data never sent), or overlaps another block of the
+   same ack is hostile or corrupt by construction.  A block entirely at
+   or below the cumulative ack is a D-SACK duplicate report — evidence
+   one of our retransmissions was spurious. *)
+let process_sack t (h : Tcp_header.t) =
+  match h.Tcp_header.sack with
+  | [] -> ()
+  | blocks ->
+      let invalid () =
+        t.sack_invalid_n <- t.sack_invalid_n + 1;
+        M.inc m_sack_invalid 1
+      in
+      let accepted = ref [] in
+      (* RFC 2883: a first block wholly contained in a later block of the
+         same ack reports a duplicate arrival above the cumulative ack (a
+         wire-duplicated or spuriously retransmitted out-of-order
+         segment), not new scoreboard information — strip it here so the
+         overlap rule below only condemns genuinely forged feedback.
+         (The duplicate-below-cumack D-SACK form is the [r <= ack] case
+         in the loop.) *)
+      let blocks =
+        match blocks with
+        | (l, r) :: rest
+          when l < r && r <= t.snd_nxt
+               && List.exists (fun (al, ar) -> al <= l && r <= ar) rest ->
+            t.spurious_retransmits_n <- t.spurious_retransmits_n + 1;
+            M.inc m_spurious_retransmits 1;
+            rest
+        | _ -> blocks
+      in
+      List.iter
+        (fun (l, r) ->
+          if l >= r || r > t.snd_nxt then invalid ()
+          else if r <= h.Tcp_header.ack then begin
+            t.spurious_retransmits_n <- t.spurious_retransmits_n + 1;
+            M.inc m_spurious_retransmits 1
+          end
+          else if List.exists (fun (al, ar) -> l < ar && al < r) !accepted
+          then invalid ()
+          else begin
+            let l = max l h.Tcp_header.ack in
+            accepted := (l, r) :: !accepted;
+            t.sack_blocks_rx_n <- t.sack_blocks_rx_n + 1;
+            M.inc m_sack_blocks_rx 1;
+            Queue.iter
+              (fun s ->
+                if (not s.sacked) && s.seq >= l && s.seq + s.len <= r then
+                  s.sacked <- true)
+              t.txq
+          end)
+        blocks
 
 (* ------------------------------------------------------------------ *)
 (* Public send path *)
@@ -728,7 +1019,8 @@ let send_data_segment t ~addr ~len ~psh ~payload_acc =
   transmit t { h with checksum = ck } ~payload:(Some (addr, len));
   Queue.add
     { seq = t.snd_nxt; len; addr; psh; rexmit = false; rexmits = 0;
-      sent_at = Simclock.now t.clock }
+      sent_at = Simclock.now t.clock; sacked = false; sack_rexmit = false;
+      sack_rexmit_at = 0.0 }
     t.txq;
   t.snd_nxt <- t.snd_nxt + len;
   t.bytes_sent <- t.bytes_sent + len;
@@ -864,13 +1156,13 @@ let close t =
 (* Receive path *)
 
 let alloc_ooo_slot t =
-  let rec go i = if i = t.cfg.ooo_slots then None
+  let rec go i = if i = t.ooo_slots then None
     else if t.ooo_free.(i) then Some i
     else go (i + 1)
   in
   go 0
 
-let seg_max t = Tcp_header.size + t.cfg.mss
+let seg_max t = max Tcp_header.max_wire_size (Tcp_header.size + t.cfg.mss)
 
 (* Verify and deliver a data segment whose bytes start at [base] in user
    memory (receive staging or an out-of-order slot).
@@ -992,16 +1284,26 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
     (* Invalid checksum: silent drop; the sender's RTO recovers. *)
   end
   else if h.seq < t.rcv_nxt then begin
-    (* Duplicate (e.g. a retransmission that crossed our ack). *)
+    (* Duplicate (e.g. a retransmission that crossed our ack).  Report it
+       back as a D-SACK first block (RFC 2883) so the sender can tell a
+       spurious retransmission from a lost ack; the 1-byte persist probes
+       deliberately resend an acknowledged byte and are not reported. *)
     t.duplicates <- t.duplicates + 1;
     M.inc m_duplicates 1;
+    if t.cfg.sack && payload_len > 1 then
+      t.dsack_pending <- Some (h.seq, h.seq + payload_len);
     send_ack t
   end
   else begin
     (* Out of order: stash the staged segment for later processing. *)
     t.out_of_order_n <- t.out_of_order_n + 1;
     M.inc m_out_of_order 1;
-    (if not (Hashtbl.mem t.ooo h.seq) then
+    (if Hashtbl.mem t.ooo h.seq then begin
+       (* Duplicate of an already-stashed segment: also a D-SACK case. *)
+       if t.cfg.sack && payload_len > 1 then
+         t.dsack_pending <- Some (h.seq, h.seq + payload_len)
+     end
+     else
        match alloc_ooo_slot t with
        | None ->
            (* No stash slot for this in-window segment: drop and count;
@@ -1012,11 +1314,20 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
            Mem.blit (mem t) ~src:t.rx_staging ~dst:base
              ~len:(Tcp_header.size + payload_len) ~unit_len:t.cfg.blit_unit;
            t.ooo_free.(slot) <- false;
-           Hashtbl.add t.ooo h.seq (slot, base, payload_len));
+           Hashtbl.add t.ooo h.seq (slot, base, payload_len);
+           t.last_ooo_seq <- h.seq);
     send_ack t
   end
 
 let handle_ack t (h : Tcp_header.t) ~payload_len =
+  (* An optimistic ack covers data this endpoint never sent: no honest
+     (or merely lossy) network can produce it, only a peer trying to
+     trick the sender into opening its window faster than the real
+     round-trip allows.  Abort with a typed reason rather than let the
+     forged clock drive transmission. *)
+  if Tcp_header.has h Tcp_header.ack_flag && h.ack > t.snd_nxt then
+    abort t Misbehaving_peer
+  else begin
   let prev_window = t.peer_window in
   t.peer_window <- h.window;
   (* A window update (usually the ack to a persist probe) that makes the
@@ -1025,9 +1336,12 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
      space leaves the backoff running. *)
   if t.persist_timer <> None && send_window_space t >= t.persist_want then
     cancel_persist t;
+  (* Scoreboard first: the dupack and partial-ack decisions below want
+     this ack's selective information already applied. *)
+  process_sack t h;
   (* A pure duplicate acknowledgement signals a lost segment ahead of
      still-arriving data: after [dupack_threshold] of them, retransmit the
-     oldest unacknowledged segment without waiting for the RTO (fast
+     first unSACKed segment without waiting for the RTO (fast
      retransmit), then stay in fast recovery until the loss-time highwater
      mark is acknowledged.  An ack whose window differs is a window
      update, not evidence of loss, and does not count. *)
@@ -1040,8 +1354,23 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
     && not (Queue.is_empty t.txq)
   then begin
     t.dupacks <- t.dupacks + 1;
-    if t.dupacks = t.cfg.dupack_threshold && not t.in_recovery then begin
-      match Queue.peek_opt t.txq with
+    (* SACK-based early retransmit (RFC 5827 style): with fewer segments
+       outstanding than the duplicate-ack threshold could ever witness,
+       and the scoreboard showing everything but the hole delivered, the
+       full threshold is unreachable — lower it to what the flight can
+       produce so a tail loss is recovered by fast retransmit instead of
+       the RTO. *)
+    let dup_thresh =
+      let n = Queue.length t.txq in
+      if
+        t.cfg.sack && n > 0
+        && n < 1 + t.cfg.dupack_threshold
+        && sacked_segments t = n - 1
+      then max 1 (n - 1)
+      else t.cfg.dupack_threshold
+    in
+    if t.dupacks = dup_thresh && not t.in_recovery then begin
+      match first_unsacked t with
       | Some seg ->
           t.fast_retransmits <- t.fast_retransmits + 1;
           M.inc m_fast_retransmits 1;
@@ -1054,24 +1383,36 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
             t.cwnd <- t.cwnd + (t.cfg.dupack_threshold * t.cfg.mss);
             set_cc_gauges t
           end;
-          retransmit_oldest t seg;
+          seg.sack_rexmit <- true;
+          seg.sack_rexmit_at <- Simclock.now t.clock;
+          retransmit_seg t seg;
+          (* With SACK information, every hole the scoreboard can already
+             infer goes out in the same recovery round — this is the
+             several-holes-per-RTT win over NewReno. *)
+          sack_retransmit_holes t;
           arm_rto t
       | None -> ()
     end
-    else if t.in_recovery && t.dupacks > t.cfg.dupack_threshold then begin
+    else if t.in_recovery && t.dupacks > dup_thresh then begin
       (* Each further duplicate ack means another segment was delivered:
          inflate and let the pump put new data in flight (RFC 5681 step
-         3.4 — this keeps the ack clock ticking during recovery). *)
-      if t.cfg.congestion_control then begin
+         3.4 — this keeps the ack clock ticking during recovery).  The
+         inflation is bounded by the number of segments actually
+         outstanding: each can produce at most one duplicate ack, so
+         anything beyond that is forgery (or wire duplication) and earns
+         no window. *)
+      if t.cfg.congestion_control && t.dupacks <= Queue.length t.txq
+      then begin
         t.cwnd <- t.cwnd + t.cfg.mss;
         set_cc_gauges t
-      end
+      end;
+      sack_retransmit_holes t
     end
   end;
   if Tcp_header.has h Tcp_header.ack_flag && h.ack > t.snd_una then begin
     let newly_acked = h.ack - t.snd_una in
     t.dupacks <- 0;
-    if not t.in_recovery then on_congestion_ack t;
+    if not t.in_recovery then on_congestion_ack t ~acked:newly_acked;
     let sampled = ref false in
     let now = Simclock.now t.clock in
     let rec pop () =
@@ -1099,6 +1440,7 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
       if h.ack >= t.recover then begin
         (* Full ack: recovery over, deflate to ssthresh (RFC 6582). *)
         t.in_recovery <- false;
+        Queue.iter (fun s -> s.sack_rexmit <- false) t.txq;
         if t.cfg.congestion_control then begin
           t.cwnd <- t.ssthresh;
           set_cc_gauges t
@@ -1106,10 +1448,17 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
       end
       else begin
         (* Partial ack: the next hole is known lost — retransmit it
-           immediately instead of waiting for three more duplicates. *)
-        match Queue.peek_opt t.txq with
-        | Some seg -> retransmit_oldest t seg
-        | None -> t.in_recovery <- false
+           immediately instead of waiting for three more duplicates,
+           then fill any further holes the scoreboard has inferred. *)
+        (match first_unsacked t with
+        | Some seg ->
+            if not seg.sack_rexmit then begin
+              seg.sack_rexmit <- true;
+              seg.sack_rexmit_at <- Simclock.now t.clock;
+              retransmit_seg t seg
+            end
+        | None -> t.in_recovery <- false);
+        sack_retransmit_holes t
       end
     end;
     M.set m_inflight (Queue.length t.txq);
@@ -1124,6 +1473,7 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
   (* Whatever just changed — new data acked, a window update, recovery
      inflation — may have opened room for more stream segments. *)
   pump_streams t
+  end
 
 let enter_time_wait t =
   t.st <- Time_wait;
@@ -1154,11 +1504,44 @@ let handle_datagram t (dgram : Datagram.t) =
     Machine.compute (machine t) t.cfg.ack_ops;
     (* Network adapter DMA into the kernel buffer: not a CPU cost. *)
     Mem.poke_string (mem t) ~pos:t.kernel_rx wire;
-    (* read(): system copy kernel -> user staging, then header parse. *)
+    (* read(): system copy kernel -> user staging, then header parse
+       (data offset included: an option area is walked and must be the
+       one canonical SACK layout). *)
     Mem.blit (mem t) ~src:t.kernel_rx ~dst:t.rx_staging ~len:total
       ~unit_len:t.cfg.blit_unit;
-    let h = Tcp_header.read_mem (mem t) ~pos:t.rx_staging in
-    let payload_len = total - Tcp_header.size in
+    let parsed = Tcp_header.read_mem_v (mem t) ~pos:t.rx_staging ~total in
+    let h = parsed.Tcp_header.hdr in
+    let hdr_len = parsed.Tcp_header.hdr_len in
+    if not parsed.Tcp_header.options_ok then
+      (* Structurally hostile options (impossible data offset, truncated
+         or non-canonical option bytes): drop before trusting any field
+         that depends on knowing where the header ends. *)
+      count_drop t Bad_header
+    else if hdr_len > Tcp_header.size && total > hdr_len then
+      (* Options on a data segment would break the paper's fixed-header
+         ILP precondition (the fused loop must know the payload offset
+         before it starts); this stack only ever puts SACK on pure acks,
+         so anything else is a misbehaving peer's frame. *)
+      count_drop t Bad_header
+    else if
+      hdr_len > Tcp_header.size
+      && (let open Ilp_checksum in
+          let acc = Tcp_header.pseudo_acc h ~payload_len:0 in
+          let acc =
+            Internet.checksum_mem (mem t) ~pos:t.rx_staging ~len:hdr_len ~acc
+          in
+          Internet.finish acc <> 0)
+    then begin
+      (* Pure acks normally skip checksum verification (they carry no
+         payload to protect), but the SACK machinery acts on option
+         contents — verify before letting a corrupt block reach the
+         scoreboard. *)
+      t.checksum_failures <- t.checksum_failures + 1;
+      M.inc m_checksum_failures 1;
+      count_drop t Bad_checksum
+    end
+    else begin
+    let payload_len = total - hdr_len in
     match t.st with
     | Closed -> ()
     | Listen ->
@@ -1208,28 +1591,33 @@ let handle_datagram t (dgram : Datagram.t) =
         end
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Last_ack | Time_wait ->
         handle_ack t h ~payload_len;
-        (* A retransmitted SYN-ACK means our final handshake ACK was lost:
-           acknowledge again so the peer can leave SYN_RCVD. *)
-        if Tcp_header.has h Tcp_header.syn then send_ack t;
-        if payload_len > 0 then handle_data t h ~payload_len;
-        if Tcp_header.has h Tcp_header.fin && h.seq = t.rcv_nxt then begin
-          t.rcv_nxt <- t.rcv_nxt + 1;
-          send_ack t;
-          match t.st with
-          | Established -> t.st <- Close_wait
-          | Fin_wait_1 ->
-              (* Simultaneous close or FIN+ACK combined. *)
-              if t.snd_una = t.snd_nxt then enter_time_wait t else t.st <- Close_wait
-          | Fin_wait_2 -> enter_time_wait t
-          | _ -> ()
-        end;
-        (* FIN acknowledged? *)
-        (match t.st with
-        | Fin_wait_1 when t.snd_una = t.snd_nxt ->
-            cancel_ctl_timer t;
-            t.st <- Fin_wait_2
-        | Last_ack when t.snd_una = t.snd_nxt ->
-            cancel_ctl_timer t;
-            t.st <- Closed
-        | _ -> ())
+        (* [handle_ack] may have aborted the connection (optimistic-ack
+           forgery): nothing further in this datagram is trusted. *)
+        if t.failed = None then begin
+          (* A retransmitted SYN-ACK means our final handshake ACK was lost:
+             acknowledge again so the peer can leave SYN_RCVD. *)
+          if Tcp_header.has h Tcp_header.syn then send_ack t;
+          if payload_len > 0 then handle_data t h ~payload_len;
+          if Tcp_header.has h Tcp_header.fin && h.seq = t.rcv_nxt then begin
+            t.rcv_nxt <- t.rcv_nxt + 1;
+            send_ack t;
+            match t.st with
+            | Established -> t.st <- Close_wait
+            | Fin_wait_1 ->
+                (* Simultaneous close or FIN+ACK combined. *)
+                if t.snd_una = t.snd_nxt then enter_time_wait t else t.st <- Close_wait
+            | Fin_wait_2 -> enter_time_wait t
+            | _ -> ()
+          end;
+          (* FIN acknowledged? *)
+          (match t.st with
+          | Fin_wait_1 when t.snd_una = t.snd_nxt ->
+              cancel_ctl_timer t;
+              t.st <- Fin_wait_2
+          | Last_ack when t.snd_una = t.snd_nxt ->
+              cancel_ctl_timer t;
+              t.st <- Closed
+          | _ -> ())
+        end
+    end
   end

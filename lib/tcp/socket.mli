@@ -65,12 +65,25 @@ type config = {
           recovery on the sender (on by default; the paper's loopback
           experiments are never congestion-limited, but a production
           stack needs it) *)
+  sack : bool;
+      (** selective acknowledgements (RFC 2018/3517), on by default: the
+          receiver reports its out-of-order stash as SACK blocks on pure
+          acks, and the sender keeps a per-segment scoreboard to
+          retransmit every inferred hole per RTT during recovery.  With
+          nothing out of order no options are emitted, so a clean-link
+          run is wire-identical with this on or off.  Data segments
+          never carry options (the paper's fixed-header ILP
+          precondition); a data segment arriving with options is dropped
+          as [Bad_header]. *)
   ooo_slots : int;
-      (** out-of-order stash capacity in segments (8).  In-window
-          segments beyond the stash are dropped (and recovered by
-          retransmission), so a pipelined receiver should size this to
-          at least [recv_window / mss] or a single loss degrades the
-          rest of the flight into serial per-RTT recovery *)
+      (** out-of-order stash capacity in segments.  0 (the default)
+          auto-sizes to cover a full receive window of MSS segments plus
+          reordering slack, [max 8 (recv_window/mss + 4)]; an explicit
+          positive value is honoured unchanged.  In-window segments
+          beyond the stash are dropped (and recovered by
+          retransmission), so an undersized stash degrades a multi-loss
+          flight into serial per-RTT recovery — the failure mode the
+          auto default exists to prevent *)
   persist_initial_us : float;
       (** first zero-window persist probe interval; doubles per probe *)
   persist_max_us : float;  (** persist backoff ceiling *)
@@ -131,14 +144,18 @@ val drop_reasons : drop_reason list
 val drop_reason_to_string : drop_reason -> string
 
 (** Why the connection was torn down by the stack rather than by a clean
-    close: data, handshake or FIN retransmissions hit [max_retries], or
-    the peer's advertised window stayed too small for the pending message
-    past [stall_deadline_us] ([Peer_stalled]). *)
+    close: data, handshake or FIN retransmissions hit [max_retries], the
+    peer's advertised window stayed too small for the pending message
+    past [stall_deadline_us] ([Peer_stalled]), or the peer acknowledged
+    sequence space beyond anything this endpoint ever sent — an
+    optimistic-ack attack trying to drive the sender faster than the
+    real round-trip ([Misbehaving_peer]). *)
 type abort_reason =
   | Retry_exhausted
   | Handshake_failed
   | Close_timeout
   | Peer_stalled
+  | Misbehaving_peer
 
 val abort_reason_to_string : abort_reason -> string
 
@@ -275,9 +292,29 @@ type stats = {
   peak_in_flight : int;
       (** most payload bytes simultaneously unacknowledged — more than
           one MSS witnesses a pipelined window *)
+  rto_fallbacks : int;
+      (** retransmission-timer firings with data outstanding — recovery
+          episodes fast retransmit / SACK could not finish *)
+  sack_blocks_rx : int;
+      (** valid SACK blocks accepted into the scoreboard *)
+  sack_blocks_tx : int;  (** SACK blocks this receiver put on acks *)
+  sack_invalid : int;
+      (** SACK blocks rejected: empty/inverted range, beyond [snd_nxt],
+          or overlapping another block of the same ack (excepting the
+          RFC 2883 D-SACK form — a first block contained in a later one
+          reports a duplicate, and counts as spurious instead) *)
+  sack_retransmits : int;
+      (** hole retransmissions driven by the scoreboard (subset of
+          [retransmissions]) *)
+  spurious_retransmits : int;
+      (** retransmissions the peer reported as duplicates via D-SACK *)
 }
 
 val stats : t -> stats
+
+(** Resolved out-of-order stash capacity in segments (after the
+    [ooo_slots = 0] auto-sizing rule). *)
+val ooo_capacity : t -> int
 
 (** Cycles spent in the send-side system copy (user to kernel boundary)
     since the last call, in microseconds — lets the harness separate

@@ -387,6 +387,22 @@ let test_overload_soak_smoke () =
   let o2 = Soak.run_overload cfg in
   checkb "same seed, same outcome" true (o = o2)
 
+let test_overload_lying_receiver () =
+  (* The lying-receiver persona forges SACK feedback through the link's
+     tamper hook; every forgery must be either rejected (and counted) by
+     the server's SACK validation or answered with a typed
+     Misbehaving_peer abort — and its own transfer must still be
+     byte-exact or typed, never silently wrong. *)
+  let module Soak = Ilp_app.Soak in
+  let cfg = { Soak.default_overload_config with Soak.file_len = 2048 } in
+  let o = Soak.run_overload cfg in
+  checkb "graceful-degradation invariants hold" true
+    (Soak.overload_invariants_hold o);
+  checkb "the lying receiver actually forged acks" true (o.Soak.forged_acks > 0);
+  checkb "forged feedback was rejected or typed-aborted" true
+    (o.Soak.forged_rejections > 0);
+  checkb "no forgery went unpunished" false o.Soak.forgery_unpunished
+
 let () =
   Alcotest.run "app"
     [ ( "workload",
@@ -434,4 +450,6 @@ let () =
             test_transfer_reports_typed_error_under_chaos;
           Alcotest.test_case "soak smoke" `Slow test_soak_smoke;
           Alcotest.test_case "soak determinism" `Quick test_soak_deterministic;
-          Alcotest.test_case "overload soak smoke" `Slow test_overload_soak_smoke ] ) ]
+          Alcotest.test_case "overload soak smoke" `Slow test_overload_soak_smoke;
+          Alcotest.test_case "lying receiver punished" `Slow
+            test_overload_lying_receiver ] ) ]

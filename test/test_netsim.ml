@@ -164,6 +164,60 @@ let test_link_jitter_reorders () =
   check "all arrived" 20 (List.length received);
   checkb "some reordering happened" true (received <> List.sort compare received)
 
+let test_link_tamper_hook () =
+  (* The lying peer's NIC: swallow, pass through, or forge an extra copy
+     by payload.  Only non-identity outcomes count as tampering. *)
+  let clock = Simclock.create () in
+  let got = ref 0 in
+  let tamper d =
+    let n = Char.code d.Datagram.payload.[0] in
+    if n mod 3 = 0 then [] (* swallow *)
+    else if n mod 3 = 1 then [ d ] (* identity: uncounted *)
+    else [ d; d ] (* inject a forged duplicate *)
+  in
+  let link = Link.create clock ~tamper ~deliver:(fun _ -> incr got) () in
+  for i = 1 to 9 do
+    Link.send link (dgram i)
+  done;
+  Simclock.run_until_idle clock;
+  (* 3, 6, 9 swallowed; 1, 4, 7 pass; 2, 5, 8 doubled *)
+  check "deliveries" 9 !got;
+  check "only rewrites counted" 6 (Link.stats link).Link.tampered;
+  check "sends unchanged" 9 (Link.sent link)
+
+let test_link_impair_only_scopes_draws () =
+  (* A 50% loss scoped to dst_port 2: port-3 datagrams pass untouched,
+     and — because non-matching datagrams consume no PRNG draws — the
+     port-2 loss pattern for a given seed is identical whether or not
+     port-3 traffic interleaves. *)
+  let run interleave =
+    let clock = Simclock.create () in
+    let got2 = ref [] and got3 = ref 0 in
+    let link =
+      Link.create clock ~loss_rate:0.5 ~seed:13
+        ~impair_only:(fun d -> d.Datagram.dst_port = 2)
+        ~deliver:(fun d ->
+          if d.Datagram.dst_port = 2 then got2 := d.Datagram.payload :: !got2
+          else incr got3)
+        ()
+    in
+    for i = 1 to 40 do
+      Link.send link
+        (Datagram.create ~src_port:1 ~dst_port:2
+           ~payload:(Printf.sprintf "p%02d" i));
+      if interleave then
+        Link.send link (Datagram.create ~src_port:1 ~dst_port:3 ~payload:"x")
+    done;
+    Simclock.run_until_idle clock;
+    (List.rev !got2, !got3)
+  in
+  let t2a, n3a = run true in
+  let t2b, n3b = run false in
+  check "unimpaired direction never loses" 40 n3a;
+  check "no stray deliveries without interleaving" 0 n3b;
+  checkb "impaired direction lost some" true (List.length t2a < 40);
+  checkb "impaired trace independent of the other direction" true (t2a = t2b)
+
 let test_link_validation () =
   let clock = Simclock.create () in
   (match Link.create clock ~loss_rate:1.5 ~deliver:ignore () with
@@ -404,6 +458,9 @@ let () =
           Alcotest.test_case "deterministic loss" `Quick test_link_loss_deterministic;
           Alcotest.test_case "duplication" `Quick test_link_duplication;
           Alcotest.test_case "jitter reorders" `Quick test_link_jitter_reorders;
+          Alcotest.test_case "tamper hook" `Quick test_link_tamper_hook;
+          Alcotest.test_case "impair_only scopes the draws" `Quick
+            test_link_impair_only_scopes_draws;
           Alcotest.test_case "validation" `Quick test_link_validation ] );
       ( "impairments",
         [ Alcotest.test_case "seed determinism" `Quick

@@ -262,7 +262,15 @@ let test_conservation_overload_soak () =
   check "tcp.persist_probes" o.Soak.persist_probes
     (d after before "tcp.persist_probes");
   check "rpc.replies_abandoned" o.Soak.replies_abandoned
-    (d after before "rpc.replies_abandoned")
+    (d after before "rpc.replies_abandoned");
+  (* The lying-receiver persona: forged acks land in link.tampered, and
+     the server's rejections are the socket SACK-invalid counter plus
+     any typed Misbehaving_peer abort. *)
+  check "link.tampered" o.Soak.forged_acks (d after before "link.tampered");
+  check "forged rejections = sack_invalid + misbehaving aborts"
+    o.Soak.forged_rejections
+    (d after before "tcp.sack_invalid"
+    + d after before "tcp.abort.misbehaving_peer")
 
 (* ------------------------------------------------------------------ *)
 (* Tracerun: the ilpbench trace driver *)

@@ -201,10 +201,11 @@ type world = {
 
 let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 11)
     ?(mss = 1024) ?(ack_delay_us = 0.0) ?(congestion_control = true)
+    ?(sack = Socket.default_config.Socket.sack)
     ?(send_buffer = Socket.default_config.Socket.send_buffer)
     ?(recv_window = Socket.default_config.Socket.recv_window)
     ?(ooo_slots = Socket.default_config.Socket.ooo_slots) ?(max_tsdu = 0)
-    ?(mangle = fun _ s -> s) () =
+    ?tamper ?(mangle = fun _ s -> s) () =
   let sim = Sim.create (Config.custom ()) in
   let clock = Simclock.create () in
   let demux = Demux.create () in
@@ -222,6 +223,7 @@ let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 
       mss;
       ack_delay_us;
       congestion_control;
+      sack;
       send_buffer;
       recv_window;
       ooo_slots;
@@ -233,7 +235,7 @@ let make_world ?(loss_rate = 0.0) ?(jitter_us = 0.0) ?(dup_rate = 0.0) ?(seed = 
   link_ref :=
     Some
       (Link.create clock ~delay_us:25.0 ~loss_rate ~jitter_us ~dup_rate ~seed
-         ~deliver:(Demux.deliver demux) ());
+         ?tamper ~deliver:(Demux.deliver demux) ());
   Demux.bind demux ~port:100 (Socket.handle_datagram a);
   Demux.bind demux ~port:200 (Socket.handle_datagram b);
   { sim; clock; a; b; link = Option.get !link_ref }
@@ -1046,6 +1048,432 @@ let prop_lossy_stream_integrity =
         String.equal (String.concat "" msgs) (Buffer.contents got)
       end)
 
+(* ------------------------------------------------------------------ *)
+(* SACK: option codec, scoreboard recovery, misbehaving peers *)
+
+(* Build a header carrying up to three well-formed SACK blocks from a
+   bag of random edge offsets above the cumulative ack. *)
+let sack_header_of (ack, edges) =
+  let edges = List.sort_uniq compare (List.map (fun e -> ack + 1 + e) edges) in
+  let rec pair = function
+    | l :: r :: rest -> (l, r) :: pair rest
+    | _ -> []
+  in
+  let blocks =
+    List.filteri (fun i _ -> i < Tcp_header.max_sack_blocks) (pair edges)
+  in
+  Tcp_header.make ~seq:(ack / 2) ~ack ~flags:Tcp_header.ack_flag ~window:8192
+    ~checksum:0xCAFE ~sack:blocks ~src_port:100 ~dst_port:200 ()
+
+let prop_sack_header_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"SACK option survives both codecs and the bare read ignores it"
+    QCheck.(
+      pair (int_range 1000 1_000_000)
+        (list_of_size Gen.(int_range 0 8) (int_range 1 100_000)))
+    (fun input ->
+      let h = sack_header_of input in
+      let s = Tcp_header.to_string h in
+      String.length s = Tcp_header.wire_size h
+      && (match Tcp_header.of_string s ~pos:0 with
+         | Ok h' -> h' = h
+         | Error _ -> false)
+      &&
+      let sim = Sim.create (Config.custom ()) in
+      Tcp_header.write_mem sim.Sim.mem ~pos:512 h;
+      let p =
+        Tcp_header.read_mem_v sim.Sim.mem ~pos:512 ~total:(Tcp_header.wire_size h)
+      in
+      p.Tcp_header.options_ok
+      && p.Tcp_header.hdr = h
+      && p.Tcp_header.hdr_len = Tcp_header.wire_size h
+      (* the bare 20-byte read sees the base header and no options *)
+      && Tcp_header.read_mem sim.Sim.mem ~pos:512 = { h with Tcp_header.sack = [] })
+
+let test_sack_option_malformed_rejected () =
+  let h =
+    Tcp_header.make ~seq:1000 ~ack:500 ~flags:Tcp_header.ack_flag ~window:4096
+      ~sack:[ (600, 700); (900, 1000) ] ~src_port:1 ~dst_port:2 ()
+  in
+  let s = Tcp_header.to_string h in
+  check "two blocks occupy 40 wire bytes" 40 (String.length s);
+  let patched off v =
+    let b = Bytes.of_string s in
+    Bytes.set b off (Char.chr v);
+    Bytes.to_string b
+  in
+  let rejects name wire =
+    checkb name true (Result.is_error (Tcp_header.of_string wire ~pos:0))
+  in
+  rejects "truncated option area" (String.sub s 0 (String.length s - 4));
+  rejects "padding is not NOP NOP" (patched Tcp_header.size 0x00);
+  rejects "wrong option kind" (patched (Tcp_header.size + 2) 0x06);
+  rejects "length byte disagrees with the data offset"
+    (patched (Tcp_header.size + 3) (2 + 8));
+  (* data offset claiming a 4-byte option area: too short for any SACK *)
+  rejects "undersized option area" (patched 12 (0x60 lor (Char.code s.[12] land 0x0f)));
+  (* data offset below the minimum header *)
+  rejects "data offset below 5 words" (patched 12 (0x40 lor (Char.code s.[12] land 0x0f)));
+  (* the untouched wire still parses, so the rejections above are real *)
+  checkb "canonical wire accepted" true
+    (match Tcp_header.of_string s ~pos:0 with Ok h' -> h' = h | Error _ -> false)
+
+let test_ooo_autosize () =
+  (* ooo_slots = 0 (the default) sizes the stash to a full window of MSS
+     segments plus slack; an explicit value is honoured; tiny windows
+     keep the floor of 8. *)
+  let w = make_world () in
+  check "auto: recv_window/mss + 4" ((16 * 1024 / 1024) + 4) (Socket.ooo_capacity w.a);
+  let w2 = make_world ~ooo_slots:16 () in
+  check "explicit value honoured" 16 (Socket.ooo_capacity w2.a);
+  let w3 = make_world ~mss:8192 () in
+  check "floor of 8 segments" 8 (Socket.ooo_capacity w3.a)
+
+let test_sack_multi_hole_recovery () =
+  (* Wreck two separated data segments of one pipelined flight.  The
+     duplicate acks recover the first hole by fast retransmit; the
+     scoreboard must infer and retransmit the second hole in the same
+     recovery round — no RTO may fire. *)
+  let data_seen = ref 0 in
+  let mangle _ s =
+    if String.length s > 1000 then begin
+      incr data_seen;
+      if !data_seen = 5 || !data_seen = 7 then begin
+        let b = Bytes.of_string s in
+        Bytes.set b 0 '\xff';
+        Bytes.to_string b
+      end
+      else s
+    end
+    else s
+  in
+  let w = make_world ~mangle ~max_tsdu:32_768 () in
+  connect w;
+  let got = Buffer.create 32_768 in
+  collect_into w got;
+  let payload = stream_payload 30_000 21 in
+  stream_all w [ payload ];
+  check_s "two-hole flight byte-exact" payload (Buffer.contents got);
+  let sa = Socket.stats w.a and sb = Socket.stats w.b in
+  checkb "both segments were wrecked" true (!data_seen >= 7);
+  checkb "fast retransmit opened recovery" true (sa.Socket.fast_retransmits >= 1);
+  checkb "scoreboard filled a further hole" true (sa.Socket.sack_retransmits >= 1);
+  check "no RTO fallback" 0 sa.Socket.rto_fallbacks;
+  checkb "receiver reported its stash" true (sb.Socket.sack_blocks_tx >= 1);
+  checkb "sender accepted the blocks" true (sa.Socket.sack_blocks_rx >= 1);
+  check "an honest stash never produces invalid blocks" 0 sa.Socket.sack_invalid;
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_sack_impaired_grid_agreement () =
+  (* Scoreboard-vs-stash agreement: across a seeded impairment grid,
+     every SACK block the receiver's stash emits must be acceptable to
+     the sender's scoreboard (sack_invalid = 0 — loss, reordering and
+     duplication can delay or repeat honest feedback but never forge
+     it), and delivery stays byte-exact. *)
+  List.iter
+    (fun (loss_rate, jitter_us, dup_rate, seed) ->
+      let w = make_world ~loss_rate ~jitter_us ~dup_rate ~seed ~max_tsdu:8192 () in
+      connect w;
+      if Socket.state w.a = Socket.Established then begin
+        let got = Buffer.create 32_768 in
+        collect_into w got;
+        let tsdus = List.init 4 (fun k -> stream_payload 6000 (seed + k)) in
+        stream_all w tsdus;
+        match (Socket.failure w.a, Socket.failure w.b) with
+        | None, None ->
+            check_s
+              (Printf.sprintf "seed %d byte-exact" seed)
+              (String.concat "" tsdus) (Buffer.contents got);
+            check
+              (Printf.sprintf "seed %d: no honest block rejected" seed)
+              0 (Socket.stats w.a).Socket.sack_invalid
+        | Some _, _ | _, Some _ -> () (* typed abort is a legal outcome *)
+      end)
+    [ (0.1, 0.0, 0.0, 3);
+      (0.05, 1500.0, 0.0, 19);
+      (0.15, 800.0, 0.1, 42);
+      (0.08, 300.0, 0.25, 77) ]
+
+let test_sack_reneging_rto_recovery () =
+  (* Lose one segment so the scoreboard fills with SACK hints, then
+     blackhole the wire across several RTO intervals: the timeout must
+     treat the scoreboard as hints only (RFC 2018 §8 — clear it and
+     resend from snd_una), and the stream must still complete byte-exact
+     once the wire heals. *)
+  let data_seen = ref 0 in
+  let blackhole = ref false in
+  let mangle _ s =
+    let wreck () =
+      let b = Bytes.of_string s in
+      Bytes.set b 0 '\xff';
+      Bytes.to_string b
+    in
+    if !blackhole then wreck ()
+    else if String.length s > 1000 then begin
+      incr data_seen;
+      if !data_seen = 5 then wreck () else s
+    end
+    else s
+  in
+  let w = make_world ~mangle ~max_tsdu:16_384 () in
+  connect w;
+  let got = Buffer.create 16_384 in
+  collect_into w got;
+  let payload = stream_payload 12_000 8 in
+  (match stream_tsdu w payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send_stream refused: %s" (send_error_to_string e));
+  (* Let the flight (minus the hole) out and the SACKs back... *)
+  Simclock.advance w.clock 100.0;
+  (* ...then take the wire down across the RTO and its first backoffs. *)
+  blackhole := true;
+  for _ = 1 to 8 do
+    Simclock.advance w.clock 2_000.0
+  done;
+  blackhole := false;
+  pump_until w (fun () -> Buffer.length got >= 12_000);
+  Simclock.run_until_idle w.clock;
+  check_s "recovered byte-exact after reneging-grade feedback loss" payload
+    (Buffer.contents got);
+  let sa = Socket.stats w.a in
+  checkb "the scoreboard held hints before the blackout" true
+    (sa.Socket.sack_blocks_rx >= 1);
+  checkb "the RTO was the recovery of last resort" true
+    (sa.Socket.rto_fallbacks >= 1);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+(* Rebuild the pure acks of one direction with a forged header: the
+   lying receiver's NIC.  [rewrite h] returns [None] to pass the
+   datagram through untouched or [Some hs] to replace it (checksums are
+   recomputed, so the forgeries survive the server's validation up to
+   the SACK/ack checks under test). *)
+let tamper_pure_acks ~port rewrite d =
+  match Ilp_netsim.Ipv4.decapsulate d.Datagram.payload with
+  | Error _ -> [ d ]
+  | Ok (ip, seg) ->
+      if d.Datagram.src_port <> port then [ d ]
+      else (
+        match Tcp_header.of_string seg ~pos:0 with
+        | Error _ -> [ d ]
+        | Ok h ->
+            let pure =
+              Tcp_header.has h Tcp_header.ack_flag
+              && (not (Tcp_header.has h Tcp_header.syn))
+              && (not (Tcp_header.has h Tcp_header.fin))
+              && (not (Tcp_header.has h Tcp_header.rst))
+              && String.length seg = Tcp_header.wire_size h
+            in
+            if not pure then [ d ]
+            else
+              match rewrite h with
+              | None -> [ d ]
+              | Some hs ->
+                  List.map
+                    (fun h' ->
+                      let ck =
+                        Tcp_header.checksum h'
+                          ~payload_acc:Ilp_checksum.Internet.empty
+                          ~payload_len:0
+                      in
+                      let seg' =
+                        Tcp_header.to_string { h' with Tcp_header.checksum = ck }
+                      in
+                      let ip' =
+                        Ilp_netsim.Ipv4.make ~ident:ip.Ilp_netsim.Ipv4.ident
+                          ~src:ip.Ilp_netsim.Ipv4.src ~dst:ip.Ilp_netsim.Ipv4.dst
+                          ~payload_len:(String.length seg') ()
+                      in
+                      Datagram.create ~src_port:d.Datagram.src_port
+                        ~dst_port:d.Datagram.dst_port
+                        ~payload:(Ilp_netsim.Ipv4.encapsulate ip' seg'))
+                    hs)
+
+let run_lied_to_transfer ~tamper ~bytes =
+  let w = make_world ~tamper ~max_tsdu:16_384 () in
+  connect w;
+  let got = Buffer.create bytes in
+  collect_into w got;
+  let payload = stream_payload bytes 33 in
+  stream_all w [ payload ];
+  (w, payload, Buffer.contents got)
+
+let test_sack_forged_beyond_sndnxt_rejected () =
+  (* Every ack claims a SACK block far beyond anything the sender ever
+     transmitted.  Each forged block must be dropped and counted, and
+     the transfer must still complete byte-exact on the cumulative
+     acks. *)
+  let tamper =
+    tamper_pure_acks ~port:200 (fun h ->
+        Some
+          [ { h with
+              Tcp_header.sack =
+                [ (h.Tcp_header.ack + 1_000_000, h.Tcp_header.ack + 1_001_448) ]
+            } ])
+  in
+  let w, payload, got = run_lied_to_transfer ~tamper ~bytes:12_000 in
+  check_s "transfer survives the lying feedback" payload got;
+  let sa = Socket.stats w.a in
+  checkb "forgeries actually happened" true
+    ((Link.stats w.link).Link.tampered > 0);
+  checkb "every forged block was rejected and counted" true
+    (sa.Socket.sack_invalid > 0);
+  check "none entered the scoreboard" 0 sa.Socket.sack_blocks_rx;
+  checkb "no abort (the lie is counted, not fatal)" true
+    (Socket.failure w.a = None)
+
+let test_sack_overlapping_blocks_rejected () =
+  (* Blocks of one ack that overlap each other are structurally
+     impossible from an honest stash; at least one of each pair must be
+     rejected whatever the current snd_nxt. *)
+  let tamper =
+    tamper_pure_acks ~port:200 (fun h ->
+        let a = h.Tcp_header.ack in
+        Some [ { h with Tcp_header.sack = [ (a + 1, a + 9); (a + 5, a + 13) ] } ])
+  in
+  let w, payload, got = run_lied_to_transfer ~tamper ~bytes:12_000 in
+  check_s "transfer survives overlapping-block acks" payload got;
+  checkb "overlaps were rejected and counted" true
+    ((Socket.stats w.a).Socket.sack_invalid > 0);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_optimistic_ack_aborts () =
+  (* One ack acknowledging data never sent: the classic optimistic-ack
+     attack on the congestion clock.  The sender must refuse to be
+     driven by the forged clock and abort with the typed reason. *)
+  let fired = ref false in
+  let tamper =
+    tamper_pure_acks ~port:200 (fun h ->
+        if !fired then None
+        else begin
+          fired := true;
+          Some [ { h with Tcp_header.ack = h.Tcp_header.ack + 100_000 } ]
+        end)
+  in
+  let w = make_world ~tamper ~max_tsdu:16_384 () in
+  connect w;
+  let aborted = ref [] in
+  Socket.set_on_abort w.a (fun r -> aborted := r :: !aborted);
+  let got = Buffer.create 16_384 in
+  collect_into w got;
+  stream_all w [ stream_payload 12_000 14 ];
+  checkb "the forged ack went out" true !fired;
+  checkb "typed failure" true (Socket.failure w.a = Some Socket.Misbehaving_peer);
+  checkb "socket closed" true (Socket.state w.a = Socket.Closed);
+  checkb "callback fired exactly once" true
+    (!aborted = [ Socket.Misbehaving_peer ])
+
+let test_ack_division_no_cwnd_inflation () =
+  (* A receiver splitting each segment's acknowledgement into four tiny
+     acks (ack division) tries to inflate a packet-counted congestion
+     window fourfold.  Byte-counted growth (RFC 3465) must award the
+     divided run no more window than the honest one. *)
+  let run ~divide =
+    let tamper =
+      tamper_pure_acks ~port:200 (fun h ->
+          let a = h.Tcp_header.ack in
+          if not divide then None
+          else
+            Some
+              [ { h with Tcp_header.ack = a - 3 };
+                { h with Tcp_header.ack = a - 2 };
+                { h with Tcp_header.ack = a - 1 };
+                h ])
+    in
+    let w = make_world ~tamper ~max_tsdu:16_384 () in
+    connect w;
+    let got = Buffer.create 16_384 in
+    collect_into w got;
+    let payload = stream_payload 16_000 27 in
+    stream_all w [ payload ];
+    check_s "transfer byte-exact" payload (Buffer.contents got);
+    checkb "no abort" true (Socket.failure w.a = None);
+    (Socket.congestion_window w.a, (Socket.stats w.a).Socket.segments_received)
+  in
+  let honest_cwnd, honest_acks = run ~divide:false in
+  let divided_cwnd, divided_acks = run ~divide:true in
+  checkb "the division actually multiplied the ack stream" true
+    (divided_acks > honest_acks);
+  checkb "ack division earned no extra congestion window" true
+    (divided_cwnd <= honest_cwnd)
+
+let test_dupack_forgery_bounded () =
+  (* A receiver replicating every ack eightfold forges loss signals: the
+     spurious fast retransmits it provokes must be detected via D-SACK,
+     the recovery inflation must stay bounded by the real flight, and
+     the forged run must never end with a bigger window than the honest
+     one. *)
+  let run ~forge =
+    let tamper =
+      tamper_pure_acks ~port:200 (fun h ->
+          if forge then Some [ h; h; h; h; h; h; h; h ] else None)
+    in
+    let w = make_world ~tamper ~max_tsdu:16_384 () in
+    connect w;
+    let got = Buffer.create 16_384 in
+    collect_into w got;
+    let payload = stream_payload 16_000 18 in
+    stream_all w [ payload ];
+    check_s "transfer byte-exact" payload (Buffer.contents got);
+    checkb "no abort" true (Socket.failure w.a = None);
+    (w, Socket.congestion_window w.a)
+  in
+  let _, honest_cwnd = run ~forge:false in
+  let w, forged_cwnd = run ~forge:true in
+  let sa = Socket.stats w.a in
+  checkb "forged duplicates provoked retransmissions" true
+    (sa.Socket.retransmissions > 0);
+  checkb "D-SACK exposed them as spurious" true
+    (sa.Socket.spurious_retransmits > 0);
+  checkb "dupack forgery never ends with a bigger window" true
+    (forged_cwnd <= honest_cwnd)
+
+let test_sack_metrics_conservation () =
+  (* The registry's SACK and RTO instruments must agree with the socket
+     ledgers after a lossy transfer that exercised them all. *)
+  let before = M.snapshot M.default in
+  let w = make_world ~loss_rate:0.12 ~dup_rate:0.15 ~seed:61 ~max_tsdu:8192 () in
+  connect w;
+  let got = Buffer.create 32_768 in
+  collect_into w got;
+  let tsdus = List.init 4 (fun k -> stream_payload 6000 (80 + k)) in
+  stream_all w tsdus;
+  check_s "lossy transfer byte-exact" (String.concat "" tsdus)
+    (Buffer.contents got);
+  let after = M.snapshot M.default in
+  let sa = Socket.stats w.a and sb = Socket.stats w.b in
+  let d name = M.counter_diff after before name in
+  let both f = f sa + f sb in
+  checkb "the run exercised the scoreboard" true (sa.Socket.sack_blocks_rx > 0);
+  check "tcp.rto_fallbacks" (both (fun s -> s.Socket.rto_fallbacks))
+    (d "tcp.rto_fallbacks");
+  check "tcp.sack_blocks_rx" (both (fun s -> s.Socket.sack_blocks_rx))
+    (d "tcp.sack_blocks_rx");
+  check "tcp.sack_blocks_tx" (both (fun s -> s.Socket.sack_blocks_tx))
+    (d "tcp.sack_blocks_tx");
+  check "tcp.sack_invalid" (both (fun s -> s.Socket.sack_invalid))
+    (d "tcp.sack_invalid");
+  check "tcp.sack_retransmits" (both (fun s -> s.Socket.sack_retransmits))
+    (d "tcp.sack_retransmits");
+  check "tcp.spurious_retransmits" (both (fun s -> s.Socket.spurious_retransmits))
+    (d "tcp.spurious_retransmits")
+
+let test_sack_off_is_newreno () =
+  (* With [sack = false] the receiver attaches no blocks and the sender
+     keeps no scoreboard, but a lossy transfer still completes — the
+     NewReno baseline the benchmark gates against. *)
+  let w = make_world ~sack:false ~loss_rate:0.1 ~seed:29 ~max_tsdu:8192 () in
+  connect w;
+  let got = Buffer.create 32_768 in
+  collect_into w got;
+  let tsdus = List.init 4 (fun k -> stream_payload 6000 (50 + k)) in
+  stream_all w tsdus;
+  check_s "NewReno transfer byte-exact" (String.concat "" tsdus)
+    (Buffer.contents got);
+  let sa = Socket.stats w.a and sb = Socket.stats w.b in
+  check "receiver attached no blocks" 0 sb.Socket.sack_blocks_tx;
+  check "sender accepted none" 0 sa.Socket.sack_blocks_rx;
+  check "scoreboard idle" 0 sa.Socket.sack_retransmits
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "tcp"
@@ -1113,4 +1541,29 @@ let () =
           Alcotest.test_case "metrics conservation" `Quick
             test_stream_metrics_conservation;
           Alcotest.test_case "tracing changes nothing" `Quick
-            test_stream_tracing_changes_nothing ] ) ]
+            test_stream_tracing_changes_nothing ] );
+      ( "sack",
+        [ qc prop_sack_header_roundtrip;
+          Alcotest.test_case "malformed options rejected" `Quick
+            test_sack_option_malformed_rejected;
+          Alcotest.test_case "ooo stash auto-sizing" `Quick test_ooo_autosize;
+          Alcotest.test_case "multi-hole recovery without RTO" `Quick
+            test_sack_multi_hole_recovery;
+          Alcotest.test_case "scoreboard-vs-stash agreement grid" `Quick
+            test_sack_impaired_grid_agreement;
+          Alcotest.test_case "reneging tolerated via RTO" `Quick
+            test_sack_reneging_rto_recovery;
+          Alcotest.test_case "forged beyond-snd_nxt blocks rejected" `Quick
+            test_sack_forged_beyond_sndnxt_rejected;
+          Alcotest.test_case "overlapping blocks rejected" `Quick
+            test_sack_overlapping_blocks_rejected;
+          Alcotest.test_case "optimistic ack aborts Misbehaving_peer" `Quick
+            test_optimistic_ack_aborts;
+          Alcotest.test_case "ack division earns no window" `Quick
+            test_ack_division_no_cwnd_inflation;
+          Alcotest.test_case "dupack forgery bounded and D-SACKed" `Quick
+            test_dupack_forgery_bounded;
+          Alcotest.test_case "metrics conservation" `Quick
+            test_sack_metrics_conservation;
+          Alcotest.test_case "sack off is the NewReno baseline" `Quick
+            test_sack_off_is_newreno ] ) ]
