@@ -284,7 +284,34 @@ let mem_cmd =
                    largest size, bytes-copied ratio >= 2 on the native lanes \
                    and minor-words ratio >= 2 on the simulated lanes, with \
                    every pool balanced and disabled-path tracing \
-                   allocation-free.")
+                   allocation-free — including across a crash-resumed \
+                   transfer's aborts.")
+  in
+  (* The abort-path pool gate: crash-resumed transfers tear sockets and
+     server instances down mid-flight; every pooled buffer they held must
+     come back.  Run a few seeded crash/restart transfers and demand a
+     balanced pool from a non-vacuous run (at least one crash and one
+     resumed completion). *)
+  let crash_pool_gate () =
+    let module Soak = Ilp_app.Soak in
+    let cfg =
+      { Soak.default_crash_config with Soak.transfers = 6; file_len = 1024 }
+    in
+    match Soak.run_crash cfg with
+    | o ->
+        if o.Soak.pool_leaks <> 0 then
+          Error
+            [ Printf.sprintf
+                "crash-resume pool: %d buffers leaked across aborts"
+                o.Soak.pool_leaks ]
+        else if o.Soak.crashes = 0 || o.Soak.resumed_completed = 0 then
+          Error
+            [ Printf.sprintf
+                "crash-resume pool gate vacuous: %d crashes, %d resumed"
+                o.Soak.crashes o.Soak.resumed_completed ]
+        else Ok ()
+    | exception e ->
+        Error [ "crash-resume pool: escaped exception " ^ Printexc.to_string e ]
   in
   let run out quick check_gates =
     let config = if quick then Mtr.quick_config else Mtr.default_config in
@@ -295,11 +322,18 @@ let mem_cmd =
         Printf.printf "wrote %s\n" out;
         if not check_gates then 0
         else begin
-          match Mtr.check r with
+          let gates =
+            match (Mtr.check r, crash_pool_gate ()) with
+            | Ok (), Ok () -> Ok ()
+            | Error a, Error b -> Error (a @ b)
+            | (Error _ as e), Ok () | Ok (), (Error _ as e) -> e
+          in
+          match gates with
           | Ok () ->
               print_endline
                 "mem gates held: pooled path moves <= half the bytes and \
-                 allocates <= half the minor words";
+                 allocates <= half the minor words; pool balanced across \
+                 crash-resumed aborts";
               0
           | Error failures ->
               List.iter (fun f -> Printf.eprintf "ilpbench: mem gate: %s\n" f) failures;
@@ -472,6 +506,21 @@ let soak_cmd =
          & info [ "clients" ] ~docv:"N"
              ~doc:"Concurrent clients for the overload soak.")
   in
+  let crash =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"Crash soak instead of chaos soak: seeded node \
+                   crash/restart faults (RST or blackhole while down) \
+                   against single transfers, asserting byte-exact-or-typed \
+                   outcomes, prefix-verified resumption, dedup conservation \
+                   and timer/pool hygiene.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke variant of the crash soak: 16 transfers of a \
+                   1 kB file.")
+  in
   let verbose =
     Arg.(value & flag
          & info [ "verbose"; "v" ] ~doc:"Log every failed iteration, not just \
@@ -572,8 +621,53 @@ let soak_cmd =
         Printf.eprintf "ilpbench: %s\n" msg;
         2
   in
-  let run seed iters size machine intensity overload clients verbose =
-    if overload then run_overload seed clients size machine verbose
+  let run_crash seed size machine quick verbose =
+    let cfg =
+      { Soak.default_crash_config with
+        Soak.seed;
+        transfers = (if quick then 16 else Soak.default_crash_config.Soak.transfers);
+        file_len =
+          Option.value size
+            ~default:
+              (if quick then 1024 else Soak.default_crash_config.Soak.file_len);
+        machine }
+    in
+    let before = Ilp_obs.Metrics.snapshot Ilp_obs.Metrics.default in
+    Ilp_obs.Trace.enable ~capacity:32768 ();
+    match Soak.run_crash ~log:(filtered_log verbose) cfg with
+    | o ->
+        Ilp_obs.Trace.disable ();
+        List.iter print_endline (Soak.crash_summary_lines o);
+        (* A crash soak that never crashed or never resumed is vacuous:
+           fail it like a violated invariant so a regression in the fault
+           injection itself cannot slip through green. *)
+        let exercised = o.Soak.crashes > 0 && o.Soak.resumed_completed > 0 in
+        if Soak.crash_invariants_hold o && exercised then begin
+          print_endline
+            "crash invariant held: every transfer byte-exact or typed, \
+             resumes prefix-verified, dedup and timers conserved";
+          0
+        end
+        else begin
+          prerr_endline
+            (if exercised then "crash invariant VIOLATED"
+             else "crash soak VACUOUS: no crash/resume was exercised");
+          dump_observability before;
+          Printf.eprintf
+            "reproduce: ilpbench soak --crash --seed %d --size %d%s\n"
+            cfg.Soak.seed cfg.Soak.file_len
+            (if quick then " --quick" else "");
+          1
+        end
+    | exception Invalid_argument msg ->
+        Ilp_obs.Trace.disable ();
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  let run seed iters size machine intensity overload crash quick clients verbose
+      =
+    if crash then run_crash seed size machine quick verbose
+    else if overload then run_overload seed clients size machine verbose
     else run_chaos seed iters size machine intensity verbose
   in
   Cmd.v
@@ -583,10 +677,12 @@ let soak_cmd =
           backends and all four ciphers, asserting byte-exact delivery or a \
           typed error on every iteration.  With $(b,--overload): many \
           concurrent mixed-persona clients against one shared server, \
-          asserting graceful degradation under load.")
+          asserting graceful degradation under load.  With $(b,--crash): \
+          seeded node crash/restart faults with resumable exactly-once \
+          recovery.")
     Term.(
-      const run $ seed $ iters $ size $ machine $ intensity $ overload $ clients
-      $ verbose)
+      const run $ seed $ iters $ size $ machine $ intensity $ overload $ crash
+      $ quick $ clients $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)

@@ -1,6 +1,7 @@
 module Link = Ilp_netsim.Link
 module Simclock = Ilp_netsim.Simclock
 module Demux = Ilp_netsim.Demux
+module Crashplan = Ilp_netsim.Crashplan
 module Datagram = Ilp_netsim.Datagram
 module Ipv4 = Ilp_netsim.Ipv4
 module Socket = Ilp_tcp.Socket
@@ -693,6 +694,453 @@ let overload_summary_lines o =
       o.forged_acks o.forged_rejections
       (if o.forgery_unpunished then "  UNPUNISHED" else "");
     Printf.sprintf "server                %d replies abandoned" o.replies_abandoned;
+    Printf.sprintf "buffer pool           %d leaks%s" o.pool_leaks
+      (if o.pool_leaks > 0 then "  VIOLATED" else "") ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash soak: seeded node crash/restart faults against one transfer *)
+
+type crash_config = {
+  seed : int;
+  transfers : int;
+  file_len : int;
+  machine : Ilp_memsim.Config.t;
+  deadline_us : float;
+}
+
+let default_crash_config =
+  { seed = 1;
+    transfers = 64;
+    file_len = 2048;
+    machine = Ilp_memsim.Config.ss10_30;
+    deadline_us = 30_000_000.0 }
+
+type crash_outcome = {
+  transfers : int;
+  completed : int;
+  resumed_completed : int;
+  typed_failures : int;
+  escaped_exceptions : int;
+  silent_outcomes : int;
+  restarts_from_zero : int;
+  stale_timers : int;
+  dedup_violations : int;
+  crashes : int;
+  resets_while_down : int;
+  swallowed : int;
+  keepalive_probes : int;
+  reset_aborts : int;
+  reconnects : int;
+  resumes : int;
+  dedup_hits : int;
+  executions : int;
+  crc_probes : int;
+  pool_leaks : int;
+}
+
+let crash_invariants_hold o =
+  o.escaped_exceptions = 0 && o.silent_outcomes = 0
+  && o.restarts_from_zero = 0 && o.stale_timers = 0
+  && o.dedup_violations = 0 && o.pool_leaks = 0
+
+(* One transfer against a server that dies and comes back on a seeded
+   schedule.  The fault-model invariant, per seed: the file arrives
+   byte-exact (possibly resumed across restarts) or the client holds a
+   typed failure — a crash never ends in a silent hang; a resume never
+   restarts from byte zero when a verified prefix exists; the dedup
+   ledger and the buffer pool balance; every crash teardown leaves zero
+   owned timers on the clock. *)
+let run_crash ?(log = fun _ -> ()) (cfg : crash_config) =
+  if cfg.transfers < 0 then
+    invalid_arg "Soak.run_crash: transfers must be >= 0";
+  if cfg.file_len < 64 then
+    invalid_arg "Soak.run_crash: file_len must be >= 64";
+  if cfg.deadline_us <= 0.0 then
+    invalid_arg "Soak.run_crash: deadline_us must be positive";
+  let st = prng_create cfg.seed in
+  let completed = ref 0
+  and resumed_completed = ref 0
+  and typed = ref 0
+  and escaped = ref 0
+  and silent = ref 0
+  and restarts_zero = ref 0
+  and stale = ref 0
+  and dedup_viol = ref 0
+  and crashes = ref 0
+  and resets = ref 0
+  and swallowed = ref 0
+  and ka_probes = ref 0
+  and reset_aborts = ref 0
+  and reconnects = ref 0
+  and resumes = ref 0
+  and dedup_hits = ref 0
+  and executions = ref 0
+  and crc_probes = ref 0
+  and pool_leaks = ref 0 in
+  for i = 0 to cfg.transfers - 1 do
+    let mode = if i land 1 = 0 then Engine.Ilp else Engine.Separate in
+    let data_path =
+      if (i lsr 1) land 1 = 0 then Engine.Pooled else Engine.Legacy
+    in
+    let crc = (i lsr 2) land 1 = 0 in
+    let copies = if (i lsr 3) land 1 = 0 then 1 else 2 in
+    (* The seeded fault draw: trigger (wall-clock offsets or the Nth
+       packet the server receives), downtime, crash count, and whether
+       the dead address answers RST or black-holes. *)
+    let on_packet = prng_float st < 0.7 in
+    let trigger_n = 5 + prng_int st 10 in
+    let down_us = 4_000.0 +. (26_000.0 *. prng_float st) in
+    let max_crashes = 1 + prng_int st 2 in
+    let rst_while_down = prng_float st < 0.5 in
+    let crash_times =
+      Crashplan.seeded_times
+        ~seed:((cfg.seed * 8191) + i)
+        ~crashes:max_crashes ~horizon_us:6_000.0
+    in
+    let tag verdict =
+      Printf.sprintf "xfer %3d  %-8s %-6s copies %d  %-9s %-9s  %s" i
+        (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
+        (match data_path with
+        | Engine.Pooled -> "pooled"
+        | Engine.Legacy -> "legacy")
+        copies
+        (if on_packet then Printf.sprintf "pkt %d" trigger_n else "timed")
+        (if rst_while_down then "rst" else "blackhole")
+        verdict
+    in
+    match
+      let sim = Sim.create cfg.machine in
+      let clock = Simclock.create () in
+      let demux = Demux.create () in
+      let link = ref None in
+      let wire_out d = Link.send (Option.get !link) d in
+      link :=
+        Some
+          (Link.create clock ~delay_us:40.0 ~seed:(cfg.seed + i)
+             ~deliver:(Demux.deliver demux) ());
+      let pool = Ilp_fastpath.Pool.create () in
+      let engines = ref [] in
+      let engine () =
+        let e =
+          Engine.create sim
+            ~cipher:(Ilp_cipher.Safer_simplified.charged sim ~key:"soakCRSH" ())
+            ~mode ~crc32:crc ~data_path ~pool ()
+        in
+        engines := e :: !engines;
+        e
+      in
+      let max_reply = 256 in
+      let cfg_sock =
+        { Socket.default_config with
+          mss = max_reply + 256;
+          stall_deadline_us = 2_000_000.0 }
+      in
+      let file = Workload.generate ~len:cfg.file_len ~seed:(5 + i) in
+      let addr = Workload.install sim file in
+      (* The crash-surviving state: files and the dedup cache outlive
+         every server instance. *)
+      let store = Rpc_server.create_store () in
+      let server = ref None in
+      let srv_socks = ref [] in
+      let probes_total = ref 0 in
+      let stale_here = ref 0 in
+      let kill () =
+        (match !server with
+        | Some s ->
+            probes_total := !probes_total + Rpc_server.probes_received s;
+            Rpc_server.shutdown s;
+            if
+              Simclock.pending_count clock ~owner:(Rpc_server.timer_owner s)
+              <> 0
+            then incr stale_here;
+            server := None
+        | None -> ());
+        List.iter
+          (fun s ->
+            Socket.destroy s;
+            if Simclock.pending_count clock ~owner:(Socket.timer_owner s) <> 0
+            then incr stale_here)
+          !srv_socks;
+        srv_socks := []
+      in
+      let revive () =
+        server := Some (Rpc_server.create ~clock ~engine:(engine ()) ~store ())
+      in
+      revive ();
+      Rpc_server.add_file (Option.get !server) ~name:"crash.bin" ~addr
+        ~len:cfg.file_len;
+      let plan =
+        Crashplan.create clock ~max_crashes
+          ~schedule:
+            (if on_packet then Crashplan.On_packet trigger_n
+             else Crashplan.At_times crash_times)
+          ~down_us
+          ~behaviour:
+            (if rst_while_down then
+               Crashplan.Respond { reply = Socket.reset_for; send = wire_out }
+             else Crashplan.Blackhole)
+          ~kill ~revive ()
+      in
+      let all_socks = ref [] in
+      let gen = ref 0 in
+      (* Stand up one connection generation: fresh ports both sides, the
+         server's two guarded by the crash plan, the pair attached to the
+         current server instance. *)
+      let establish () =
+        let base = 1000 + (4 * !gen) in
+        incr gen;
+        let mk port = Socket.create sim clock cfg_sock ~local_port:port ~wire_out in
+        let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
+        let srv_data = mk (base + 2) and cli_data = mk (base + 3) in
+        Demux.bind demux ~port:base
+          (Crashplan.guard plan ~deliver:(Socket.handle_datagram srv_ctrl));
+        Demux.bind demux ~port:(base + 2)
+          (Crashplan.guard plan ~deliver:(Socket.handle_datagram srv_data));
+        Demux.bind demux ~port:(base + 1) (Socket.handle_datagram cli_ctrl);
+        Demux.bind demux ~port:(base + 3) (Socket.handle_datagram cli_data);
+        ignore
+          (Rpc_server.attach (Option.get !server) ~ctrl:srv_ctrl ~data:srv_data);
+        srv_socks := [ srv_ctrl; srv_data ];
+        all_socks := srv_ctrl :: cli_ctrl :: srv_data :: cli_data :: !all_socks;
+        Socket.listen srv_ctrl;
+        Socket.listen cli_data;
+        Socket.connect cli_ctrl ~remote_port:base;
+        Socket.connect srv_data ~remote_port:(base + 3);
+        (cli_ctrl, cli_data)
+      in
+      let watch_data d =
+        (* Half-open detection: a crashed-and-restarted (or still dead)
+           server answers the probe with RST or stays silent; either way
+           the client gets a typed abort instead of a silent hang. *)
+        Socket.start_keepalive d ~interval_us:15_000.0 ~probes:3
+          ~on_result:(fun _ -> ())
+          ()
+      in
+      let c0, d0 = establish () in
+      let cur = ref (c0, d0) in
+      let client =
+        Rpc_client.create ~clock ~seed:(cfg.seed + (2 * i) + 1) ~idempotent:true
+          ~engine:(engine ()) ~ctrl:c0 ~data:d0 ()
+      in
+      let hs = ref 2_000 in
+      while
+        (Socket.state c0 <> Socket.Established
+        || Socket.state d0 <> Socket.Established)
+        && Socket.failure c0 = None
+        && Socket.failure d0 = None
+        && !hs > 0
+      do
+        decr hs;
+        Simclock.advance clock 100.0
+      done;
+      let local_refused = ref false in
+      (match
+         Rpc_client.request_file client ~name:"crash.bin" ~copies ~max_reply
+           ~expected:file
+       with
+      | Ok () -> watch_data d0
+      | Error _ -> local_refused := true);
+      (* The recovery supervisor, run between clock steps: when the
+         client holds a typed failure and the server host is back up,
+         stand up a new generation and resume via Rpc_client.reconnect.
+         A generation that cannot establish (the host crashed again
+         mid-handshake) is torn down and retried. *)
+      let max_generations = max_crashes + 4 in
+      let pending = ref None in
+      let retire (c, d) =
+        if not (Socket.destroyed c) then Socket.destroy c;
+        if not (Socket.destroyed d) then Socket.destroy d
+      in
+      let terminal () =
+        !local_refused
+        || Rpc_client.transfer_complete client
+        || Rpc_client.rejected client
+        || Rpc_client.errors client <> []
+        || (Rpc_client.failure client <> None
+           && !pending = None
+           && !gen >= max_generations)
+      in
+      let guard_steps = ref 200_000 in
+      while
+        (not (terminal ()))
+        && Simclock.now clock < cfg.deadline_us
+        && !guard_steps > 0
+      do
+        decr guard_steps;
+        Simclock.advance clock 500.0;
+        match !pending with
+        | Some ((c, d), since) ->
+            if
+              Socket.state c = Socket.Established
+              && Socket.state d = Socket.Established
+            then begin
+              (match Rpc_client.reconnect client ~ctrl:c ~data:d with
+              | Ok s ->
+                  (match s.Rpc_client.resumed_from with
+                  | Some (0, 0) when s.Rpc_client.bytes_verified > 0 ->
+                      incr restarts_zero
+                  | None
+                    when s.Rpc_client.bytes_verified > 0
+                         && not (Rpc_client.transfer_complete client) ->
+                      incr restarts_zero
+                  | _ -> ());
+                  retire !cur;
+                  cur := (c, d);
+                  watch_data d
+              | Error _ -> retire (c, d));
+              pending := None
+            end
+            else if
+              Socket.failure c <> None
+              || Socket.failure d <> None
+              || Simclock.now clock > since +. 3_000_000.0
+            then begin
+              retire (c, d);
+              pending := None
+            end
+        | None ->
+            if
+              (not (Rpc_client.transfer_complete client))
+              && Rpc_client.failure client <> None
+              && Crashplan.is_up plan
+              && !server <> None
+              && !gen < max_generations
+            then pending := Some (establish (), Simclock.now clock)
+      done;
+      (* Teardown: cancel the plan, flatten every endpoint, drain the
+         wire, then audit the clock, the dedup ledger and the pool. *)
+      Crashplan.stop plan;
+      if Simclock.pending_count clock ~owner:(Crashplan.timer_owner plan) <> 0
+      then incr stale_here;
+      (match !server with
+      | Some s ->
+          probes_total := !probes_total + Rpc_server.probes_received s;
+          Rpc_server.shutdown s
+      | None -> ());
+      List.iter
+        (fun s -> if not (Socket.destroyed s) then Socket.destroy s)
+        !all_socks;
+      Simclock.run_until_idle clock;
+      let complete =
+        Rpc_client.transfer_complete client && Rpc_client.errors client = []
+      in
+      let client_typed =
+        !local_refused
+        || Rpc_client.rejected client
+        || Rpc_client.failure client <> None
+        || Rpc_client.errors client <> []
+      in
+      let verdict =
+        if complete then begin
+          if Rpc_client.bytes_received client <> copies * cfg.file_len then begin
+            incr silent;
+            "SILENT CORRUPTION: complete without byte-exact delivery"
+          end
+          else begin
+            incr completed;
+            if Rpc_client.reconnects client > 0 then begin
+              incr resumed_completed;
+              "completed byte-exact (resumed)"
+            end
+            else "completed byte-exact"
+          end
+        end
+        else if client_typed then begin
+          incr typed;
+          match Rpc_client.failure client with
+          | Some f -> "typed: " ^ Rpc_client.failure_to_string f
+          | None ->
+              if Rpc_client.rejected client then "typed: rejected"
+              else if !local_refused then "typed: local refusal"
+              else "typed: " ^ String.concat "; " (Rpc_client.errors client)
+        end
+        else begin
+          incr silent;
+          "SILENT: neither complete nor typed past the deadline"
+        end
+      in
+      if
+        Rpc_server.executions store + Rpc_server.dedup_hits store
+        + Rpc_server.dedup_sheds store
+        <> Rpc_server.id_requests_seen store
+      then begin
+        incr dedup_viol;
+        log (tag "DEDUP LEDGER MISMATCH")
+      end;
+      if !stale_here > 0 then begin
+        stale := !stale + !stale_here;
+        log (tag (Printf.sprintf "STALE TIMERS: %d owners" !stale_here))
+      end;
+      crashes := !crashes + Crashplan.crashes plan;
+      resets := !resets + Crashplan.resets plan;
+      swallowed := !swallowed + Crashplan.swallowed plan;
+      reconnects := !reconnects + Rpc_client.reconnects client;
+      resumes := !resumes + Rpc_client.resumes client;
+      dedup_hits := !dedup_hits + Rpc_server.dedup_hits store;
+      executions := !executions + Rpc_server.executions store;
+      crc_probes := !crc_probes + !probes_total;
+      List.iter
+        (fun s ->
+          ka_probes := !ka_probes + (Socket.stats s).Socket.keepalive_probes;
+          if Socket.failure s = Some Socket.Connection_reset then
+            incr reset_aborts)
+        !all_socks;
+      List.iter Engine.destroy !engines;
+      let leaked = Ilp_fastpath.Pool.outstanding pool in
+      if leaked <> 0 then begin
+        pool_leaks := !pool_leaks + leaked;
+        log (tag (Printf.sprintf "POOL LEAK: %d buffers outstanding" leaked))
+      end;
+      log (tag verdict)
+    with
+    | () -> ()
+    | exception (Invalid_argument _ as e) -> raise e
+    | exception e ->
+        incr escaped;
+        log (tag ("ESCAPED EXCEPTION: " ^ Printexc.to_string e))
+  done;
+  { transfers = cfg.transfers;
+    completed = !completed;
+    resumed_completed = !resumed_completed;
+    typed_failures = !typed;
+    escaped_exceptions = !escaped;
+    silent_outcomes = !silent;
+    restarts_from_zero = !restarts_zero;
+    stale_timers = !stale;
+    dedup_violations = !dedup_viol;
+    crashes = !crashes;
+    resets_while_down = !resets;
+    swallowed = !swallowed;
+    keepalive_probes = !ka_probes;
+    reset_aborts = !reset_aborts;
+    reconnects = !reconnects;
+    resumes = !resumes;
+    dedup_hits = !dedup_hits;
+    executions = !executions;
+    crc_probes = !crc_probes;
+    pool_leaks = !pool_leaks }
+
+let crash_summary_lines o =
+  [ Printf.sprintf "transfers             %d" o.transfers;
+    Printf.sprintf "byte-exact transfers  %d (%d resumed across a restart)"
+      o.completed o.resumed_completed;
+    Printf.sprintf "typed outcomes        %d" o.typed_failures;
+    Printf.sprintf "escaped exceptions    %d" o.escaped_exceptions;
+    Printf.sprintf "silent outcomes       %d%s" o.silent_outcomes
+      (if o.silent_outcomes > 0 then "  VIOLATED" else "");
+    Printf.sprintf "restarts from zero    %d%s" o.restarts_from_zero
+      (if o.restarts_from_zero > 0 then "  VIOLATED" else "");
+    Printf.sprintf "stale timers          %d%s" o.stale_timers
+      (if o.stale_timers > 0 then "  VIOLATED" else "");
+    Printf.sprintf "dedup ledger          %d hits, %d executions, %d violations%s"
+      o.dedup_hits o.executions o.dedup_violations
+      (if o.dedup_violations > 0 then "  VIOLATED" else "");
+    Printf.sprintf "crashes               %d (%d RSTs while down, %d swallowed)"
+      o.crashes o.resets_while_down o.swallowed;
+    Printf.sprintf "recovery              %d reconnects, %d resumes, %d CRC probes"
+      o.reconnects o.resumes o.crc_probes;
+    Printf.sprintf "half-open detection   %d keepalive probes, %d reset aborts"
+      o.keepalive_probes o.reset_aborts;
     Printf.sprintf "buffer pool           %d leaks%s" o.pool_leaks
       (if o.pool_leaks > 0 then "  VIOLATED" else "") ]
 

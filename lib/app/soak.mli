@@ -165,3 +165,73 @@ val overload_invariants_hold : overload_outcome -> bool
 val run_overload : ?log:(string -> unit) -> overload_config -> overload_outcome
 
 val overload_summary_lines : overload_outcome -> string list
+
+(** {2 Crash soak}
+
+    Seeded node crash/restart faults against single transfers: a
+    {!Ilp_netsim.Crashplan} kills the server host mid-transfer (on a
+    timed schedule or its Nth received packet; the dead address either
+    answers RST or black-holes), restarts it after a seeded downtime,
+    and a recovery supervisor hands the client fresh connections to
+    resume over.  The fault-model invariant, per seed:
+
+    {e the file arrives byte-exact — possibly resumed across restarts
+    from a CRC-verified prefix, never from byte zero — or the client
+    holds a typed failure; every crash teardown leaves zero owned
+    timers; the at-most-once dedup ledger and the buffer pool balance.} *)
+
+type crash_config = {
+  seed : int;
+  transfers : int;  (** independent seeded crash/restart transfers *)
+  file_len : int;
+  machine : Ilp_memsim.Config.t;
+  deadline_us : float;  (** virtual-time budget per transfer *)
+}
+
+(** 64 transfers of a 2 kB file on the SS10/30 model. *)
+val default_crash_config : crash_config
+
+type crash_outcome = {
+  transfers : int;
+  completed : int;
+  resumed_completed : int;
+      (** completed byte-exact after at least one reconnect *)
+  typed_failures : int;
+  escaped_exceptions : int;
+      (** invariant violation: an exception crossed the stack *)
+  silent_outcomes : int;
+      (** invariant violation: a transfer ended neither complete nor
+          typed within the deadline — a crash that was never surfaced *)
+  restarts_from_zero : int;
+      (** invariant violation: a resume re-started from byte zero while
+          a verified prefix existed *)
+  stale_timers : int;
+      (** invariant violation: owned timers still pending after a crash
+          teardown (server shutdown, socket destroy, or plan stop) *)
+  dedup_violations : int;
+      (** invariant violation: [executions + dedup_hits + dedup_sheds
+          <> id_requests_seen] on some iteration's store *)
+  crashes : int;
+  resets_while_down : int;  (** RSTs the dead address answered with *)
+  swallowed : int;  (** datagrams that died with the host *)
+  keepalive_probes : int;
+  reset_aborts : int;  (** sockets aborted [Connection_reset] *)
+  reconnects : int;
+  resumes : int;  (** resume requests actually sent *)
+  dedup_hits : int;
+  executions : int;
+  crc_probes : int;  (** CRC prefix probes the servers answered *)
+  pool_leaks : int;
+      (** invariant violation: buffers outstanding after teardown *)
+}
+
+(** No escaped exceptions, no silent outcomes, no restart-from-zero, no
+    stale timers, dedup ledger conserved, pool balanced. *)
+val crash_invariants_hold : crash_outcome -> bool
+
+(** [run_crash ?log cfg] executes [cfg.transfers] independent seeded
+    crash/restart transfers; [log] receives one verdict line per
+    transfer.  Raises [Invalid_argument] on an out-of-range config. *)
+val run_crash : ?log:(string -> unit) -> crash_config -> crash_outcome
+
+val crash_summary_lines : crash_outcome -> string list

@@ -5,12 +5,15 @@ module Key = struct
     match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
 end
 
+type event = { owner : int; fn : unit -> unit }
+
 module Events = Map.Make (Key)
 
 type t = {
   mutable now : float;
-  mutable events : (unit -> unit) Events.t;
+  mutable events : event Events.t;
   mutable next_seq : int;
+  mutable next_owner : int;
   event_budget : int;
 }
 
@@ -26,15 +29,22 @@ let () =
 
 let create ?(event_budget = 1_000_000) () =
   if event_budget <= 0 then invalid_arg "Simclock.create: event_budget";
-  { now = 0.0; events = Events.empty; next_seq = 0; event_budget }
+  { now = 0.0; events = Events.empty; next_seq = 0; next_owner = 1; event_budget }
 
 let now t = t.now
 
-let schedule t ~after f =
+let anonymous = 0
+
+let fresh_owner t =
+  let o = t.next_owner in
+  t.next_owner <- t.next_owner + 1;
+  o
+
+let schedule t ?(owner = anonymous) ~after f =
   let at = t.now +. Float.max 0.0 after in
   let key = { Key.at; seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
-  t.events <- Events.add key f t.events;
+  t.events <- Events.add key { owner; fn = f } t.events;
   { clock = t; key; live = true }
 
 let cancel timer =
@@ -48,10 +58,10 @@ let is_pending timer = timer.live && Events.mem timer.key timer.clock.events
 let fire_next t =
   match Events.min_binding_opt t.events with
   | None -> false
-  | Some (key, f) ->
+  | Some (key, ev) ->
       t.events <- Events.remove key t.events;
       t.now <- Float.max t.now key.Key.at;
-      f ();
+      ev.fn ();
       true
 
 let advance t dt =
@@ -59,10 +69,10 @@ let advance t dt =
   let horizon = t.now +. dt in
   let rec loop () =
     match Events.min_binding_opt t.events with
-    | Some (key, f) when key.Key.at <= horizon ->
+    | Some (key, ev) when key.Key.at <= horizon ->
         t.events <- Events.remove key t.events;
         t.now <- Float.max t.now key.Key.at;
-        f ();
+        ev.fn ();
         loop ()
     | Some _ | None -> t.now <- horizon
   in
@@ -79,3 +89,6 @@ let run_until_idle ?max_events t =
   done
 
 let pending t = Events.cardinal t.events
+
+let pending_count t ~owner =
+  Events.fold (fun _ ev n -> if ev.owner = owner then n + 1 else n) t.events 0

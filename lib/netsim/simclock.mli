@@ -22,9 +22,22 @@ val now : t -> float
 
 type timer
 
-(** [schedule t ~after f] runs [f] once, [after] microseconds from now
-    (clamped to now for negative values). *)
-val schedule : t -> after:float -> (unit -> unit) -> timer
+(** The owner tag carried by events scheduled without an explicit [?owner]
+    (its value is [0]).  Infrastructure events (link deliveries, test
+    driders) normally stay anonymous; stateful components that must prove
+    they cancelled everything on teardown tag their timers with a fresh
+    owner id. *)
+val anonymous : int
+
+(** Allocate a fresh, never-reused owner id (always positive) for tagging
+    scheduled events.  Used by components (e.g. a TCP socket) so tests can
+    assert [pending_count t ~owner = 0] after teardown. *)
+val fresh_owner : t -> int
+
+(** [schedule t ?owner ~after f] runs [f] once, [after] microseconds from
+    now (clamped to now for negative values).  [owner] (default
+    {!anonymous}) tags the event for {!pending_count} audits. *)
+val schedule : t -> ?owner:int -> after:float -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 val is_pending : timer -> bool
@@ -41,3 +54,9 @@ val run_until_idle : ?max_events:int -> t -> unit
 
 (** Number of pending (uncancelled, unfired) events. *)
 val pending : t -> int
+
+(** [pending_count t ~owner] counts pending events tagged with [owner].
+    After a component with owner id [o] is destroyed,
+    [pending_count t ~owner:o] must be [0] or the component leaked a timer
+    (a ghost firing waiting to happen). *)
+val pending_count : t -> owner:int -> int

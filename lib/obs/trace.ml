@@ -17,12 +17,14 @@ type stage =
   | Tcp_sack_rexmit
   | Rpc_shed
   | Rpc_abandon
+  | Tcp_rst
+  | Tcp_keepalive
 
 let all_stages =
   [ Send_marshal; Send_encrypt; Send_checksum; Send_ring_copy; Send_link;
     Recv_checksum; Recv_decrypt; Recv_unmarshal; Tcp_retransmit;
     Tcp_persist_probe; Tcp_zero_window; Tcp_abort; Tcp_segment; Tcp_ack;
-    Tcp_sack; Tcp_sack_rexmit; Rpc_shed; Rpc_abandon ]
+    Tcp_sack; Tcp_sack_rexmit; Rpc_shed; Rpc_abandon; Tcp_rst; Tcp_keepalive ]
 
 let stage_index = function
   | Send_marshal -> 0
@@ -43,6 +45,8 @@ let stage_index = function
   | Tcp_sack_rexmit -> 15
   | Rpc_shed -> 16
   | Rpc_abandon -> 17
+  | Tcp_rst -> 18
+  | Tcp_keepalive -> 19
 
 let stage_of_index = Array.of_list all_stages
 
@@ -65,13 +69,16 @@ let stage_name = function
   | Tcp_sack_rexmit -> "sack-rexmit"
   | Rpc_shed -> "shed"
   | Rpc_abandon -> "abandon"
+  | Tcp_rst -> "rst"
+  | Tcp_keepalive -> "keepalive"
 
 let stage_cat = function
   | Send_marshal | Send_encrypt | Send_checksum | Send_ring_copy | Send_link ->
       "send"
   | Recv_checksum | Recv_decrypt | Recv_unmarshal -> "recv"
   | Tcp_retransmit | Tcp_persist_probe | Tcp_zero_window | Tcp_abort
-  | Tcp_segment | Tcp_ack | Tcp_sack | Tcp_sack_rexmit ->
+  | Tcp_segment | Tcp_ack | Tcp_sack | Tcp_sack_rexmit | Tcp_rst
+  | Tcp_keepalive ->
       "tcp"
   | Rpc_shed | Rpc_abandon -> "rpc"
 

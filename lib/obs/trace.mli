@@ -42,6 +42,12 @@ type stage =
           it ([arg] = sequence number) *)
   | Rpc_shed
   | Rpc_abandon
+  | Tcp_rst
+      (** a reset segment crossed this endpoint ([arg] = 1 for an RST
+          sent, 0 for one received) *)
+  | Tcp_keepalive
+      (** a keepalive probe left, or its verdict landed
+          ([arg] = unanswered probe count) *)
 
 val all_stages : stage list
 val stage_name : stage -> string

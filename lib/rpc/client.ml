@@ -6,6 +6,7 @@ module M = Ilp_obs.Metrics
 let m_busy_replies = M.counter M.default "rpc.client.busy_replies"
 let m_retries = M.counter M.default "rpc.client.retries"
 let m_reconnects = M.counter M.default "rpc.client.reconnects"
+let m_resumes = M.counter M.default "rpc.client.resumes"
 
 type transfer = {
   expected : string;
@@ -43,26 +44,41 @@ type request_params = {
   req_expected : string;
 }
 
+type reconnect_summary = {
+  resumed_from : (int * int) option;
+      (* (copy, offset) the transfer will continue from; None = from scratch *)
+  bytes_verified : int;
+  retries_consumed : int;
+}
+
 type t = {
   engine : Engine.t;
   clock : Simclock.t option;
   retry : retry_policy;
   prng : int ref;
+  owner : int;  (* Simclock owner tag on the backoff retry timer *)
+  use_ids : bool;
+  mutable next_req_id : int;
+  mutable cur_req_id : int;  (* id of the in-flight request; 0 = v1 *)
   mutable ctrl : Socket.t;
   mutable data : Socket.t;
   mutable transfer : transfer option;
   mutable last_request : request_params option;
+  mutable awaiting_probe : bool;  (* a CRC resume probe is outstanding *)
+  mutable resume_target : (int * int) option;  (* (copy, offset) it guards *)
   mutable bytes_received : int;
   mutable replies_received : int;
   mutable errors : string list;
   mutable rejected : bool;
   mutable aborted : Socket.abort_reason option;
   mutable reconnects : int;
+  mutable resumes : int;
   mutable busy_replies : int;
   mutable retries : int;
   mutable attempts : int;  (* attempts since the last fresh request *)
   mutable first_attempt_at : float option;
   mutable busy_failed : bool;
+  mutable retry_timer : Simclock.timer option;
 }
 
 let error t fmt = Printf.ksprintf (fun s -> t.errors <- s :: t.errors) fmt
@@ -80,6 +96,33 @@ let prng_next st =
 
 let prng_float st = float_of_int (prng_next st land 0xffffff) /. 16777216.0
 
+let fresh_id t =
+  let id = t.next_req_id in
+  t.next_req_id <- id + 1;
+  id
+
+(* First incomplete (copy, received-bytes) pair — the resume point; [None]
+   when every copy is fully received.  [received.(c)] is a verified
+   contiguous prefix (enforced below), so it doubles as the offset. *)
+let resume_point t =
+  match t.transfer with
+  | None -> None
+  | Some tr ->
+      let len = String.length tr.expected in
+      let rec find c =
+        if c >= tr.copies then None
+        else if tr.received.(c) < len then Some (c, tr.received.(c))
+        else find (c + 1)
+      in
+      find 0
+
+let send_ctrl t body =
+  let prepared = Engine.prepare_send_segments t.engine body in
+  Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+
+(* A from-scratch issue: resets the transfer state (the server will
+   execute from byte zero).  Keeps [cur_req_id]: a retry of the same
+   logical request carries the same idempotency id. *)
 let issue t p =
   t.transfer <-
     Some
@@ -89,12 +132,10 @@ let issue t p =
   t.bytes_received <- 0;
   t.replies_received <- 0;
   t.rejected <- false;
-  let body =
-    Messages.request_segments
-      { Messages.file_name = p.name; copies = p.req_copies; max_reply = p.max_reply }
-  in
-  let prepared = Engine.prepare_send_segments t.engine body in
-  Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
+  send_ctrl t
+    (Messages.request_segments
+       (Messages.request ~req_id:t.cur_req_id ~file_name:p.name
+          ~copies:p.req_copies ~max_reply:p.max_reply ()))
 
 (* A Busy reply (or a full send window on a retry) backs off and re-issues
    the request: exponential backoff with jitter, bounded by attempts and a
@@ -126,18 +167,59 @@ let rec schedule_retry t =
             *. (2.0 ** float_of_int (t.attempts - 1)))
         in
         let jitter = backoff *. 0.5 *. prng_float t.prng in
-        ignore
-          (Simclock.schedule clock ~after:(backoff +. jitter) (fun () ->
-               if (not t.busy_failed) && t.aborted = None then
-                 match issue t p with
-                 | Ok () -> ()
-                 | Error
-                     ( Socket.Window_full | Socket.Buffer_full
-                     | Socket.Not_established ) ->
-                     schedule_retry t
-                 | Error Socket.Message_too_big ->
-                     error t "request does not fit one segment"))
+        t.retry_timer <-
+          Some
+            (Simclock.schedule clock ~owner:t.owner ~after:(backoff +. jitter)
+               (fun () ->
+                 t.retry_timer <- None;
+                 if (not t.busy_failed) && t.aborted = None then
+                   match issue t p with
+                   | Ok () -> ()
+                   | Error
+                       ( Socket.Window_full | Socket.Buffer_full
+                       | Socket.Not_established ) ->
+                       schedule_retry t
+                   | Error Socket.Message_too_big ->
+                       error t "request does not fit one segment"))
       end
+
+(* Resume the transfer at [(start_copy, start_offset)] under a fresh
+   idempotency id — fresh because a resume is a new logical request: the
+   previous id may be cached on the server, and a cached answer would be
+   a data-less status, not the missing bytes. *)
+let rec start_resume t ~start_copy ~start_offset =
+  match t.last_request with
+  | None -> Ok ()
+  | Some p -> (
+      t.cur_req_id <- (if t.use_ids then fresh_id t else 0);
+      t.rejected <- false;
+      match
+        send_ctrl t
+          (Messages.request_segments
+             (Messages.request ~req_id:t.cur_req_id ~start_copy ~start_offset
+                ~file_name:p.name ~copies:p.req_copies ~max_reply:p.max_reply ()))
+      with
+      | Ok () ->
+          t.resumes <- t.resumes + 1;
+          M.inc m_resumes 1;
+          Ok ()
+      | Error
+          ( Socket.Window_full | Socket.Buffer_full | Socket.Not_established )
+        as e -> (
+          match t.clock with
+          | Some clock ->
+              t.retry_timer <-
+                Some
+                  (Simclock.schedule clock ~owner:t.owner
+                     ~after:t.retry.base_backoff_us (fun () ->
+                       t.retry_timer <- None;
+                       if t.aborted = None then
+                         ignore (start_resume t ~start_copy ~start_offset)));
+              Ok ()
+          | None -> e)
+      | Error Socket.Message_too_big as e ->
+          error t "resume request does not fit one segment";
+          e)
 
 (* Allocation-free slice equality:
    [expected.[off..off+len-1] = data.[doff..doff+len-1]] without the
@@ -156,11 +238,36 @@ let slice_matches expected ~off data ~doff ~len =
    a window into the pooled TSDU buffer on the single-copy path). *)
 let consume_reply t hdr ~data ~doff ~dlen =
   match hdr.Messages.status with
-  | Messages.Not_found | Messages.Refused -> t.rejected <- true
+  | Messages.Not_found | Messages.Refused ->
+      t.awaiting_probe <- false;
+      t.resume_target <- None;
+      t.rejected <- true
   | Messages.Busy ->
       t.busy_replies <- t.busy_replies + 1;
       M.inc m_busy_replies 1;
       schedule_retry t
+  | Messages.Ok when dlen = 0 ->
+      (* A data-less Ok is pure control: the verdict of an outstanding
+         CRC resume probe, or a status-only answer (the server's dedup
+         cache replaying an executed id, or a resume-at-EOF ack). *)
+      if t.awaiting_probe then begin
+        t.awaiting_probe <- false;
+        match t.resume_target with
+        | Some (c, off) ->
+            (* Prefix verified against the restarted server's file:
+               resume exactly there, never from byte zero. *)
+            t.resume_target <- None;
+            ignore (start_resume t ~start_copy:c ~start_offset:off)
+        | None -> ()
+      end
+      else (
+        (* A replayed id's cached status carries no data: whatever bytes
+           that execution sent are gone.  Re-issue from the verified
+           prefix under a fresh id (which cannot be cached, so it will
+           execute). *)
+        match resume_point t with
+        | None -> ()  (* transfer already complete — nothing to redo *)
+        | Some (c, off) -> ignore (start_resume t ~start_copy:c ~start_offset:off))
   | Messages.Ok -> (
       match t.transfer with
       | None -> error t "unsolicited reply"
@@ -170,6 +277,14 @@ let consume_reply t hdr ~data ~doff ~dlen =
           if copy < 0 || copy >= tr.copies then error t "bad copy index %d" copy
           else if off < 0 || off + dlen > String.length tr.expected then
             error t "reply out of bounds: offset %d len %d" off dlen
+          else if off <> tr.received.(copy) then
+            (* Strict contiguity: TCP delivers in order and the server
+               sends each copy sequentially from the requested resume
+               point, so any gap or overlap (e.g. a restarted server
+               wrongly re-sending from byte zero) is a protocol error,
+               not something to paper over. *)
+            error t "non-contiguous reply: offset %d, expected %d (copy %d)"
+              off tr.received.(copy) copy
           else if not (slice_matches tr.expected ~off data ~doff ~len:dlen) then
             error t "payload mismatch at offset %d (copy %d)" off copy
           else begin
@@ -211,31 +326,51 @@ let wire_sockets t =
   | Engine.Rx_integrated_style f -> Socket.set_rx_processing t.data (Socket.Rx_integrated f)
   | Engine.Rx_deferred_style f -> Socket.set_rx_processing t.data (Socket.Rx_separate f));
   Socket.set_on_message t.data (fun ~src:_ ~len -> handle_reply t ~len);
-  let record reason = if t.aborted = None then t.aborted <- Some reason in
+  let record reason =
+    if t.aborted = None then t.aborted <- Some reason;
+    (* The transfer is over on this socket pair: a pending backoff retry
+       would only re-issue into a dead connection. *)
+    Option.iter Simclock.cancel t.retry_timer;
+    t.retry_timer <- None
+  in
   Socket.set_on_abort t.ctrl record;
   Socket.set_on_abort t.data record
 
-let create ?clock ?(retry = default_retry) ?(seed = 1) ~engine ~ctrl ~data () =
+let create ?clock ?(retry = default_retry) ?(seed = 1) ?(idempotent = false)
+    ~engine ~ctrl ~data () =
   let t =
     { engine;
       clock;
       retry;
       prng = ref (((seed * 0x9e3779b1) lxor 0x2545f491) lor 1);
+      owner =
+        (match clock with
+        | Some c -> Simclock.fresh_owner c
+        | None -> Simclock.anonymous);
+      use_ids = idempotent;
+      (* Nonzero, and disjoint between clients created with distinct
+         seeds — the dedup cache is keyed on the id alone. *)
+      next_req_id = ((seed land 0x3ff) * 0x100000) + 1;
+      cur_req_id = 0;
       ctrl;
       data;
       transfer = None;
       last_request = None;
+      awaiting_probe = false;
+      resume_target = None;
       bytes_received = 0;
       replies_received = 0;
       errors = [];
       rejected = false;
       aborted = None;
       reconnects = 0;
+      resumes = 0;
       busy_replies = 0;
       retries = 0;
       attempts = 0;
       first_attempt_at = None;
-      busy_failed = false }
+      busy_failed = false;
+      retry_timer = None }
   in
   wire_sockets t;
   t
@@ -246,21 +381,79 @@ let request_file t ~name ~copies ~max_reply ~expected =
   t.attempts <- 0;
   t.first_attempt_at <- None;
   t.busy_failed <- false;
+  t.awaiting_probe <- false;
+  t.resume_target <- None;
+  t.cur_req_id <- (if t.use_ids then fresh_id t else 0);
   issue t p
 
 let reconnect t ~ctrl ~data =
   t.ctrl <- ctrl;
   t.data <- data;
   wire_sockets t;
+  Option.iter Simclock.cancel t.retry_timer;
+  t.retry_timer <- None;
   t.aborted <- None;
   t.errors <- [];
+  t.awaiting_probe <- false;
+  t.resume_target <- None;
+  (* A new connection epoch gets a fresh retry budget; [retries] keeps
+     the cumulative count for the summary. *)
+  t.attempts <- 0;
+  t.first_attempt_at <- None;
+  t.busy_failed <- false;
   t.reconnects <- t.reconnects + 1;
   M.inc m_reconnects 1;
+  let summary resumed_from =
+    { resumed_from;
+      bytes_verified = t.bytes_received;
+      retries_consumed = t.retries }
+  in
   match t.last_request with
-  | None -> Ok ()
-  | Some p ->
-      request_file t ~name:p.name ~copies:p.req_copies ~max_reply:p.max_reply
-        ~expected:p.req_expected
+  | None -> Ok (summary None)
+  | Some p -> (
+      match resume_point t with
+      | None ->
+          (* Every copy already verified: nothing to re-issue. *)
+          Ok (summary None)
+      | Some (0, 0) -> (
+          (* Nothing received yet.  Re-issue under the SAME id: if the
+             lost server had already executed it, the restarted one
+             answers from the dedup cache (a data-less Ok) and the
+             client then resumes under a fresh id; if not, it simply
+             executes. *)
+          match issue t p with
+          | Ok () -> Ok (summary None)
+          | Error _ as e -> e)
+      | Some (c, 0) -> (
+          (* Crash landed exactly on a copy boundary: no partial prefix
+             to verify, resume directly. *)
+          match start_resume t ~start_copy:c ~start_offset:0 with
+          | Ok () -> Ok (summary (Some (c, 0)))
+          | Error _ as e -> e)
+      | Some (c, off) -> (
+          (* Verify the received prefix against the (possibly restarted)
+             server's file before resuming mid-copy: probe with the
+             prefix CRC; the verdict arrives as a data-less reply and
+             triggers the resume request. *)
+          t.awaiting_probe <- true;
+          t.resume_target <- Some (c, off);
+          let crc =
+            Ilp_checksum.Crc32.finish
+              (Ilp_checksum.Crc32.fold_string ~crc:Ilp_checksum.Crc32.init
+                 p.req_expected ~off:0 ~len:off)
+          in
+          let probe =
+            { Messages.p_file_name = p.name;
+              p_offset = off;
+              p_crc = crc;
+              p_req_id = (if t.use_ids then fresh_id t else 0) }
+          in
+          match send_ctrl t (Messages.probe_segments probe) with
+          | Ok () -> Ok (summary (Some (c, off)))
+          | Error _ as e ->
+              t.awaiting_probe <- false;
+              t.resume_target <- None;
+              e))
 
 let transfer_complete t =
   match t.transfer with
@@ -285,5 +478,7 @@ let replies_received t = t.replies_received
 let errors t = List.rev t.errors
 let rejected t = t.rejected
 let reconnects t = t.reconnects
+let resumes t = t.resumes
 let busy_replies t = t.busy_replies
 let retries t = t.retries
+let timer_owner t = t.owner

@@ -49,11 +49,17 @@ val default_retry : retry_policy
 
 (** [create ~engine ~ctrl ~data ()] — without [clock], a [Busy] reply is
     an immediate [Server_busy] failure (no timer to retry on); with it,
-    retries follow [retry].  [seed] (default 1) drives the jitter. *)
+    retries follow [retry].  [seed] (default 1) drives the jitter and the
+    idempotency-id space (clients sharing a server need distinct seeds).
+    [idempotent] (default false) stamps every request with a fresh
+    idempotency id so a restarted server's dedup cache can answer
+    replays; off, requests marshal in the original id-less form,
+    byte-identical to the pre-fault-model wire encoding. *)
 val create :
   ?clock:Ilp_netsim.Simclock.t ->
   ?retry:retry_policy ->
   ?seed:int ->
+  ?idempotent:bool ->
   engine:Ilp_core.Engine.t ->
   ctrl:Ilp_tcp.Socket.t ->
   data:Ilp_tcp.Socket.t ->
@@ -71,15 +77,33 @@ val request_file :
   expected:string ->
   (unit, Ilp_tcp.Socket.send_error) result
 
+(** What a {!reconnect} decided to do. *)
+type reconnect_summary = {
+  resumed_from : (int * int) option;
+      (** [(copy, offset)] the transfer continues from — never byte zero
+          when a verified prefix exists; [None] means from scratch (or
+          nothing left to re-issue) *)
+  bytes_verified : int;  (** payload bytes already received and verified,
+                             all kept across the reconnect *)
+  retries_consumed : int;  (** cumulative backoff retries spent so far *)
+}
+
 (** [reconnect t ~ctrl ~data] resumes after an abort on a new (already
-    connected and established) socket pair: rewires receive processing and
-    failure reporting, clears the failure state, and re-issues the last
-    request, restarting its transfer from the beginning. *)
+    connected and established) socket pair: rewires receive processing
+    and failure reporting, clears the failure state and the pending
+    retry timer, and picks up the outstanding request where it left off.
+    With a partial mid-copy prefix, a CRC probe first verifies the
+    prefix against the (possibly restarted) server's file; the resume
+    request then continues at the verified offset under a fresh
+    idempotency id.  With nothing received, the request is re-issued
+    under the {e same} id, so a server that already executed it answers
+    from its dedup cache.  Counted once per call in
+    [rpc.client.reconnects]. *)
 val reconnect :
   t ->
   ctrl:Ilp_tcp.Socket.t ->
   data:Ilp_tcp.Socket.t ->
-  (unit, Ilp_tcp.Socket.send_error) result
+  (reconnect_summary, Ilp_tcp.Socket.send_error) result
 
 (** All [copies] fully received with every byte verified (and no abort,
     shed exhaustion or error recorded). *)
@@ -103,6 +127,15 @@ val rejected : t -> bool
 
 (** Times {!reconnect} was invoked. *)
 val reconnects : t -> int
+
+(** Resume requests actually sent (transfers continued from a nonzero
+    copy/offset, or re-issued under a fresh id after a dedup replay). *)
+val resumes : t -> int
+
+(** The {!Ilp_netsim.Simclock} owner id tagging the client's backoff
+    retry timer ([Simclock.anonymous] when created without a clock) —
+    pending count must be 0 after an abort or reconnect. *)
+val timer_owner : t -> int
 
 (** [Busy] replies received (each either triggers a backoff retry or, past
     the budget, the [Server_busy] failure). *)

@@ -1,6 +1,26 @@
 open Ilp_codec
 
-type request = { file_name : string; copies : int; max_reply : int }
+type request = {
+  file_name : string;
+  copies : int;
+  max_reply : int;
+  req_id : int;
+  start_copy : int;
+  start_offset : int;
+}
+
+let request ?(req_id = 0) ?(start_copy = 0) ?(start_offset = 0) ~file_name
+    ~copies ~max_reply () =
+  { file_name; copies; max_reply; req_id; start_copy; start_offset }
+
+(* A request with no idempotency id and no resume point marshals in the
+   original three-field form, so a stack that never crashes puts bytes on
+   the wire identical to the pre-fault-model stack. *)
+let request_is_v1 r = r.req_id = 0 && r.start_copy = 0 && r.start_offset = 0
+
+type probe = { p_file_name : string; p_offset : int; p_crc : int; p_req_id : int }
+
+type ctrl = Request of request | Probe of probe
 
 type status = Ok | Not_found | Refused | Busy
 
@@ -15,6 +35,27 @@ type reply_header = {
 let request_ty : Asn1.ty =
   Seq [ ("fileName", Str); ("copies", Int); ("maxReply", Int) ]
 
+(* The resumable form: idempotency id plus resume point.  The three
+   control-message forms are distinguished on the wire by the number of
+   integer words after the file name — 2 (v1 request), 3 (CRC probe),
+   5 (v2 request) — so no tag word is needed and the v1 encoding stays
+   untouched. *)
+let request_ty_v2 : Asn1.ty =
+  Seq
+    [ ("fileName", Str);
+      ("copies", Int);
+      ("maxReply", Int);
+      ("reqId", Uint);
+      ("startCopy", Uint);
+      ("startOffset", Uint) ]
+
+(* "Does file [fileName]'s prefix [0, offset) fold to CRC32 [crc]?" —
+   the client's resume handshake.  The reply is a data-less standard
+   reply header: [Ok] verifies the prefix, [Refused] rejects it (the
+   restarted server's file differs), [Not_found] as usual. *)
+let probe_ty : Asn1.ty =
+  Seq [ ("fileName", Str); ("offset", Uint); ("crc", Uint); ("reqId", Uint) ]
+
 let status_names = [| "ok"; "notFound"; "refused"; "busy" |]
 
 let reply_ty : Asn1.ty =
@@ -26,6 +67,8 @@ let reply_ty : Asn1.ty =
       ("data", Opaque) ]
 
 let request_stub = Stub.compile request_ty
+let request_stub_v2 = Stub.compile request_ty_v2
+let probe_stub = Stub.compile probe_ty
 let reply_stub = Stub.compile reply_ty
 
 let status_to_enum = function Ok -> 0 | Not_found -> 1 | Refused -> 2 | Busy -> 3
@@ -38,13 +81,25 @@ let status_of_enum = function
   | _ -> None
 
 let encode_request r =
-  Stub.marshal request_stub
-    (VSeq [ VStr r.file_name; VInt r.copies; VInt r.max_reply ])
+  if request_is_v1 r then
+    Stub.marshal request_stub
+      (VSeq [ VStr r.file_name; VInt r.copies; VInt r.max_reply ])
+  else
+    Stub.marshal request_stub_v2
+      (VSeq
+         [ VStr r.file_name; VInt r.copies; VInt r.max_reply; VInt r.req_id;
+           VInt r.start_copy; VInt r.start_offset ])
+
+let encode_probe p =
+  Stub.marshal probe_stub
+    (VSeq [ VStr p.p_file_name; VInt p.p_offset; VInt p.p_crc; VInt p.p_req_id ])
 
 (* The ILP-extended stubs (section 2.1): field layouts compiled from the
    same descriptions, with the bulk data field left in application memory
    for the fused loop. *)
 let request_ilp = Stub_ilp.compile request_ty
+let request_ilp_v2 = Stub_ilp.compile request_ty_v2
+let probe_ilp = Stub_ilp.compile probe_ty
 let reply_ilp = Stub_ilp.compile reply_ty
 
 let to_engine_segments segs =
@@ -55,14 +110,35 @@ let to_engine_segments segs =
     segs
 
 let request_segments r =
-  match
-    Stub_ilp.layout request_ilp
-      [ Stub_ilp.Immediate (VStr r.file_name);
-        Stub_ilp.Immediate (VInt r.copies);
-        Stub_ilp.Immediate (VInt r.max_reply) ]
-  with
+  let layout =
+    if request_is_v1 r then
+      Stub_ilp.layout request_ilp
+        [ Stub_ilp.Immediate (VStr r.file_name);
+          Stub_ilp.Immediate (VInt r.copies);
+          Stub_ilp.Immediate (VInt r.max_reply) ]
+    else
+      Stub_ilp.layout request_ilp_v2
+        [ Stub_ilp.Immediate (VStr r.file_name);
+          Stub_ilp.Immediate (VInt r.copies);
+          Stub_ilp.Immediate (VInt r.max_reply);
+          Stub_ilp.Immediate (VInt r.req_id);
+          Stub_ilp.Immediate (VInt r.start_copy);
+          Stub_ilp.Immediate (VInt r.start_offset) ]
+  in
+  match layout with
   | Ok segs -> to_engine_segments segs
   | Error e -> invalid_arg ("Messages.request_segments: " ^ e)
+
+let probe_segments p =
+  match
+    Stub_ilp.layout probe_ilp
+      [ Stub_ilp.Immediate (VStr p.p_file_name);
+        Stub_ilp.Immediate (VInt p.p_offset);
+        Stub_ilp.Immediate (VInt p.p_crc);
+        Stub_ilp.Immediate (VInt p.p_req_id) ]
+  with
+  | Ok segs -> to_engine_segments segs
+  | Error e -> invalid_arg ("Messages.probe_segments: " ^ e)
 
 let reply_segments h ~payload_addr =
   match
@@ -97,7 +173,9 @@ let decode_request ?(length_at_end = false) plaintext =
   | Ok dec -> (
       match Stub.unmarshal_from request_stub dec with
       | VSeq [ VStr file_name; VInt copies; VInt max_reply ] ->
-          Ok { file_name; copies; max_reply }
+          Ok
+            { file_name; copies; max_reply; req_id = 0; start_copy = 0;
+              start_offset = 0 }
       | _ -> Error "request: unexpected shape"
       | exception Xdr.Dec.Error e -> Error e)
 
@@ -160,7 +238,9 @@ module View = struct
     i
 end
 
-(* Mirror of {!decoder_of_plaintext} over a buffer span. *)
+(* Mirror of {!decoder_of_plaintext} over a buffer span.  Also reports
+   where the marshalled body ends, so the control-message dispatch can
+   count the integer words that follow the file name. *)
 let view_decoder ~length_at_end buf ~len =
   if len < 8 || len > Bytes.length buf then Error "plaintext too short"
   else
@@ -168,26 +248,80 @@ let view_decoder ~length_at_end buf ~len =
     let enc_len = Int32.to_int (Bytes.get_int32_be buf pos) land 0xffff_ffff in
     if enc_len < 4 || enc_len > len then
       Error (Printf.sprintf "bad length field %d" enc_len)
-    else Ok (View.make buf ~pos:(if length_at_end then 0 else 4) ~limit:len)
+    else
+      (* [enc_len] covers the 4-byte length field plus the marshalled
+         bytes, so the body spans [4, enc_len) with the length in front
+         and [0, enc_len - 4) with it at the end. *)
+      let body_end = if length_at_end then enc_len - 4 else enc_len in
+      Ok (View.make buf ~pos:(if length_at_end then 0 else 4) ~limit:len, body_end)
 
+(* The three control forms share a leading file name and differ only in
+   how many integer words follow it: 2 (v1 request), 3 (CRC probe),
+   5 (v2 request).  [crc_trailer] marks that the engine's end-to-end
+   CRC32 trailer word sits inside the length-field-covered region (it
+   was already verified upstream) so it is not counted as body. *)
+let decode_ctrl_bytes ?(length_at_end = false) ?(crc_trailer = false) buf ~len =
+  match view_decoder ~length_at_end buf ~len with
+  | Error e -> Error e
+  | Ok (v, raw_body_end) -> (
+      let body_end = raw_body_end - (if crc_trailer then 4 else 0) in
+      match
+        let off, n = View.opaque_span v in
+        let file_name = Bytes.sub_string v.View.buf off n in
+        if v.View.pos > body_end || (body_end - v.View.pos) mod 4 <> 0 then
+          View.fail "ctrl: malformed body";
+        match (body_end - v.View.pos) / 4 with
+        | 2 ->
+            let copies = View.int32 v in
+            let max_reply = View.int32 v in
+            Request
+              { file_name; copies; max_reply; req_id = 0; start_copy = 0;
+                start_offset = 0 }
+        | 3 ->
+            let p_offset = View.uint32 v in
+            let p_crc = View.uint32 v in
+            let p_req_id = View.uint32 v in
+            Probe { p_file_name = file_name; p_offset; p_crc; p_req_id }
+        | 5 ->
+            let copies = View.int32 v in
+            let max_reply = View.int32 v in
+            let req_id = View.uint32 v in
+            let start_copy = View.uint32 v in
+            let start_offset = View.uint32 v in
+            Request { file_name; copies; max_reply; req_id; start_copy;
+                      start_offset }
+        | k -> View.fail "ctrl: unexpected shape (%d trailing words)" k
+      with
+      | c -> Ok c
+      | exception View.Error e -> Error e)
+
+let decode_ctrl ?(length_at_end = false) ?(crc_trailer = false) plaintext =
+  decode_ctrl_bytes ~length_at_end ~crc_trailer
+    (Bytes.unsafe_of_string plaintext)
+    ~len:(String.length plaintext)
+
+(* Exactly {!decode_request}'s leniency (no trailing-word dispatch), so
+   the view/copy equivalence property holds field for field — the server
+   parses through {!decode_ctrl_bytes} instead. *)
 let decode_request_bytes ?(length_at_end = false) buf ~len =
   match view_decoder ~length_at_end buf ~len with
-  | Error _ as e -> e
-  | Ok v -> (
+  | Error e -> Error e
+  | Ok (v, _body_end) -> (
       match
         let off, n = View.opaque_span v in
         let file_name = Bytes.sub_string v.View.buf off n in
         let copies = View.int32 v in
         let max_reply = View.int32 v in
-        { file_name; copies; max_reply }
+        { file_name; copies; max_reply; req_id = 0; start_copy = 0;
+          start_offset = 0 }
       with
       | r -> Ok r
       | exception View.Error e -> Error e)
 
 let decode_reply_view ?(length_at_end = false) buf ~len =
   match view_decoder ~length_at_end buf ~len with
-  | Error _ as e -> e
-  | Ok v -> (
+  | Error e -> Error e
+  | Ok (v, _body_end) -> (
       match
         let st = View.enum v status_names in
         let copy = View.int32 v in

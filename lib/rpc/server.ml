@@ -11,12 +11,13 @@ type segment = { copy : int; offset : int; seg_len : int; file : file }
 
 (* A queued reply item: either a data segment of an admitted request
    (tagged with its request id and admission time, so stale requests can
-   be shed at drain time), or a small status-only reply.  Status items
+   be shed at drain time), or a small data-less reply carrying just a
+   header (status sheds, probe verdicts, dedup replays).  Header items
    bypass the byte budgets — they are the shedding mechanism itself and
    must always be deliverable. *)
 type item =
   | Data of { seg : segment; req_id : int; enqueued_at : float }
-  | Status of Messages.status
+  | Status of Messages.reply_header
 
 type shed_reason =
   | Too_many_connections
@@ -54,6 +55,9 @@ type limits = {
    bump site updates both (the conservation test relies on it). *)
 let m_requests_received = M.counter M.default "rpc.requests_received"
 let m_bad_requests = M.counter M.default "rpc.bad_requests"
+let m_dedup_hits = M.counter M.default "rpc.server.dedup_hits"
+let m_executions = M.counter M.default "rpc.server.executions"
+let m_probes = M.counter M.default "rpc.server.probes"
 let m_replies_sent = M.counter M.default "rpc.replies_sent"
 let m_replies_abandoned = M.counter M.default "rpc.replies_abandoned"
 let m_statuses_abandoned = M.counter M.default "rpc.statuses_abandoned"
@@ -80,15 +84,58 @@ type conn = {
   admitted : bool;
   mutable queued_bytes : int;
   mutable draining : bool;
+  mutable drain_timer : Simclock.timer option;
   mutable dead : bool;
 }
+
+(* The state a node crash does NOT erase: the served files (they live on
+   disk) and the at-most-once dedup cache with its conservation ledger.
+   A restarted server instance is built over the same store, so a replay
+   of an already-executed idempotency id is answered from the cache
+   instead of re-executed.  The cache is bounded: FIFO eviction at
+   [dedup_cap] ids. *)
+type store = {
+  s_files : (string, file) Hashtbl.t;
+  dedup_cap : int;
+  dedup : (int, Messages.status) Hashtbl.t;
+  dedup_order : int Queue.t;
+  mutable dedup_hits : int;
+  mutable executions : int;
+  mutable id_requests_seen : int;  (* id-carrying requests decoded *)
+  mutable dedup_sheds : int;  (* id-carrying requests shed, not cached *)
+}
+
+let create_store ?(dedup_cap = 1024) () =
+  if dedup_cap < 1 then invalid_arg "Server.create_store: dedup_cap must be >= 1";
+  { s_files = Hashtbl.create 4;
+    dedup_cap;
+    dedup = Hashtbl.create 64;
+    dedup_order = Queue.create ();
+    dedup_hits = 0;
+    executions = 0;
+    id_requests_seen = 0;
+    dedup_sheds = 0 }
+
+(* Cache the terminal status of an executed request.  Sheds (Busy) and
+   rejections are never cached: they are re-derivable and a retry with
+   the same id must be free to succeed. *)
+let store_cache_put st ~req_id status =
+  if not (Hashtbl.mem st.dedup req_id) then begin
+    if Queue.length st.dedup_order >= st.dedup_cap then begin
+      let evicted = Queue.pop st.dedup_order in
+      Hashtbl.remove st.dedup evicted
+    end;
+    Hashtbl.replace st.dedup req_id status;
+    Queue.add req_id st.dedup_order
+  end
 
 type t = {
   clock : Simclock.t;
   engine : Engine.t;
   retry_us : float;
   limits : limits;
-  files : (string, file) Hashtbl.t;
+  owner : int;  (* Simclock owner tag on every drain timer *)
+  store : store;
   conns : (int, conn) Hashtbl.t;
   mutable next_conn_id : int;
   mutable next_req_id : int;
@@ -101,6 +148,7 @@ type t = {
   mutable statuses_abandoned : int;
   mutable requests_received : int;
   mutable bad_requests : int;
+  mutable probes_received : int;
   mutable probe_before : unit -> unit;
   mutable probe_after : wire_len:int -> elapsed_us:float -> syscopy_us:float -> unit;
 }
@@ -136,6 +184,8 @@ let item_bytes = function Data { seg; _ } -> seg.seg_len | Status _ -> 0
 let mark_dead t conn =
   if not conn.dead then begin
     conn.dead <- true;
+    Option.iter Simclock.cancel conn.drain_timer;
+    conn.drain_timer <- None;
     if conn.admitted then begin
       t.live_connections <- t.live_connections - 1;
       M.set g_connections t.live_connections
@@ -205,10 +255,10 @@ let send_segment t conn seg =
       data_len = seg.seg_len }
     ~payload_addr:(seg.file.addr + seg.offset)
 
-let send_status t conn status =
-  send_reply t conn
-    { Messages.status; copy = 0; file_offset = 0; total_len = 0; data_len = 0 }
-    ~payload_addr:0
+let status_hdr ?(copy = 0) ?(file_offset = 0) ?(total_len = 0) status =
+  { Messages.status; copy; file_offset; total_len; data_len = 0 }
+
+let send_status t conn hdr = send_reply t conn hdr ~payload_addr:0
 
 (* Drop every remaining data segment of [req_id] from the queue (it is
    being shed as a whole) and answer with one Busy instead. *)
@@ -222,16 +272,17 @@ let shed_request t conn ~req_id =
     conn.queue;
   Queue.clear conn.queue;
   Queue.transfer keep conn.queue;
-  Queue.add (Status Messages.Busy) conn.queue
+  Queue.add (Status (status_hdr Messages.Busy)) conn.queue
 
 let rec drain t conn =
+  conn.drain_timer <- None;
   if Socket.failure conn.data <> None || Socket.state conn.data = Socket.Closed
   then mark_dead t conn
   else
     match Queue.peek_opt conn.queue with
     | None -> conn.draining <- false
-    | Some (Status st) -> (
-        match send_status t conn st with
+    | Some (Status hdr) -> (
+        match send_status t conn hdr with
         | `Sent | `Drop ->
             ignore (Queue.pop conn.queue);
             drain t conn
@@ -254,32 +305,173 @@ let rec drain t conn =
 
 and reschedule t conn =
   conn.draining <- true;
-  ignore (Simclock.schedule t.clock ~after:t.retry_us (fun () -> drain t conn))
+  conn.drain_timer <-
+    Some
+      (Simclock.schedule t.clock ~owner:t.owner ~after:t.retry_us (fun () ->
+           drain t conn))
 
 let kick t conn = if not conn.draining then drain t conn
 
-let enqueue_status t conn status =
+let enqueue_hdr t conn hdr =
   if not conn.dead then begin
-    Queue.add (Status status) conn.queue;
+    Queue.add (Status hdr) conn.queue;
     kick t conn
   end
+
+let enqueue_status t conn status = enqueue_hdr t conn (status_hdr status)
+
+(* Pure CRC32 over the stored file's prefix — the server's side of the
+   client's resume handshake.  Uncharged: the probe models a disk/page
+   cache read, not a data manipulation on the measured path. *)
+let file_prefix_crc t file ~len =
+  let mem = (Engine.sim t.engine).Ilp_memsim.Sim.mem in
+  let raw = Ilp_memsim.Mem.raw mem in
+  Ilp_checksum.Crc32.finish
+    (Ilp_checksum.Crc32.fold_bytes ~crc:Ilp_checksum.Crc32.init raw
+       ~off:file.addr ~len)
+
+let handle_probe t conn p =
+  t.probes_received <- t.probes_received + 1;
+  M.inc m_probes 1;
+  match Hashtbl.find_opt t.store.s_files p.Messages.p_file_name with
+  | None -> enqueue_status t conn Messages.Not_found
+  | Some file ->
+      let hdr st =
+        status_hdr ~file_offset:p.Messages.p_offset ~total_len:file.len st
+      in
+      if p.Messages.p_offset < 0 || p.Messages.p_offset > file.len then begin
+        t.bad_requests <- t.bad_requests + 1;
+        M.inc m_bad_requests 1;
+        enqueue_hdr t conn (hdr Messages.Refused)
+      end
+      else if file_prefix_crc t file ~len:p.Messages.p_offset = p.Messages.p_crc
+      then enqueue_hdr t conn (hdr Messages.Ok)
+      else enqueue_hdr t conn (hdr Messages.Refused)
+
+let handle_req t conn req =
+  let idd = req.Messages.req_id <> 0 in
+  if idd then t.store.id_requests_seen <- t.store.id_requests_seen + 1;
+  (* An id-carrying request that is shed or rejected is NOT cached (a
+     retry with the same id must be free to succeed), but it is counted,
+     so the conservation law [executions + dedup_hits + dedup_sheds =
+     id_requests_seen] holds at every instant. *)
+  let shed_idd () = if idd then t.store.dedup_sheds <- t.store.dedup_sheds + 1 in
+  match
+    if idd then Hashtbl.find_opt t.store.dedup req.Messages.req_id else None
+  with
+  | Some cached ->
+      (* At-most-once replay: answer from the cache with a data-less
+         status; the work is not re-executed. *)
+      t.store.dedup_hits <- t.store.dedup_hits + 1;
+      M.inc m_dedup_hits 1;
+      enqueue_status t conn cached
+  | None ->
+      if not conn.admitted then begin
+        count_shed t Too_many_connections;
+        shed_idd ();
+        enqueue_status t conn Messages.Busy
+      end
+      else (
+        match Hashtbl.find_opt t.store.s_files req.Messages.file_name with
+        | None ->
+            shed_idd ();
+            enqueue_status t conn Messages.Not_found
+        | Some file ->
+            let start_copy = req.Messages.start_copy in
+            let start_offset = req.Messages.start_offset in
+            if
+              start_copy < 0 || start_offset < 0 || start_offset > file.len
+              || (start_copy > 0 && start_copy >= req.Messages.copies)
+            then begin
+              (* A resume point outside the file is a malformed request,
+                 not a load shed. *)
+              t.bad_requests <- t.bad_requests + 1;
+              M.inc m_bad_requests 1;
+              shed_idd ();
+              enqueue_status t conn Messages.Refused
+            end
+            else
+              let request_bytes =
+                (req.Messages.copies - start_copy) * file.len - start_offset
+              in
+              if request_bytes > t.limits.max_conn_queue_bytes then begin
+                (* Could never fit: permanent refusal, not a retryable shed. *)
+                count_shed t Oversized_request;
+                shed_idd ();
+                enqueue_status t conn Messages.Refused
+              end
+              else if
+                conn.queued_bytes + request_bytes > t.limits.max_conn_queue_bytes
+              then begin
+                count_shed t Conn_queue_full;
+                shed_idd ();
+                enqueue_status t conn Messages.Busy
+              end
+              else if
+                t.total_queued_bytes + request_bytes
+                > t.limits.max_total_queue_bytes
+              then begin
+                count_shed t Server_queue_full;
+                shed_idd ();
+                enqueue_status t conn Messages.Busy
+              end
+              else begin
+                if idd then begin
+                  t.store.executions <- t.store.executions + 1;
+                  M.inc m_executions 1;
+                  store_cache_put t.store ~req_id:req.Messages.req_id Messages.Ok
+                end;
+                if request_bytes <= 0 then
+                  (* Nothing left to send (resume point at EOF): still
+                     answer, so the client is never left waiting. *)
+                  enqueue_hdr t conn
+                    (status_hdr ~copy:start_copy ~file_offset:start_offset
+                       ~total_len:file.len Messages.Ok)
+                else begin
+                  let req_id = t.next_req_id in
+                  t.next_req_id <- t.next_req_id + 1;
+                  let enqueued_at = Simclock.now t.clock in
+                  let max_reply = max 16 req.Messages.max_reply in
+                  for copy = start_copy to req.Messages.copies - 1 do
+                    let offset =
+                      ref (if copy = start_copy then start_offset else 0)
+                    in
+                    while !offset < file.len do
+                      let seg_len = min max_reply (file.len - !offset) in
+                      Queue.add
+                        (Data
+                           { seg = { copy; offset = !offset; seg_len; file };
+                             req_id;
+                             enqueued_at })
+                        conn.queue;
+                      charge_queue t conn seg_len;
+                      offset := !offset + seg_len
+                    done
+                  done;
+                  kick t conn
+                end
+              end)
 
 let handle_request t conn ~len =
   t.requests_received <- t.requests_received + 1;
   M.inc m_requests_received 1;
   match
     let length_at_end = Engine.header_style t.engine = Engine.Trailer in
+    let crc_trailer = Engine.crc32 t.engine in
     match Engine.data_path t.engine with
     | Engine.Legacy ->
         Result.bind (Engine.read_plaintext t.engine ~len)
-          (Messages.decode_request ~length_at_end)
+          (Messages.decode_ctrl ~length_at_end ~crc_trailer)
     | Engine.Pooled ->
         (* Single-copy: decode the request in place from a pooled TSDU
            buffer, released as soon as the decode finishes (the request's
            fields are scalars plus the short file name). *)
         Result.bind (Engine.read_plaintext_pooled t.engine ~len)
           (fun (buf, plen) ->
-            let r = Messages.decode_request_bytes ~length_at_end buf ~len:plen in
+            let r =
+              Messages.decode_ctrl_bytes ~length_at_end ~crc_trailer buf
+                ~len:plen
+            in
             Engine.release_plaintext t.engine buf;
             r)
   with
@@ -287,61 +479,17 @@ let handle_request t conn ~len =
       t.bad_requests <- t.bad_requests + 1;
       M.inc m_bad_requests 1;
       enqueue_status t conn Messages.Not_found
-  | Ok req ->
-      if not conn.admitted then begin
-        count_shed t Too_many_connections;
-        enqueue_status t conn Messages.Busy
-      end
-      else (
-        match Hashtbl.find_opt t.files req.Messages.file_name with
-        | None -> enqueue_status t conn Messages.Not_found
-        | Some file ->
-            let request_bytes = req.Messages.copies * file.len in
-            if request_bytes > t.limits.max_conn_queue_bytes then begin
-              (* Could never fit: permanent refusal, not a retryable shed. *)
-              count_shed t Oversized_request;
-              enqueue_status t conn Messages.Refused
-            end
-            else if
-              conn.queued_bytes + request_bytes > t.limits.max_conn_queue_bytes
-            then begin
-              count_shed t Conn_queue_full;
-              enqueue_status t conn Messages.Busy
-            end
-            else if
-              t.total_queued_bytes + request_bytes > t.limits.max_total_queue_bytes
-            then begin
-              count_shed t Server_queue_full;
-              enqueue_status t conn Messages.Busy
-            end
-            else begin
-              let req_id = t.next_req_id in
-              t.next_req_id <- t.next_req_id + 1;
-              let enqueued_at = Simclock.now t.clock in
-              let max_reply = max 16 req.Messages.max_reply in
-              for copy = 0 to req.Messages.copies - 1 do
-                let offset = ref 0 in
-                while !offset < file.len do
-                  let seg_len = min max_reply (file.len - !offset) in
-                  Queue.add
-                    (Data
-                       { seg = { copy; offset = !offset; seg_len; file };
-                         req_id;
-                         enqueued_at })
-                    conn.queue;
-                  charge_queue t conn seg_len;
-                  offset := !offset + seg_len
-                done
-              done;
-              kick t conn
-            end)
+  | Ok (Messages.Probe p) -> handle_probe t conn p
+  | Ok (Messages.Request req) -> handle_req t conn req
 
-let create ~clock ~engine ?(retry_us = 150.0) ?(limits = default_limits) () =
+let create ~clock ~engine ?(retry_us = 150.0) ?(limits = default_limits)
+    ?(store = create_store ()) () =
   { clock;
     engine;
     retry_us;
     limits;
-    files = Hashtbl.create 4;
+    owner = Simclock.fresh_owner clock;
+    store;
     conns = Hashtbl.create 8;
     next_conn_id = 0;
     next_req_id = 0;
@@ -354,6 +502,7 @@ let create ~clock ~engine ?(retry_us = 150.0) ?(limits = default_limits) () =
     statuses_abandoned = 0;
     requests_received = 0;
     bad_requests = 0;
+    probes_received = 0;
     probe_before = (fun () -> ());
     probe_after = (fun ~wire_len:_ ~elapsed_us:_ ~syscopy_us:_ -> ()) }
 
@@ -363,7 +512,7 @@ let attach t ~ctrl ~data =
   let admitted = t.live_connections < t.limits.max_connections in
   let conn =
     { id; ctrl; data; queue = Queue.create (); admitted;
-      queued_bytes = 0; draining = false; dead = false }
+      queued_bytes = 0; draining = false; drain_timer = None; dead = false }
   in
   if admitted then begin
     t.live_connections <- t.live_connections + 1;
@@ -388,7 +537,15 @@ let detach t ~id =
       mark_dead t conn;
       Hashtbl.remove t.conns id
 
-let add_file t ~name ~addr ~len = Hashtbl.replace t.files name { addr; len }
+let add_file t ~name ~addr ~len =
+  Hashtbl.replace t.store.s_files name { addr; len }
+
+(* Node crash: every connection dies with the process — queues abandoned,
+   drain timers cancelled.  The [store] survives; a new instance built
+   over it (Rpc_server.create ~store) is the restarted server. *)
+let shutdown t =
+  Hashtbl.iter (fun _ conn -> mark_dead t conn) t.conns;
+  Hashtbl.reset t.conns
 
 let pending_replies t =
   Hashtbl.fold (fun _ conn acc -> acc + Queue.length conn.queue) t.conns 0
@@ -401,6 +558,14 @@ let replies_abandoned t = t.replies_abandoned
 let statuses_abandoned t = t.statuses_abandoned
 let requests_received t = t.requests_received
 let bad_requests t = t.bad_requests
+let probes_received t = t.probes_received
+let timer_owner t = t.owner
+let store t = t.store
+let dedup_hits st = st.dedup_hits
+let executions st = st.executions
+let id_requests_seen st = st.id_requests_seen
+let dedup_sheds st = st.dedup_sheds
+let dedup_cached st = Hashtbl.length st.dedup
 let shed_count t reason = t.shed_ledger.(shed_reason_index reason)
 let sheds t = List.map (fun r -> (r, shed_count t r)) shed_reasons
 let sheds_total t = Array.fold_left ( + ) 0 t.shed_ledger

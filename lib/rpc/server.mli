@@ -50,16 +50,67 @@ type limits = {
 (** 64 connections, 256 KiB per connection, 1 MiB total, 60 s age. *)
 val default_limits : limits
 
+(** {2 Crash-surviving state}
+
+    The state a node crash does {e not} erase: the served files and the
+    bounded at-most-once dedup cache keyed by request idempotency id,
+    together with its conservation ledger.  A restarted server instance
+    is built over the same store ([create ~store]), so a replayed id is
+    answered from the cache (a data-less status reply) instead of being
+    re-executed. *)
+
+type store
+
+(** [create_store ()] — [dedup_cap] (default 1024, must be >= 1) bounds
+    the dedup cache; eviction is FIFO by insertion. *)
+val create_store : ?dedup_cap:int -> unit -> store
+
+(** Replays answered from the dedup cache. *)
+val dedup_hits : store -> int
+
+(** Id-carrying requests admitted and executed (their terminal status was
+    cached). *)
+val executions : store -> int
+
+(** Id-carrying requests decoded, across all server instances over this
+    store. *)
+val id_requests_seen : store -> int
+
+(** Id-carrying requests shed or rejected without caching (a retry with
+    the same id is free to succeed).  Conservation law, holding at every
+    instant: [executions + dedup_hits + dedup_sheds = id_requests_seen]. *)
+val dedup_sheds : store -> int
+
+(** Ids currently cached (bounded by [dedup_cap]). *)
+val dedup_cached : store -> int
+
 (** [create ~clock ~engine ()] builds a server with no connections;
     [retry_us] (default 150) is the per-connection back-pressure retry
-    interval. *)
+    interval.  [store] (fresh by default) carries the crash-surviving
+    state; pass a previous instance's store to model a restart. *)
 val create :
   clock:Ilp_netsim.Simclock.t ->
   engine:Ilp_core.Engine.t ->
   ?retry_us:float ->
   ?limits:limits ->
+  ?store:store ->
   unit ->
   t
+
+(** This instance's crash-surviving state (to thread into the replacement
+    instance after a simulated crash). *)
+val store : t -> store
+
+(** Node crash: every connection dies with the process — queues
+    abandoned (counted in {!replies_abandoned} / {!statuses_abandoned}),
+    drain timers cancelled.  The sockets themselves belong to the
+    harness, which destroys them separately. *)
+val shutdown : t -> unit
+
+(** The {!Ilp_netsim.Simclock} owner id tagging every drain timer this
+    instance schedules — [Simclock.pending_count ~owner] must be 0 after
+    {!shutdown}. *)
+val timer_owner : t -> int
 
 (** [attach t ~ctrl ~data] registers a connection pair and returns its
     connection id: [ctrl] is the inbound request connection (its receive
@@ -106,8 +157,13 @@ val statuses_abandoned : t -> int
 val requests_received : t -> int
 
 (** Requests whose plaintext could not be read or decoded (answered with
-    an error reply, counted, never raised). *)
+    an error reply, counted, never raised), plus decodable requests with
+    an out-of-range resume point or probe offset. *)
 val bad_requests : t -> int
+
+(** CRC resume probes received (answered with a data-less [Ok] when the
+    stored file's prefix matches, [Refused] otherwise). *)
+val probes_received : t -> int
 
 (** The per-reason shed ledger (every reason, in {!shed_reasons} order). *)
 val sheds : t -> (shed_reason * int) list

@@ -109,6 +109,7 @@ type abort_reason =
   | Close_timeout
   | Peer_stalled
   | Misbehaving_peer
+  | Connection_reset
 
 let abort_reason_to_string = function
   | Retry_exhausted -> "retransmission retries exhausted"
@@ -116,6 +117,14 @@ let abort_reason_to_string = function
   | Close_timeout -> "close (FIN) retries exhausted"
   | Peer_stalled -> "peer window stalled past the persist deadline"
   | Misbehaving_peer -> "peer acknowledged data that was never sent"
+  | Connection_reset -> "connection reset by peer"
+
+type keepalive_verdict = Peer_alive | Peer_reset | Peer_silent
+
+let keepalive_verdict_to_string = function
+  | Peer_alive -> "peer alive"
+  | Peer_reset -> "peer reset the connection"
+  | Peer_silent -> "peer silent past the keepalive probe budget"
 
 (* Unified-registry mirrors of the per-socket counters: bumped at the
    same sites as the mutable fields, so process totals equal the sum of
@@ -139,6 +148,11 @@ let m_zero_window_stalls = M.counter M.default "tcp.zero_window_stalls"
 let m_seg_payload = M.histogram M.default "tcp.segment_payload_bytes"
 
 (* SACK loss recovery and misbehaving-peer hardening (PR 7). *)
+(* Node crash/restart fault model (PR 8). *)
+let m_rst_tx = M.counter M.default "tcp.rst_tx"
+let m_rst_rx = M.counter M.default "tcp.rst_rx"
+let m_keepalive_probes = M.counter M.default "tcp.keepalive_probes"
+
 let m_rto_fallbacks = M.counter M.default "tcp.rto_fallbacks"
 let m_sack_blocks_rx = M.counter M.default "tcp.sack_blocks_rx"
 let m_sack_blocks_tx = M.counter M.default "tcp.sack_blocks_tx"
@@ -170,12 +184,14 @@ let abort_counter =
   let close = M.counter M.default "tcp.abort.close_timeout" in
   let stalled = M.counter M.default "tcp.abort.peer_stalled" in
   let misbehaving = M.counter M.default "tcp.abort.misbehaving_peer" in
+  let reset = M.counter M.default "tcp.abort.connection_reset" in
   function
   | Retry_exhausted -> retry
   | Handshake_failed -> handshake
   | Close_timeout -> close
   | Peer_stalled -> stalled
   | Misbehaving_peer -> misbehaving
+  | Connection_reset -> reset
 
 type tx_seg = {
   seq : int;
@@ -227,6 +243,9 @@ type stats = {
   sack_invalid : int;
   sack_retransmits : int;
   spurious_retransmits : int;
+  rst_tx : int;
+  rst_rx : int;
+  keepalive_probes : int;
 }
 
 type t = {
@@ -321,6 +340,25 @@ type t = {
   drop_ledger : int array;  (* indexed by drop_reason_index *)
   mutable failed : abort_reason option;
   mutable on_abort : abort_reason -> unit;
+  (* Node crash/restart fault model (PR 8).  [owner] tags every timer
+     this socket schedules, so teardown can be audited with
+     [Simclock.pending_count]; [destroyed] marks a socket torn down by a
+     host crash — subsequent segments addressed to it answer with RST. *)
+  owner : int;
+  mutable destroyed : bool;
+  mutable tw_timer : Simclock.timer option;  (* TIME_WAIT expiry *)
+  mutable rst_tx_n : int;
+  mutable rst_rx_n : int;
+  (* Keepalive probing for half-open connections (peer restarted while
+     this endpoint was idle): probe with an already-acknowledged byte at a
+     fixed interval; an answering ack proves the peer alive, an RST or
+     probe exhaustion yields a typed verdict. *)
+  mutable ka_timer : Simclock.timer option;
+  mutable ka_interval_us : float;
+  mutable ka_max_probes : int;
+  mutable ka_unanswered : int;
+  mutable ka_on_result : (keepalive_verdict -> unit) option;
+  mutable keepalive_probes_n : int;
 }
 
 let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
@@ -420,7 +458,18 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     syscopy_send_cycles_us = 0.0;
     drop_ledger = Array.make (List.length drop_reasons) 0;
     failed = None;
-    on_abort = (fun _ -> ()) }
+    on_abort = (fun _ -> ());
+    owner = Simclock.fresh_owner clock;
+    destroyed = false;
+    tw_timer = None;
+    rst_tx_n = 0;
+    rst_rx_n = 0;
+    ka_timer = None;
+    ka_interval_us = 0.0;
+    ka_max_probes = 0;
+    ka_unanswered = 0;
+    ka_on_result = None;
+    keepalive_probes_n = 0 }
 
 let state t = t.st
 let local_port t = t.local_port
@@ -428,6 +477,8 @@ let set_rx_processing t p = t.rx_proc <- p
 let set_on_message t f = t.on_message <- f
 let set_on_abort t f = t.on_abort <- f
 let failure t = t.failed
+let timer_owner t = t.owner
+let destroyed t = t.destroyed
 let count_drop t reason =
   t.drop_ledger.(drop_reason_index reason) <-
     t.drop_ledger.(drop_reason_index reason) + 1;
@@ -507,7 +558,10 @@ let stats t =
     sack_blocks_tx = t.sack_blocks_tx_n;
     sack_invalid = t.sack_invalid_n;
     sack_retransmits = t.sack_retransmits_n;
-    spurious_retransmits = t.spurious_retransmits_n }
+    spurious_retransmits = t.spurious_retransmits_n;
+    rst_tx = t.rst_tx_n;
+    rst_rx = t.rst_rx_n;
+    keepalive_probes = t.keepalive_probes_n }
 
 let ooo_capacity t = t.ooo_slots
 
@@ -665,13 +719,31 @@ let send_ack t =
     | Some _ -> send_ack_now t
     | None ->
         let timer =
-          Simclock.schedule t.clock ~after:t.cfg.ack_delay_us (fun () ->
+          Simclock.schedule t.clock ~owner:t.owner ~after:t.cfg.ack_delay_us (fun () ->
               t.delayed_ack <- None;
               t.acks_sent <- t.acks_sent + 1;
               M.inc m_acks_sent 1;
               send_ack_control t)
         in
         t.delayed_ack <- Some timer
+
+(* Every timer this socket can own: RTO, control (SYN/FIN), delayed ack,
+   persist, TIME_WAIT expiry and keepalive.  Aborts and [destroy] must
+   cancel all six — crash injection surfaces any leak as a ghost firing,
+   and the soak asserts [Simclock.pending_count ~owner = 0] afterwards. *)
+let cancel_all_timers t =
+  Option.iter Simclock.cancel t.rto_timer;
+  t.rto_timer <- None;
+  Option.iter Simclock.cancel t.ctl_timer;
+  t.ctl_timer <- None;
+  Option.iter Simclock.cancel t.delayed_ack;
+  t.delayed_ack <- None;
+  Option.iter Simclock.cancel t.persist_timer;
+  t.persist_timer <- None;
+  Option.iter Simclock.cancel t.tw_timer;
+  t.tw_timer <- None;
+  Option.iter Simclock.cancel t.ka_timer;
+  t.ka_timer <- None
 
 (* Retry exhaustion: tear the connection down with a recorded reason so
    the application sees a typed failure, never a silent [Closed]. *)
@@ -685,21 +757,38 @@ let abort t reason =
   end;
   t.st <- Closed;
   Queue.clear t.streams;
-  Option.iter Simclock.cancel t.rto_timer;
-  t.rto_timer <- None;
-  Option.iter Simclock.cancel t.ctl_timer;
-  t.ctl_timer <- None;
-  Option.iter Simclock.cancel t.delayed_ack;
-  t.delayed_ack <- None;
-  Option.iter Simclock.cancel t.persist_timer;
-  t.persist_timer <- None;
+  t.ka_on_result <- None;
+  cancel_all_timers t;
   t.on_abort reason
+
+(* Tear a socket down as a crashing host does: no FIN, no callback, just
+   drop every queue, reservation and timer.  The socket answers later
+   segments with RST (it is a dead connection, not a closed one). *)
+let destroy t =
+  t.destroyed <- true;
+  t.st <- Closed;
+  t.pending_close <- false;
+  Queue.clear t.streams;
+  Queue.clear t.txq;
+  (* The ring and txq reserve/queue in lockstep; with the queue gone,
+     release every live reservation so ring accounting stays balanced. *)
+  let rec release_all () =
+    match Ring.release t.ring with
+    | Ok () -> release_all ()
+    | Error `Empty -> ()
+  in
+  release_all ();
+  Hashtbl.reset t.ooo;
+  Array.fill t.ooo_free 0 (Array.length t.ooo_free) true;
+  t.rx_tsdu_off <- 0;
+  t.ka_on_result <- None;
+  cancel_all_timers t
 
 (* Control-segment (SYN / SYN-ACK / FIN) retransmission. *)
 let rec arm_ctl_timer t ~flags =
   Option.iter Simclock.cancel t.ctl_timer;
   let timer =
-    Simclock.schedule t.clock ~after:(Rto.timeout_us t.rto) (fun () ->
+    Simclock.schedule t.clock ~owner:t.owner ~after:(Rto.timeout_us t.rto) (fun () ->
         if t.ctl_retries >= t.cfg.max_retries then
           abort t
             (if flags land Tcp_header.syn <> 0 then Handshake_failed
@@ -754,6 +843,198 @@ let send_probe t =
   let ck = Tcp_header.checksum h ~payload_acc ~payload_len:1 in
   transmit t { h with checksum = ck } ~payload:(Some (t.probe_buf, 1))
 
+(* ------------------------------------------------------------------ *)
+(* RST generation (RFC 793 reset rules)
+
+   A segment addressed to a dead connection — a socket torn down by a
+   crash ([destroy]) or a typed abort — is answered with a reset so the
+   peer learns immediately instead of retransmitting into a black hole:
+   an arriving segment with ACK is answered <SEQ=SEG.ACK><CTL=RST>, one
+   without (a SYN) by <SEQ=0><ACK=SEG.SEQ+SEG.LEN><CTL=RST,ACK>.  A
+   cleanly closed socket stays silent, so clean-run wire traces are
+   byte-identical to the pre-fault-model stack.  Resets are pure 20-byte
+   control segments and never enter the fused ILP data path. *)
+
+let rst_reply_header (h : Tcp_header.t) ~payload_len ~src_port =
+  let seg_len =
+    payload_len
+    + (if Tcp_header.has h Tcp_header.syn then 1 else 0)
+    + (if Tcp_header.has h Tcp_header.fin then 1 else 0)
+  in
+  let r =
+    if Tcp_header.has h Tcp_header.ack_flag then
+      Tcp_header.make ~seq:h.ack ~flags:Tcp_header.rst ~src_port
+        ~dst_port:h.src_port ()
+    else
+      Tcp_header.make ~seq:0 ~ack:(h.seq + seg_len)
+        ~flags:(Tcp_header.rst lor Tcp_header.ack_flag) ~src_port
+        ~dst_port:h.src_port ()
+  in
+  let ck =
+    Tcp_header.checksum r ~payload_acc:Ilp_checksum.Internet.empty
+      ~payload_len:0
+  in
+  { r with checksum = ck }
+
+let send_rst t (h : Tcp_header.t) ~payload_len =
+  (* Never reset a reset: that way lies an RST storm. *)
+  if not (Tcp_header.has h Tcp_header.rst) then begin
+    let r = rst_reply_header h ~payload_len ~src_port:t.local_port in
+    t.rst_tx_n <- t.rst_tx_n + 1;
+    M.inc m_rst_tx 1;
+    if Trace.enabled () then
+      Trace.instant ~arg:1 Trace.Tcp_rst ~packet:(Trace.current_packet ())
+        ~ts:(Machine.micros (machine t));
+    (* Bypass [transmit]: the reset goes back to the segment's source
+       port, not [t.remote_port] (stale or unset on a dead socket), and a
+       dead socket charges only the short control path. *)
+    Machine.compute (machine t) t.cfg.ack_ops;
+    t.ip_ident <- (t.ip_ident + 1) land 0xffff;
+    let wire = Tcp_header.to_string r in
+    let ip =
+      Ipv4.make ~ident:t.ip_ident ~src:Ipv4.loopback ~dst:Ipv4.loopback
+        ~payload_len:(String.length wire) ()
+    in
+    t.segments_sent <- t.segments_sent + 1;
+    M.inc m_segments_sent 1;
+    t.wire_out
+      (Datagram.create ~src_port:t.local_port ~dst_port:h.Tcp_header.src_port
+         ~payload:(Ipv4.encapsulate ip wire))
+  end
+
+(* The reset a crashed host's address answers with while the host is
+   down: no socket exists at all, so this is a pure function from the
+   arriving datagram to the reset datagram (None for malformed input and
+   for resets, which are never themselves reset). *)
+let reset_for (dgram : Datagram.t) =
+  match Ipv4.decapsulate dgram.Datagram.payload with
+  | Error _ -> None
+  | Ok (ip, _) when ip.Ipv4.protocol <> Ipv4.protocol_tcp -> None
+  | Ok (_, wire) -> (
+      match Tcp_header.of_string wire ~pos:0 with
+      | Error _ -> None
+      | Ok h ->
+          if Tcp_header.has h Tcp_header.rst then None
+          else begin
+            let payload_len =
+              max 0 (String.length wire - Tcp_header.wire_size h)
+            in
+            let r =
+              rst_reply_header h ~payload_len ~src_port:dgram.Datagram.dst_port
+            in
+            M.inc m_rst_tx 1;
+            if Trace.enabled () then
+              Trace.instant ~arg:1 Trace.Tcp_rst
+                ~packet:(Trace.current_packet ()) ~ts:(Trace.now ());
+            let wire_out = Tcp_header.to_string r in
+            let ip =
+              Ipv4.make ~src:Ipv4.loopback ~dst:Ipv4.loopback
+                ~payload_len:(String.length wire_out) ()
+            in
+            Some
+              (Datagram.create ~src_port:dgram.Datagram.dst_port
+                 ~dst_port:h.Tcp_header.src_port
+                 ~payload:(Ipv4.encapsulate ip wire_out))
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Keepalive probing (half-open connection detection)
+
+   A host that crashes and restarts forgets its connections; a peer with
+   nothing to send never notices — the connection is half-open.  The
+   keepalive timer probes an idle connection with one already-acknowledged
+   garbage byte (the persist probe's wire shape): a live peer answers
+   with a duplicate ack ([Peer_alive]), a restarted peer answers RST
+   ([Peer_reset], and the connection aborts [Connection_reset]), and a
+   black-holed peer stays silent until the probe budget is spent
+   ([Peer_silent], aborting [Retry_exhausted]). *)
+
+let probe_wire_states = [ Established; Close_wait; Fin_wait_1; Fin_wait_2 ]
+
+let send_keepalive_probe t =
+  t.keepalive_probes_n <- t.keepalive_probes_n + 1;
+  M.inc m_keepalive_probes 1;
+  if Trace.enabled () then
+    Trace.instant ~arg:t.ka_unanswered Trace.Tcp_keepalive
+      ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
+  let h = base_header t ~flags:Tcp_header.ack_flag in
+  let h = { h with Tcp_header.seq = t.snd_nxt - 1 } in
+  let payload_acc =
+    Ilp_checksum.Internet.checksum_mem (mem t) ~pos:t.probe_buf ~len:1
+      ~acc:Ilp_checksum.Internet.empty
+  in
+  let ck = Tcp_header.checksum h ~payload_acc ~payload_len:1 in
+  transmit t { h with checksum = ck } ~payload:(Some (t.probe_buf, 1))
+
+let rec arm_keepalive t =
+  Option.iter Simclock.cancel t.ka_timer;
+  let timer =
+    Simclock.schedule t.clock ~owner:t.owner ~after:t.ka_interval_us (fun () ->
+        t.ka_timer <- None;
+        if
+          t.failed = None && t.ka_on_result <> None
+          && List.mem t.st probe_wire_states
+        then begin
+          if t.ka_unanswered >= t.ka_max_probes then begin
+            match t.ka_on_result with
+            | Some f ->
+                t.ka_on_result <- None;
+                f Peer_silent;
+                abort t Retry_exhausted
+            | None -> ()
+          end
+          else begin
+            t.ka_unanswered <- t.ka_unanswered + 1;
+            send_keepalive_probe t;
+            arm_keepalive t
+          end
+        end)
+  in
+  t.ka_timer <- Some timer
+
+let start_keepalive t ?(interval_us = 50_000.0) ?(probes = 3) ~on_result () =
+  if interval_us <= 0.0 then
+    invalid_arg "Socket.start_keepalive: interval_us must be positive";
+  if probes < 1 then invalid_arg "Socket.start_keepalive: probes must be >= 1";
+  t.ka_interval_us <- interval_us;
+  t.ka_max_probes <- probes;
+  t.ka_unanswered <- 0;
+  t.ka_on_result <- Some on_result;
+  arm_keepalive t
+
+let stop_keepalive t =
+  t.ka_on_result <- None;
+  t.ka_unanswered <- 0;
+  Option.iter Simclock.cancel t.ka_timer;
+  t.ka_timer <- None
+
+(* Any segment from the peer proves it alive: answer an outstanding
+   probe's verdict and reset the unanswered count (keepalive keeps
+   running — it is a monitor, not a one-shot). *)
+let ka_note_activity t =
+  if t.ka_unanswered > 0 then begin
+    t.ka_unanswered <- 0;
+    match t.ka_on_result with
+    | Some f ->
+        if Trace.enabled () then
+          Trace.instant ~arg:0 Trace.Tcp_keepalive
+            ~packet:(Trace.current_packet ())
+            ~ts:(Machine.micros (machine t));
+        f Peer_alive
+    | None -> ()
+  end
+
+(* An acceptable inbound RST: the peer (or its restarted ghost) tore the
+   connection down.  An outstanding keepalive probe gets its typed
+   verdict before the abort callback fires. *)
+let handle_reset t =
+  (match t.ka_on_result with
+  | Some f when t.ka_unanswered > 0 ->
+      t.ka_on_result <- None;
+      f Peer_reset
+  | _ -> ());
+  abort t Connection_reset
+
 let persist_interval_us t =
   min t.cfg.persist_max_us
     (t.cfg.persist_initial_us *. (2.0 ** float_of_int t.persist_shifts))
@@ -774,7 +1055,7 @@ let rec arm_persist t ~want =
   in
   Option.iter Simclock.cancel t.persist_timer;
   let timer =
-    Simclock.schedule t.clock ~after:(persist_interval_us t) (fun () ->
+    Simclock.schedule t.clock ~owner:t.owner ~after:(persist_interval_us t) (fun () ->
         t.persist_timer <- None;
         if t.st = Established || t.st = Close_wait then begin
           if Simclock.now t.clock -. stall_start >= t.cfg.stall_deadline_us then
@@ -794,7 +1075,7 @@ let rec arm_persist t ~want =
 let rec arm_rto t =
   Option.iter Simclock.cancel t.rto_timer;
   if not (Queue.is_empty t.txq) then begin
-    let timer = Simclock.schedule t.clock ~after:(Rto.timeout_us t.rto) (fun () -> on_rto t) in
+    let timer = Simclock.schedule t.clock ~owner:t.owner ~after:(Rto.timeout_us t.rto) (fun () -> on_rto t) in
     t.rto_timer <- Some timer
   end
   else t.rto_timer <- None
@@ -1477,9 +1758,14 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
 
 let enter_time_wait t =
   t.st <- Time_wait;
-  ignore
-    (Simclock.schedule t.clock ~after:(2.0 *. t.cfg.rto_max_us) (fun () ->
-         if t.st = Time_wait then t.st <- Closed))
+  Option.iter Simclock.cancel t.tw_timer;
+  let timer =
+    Simclock.schedule t.clock ~owner:t.owner ~after:(2.0 *. t.cfg.rto_max_us)
+      (fun () ->
+        t.tw_timer <- None;
+        if t.st = Time_wait then t.st <- Closed)
+  in
+  t.tw_timer <- Some timer
 
 let handle_datagram t (dgram : Datagram.t) =
   match Ipv4.decapsulate dgram.Datagram.payload with
@@ -1542,8 +1828,38 @@ let handle_datagram t (dgram : Datagram.t) =
     end
     else begin
     let payload_len = total - hdr_len in
+    if Tcp_header.has h Tcp_header.rst then begin
+      (* Inbound reset.  Count every arrival, but only act on one whose
+         sequence number is exactly what this endpoint expects next
+         (RFC 5961-style strict acceptance: the resets this stack
+         generates always echo the victim's own ack, so an honest reset
+         always matches, while a blind off-window forgery is dropped and
+         counted). *)
+      t.rst_rx_n <- t.rst_rx_n + 1;
+      M.inc m_rst_rx 1;
+      if Trace.enabled () then
+        Trace.instant ~arg:0 Trace.Tcp_rst ~packet:(Trace.current_packet ())
+          ~ts:(Machine.micros (machine t));
+      match t.st with
+      | Closed | Listen -> ()
+      | Syn_sent ->
+          (* Acceptable only when it acknowledges our SYN. *)
+          if Tcp_header.has h Tcp_header.ack_flag && h.ack = t.snd_nxt then
+            handle_reset t
+          else count_drop t Out_of_window
+      | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+      | Last_ack | Time_wait ->
+          if h.seq = t.rcv_nxt then handle_reset t
+          else count_drop t Out_of_window
+    end
+    else
     match t.st with
-    | Closed -> ()
+    | Closed ->
+        (* A dead connection (crashed host or typed abort) answers with
+           RST so the peer stops retransmitting into a black hole; a
+           cleanly closed socket stays silent (clean wire traces must be
+           byte-identical to the pre-fault-model stack). *)
+        if t.destroyed || t.failed <> None then send_rst t h ~payload_len
     | Listen ->
         if Tcp_header.has h Tcp_header.syn then begin
           t.remote_port <- h.src_port;
@@ -1590,6 +1906,7 @@ let handle_datagram t (dgram : Datagram.t) =
           if payload_len > 0 then handle_data t h ~payload_len
         end
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Last_ack | Time_wait ->
+        ka_note_activity t;
         handle_ack t h ~payload_len;
         (* [handle_ack] may have aborted the connection (optimistic-ack
            forgery): nothing further in this datagram is trusted. *)

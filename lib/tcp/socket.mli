@@ -146,18 +146,34 @@ val drop_reason_to_string : drop_reason -> string
 (** Why the connection was torn down by the stack rather than by a clean
     close: data, handshake or FIN retransmissions hit [max_retries], the
     peer's advertised window stayed too small for the pending message
-    past [stall_deadline_us] ([Peer_stalled]), or the peer acknowledged
+    past [stall_deadline_us] ([Peer_stalled]), the peer acknowledged
     sequence space beyond anything this endpoint ever sent — an
     optimistic-ack attack trying to drive the sender faster than the
-    real round-trip ([Misbehaving_peer]). *)
+    real round-trip ([Misbehaving_peer]) — or the peer (typically a
+    crashed-and-restarted host that no longer knows the connection)
+    answered with an acceptable RST ([Connection_reset]).
+    [Connection_reset] is deliberately distinct from [Retry_exhausted]:
+    a reset is positive evidence the peer is up but forgot the
+    connection, while retry exhaustion is silence. *)
 type abort_reason =
   | Retry_exhausted
   | Handshake_failed
   | Close_timeout
   | Peer_stalled
   | Misbehaving_peer
+  | Connection_reset
 
 val abort_reason_to_string : abort_reason -> string
+
+(** Verdict of a keepalive probe cycle (see {!start_keepalive}):
+    [Peer_alive] — an outstanding probe was answered; [Peer_reset] — a
+    probe was answered with RST (half-open connection: the peer
+    restarted), the connection aborts with {!Connection_reset};
+    [Peer_silent] — the probe budget was exhausted without an answer,
+    the connection aborts with {!Retry_exhausted}. *)
+type keepalive_verdict = Peer_alive | Peer_reset | Peer_silent
+
+val keepalive_verdict_to_string : keepalive_verdict -> string
 
 type t
 
@@ -180,6 +196,49 @@ val listen : t -> unit
 
 (** Half-close after all queued data is acknowledged. *)
 val close : t -> unit
+
+(** Tear the socket down as a crashing host does: no FIN, no abort
+    callback — every queue, ring reservation and timer is dropped
+    immediately ([Simclock.pending_count ~owner:(timer_owner t)] is 0
+    afterwards).  The socket answers later segments with RST (it is a
+    dead connection, not a cleanly closed one) and cannot be reused. *)
+val destroy : t -> unit
+
+(** True after {!destroy}. *)
+val destroyed : t -> bool
+
+(** The {!Ilp_netsim.Simclock} owner id tagging every timer this socket
+    schedules — assert [Simclock.pending_count ~owner = 0] after
+    {!destroy} or an abort to prove timer hygiene. *)
+val timer_owner : t -> int
+
+(** [start_keepalive t ?interval_us ?probes ~on_result ()] monitors an
+    established connection for a half-open peer: every [interval_us]
+    (default 50ms) of further silence sends one probe (an
+    already-acknowledged garbage byte, the persist probe's wire shape).
+    Any inbound segment answers an outstanding probe with [Peer_alive]
+    (and the monitor keeps running); an acceptable RST reports
+    [Peer_reset] and aborts {!Connection_reset}; [probes] (default 3)
+    unanswered probes report [Peer_silent] and abort {!Retry_exhausted}.
+    Terminal verdicts fire [on_result] before the abort callback. *)
+val start_keepalive :
+  t ->
+  ?interval_us:float ->
+  ?probes:int ->
+  on_result:(keepalive_verdict -> unit) ->
+  unit ->
+  unit
+
+val stop_keepalive : t -> unit
+
+(** [reset_for dgram] is the RST a crashed host's address answers [dgram]
+    with while the host is down and no socket exists at all: [None] for
+    malformed input and for resets (never reset a reset), otherwise the
+    RFC 793 reset echoing the segment's acknowledgement (or, for a SYN,
+    acknowledging it with [SEQ=0]).  Used by the netsim crash plan's
+    reset responder; sockets answer for themselves via their own receive
+    path. *)
+val reset_for : Ilp_netsim.Datagram.t -> Ilp_netsim.Datagram.t option
 
 val state : t -> state
 val local_port : t -> int
@@ -308,6 +367,11 @@ type stats = {
           [retransmissions]) *)
   spurious_retransmits : int;
       (** retransmissions the peer reported as duplicates via D-SACK *)
+  rst_tx : int;
+      (** resets this socket emitted for segments addressed to it while
+          dead (aborted or destroyed) *)
+  rst_rx : int;  (** resets received (acceptable or not) *)
+  keepalive_probes : int;  (** keepalive probes sent *)
 }
 
 val stats : t -> stats

@@ -387,6 +387,26 @@ let test_overload_soak_smoke () =
   let o2 = Soak.run_overload cfg in
   checkb "same seed, same outcome" true (o = o2)
 
+let test_crash_soak_smoke () =
+  let module Soak = Ilp_app.Soak in
+  let cfg =
+    { Soak.default_crash_config with Soak.transfers = 8; file_len = 1024 }
+  in
+  let o = Soak.run_crash cfg in
+  checkb "fault-model invariants hold" true (Soak.crash_invariants_hold o);
+  check "every transfer classified" cfg.Soak.transfers
+    (o.Soak.completed + o.Soak.typed_failures + o.Soak.silent_outcomes);
+  checkb "crashes actually happened" true (o.Soak.crashes > 0);
+  checkb "some transfer resumed across a restart" true
+    (o.Soak.resumed_completed > 0);
+  check "never restarted from byte zero" 0 o.Soak.restarts_from_zero;
+  check "no stale timers after any crash" 0 o.Soak.stale_timers;
+  check "dedup ledger conserved" 0 o.Soak.dedup_violations;
+  check "pool balanced" 0 o.Soak.pool_leaks;
+  (* Deterministic under a fixed seed. *)
+  let o2 = Soak.run_crash cfg in
+  checkb "same seed, same outcome" true (o = o2)
+
 let test_overload_lying_receiver () =
   (* The lying-receiver persona forges SACK feedback through the link's
      tamper hook; every forgery must be either rejected (and counted) by
@@ -452,4 +472,5 @@ let () =
           Alcotest.test_case "soak determinism" `Quick test_soak_deterministic;
           Alcotest.test_case "overload soak smoke" `Slow test_overload_soak_smoke;
           Alcotest.test_case "lying receiver punished" `Slow
-            test_overload_lying_receiver ] ) ]
+            test_overload_lying_receiver;
+          Alcotest.test_case "crash soak smoke" `Slow test_crash_soak_smoke ] ) ]

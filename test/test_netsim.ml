@@ -442,6 +442,155 @@ let test_demux_alloc_port () =
   checkb "ephemeral range" true (p1 >= 32768 && p2 >= 32768);
   checkb "fresh port" true (p1 <> p2)
 
+(* ------------------------------------------------------------------ *)
+(* Crashplan *)
+
+let crash_dgram = Datagram.create ~src_port:1 ~dst_port:2 ~payload:"x"
+
+let test_crashplan_at_times_lifecycle () =
+  let clock = Simclock.create () in
+  let kills = ref 0 and revives = ref 0 and got = ref 0 in
+  let plan =
+    Crashplan.create clock
+      ~schedule:(Crashplan.At_times [ 100.0; 400.0 ])
+      ~down_us:50.0 ~behaviour:Crashplan.Blackhole
+      ~kill:(fun () -> incr kills)
+      ~revive:(fun () -> incr revives)
+      ()
+  in
+  let deliver = Crashplan.guard plan ~deliver:(fun _ -> incr got) in
+  checkb "up initially" true (Crashplan.is_up plan);
+  deliver crash_dgram;
+  check "delivered while up" 1 !got;
+  Simclock.advance clock 120.0;
+  checkb "down after the first scheduled time" false (Crashplan.is_up plan);
+  check "kill callback ran" 1 !kills;
+  deliver crash_dgram;
+  check "blackholed while down" 1 !got;
+  check "swallow counted" 1 (Crashplan.swallowed plan);
+  check "blackhole never resets" 0 (Crashplan.resets plan);
+  Simclock.advance clock 100.0;
+  checkb "back up after down_us" true (Crashplan.is_up plan);
+  check "revive callback ran" 1 !revives;
+  deliver crash_dgram;
+  check "delivery resumes" 2 !got;
+  Simclock.advance clock 300.0;
+  check "second scheduled crash" 2 (Crashplan.crashes plan);
+  check "second revive" 2 !revives;
+  Crashplan.stop plan;
+  check "stop leaves no owned timers" 0
+    (Simclock.pending_count clock ~owner:(Crashplan.timer_owner plan))
+
+let test_crashplan_stop_cancels_future_crashes () =
+  let clock = Simclock.create () in
+  let kills = ref 0 in
+  let plan =
+    Crashplan.create clock
+      ~schedule:(Crashplan.At_times [ 200.0; 300.0 ])
+      ~down_us:10.0 ~behaviour:Crashplan.Blackhole
+      ~kill:(fun () -> incr kills)
+      ~revive:(fun () -> ())
+      ()
+  in
+  check "crash timers pending" 2
+    (Simclock.pending_count clock ~owner:(Crashplan.timer_owner plan));
+  Crashplan.stop plan;
+  check "all cancelled" 0
+    (Simclock.pending_count clock ~owner:(Crashplan.timer_owner plan));
+  Simclock.run_until_idle clock;
+  check "no crash ever fires" 0 !kills;
+  checkb "still up" true (Crashplan.is_up plan)
+
+let test_crashplan_on_packet_rearms () =
+  let clock = Simclock.create () in
+  let got = ref 0 in
+  let plan =
+    Crashplan.create clock ~max_crashes:2 ~schedule:(Crashplan.On_packet 3)
+      ~down_us:40.0 ~behaviour:Crashplan.Blackhole
+      ~kill:(fun () -> ())
+      ~revive:(fun () -> ())
+      ()
+  in
+  let deliver = Crashplan.guard plan ~deliver:(fun _ -> incr got) in
+  deliver crash_dgram;
+  deliver crash_dgram;
+  check "first two delivered" 2 !got;
+  deliver crash_dgram;
+  check "trigger packet dies with the host" 2 !got;
+  checkb "down on the Nth packet" false (Crashplan.is_up plan);
+  check "one crash" 1 (Crashplan.crashes plan);
+  check "trigger packet swallowed" 1 (Crashplan.swallowed plan);
+  Simclock.advance clock 60.0;
+  checkb "revived" true (Crashplan.is_up plan);
+  deliver crash_dgram;
+  deliver crash_dgram;
+  check "count restarts after revival" 4 !got;
+  deliver crash_dgram;
+  check "trigger re-arms" 2 (Crashplan.crashes plan);
+  Simclock.advance clock 60.0;
+  deliver crash_dgram;
+  deliver crash_dgram;
+  deliver crash_dgram;
+  deliver crash_dgram;
+  check "max_crashes caps further crashes" 2 (Crashplan.crashes plan);
+  check "host is immortal afterwards" 8 !got;
+  Crashplan.stop plan;
+  check "no owned timers" 0
+    (Simclock.pending_count clock ~owner:(Crashplan.timer_owner plan))
+
+let test_crashplan_respond_answers_with_resets () =
+  let clock = Simclock.create () in
+  let sent = ref [] in
+  let plan =
+    Crashplan.create clock
+      ~schedule:(Crashplan.At_times [ 50.0 ])
+      ~down_us:100.0
+      ~behaviour:
+        (Crashplan.Respond
+           { reply =
+               (fun d ->
+                 if d.Datagram.payload = "quiet" then None
+                 else
+                   Some
+                     (Datagram.create ~src_port:d.Datagram.dst_port
+                        ~dst_port:d.Datagram.src_port ~payload:"RST"));
+             send = (fun d -> sent := d :: !sent) })
+      ~kill:(fun () -> ())
+      ~revive:(fun () -> ())
+      ()
+  in
+  let deliver = Crashplan.guard plan ~deliver:(fun _ -> ()) in
+  Simclock.advance clock 60.0;
+  checkb "down" false (Crashplan.is_up plan);
+  deliver crash_dgram;
+  check "reset answered" 1 (Crashplan.resets plan);
+  check "reset emitted via send" 1 (List.length !sent);
+  checkb "ports swapped" true
+    (match !sent with
+    | [ r ] -> r.Datagram.src_port = 2 && r.Datagram.dst_port = 1
+    | _ -> false);
+  deliver (Datagram.create ~src_port:1 ~dst_port:2 ~payload:"quiet");
+  check "reply=None stays silent" 1 (Crashplan.resets plan);
+  check "both swallowed regardless" 2 (Crashplan.swallowed plan);
+  Crashplan.stop plan
+
+let test_crashplan_seeded_times () =
+  let a = Crashplan.seeded_times ~seed:42 ~crashes:8 ~horizon_us:10_000.0 in
+  let b = Crashplan.seeded_times ~seed:42 ~crashes:8 ~horizon_us:10_000.0 in
+  checkb "seed-deterministic" true (a = b);
+  check "requested count" 8 (List.length a);
+  checkb "sorted" true (a = List.sort compare a);
+  checkb "inside (0.1, 1.0) of the horizon" true
+    (List.for_all (fun t -> t >= 1_000.0 && t < 10_000.0) a);
+  checkb "different seed draws differently" true
+    (Crashplan.seeded_times ~seed:43 ~crashes:8 ~horizon_us:10_000.0 <> a);
+  (match Crashplan.seeded_times ~seed:1 ~crashes:(-1) ~horizon_us:10.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Crashplan.seeded_times ~seed:1 ~crashes:1 ~horizon_us:0.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "netsim"
     [ ( "simclock",
@@ -482,4 +631,14 @@ let () =
         [ Alcotest.test_case "datagram validation" `Quick test_datagram_validation;
           Alcotest.test_case "routing" `Quick test_demux_routing;
           Alcotest.test_case "bind conflict" `Quick test_demux_bind_conflict_and_unbind;
-          Alcotest.test_case "alloc port" `Quick test_demux_alloc_port ] ) ]
+          Alcotest.test_case "alloc port" `Quick test_demux_alloc_port ] );
+      ( "crashplan",
+        [ Alcotest.test_case "timed lifecycle" `Quick
+            test_crashplan_at_times_lifecycle;
+          Alcotest.test_case "stop cancels future crashes" `Quick
+            test_crashplan_stop_cancels_future_crashes;
+          Alcotest.test_case "Nth-packet trigger re-arms" `Quick
+            test_crashplan_on_packet_rearms;
+          Alcotest.test_case "dead address answers RST" `Quick
+            test_crashplan_respond_answers_with_resets;
+          Alcotest.test_case "seeded times" `Quick test_crashplan_seeded_times ] ) ]

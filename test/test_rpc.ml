@@ -31,7 +31,9 @@ let plaintext_of ?(length_at_end = false) body =
   else len_word ^ body ^ String.make (total - enc_len) '\000'
 
 let test_request_roundtrip () =
-  let req = { Messages.file_name = "paper.dat"; copies = 3; max_reply = 1024 } in
+  let req =
+    Messages.request ~file_name:"paper.dat" ~copies:3 ~max_reply:1024 ()
+  in
   let plaintext = plaintext_of (Messages.encode_request req) in
   match Messages.decode_request plaintext with
   | Ok got ->
@@ -41,7 +43,7 @@ let test_request_roundtrip () =
   | Error e -> Alcotest.fail e
 
 let test_request_roundtrip_trailer () =
-  let req = { Messages.file_name = "f"; copies = 1; max_reply = 64 } in
+  let req = Messages.request ~file_name:"f" ~copies:1 ~max_reply:64 () in
   let plaintext = plaintext_of ~length_at_end:true (Messages.encode_request req) in
   match Messages.decode_request ~length_at_end:true plaintext with
   | Ok got -> check_s "name" "f" got.Messages.file_name
@@ -83,6 +85,90 @@ let test_decode_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad reply accepted"
 
+let test_probe_roundtrip () =
+  let probe =
+    { Messages.p_file_name = "paper.dat"; p_offset = 1536; p_crc = 0xCAFE42;
+      p_req_id = 77 }
+  in
+  let plaintext = plaintext_of (Messages.encode_probe probe) in
+  match Messages.decode_ctrl plaintext with
+  | Ok (Messages.Probe got) -> checkb "probe fields survive" true (got = probe)
+  | Ok (Messages.Request _) -> Alcotest.fail "probe dispatched as request"
+  | Error e -> Alcotest.fail e
+
+let test_request_v2_roundtrip () =
+  let req =
+    Messages.request ~req_id:42 ~start_copy:1 ~start_offset:2048
+      ~file_name:"paper.dat" ~copies:3 ~max_reply:512 ()
+  in
+  checkb "fault-model fields force the v2 form" false (Messages.request_is_v1 req);
+  let plaintext = plaintext_of (Messages.encode_request req) in
+  match Messages.decode_ctrl plaintext with
+  | Ok (Messages.Request got) ->
+      checkb "resume fields survive" true (got = req)
+  | Ok (Messages.Probe _) -> Alcotest.fail "request dispatched as probe"
+  | Error e -> Alcotest.fail e
+
+let test_request_v1_wire_unchanged () =
+  (* Zero fault-model fields must marshal in the original three-field
+     form: the pre-fault-model fixed layout (XDR string + 2 words), so
+     clean traces stay byte-identical. *)
+  let req = Messages.request ~file_name:"paper.dat" ~copies:2 ~max_reply:512 () in
+  checkb "id-less request is v1" true (Messages.request_is_v1 req);
+  let enc = Messages.encode_request req in
+  (* "paper.dat" as XDR: 4 (length) + 9 + 3 (pad) = 16; plus copies and
+     max_reply words. *)
+  check "exactly the three-field layout" 24 (String.length enc);
+  let v2 =
+    Messages.encode_request
+      (Messages.request ~req_id:1 ~file_name:"paper.dat" ~copies:2
+         ~max_reply:512 ())
+  in
+  check "v2 carries three more words" (24 + 12) (String.length v2);
+  match Messages.decode_ctrl (plaintext_of enc) with
+  | Ok (Messages.Request got) ->
+      checkb "ctrl dispatch recovers the v1 request" true (got = req)
+  | Ok (Messages.Probe _) -> Alcotest.fail "v1 request dispatched as probe"
+  | Error e -> Alcotest.fail e
+
+(* Build a plaintext the way the engine does when the end-to-end CRC32
+   trailer is on: the length word covers body + a 4-byte trailer. *)
+let plaintext_with_crc_trailer body =
+  let enc_len = 4 + String.length body + 4 in
+  let total = max ((enc_len + 7) / 8 * 8) 8 in
+  let len_word =
+    String.init 4 (fun i -> Char.chr ((enc_len lsr ((3 - i) * 8)) land 0xff))
+  in
+  len_word ^ body ^ "\xde\xad\xbe\xef" ^ String.make (total - enc_len) '\000'
+
+let test_ctrl_dispatch_with_crc_trailer () =
+  (* Regression: the ctrl dispatcher counts trailing integer words after
+     the file name; an uncounted CRC trailer adds a phantom word and a v1
+     request (2 words) mis-dispatches as a probe (3 words). *)
+  let req = Messages.request ~file_name:"paper.dat" ~copies:2 ~max_reply:512 () in
+  let plaintext = plaintext_with_crc_trailer (Messages.encode_request req) in
+  (match Messages.decode_ctrl ~crc_trailer:true plaintext with
+  | Ok (Messages.Request got) ->
+      checkb "request recovered under the trailer" true (got = req)
+  | Ok (Messages.Probe _) ->
+      Alcotest.fail "crc_trailer:true still dispatched as probe"
+  | Error e -> Alcotest.fail e);
+  (match Messages.decode_ctrl plaintext with
+  | Ok (Messages.Request got) when got = req ->
+      Alcotest.fail "phantom trailer word went unnoticed"
+  | _ -> ());
+  (* Probes gain the same immunity. *)
+  let probe =
+    { Messages.p_file_name = "paper.dat"; p_offset = 64; p_crc = 7; p_req_id = 9 }
+  in
+  match
+    Messages.decode_ctrl ~crc_trailer:true
+      (plaintext_with_crc_trailer (Messages.encode_probe probe))
+  with
+  | Ok (Messages.Probe got) -> checkb "probe recovered" true (got = probe)
+  | Ok (Messages.Request _) -> Alcotest.fail "probe dispatched as request"
+  | Error e -> Alcotest.fail e
+
 let prop_request_roundtrip =
   QCheck.Test.make ~count:150 ~name:"request encode/decode round trip"
     QCheck.(
@@ -90,7 +176,7 @@ let prop_request_roundtrip =
         (string_of_size Gen.(int_bound 30))
         (int_range 0 100) (int_range 0 100_000))
     (fun (file_name, copies, max_reply) ->
-      let req = { Messages.file_name; copies; max_reply } in
+      let req = Messages.request ~file_name ~copies ~max_reply () in
       let plaintext = plaintext_of (Messages.encode_request req) in
       match Messages.decode_request plaintext with
       | Ok got -> got = req
@@ -123,7 +209,7 @@ let prop_request_view_equals_copy =
         (string_of_size Gen.(int_bound 30))
         (int_range 0 100) small_nat (pair bool bool))
     (fun (file_name, copies, corrupt_at, (trailer, corrupt)) ->
-      let req = { Messages.file_name; copies; max_reply = 4096 } in
+      let req = Messages.request ~file_name ~copies ~max_reply:4096 () in
       let plaintext =
         plaintext_of ~length_at_end:trailer (Messages.encode_request req)
       in
@@ -175,24 +261,30 @@ type world = {
   srv_engine : Engine.t;
   server : Server.t;
   client : Client.t;
+  srv_ctrl : Socket.t;
+  srv_data : Socket.t;
+  cli_ctrl : Socket.t;
   cli_data : Socket.t;
   file : string;
   file_addr : int;
 }
 
 let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
-    ?(limits = Server.default_limits) ?(mangle = fun _ s -> s) () =
+    ?(limits = Server.default_limits) ?(mangle = fun _ s -> s)
+    ?(idempotent = false) ?(drop = fun (_ : Datagram.t) -> false) () =
   let sim = Sim.create Config.ss10_30 in
   let clock = Simclock.create () in
   let demux = Demux.create () in
   let link = ref None in
   let count = ref 0 in
   let wire_out d =
-    incr count;
-    let payload = mangle !count d.Datagram.payload in
-    Link.send (Option.get !link)
-      (Datagram.create ~src_port:d.Datagram.src_port
-         ~dst_port:d.Datagram.dst_port ~payload)
+    if not (drop d) then begin
+      incr count;
+      let payload = mangle !count d.Datagram.payload in
+      Link.send (Option.get !link)
+        (Datagram.create ~src_port:d.Datagram.src_port
+           ~dst_port:d.Datagram.dst_port ~payload)
+    end
   in
   link :=
     Some (Link.create clock ~delay_us:50.0 ~loss_rate ~seed:7
@@ -215,7 +307,8 @@ let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
   let server = Server.create ~clock ~engine:srv_engine ~limits () in
   ignore (Server.attach server ~ctrl:srv_ctrl ~data:srv_data);
   let client =
-    Client.create ~clock ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data ()
+    Client.create ~clock ~engine:cli_engine ~idempotent ~ctrl:cli_ctrl
+      ~data:cli_data ()
   in
   let file = Ilp_app.Workload.generate ~len:file_len ~seed:3 in
   let addr = Ilp_app.Workload.install sim file in
@@ -225,8 +318,8 @@ let make_world ?(mode = Engine.Ilp) ?(loss_rate = 0.0) ?(file_len = 4096)
   Socket.connect cli_ctrl ~remote_port:10;
   Socket.connect srv_data ~remote_port:13;
   Simclock.run_until_idle clock;
-  { sim; clock; demux; wire_out; srv_engine; server; client; cli_data; file;
-    file_addr = addr }
+  { sim; clock; demux; wire_out; srv_engine; server; client; srv_ctrl;
+    srv_data; cli_ctrl; cli_data; file; file_addr = addr }
 
 let pump w =
   let guard = ref 50_000 in
@@ -381,13 +474,171 @@ let test_reconnect_resumes () =
   Socket.connect srv_data ~remote_port:23;
   Simclock.run_until_idle w.clock;
   (match Client.reconnect w.client ~ctrl:cli_ctrl ~data:cli_data with
-  | Ok () -> ()
+  | Ok _summary -> ()
   | Error _ -> Alcotest.fail "reconnect refused");
   pump_settle w;
   checkb "no failure after resume" true (Client.failure w.client = None);
   checkb "complete after resume" true (Client.transfer_complete w.client);
   check "one reconnect" 1 (Client.reconnects w.client);
   check "bytes" (String.length w.file) (Client.bytes_received w.client)
+
+(* ---------------------------------------------------------------- *)
+(* Node crash/restart: dedup replay and mid-copy resume *)
+
+(* Kill the original server host: instance state gone (shutdown), NIC
+   gone (sockets destroyed) — and prove the teardown left no timers. *)
+let crash_server w =
+  Server.shutdown w.server;
+  check "server drain timers cancelled" 0
+    (Simclock.pending_count w.clock ~owner:(Server.timer_owner w.server));
+  Socket.destroy w.srv_ctrl;
+  Socket.destroy w.srv_data;
+  List.iter
+    (fun s ->
+      check "destroyed socket holds no timers" 0
+        (Simclock.pending_count w.clock ~owner:(Socket.timer_owner s)))
+    [ w.srv_ctrl; w.srv_data ]
+
+(* Stand the server up again — a fresh instance over [store] — on four
+   fresh ports; hand back the new instance and the client-side pair. *)
+let restart_generation w ~store ~base =
+  let cfg = { Socket.default_config with mss = 2048 } in
+  let mk port =
+    let s =
+      Socket.create w.sim w.clock cfg ~local_port:port ~wire_out:w.wire_out
+    in
+    Demux.bind w.demux ~port (Socket.handle_datagram s);
+    s
+  in
+  let srv_ctrl = mk base and cli_ctrl = mk (base + 1) in
+  let srv_data = mk (base + 2) and cli_data = mk (base + 3) in
+  let server2 = Server.create ~clock:w.clock ~engine:w.srv_engine ~store () in
+  ignore (Server.attach server2 ~ctrl:srv_ctrl ~data:srv_data);
+  Server.add_file server2 ~name:"test.bin" ~addr:w.file_addr
+    ~len:(String.length w.file);
+  Socket.listen srv_ctrl;
+  Socket.listen cli_data;
+  Socket.connect cli_ctrl ~remote_port:base;
+  Socket.connect srv_data ~remote_port:(base + 3);
+  Simclock.run_until_idle w.clock;
+  (server2, cli_ctrl, cli_data)
+
+let test_dedup_replay_served_from_cache () =
+  (* The doomed instance executes a request whose replies never reach the
+     client; after the crash the client re-issues it under the SAME
+     idempotency id, and the restarted instance answers from the dedup
+     cache instead of re-executing — then the client finishes under a
+     fresh id. *)
+  let dead = ref false in
+  let drop d =
+    !dead && (d.Datagram.src_port = 10 || d.Datagram.src_port = 12)
+  in
+  let w = make_world ~idempotent:true ~file_len:1024 ~drop () in
+  dead := true;
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  pump_settle w;
+  checkb "client aborted into the void" true
+    (Client.failure w.client = Some (Client.Aborted Socket.Retry_exhausted));
+  check "nothing received" 0 (Client.bytes_received w.client);
+  let store = Server.store w.server in
+  check "the lost instance executed it" 1 (Server.executions store);
+  crash_server w;
+  Socket.destroy w.cli_ctrl;
+  Socket.destroy w.cli_data;
+  dead := false;
+  let server2, cli_ctrl, cli_data = restart_generation w ~store ~base:20 in
+  (match Client.reconnect w.client ~ctrl:cli_ctrl ~data:cli_data with
+  | Ok s ->
+      checkb "same-id re-issue, not a resume" true
+        (s.Client.resumed_from = None);
+      check "no bytes to keep" 0 s.Client.bytes_verified
+  | Error _ -> Alcotest.fail "reconnect refused");
+  pump_settle w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete after the dedup replay" true
+    (Client.transfer_complete w.client);
+  check "bytes" (String.length w.file) (Client.bytes_received w.client);
+  check "replay answered from the cache" 1 (Server.dedup_hits store);
+  check "executed twice, never under one id" 2 (Server.executions store);
+  check "three id-carrying requests seen" 3 (Server.id_requests_seen store);
+  check "conservation law" (Server.id_requests_seen store)
+    (Server.executions store + Server.dedup_hits store
+    + Server.dedup_sheds store);
+  check "the fresh-id re-issue counted as a resume" 1 (Client.resumes w.client);
+  check "no probe: nothing to verify" 0 (Server.probes_received server2);
+  Simclock.run_until_idle w.clock;
+  check "client retry timer owner clean" 0
+    (Simclock.pending_count w.clock ~owner:(Client.timer_owner w.client))
+
+let test_resume_mid_copy_verifies_prefix () =
+  (* A crash mid-copy: the client keeps its verified prefix, CRC-probes
+     the restarted server, and resumes at the verified offset — never
+     from byte zero. *)
+  let dead = ref false in
+  let drop _ = !dead in
+  let w = make_world ~idempotent:true ~file_len:8192 ~drop () in
+  (match
+     Client.request_file w.client ~name:"test.bin" ~copies:1 ~max_reply:512
+       ~expected:w.file
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "request refused");
+  let guard = ref 10_000 in
+  while Client.bytes_received w.client < 2048 && !guard > 0 do
+    decr guard;
+    Simclock.advance w.clock 100.0
+  done;
+  let kept = Client.bytes_received w.client in
+  checkb "a partial mid-copy prefix exists" true
+    (kept >= 2048 && kept < String.length w.file);
+  (* The host dies.  The client is pure receiver here, so only its
+     half-open detector can notice: keepalive probes into the void. *)
+  dead := true;
+  Socket.start_keepalive w.cli_data ~interval_us:10_000.0 ~probes:2
+    ~on_result:(fun _ -> ()) ();
+  let guard = ref 10_000 in
+  while Client.failure w.client = None && !guard > 0 do
+    decr guard;
+    Simclock.advance w.clock 2_000.0
+  done;
+  checkb "keepalive surfaced the dead peer" true
+    (Client.failure w.client <> None);
+  Socket.stop_keepalive w.cli_data;
+  check "prefix survives the abort" kept (Client.bytes_received w.client);
+  crash_server w;
+  Socket.destroy w.cli_ctrl;
+  Socket.destroy w.cli_data;
+  List.iter
+    (fun s ->
+      check "old client sockets hold no timers" 0
+        (Simclock.pending_count w.clock ~owner:(Socket.timer_owner s)))
+    [ w.cli_ctrl; w.cli_data ];
+  dead := false;
+  let store = Server.store w.server in
+  let server2, cli_ctrl, cli_data = restart_generation w ~store ~base:20 in
+  (match Client.reconnect w.client ~ctrl:cli_ctrl ~data:cli_data with
+  | Ok s ->
+      checkb "resumes at the verified prefix, not byte zero" true
+        (s.Client.resumed_from = Some (0, kept));
+      check "every received byte kept" kept s.Client.bytes_verified
+  | Error _ -> Alcotest.fail "reconnect refused");
+  pump_settle w;
+  Alcotest.(check (list string)) "no errors" [] (Client.errors w.client);
+  checkb "complete after the resume" true (Client.transfer_complete w.client);
+  check "byte-exact overall" (String.length w.file)
+    (Client.bytes_received w.client);
+  check "the restarted server answered one CRC probe" 1
+    (Server.probes_received server2);
+  check "one resume request sent" 1 (Client.resumes w.client);
+  check "one reconnect" 1 (Client.reconnects w.client);
+  Simclock.run_until_idle w.clock;
+  check "client retry timer owner clean" 0
+    (Simclock.pending_count w.clock ~owner:(Client.timer_owner w.client))
 
 (* The receive-path equivalence property: for any corruption pattern, the
    separate (checksum pass then handler) and integrated (fused
@@ -600,6 +851,13 @@ let () =
           Alcotest.test_case "reply round trip" `Quick test_reply_roundtrip;
           Alcotest.test_case "error status" `Quick test_reply_error_status;
           Alcotest.test_case "garbage" `Quick test_decode_garbage;
+          Alcotest.test_case "probe round trip" `Quick test_probe_roundtrip;
+          Alcotest.test_case "v2 request round trip" `Quick
+            test_request_v2_roundtrip;
+          Alcotest.test_case "v1 wire unchanged" `Quick
+            test_request_v1_wire_unchanged;
+          Alcotest.test_case "ctrl dispatch under CRC trailer" `Quick
+            test_ctrl_dispatch_with_crc_trailer;
           qc prop_request_roundtrip;
           qc prop_request_view_equals_copy;
           qc prop_reply_view_equals_copy ] );
@@ -613,6 +871,10 @@ let () =
         [ Alcotest.test_case "abort surfaces to client" `Quick
             test_abort_surfaces_to_client;
           Alcotest.test_case "reconnect resumes" `Quick test_reconnect_resumes;
+          Alcotest.test_case "dedup replay served from cache" `Quick
+            test_dedup_replay_served_from_cache;
+          Alcotest.test_case "mid-copy resume verifies prefix" `Quick
+            test_resume_mid_copy_verifies_prefix;
           qc prop_rx_modes_equivalent_under_corruption ] );
       ( "admission",
         [ Alcotest.test_case "oversized request refused" `Quick

@@ -1474,6 +1474,228 @@ let test_sack_off_is_newreno () =
   check "sender accepted none" 0 sa.Socket.sack_blocks_rx;
   check "scoreboard idle" 0 sa.Socket.sack_retransmits
 
+(* ------------------------------------------------------------------ *)
+(* Node-crash fault model: RST semantics, keepalive, timer hygiene *)
+
+let blackhole_mangle on _ s =
+  (* Corrupt every datagram's IP header once [on] is set: the kernel
+     drops each one, so the sender transmits into the void. *)
+  if !on && String.length s > 0 then begin
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    Bytes.to_string b
+  end
+  else s
+
+let test_rst_on_destroyed_connection () =
+  let w = make_world () in
+  connect w;
+  let aborted = ref [] in
+  Socket.set_on_abort w.a (fun r -> aborted := r :: !aborted);
+  (* b's host crashes: no FIN, no callback — b answers later segments
+     with RST, and a's abort is the typed Connection_reset, positive
+     evidence the peer is up but forgot the connection. *)
+  Socket.destroy w.b;
+  checkb "destroyed" true (Socket.destroyed w.b);
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "into the void";
+    None
+  in
+  (match Socket.send_message w.a ~len:13 ~fill with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send refused");
+  Simclock.run_until_idle w.clock;
+  checkb "typed Connection_reset, not Retry_exhausted" true
+    (Socket.failure w.a = Some Socket.Connection_reset);
+  checkb "abort callback fired exactly once" true
+    (!aborted = [ Socket.Connection_reset ]);
+  checkb "dead side sent the reset" true ((Socket.stats w.b).Socket.rst_tx >= 1);
+  checkb "reset received" true ((Socket.stats w.a).Socket.rst_rx >= 1)
+
+let test_destroy_cancels_every_timer () =
+  (* Crash mid-flight with retransmission, delayed-ack and persist
+     machinery armed: destroy must leave zero owned timers behind. *)
+  let w = make_world ~ack_delay_us:5_000.0 () in
+  connect w;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst (String.make 600 'q');
+    None
+  in
+  (match Socket.send_message w.a ~len:600 ~fill with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send refused");
+  Simclock.advance w.clock 100.0;
+  Socket.destroy w.a;
+  Socket.destroy w.b;
+  check "a timers cancelled" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a));
+  check "b timers cancelled" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.b));
+  Simclock.run_until_idle w.clock
+
+let test_abort_cancels_every_timer () =
+  let on = ref false in
+  let w = make_world ~mangle:(blackhole_mangle on) () in
+  connect w;
+  on := true;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "doomed";
+    None
+  in
+  (match Socket.send_message w.a ~len:6 ~fill with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send refused");
+  Simclock.run_until_idle w.clock;
+  checkb "retry exhaustion surfaced" true
+    (Socket.failure w.a = Some Socket.Retry_exhausted);
+  check "aborted side left no timers" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a))
+
+let test_keepalive_detects_restart () =
+  let w = make_world () in
+  connect w;
+  let verdicts = ref [] in
+  Socket.destroy w.b;
+  Socket.start_keepalive w.a ~interval_us:10_000.0 ~probes:3
+    ~on_result:(fun v -> verdicts := v :: !verdicts)
+    ();
+  Simclock.run_until_idle w.clock;
+  checkb "probe answered with RST reports Peer_reset" true
+    (List.mem Socket.Peer_reset !verdicts);
+  checkb "half-open connection aborts Connection_reset" true
+    (Socket.failure w.a = Some Socket.Connection_reset);
+  checkb "probe counted" true ((Socket.stats w.a).Socket.keepalive_probes >= 1);
+  check "monitor left no timers" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a))
+
+let test_keepalive_peer_silent () =
+  let on = ref false in
+  let w = make_world ~mangle:(blackhole_mangle on) () in
+  connect w;
+  on := true;
+  let verdicts = ref [] in
+  Socket.start_keepalive w.a ~interval_us:10_000.0 ~probes:2
+    ~on_result:(fun v -> verdicts := v :: !verdicts)
+    ();
+  Simclock.run_until_idle w.clock;
+  checkb "probe budget exhausted reports Peer_silent" true
+    (List.mem Socket.Peer_silent !verdicts);
+  checkb "silence is Retry_exhausted, not Connection_reset" true
+    (Socket.failure w.a = Some Socket.Retry_exhausted);
+  check "monitor left no timers" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a))
+
+let test_keepalive_peer_alive_keeps_running () =
+  let w = make_world () in
+  connect w;
+  let verdicts = ref [] in
+  Socket.start_keepalive w.a ~interval_us:10_000.0 ~probes:2
+    ~on_result:(fun v -> verdicts := v :: !verdicts)
+    ();
+  for _ = 1 to 6 do
+    Simclock.advance w.clock 10_000.0
+  done;
+  checkb "answered probes report Peer_alive" true
+    (List.mem Socket.Peer_alive !verdicts);
+  checkb "no terminal verdict on a live peer" true
+    ((not (List.mem Socket.Peer_reset !verdicts))
+    && not (List.mem Socket.Peer_silent !verdicts));
+  checkb "connection unharmed" true (Socket.failure w.a = None);
+  Socket.stop_keepalive w.a;
+  Simclock.run_until_idle w.clock;
+  check "monitor stopped cleanly" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a))
+
+let test_fin_with_queued_stream_tsdus () =
+  (* Half-close while send_stream still holds queued TSDUs: the FIN must
+     ride behind every queued byte, and the receiver reassembles all of
+     them before seeing it. *)
+  let w = make_world ~max_tsdu:16_384 () in
+  connect w;
+  let got = Buffer.create 8192 in
+  collect_into w got;
+  let tsdus = List.init 4 (fun k -> stream_payload 2000 (90 + k)) in
+  List.iter
+    (fun p ->
+      match stream_tsdu w p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send_stream refused: %s" (send_error_to_string e))
+    tsdus;
+  checkb "TSDUs still queued at close time" true (Socket.pending_streams w.a > 0);
+  Socket.close w.a;
+  Simclock.run_until_idle w.clock;
+  check_s "every queued TSDU delivered before the FIN"
+    (String.concat "" tsdus) (Buffer.contents got);
+  check "no TSDU abandoned" 0 (Socket.pending_streams w.a);
+  checkb "a half closed" true
+    (match Socket.state w.a with
+    | Socket.Fin_wait_2 | Socket.Time_wait | Socket.Closed -> true
+    | _ -> false);
+  checkb "b saw the fin" true (Socket.state w.b = Socket.Close_wait)
+
+let test_fin_rst_crossing () =
+  (* a's data+FIN and b's crash cross in flight: a must end with a typed
+     reset, not a hang, and both sides leave a clean clock. *)
+  let w = make_world () in
+  connect w;
+  let fill m ~dst =
+    Mem.poke_string m ~pos:dst "last words";
+    None
+  in
+  (match Socket.send_message w.a ~len:10 ~fill with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send refused");
+  Socket.close w.a;
+  Socket.destroy w.b;
+  Simclock.run_until_idle w.clock;
+  checkb "typed reset, no hang" true
+    (Socket.failure w.a = Some Socket.Connection_reset);
+  check "a timers clean" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.a));
+  check "b timers clean" 0
+    (Simclock.pending_count w.clock ~owner:(Socket.timer_owner w.b))
+
+let test_reset_for_shapes () =
+  let module Ipv4 = Ilp_netsim.Ipv4 in
+  let mk_dgram h =
+    let h =
+      { h with
+        Tcp_header.checksum =
+          Tcp_header.checksum h ~payload_acc:Ilp_checksum.Internet.empty
+            ~payload_len:0 }
+    in
+    let seg = Tcp_header.to_string h in
+    let ip = Ipv4.make ~protocol:6 ~src:1 ~dst:2 ~payload_len:(String.length seg) () in
+    Datagram.create ~src_port:h.Tcp_header.src_port
+      ~dst_port:h.Tcp_header.dst_port
+      ~payload:(Ipv4.encapsulate ip seg)
+  in
+  let syn =
+    mk_dgram
+      (Tcp_header.make ~seq:500 ~ack:0 ~flags:Tcp_header.syn ~window:100
+         ~checksum:0 ~urgent:0 ~src_port:77 ~dst_port:88 ())
+  in
+  (match Socket.reset_for syn with
+  | None -> Alcotest.fail "SYN to a dead host must be reset"
+  | Some r ->
+      check "ports swapped (src)" 88 r.Datagram.src_port;
+      check "ports swapped (dst)" 77 r.Datagram.dst_port;
+      (match Ilp_netsim.Ipv4.decapsulate r.Datagram.payload with
+      | Error e -> Alcotest.fail ("reset not valid IP: " ^ e)
+      | Ok (_, seg) -> (
+          match Tcp_header.of_string seg ~pos:0 with
+          | Error e -> Alcotest.fail ("reset not valid TCP: " ^ e)
+          | Ok h ->
+              checkb "RST flag set" true (Tcp_header.has h Tcp_header.rst);
+              check "SYN acknowledged" 501 h.Tcp_header.ack;
+              (* Never reset a reset: no storms between two dead hosts. *)
+              checkb "reset-of-reset suppressed" true
+                (Socket.reset_for r = None))));
+  checkb "malformed input ignored" true
+    (Socket.reset_for
+       (Datagram.create ~src_port:1 ~dst_port:2 ~payload:"garbage")
+    = None)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "tcp"
@@ -1566,4 +1788,22 @@ let () =
           Alcotest.test_case "metrics conservation" `Quick
             test_sack_metrics_conservation;
           Alcotest.test_case "sack off is the NewReno baseline" `Quick
-            test_sack_off_is_newreno ] ) ]
+            test_sack_off_is_newreno ] );
+      ( "crash faults",
+        [ Alcotest.test_case "RST on destroyed connection" `Quick
+            test_rst_on_destroyed_connection;
+          Alcotest.test_case "destroy cancels every timer" `Quick
+            test_destroy_cancels_every_timer;
+          Alcotest.test_case "abort cancels every timer" `Quick
+            test_abort_cancels_every_timer;
+          Alcotest.test_case "keepalive detects restart" `Quick
+            test_keepalive_detects_restart;
+          Alcotest.test_case "keepalive peer silent" `Quick
+            test_keepalive_peer_silent;
+          Alcotest.test_case "keepalive peer alive" `Quick
+            test_keepalive_peer_alive_keeps_running;
+          Alcotest.test_case "FIN behind queued stream TSDUs" `Quick
+            test_fin_with_queued_stream_tsdus;
+          Alcotest.test_case "FIN/RST crossing in flight" `Quick
+            test_fin_rst_crossing;
+          Alcotest.test_case "reset_for shapes" `Quick test_reset_for_shapes ] ) ]
