@@ -282,10 +282,11 @@ let mem_cmd =
          & info [ "check" ]
              ~doc:"Fail (exit 1) unless the single-copy gates hold: at the \
                    largest size, bytes-copied ratio >= 2 on the native lanes \
-                   and minor-words ratio >= 2 on the simulated lanes, with \
-                   every pool balanced and disabled-path tracing \
-                   allocation-free — including across a crash-resumed \
-                   transfer's aborts.")
+                   — overall and on the receive direction alone — and \
+                   minor-words ratio >= 2 on the simulated lanes, with \
+                   every pool balanced (an unreturned rx placement buffer \
+                   fails here) and disabled-path tracing allocation-free — \
+                   including across a crash-resumed transfer's aborts.")
   in
   (* The abort-path pool gate: crash-resumed transfers tear sockets and
      server instances down mid-flight; every pooled buffer they held must
@@ -331,9 +332,9 @@ let mem_cmd =
           match gates with
           | Ok () ->
               print_endline
-                "mem gates held: pooled path moves <= half the bytes and \
-                 allocates <= half the minor words; pool balanced across \
-                 crash-resumed aborts";
+                "mem gates held: pooled path moves <= half the bytes (on the \
+                 receive direction too) and allocates <= half the minor \
+                 words; pool balanced across crash-resumed aborts";
               0
           | Error failures ->
               List.iter (fun f -> Printf.eprintf "ilpbench: mem gate: %s\n" f) failures;

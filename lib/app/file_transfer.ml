@@ -26,6 +26,10 @@ type setup = {
   crc : bool;
   data_path : Engine.data_path;
   pool : Ilp_fastpath.Pool.t option;
+  framing : bool;
+      (* negotiate the v2 ("Reverso") framed receive on the data
+         connection; off (the default) keeps every wire byte identical
+         to the unframed protocol *)
   file_len : int;
   copies : int;
   max_reply : int;
@@ -52,6 +56,7 @@ let default_setup ~machine ~mode =
     crc = false;
     data_path = Engine.Pooled;
     pool = None;
+    framing = false;
     file_len = Workload.paper_file_len;
     copies = 8;
     max_reply = 1024;
@@ -176,7 +181,8 @@ let run setup =
   let server = Rpc_server.create ~clock ~engine:srv_engine () in
   ignore (Rpc_server.attach server ~ctrl:srv_ctrl ~data:srv_data);
   let client =
-    Rpc_client.create ~clock ~engine:cli_engine ~ctrl:cli_ctrl ~data:cli_data ()
+    Rpc_client.create ~clock ~engine:cli_engine ~framed:setup.framing
+      ~ctrl:cli_ctrl ~data:cli_data ()
   in
   (* Measurement buckets. *)
   let send_us = ref [] and send_syscopy_us = ref [] and recv_us = ref [] in

@@ -47,6 +47,13 @@ type setup = {
       (** share a caller-owned buffer pool between both engines; [None]
           (the default) creates a fresh pool, making [pool_leaks] a
           self-contained audit *)
+  framing : bool;
+      (** negotiate the v2 ("Reverso") framed receive: the client flags
+          its control messages, the server prefixes each reply TSDU with
+          an {!Ilp_tcp.Framing} prelude, and the client's data socket
+          lands out-of-order segments at their final TSDU offset; off
+          (the default) keeps every wire byte identical to the unframed
+          protocol *)
   file_len : int;
   copies : int;
   max_reply : int;  (** application payload bytes per message *)

@@ -134,6 +134,7 @@ let run ?(log = fun _ -> ()) (cfg : config) =
     let header_style = if (i lsr 4) land 1 = 0 then Engine.Leading else Engine.Trailer in
     let crc = (i lsr 5) land 1 = 1 in
     let data_path = if (i lsr 6) land 1 = 1 then Engine.Legacy else Engine.Pooled in
+    let framing = (i lsr 7) land 1 = 1 in
     let imp = draw_impairments st ~intensity:cfg.intensity in
     let setup =
       { (Ft.default_setup ~machine:cfg.machine ~mode) with
@@ -142,6 +143,7 @@ let run ?(log = fun _ -> ()) (cfg : config) =
         header_style;
         crc;
         data_path;
+        framing;
         file_len = cfg.file_len;
         copies = cfg.copies;
         max_reply = cfg.max_reply;
@@ -150,12 +152,13 @@ let run ?(log = fun _ -> ()) (cfg : config) =
         deadline_us = cfg.deadline_us }
     in
     let tag verdict =
-      Printf.sprintf "iter %4d  %-8s %-7s %-16s %-6s %-6s %s" i
+      Printf.sprintf "iter %4d  %-8s %-7s %-16s %-6s %-6s %-6s %s" i
         (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
         (if native then "native" else "sim")
         (cipher_name cipher)
         (if crc then "crc32" else "-")
         (match data_path with Engine.Pooled -> "pooled" | Engine.Legacy -> "legacy")
+        (if framing then "framed" else "-")
         verdict
     in
     (match Ft.run setup with
@@ -484,8 +487,12 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
           Socket.listen cli_data;
           Socket.connect cli_ctrl ~remote_port:base;
           Socket.connect srv_data ~remote_port:(base + 3);
+          (* Streaming personas also negotiate the v2 framed receive, so
+             the overload soak drives final-placement reassembly through
+             small-MSS pipelining, forged feedback and window games. *)
           let client =
             Rpc_client.create ~clock ~retry ~seed:(cfg.seed + i)
+              ~framed:(persona = Streaming)
               ~engine:(engine ()) ~ctrl:cli_ctrl ~data:cli_data ()
           in
           { idx = i; persona; client; cli_data; srv_data; local_refused = false })
@@ -784,6 +791,7 @@ let run_crash ?(log = fun _ -> ()) (cfg : crash_config) =
     in
     let crc = (i lsr 2) land 1 = 0 in
     let copies = if (i lsr 3) land 1 = 0 then 1 else 2 in
+    let framing = (i lsr 4) land 1 = 1 in
     (* The seeded fault draw: trigger (wall-clock offsets or the Nth
        packet the server receives), downtime, crash count, and whether
        the dead address answers RST or black-holes. *)
@@ -798,11 +806,12 @@ let run_crash ?(log = fun _ -> ()) (cfg : crash_config) =
         ~crashes:max_crashes ~horizon_us:6_000.0
     in
     let tag verdict =
-      Printf.sprintf "xfer %3d  %-8s %-6s copies %d  %-9s %-9s  %s" i
+      Printf.sprintf "xfer %3d  %-8s %-6s %-6s copies %d  %-9s %-9s  %s" i
         (match mode with Engine.Ilp -> "ilp" | Engine.Separate -> "separate")
         (match data_path with
         | Engine.Pooled -> "pooled"
         | Engine.Legacy -> "legacy")
+        (if framing then "framed" else "-")
         copies
         (if on_packet then Printf.sprintf "pkt %d" trigger_n else "timed")
         (if rst_while_down then "rst" else "blackhole")
@@ -918,9 +927,12 @@ let run_crash ?(log = fun _ -> ()) (cfg : crash_config) =
       in
       let c0, d0 = establish () in
       let cur = ref (c0, d0) in
+      (* Framed transfers must survive crashes too: the reconnect probe
+         carries the framing flag, so a restarted server frames its very
+         first reply on the new connection. *)
       let client =
         Rpc_client.create ~clock ~seed:(cfg.seed + (2 * i) + 1) ~idempotent:true
-          ~engine:(engine ()) ~ctrl:c0 ~data:d0 ()
+          ~framed:framing ~engine:(engine ()) ~ctrl:c0 ~data:d0 ()
       in
       let hs = ref 2_000 in
       while

@@ -22,6 +22,10 @@
 
 type lane = {
   copied : float;  (** ledger: host bytes copied per message *)
+  copied_tx : float;  (** the send-direction share of [copied] *)
+  copied_rx : float;
+      (** the receive-direction share of [copied] — the quantity the
+          contiguous zero-copy receive path is built to shrink *)
   allocated : float;  (** ledger: freshly allocated host bytes per message *)
   alloc_blocks : float;  (** ledger: fresh allocations per message *)
   minor_words : float;  (** GC minor-heap words per message *)
@@ -69,12 +73,17 @@ val copied_ratio : point -> float
 (** Legacy over pooled bytes-copied (large finite value when the pooled
     lane copies nothing). *)
 
+(** Per-direction splits of {!copied_ratio}. *)
+val tx_copied_ratio : point -> float
+
+val rx_copied_ratio : point -> float
 val minor_words_ratio : point -> float
 
 (** The acceptance gates: at the largest size, bytes-copied ratio >= 2 on
-    the native lanes and minor-words ratio >= 2 on the simulated lanes;
-    every lane's pool balanced; and disabled-path tracing allocation-free.
-    [Error] lists each violated gate. *)
+    the native lanes — overall and on the receive direction alone — and
+    minor-words ratio >= 2 on the simulated lanes; every lane's pool
+    balanced (a leaked rx placement buffer fails here); and disabled-path
+    tracing allocation-free.  [Error] lists each violated gate. *)
 val check : result -> (unit, string list) Stdlib.result
 
 (** Serialise to the BENCH_mem.json schema (hand-rolled writer).

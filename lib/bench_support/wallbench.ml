@@ -4,7 +4,12 @@ module Wire = Ilp_fastpath.Wire
 module Trace = Ilp_obs.Trace
 module M = Ilp_obs.Metrics
 
-type side = { send_ns : float; recv_ns : float; minor_words : float }
+type side = {
+  send_ns : float;
+  recv_ns : float;
+  minor_words : float;
+  minor_words_rx : float;
+}
 
 type point = {
   len : int;
@@ -128,12 +133,14 @@ let bench_point wire ~trials ~warmup ~src len =
     (Gc.minor_words () -. w0) /. float_of_int n
   in
   let separate =
+    let tx = mw send_sep and rx = mw recv_sep in
     { send_ns = t send_sep; recv_ns = t recv_sep;
-      minor_words = mw send_sep +. mw recv_sep }
+      minor_words = tx +. rx; minor_words_rx = rx }
   in
   let ilp =
+    let tx = mw send_ilp and rx = mw recv_ilp in
     { send_ns = t send_ilp; recv_ns = t recv_ilp;
-      minor_words = mw send_ilp +. mw recv_ilp }
+      minor_words = tx +. rx; minor_words_rx = rx }
   in
   ignore (Sys.opaque_identity !sink);
   let speedup =
@@ -168,8 +175,9 @@ let json_side b name s =
   Buffer.add_string b
     (Printf.sprintf
        "\"%s\": {\"send_ns\": %.1f, \"recv_ns\": %.1f, \"total_ns\": %.1f, \
-        \"minor_words_per_msg\": %.1f}"
-       name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns) s.minor_words)
+        \"minor_words_per_msg\": %.1f, \"minor_words_rx_per_msg\": %.1f}"
+       name s.send_ns s.recv_ns (s.send_ns +. s.recv_ns) s.minor_words
+       s.minor_words_rx)
 
 (* ------------------------------------------------------------------ *)
 (* Per-stage time share (the --trace table): run the same kernels with
@@ -337,7 +345,7 @@ let print_table r =
   Report.table
     ~header:
       [ "bytes"; "sep send ns"; "ilp send ns"; "sep recv ns"; "ilp recv ns";
-        "speedup"; "sep mw/msg"; "ilp mw/msg" ]
+        "speedup"; "sep mw/msg"; "ilp mw/msg"; "sep rx mw"; "ilp rx mw" ]
     (List.map
        (fun p ->
          [ string_of_int p.len;
@@ -347,7 +355,9 @@ let print_table r =
            ns p.ilp.recv_ns;
            Printf.sprintf "%.2fx" p.speedup;
            ns p.separate.minor_words;
-           ns p.ilp.minor_words ])
+           ns p.ilp.minor_words;
+           ns p.separate.minor_words_rx;
+           ns p.ilp.minor_words_rx ])
        r.points);
   Report.note "cipher %s, median of %d trials (%d warmup), host wall-clock\n"
     r.cipher r.trials r.warmup

@@ -19,6 +19,9 @@ type side = {
       (** minor-heap words allocated per message (send + recv), via
           [Gc.minor_words] deltas — the allocation-rate companion to the
           latency medians *)
+  minor_words_rx : float;
+      (** the receive-direction share of [minor_words] — the direction
+          the contiguous zero-copy receive path targets *)
 }
 
 type point = {

@@ -34,6 +34,18 @@ let update_mem t ~crc mem ~pos ~len =
   done;
   !c
 
+let update_host t ~crc mem ~pos b ~off ~len =
+  let machine = Ilp_memsim.Mem.machine mem in
+  let c = ref crc in
+  for i = 0 to len - 1 do
+    (* Same charge sequence as [update_mem] — a byte read at the simulated
+       address, then the table read and compute inside [step] — but the
+       byte value itself comes from the host buffer. *)
+    Ilp_memsim.Machine.read machine ~addr:(pos + i) ~size:1;
+    c := step t !c (Char.code (Bytes.get b (off + i)))
+  done;
+  !c
+
 let update_block t ~crc b ~off ~len =
   let c = ref crc in
   for i = off to off + len - 1 do

@@ -23,6 +23,14 @@ val update_mem : t -> crc:int -> Ilp_memsim.Mem.t -> pos:int -> len:int -> int
     bytes; only table reads and compute are charged (ILP-loop form). *)
 val update_block : t -> crc:int -> Bytes.t -> off:int -> len:int -> int
 
+(** [update_host t ~crc mem ~pos b ~off ~len] advances [crc] over host
+    bytes [b+off..] while charging exactly as {!update_mem} would for the
+    simulated region [mem+pos..] — for data that logically lives at a
+    simulated address but is held in an engine-owned host placement
+    buffer.  Charge-identical to {!update_mem} over the same [pos]/[len]. *)
+val update_host :
+  t -> crc:int -> Ilp_memsim.Mem.t -> pos:int -> Bytes.t -> off:int -> len:int -> int
+
 (** Pure reference implementation (no simulation, no charges). *)
 val string_crc : string -> int
 

@@ -52,6 +52,12 @@ type t = {
      segment, while its serial fold cost is charged in whichever style the
      engine runs. *)
   crc : Crc32.t option;
+  (* Receive-side placement buffer (native pooled path only): the fused rx
+     pass decrypts each arriving segment directly into this pool buffer at
+     its final TSDU offset, and [read_plaintext_pooled] hands the buffer
+     itself to the caller (ownership transfer, no delivery copy).  [None]
+     between TSDUs; drawn lazily from the pool on the first rx call. *)
+  mutable rx_dst : Bytes.t option;
   (* Per-stage simulated-microsecond accumulators for the fused loops
      (slot 0 marshal, slot 1 checksum).  Preallocated so tracing adds no
      per-message allocation; float-array stores are unboxed. *)
@@ -102,7 +108,7 @@ let create (sim : Sim.t) ~cipher ~mode ?(backend = Simulated)
   { sim; cipher; backend; fastpath; mode; header_style; rx_placement; linkage; max_message;
     coalesce_writes; data_path; pool;
     marshal_dmf; unmarshal_dmf; encrypt_dmf; decrypt_dmf;
-    send_loops; recv_loop; marshal_buf; app_rx; crc;
+    send_loops; recv_loop; marshal_buf; app_rx; crc; rx_dst = None;
     tr_acc = Array.make 2 0.0 }
 
 let mode t = t.mode
@@ -118,9 +124,17 @@ let machine t = t.sim.Sim.machine
 let mem t = t.sim.Sim.mem
 let block_len t = t.cipher.Ilp_cipher.Block_cipher.block_len
 
-(* Engine teardown: return the fast path's staging buffer to the pool.
-   The simulated-memory areas belong to the bump allocator and stay. *)
-let destroy t = match t.fastpath with Some fp -> Wire.release fp | None -> ()
+(* Engine teardown: return the fast path's staging buffer and any
+   in-flight rx placement buffer to the pool (a TSDU abandoned mid-
+   reassembly by an abort or crash must not leak its buffer).  The
+   simulated-memory areas belong to the bump allocator and stay. *)
+let destroy t =
+  (match t.rx_dst with
+  | Some b ->
+      t.rx_dst <- None;
+      Pool.release t.pool b
+  | None -> ());
+  match t.fastpath with Some fp -> Wire.release fp | None -> ()
 
 (* Bytes the framing adds beyond the marshalled body: the CRC32 trailer
    when enabled (the 4-byte length field is part of the plan itself). *)
@@ -687,41 +701,52 @@ let check_rx_len t ~dst_off ~len =
 (* Native receive helpers.  Legacy: the staged ciphertext is peeked out of
    simulated memory, run through the fast path into a fresh buffer, and
    the plaintext poked into the application area — two intermediates per
-   message.  Pooled: the fast path runs directly on the backing store,
-   staging area to application area, no intermediates; the separate-path
-   decrypt consumes the staging bytes in place exactly as the simulated
-   backend does. *)
+   message.  Pooled (the single-copy rx path): the fast path reads the
+   staged ciphertext from the backing store and lands the plaintext
+   directly in the engine-owned pool buffer at its final TSDU offset —
+   the very buffer [read_plaintext_pooled] will hand to the in-place
+   decoders, so no delivery copy remains; the separate-path decrypt
+   consumes the staging bytes in place exactly as the simulated backend
+   does. *)
+let rx_placement_buf t =
+  match t.rx_dst with
+  | Some b -> b
+  | None ->
+      let b = Pool.acquire t.pool t.max_message in
+      t.rx_dst <- Some b;
+      b
+
 let rx_native_separate t fp ~src ~dst_off ~len =
-  let dst_pos = t.app_rx + dst_off in
   match t.data_path with
   | Pooled ->
       let raw = Mem.raw (mem t) in
-      ignore (Wire.recv_separate fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:dst_pos)
+      let dst = rx_placement_buf t in
+      ignore (Wire.recv_separate fp ~src:raw ~src_off:src ~len ~dst ~dst_off)
   | Legacy ->
-      Mt.alloc Mt.Tcp len;
-      Mt.copied Mt.Tcp len;
+      Mt.alloc_rx Mt.Tcp len;
+      Mt.copied_rx Mt.Tcp len;
       let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
-      Mt.alloc Mt.Marshal len;
+      Mt.alloc_rx Mt.Marshal len;
       let plain = Bytes.create len in
       ignore (Wire.recv_separate fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0);
-      Mem.poke_bytes (mem t) ~pos:dst_pos plain;
-      Mt.copied Mt.Rpc len
+      Mem.poke_bytes (mem t) ~pos:(t.app_rx + dst_off) plain;
+      Mt.copied_rx Mt.Rpc len
 
 let rx_native_fused t fp ~src ~dst_off ~len =
-  let dst_pos = t.app_rx + dst_off in
   match t.data_path with
   | Pooled ->
       let raw = Mem.raw (mem t) in
-      Wire.recv_ilp fp ~src:raw ~src_off:src ~len ~dst:raw ~dst_off:dst_pos
+      let dst = rx_placement_buf t in
+      Wire.recv_ilp fp ~src:raw ~src_off:src ~len ~dst ~dst_off
   | Legacy ->
-      Mt.alloc Mt.Tcp len;
-      Mt.copied Mt.Tcp len;
+      Mt.alloc_rx Mt.Tcp len;
+      Mt.copied_rx Mt.Tcp len;
       let staged = Mem.peek_bytes (mem t) ~pos:src ~len in
-      Mt.alloc Mt.Marshal len;
+      Mt.alloc_rx Mt.Marshal len;
       let plain = Bytes.create len in
       let acc = Wire.recv_ilp fp ~src:staged ~src_off:0 ~len ~dst:plain ~dst_off:0 in
-      Mem.poke_bytes (mem t) ~pos:dst_pos plain;
-      Mt.copied Mt.Rpc len;
+      Mem.poke_bytes (mem t) ~pos:(t.app_rx + dst_off) plain;
+      Mt.copied_rx Mt.Rpc len;
       acc
 
 (* Separate receive (figure 5 left, after TCP's checksum pass): decrypt in
@@ -839,18 +864,29 @@ let rx_style t =
    implausible decrypted length, and verifies the CRC32 trailer when
    enabled.  Charges are identical for both data paths — pooling changes
    where the TSDU bytes land on the host, not what the simulated CPU
-   does. *)
+   does.  With the native pooled path the plaintext lives in the engine's
+   host placement buffer rather than at [app_rx]; the reads then fetch
+   their values from the buffer while charging the same simulated
+   accesses at the same [app_rx] addresses, preserving charge identity
+   with the legacy path. *)
 let validate_plaintext t ~len =
   let m = machine t in
+  let get32 addr =
+    match t.rx_dst with
+    | None -> Mem.get_u32 (mem t) addr
+    | Some b ->
+        Machine.read m ~addr ~size:4;
+        Int32.to_int (Bytes.get_int32_be b (addr - t.app_rx)) land 0xffff_ffff
+  in
   let enc_len =
     match t.header_style with
-    | Leading -> Mem.get_u32 (mem t) t.app_rx
-    | Trailer -> Mem.get_u32 (mem t) (t.app_rx + len - 4)
+    | Leading -> get32 t.app_rx
+    | Trailer -> get32 (t.app_rx + len - 4)
   in
   Machine.compute m 2;
   let hdr_words = min 6 ((len - 4) / 4) in
   for i = 0 to hdr_words - 1 do
-    ignore (Mem.get_u32 (mem t) (t.app_rx + 4 + (i * 4)));
+    ignore (get32 (t.app_rx + 4 + (i * 4)));
     Machine.compute m 1
   done;
   if enc_len < 4 || enc_len > len then
@@ -872,10 +908,15 @@ let validate_plaintext t ~len =
                enc_len)
         else begin
           let body_off, crc_len = crc_region t ~enc_len in
-          let stored = Mem.get_u32 (mem t) (t.app_rx + body_off + crc_len) in
+          let stored = get32 (t.app_rx + body_off + crc_len) in
           let crc =
-            Crc32.update_mem c ~crc:Crc32.init (mem t)
-              ~pos:(t.app_rx + body_off) ~len:crc_len
+            match t.rx_dst with
+            | None ->
+                Crc32.update_mem c ~crc:Crc32.init (mem t)
+                  ~pos:(t.app_rx + body_off) ~len:crc_len
+            | Some b ->
+                Crc32.update_host c ~crc:Crc32.init (mem t)
+                  ~pos:(t.app_rx + body_off) b ~off:body_off ~len:crc_len
           in
           Machine.compute m 2;
           if Crc32.finish crc land 0xffff_ffff <> stored then
@@ -889,10 +930,13 @@ let read_plaintext t ~len =
   else
     match validate_plaintext t ~len with
     | Error _ as e -> e
-    | Ok () ->
-        Mt.alloc Mt.Rpc len;
-        Mt.copied Mt.Rpc len;
-        Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len))
+    | Ok () -> (
+        Mt.alloc_rx Mt.Rpc len;
+        Mt.copied_rx Mt.Rpc len;
+        match t.rx_dst with
+        | Some b -> Ok (Bytes.sub_string b 0 len)
+        | None ->
+            Ok (Bytes.unsafe_to_string (Mem.peek_bytes (mem t) ~pos:t.app_rx ~len)))
 
 let read_plaintext_pooled t ~len =
   if len < 4 || len > t.max_message then
@@ -900,10 +944,19 @@ let read_plaintext_pooled t ~len =
   else
     match validate_plaintext t ~len with
     | Error _ as e -> e
-    | Ok () ->
-        let buf = Pool.acquire t.pool len in
-        Bytes.blit (Mem.raw (mem t)) t.app_rx buf 0 len;
-        Mt.copied Mt.Rpc len;
-        Ok (buf, len)
+    | Ok () -> (
+        match t.rx_dst with
+        | Some buf ->
+            (* Single-copy delivery: hand the placement buffer itself to
+               the caller.  Ownership transfers — the engine draws a fresh
+               buffer from the pool for the next TSDU, and the caller
+               returns this one via [release_plaintext]. *)
+            t.rx_dst <- None;
+            Ok (buf, len)
+        | None ->
+            let buf = Pool.acquire t.pool len in
+            Bytes.blit (Mem.raw (mem t)) t.app_rx buf 0 len;
+            Mt.copied_rx Mt.Rpc len;
+            Ok (buf, len))
 
 let release_plaintext t buf = Pool.release t.pool buf

@@ -66,9 +66,10 @@ type backend = Simulated | Native of Ilp_fastpath.Cipher.t
 
 (** Host-side data-path discipline (the single-copy work).  [Pooled] (the
     default) stages native wire assembly as an iovec scatter list gathered
-    directly into the TCP ring, runs native receive in place on the
-    backing store, and hands plaintext TSDUs out as pooled buffers
-    ({!read_plaintext_pooled} / {!release_plaintext}).  [Legacy] keeps the
+    directly into the TCP ring, and on receive decrypts each arriving
+    segment straight into an engine-owned pool buffer at its final TSDU
+    offset — the very buffer {!read_plaintext_pooled} then hands to the
+    caller (ownership transfer, no delivery copy).  [Legacy] keeps the
     pre-pool shape — fresh intermediate buffers on every message — as the
     measurable baseline for the {!Ilp_fastpath.Memtraffic} ledger and for
     A/B equivalence tests.  Both paths produce byte-identical wire output
@@ -263,16 +264,20 @@ val read_plaintext : t -> len:int -> (string, string) result
     identical charges, but the plaintext lands in a buffer acquired from
     the engine's pool — [Ok (buf, len)] where the TSDU occupies
     [buf.[0..len-1]] (the buffer's capacity is its size class, possibly
-    larger).  The caller must hand the buffer back with
-    {!release_plaintext} on every path, including after decode errors. *)
+    larger).  On the native pooled path the returned buffer {e is} the
+    engine's rx placement buffer — the fused receive decrypted every
+    segment directly into it at its final TSDU offset, so delivery is an
+    ownership transfer with no copy at all.  The caller must hand the
+    buffer back with {!release_plaintext} on every path, including after
+    decode errors. *)
 val read_plaintext_pooled : t -> len:int -> (Bytes.t * int, string) result
 
 (** Return a buffer obtained from {!read_plaintext_pooled} to the pool. *)
 val release_plaintext : t -> Bytes.t -> unit
 
 (** Tear down the engine's host-side resources: returns the native fast
-    path's staging buffer to the pool (idempotent; a no-op for simulated
-    backends).  Required for pool-balance accounting —
-    [Pool.outstanding (pool t) = 0] after all TSDUs are released and all
-    engines destroyed. *)
+    path's staging buffer and any in-flight rx placement buffer to the
+    pool (idempotent; a no-op for simulated backends).  Required for
+    pool-balance accounting — [Pool.outstanding (pool t) = 0] after all
+    TSDUs are released and all engines destroyed. *)
 val destroy : t -> unit

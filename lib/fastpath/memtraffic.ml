@@ -32,6 +32,17 @@ let copies = Array.make n_layers 0
 let allocs = Array.make n_layers 0
 let alloc_blocks = Array.make n_layers 0
 
+(* Receive-direction sub-ledger.  The arrays above stay the totals — both
+   directions bump them, so every pre-existing consumer keeps its meaning
+   — and the [_rx] arrays count the receive-side share, charged by the
+   [*_rx] entry points the rx code paths call.  The send share is the
+   difference. *)
+let reads_rx = Array.make n_layers 0
+let writes_rx = Array.make n_layers 0
+let copies_rx = Array.make n_layers 0
+let allocs_rx = Array.make n_layers 0
+let alloc_blocks_rx = Array.make n_layers 0
+
 (* Mirror counters in the unified metrics registry.  Unlike the arrays
    above these are never [reset]: they are cumulative for the process,
    and per-run consumers diff snapshots. *)
@@ -48,6 +59,18 @@ let m_writes = metric "written_bytes"
 let m_copies = metric "copied_bytes"
 let m_allocs = metric "allocated_bytes"
 let m_alloc_blocks = metric "alloc_blocks"
+
+let metric_rx kind =
+  Array.of_list
+    (List.map
+       (fun l -> M.counter M.default ("mem.rx." ^ layer_name l ^ "." ^ kind))
+       layers)
+
+let m_reads_rx = metric_rx "read_bytes"
+let m_writes_rx = metric_rx "written_bytes"
+let m_copies_rx = metric_rx "copied_bytes"
+let m_allocs_rx = metric_rx "allocated_bytes"
+let m_alloc_blocks_rx = metric_rx "alloc_blocks"
 
 let read l n =
   let i = layer_index l in
@@ -82,12 +105,55 @@ let alloc l n =
   M.inc m_allocs.(i) n;
   M.inc m_alloc_blocks.(i) 1
 
+let read_rx l n =
+  read l n;
+  let i = layer_index l in
+  reads_rx.(i) <- reads_rx.(i) + n;
+  M.inc m_reads_rx.(i) n
+
+let write_rx l n =
+  write l n;
+  let i = layer_index l in
+  writes_rx.(i) <- writes_rx.(i) + n;
+  M.inc m_writes_rx.(i) n
+
+let copied_rx l n =
+  copied l n;
+  let i = layer_index l in
+  reads_rx.(i) <- reads_rx.(i) + n;
+  writes_rx.(i) <- writes_rx.(i) + n;
+  copies_rx.(i) <- copies_rx.(i) + n;
+  M.inc m_reads_rx.(i) n;
+  M.inc m_writes_rx.(i) n;
+  M.inc m_copies_rx.(i) n
+
+let inplace_rx l n =
+  inplace l n;
+  let i = layer_index l in
+  reads_rx.(i) <- reads_rx.(i) + n;
+  writes_rx.(i) <- writes_rx.(i) + n;
+  M.inc m_reads_rx.(i) n;
+  M.inc m_writes_rx.(i) n
+
+let alloc_rx l n =
+  alloc l n;
+  let i = layer_index l in
+  allocs_rx.(i) <- allocs_rx.(i) + n;
+  alloc_blocks_rx.(i) <- alloc_blocks_rx.(i) + 1;
+  M.inc m_allocs_rx.(i) n;
+  M.inc m_alloc_blocks_rx.(i) 1
+
 type snapshot = {
   s_reads : int array;
   s_writes : int array;
   s_copies : int array;
   s_allocs : int array;
   s_alloc_blocks : int array;
+  s_reads_rx : int array;
+  s_writes_rx : int array;
+  s_copies_rx : int array;
+  s_allocs_rx : int array;
+  s_alloc_blocks_rx : int array;
 }
 
 let snapshot () =
@@ -95,7 +161,12 @@ let snapshot () =
     s_writes = Array.copy writes;
     s_copies = Array.copy copies;
     s_allocs = Array.copy allocs;
-    s_alloc_blocks = Array.copy alloc_blocks }
+    s_alloc_blocks = Array.copy alloc_blocks;
+    s_reads_rx = Array.copy reads_rx;
+    s_writes_rx = Array.copy writes_rx;
+    s_copies_rx = Array.copy copies_rx;
+    s_allocs_rx = Array.copy allocs_rx;
+    s_alloc_blocks_rx = Array.copy alloc_blocks_rx }
 
 let diff later earlier =
   let d a b = Array.init n_layers (fun i -> a.(i) - b.(i)) in
@@ -103,14 +174,24 @@ let diff later earlier =
     s_writes = d later.s_writes earlier.s_writes;
     s_copies = d later.s_copies earlier.s_copies;
     s_allocs = d later.s_allocs earlier.s_allocs;
-    s_alloc_blocks = d later.s_alloc_blocks earlier.s_alloc_blocks }
+    s_alloc_blocks = d later.s_alloc_blocks earlier.s_alloc_blocks;
+    s_reads_rx = d later.s_reads_rx earlier.s_reads_rx;
+    s_writes_rx = d later.s_writes_rx earlier.s_writes_rx;
+    s_copies_rx = d later.s_copies_rx earlier.s_copies_rx;
+    s_allocs_rx = d later.s_allocs_rx earlier.s_allocs_rx;
+    s_alloc_blocks_rx = d later.s_alloc_blocks_rx earlier.s_alloc_blocks_rx }
 
 let reset () =
   Array.fill reads 0 n_layers 0;
   Array.fill writes 0 n_layers 0;
   Array.fill copies 0 n_layers 0;
   Array.fill allocs 0 n_layers 0;
-  Array.fill alloc_blocks 0 n_layers 0
+  Array.fill alloc_blocks 0 n_layers 0;
+  Array.fill reads_rx 0 n_layers 0;
+  Array.fill writes_rx 0 n_layers 0;
+  Array.fill copies_rx 0 n_layers 0;
+  Array.fill allocs_rx 0 n_layers 0;
+  Array.fill alloc_blocks_rx 0 n_layers 0
 
 let total a = Array.fold_left ( + ) 0 a
 
@@ -119,7 +200,15 @@ let writes_total s = total s.s_writes
 let copied_total s = total s.s_copies
 let allocated_total s = total s.s_allocs
 let alloc_blocks_total s = total s.s_alloc_blocks
+let copied_rx_total s = total s.s_copies_rx
+let allocated_rx_total s = total s.s_allocs_rx
+let copied_tx_total s = copied_total s - copied_rx_total s
+let allocated_tx_total s = allocated_total s - allocated_rx_total s
 
 let of_layer s l =
   let i = layer_index l in
   (s.s_reads.(i), s.s_writes.(i), s.s_copies.(i), s.s_allocs.(i))
+
+let of_layer_rx s l =
+  let i = layer_index l in
+  (s.s_reads_rx.(i), s.s_writes_rx.(i), s.s_copies_rx.(i), s.s_allocs_rx.(i))

@@ -36,6 +36,21 @@ val inplace : layer -> int -> unit
 (** [alloc l n] — the layer allocated a fresh [n]-byte buffer. *)
 val alloc : layer -> int -> unit
 
+(** {1 Receive-direction charges}
+
+    The plain entry points above are direction-blind totals.  Receive-path
+    code charges through the [_rx] variants instead: each bumps the totals
+    {e and} a receive-side sub-ledger, mirrored as [mem.rx.<layer>.<kind>]
+    metrics, so per-direction consumers ([ilpbench mem] tx/rx columns and
+    gates) can split the ledger.  The send share of any counter is
+    total minus rx. *)
+
+val read_rx : layer -> int -> unit
+val write_rx : layer -> int -> unit
+val copied_rx : layer -> int -> unit
+val inplace_rx : layer -> int -> unit
+val alloc_rx : layer -> int -> unit
+
 type snapshot
 
 val snapshot : unit -> snapshot
@@ -52,5 +67,16 @@ val copied_total : snapshot -> int
 val allocated_total : snapshot -> int
 val alloc_blocks_total : snapshot -> int
 
+(** Per-direction splits of {!copied_total} / {!allocated_total}: the rx
+    figures sum the [_rx] charges, the tx figures are the remainder. *)
+val copied_rx_total : snapshot -> int
+
+val copied_tx_total : snapshot -> int
+val allocated_rx_total : snapshot -> int
+val allocated_tx_total : snapshot -> int
+
 (** [(reads, writes, copies, allocs)] of one layer. *)
 val of_layer : snapshot -> layer -> int * int * int * int
+
+(** The receive-side share of {!of_layer}. *)
+val of_layer_rx : snapshot -> layer -> int * int * int * int

@@ -123,15 +123,15 @@ let recv_separate t ~src ~src_off ~len ~dst ~dst_off =
   let t0 = if tr then Trace.now () else 0.0 in
   (* Pass 1: the tcp_input checksum walk. *)
   let acc = Internet.add_bytes_unsafe Internet.empty src ~off:src_off ~len in
-  Mt.read Mt.Checksum len;
+  Mt.read_rx Mt.Checksum len;
   let t1 = if tr then Trace.now () else 0.0 in
   (* Pass 2: decrypt the staged segment in place. *)
   Cipher.decrypt_blocks t.cipher src ~off:src_off ~count:(len / 8);
-  Mt.inplace Mt.Cipher len;
+  Mt.inplace_rx Mt.Cipher len;
   let t2 = if tr then Trace.now () else 0.0 in
   (* Pass 3: unmarshal — copy the plaintext up to the application. *)
   Words.blit ~src ~src_off ~dst ~dst_off ~len;
-  Mt.copied Mt.Marshal len;
+  Mt.copied_rx Mt.Marshal len;
   if tr then begin
     let pkt = Trace.current_packet () and t3 = Trace.now () in
     Trace.span Trace.Recv_checksum ~packet:pkt ~ts:t0 ~dur:(t1 -. t0);
@@ -154,9 +154,9 @@ let recv_ilp t ~src ~src_off ~len ~dst ~dst_off =
     Cipher.decrypt_blocks t.cipher dst ~off:d ~count:(n / 8);
     pos := !pos + n
   done;
-  Mt.read Mt.Checksum len;
-  Mt.copied Mt.Marshal len;
-  Mt.inplace Mt.Cipher len;
+  Mt.read_rx Mt.Checksum len;
+  Mt.copied_rx Mt.Marshal len;
+  Mt.inplace_rx Mt.Cipher len;
   if tr then begin
     let pkt = Trace.current_packet () and t1 = Trace.now () in
     Trace.span ~arg:1 Trace.Recv_checksum ~packet:pkt ~ts:t0 ~dur:0.0;

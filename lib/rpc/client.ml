@@ -58,6 +58,9 @@ type t = {
   prng : int ref;
   owner : int;  (* Simclock owner tag on the backoff retry timer *)
   use_ids : bool;
+  framed : bool;
+      (* negotiate v2 ("Reverso") framed streams: every control message
+         carries the framing flag and the data socket parses preludes *)
   mutable next_req_id : int;
   mutable cur_req_id : int;  (* id of the in-flight request; 0 = v1 *)
   mutable ctrl : Socket.t;
@@ -120,6 +123,12 @@ let send_ctrl t body =
   let prepared = Engine.prepare_send_segments t.engine body in
   Socket.send_message t.ctrl ~len:prepared.Engine.len ~fill:prepared.Engine.fill
 
+(* Every control message a framing-negotiated client sends carries the
+   flag — the first one a (possibly restarted) server sees on a
+   connection may be a request or a probe, and the server must know
+   before building its first reply. *)
+let ctrl_flags t = if t.framed then Messages.flag_rx_framing else 0
+
 (* A from-scratch issue: resets the transfer state (the server will
    execute from byte zero).  Keeps [cur_req_id]: a retry of the same
    logical request carries the same idempotency id. *)
@@ -133,7 +142,7 @@ let issue t p =
   t.replies_received <- 0;
   t.rejected <- false;
   send_ctrl t
-    (Messages.request_segments
+    (Messages.request_segments ~flags:(ctrl_flags t)
        (Messages.request ~req_id:t.cur_req_id ~file_name:p.name
           ~copies:p.req_copies ~max_reply:p.max_reply ()))
 
@@ -195,7 +204,7 @@ let rec start_resume t ~start_copy ~start_offset =
       t.rejected <- false;
       match
         send_ctrl t
-          (Messages.request_segments
+          (Messages.request_segments ~flags:(ctrl_flags t)
              (Messages.request ~req_id:t.cur_req_id ~start_copy ~start_offset
                 ~file_name:p.name ~copies:p.req_copies ~max_reply:p.max_reply ()))
       with
@@ -325,6 +334,9 @@ let wire_sockets t =
   (match Engine.rx_style t.engine with
   | Engine.Rx_integrated_style f -> Socket.set_rx_processing t.data (Socket.Rx_integrated f)
   | Engine.Rx_deferred_style f -> Socket.set_rx_processing t.data (Socket.Rx_separate f));
+  (* Covers reconnection too: a fresh data socket must parse preludes
+     from its very first reply. *)
+  Socket.set_rx_framing t.data t.framed;
   Socket.set_on_message t.data (fun ~src:_ ~len -> handle_reply t ~len);
   let record reason =
     if t.aborted = None then t.aborted <- Some reason;
@@ -337,7 +349,7 @@ let wire_sockets t =
   Socket.set_on_abort t.data record
 
 let create ?clock ?(retry = default_retry) ?(seed = 1) ?(idempotent = false)
-    ~engine ~ctrl ~data () =
+    ?(framed = false) ~engine ~ctrl ~data () =
   let t =
     { engine;
       clock;
@@ -348,6 +360,7 @@ let create ?clock ?(retry = default_retry) ?(seed = 1) ?(idempotent = false)
         | Some c -> Simclock.fresh_owner c
         | None -> Simclock.anonymous);
       use_ids = idempotent;
+      framed;
       (* Nonzero, and disjoint between clients created with distinct
          seeds — the dedup cache is keyed on the id alone. *)
       next_req_id = ((seed land 0x3ff) * 0x100000) + 1;
@@ -448,7 +461,7 @@ let reconnect t ~ctrl ~data =
               p_crc = crc;
               p_req_id = (if t.use_ids then fresh_id t else 0) }
           in
-          match send_ctrl t (Messages.probe_segments probe) with
+          match send_ctrl t (Messages.probe_segments ~flags:(ctrl_flags t) probe) with
           | Ok () -> Ok (summary (Some (c, off)))
           | Error _ as e ->
               t.awaiting_probe <- false;

@@ -54,12 +54,21 @@ val default_retry : retry_policy
     [idempotent] (default false) stamps every request with a fresh
     idempotency id so a restarted server's dedup cache can answer
     replays; off, requests marshal in the original id-less form,
-    byte-identical to the pre-fault-model wire encoding. *)
+    byte-identical to the pre-fault-model wire encoding.
+
+    [framed] (default false) negotiates the v2 ("Reverso") framed
+    receive: every control message carries {!Messages.flag_rx_framing}
+    (flagged wire forms), the data socket parses a {!Ilp_tcp.Framing}
+    prelude in front of each reply TSDU, and the server prefixes each
+    reply accordingly — the prelude is what lets the receive path land
+    out-of-order segments at their final TSDU offset.  Off, every wire
+    byte is identical to the unframed protocol. *)
 val create :
   ?clock:Ilp_netsim.Simclock.t ->
   ?retry:retry_policy ->
   ?seed:int ->
   ?idempotent:bool ->
+  ?framed:bool ->
   engine:Ilp_core.Engine.t ->
   ctrl:Ilp_tcp.Socket.t ->
   data:Ilp_tcp.Socket.t ->

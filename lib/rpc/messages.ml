@@ -56,6 +56,34 @@ let request_ty_v2 : Asn1.ty =
 let probe_ty : Asn1.ty =
   Seq [ ("fileName", Str); ("offset", Uint); ("crc", Uint); ("reqId", Uint) ]
 
+(* Capability flags, negotiated per connection on the first control
+   message.  Bit 0: the client receives v2 ("Reverso") framed streams —
+   the server must prefix every reply TSDU on this connection with the
+   {!Ilp_tcp.Framing} prelude. *)
+let flag_rx_framing = 0x1
+
+(* The flagged forms append one flag word, extending the tag-free
+   word-count dispatch: 2 (v1 request), 3 (probe), 4 (flagged probe),
+   5 (v2 request), 6 (flagged request).  There is no flagged v1 request —
+   a flag word after the v1 fields would collide with the probe's three
+   words — so a flagged request always marshals the full v2 field set
+   (its resume fields may simply be zero).  A client negotiating framing
+   has already left v1 byte-identity behind, so nothing is lost. *)
+let request_ty_flagged : Asn1.ty =
+  Seq
+    [ ("fileName", Str);
+      ("copies", Int);
+      ("maxReply", Int);
+      ("reqId", Uint);
+      ("startCopy", Uint);
+      ("startOffset", Uint);
+      ("flags", Uint) ]
+
+let probe_ty_flagged : Asn1.ty =
+  Seq
+    [ ("fileName", Str); ("offset", Uint); ("crc", Uint); ("reqId", Uint);
+      ("flags", Uint) ]
+
 let status_names = [| "ok"; "notFound"; "refused"; "busy" |]
 
 let reply_ty : Asn1.ty =
@@ -99,7 +127,9 @@ let encode_probe p =
    for the fused loop. *)
 let request_ilp = Stub_ilp.compile request_ty
 let request_ilp_v2 = Stub_ilp.compile request_ty_v2
+let request_ilp_flagged = Stub_ilp.compile request_ty_flagged
 let probe_ilp = Stub_ilp.compile probe_ty
+let probe_ilp_flagged = Stub_ilp.compile probe_ty_flagged
 let reply_ilp = Stub_ilp.compile reply_ty
 
 let to_engine_segments segs =
@@ -109,9 +139,18 @@ let to_engine_segments segs =
       | Stub_ilp.App { addr; len } -> Ilp_core.Engine.Seg_app { addr; len })
     segs
 
-let request_segments r =
+let request_segments ?(flags = 0) r =
   let layout =
-    if request_is_v1 r then
+    if flags <> 0 then
+      Stub_ilp.layout request_ilp_flagged
+        [ Stub_ilp.Immediate (VStr r.file_name);
+          Stub_ilp.Immediate (VInt r.copies);
+          Stub_ilp.Immediate (VInt r.max_reply);
+          Stub_ilp.Immediate (VInt r.req_id);
+          Stub_ilp.Immediate (VInt r.start_copy);
+          Stub_ilp.Immediate (VInt r.start_offset);
+          Stub_ilp.Immediate (VInt flags) ]
+    else if request_is_v1 r then
       Stub_ilp.layout request_ilp
         [ Stub_ilp.Immediate (VStr r.file_name);
           Stub_ilp.Immediate (VInt r.copies);
@@ -129,13 +168,18 @@ let request_segments r =
   | Ok segs -> to_engine_segments segs
   | Error e -> invalid_arg ("Messages.request_segments: " ^ e)
 
-let probe_segments p =
+let probe_segments ?(flags = 0) p =
+  let fields =
+    [ Stub_ilp.Immediate (VStr p.p_file_name);
+      Stub_ilp.Immediate (VInt p.p_offset);
+      Stub_ilp.Immediate (VInt p.p_crc);
+      Stub_ilp.Immediate (VInt p.p_req_id) ]
+  in
   match
-    Stub_ilp.layout probe_ilp
-      [ Stub_ilp.Immediate (VStr p.p_file_name);
-        Stub_ilp.Immediate (VInt p.p_offset);
-        Stub_ilp.Immediate (VInt p.p_crc);
-        Stub_ilp.Immediate (VInt p.p_req_id) ]
+    if flags <> 0 then
+      Stub_ilp.layout probe_ilp_flagged
+        (fields @ [ Stub_ilp.Immediate (VInt flags) ])
+    else Stub_ilp.layout probe_ilp fields
   with
   | Ok segs -> to_engine_segments segs
   | Error e -> invalid_arg ("Messages.probe_segments: " ^ e)
@@ -255,11 +299,14 @@ let view_decoder ~length_at_end buf ~len =
       let body_end = if length_at_end then enc_len - 4 else enc_len in
       Ok (View.make buf ~pos:(if length_at_end then 0 else 4) ~limit:len, body_end)
 
-(* The three control forms share a leading file name and differ only in
-   how many integer words follow it: 2 (v1 request), 3 (CRC probe),
-   5 (v2 request).  [crc_trailer] marks that the engine's end-to-end
-   CRC32 trailer word sits inside the length-field-covered region (it
-   was already verified upstream) so it is not counted as body. *)
+(* The control forms share a leading file name and differ only in how
+   many integer words follow it: 2 (v1 request), 3 (CRC probe),
+   4 (flagged probe), 5 (v2 request), 6 (flagged request) — the flagged
+   forms end in a capability flag word, returned alongside the message
+   (0 for the unflagged forms).  [crc_trailer] marks that the engine's
+   end-to-end CRC32 trailer word sits inside the length-field-covered
+   region (it was already verified upstream) so it is not counted as
+   body. *)
 let decode_ctrl_bytes ?(length_at_end = false) ?(crc_trailer = false) buf ~len =
   match view_decoder ~length_at_end buf ~len with
   | Error e -> Error e
@@ -274,22 +321,43 @@ let decode_ctrl_bytes ?(length_at_end = false) ?(crc_trailer = false) buf ~len =
         | 2 ->
             let copies = View.int32 v in
             let max_reply = View.int32 v in
-            Request
-              { file_name; copies; max_reply; req_id = 0; start_copy = 0;
-                start_offset = 0 }
+            ( Request
+                { file_name; copies; max_reply; req_id = 0; start_copy = 0;
+                  start_offset = 0 },
+              0 )
         | 3 ->
             let p_offset = View.uint32 v in
             let p_crc = View.uint32 v in
             let p_req_id = View.uint32 v in
-            Probe { p_file_name = file_name; p_offset; p_crc; p_req_id }
+            (Probe { p_file_name = file_name; p_offset; p_crc; p_req_id }, 0)
+        | 4 ->
+            let p_offset = View.uint32 v in
+            let p_crc = View.uint32 v in
+            let p_req_id = View.uint32 v in
+            let flags = View.uint32 v in
+            ( Probe { p_file_name = file_name; p_offset; p_crc; p_req_id },
+              flags )
         | 5 ->
             let copies = View.int32 v in
             let max_reply = View.int32 v in
             let req_id = View.uint32 v in
             let start_copy = View.uint32 v in
             let start_offset = View.uint32 v in
-            Request { file_name; copies; max_reply; req_id; start_copy;
-                      start_offset }
+            ( Request
+                { file_name; copies; max_reply; req_id; start_copy;
+                  start_offset },
+              0 )
+        | 6 ->
+            let copies = View.int32 v in
+            let max_reply = View.int32 v in
+            let req_id = View.uint32 v in
+            let start_copy = View.uint32 v in
+            let start_offset = View.uint32 v in
+            let flags = View.uint32 v in
+            ( Request
+                { file_name; copies; max_reply; req_id; start_copy;
+                  start_offset },
+              flags )
         | k -> View.fail "ctrl: unexpected shape (%d trailing words)" k
       with
       | c -> Ok c

@@ -1,5 +1,6 @@
 module Simclock = Ilp_netsim.Simclock
 module Socket = Ilp_tcp.Socket
+module Framing = Ilp_tcp.Framing
 module Engine = Ilp_core.Engine
 module Machine = Ilp_memsim.Machine
 module M = Ilp_obs.Metrics
@@ -86,6 +87,10 @@ type conn = {
   mutable draining : bool;
   mutable drain_timer : Simclock.timer option;
   mutable dead : bool;
+  mutable framed : bool;
+      (* the client negotiated v2 framed streams (a flagged control
+         message carried [Messages.flag_rx_framing]); every reply TSDU
+         on this connection gets a [Framing] prelude *)
 }
 
 (* The state a node crash does NOT erase: the served files (they live on
@@ -214,22 +219,42 @@ let send_reply t conn hdr ~payload_addr =
   let body = Messages.reply_segments hdr ~payload_addr in
   let ps = Engine.prepare_stream_segments t.engine body in
   let wire_len = ps.Engine.stream_len in
+  (* Framed connections put [seg_unit] prelude bytes on the wire ahead
+     of the TSDU; the throughput probe sees what actually went out. *)
+  let sent_len =
+    if conn.framed then ps.Engine.seg_unit + wire_len else wire_len
+  in
   t.probe_before ();
   let before = Machine.micros (machine t) in
   ignore (Socket.take_syscopy_send_us conn.data);
   let sent =
-    (* Replies that fit one segment take the legacy single-TPDU path
-       (byte- and charge-identical to a whole-message prepare); a reply
-       larger than the connection's MSS streams as a pipelined TSDU of
-       MSS-sized segments instead of being dropped. *)
-    match
-      Socket.send_message conn.data ~len:wire_len ~fill:(fun mem ~dst ->
-          ps.Engine.fill_range mem ~dst ~off:0 ~len:wire_len)
-    with
-    | Error Socket.Message_too_big ->
-        Socket.send_stream conn.data ~seg_unit:ps.Engine.seg_unit ~len:wire_len
-          ~fill:ps.Engine.fill_range
-    | r -> r
+    if conn.framed then begin
+      (* A framing-negotiated connection: every reply TSDU — even one
+         that would fit a single segment — goes out as a framed stream,
+         because the peer's receive path parses a prelude at the start
+         of each TSDU. *)
+      let total, fill =
+        Framing.framed_stream ~seg_unit:ps.Engine.seg_unit
+          ~stream_len:wire_len
+          ~checksummed:(Engine.mode t.engine = Engine.Ilp)
+          ~fill_range:ps.Engine.fill_range
+      in
+      Socket.send_stream conn.data ~seg_unit:ps.Engine.seg_unit ~len:total
+        ~fill
+    end
+    else
+      (* Replies that fit one segment take the legacy single-TPDU path
+         (byte- and charge-identical to a whole-message prepare); a reply
+         larger than the connection's MSS streams as a pipelined TSDU of
+         MSS-sized segments instead of being dropped. *)
+      match
+        Socket.send_message conn.data ~len:wire_len ~fill:(fun mem ~dst ->
+            ps.Engine.fill_range mem ~dst ~off:0 ~len:wire_len)
+      with
+      | Error Socket.Message_too_big ->
+          Socket.send_stream conn.data ~seg_unit:ps.Engine.seg_unit
+            ~len:wire_len ~fill:ps.Engine.fill_range
+      | r -> r
   in
   match sent with
   | Ok () ->
@@ -237,7 +262,7 @@ let send_reply t conn hdr ~payload_addr =
       let syscopy_us = Socket.take_syscopy_send_us conn.data in
       t.replies_sent <- t.replies_sent + 1;
       M.inc m_replies_sent 1;
-      t.probe_after ~wire_len ~elapsed_us ~syscopy_us;
+      t.probe_after ~wire_len:sent_len ~elapsed_us ~syscopy_us;
       `Sent
   | Error (Socket.Buffer_full | Socket.Window_full | Socket.Not_established) ->
       `Backpressure
@@ -479,8 +504,15 @@ let handle_request t conn ~len =
       t.bad_requests <- t.bad_requests + 1;
       M.inc m_bad_requests 1;
       enqueue_status t conn Messages.Not_found
-  | Ok (Messages.Probe p) -> handle_probe t conn p
-  | Ok (Messages.Request req) -> handle_req t conn req
+  | Ok (c, flags) ->
+      (* A flagged control message negotiates capabilities for the whole
+         connection — before any reply is built, so even this message's
+         own reply honours them.  A reconnecting client's first message
+         may be a probe, hence probes carry the flag word too. *)
+      if flags land Messages.flag_rx_framing <> 0 then conn.framed <- true;
+      (match c with
+      | Messages.Probe p -> handle_probe t conn p
+      | Messages.Request req -> handle_req t conn req)
 
 let create ~clock ~engine ?(retry_us = 150.0) ?(limits = default_limits)
     ?(store = create_store ()) () =
@@ -512,7 +544,8 @@ let attach t ~ctrl ~data =
   let admitted = t.live_connections < t.limits.max_connections in
   let conn =
     { id; ctrl; data; queue = Queue.create (); admitted;
-      queued_bytes = 0; draining = false; drain_timer = None; dead = false }
+      queued_bytes = 0; draining = false; drain_timer = None; dead = false;
+      framed = false }
   in
   if admitted then begin
     t.live_connections <- t.live_connections + 1;

@@ -1,0 +1,86 @@
+open Ilp_memsim
+
+(* The v2 ("Reverso") stream framing: a cleartext prelude of [seg_unit]
+   bytes in front of every streamed TSDU, so the receiver knows each
+   arriving segment's final placement offset — and the current TSDU's
+   extent — before any decryption runs.  That is what lets the fused
+   receive pass land out-of-order segments at their final TSDU offset
+   instead of staging them in the reassembly stash.
+
+   Layout (big-endian words, [prelude_len] total bytes, all trailing
+   bytes zero):
+
+   {v
+   +--------------------------+---------------------------+---0...0---+
+   | "ILP\0" | prelude length | TSDU wire length (engine) |  padding  |
+   +--------------------------+---------------------------+-----------+
+   0                          4                           8           prelude_len
+   v}
+
+   The prelude length rides in the magic word's low byte so the receiver
+   can parse a prelude of any (8-byte-multiple) size from the first two
+   words alone.  Making the prelude exactly one [seg_unit] keeps every
+   engine byte range [seg_unit]-aligned: segment offset [off] in the
+   framed stream maps to engine offset [off - prelude_len], and the
+   engine's alignment precondition is preserved unchanged. *)
+
+let magic_tag = 0x494c5000 (* "ILP\000" *)
+let min_prelude = 8
+
+let word0 ~prelude_len = magic_tag lor prelude_len
+
+(* [parse_word0 w] is the prelude length encoded in a valid first word. *)
+let parse_word0 w =
+  if w land 0xffff_ff00 <> magic_tag then None
+  else
+    let p = w land 0xff in
+    if p >= min_prelude && p mod 8 = 0 then Some p else None
+
+(* The prelude's bytes as they appear on the wire, for host-side checksum
+   accumulation (the values are register-resident at build time). *)
+let prelude_bytes ~prelude_len ~stream_len =
+  let b = Bytes.make prelude_len '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int (word0 ~prelude_len));
+  Bytes.set_int32_be b 4 (Int32.of_int stream_len);
+  b
+
+(* [framed_stream ~seg_unit ~stream_len ~checksummed ~fill_range] wraps an
+   engine [prepared_stream] range filler into the framed form for
+   [Socket.send_stream]: ranges at [off >= prelude] pass through to the
+   engine shifted by the prelude, the range at [off = 0] writes the
+   prelude (charged stores — it is built by the measured CPU) followed by
+   the engine's first bytes.  [checksummed] says whether [fill_range]
+   returns positional checksum accumulators (ILP mode); when it does, the
+   prelude's accumulator is folded in positionally so TCP needs no ring
+   pass of its own.  Returns [(total_len, fill)] with
+   [total_len = seg_unit + stream_len]. *)
+let framed_stream ~seg_unit ~stream_len ~checksummed ~fill_range =
+  if seg_unit < min_prelude || seg_unit mod 8 <> 0 then
+    invalid_arg "Framing.framed_stream: seg_unit must be a positive multiple of 8";
+  let prelude_len = seg_unit in
+  let total = prelude_len + stream_len in
+  let fill mem ~dst ~off ~len =
+    if off > 0 then fill_range mem ~dst ~off:(off - prelude_len) ~len
+    else begin
+      let pre = prelude_bytes ~prelude_len ~stream_len in
+      for i = 0 to (prelude_len / 4) - 1 do
+        Mem.set_u32 mem (dst + (4 * i))
+          (Int32.to_int (Bytes.get_int32_be pre (4 * i)) land 0xffff_ffff)
+      done;
+      let rest = len - prelude_len in
+      let acc_engine =
+        if rest = 0 then Some Ilp_checksum.Internet.empty
+        else fill_range mem ~dst:(dst + prelude_len) ~off:0 ~len:rest
+      in
+      if not checksummed then None
+      else
+        let acc_pre =
+          Ilp_checksum.Internet.add_bytes Ilp_checksum.Internet.empty pre ~off:0
+            ~len:prelude_len
+        in
+        match acc_engine with
+        | Some a -> Some (Ilp_checksum.Internet.combine acc_pre a ~len_b:rest)
+        | None -> None
+    end
+  in
+  (total, fill)

@@ -149,6 +149,10 @@ let m_seg_payload = M.histogram M.default "tcp.segment_payload_bytes"
 
 (* SACK loss recovery and misbehaving-peer hardening (PR 7). *)
 (* Node crash/restart fault model (PR 8). *)
+(* Receive-side contiguous zero-copy (PR 9): out-of-order segments of a
+   framed TSDU verified and decrypted at arrival into final placement. *)
+let m_ooo_placed = M.counter M.default "tcp.ooo_placed"
+
 let m_rst_tx = M.counter M.default "tcp.rst_tx"
 let m_rst_rx = M.counter M.default "tcp.rst_rx"
 let m_keepalive_probes = M.counter M.default "tcp.keepalive_probes"
@@ -231,6 +235,7 @@ type stats = {
   retransmissions : int;
   checksum_failures : int;
   out_of_order : int;
+  ooo_placed : int;
   duplicates : int;
   acks_sent : int;
   ip_errors : int;
@@ -306,8 +311,25 @@ type t = {
   (* Receive-side TSDU reassembly: bytes of the current multi-segment
      TSDU already accepted in order.  The engine rx handlers place each
      segment's plaintext at this offset in their application area; the
-     raw path accumulates into [rx_asm]. *)
+     raw path accumulates into [rx_asm].  Under v2 framing this counts
+     engine (post-prelude) bytes. *)
   mutable rx_tsdu_off : int;
+  (* v2 framed receive ({!Framing}): enabled per connection by the RPC
+     layer's negotiation.  [fr_elen >= 0] while a framed TSDU is
+     current: [fr_base] is the sequence number of its prelude byte 0,
+     [fr_plen] the prelude length, [fr_elen] its engine (post-prelude)
+     wire length — the extent that makes out-of-order final placement
+     decidable. *)
+  mutable rx_framing : bool;
+  mutable fr_base : int;
+  mutable fr_plen : int;
+  mutable fr_elen : int;
+  (* Out-of-order final placement: segments of the current framed TSDU
+     verified and decrypted at arrival directly at their final TSDU
+     offset, so the drain is pure bookkeeping; seq -> (payload_len,
+     psh).  Disjoint from the [ooo] stash by construction. *)
+  placed : (int, int * bool) Hashtbl.t;
+  mutable ooo_placed_n : int;
   rx_asm : int;  (* Rx_raw reassembly area *)
   rx_asm_len : int;
   mutable delayed_ack : Simclock.timer option;
@@ -430,6 +452,12 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
     sack_retransmits_n = 0;
     spurious_retransmits_n = 0;
     rx_tsdu_off = 0;
+    rx_framing = false;
+    fr_base = 0;
+    fr_plen = 0;
+    fr_elen = -1;
+    placed = Hashtbl.create 8;
+    ooo_placed_n = 0;
     rx_asm;
     rx_asm_len;
     delayed_ack = None;
@@ -474,6 +502,8 @@ let create (sim : Sim.t) clock cfg ~local_port ~wire_out =
 let state t = t.st
 let local_port t = t.local_port
 let set_rx_processing t p = t.rx_proc <- p
+let set_rx_framing t on = t.rx_framing <- on
+let rx_framing t = t.rx_framing
 let set_on_message t f = t.on_message <- f
 let set_on_abort t f = t.on_abort <- f
 let failure t = t.failed
@@ -547,6 +577,7 @@ let stats t =
     retransmissions = t.retransmissions;
     checksum_failures = t.checksum_failures;
     out_of_order = t.out_of_order_n;
+    ooo_placed = t.ooo_placed_n;
     duplicates = t.duplicates;
     acks_sent = t.acks_sent;
     ip_errors = t.ip_errors;
@@ -641,10 +672,19 @@ let send_control t ~flags =
    the rest by descending sequence.  Empty whenever the stash is — on a
    clean link the ack stream is wire-identical with SACK on or off. *)
 let sack_ranges t =
-  if (not t.cfg.sack) || Hashtbl.length t.ooo = 0 then []
+  if
+    (not t.cfg.sack)
+    || (Hashtbl.length t.ooo = 0 && Hashtbl.length t.placed = 0)
+  then []
   else begin
     let spans =
       Hashtbl.fold (fun seq (_, _, len) acc -> (seq, seq + len) :: acc) t.ooo []
+    in
+    (* Final-placement arrivals are held data exactly like the stash and
+       must be reported, or the sender would retransmit them. *)
+    let spans =
+      Hashtbl.fold (fun seq (len, _) acc -> (seq, seq + len) :: acc) t.placed
+        spans
     in
     let spans = List.sort (fun (a, _) (b, _) -> compare a b) spans in
     let merged =
@@ -780,6 +820,8 @@ let destroy t =
   release_all ();
   Hashtbl.reset t.ooo;
   Array.fill t.ooo_free 0 (Array.length t.ooo_free) true;
+  Hashtbl.reset t.placed;
+  t.fr_elen <- -1;
   t.rx_tsdu_off <- 0;
   t.ka_on_result <- None;
   cancel_all_timers t
@@ -1459,6 +1501,35 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
   let open Ilp_checksum in
   let src = base + Tcp_header.size in
   let psh = Tcp_header.has h Tcp_header.psh in
+  let framed =
+    t.rx_framing && (match t.rx_proc with Rx_raw -> false | _ -> true)
+  in
+  let starting = framed && t.fr_elen < 0 in
+  (* Framed geometry: the first segment of a framed TSDU carries the
+     cleartext prelude ({!Framing}) announcing the TSDU's engine wire
+     length; it is parsed (uncharged peeks — the charged pass over its
+     bytes is the checksum walk) and stripped before the engine handler.
+     The frame state is only committed once the segment's checksum
+     verdict is [Ok], so a corrupt prelude can never wedge the
+     connection's reassembly state. *)
+  let frame =
+    if not starting then Ok None
+    else
+      match Framing.parse_word0 (Mem.peek_u32 (mem t) src) with
+      | Some plen when payload_len >= plen ->
+          let elen = Mem.peek_u32 (mem t) (src + 4) in
+          if elen > 0 && payload_len - plen <= elen then Ok (Some (plen, elen))
+          else Error Bad_header
+      | _ -> Error Bad_header
+  in
+  match frame with
+  | Error reason ->
+      count_drop t reason;
+      false
+  | Ok fr ->
+  let plen = match fr with Some (p, _) -> p | None -> 0 in
+  let eng_src = src + plen in
+  let eng_len = payload_len - plen in
   let dst_off = t.rx_tsdu_off in
   let single = psh && dst_off = 0 in
   (* Each delivered data segment is one traced receive packet; the
@@ -1475,6 +1546,9 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
       && (not single)
       && dst_off + payload_len > t.rx_asm_len
     then Error Bad_length
+    else if framed && (not starting) && dst_off + eng_len > t.fr_elen then
+      (* A framed continuation past the announced TSDU extent. *)
+      Error Bad_length
     else
       match t.rx_proc with
       | Rx_raw | Rx_separate _ ->
@@ -1494,10 +1568,12 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
           if Internet.finish acc <> 0 then Error Bad_checksum
           else begin
             match t.rx_proc with
-            | Rx_separate f -> (
-                match f (mem t) ~src ~dst_off ~len:payload_len with
-                | Ok () -> Ok ()
-                | Error _ -> Error Bad_length)
+            | Rx_separate f ->
+                if eng_len = 0 then Ok () (* prelude-only segment *)
+                else (
+                  match f (mem t) ~src:eng_src ~dst_off ~len:eng_len with
+                  | Ok () -> Ok ()
+                  | Error _ -> Error Bad_length)
             | Rx_raw | Rx_integrated _ -> Ok ()
           end
       | Rx_integrated f -> (
@@ -1505,10 +1581,24 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
              unmarshalling; TCP folds in pseudo-header and header and decides
              acceptance afterwards (final stage of the three-stage model).
              A handler that cannot even start its loop (impossible payload
-             length) rejects before any checksum verdict. *)
-          match f (mem t) ~src ~dst_off ~len:payload_len with
+             length) rejects before any checksum verdict.  A framed
+             prelude is checksummed by its own charged walk and folded in
+             positionally ahead of the engine's accumulator. *)
+          let eng_acc =
+            if eng_len = 0 then Ok Internet.empty
+            else f (mem t) ~src:eng_src ~dst_off ~len:eng_len
+          in
+          match eng_acc with
           | Error _ -> Error Bad_length
-          | Ok payload_acc ->
+          | Ok acc ->
+              let payload_acc =
+                if plen = 0 then acc
+                else
+                  Internet.combine
+                    (Internet.checksum_mem (mem t) ~pos:src ~len:plen
+                       ~acc:Internet.empty)
+                    acc ~len_b:eng_len
+              in
               if Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum then
                 Ok ()
               else Error Bad_checksum)
@@ -1519,7 +1609,16 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
       t.rcv_nxt <- t.rcv_nxt + payload_len;
       t.bytes_delivered <- t.bytes_delivered + payload_len;
       M.inc m_bytes_delivered payload_len;
-      if single then t.on_message ~src ~len:payload_len
+      (match fr with
+      | Some (p, elen) ->
+          t.fr_base <- h.seq;
+          t.fr_plen <- p;
+          t.fr_elen <- elen
+      | None -> ());
+      if single then begin
+        if framed then t.fr_elen <- -1;
+        t.on_message ~src:eng_src ~len:eng_len
+      end
       else begin
         (match t.rx_proc with
         | Rx_raw ->
@@ -1529,10 +1628,11 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
             Mem.blit (mem t) ~src ~dst:(t.rx_asm + dst_off) ~len:payload_len
               ~unit_len:t.cfg.blit_unit
         | Rx_separate _ | Rx_integrated _ -> ());
-        t.rx_tsdu_off <- dst_off + payload_len;
+        t.rx_tsdu_off <- dst_off + eng_len;
         if psh then begin
           let n = t.rx_tsdu_off in
           t.rx_tsdu_off <- 0;
+          if framed then t.fr_elen <- -1;
           (* [src] points at the raw path's reassembly area; engine-backed
              consumers read the TSDU from their application area. *)
           t.on_message ~src:t.rx_asm ~len:n
@@ -1547,14 +1647,82 @@ let process_data t (h : Tcp_header.t) ~base ~payload_len =
       count_drop t reason;
       false
 
+(* Final placement of an out-of-order segment (the single-copy receive
+   path): when the current framed TSDU's extent is known and the segment
+   lies wholly inside it, verify and decrypt it at arrival directly at
+   its final TSDU offset — no stash copy, no reprocessing at drain time.
+   Sound because the engine's receive kernels are stateless per segment
+   (no cipher chaining across blocks' positions), exactly the property
+   the send side's range fills already rely on.  A corrupt segment is
+   dropped and never recorded; its retransmission overwrites whatever
+   partial plaintext the failed pass left at [dst_off]. *)
+let place_ooo t (h : Tcp_header.t) ~payload_len =
+  let open Ilp_checksum in
+  let src = t.rx_staging + Tcp_header.size in
+  let dst_off = h.seq - t.fr_base - t.fr_plen in
+  if Trace.enabled () then ignore (Trace.begin_packet ());
+  let verdict =
+    match t.rx_proc with
+    | Rx_raw -> Error Bad_length (* placement requires an engine handler *)
+    | Rx_separate f ->
+        let acc = Tcp_header.pseudo_acc h ~payload_len in
+        let acc =
+          Internet.checksum_mem (mem t) ~pos:t.rx_staging
+            ~len:(Tcp_header.size + payload_len) ~acc
+        in
+        if Internet.finish acc <> 0 then Error Bad_checksum
+        else (
+          match f (mem t) ~src ~dst_off ~len:payload_len with
+          | Ok () -> Ok ()
+          | Error _ -> Error Bad_length)
+    | Rx_integrated f -> (
+        match f (mem t) ~src ~dst_off ~len:payload_len with
+        | Error _ -> Error Bad_length
+        | Ok payload_acc ->
+            if Tcp_header.checksum h ~payload_acc ~payload_len = h.checksum
+            then Ok ()
+            else Error Bad_checksum)
+  in
+  Machine.compute (machine t) t.cfg.control_ops;
+  match verdict with
+  | Ok () ->
+      Hashtbl.add t.placed h.seq (payload_len, Tcp_header.has h Tcp_header.psh);
+      t.last_ooo_seq <- h.seq;
+      t.ooo_placed_n <- t.ooo_placed_n + 1;
+      M.inc m_ooo_placed 1
+  | Error reason ->
+      if reason = Bad_checksum then begin
+        t.checksum_failures <- t.checksum_failures + 1;
+        M.inc m_checksum_failures 1
+      end;
+      count_drop t reason
+
 let rec drain_ooo t =
-  match Hashtbl.find_opt t.ooo t.rcv_nxt with
-  | None -> ()
-  | Some (slot, base, payload_len) ->
-      Hashtbl.remove t.ooo t.rcv_nxt;
-      t.ooo_free.(slot) <- true;
-      let h = Tcp_header.read_mem (mem t) ~pos:base in
-      if process_data t h ~base ~payload_len then drain_ooo t
+  match Hashtbl.find_opt t.placed t.rcv_nxt with
+  | Some (len, psh) ->
+      (* Already verified and decrypted at its final offset when it
+         arrived: advancing over it is pure bookkeeping — the re-copy the
+         legacy stash drain performs has no counterpart here. *)
+      Hashtbl.remove t.placed t.rcv_nxt;
+      t.rcv_nxt <- t.rcv_nxt + len;
+      t.bytes_delivered <- t.bytes_delivered + len;
+      M.inc m_bytes_delivered len;
+      t.rx_tsdu_off <- t.rx_tsdu_off + len;
+      if psh then begin
+        let n = t.rx_tsdu_off in
+        t.rx_tsdu_off <- 0;
+        t.fr_elen <- -1;
+        t.on_message ~src:t.rx_asm ~len:n
+      end;
+      drain_ooo t
+  | None -> (
+      match Hashtbl.find_opt t.ooo t.rcv_nxt with
+      | None -> ()
+      | Some (slot, base, payload_len) ->
+          Hashtbl.remove t.ooo t.rcv_nxt;
+          t.ooo_free.(slot) <- true;
+          let h = Tcp_header.read_mem (mem t) ~pos:base in
+          if process_data t h ~base ~payload_len then drain_ooo t)
 
 let handle_data t (h : Tcp_header.t) ~payload_len =
   if h.seq = t.rcv_nxt then begin
@@ -1576,14 +1744,26 @@ let handle_data t (h : Tcp_header.t) ~payload_len =
     send_ack t
   end
   else begin
-    (* Out of order: stash the staged segment for later processing. *)
+    (* Out of order: place at the final TSDU offset when the framing
+       makes that decidable, otherwise stash the staged segment for
+       later processing. *)
     t.out_of_order_n <- t.out_of_order_n + 1;
     M.inc m_out_of_order 1;
-    (if Hashtbl.mem t.ooo h.seq then begin
-       (* Duplicate of an already-stashed segment: also a D-SACK case. *)
+    (if Hashtbl.mem t.ooo h.seq || Hashtbl.mem t.placed h.seq then begin
+       (* Duplicate of an already-held segment: also a D-SACK case. *)
        if t.cfg.sack && payload_len > 1 then
          t.dsack_pending <- Some (h.seq, h.seq + payload_len)
      end
+     else if
+       (* Eligible for final placement: framing on, an engine handler
+          wired, the current TSDU's extent known from its prelude, and
+          the segment wholly inside that extent.  Anything else — a
+          TSDU-start arriving out of order, a segment of a future TSDU,
+          a raw-path socket — falls back to the legacy stash. *)
+       t.rx_framing && t.fr_elen >= 0 && payload_len > 0
+       && (match t.rx_proc with Rx_raw -> false | _ -> true)
+       && h.seq + payload_len <= t.fr_base + t.fr_plen + t.fr_elen
+     then place_ooo t h ~payload_len
      else
        match alloc_ooo_slot t with
        | None ->

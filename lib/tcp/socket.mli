@@ -284,6 +284,21 @@ val ring_wraps : t -> int
 
 val set_rx_processing : t -> rx_processing -> unit
 
+(** [set_rx_framing t on] enables the v2 ("Reverso") framed receive: the
+    peer prefixes every streamed TSDU with a cleartext {!Framing} prelude
+    carrying the TSDU's engine wire length, which this receiver parses
+    (and covers with the segment checksum) to learn each segment's final
+    placement offset before decryption.  With the extent known,
+    out-of-order segments are verified on arrival and landed at their
+    final [dst_off] through the engine handler — no stash blit, no drain
+    re-copy.  Requires an engine-backed {!rx_processing} ([Rx_raw]
+    sockets ignore the flag).  Both endpoints must agree: a framed
+    sender's bytes are not parseable by an unframed receiver and vice
+    versa — the RPC layer negotiates this per connection. *)
+val set_rx_framing : t -> bool -> unit
+
+val rx_framing : t -> bool
+
 (** [set_on_message t f] — [f ~src ~len] fires once per TSDU.  For a
     single-segment message (PSH with nothing reassembling), [src] is the
     payload address in the receive staging area, exactly as before
@@ -343,6 +358,10 @@ type stats = {
   retransmissions : int;
   checksum_failures : int;
   out_of_order : int;
+  ooo_placed : int;
+      (** out-of-order segments verified and landed at their final TSDU
+          offset by the v2 framed receive (subset of [out_of_order]) —
+          each one skipped the stash blit and the drain re-copy *)
   duplicates : int;
   acks_sent : int;
   ip_errors : int;  (** datagrams dropped by the kernel's IP validation *)

@@ -298,6 +298,129 @@ let test_data_path_pool_exhaustion_end_to_end () =
   check "shared pool balanced" 0 (Ilp_fastpath.Pool.outstanding pool)
 
 (* ------------------------------------------------------------------ *)
+(* The v2 ("Reverso") framed receive: negotiated end-to-end, byte-exact,
+   and able to land out-of-order segments at their final TSDU offset. *)
+
+let with_framing s = { s with Ft.framing = true }
+
+let test_framed_transfer_matrix () =
+  (* Framing must deliver byte-exact across modes, backends and data
+     paths, both with whole-message replies and pipelined streaming. *)
+  List.iter
+    (fun (mode, native, data_path, mss) ->
+      let s =
+        { (small_setup ~mode ~native ~copies:1 ()) with
+          Ft.framing = true;
+          data_path;
+          mss }
+      in
+      let r = run s in
+      check "all payload delivered" (15 * 1024) r.Ft.payload_bytes;
+      check "no checksum failures" 0 r.Ft.checksum_failures;
+      check "no pool leaks" 0 r.Ft.pool_leaks)
+    [ (Engine.Ilp, false, Engine.Pooled, None);
+      (Engine.Ilp, false, Engine.Legacy, Some 256);
+      (Engine.Ilp, true, Engine.Pooled, Some 256);
+      (Engine.Separate, false, Engine.Pooled, Some 256);
+      (Engine.Separate, true, Engine.Pooled, None) ]
+
+let test_framed_equals_unframed_payload () =
+  (* Same application bytes either way; the framed wire carries the
+     preludes on top (one seg_unit per reply TSDU). *)
+  let base = { (small_setup ~copies:1 ()) with Ft.mss = Some 256 } in
+  let plain = run base in
+  let framed = run (with_framing base) in
+  check "same payload" plain.Ft.payload_bytes framed.Ft.payload_bytes;
+  checkb "framed wire strictly larger (preludes)" true
+    (framed.Ft.wire_bytes > plain.Ft.wire_bytes);
+  check "prelude overhead is one seg_unit per reply"
+    (framed.Ft.wire_bytes - plain.Ft.wire_bytes)
+    (framed.Ft.n_replies * 8)
+
+let test_framed_ooo_final_placement () =
+  (* A jittery wire reorders pipelined segments; with framing on, the
+     receiver must land them at their final TSDU offset (witnessed by
+     the tcp.ooo_placed counter) and still verify byte-exact. *)
+  let module M = Ilp_obs.Metrics in
+  let imp =
+    { Ilp_netsim.Link.fault_free with
+      Ilp_netsim.Link.jitter_us = 120.0;
+      delay_spike_rate = 0.2;
+      delay_spike_us = 600.0 }
+  in
+  let before = M.snapshot M.default in
+  let r =
+    run
+      { (small_setup ~copies:2 ()) with
+        Ft.framing = true;
+        mss = Some 256;
+        impairments = Some imp;
+        deadline_us = 60_000_000.0 }
+  in
+  check "all payload delivered" (2 * 15 * 1024) r.Ft.payload_bytes;
+  check "no pool leaks" 0 r.Ft.pool_leaks;
+  let after = M.snapshot M.default in
+  checkb "out-of-order segments landed at final placement" true
+    (M.counter_diff after before "tcp.ooo_placed" > 0)
+
+let test_framed_under_chaos () =
+  (* Loss, corruption and duplication against the framed receive: the
+     transfer must still be byte-exact (corrupt preludes rejected by the
+     segment checksum, retransmissions recovering), and must agree with
+     the unframed run on payload. *)
+  let imp =
+    { Ilp_netsim.Link.fault_free with
+      Ilp_netsim.Link.loss_rate = 0.15;
+      corrupt_rate = 0.05;
+      dup_rate = 0.05;
+      jitter_us = 100.0 }
+  in
+  let base =
+    { (small_setup ~copies:2 ()) with
+      Ft.mss = Some 256;
+      impairments = Some imp;
+      deadline_us = 60_000_000.0 }
+  in
+  let framed = run (with_framing base) in
+  let plain = run base in
+  checkb "chaos actually bit (retransmissions)" true
+    (framed.Ft.retransmissions > 0);
+  check "same payload under chaos" plain.Ft.payload_bytes
+    framed.Ft.payload_bytes;
+  check "no leaks under chaos" 0 framed.Ft.pool_leaks
+
+let test_framed_crc_trailer_sack_interplay () =
+  (* The end-to-end CRC32 trailer, SACK loss recovery and the framed
+     receive all stack: a lossy, jittery wire forces SACK-driven hole
+     retransmissions while every delivered TSDU still verifies its
+     trailer behind the framing prelude. *)
+  let imp =
+    { Ilp_netsim.Link.fault_free with
+      Ilp_netsim.Link.loss_rate = 0.12;
+      jitter_us = 150.0 }
+  in
+  let base =
+    { (small_setup ~copies:2 ()) with
+      Ft.crc = true;
+      mss = Some 256;
+      impairments = Some imp;
+      deadline_us = 60_000_000.0 }
+  in
+  let framed = run (with_framing base) in
+  let plain = run base in
+  checkb "framed transfer completed" true framed.Ft.ok;
+  check "same payload with trailer + framing" plain.Ft.payload_bytes
+    framed.Ft.payload_bytes;
+  checkb "loss actually bit (retransmissions)" true
+    (framed.Ft.retransmissions > 0);
+  check "no pool leaks" 0 framed.Ft.pool_leaks;
+  (* The trailer rides inside the engine TSDU, so the framed overhead is
+     still exactly one prelude per reply. *)
+  check "prelude overhead unchanged by the trailer"
+    (framed.Ft.wire_bytes - plain.Ft.wire_bytes)
+    (framed.Ft.n_replies * 8)
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial wire and the soak harness *)
 
 let test_fault_free_impairments_unchanged () =
@@ -463,6 +586,17 @@ let () =
             test_data_path_equivalent_under_chaos;
           Alcotest.test_case "pool exhaustion fallback end to end" `Quick
             test_data_path_pool_exhaustion_end_to_end ] );
+      ( "framed receive",
+        [ Alcotest.test_case "framed transfer matrix" `Quick
+            test_framed_transfer_matrix;
+          Alcotest.test_case "framed = unframed payload" `Quick
+            test_framed_equals_unframed_payload;
+          Alcotest.test_case "ooo final placement" `Quick
+            test_framed_ooo_final_placement;
+          Alcotest.test_case "framed under chaos" `Quick
+            test_framed_under_chaos;
+          Alcotest.test_case "crc trailer + sack interplay" `Quick
+            test_framed_crc_trailer_sack_interplay ] );
       ( "adversarial",
         [ Alcotest.test_case "fault-free impairments unchanged" `Quick
             test_fault_free_impairments_unchanged;

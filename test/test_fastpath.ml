@@ -403,6 +403,61 @@ let test_staging_from_pool () =
   FP.Wire.release fp;
   check "no leaks at teardown" 0 (FP.Pool.outstanding pool)
 
+(* ------------------------------------------------------------------ *)
+(* Memtraffic: the per-direction ledger split *)
+
+module Mt = FP.Memtraffic
+module M = Ilp_obs.Metrics
+
+let test_memtraffic_rx_split () =
+  let before = Mt.snapshot () in
+  Mt.copied Mt.Tcp 100;
+  Mt.copied_rx Mt.Tcp 40;
+  Mt.copied_rx Mt.Cipher 24;
+  Mt.alloc Mt.Rpc 64;
+  Mt.alloc_rx Mt.Rpc 32;
+  Mt.inplace_rx Mt.Cipher 16;
+  Mt.read_rx Mt.Checksum 48;
+  let d = Mt.diff (Mt.snapshot ()) before in
+  (* The rx variants charge both the direction-blind totals and the rx
+     sub-ledger; tx is the remainder. *)
+  check "copied total" 164 (Mt.copied_total d);
+  check "copied rx" 64 (Mt.copied_rx_total d);
+  check "copied tx is the remainder" 100 (Mt.copied_tx_total d);
+  check "allocated rx" 32 (Mt.allocated_rx_total d);
+  check "allocated tx" 64 (Mt.allocated_tx_total d);
+  check "reads include rx charges" (100 + 40 + 24 + 16 + 48) (Mt.reads_total d);
+  let r, w, c, a = Mt.of_layer d Mt.Tcp in
+  check "tcp reads" 140 r;
+  check "tcp writes" 140 w;
+  check "tcp copies" 140 c;
+  check "tcp allocs" 0 a;
+  let r, w, c, a = Mt.of_layer_rx d Mt.Tcp in
+  check "tcp rx reads" 40 r;
+  check "tcp rx writes" 40 w;
+  check "tcp rx copies" 40 c;
+  check "tcp rx allocs" 0 a;
+  let r, w, c, _ = Mt.of_layer_rx d Mt.Cipher in
+  check "cipher rx reads (copy + inplace)" 40 r;
+  check "cipher rx writes" 40 w;
+  check "cipher rx copies" 24 c;
+  let r, w, _, _ = Mt.of_layer_rx d Mt.Checksum in
+  check "checksum rx fold is read-only" 48 r;
+  check "checksum rx fold writes nothing" 0 w
+
+let test_memtraffic_rx_metrics_mirrored () =
+  let before = M.snapshot M.default in
+  Mt.copied_rx Mt.Tcp 56;
+  Mt.alloc_rx Mt.Rpc 16;
+  let after = M.snapshot M.default in
+  check "rx copied metric" 56 (M.counter_diff after before "mem.rx.tcp.copied_bytes");
+  check "direction-blind metric charged too" 56
+    (M.counter_diff after before "mem.tcp.copied_bytes");
+  check "rx alloc metric" 16
+    (M.counter_diff after before "mem.rx.rpc.allocated_bytes");
+  check "rx alloc block counted" 1
+    (M.counter_diff after before "mem.rx.rpc.alloc_blocks")
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "fastpath"
@@ -428,6 +483,11 @@ let () =
             test_pool_class_cap_bound;
           Alcotest.test_case "odd-sized release dropped" `Quick
             test_pool_odd_size_dropped ] );
+      ( "memtraffic",
+        [ Alcotest.test_case "per-direction ledger split" `Quick
+            test_memtraffic_rx_split;
+          Alcotest.test_case "rx metrics mirrored" `Quick
+            test_memtraffic_rx_metrics_mirrored ] );
       ( "engine backends",
         [ Alcotest.test_case "byte-identical wire output" `Quick
             test_backends_byte_identical;

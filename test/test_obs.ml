@@ -188,6 +188,29 @@ let test_tracing_changes_nothing () =
       (Engine.Separate, Engine.Leading, "separate/leading");
       (Engine.Separate, Engine.Trailer, "separate/trailer") ]
 
+let test_tracing_changes_nothing_framed () =
+  (* The framed receive adds prelude parsing, combined checksums and
+     final placement to the traced path; instrumenting it must still
+     change nothing — identical payload and wire bytes either way. *)
+  let module Ft = Ilp_app.File_transfer in
+  let setup =
+    { (Ft.default_setup ~machine:(Config.custom ()) ~mode:Engine.Ilp) with
+      Ft.framing = true;
+      mss = Some 256;
+      copies = 2 }
+  in
+  Trace.disable ();
+  let off = Ft.run setup in
+  Trace.enable ~capacity:65536 ();
+  let on = Ft.run setup in
+  let n_spans = List.length (Trace.spans ()) in
+  Trace.disable ();
+  checkb "both framed runs completed" true (off.Ft.ok && on.Ft.ok);
+  check "identical payload bytes" off.Ft.payload_bytes on.Ft.payload_bytes;
+  check "identical wire bytes" off.Ft.wire_bytes on.Ft.wire_bytes;
+  check "identical replies" off.Ft.n_replies on.Ft.n_replies;
+  checkb "framed spans were recorded" true (n_spans > 0)
+
 let test_disabled_path_allocation_free () =
   Trace.disable ();
   let c = M.counter M.default "test_obs.probe" in
@@ -302,6 +325,8 @@ let () =
       ( "overhead",
         [ Alcotest.test_case "traced = untraced (bytes and cycles)" `Quick
             test_tracing_changes_nothing;
+          Alcotest.test_case "traced = untraced (framed receive)" `Quick
+            test_tracing_changes_nothing_framed;
           Alcotest.test_case "disabled path allocation-free" `Quick
             test_disabled_path_allocation_free ] );
       ( "conservation",

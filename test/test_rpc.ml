@@ -92,8 +92,8 @@ let test_probe_roundtrip () =
   in
   let plaintext = plaintext_of (Messages.encode_probe probe) in
   match Messages.decode_ctrl plaintext with
-  | Ok (Messages.Probe got) -> checkb "probe fields survive" true (got = probe)
-  | Ok (Messages.Request _) -> Alcotest.fail "probe dispatched as request"
+  | Ok (Messages.Probe got, _) -> checkb "probe fields survive" true (got = probe)
+  | Ok (Messages.Request _, _) -> Alcotest.fail "probe dispatched as request"
   | Error e -> Alcotest.fail e
 
 let test_request_v2_roundtrip () =
@@ -104,9 +104,9 @@ let test_request_v2_roundtrip () =
   checkb "fault-model fields force the v2 form" false (Messages.request_is_v1 req);
   let plaintext = plaintext_of (Messages.encode_request req) in
   match Messages.decode_ctrl plaintext with
-  | Ok (Messages.Request got) ->
+  | Ok (Messages.Request got, _) ->
       checkb "resume fields survive" true (got = req)
-  | Ok (Messages.Probe _) -> Alcotest.fail "request dispatched as probe"
+  | Ok (Messages.Probe _, _) -> Alcotest.fail "request dispatched as probe"
   | Error e -> Alcotest.fail e
 
 let test_request_v1_wire_unchanged () =
@@ -126,9 +126,9 @@ let test_request_v1_wire_unchanged () =
   in
   check "v2 carries three more words" (24 + 12) (String.length v2);
   match Messages.decode_ctrl (plaintext_of enc) with
-  | Ok (Messages.Request got) ->
+  | Ok (Messages.Request got, _) ->
       checkb "ctrl dispatch recovers the v1 request" true (got = req)
-  | Ok (Messages.Probe _) -> Alcotest.fail "v1 request dispatched as probe"
+  | Ok (Messages.Probe _, _) -> Alcotest.fail "v1 request dispatched as probe"
   | Error e -> Alcotest.fail e
 
 (* Build a plaintext the way the engine does when the end-to-end CRC32
@@ -148,13 +148,13 @@ let test_ctrl_dispatch_with_crc_trailer () =
   let req = Messages.request ~file_name:"paper.dat" ~copies:2 ~max_reply:512 () in
   let plaintext = plaintext_with_crc_trailer (Messages.encode_request req) in
   (match Messages.decode_ctrl ~crc_trailer:true plaintext with
-  | Ok (Messages.Request got) ->
+  | Ok (Messages.Request got, _) ->
       checkb "request recovered under the trailer" true (got = req)
-  | Ok (Messages.Probe _) ->
+  | Ok (Messages.Probe _, _) ->
       Alcotest.fail "crc_trailer:true still dispatched as probe"
   | Error e -> Alcotest.fail e);
   (match Messages.decode_ctrl plaintext with
-  | Ok (Messages.Request got) when got = req ->
+  | Ok (Messages.Request got, _) when got = req ->
       Alcotest.fail "phantom trailer word went unnoticed"
   | _ -> ());
   (* Probes gain the same immunity. *)
@@ -165,9 +165,98 @@ let test_ctrl_dispatch_with_crc_trailer () =
     Messages.decode_ctrl ~crc_trailer:true
       (plaintext_with_crc_trailer (Messages.encode_probe probe))
   with
-  | Ok (Messages.Probe got) -> checkb "probe recovered" true (got = probe)
-  | Ok (Messages.Request _) -> Alcotest.fail "probe dispatched as request"
+  | Ok (Messages.Probe got, _) -> checkb "probe recovered" true (got = probe)
+  | Ok (Messages.Request _, _) -> Alcotest.fail "probe dispatched as request"
   | Error e -> Alcotest.fail e
+
+let u32be n = String.init 4 (fun i -> Char.chr ((n lsr ((3 - i) * 8)) land 0xff))
+
+let test_flagged_ctrl_dispatch () =
+  (* The capability flag word rides as one extra trailing integer: 4
+     words dispatch as a flagged probe, 6 as a flagged request, and the
+     decoder surfaces the flags next to the recovered ctrl. *)
+  let req =
+    Messages.request ~req_id:7 ~file_name:"paper.dat" ~copies:2 ~max_reply:512 ()
+  in
+  let flagged = Messages.encode_request req ^ u32be Messages.flag_rx_framing in
+  (match Messages.decode_ctrl (plaintext_of flagged) with
+  | Ok (Messages.Request got, flags) ->
+      checkb "request fields survive the flag word" true (got = req);
+      checkb "rx-framing flag surfaced" true
+        (flags land Messages.flag_rx_framing <> 0)
+  | Ok (Messages.Probe _, _) -> Alcotest.fail "flagged request dispatched as probe"
+  | Error e -> Alcotest.fail e);
+  (match Messages.decode_ctrl (plaintext_of (Messages.encode_request req)) with
+  | Ok (Messages.Request _, flags) -> check "unflagged request: flags 0" 0 flags
+  | Ok (Messages.Probe _, _) -> Alcotest.fail "v2 request dispatched as probe"
+  | Error e -> Alcotest.fail e);
+  let probe =
+    { Messages.p_file_name = "paper.dat"; p_offset = 128; p_crc = 0xBEEF; p_req_id = 3 }
+  in
+  let flagged_p = Messages.encode_probe probe ^ u32be Messages.flag_rx_framing in
+  (match Messages.decode_ctrl (plaintext_of flagged_p) with
+  | Ok (Messages.Probe got, flags) ->
+      checkb "probe fields survive the flag word" true (got = probe);
+      checkb "probe carries the flag too" true
+        (flags land Messages.flag_rx_framing <> 0)
+  | Ok (Messages.Request _, _) -> Alcotest.fail "flagged probe dispatched as request"
+  | Error e -> Alcotest.fail e);
+  match Messages.decode_ctrl (plaintext_of (Messages.encode_probe probe)) with
+  | Ok (Messages.Probe _, flags) -> check "unflagged probe: flags 0" 0 flags
+  | Ok (Messages.Request _, _) -> Alcotest.fail "probe dispatched as request"
+  | Error e -> Alcotest.fail e
+
+let test_flagged_ctrl_with_crc_trailer () =
+  (* Flag word and CRC trailer stack: the dispatcher must discount the
+     trailer word before counting, in both flagged forms. *)
+  let req =
+    Messages.request ~req_id:9 ~start_copy:1 ~start_offset:1024
+      ~file_name:"paper.dat" ~copies:4 ~max_reply:256 ()
+  in
+  let flagged = Messages.encode_request req ^ u32be Messages.flag_rx_framing in
+  (match Messages.decode_ctrl ~crc_trailer:true (plaintext_with_crc_trailer flagged) with
+  | Ok (Messages.Request got, flags) ->
+      checkb "flagged request recovered under the trailer" true (got = req);
+      checkb "flags recovered under the trailer" true
+        (flags land Messages.flag_rx_framing <> 0)
+  | Ok (Messages.Probe _, _) -> Alcotest.fail "dispatched as probe under trailer"
+  | Error e -> Alcotest.fail e);
+  let probe =
+    { Messages.p_file_name = "f.dat"; p_offset = 64; p_crc = 5; p_req_id = 2 }
+  in
+  let flagged_p = Messages.encode_probe probe ^ u32be Messages.flag_rx_framing in
+  match
+    Messages.decode_ctrl ~crc_trailer:true (plaintext_with_crc_trailer flagged_p)
+  with
+  | Ok (Messages.Probe got, flags) ->
+      checkb "flagged probe recovered under the trailer" true (got = probe);
+      checkb "probe flags recovered" true
+        (flags land Messages.flag_rx_framing <> 0)
+  | Ok (Messages.Request _, _) -> Alcotest.fail "dispatched as request under trailer"
+  | Error e -> Alcotest.fail e
+
+let test_flagged_v1_promotes_to_v2 () =
+  (* There is no flagged v1 form — it would collide with the 3-word probe
+     — so a flagged marshal of an id-less request must carry the full v2
+     field set. *)
+  let v1 = Messages.request ~file_name:"paper.dat" ~copies:2 ~max_reply:512 () in
+  let v2 =
+    Messages.request ~req_id:1 ~file_name:"paper.dat" ~copies:2 ~max_reply:512 ()
+  in
+  checkb "id-less request is v1" true (Messages.request_is_v1 v1);
+  let seg_bytes segs =
+    List.fold_left
+      (fun a -> function
+        | Engine.Seg_gen s -> a + String.length s
+        | Engine.Seg_app { len; _ } -> a + len)
+      0 segs
+  in
+  check "flagged v1 marshals as many bytes as flagged v2"
+    (seg_bytes (Messages.request_segments ~flags:Messages.flag_rx_framing v2))
+    (seg_bytes (Messages.request_segments ~flags:Messages.flag_rx_framing v1));
+  check "unflagged v1 keeps the short form"
+    (seg_bytes (Messages.request_segments v2) - 12)
+    (seg_bytes (Messages.request_segments v1))
 
 let prop_request_roundtrip =
   QCheck.Test.make ~count:150 ~name:"request encode/decode round trip"
@@ -856,6 +945,12 @@ let () =
             test_request_v2_roundtrip;
           Alcotest.test_case "v1 wire unchanged" `Quick
             test_request_v1_wire_unchanged;
+          Alcotest.test_case "flagged ctrl dispatch" `Quick
+            test_flagged_ctrl_dispatch;
+          Alcotest.test_case "flagged ctrl under CRC trailer" `Quick
+            test_flagged_ctrl_with_crc_trailer;
+          Alcotest.test_case "flagged v1 promotes to v2" `Quick
+            test_flagged_v1_promotes_to_v2;
           Alcotest.test_case "ctrl dispatch under CRC trailer" `Quick
             test_ctrl_dispatch_with_crc_trailer;
           qc prop_request_roundtrip;

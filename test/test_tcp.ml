@@ -1696,6 +1696,248 @@ let test_reset_for_shapes () =
        (Datagram.create ~src_port:1 ~dst_port:2 ~payload:"garbage")
     = None)
 
+(* ------------------------------------------------------------------ *)
+(* v2 framed receive: {!Framing} prelude parsing, final placement of
+   out-of-order segments, and the negotiation-mismatch guard rails *)
+
+module Framing = Ilp_tcp.Framing
+module Internet = Ilp_checksum.Internet
+
+let test_framing_word0_roundtrip () =
+  List.iter
+    (fun p ->
+      match Framing.parse_word0 (Framing.word0 ~prelude_len:p) with
+      | Some got -> check (Printf.sprintf "prelude %d round trip" p) p got
+      | None -> Alcotest.failf "prelude %d rejected its own word0" p)
+    [ 8; 16; 64; 248 ];
+  let rejected w = Framing.parse_word0 w = None in
+  checkb "zero rejected" true (rejected 0);
+  checkb "wrong magic rejected" true (rejected 0x494d5008);
+  checkb "prelude 0 rejected" true (rejected (Framing.word0 ~prelude_len:8 land lnot 0xff));
+  checkb "unaligned prelude rejected" true (rejected (0x494c5000 lor 12));
+  checkb "short prelude rejected" true (rejected (0x494c5000 lor 4))
+
+let test_framing_stream_layout () =
+  (* The framed fill must write the prelude words at offset 0 and present
+     the engine's ranges shifted by exactly one [seg_unit], with the
+     positional checksum matching a flat walk over the framed bytes. *)
+  let sim = Sim.create (Config.custom ()) in
+  let mem = sim.Sim.mem in
+  let stream_len = 96 and seg_unit = 8 in
+  let body i = ((i * 37) + 5) land 0xff in
+  let fill_range m ~dst ~off ~len =
+    for i = 0 to len - 1 do
+      Mem.poke_u8 m (dst + i) (body (off + i))
+    done;
+    let chunk = Bytes.init len (fun i -> Char.chr (body (off + i))) in
+    Some (Internet.add_bytes Internet.empty chunk ~off:0 ~len)
+  in
+  let total, fill =
+    Framing.framed_stream ~seg_unit ~stream_len ~checksummed:true ~fill_range
+  in
+  check "total = prelude + stream" (seg_unit + stream_len) total;
+  (* Whole-TSDU fill at offset 0 (the single-segment shape). *)
+  let acc0 = fill mem ~dst:256 ~off:0 ~len:total in
+  check "magic word" (Framing.word0 ~prelude_len:seg_unit) (Mem.peek_u32 mem 256);
+  check "engine length word" stream_len (Mem.peek_u32 mem 260);
+  for i = 0 to stream_len - 1 do
+    if Mem.peek_u8 mem (256 + seg_unit + i) <> body i then
+      Alcotest.failf "engine byte %d not shifted by the prelude" i
+  done;
+  (match acc0 with
+  | None -> Alcotest.fail "checksummed fill returned no accumulator"
+  | Some acc ->
+      let flat =
+        Internet.checksum_mem mem ~pos:256 ~len:total ~acc:Internet.empty
+      in
+      check "positional accumulator = flat walk" (Internet.finish flat)
+        (Internet.finish acc));
+  (* A continuation range passes straight through, shifted. *)
+  ignore (fill mem ~dst:1024 ~off:(seg_unit + 16) ~len:24);
+  for i = 0 to 23 do
+    if Mem.peek_u8 mem (1024 + i) <> body (16 + i) then
+      Alcotest.failf "continuation byte %d mis-shifted" i
+  done;
+  checkb "undersized seg_unit rejected" true
+    (try
+       ignore (Framing.framed_stream ~seg_unit:4 ~stream_len ~checksummed:false
+                 ~fill_range);
+       false
+     with Invalid_argument _ -> true)
+
+(* A miniature engine for socket-level framed tests: XOR "encryption"
+   with a charged byte-wise decrypt into a caller-owned application
+   area — stateless per segment, like the real receive kernels. *)
+let xor_key = 0x5a
+
+let framed_world ?(jitter_us = 0.0) ?(seed = 11) ?(mss = 256)
+    ?(send_buffer = Socket.default_config.Socket.send_buffer) ?mangle () =
+  let w =
+    match mangle with
+    | Some m -> make_world ~jitter_us ~seed ~mss ~send_buffer ~ooo_slots:16 ~mangle:m ()
+    | None -> make_world ~jitter_us ~seed ~mss ~send_buffer ~ooo_slots:16 ()
+  in
+  let app = Alloc.alloc w.sim.Sim.alloc 65536 in
+  let handler m ~src ~dst_off ~len =
+    if dst_off + len > 65536 then Error "overflow"
+    else begin
+      for i = 0 to len - 1 do
+        Mem.set_u8 m (app + dst_off + i) (Mem.get_u8 m (src + i) lxor xor_key)
+      done;
+      Ok ()
+    end
+  in
+  Socket.set_rx_processing w.b (Socket.Rx_separate handler);
+  Socket.set_rx_framing w.b true;
+  (w, app)
+
+let framed_tsdu w payload =
+  let stream_len = String.length payload in
+  let fill_range m ~dst ~off ~len =
+    for i = 0 to len - 1 do
+      Mem.poke_u8 m (dst + i) (Char.code payload.[off + i] lxor xor_key)
+    done;
+    None
+  in
+  let total, fill =
+    Framing.framed_stream ~seg_unit:8 ~stream_len ~checksummed:false ~fill_range
+  in
+  Socket.send_stream w.a ~seg_unit:8 ~len:total ~fill
+
+let framed_all ?(step = 50.0) ?(guard = 200_000) w tsdus =
+  let pending = Queue.of_seq (List.to_seq tsdus) in
+  let g = ref guard and alive = ref true in
+  while !alive && (not (Queue.is_empty pending)) && !g > 0 do
+    decr g;
+    match framed_tsdu w (Queue.peek pending) with
+    | Ok () -> ignore (Queue.pop pending)
+    | Error Socket.Buffer_full | Error Socket.Window_full ->
+        Simclock.advance w.clock step
+    | Error _ -> alive := false
+  done;
+  Simclock.run_until_idle w.clock
+
+(* Collect each delivered TSDU's plaintext from the application area. *)
+let collect_app w app buf =
+  Socket.set_on_message w.b (fun ~src:_ ~len ->
+      Buffer.add_bytes buf (Mem.peek_bytes w.sim.Sim.mem ~pos:app ~len))
+
+let test_framed_stream_roundtrip () =
+  let w, app = framed_world () in
+  connect w;
+  let got = Buffer.create 32768 in
+  collect_app w app got;
+  let tsdus = List.init 6 (fun k -> stream_payload (896 + (704 * k mod 2112)) k) in
+  framed_all w tsdus;
+  check_s "framed TSDUs decrypted in place, byte-exact"
+    (String.concat "" tsdus) (Buffer.contents got);
+  checkb "no abort" true (Socket.failure w.a = None && Socket.failure w.b = None);
+  (* Every delivered byte of wire stream includes one prelude per TSDU. *)
+  check "prelude bytes delivered too"
+    (List.fold_left (fun a s -> a + String.length s + 8) 0 tsdus)
+    (Socket.stats w.b).Socket.bytes_delivered
+
+let test_framed_ooo_final_placement () =
+  (* Heavy jitter reorders segments; with framing on, in-extent
+     out-of-order segments must land at their final TSDU offset instead
+     of the stash, and the drain must not re-copy them. *)
+  let w, app = framed_world ~jitter_us:2000.0 ~seed:77 () in
+  connect w;
+  let got = Buffer.create 32768 in
+  collect_app w app got;
+  let payload = stream_payload 16_000 4 in
+  framed_all w [ payload ];
+  check_s "reordered framed stream byte-exact" payload (Buffer.contents got);
+  let st = Socket.stats w.b in
+  checkb "receiver saw out-of-order segments" true (st.Socket.out_of_order > 0);
+  checkb "some were placed at their final offset" true (st.Socket.ooo_placed > 0);
+  checkb "placements are a subset of the out-of-order count" true
+    (st.Socket.ooo_placed <= st.Socket.out_of_order)
+
+let test_framed_ooo_ring_wrap () =
+  (* Many TSDUs through a send ring much smaller than the transfer, under
+     jitter: placements must stay byte-exact while the ring cycles and
+     segments straddle the wrap point. *)
+  let w, app =
+    framed_world ~jitter_us:1200.0 ~seed:31 ~mss:1000 ~send_buffer:8192 ()
+  in
+  connect w;
+  let got = Buffer.create 65536 in
+  collect_app w app got;
+  let tsdus = List.init 12 (fun k -> stream_payload 4000 (100 + k)) in
+  framed_all w tsdus;
+  check_s "wrapped framed transfer byte-exact" (String.concat "" tsdus)
+    (Buffer.contents got);
+  checkb "send ring wrapped" true (Socket.ring_wraps w.a > 0);
+  checkb "final placement exercised" true
+    ((Socket.stats w.b).Socket.ooo_placed > 0);
+  checkb "no abort" true (Socket.failure w.a = None)
+
+let test_framed_corrupt_prelude_recovered () =
+  (* Flip a byte inside the first data segment's prelude: the checksum
+     verdict fails before any frame state is committed, the segment is
+     dropped and its retransmission delivers the TSDU byte-exact. *)
+  let data_seen = ref 0 in
+  let mangle _ s =
+    if String.length s > 100 then begin
+      incr data_seen;
+      if !data_seen = 1 then begin
+        let b = Bytes.of_string s in
+        let pos = String.length s - 60 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+        Bytes.to_string b
+      end
+      else s
+    end
+    else s
+  in
+  let w, app = framed_world ~mangle () in
+  connect w;
+  let got = Buffer.create 8192 in
+  collect_app w app got;
+  let payload = stream_payload 3008 9 in
+  framed_all w [ payload ];
+  check_s "recovered byte-exact after corrupt first segment" payload
+    (Buffer.contents got);
+  let st = Socket.stats w.b in
+  checkb "exactly the corrupt segment failed its checksum" true
+    (st.Socket.checksum_failures = 1);
+  checkb "sender retransmitted" true
+    ((Socket.stats w.a).Socket.retransmissions > 0)
+
+let test_framed_receiver_rejects_unframed_stream () =
+  (* Negotiation mismatch: a framing-enabled receiver fed a v1 stream
+     finds no magic in the first word and drops the segment as
+     Bad_header — nothing is delivered and no frame state is wedged. *)
+  let w, app = framed_world () in
+  connect w;
+  let got = Buffer.create 1024 in
+  collect_app w app got;
+  (match stream_tsdu w (stream_payload 600 3) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send_stream refused: %s" (send_error_to_string e));
+  for _ = 1 to 200 do
+    Simclock.advance w.clock 1000.0
+  done;
+  check "nothing delivered" 0 (Buffer.length got);
+  let bad_header =
+    try List.assoc Socket.Bad_header (Socket.drops w.b) with Not_found -> 0
+  in
+  checkb "v1 stream dropped as Bad_header" true (bad_header > 0)
+
+let test_framed_off_is_inert_under_raw () =
+  (* [set_rx_framing] without an engine-backed handler must change
+     nothing: Rx_raw reassembly stays byte-identical to the v1 path. *)
+  let w = make_world ~max_tsdu:8192 () in
+  Socket.set_rx_framing w.b true;
+  connect w;
+  let got = Buffer.create 8192 in
+  collect_into w got;
+  let payload = stream_payload 5000 6 in
+  stream_all w [ payload ];
+  check_s "raw path unchanged" payload (Buffer.contents got);
+  check "no placements" 0 (Socket.stats w.b).Socket.ooo_placed
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "tcp"
@@ -1789,6 +2031,23 @@ let () =
             test_sack_metrics_conservation;
           Alcotest.test_case "sack off is the NewReno baseline" `Quick
             test_sack_off_is_newreno ] );
+      ( "framed receive",
+        [ Alcotest.test_case "prelude word round trip" `Quick
+            test_framing_word0_roundtrip;
+          Alcotest.test_case "framed stream layout and checksum" `Quick
+            test_framing_stream_layout;
+          Alcotest.test_case "framed stream round trip" `Quick
+            test_framed_stream_roundtrip;
+          Alcotest.test_case "ooo final placement" `Quick
+            test_framed_ooo_final_placement;
+          Alcotest.test_case "placement across ring wrap" `Quick
+            test_framed_ooo_ring_wrap;
+          Alcotest.test_case "corrupt prelude recovered" `Quick
+            test_framed_corrupt_prelude_recovered;
+          Alcotest.test_case "unframed stream rejected" `Quick
+            test_framed_receiver_rejects_unframed_stream;
+          Alcotest.test_case "framing inert under Rx_raw" `Quick
+            test_framed_off_is_inert_under_raw ] );
       ( "crash faults",
         [ Alcotest.test_case "RST on destroyed connection" `Quick
             test_rst_on_destroyed_connection;
