@@ -554,7 +554,17 @@ let soak_cmd =
             (Ilp_obs.Metrics.snapshot Ilp_obs.Metrics.default)
             before));
     prerr_endline "--- trace tail (last 40 spans) ---";
-    List.iter prerr_endline (Ilp_obs.Trace.timeline ~tail:40 ())
+    List.iter prerr_endline (Ilp_obs.Trace.timeline ~tail:40 ());
+    (* The always-on flight recorder: per-connection event tail on
+       stderr, the full retained ring to FLIGHT.txt for CI artifacts. *)
+    let flight = Ilp_obs.Recorder.dump () in
+    prerr_endline "--- flight recorder (last 60 events) ---";
+    let n = List.length flight in
+    List.iteri (fun i l -> if i = 0 || i > n - 61 then prerr_endline l) flight;
+    let oc = open_out "FLIGHT.txt" in
+    List.iter (fun l -> output_string oc (l ^ "\n")) flight;
+    close_out oc;
+    prerr_endline "full flight-recorder dump written to FLIGHT.txt"
   in
   let run_chaos seed iters size machine intensity verbose =
     let cfg =
@@ -742,6 +752,109 @@ let trace_cmd =
     Term.(const run $ out $ quick $ timeline $ metrics)
 
 (* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd =
+  let module Telem = Ilp_bench.Telem in
+  let out =
+    Arg.(value & opt string "TELEMETRY.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Time-series JSON output path.")
+  in
+  let flight_out =
+    Arg.(value & opt string "FLIGHT.txt"
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Flight-recorder dump output path.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke variant: fewer clients, coarser sampling.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Log every soak verdict line.")
+  in
+  let run out flight_out quick verbose =
+    let config = if quick then Telem.quick_config else Telem.default_config in
+    let log line = if verbose then print_endline line in
+    match Telem.run ~log ~config () with
+    | r ->
+        Telem.write_json r ~path:out;
+        Telem.write_flight ~path:flight_out;
+        List.iter print_endline (Telem.summary_lines r);
+        print_endline "--- dashboard ---";
+        List.iter print_endline (Telem.dashboard_lines r);
+        Printf.printf "wrote %s and %s\n" out flight_out;
+        (match Telem.check r with
+        | Ok () ->
+            print_endline
+              "telemetry gates passed: soak invariants, sampler conservation, \
+               SLOs within bounds";
+            0
+        | Error fs ->
+            List.iter (fun f -> Printf.eprintf "ilpbench report: %s\n" f) fs;
+            1)
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ilpbench: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Continuous-telemetry report: run the overload soak with the \
+          periodic registry sampler attached, print the sparkline dashboard, \
+          export the JSON time series and the flight-recorder dump, and gate \
+          on sampler conservation and the latency SLOs.")
+    Term.(const run $ out $ flight_out $ quick $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* regress *)
+
+let regress_cmd =
+  let module Regress = Ilp_bench.Regress in
+  let baseline =
+    Arg.(value & opt string "bench/baseline"
+         & info [ "baseline"; "b" ] ~docv:"DIR"
+             ~doc:"Directory holding the committed baseline BENCH_*.json.")
+  in
+  let dir =
+    Arg.(value & opt string "."
+         & info [ "dir"; "d" ] ~docv:"DIR"
+             ~doc:"Directory holding the current BENCH_*.json.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.10
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Fractional band for the deterministic mem/stream \
+                   indicators.")
+  in
+  let wall_tolerance =
+    Arg.(value & opt float 0.30
+         & info [ "wall-tolerance" ] ~docv:"FRAC"
+             ~doc:"Fractional band for the noisy wall-clock speedups.")
+  in
+  let run baseline dir tolerance wall_tolerance =
+    match
+      Regress.run ~tolerance ~wall_tolerance ~baseline_dir:baseline
+        ~current_dir:dir ()
+    with
+    | Ok report ->
+        List.iter print_endline (Regress.report_lines report);
+        if Regress.passed report then 0 else 1
+    | Error e ->
+        Printf.eprintf "ilpbench regress: %s\n" e;
+        2
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "Compare the current BENCH_wall/mem/stream.json against the \
+          committed baseline with tolerance bands; exits nonzero on any \
+          regressed indicator.")
+    Term.(const run $ baseline $ dir $ tolerance $ wall_tolerance)
+
+(* ------------------------------------------------------------------ *)
 (* machines *)
 
 let machines_cmd =
@@ -770,4 +883,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ experiments_cmd; transfer_cmd; wall_cmd; mem_cmd; stream_cmd;
-            machines_cmd; export_cmd; soak_cmd; trace_cmd ]))
+            machines_cmd; export_cmd; soak_cmd; trace_cmd; report_cmd;
+            regress_cmd ]))

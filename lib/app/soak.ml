@@ -313,7 +313,7 @@ type overload_client = {
   mutable local_refused : bool;
 }
 
-let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
+let run_overload ?(log = fun _ -> ()) ?on_clock (cfg : overload_config) =
   if cfg.clients < 1 then invalid_arg "Soak.run_overload: clients must be >= 1";
   if cfg.file_len < 64 then invalid_arg "Soak.run_overload: file_len must be >= 64";
   if cfg.deadline_us <= 0.0 then
@@ -498,6 +498,10 @@ let run_overload ?(log = fun _ -> ()) (cfg : overload_config) =
           { idx = i; persona; client; cli_data; srv_data; local_refused = false })
     in
     Simclock.run_until_idle clock;
+    (* The telemetry hook attaches here — after handshakes have drained
+       (so a periodic sampler is not burned before the workload exists)
+       and before the requests are scheduled. *)
+    Option.iter (fun f -> f clock) on_clock;
     (* Stagger the requests slightly, reopen the slow readers mid-run. *)
     List.iter
       (fun c ->

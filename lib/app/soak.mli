@@ -157,12 +157,19 @@ type overload_outcome = {
     client, budgets respected, ledger consistent, pool balanced. *)
 val overload_invariants_hold : overload_outcome -> bool
 
-(** [run_overload ?log cfg] builds one shared world — one server, [clients]
-    concurrent connection pairs — staggers every client's request, drives
-    the simulated clock until all clients settle (or [deadline_us]), and
-    classifies each.  [log] receives one verdict line per client.  Raises
-    [Invalid_argument] on an out-of-range config. *)
-val run_overload : ?log:(string -> unit) -> overload_config -> overload_outcome
+(** [run_overload ?log ?on_clock cfg] builds one shared world — one
+    server, [clients] concurrent connection pairs — staggers every
+    client's request, drives the simulated clock until all clients
+    settle (or [deadline_us]), and classifies each.  [log] receives one
+    verdict line per client.  [on_clock] receives the world's shared
+    [Simclock] after setup has drained and before the requests are
+    scheduled — the telemetry sampler attaches its periodic tick there.
+    Raises [Invalid_argument] on an out-of-range config. *)
+val run_overload :
+  ?log:(string -> unit) ->
+  ?on_clock:(Ilp_netsim.Simclock.t -> unit) ->
+  overload_config ->
+  overload_outcome
 
 val overload_summary_lines : overload_outcome -> string list
 

@@ -5,6 +5,7 @@ module Mt = Ilp_fastpath.Memtraffic
 module Pool = Ilp_fastpath.Pool
 module Trace = Ilp_obs.Trace
 module M = Ilp_obs.Metrics
+module Recorder = Ilp_obs.Recorder
 
 type lane = {
   copied : float;
@@ -121,10 +122,10 @@ let measure_lane ~mode ~native ~data_path ~payload_len ~msgs =
 
 (* The observability overhead probe: with tracing disabled, a burst of
    representative instrumentation calls (guarded clock read, span,
-   instant, begin_packet, counter bump, histogram observe) must allocate
-   nothing.  [Gc.minor_words] itself boxes its float result, so the
-   per-call figure is gated against a small epsilon rather than exact
-   zero. *)
+   instant, begin_packet, counter bump, histogram observe, and a flight
+   recorder note — which is always on — must allocate nothing.
+   [Gc.minor_words] itself boxes its float result, so the per-call
+   figure is gated against a small epsilon rather than exact zero. *)
 let measure_disabled_tracing () =
   if Trace.enabled () then Trace.disable ();
   let c = M.counter M.default "memtrace.disabled_probe" in
@@ -136,6 +137,7 @@ let measure_disabled_tracing () =
       ~dur:0.0;
     Trace.instant Trace.Tcp_retransmit ~packet:0 ~ts:0.0;
     ignore (Trace.begin_packet ());
+    Recorder.note Recorder.State ~conn:0 ~arg:0 ~ts:t0;
     M.inc c 1;
     M.observe h 42
   in
@@ -146,7 +148,11 @@ let measure_disabled_tracing () =
   for _ = 1 to n do
     one ()
   done;
-  (Gc.minor_words () -. w0) /. float_of_int n
+  let per_call = (Gc.minor_words () -. w0) /. float_of_int n in
+  (* The probe filled the flight-recorder ring with synthetic notes;
+     clear them so a later dump shows real connection events only. *)
+  Recorder.clear ();
+  per_call
 
 let run ?(config = default_config) () =
   if config.sizes = [] then invalid_arg "Memtrace.run: no sizes";

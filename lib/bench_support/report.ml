@@ -31,6 +31,16 @@ let vs ~paper ~ours =
   in
   Printf.sprintf "%.1f -> %.1f (%+.0f%%)" paper ours delta
 
+(* q-quantile of an already-sorted sample array by nearest rank: the
+   q=0.5 case picks index n/2, exactly the upper-median convention the
+   wall benchmark has always used. *)
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Report.percentile_sorted: empty sample";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Report.percentile_sorted: q must be in [0, 1]";
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
 let us v = Printf.sprintf "%.1f" v
 let mbps v = Printf.sprintf "%.2f" v
 let millions v = Printf.sprintf "%.1f" (v /. 1.0e6)

@@ -13,6 +13,12 @@ val table : header:string list -> string list list -> unit
 (** [vs ~paper ~ours] renders "369 -> 342.1 (-7.3%)". *)
 val vs : paper:float -> ours:float -> string
 
+(** [percentile_sorted sorted q] is the nearest-rank [q]-quantile of an
+    already-sorted array ([q = 0.5] picks index [n/2], the upper-median
+    convention of the wall benchmark).  Raises [Invalid_argument] on an
+    empty array or out-of-range [q]. *)
+val percentile_sorted : float array -> float -> float
+
 val us : float -> string
 val mbps : float -> string
 val millions : float -> string

@@ -1,0 +1,44 @@
+(** Continuous-telemetry runner behind [ilpbench report]: the overload
+    soak with a Simclock-driven periodic {!Ilp_obs.Timeseries} sampler
+    attached, plus the gates that make it CI-able. *)
+
+type config = {
+  soak : Ilp_app.Soak.overload_config;
+  interval_us : float;  (** virtual time between samples *)
+  capacity : int;  (** sample-ring slots; also bounds the tick chain *)
+  slos : Ilp_obs.Timeseries.slo list;
+}
+
+val default_slos : Ilp_obs.Timeseries.slo list
+val default_config : config
+val quick_config : config
+
+type result = {
+  outcome : Ilp_app.Soak.overload_outcome;
+  ts : Ilp_obs.Timeseries.t;
+  base : Ilp_obs.Metrics.snapshot;
+  final : Ilp_obs.Metrics.snapshot;
+}
+
+val run : ?log:(string -> unit) -> ?config:config -> unit -> result
+(** Run the overload soak with the sampler attached via [on_clock]; a
+    final sample is taken after the soak settles, so the sampled deltas
+    cover the whole run. *)
+
+val conservation_failures : result -> string list
+(** Counter names whose [base + sum-of-sampled-deltas] does not equal
+    the final registry value (must be empty). *)
+
+val check : result -> (unit, string list) Stdlib.result
+(** Gates: soak invariants hold, at least two samples, counter
+    conservation, zero SLO breaches. *)
+
+val dashboard_lines : result -> string list
+val summary_lines : result -> string list
+val to_json : result -> string
+val write_json : result -> path:string -> unit
+
+val flight_lines : unit -> string list
+(** Current flight-recorder dump (see {!Ilp_obs.Recorder.dump}). *)
+
+val write_flight : path:string -> unit

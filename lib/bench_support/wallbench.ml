@@ -58,7 +58,7 @@ let time_median ~trials ~warmup ~reps f =
   done;
   let samples = Array.init trials (fun _ -> sample ()) in
   Array.sort compare samples;
-  samples.(trials / 2)
+  Report.percentile_sorted samples 0.5
 
 (* Repetitions so one trial runs for at least [budget_ns]: double a probe
    count until the probe takes >= 1/4 of the budget, then scale. *)

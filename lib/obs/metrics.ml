@@ -104,6 +104,43 @@ let snapshot t =
 
 let find snap name = List.assoc_opt name snap
 
+(* Percentile estimate from a log2 histogram.  The raw observations are
+   gone; we locate the bucket holding the q-th ranked one and
+   interpolate linearly across the bucket's [lo, hi] span.  Exact for
+   bucket 0 (a single value); within the bucket's factor-of-2 width
+   otherwise.  Interpolation runs in float so the top bucket, whose
+   [hi] is [max_int], cannot overflow. *)
+let percentile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.percentile: q must be in [0, 1]";
+  if h.count = 0 then 0
+  else begin
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int h.count)) in
+      if t < 1 then 1 else if t > h.count then h.count else t
+    in
+    let rec locate i seen =
+      let n = h.buckets.(i) in
+      if seen + n >= target then begin
+        let lo, hi = bucket_bounds i in
+        let rank = target - seen in (* 1 .. n within this bucket *)
+        let frac =
+          if n = 1 then 0.5
+          else float_of_int (rank - 1) /. float_of_int (n - 1)
+        in
+        (* Interpolate in float and clamp: bucket 62 spans up to
+           max_int, where rounding of the span can overflow an integer
+           [lo + frac * (hi - lo)]. *)
+        let est = float_of_int lo +. (frac *. (float_of_int hi -. float_of_int lo)) in
+        if est <= float_of_int lo then lo
+        else if est >= float_of_int hi then hi
+        else int_of_float est
+      end
+      else locate (i + 1) (seen + n)
+    in
+    locate 0 0
+  end
+
 let counter_diff later earlier name =
   let get s = match find s name with Some (Counter n) -> n | _ -> 0 in
   get later - get earlier

@@ -59,6 +59,13 @@ type snapshot = (string * value) list
 
 val snapshot : t -> snapshot
 val find : snapshot -> string -> value option
+val percentile : hist -> float -> int
+(** [percentile h q] estimates the [q]-quantile ([0.0 <= q <= 1.0]) of
+    the observations recorded in [h]: the bucket holding the q-th
+    ranked observation is located and the estimate interpolated
+    linearly across its [(lo, hi)] span.  Returns [0] for an empty
+    histogram.  Raises [Invalid_argument] if [q] is out of range. *)
+
 val counter_diff : snapshot -> snapshot -> string -> int
 (** [counter_diff later earlier name]: delta of a counter between two
     snapshots; a name absent from a snapshot counts as 0. *)

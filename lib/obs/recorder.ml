@@ -1,0 +1,173 @@
+(* Flight recorder: an always-on ring of the last N significant
+   connection events (state transitions, retransmits, aborts, sheds,
+   resets).  Unlike [Trace] — which is an opt-in, high-volume span
+   tracer — the recorder is cheap enough to leave enabled everywhere:
+   noting an event is four array stores and two integer bumps, with no
+   allocation on either the enabled or disabled path.  When a soak
+   invariant fails or a connection aborts, [dump] turns the retained
+   tail into a self-contained post-mortem. *)
+
+type event =
+  | State
+  | Retransmit
+  | Fast_retransmit
+  | Sack_retransmit
+  | Persist_probe
+  | Zero_window
+  | Keepalive
+  | Rst_tx
+  | Rst_rx
+  | Abort
+  | Shed
+  | Abandon
+  | Retry
+  | Reconnect
+  | Resume
+
+let all_events =
+  [ State; Retransmit; Fast_retransmit; Sack_retransmit; Persist_probe;
+    Zero_window; Keepalive; Rst_tx; Rst_rx; Abort; Shed; Abandon; Retry;
+    Reconnect; Resume ]
+
+let event_index = function
+  | State -> 0
+  | Retransmit -> 1
+  | Fast_retransmit -> 2
+  | Sack_retransmit -> 3
+  | Persist_probe -> 4
+  | Zero_window -> 5
+  | Keepalive -> 6
+  | Rst_tx -> 7
+  | Rst_rx -> 8
+  | Abort -> 9
+  | Shed -> 10
+  | Abandon -> 11
+  | Retry -> 12
+  | Reconnect -> 13
+  | Resume -> 14
+
+let n_events = List.length all_events
+let event_of_index = Array.of_list all_events
+
+let event_name = function
+  | State -> "state"
+  | Retransmit -> "retransmit"
+  | Fast_retransmit -> "fast-rexmit"
+  | Sack_retransmit -> "sack-rexmit"
+  | Persist_probe -> "persist-probe"
+  | Zero_window -> "zero-window"
+  | Keepalive -> "keepalive"
+  | Rst_tx -> "rst-tx"
+  | Rst_rx -> "rst-rx"
+  | Abort -> "abort"
+  | Shed -> "shed"
+  | Abandon -> "abandon"
+  | Retry -> "retry"
+  | Reconnect -> "reconnect"
+  | Resume -> "resume"
+
+(* Components install decoders for their [arg] encodings at module
+   initialisation (e.g. TCP state numbers, shed-reason indices), so the
+   recorder itself stays dependency-free. *)
+let arg_printers : (int -> string) option array = Array.make n_events None
+let set_arg_printer ev f = arg_printers.(event_index ev) <- Some f
+
+let arg_string ev arg =
+  match arg_printers.(event_index ev) with
+  | Some f -> f arg
+  | None -> if arg = 0 then "" else string_of_int arg
+
+(* ---- the ring ----
+
+   Same idiom as [Trace]: parallel preallocated arrays, [next] is the
+   write slot, [total] counts events ever noted.  Float stores into a
+   float array are unboxed, so [note] never allocates. *)
+
+let default_capacity = 4096
+
+let on = ref true
+let cap = ref default_capacity
+let r_event = ref (Array.make default_capacity 0)
+let r_conn = ref (Array.make default_capacity 0)
+let r_arg = ref (Array.make default_capacity 0)
+let r_ts = ref (Array.make default_capacity 0.0)
+let next = ref 0
+let total = ref 0
+
+let enabled () = !on
+let capacity () = !cap
+let enable () = on := true
+let disable () = on := false
+
+let clear () =
+  next := 0;
+  total := 0
+
+let resize capacity =
+  if capacity < 1 then invalid_arg "Recorder.resize: capacity must be positive";
+  if capacity <> !cap then begin
+    cap := capacity;
+    r_event := Array.make capacity 0;
+    r_conn := Array.make capacity 0;
+    r_arg := Array.make capacity 0;
+    r_ts := Array.make capacity 0.0
+  end;
+  clear ()
+
+let note ev ~conn ~arg ~ts =
+  if !on then begin
+    let i = !next in
+    !r_event.(i) <- event_index ev;
+    !r_conn.(i) <- conn;
+    !r_arg.(i) <- arg;
+    !r_ts.(i) <- ts;
+    next := if i + 1 = !cap then 0 else i + 1;
+    incr total
+  end
+
+(* ---- reading ---- *)
+
+type entry = { event : event; conn : int; arg : int; ts : float }
+
+let noted () = !total
+let count () = min !total !cap
+let dropped () = !total - count ()
+
+let nth_oldest i =
+  let oldest = if !total <= !cap then 0 else !next in
+  (oldest + i) mod !cap
+
+let entries ?conn () =
+  let n = count () in
+  let all =
+    List.init n (fun i ->
+        let j = nth_oldest i in
+        { event = event_of_index.(!r_event.(j));
+          conn = !r_conn.(j);
+          arg = !r_arg.(j);
+          ts = !r_ts.(j) })
+  in
+  match conn with
+  | None -> all
+  | Some c -> List.filter (fun e -> e.conn = c) all
+
+let last ~conn n =
+  let es = entries ~conn () in
+  let len = List.length es in
+  if len <= n then es else List.filteri (fun i _ -> i >= len - n) es
+
+let entry_line e =
+  let arg = arg_string e.event e.arg in
+  Printf.sprintf "conn %-5d ts %12.1f  %-13s %s" e.conn e.ts
+    (event_name e.event) arg
+
+let dump ?conn () =
+  let es = entries ?conn () in
+  let header =
+    Printf.sprintf "flight recorder: %d retained / %d noted (%d dropped)%s"
+      (count ()) (noted ()) (dropped ())
+      (match conn with
+      | None -> ""
+      | Some c -> Printf.sprintf ", filtered to conn %d" c)
+  in
+  header :: List.map entry_line es

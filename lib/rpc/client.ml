@@ -2,11 +2,18 @@ module Simclock = Ilp_netsim.Simclock
 module Socket = Ilp_tcp.Socket
 module Engine = Ilp_core.Engine
 module M = Ilp_obs.Metrics
+module Recorder = Ilp_obs.Recorder
 
 let m_busy_replies = M.counter M.default "rpc.client.busy_replies"
 let m_retries = M.counter M.default "rpc.client.retries"
 let m_reconnects = M.counter M.default "rpc.client.reconnects"
 let m_resumes = M.counter M.default "rpc.client.resumes"
+
+(* End-to-end request latency: from [request_file] (or a re-issue after
+   reconnect) to the moment every copy of the transfer is verified.
+   Only clocked clients observe it — without a Simclock there is no
+   meaningful end-to-end time. *)
+let m_latency = M.histogram M.default "rpc.latency_us"
 
 type transfer = {
   expected : string;
@@ -82,6 +89,7 @@ type t = {
   mutable first_attempt_at : float option;
   mutable busy_failed : bool;
   mutable retry_timer : Simclock.timer option;
+  mutable request_started_at : float option;
 }
 
 let error t fmt = Printf.ksprintf (fun s -> t.errors <- s :: t.errors) fmt
@@ -98,6 +106,13 @@ let prng_next st =
   !st
 
 let prng_float st = float_of_int (prng_next st land 0xffffff) /. 16777216.0
+
+(* Flight-recorder identity and timestamps: client events are keyed by
+   the control socket's local port; unclocked clients stamp 0. *)
+let rec_conn t = Socket.local_port t.ctrl
+
+let rec_ts t =
+  match t.clock with Some c -> Simclock.now c | None -> 0.0
 
 let fresh_id t =
   let id = t.next_req_id in
@@ -170,6 +185,7 @@ let rec schedule_retry t =
         t.attempts <- t.attempts + 1;
         t.retries <- t.retries + 1;
         M.inc m_retries 1;
+        Recorder.note Recorder.Retry ~conn:(rec_conn t) ~arg:t.attempts ~ts:now;
         let backoff =
           min t.retry.max_backoff_us
             (t.retry.base_backoff_us
@@ -211,6 +227,8 @@ let rec start_resume t ~start_copy ~start_offset =
       | Ok () ->
           t.resumes <- t.resumes + 1;
           M.inc m_resumes 1;
+          Recorder.note Recorder.Resume ~conn:(rec_conn t) ~arg:start_offset
+            ~ts:(rec_ts t);
           Ok ()
       | Error
           ( Socket.Window_full | Socket.Buffer_full | Socket.Not_established )
@@ -298,7 +316,18 @@ let consume_reply t hdr ~data ~doff ~dlen =
             error t "payload mismatch at offset %d (copy %d)" off copy
           else begin
             tr.received.(copy) <- tr.received.(copy) + dlen;
-            t.bytes_received <- t.bytes_received + dlen
+            t.bytes_received <- t.bytes_received + dlen;
+            (* Transfer just completed: observe the end-to-end latency
+               once, against the clock the request was issued under. *)
+            let len = String.length tr.expected in
+            if tr.received.(copy) = len then
+              match (t.request_started_at, t.clock) with
+              | Some started, Some clock
+                when Array.for_all (fun n -> n = len) tr.received ->
+                  t.request_started_at <- None;
+                  M.observe m_latency
+                    (int_of_float (Simclock.now clock -. started))
+              | _ -> ()
           end)
 
 let handle_reply t ~len =
@@ -383,7 +412,8 @@ let create ?clock ?(retry = default_retry) ?(seed = 1) ?(idempotent = false)
       attempts = 0;
       first_attempt_at = None;
       busy_failed = false;
-      retry_timer = None }
+      retry_timer = None;
+      request_started_at = None }
   in
   wire_sockets t;
   t
@@ -397,6 +427,8 @@ let request_file t ~name ~copies ~max_reply ~expected =
   t.awaiting_probe <- false;
   t.resume_target <- None;
   t.cur_req_id <- (if t.use_ids then fresh_id t else 0);
+  t.request_started_at <-
+    (match t.clock with Some c -> Some (Simclock.now c) | None -> None);
   issue t p
 
 let reconnect t ~ctrl ~data =
@@ -416,6 +448,8 @@ let reconnect t ~ctrl ~data =
   t.busy_failed <- false;
   t.reconnects <- t.reconnects + 1;
   M.inc m_reconnects 1;
+  Recorder.note Recorder.Reconnect ~conn:(rec_conn t) ~arg:t.reconnects
+    ~ts:(rec_ts t);
   let summary resumed_from =
     { resumed_from;
       bytes_verified = t.bytes_received;

@@ -5,6 +5,7 @@ module Engine = Ilp_core.Engine
 module Machine = Ilp_memsim.Machine
 module M = Ilp_obs.Metrics
 module Trace = Ilp_obs.Trace
+module Recorder = Ilp_obs.Recorder
 
 type file = { addr : int; len : int }
 
@@ -44,6 +45,13 @@ let shed_reason_to_string = function
   | Server_queue_full -> "server_queue_full"
   | Request_too_old -> "request_too_old"
   | Oversized_request -> "oversized_request"
+
+(* Decode shed-reason args in flight-recorder dumps. *)
+let () =
+  Recorder.set_arg_printer Recorder.Shed (fun i ->
+      match List.nth_opt shed_reasons i with
+      | Some r -> shed_reason_to_string r
+      | None -> string_of_int i)
 
 type limits = {
   max_connections : int;
@@ -164,6 +172,10 @@ let count_shed t reason =
   t.shed_ledger.(shed_reason_index reason) <-
     t.shed_ledger.(shed_reason_index reason) + 1;
   M.inc m_sheds.(shed_reason_index reason) 1;
+  (* Sheds can precede admission, so there may be no connection yet;
+     conn 0 stands for "the server itself". *)
+  Recorder.note Recorder.Shed ~conn:0 ~arg:(shed_reason_index reason)
+    ~ts:(Machine.micros (machine t));
   if Trace.enabled () then
     Trace.instant ~arg:(shed_reason_index reason) Trace.Rpc_shed
       ~packet:(Trace.current_packet ())
@@ -209,6 +221,9 @@ let mark_dead t conn =
       conn.queue;
     Queue.clear conn.queue;
     conn.draining <- false;
+    if abandoned > 0 then
+      Recorder.note Recorder.Abandon ~conn:(Socket.local_port conn.ctrl)
+        ~arg:abandoned ~ts:(Machine.micros (machine t));
     if Trace.enabled () && abandoned > 0 then
       Trace.instant ~arg:abandoned Trace.Rpc_abandon
         ~packet:(Trace.current_packet ())

@@ -27,6 +27,23 @@ let state_to_string = function
   | Last_ack -> "LAST_ACK"
   | Time_wait -> "TIME_WAIT"
 
+(* Integer encoding of states for the flight recorder's [arg] slot. *)
+let all_states =
+  [| Closed; Listen; Syn_sent; Syn_rcvd; Established; Fin_wait_1; Fin_wait_2;
+     Close_wait; Last_ack; Time_wait |]
+
+let state_index = function
+  | Closed -> 0
+  | Listen -> 1
+  | Syn_sent -> 2
+  | Syn_rcvd -> 3
+  | Established -> 4
+  | Fin_wait_1 -> 5
+  | Fin_wait_2 -> 6
+  | Close_wait -> 7
+  | Last_ack -> 8
+  | Time_wait -> 9
+
 type config = {
   mss : int;
   send_buffer : int;
@@ -119,6 +136,18 @@ let abort_reason_to_string = function
   | Misbehaving_peer -> "peer acknowledged data that was never sent"
   | Connection_reset -> "connection reset by peer"
 
+let all_abort_reasons =
+  [| Retry_exhausted; Handshake_failed; Close_timeout; Peer_stalled;
+     Misbehaving_peer; Connection_reset |]
+
+let abort_reason_index = function
+  | Retry_exhausted -> 0
+  | Handshake_failed -> 1
+  | Close_timeout -> 2
+  | Peer_stalled -> 3
+  | Misbehaving_peer -> 4
+  | Connection_reset -> 5
+
 type keepalive_verdict = Peer_alive | Peer_reset | Peer_silent
 
 let keepalive_verdict_to_string = function
@@ -131,6 +160,19 @@ let keepalive_verdict_to_string = function
    per-socket [stats]/[drops] (checked by the conservation test). *)
 module M = Ilp_obs.Metrics
 module Trace = Ilp_obs.Trace
+module Recorder = Ilp_obs.Recorder
+
+(* The flight recorder stores bare ints; install the decoders for this
+   module's encodings once so dumps print symbolic names. *)
+let () =
+  Recorder.set_arg_printer Recorder.State (fun i ->
+      if i >= 0 && i < Array.length all_states then
+        state_to_string all_states.(i)
+      else string_of_int i);
+  Recorder.set_arg_printer Recorder.Abort (fun i ->
+      if i >= 0 && i < Array.length all_abort_reasons then
+        abort_reason_to_string all_abort_reasons.(i)
+      else string_of_int i)
 
 let m_segments_sent = M.counter M.default "tcp.segments_sent"
 let m_segments_received = M.counter M.default "tcp.segments_received"
@@ -175,6 +217,11 @@ let m_inflight = M.gauge M.default "tcp.segments_in_flight"
    acknowledged: bucket 0 counts segments delivered on their first
    transmission, the higher buckets the recovery tail. *)
 let m_seg_rexmits = M.histogram M.default "tcp.segment_retransmits"
+
+(* Per-segment ack RTT (Karn-filtered: only never-retransmitted segments
+   are observed, same discipline as the RTO estimator).  The telemetry
+   sampler derives p50/p90/p99 tracks and SLO verdicts from this. *)
+let m_ack_rtt = M.histogram M.default "tcp.ack_rtt_us"
 
 let m_drops =
   Array.of_list
@@ -785,17 +832,29 @@ let cancel_all_timers t =
   Option.iter Simclock.cancel t.ka_timer;
   t.ka_timer <- None
 
+(* Single funnel for TCP state changes: the flight recorder sees every
+   transition with the new state encoded in [arg], keyed by the local
+   port, so an abort dump replays the connection's whole life. *)
+let transition t st =
+  if t.st <> st then begin
+    t.st <- st;
+    Recorder.note Recorder.State ~conn:t.local_port ~arg:(state_index st)
+      ~ts:(Machine.micros (machine t))
+  end
+
 (* Retry exhaustion: tear the connection down with a recorded reason so
    the application sees a typed failure, never a silent [Closed]. *)
 let abort t reason =
   if t.failed = None then begin
     t.failed <- Some reason;
     M.inc (abort_counter reason) 1;
+    Recorder.note Recorder.Abort ~conn:t.local_port
+      ~arg:(abort_reason_index reason) ~ts:(Machine.micros (machine t));
     if Trace.enabled () then
       Trace.instant Trace.Tcp_abort ~packet:(Trace.current_packet ())
         ~ts:(Machine.micros (machine t))
   end;
-  t.st <- Closed;
+  transition t Closed;
   Queue.clear t.streams;
   t.ka_on_result <- None;
   cancel_all_timers t;
@@ -806,7 +865,7 @@ let abort t reason =
    segments with RST (it is a dead connection, not a closed one). *)
 let destroy t =
   t.destroyed <- true;
-  t.st <- Closed;
+  transition t Closed;
   t.pending_close <- false;
   Queue.clear t.streams;
   Queue.clear t.txq;
@@ -873,6 +932,8 @@ let cancel_persist t =
 let send_probe t =
   t.persist_probes_n <- t.persist_probes_n + 1;
   M.inc m_persist_probes 1;
+  Recorder.note Recorder.Persist_probe ~conn:t.local_port
+    ~arg:t.persist_shifts ~ts:(Machine.micros (machine t));
   if Trace.enabled () then
     Trace.instant Trace.Tcp_persist_probe ~packet:(Trace.current_packet ())
       ~ts:(Machine.micros (machine t));
@@ -924,6 +985,8 @@ let send_rst t (h : Tcp_header.t) ~payload_len =
     let r = rst_reply_header h ~payload_len ~src_port:t.local_port in
     t.rst_tx_n <- t.rst_tx_n + 1;
     M.inc m_rst_tx 1;
+    Recorder.note Recorder.Rst_tx ~conn:t.local_port ~arg:0
+      ~ts:(Machine.micros (machine t));
     if Trace.enabled () then
       Trace.instant ~arg:1 Trace.Tcp_rst ~packet:(Trace.current_packet ())
         ~ts:(Machine.micros (machine t));
@@ -965,6 +1028,8 @@ let reset_for (dgram : Datagram.t) =
               rst_reply_header h ~payload_len ~src_port:dgram.Datagram.dst_port
             in
             M.inc m_rst_tx 1;
+            Recorder.note Recorder.Rst_tx ~conn:dgram.Datagram.dst_port
+              ~arg:0 ~ts:(Trace.now ());
             if Trace.enabled () then
               Trace.instant ~arg:1 Trace.Tcp_rst
                 ~packet:(Trace.current_packet ()) ~ts:(Trace.now ());
@@ -996,6 +1061,8 @@ let probe_wire_states = [ Established; Close_wait; Fin_wait_1; Fin_wait_2 ]
 let send_keepalive_probe t =
   t.keepalive_probes_n <- t.keepalive_probes_n + 1;
   M.inc m_keepalive_probes 1;
+  Recorder.note Recorder.Keepalive ~conn:t.local_port ~arg:t.ka_unanswered
+    ~ts:(Machine.micros (machine t));
   if Trace.enabled () then
     Trace.instant ~arg:t.ka_unanswered Trace.Tcp_keepalive
       ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
@@ -1090,6 +1157,8 @@ let rec arm_persist t ~want =
         let now = Simclock.now t.clock in
         t.stalled_since <- Some now;
         M.inc m_zero_window_stalls 1;
+        Recorder.note Recorder.Zero_window ~conn:t.local_port ~arg:want
+          ~ts:(Machine.micros (machine t));
         if Trace.enabled () then
           Trace.instant Trace.Tcp_zero_window ~packet:(Trace.current_packet ())
             ~ts:(Machine.micros (machine t));
@@ -1125,6 +1194,8 @@ let rec arm_rto t =
 and retransmit_seg t seg =
   t.retransmissions <- t.retransmissions + 1;
   M.inc m_retransmissions 1;
+  Recorder.note Recorder.Retransmit ~conn:t.local_port ~arg:seg.seq
+    ~ts:(Machine.micros (machine t));
   if Trace.enabled () then
     Trace.instant ~arg:seg.seq Trace.Tcp_retransmit
       ~packet:(Trace.current_packet ()) ~ts:(Machine.micros (machine t));
@@ -1236,6 +1307,8 @@ let sack_retransmit_holes t =
               s.sack_rexmit_at <- now;
               t.sack_retransmits_n <- t.sack_retransmits_n + 1;
               M.inc m_sack_retransmits 1;
+              Recorder.note Recorder.Sack_retransmit ~conn:t.local_port
+                ~arg:s.seq ~ts:(Machine.micros (machine t));
               if Trace.enabled () then
                 Trace.instant ~arg:s.seq Trace.Tcp_sack_rexmit
                   ~packet:(Trace.current_packet ())
@@ -1311,8 +1384,8 @@ let maybe_send_fin t =
   then begin
     t.pending_close <- false;
     (match t.st with
-    | Established -> t.st <- Fin_wait_1
-    | Close_wait -> t.st <- Last_ack
+    | Established -> transition t Fin_wait_1
+    | Close_wait -> transition t Last_ack
     | _ -> ());
     send_control t ~flags:(Tcp_header.fin lor Tcp_header.ack_flag);
     t.snd_nxt <- t.snd_nxt + 1;
@@ -1456,14 +1529,14 @@ let connect t ~remote_port =
   t.remote_port <- remote_port;
   t.snd_una <- t.iss;
   t.snd_nxt <- t.iss;
-  t.st <- Syn_sent;
+  transition t Syn_sent;
   send_control t ~flags:Tcp_header.syn;
   t.snd_nxt <- t.snd_nxt + 1;
   arm_ctl_timer t ~flags:Tcp_header.syn
 
 let listen t =
   if t.st <> Closed then invalid_arg "Socket.listen: not closed";
-  t.st <- Listen
+  transition t Listen
 
 let close t =
   match t.st with
@@ -1471,7 +1544,7 @@ let close t =
       t.pending_close <- true;
       maybe_send_fin t
   | Listen | Syn_sent ->
-      t.st <- Closed;
+      transition t Closed;
       cancel_ctl_timer t
   | _ -> ()
 
@@ -1835,6 +1908,8 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
       | Some seg ->
           t.fast_retransmits <- t.fast_retransmits + 1;
           M.inc m_fast_retransmits 1;
+          Recorder.note Recorder.Fast_retransmit ~conn:t.local_port
+            ~arg:seg.seq ~ts:(Machine.micros (machine t));
           t.in_recovery <- true;
           t.recover <- t.snd_nxt;
           on_congestion_loss t ~timeout:false;
@@ -1890,6 +1965,7 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
               ~dur:(now -. seg.sent_at);
           if (not seg.rexmit) && not !sampled then begin
             Rto.sample t.rto (now -. seg.sent_at);
+            M.observe m_ack_rtt (int_of_float (now -. seg.sent_at));
             sampled := true
           end;
           pop ()
@@ -1937,13 +2013,13 @@ let handle_ack t (h : Tcp_header.t) ~payload_len =
   end
 
 let enter_time_wait t =
-  t.st <- Time_wait;
+  transition t Time_wait;
   Option.iter Simclock.cancel t.tw_timer;
   let timer =
     Simclock.schedule t.clock ~owner:t.owner ~after:(2.0 *. t.cfg.rto_max_us)
       (fun () ->
         t.tw_timer <- None;
-        if t.st = Time_wait then t.st <- Closed)
+        if t.st = Time_wait then transition t Closed)
   in
   t.tw_timer <- Some timer
 
@@ -2017,6 +2093,8 @@ let handle_datagram t (dgram : Datagram.t) =
          counted). *)
       t.rst_rx_n <- t.rst_rx_n + 1;
       M.inc m_rst_rx 1;
+      Recorder.note Recorder.Rst_rx ~conn:t.local_port ~arg:h.seq
+        ~ts:(Machine.micros (machine t));
       if Trace.enabled () then
         Trace.instant ~arg:0 Trace.Tcp_rst ~packet:(Trace.current_packet ())
           ~ts:(Machine.micros (machine t));
@@ -2047,7 +2125,7 @@ let handle_datagram t (dgram : Datagram.t) =
           t.peer_window <- h.window;
           t.snd_una <- t.iss;
           t.snd_nxt <- t.iss;
-          t.st <- Syn_rcvd;
+          transition t Syn_rcvd;
           send_control t ~flags:(Tcp_header.syn lor Tcp_header.ack_flag);
           t.snd_nxt <- t.snd_nxt + 1;
           arm_ctl_timer t ~flags:(Tcp_header.syn lor Tcp_header.ack_flag)
@@ -2061,7 +2139,7 @@ let handle_datagram t (dgram : Datagram.t) =
           t.rcv_nxt <- h.seq + 1;
           t.peer_window <- h.window;
           t.snd_una <- h.ack;
-          t.st <- Established;
+          transition t Established;
           cancel_ctl_timer t;
           send_ack t
         end
@@ -2081,7 +2159,7 @@ let handle_datagram t (dgram : Datagram.t) =
         else if Tcp_header.has h Tcp_header.ack_flag && h.ack = t.snd_nxt then begin
           t.snd_una <- h.ack;
           t.peer_window <- h.window;
-          t.st <- Established;
+          transition t Established;
           cancel_ctl_timer t;
           if payload_len > 0 then handle_data t h ~payload_len
         end
@@ -2099,10 +2177,11 @@ let handle_datagram t (dgram : Datagram.t) =
             t.rcv_nxt <- t.rcv_nxt + 1;
             send_ack t;
             match t.st with
-            | Established -> t.st <- Close_wait
+            | Established -> transition t Close_wait
             | Fin_wait_1 ->
                 (* Simultaneous close or FIN+ACK combined. *)
-                if t.snd_una = t.snd_nxt then enter_time_wait t else t.st <- Close_wait
+                if t.snd_una = t.snd_nxt then enter_time_wait t
+                else transition t Close_wait
             | Fin_wait_2 -> enter_time_wait t
             | _ -> ()
           end;
@@ -2110,10 +2189,10 @@ let handle_datagram t (dgram : Datagram.t) =
           (match t.st with
           | Fin_wait_1 when t.snd_una = t.snd_nxt ->
               cancel_ctl_timer t;
-              t.st <- Fin_wait_2
+              transition t Fin_wait_2
           | Last_ack when t.snd_una = t.snd_nxt ->
               cancel_ctl_timer t;
-              t.st <- Closed
+              transition t Closed
           | _ -> ())
         end
     end

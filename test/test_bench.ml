@@ -65,6 +65,109 @@ let test_report_helpers () =
   checkb "gain" true (B.Report.pct_gain ~base:100.0 ~better:80.0 = 20.0);
   checkb "vs formats" true (String.length (B.Report.vs ~paper:10.0 ~ours:12.0) > 0)
 
+let test_percentile_sorted () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkb "p0 is the minimum" true (B.Report.percentile_sorted sorted 0.0 = 1.0);
+  checkb "median matches the old upper-median" true
+    (B.Report.percentile_sorted sorted 0.5 = 3.0);
+  checkb "p100 is the maximum" true (B.Report.percentile_sorted sorted 1.0 = 4.0);
+  (match B.Report.percentile_sorted [||] 0.5 with
+  | _ -> Alcotest.fail "expected Invalid_argument on empty"
+  | exception Invalid_argument _ -> ());
+  match B.Report.percentile_sorted sorted 1.5 with
+  | _ -> Alcotest.fail "expected Invalid_argument on q > 1"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gating *)
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let write_file dir name contents =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc contents;
+  close_out oc
+
+let stream_json ~gate ~goodput =
+  Printf.sprintf
+    {|{ "gate_ratio": %f,
+  "points": [
+    { "mode": "pipelined", "rtt_us": 2000, "loss": 0.0, "goodput_mbps": %f }
+  ] }|}
+    gate goodput
+
+let test_regress_identical_passes () =
+  let base = temp_dir "regress_base" and cur = temp_dir "regress_cur" in
+  let j = stream_json ~gate:40.0 ~goodput:100.0 in
+  write_file base "BENCH_stream.json" j;
+  write_file cur "BENCH_stream.json" j;
+  match B.Regress.run ~baseline_dir:base ~current_dir:cur () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checkb "identical dirs pass" true (B.Regress.passed r);
+      check "two stream indicators" 2 (List.length r.B.Regress.verdicts);
+      check "wall and mem skipped (no baseline)" 2
+        (List.length r.B.Regress.files_skipped);
+      checkb "report lines render" true
+        (List.length (B.Regress.report_lines r) >= 3)
+
+let test_regress_detects_regression () =
+  let base = temp_dir "regress_base" and cur = temp_dir "regress_cur" in
+  write_file base "BENCH_stream.json" (stream_json ~gate:40.0 ~goodput:100.0);
+  (* goodput down 50% blows the 10% band; gate_ratio UP is fine. *)
+  write_file cur "BENCH_stream.json" (stream_json ~gate:44.0 ~goodput:50.0);
+  match B.Regress.run ~baseline_dir:base ~current_dir:cur () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checkb "regression fails the run" false (B.Regress.passed r);
+      check "exactly one regressed indicator" 1
+        (List.length (B.Regress.regressions r));
+      (match B.Regress.regressions r with
+      | [ v ] ->
+          checkb "the goodput point regressed" true
+            (v.B.Regress.v_key = "stream.goodput[pipelined,rtt=2000,loss=0.000]")
+      | _ -> Alcotest.fail "expected one regression")
+
+let test_regress_within_band_passes () =
+  let base = temp_dir "regress_base" and cur = temp_dir "regress_cur" in
+  write_file base "BENCH_stream.json" (stream_json ~gate:40.0 ~goodput:100.0);
+  write_file cur "BENCH_stream.json" (stream_json ~gate:38.0 ~goodput:95.0);
+  match B.Regress.run ~baseline_dir:base ~current_dir:cur () with
+  | Error e -> Alcotest.fail e
+  | Ok r -> checkb "5% dip within the 10% band" true (B.Regress.passed r)
+
+let test_regress_missing_current () =
+  let base = temp_dir "regress_base" and cur = temp_dir "regress_cur" in
+  write_file base "BENCH_stream.json" (stream_json ~gate:40.0 ~goodput:100.0);
+  (match B.Regress.run ~baseline_dir:base ~current_dir:cur () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing current file must be a hard error");
+  (* A baseline indicator silently dropped from the current run is a
+     regression, not a pass. *)
+  write_file cur "BENCH_stream.json" {|{ "gate_ratio": 40.0, "points": [] }|};
+  match B.Regress.run ~baseline_dir:base ~current_dir:cur () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checkb "dropped indicator fails the run" false (B.Regress.passed r);
+      check "it is reported as missing" 1
+        (List.length r.B.Regress.missing_current)
+
+let test_regress_json_parser () =
+  (match B.Regress.parse_string {| { "a": [1, 2.5, true, null, "s
+"] } |} with
+  | Ok j -> (
+      match B.Regress.member "a" j with
+      | Some (B.Regress.Arr l) -> check "array arity survives" 5 (List.length l)
+      | _ -> Alcotest.fail "member lookup failed")
+  | Error e -> Alcotest.fail e);
+  match B.Regress.parse_string {| { "a": } |} with
+  | Ok _ -> Alcotest.fail "malformed JSON must not parse"
+  | Error _ -> ()
+
 let test_microbench_simulated () =
   let o = B.Microbench.simulated () in
   checkb "sequential positive" true (o.B.Microbench.sequential_mbps > 0.0);
@@ -149,7 +252,18 @@ let () =
         [ Alcotest.test_case "overhead fit" `Quick test_overhead_fit;
           Alcotest.test_case "kernel profile" `Quick test_kernel_profile_faster ] );
       ( "report",
-        [ Alcotest.test_case "helpers" `Quick test_report_helpers ] );
+        [ Alcotest.test_case "helpers" `Quick test_report_helpers;
+          Alcotest.test_case "percentile_sorted" `Quick test_percentile_sorted ] );
+      ( "regress",
+        [ Alcotest.test_case "identical dirs pass" `Quick
+            test_regress_identical_passes;
+          Alcotest.test_case "detects a regression" `Quick
+            test_regress_detects_regression;
+          Alcotest.test_case "within-band drift passes" `Quick
+            test_regress_within_band_passes;
+          Alcotest.test_case "missing current data" `Quick
+            test_regress_missing_current;
+          Alcotest.test_case "json parser" `Quick test_regress_json_parser ] );
       ( "microbench",
         [ Alcotest.test_case "simulated" `Quick test_microbench_simulated ] );
       ( "experiments",

@@ -13,6 +13,8 @@ module Socket = Ilp_tcp.Socket
 module Link = Ilp_netsim.Link
 module Soak = Ilp_app.Soak
 module Rpc_server = Ilp_rpc.Server
+module Recorder = Ilp_obs.Recorder
+module Ts = Ilp_obs.Timeseries
 
 let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -222,6 +224,7 @@ let test_disabled_path_allocation_free () =
       ~dur:0.0;
     Trace.instant Trace.Tcp_retransmit ~packet:0 ~ts:0.0;
     ignore (Trace.begin_packet ());
+    Recorder.note Recorder.State ~conn:0 ~arg:0 ~ts:0.0;
     M.inc c 1;
     M.observe h 42
   in
@@ -229,10 +232,185 @@ let test_disabled_path_allocation_free () =
   let w0 = Gc.minor_words () in
   for _ = 1 to n do one () done;
   let per_call = (Gc.minor_words () -. w0) /. float_of_int n in
+  Recorder.clear ();
   checkb
     (Printf.sprintf "disabled instrumentation allocates (%.4f words/call)"
        per_call)
     true (per_call <= 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles *)
+
+let hist_of r name =
+  match M.find (M.snapshot r) name with
+  | Some (M.Histogram h) -> h
+  | _ -> Alcotest.fail ("histogram missing from snapshot: " ^ name)
+
+let test_percentile () =
+  let r = M.create () in
+  let h = M.histogram r "p" in
+  check "empty histogram -> 0" 0 (M.percentile (hist_of r "p") 0.99);
+  (* Single observation: every quantile lands inside its bucket. *)
+  M.observe h 100;
+  let lo, hi = M.bucket_bounds (M.bucket_of 100) in
+  List.iter
+    (fun q ->
+      let v = M.percentile (hist_of r "p") q in
+      checkb
+        (Printf.sprintf "single-obs p%.0f within bucket" (q *. 100.0))
+        true
+        (v >= lo && v <= hi))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* Quantiles are monotone in q. *)
+  for v = 1 to 1000 do
+    M.observe h v
+  done;
+  let hv = hist_of r "p" in
+  let prev = ref 0 in
+  List.iter
+    (fun q ->
+      let v = M.percentile hv q in
+      checkb (Printf.sprintf "monotone at q=%.2f" q) true (v >= !prev);
+      prev := v)
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ];
+  (* Bucket 62 holds everything up to max_int; interpolation must not
+     overflow into a negative result. *)
+  let big = M.histogram r "p_big" in
+  M.observe big max_int;
+  M.observe big (max_int - 1);
+  let lo62, _ = M.bucket_bounds (M.n_buckets - 1) in
+  let v = M.percentile (hist_of r "p_big") 0.99 in
+  checkb "bucket-62 percentile stays in range" true (v >= lo62 && v <= max_int);
+  (* Out-of-range quantiles are rejected. *)
+  (match M.percentile hv 1.5 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match M.percentile hv (-0.1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_recorder_ring () =
+  let saved = Recorder.capacity () in
+  Fun.protect
+    ~finally:(fun () -> Recorder.resize saved)
+    (fun () ->
+      Recorder.resize 8;
+      check "resize sets capacity" 8 (Recorder.capacity ());
+      check "resize clears" 0 (Recorder.count ());
+      for i = 1 to 5 do
+        Recorder.note Recorder.Retransmit ~conn:1 ~arg:i ~ts:(float_of_int i)
+      done;
+      Recorder.note Recorder.Abort ~conn:2 ~arg:0 ~ts:6.0;
+      check "all retained below capacity" 6 (Recorder.count ());
+      check "noted counts everything" 6 (Recorder.noted ());
+      check "nothing dropped yet" 0 (Recorder.dropped ());
+      check "filter by conn" 5 (List.length (Recorder.entries ~conn:1 ()));
+      (match Recorder.last ~conn:1 2 with
+      | [ a; b ] ->
+          check "last returns the tail" 4 a.Recorder.arg;
+          check "last is oldest-first" 5 b.Recorder.arg
+      | l -> Alcotest.fail (Printf.sprintf "last returned %d" (List.length l)));
+      (* Overflow the ring: oldest entries fall off, counters keep up. *)
+      for i = 7 to 15 do
+        Recorder.note Recorder.Keepalive ~conn:3 ~arg:i ~ts:(float_of_int i)
+      done;
+      check "retained capped at capacity" 8 (Recorder.count ());
+      check "noted keeps counting" 15 (Recorder.noted ());
+      check "dropped = noted - retained" 7 (Recorder.dropped ());
+      (match Recorder.entries () with
+      | oldest :: _ ->
+          checkb "oldest survivor is post-wrap" true (oldest.Recorder.ts >= 8.0)
+      | [] -> Alcotest.fail "ring empty after wrap");
+      (* Dump: header plus one line per retained entry; the socket
+         module's arg printer decodes state indices. *)
+      (match Recorder.dump () with
+      | header :: lines ->
+          check_s "dump header" "flight recorder: 8 retained / 15 noted (7 dropped)"
+            header;
+          check "dump body lines" 8 (List.length lines)
+      | [] -> Alcotest.fail "empty dump");
+      Recorder.note Recorder.State ~conn:9 ~arg:0 ~ts:1.0;
+      let line =
+        match Recorder.last ~conn:9 1 with
+        | [ e ] -> Recorder.entry_line e
+        | _ -> Alcotest.fail "missing state entry"
+      in
+      checkb "arg printer decodes the state" true
+        (String.length line > 0
+        &&
+        let has_sub sub =
+          let n = String.length line and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "CLOSED");
+      (* Disabled recorder notes nothing. *)
+      Recorder.disable ();
+      let before = Recorder.noted () in
+      Recorder.note Recorder.Rst_tx ~conn:1 ~arg:0 ~ts:0.0;
+      Recorder.enable ();
+      check "disabled note is dropped" before (Recorder.noted ()))
+
+(* ------------------------------------------------------------------ *)
+(* Time series *)
+
+let test_timeseries_ring () =
+  let r = M.create () in
+  let c = M.counter r "ts.c" in
+  let g = M.gauge r "ts.g" in
+  let ts = Ts.create ~capacity:4 ~interval_us:10.0 r in
+  for i = 1 to 6 do
+    M.inc c i;
+    M.set g (10 * i);
+    Ts.sample ts ~now:(float_of_int i *. 10.0)
+  done;
+  check "taken counts every sample" 6 (Ts.taken ts);
+  check "retained capped at capacity" 4 (Ts.count ts);
+  (match Ts.samples ts with
+  | (ts0, _) :: _ -> checkb "oldest retained is post-wrap" true (ts0 = 30.0)
+  | [] -> Alcotest.fail "no samples");
+  (* Telescoping conservation survives the ring wrap: the first
+     retained delta is measured against the base snapshot. *)
+  check "delta_sum telescopes to final - base" 21 (Ts.delta_sum ts "ts.c");
+  let rates = Ts.rates ts "ts.c" in
+  check "one rate per retained sample" 4 (Array.length rates);
+  checkb "dashboard renders" true (List.length (Ts.dashboard ts) > 1)
+
+let test_timeseries_slo () =
+  let r = M.create () in
+  let h = M.histogram r "lat" in
+  let slo = { Ts.slo_hist = "lat"; slo_percentile = 0.99; slo_limit = 100 } in
+  let ts = Ts.create ~capacity:8 ~slos:[ slo ] ~interval_us:10.0 r in
+  M.observe h 10;
+  Ts.sample ts ~now:10.0;
+  check "within limit: no breach" 0 (Ts.total_breaches ts);
+  M.observe h 1_000_000;
+  Ts.sample ts ~now:20.0;
+  checkb "over limit: breach counted" true (Ts.total_breaches ts > 0);
+  (* The derived gauge mirrors the registry percentile. *)
+  match M.find (snd (List.nth (Ts.samples ts) 1)) "lat.p99" with
+  | Some (M.Gauge v) ->
+      check "p99 gauge tracks the histogram"
+        (M.percentile (hist_of r "lat") 0.99)
+        v
+  | _ -> Alcotest.fail "lat.p99 gauge missing from sample"
+
+(* The tentpole end-to-end gate: sampling an overload soak through the
+   Simclock hook loses nothing — base + sampled deltas = final registry
+   value for every counter, and the healthy-run SLOs hold. *)
+let test_sampler_conservation_soak () =
+  let r = Ilp_bench.Telem.run ~config:Ilp_bench.Telem.quick_config () in
+  (match Ilp_bench.Telem.conservation_failures r with
+  | [] -> ()
+  | names ->
+      Alcotest.fail ("sampler lost counts for: " ^ String.concat ", " names));
+  checkb "at least two samples" true (Ts.taken r.Ilp_bench.Telem.ts >= 2);
+  match Ilp_bench.Telem.check r with
+  | Ok () -> ()
+  | Error fs -> Alcotest.fail (String.concat "; " fs)
 
 (* ------------------------------------------------------------------ *)
 (* Conservation: bespoke ledgers = registry mirrors *)
@@ -329,6 +507,17 @@ let () =
             test_tracing_changes_nothing_framed;
           Alcotest.test_case "disabled path allocation-free" `Quick
             test_disabled_path_allocation_free ] );
+      ( "percentile",
+        [ Alcotest.test_case "log2 percentile" `Quick test_percentile ] );
+      ( "recorder",
+        [ Alcotest.test_case "ring, filters, dump" `Quick test_recorder_ring ] );
+      ( "timeseries",
+        [ Alcotest.test_case "ring wrap and delta conservation" `Quick
+            test_timeseries_ring;
+          Alcotest.test_case "SLO gauges and breaches" `Quick
+            test_timeseries_slo;
+          Alcotest.test_case "sampler conservation over overload soak" `Slow
+            test_sampler_conservation_soak ] );
       ( "conservation",
         [ Alcotest.test_case "chaos soak ledgers = metrics" `Slow
             test_conservation_chaos_soak;
